@@ -1,0 +1,49 @@
+"""Ablation — panel-broadcast algorithm choice on the cluster stages.
+
+Reference HPL exposes several broadcast variants because the right one
+depends on message size and grid shape. The cost models show where each
+wins for the paper's stage geometry (panel of N_loc x 1200 doubles over
+a 10-wide process row on FDR IB).
+"""
+
+import pytest
+
+from repro.cluster.bcast_algos import bcast_time_model
+from repro.report import Table
+
+from conftest import once
+
+BW, LAT = 6.0, 2e-6
+ALGOS = ("ring", "binomial", "segmented-ring")
+
+
+def build_bcast():
+    t = Table(
+        "Broadcast cost models (10-wide process row, FDR IB)",
+        ["payload", "ring (ms)", "binomial (ms)", "segmented-ring (ms)", "winner"],
+    )
+    rows = {}
+    for label, nbytes in [
+        ("1 KB (pivots)", 1024),
+        ("100 KB", 1e5),
+        ("8 MB (late panel)", 8e6),
+        ("790 MB (early panel)", 8 * 82500 * 1200),
+    ]:
+        times = {a: bcast_time_model(nbytes, 10, BW, LAT, a, segments=8) for a in ALGOS}
+        winner = min(times, key=times.get)
+        t.add(label, *[round(1e3 * times[a], 4) for a in ALGOS], winner)
+        rows[label] = (times, winner)
+    return t, rows
+
+
+def test_bcast_models(benchmark, emit):
+    table, rows = once(benchmark, build_bcast)
+    emit("bcast_ablation", table.render())
+    # Small messages: latency-optimal binomial tree wins.
+    assert rows["1 KB (pivots)"][1] == "binomial"
+    # Large panels: the segmented ring's bandwidth optimality wins.
+    assert rows["790 MB (early panel)"][1] == "segmented-ring"
+    # The plain ring is never catastrophic for big payloads but loses the
+    # latency game badly.
+    small = rows["1 KB (pivots)"][0]
+    assert small["ring"] > 2 * small["binomial"]

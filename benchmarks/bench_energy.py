@@ -1,0 +1,79 @@
+"""Future-work study (Section VII) — energy efficiency of hybrid vs
+fully-native Knights Corner clusters.
+
+The paper's conclusion: the host "is several times slower than Knights
+Corner, but consumes comparable power", so the hybrid flavour is less
+energy efficient than a native multi-node run with the host in deep
+sleep. This benchmark quantifies the claim with the node power model
+and the native-cluster driver (calibrated only so its 1x1 grid matches
+the validated native single-card DES result).
+"""
+
+import pytest
+
+from repro.cluster.native_cluster import NativeClusterHPL
+from repro.hpl.driver import snb_hpl_gflops
+from repro.hybrid import HybridHPL, NodeConfig
+from repro.machine.energy import (
+    cpu_only_node_power,
+    energy_kj,
+    gflops_per_watt,
+    hybrid_node_power,
+    native_node_power,
+)
+from repro.report import Table
+
+from conftest import once
+
+
+def build_energy():
+    rows = []
+    # CPU-only node.
+    snb_gf = snb_hpl_gflops(84000)
+    rows.append(("CPU only, 1 node, N=84K", snb_gf / 1e3, cpu_only_node_power().total_w))
+    # Hybrid single node and 100-node cluster.
+    h1 = HybridHPL(84000).run()
+    rows.append(("hybrid 1x1x1card, N=84K", h1.tflops, hybrid_node_power(1).total_w))
+    h2 = HybridHPL(84000, node=NodeConfig(cards=2)).run()
+    rows.append(("hybrid 1x1x2cards, N=84K", h2.tflops, hybrid_node_power(2).total_w))
+    h100 = HybridHPL(825000, p=10, q=10).run()
+    rows.append(("hybrid 10x10, N=825K", h100.tflops, 100 * hybrid_node_power(1).total_w))
+    # Native: single card and the future-work cluster (GDDR-gated N).
+    n1 = NativeClusterHPL(30000).run()
+    rows.append(("native 1 card, N=30K", n1.tflops, native_node_power(1).total_w))
+    n100 = NativeClusterHPL(300000, p=10, q=10).run()
+    rows.append(("native 10x10, N=300K", n100.tflops, 100 * native_node_power(1).total_w))
+
+    t = Table(
+        "Energy efficiency: hybrid vs fully-native (Section VII)",
+        ["configuration", "TFLOPS", "node power (W)", "GFLOPS/W"],
+    )
+    out = {}
+    for label, tflops, power in rows:
+        gpw = gflops_per_watt(tflops * 1e3, power)
+        t.add(label, round(tflops, 2), round(power, 1), round(gpw, 2))
+        out[label] = (tflops, power, gpw)
+    return t, out
+
+
+def test_energy(benchmark, emit):
+    table, rows = once(benchmark, build_energy)
+    emit("energy", table.render())
+    cpu = rows["CPU only, 1 node, N=84K"][2]
+    hyb1 = rows["hybrid 1x1x1card, N=84K"][2]
+    hyb2 = rows["hybrid 1x1x2cards, N=84K"][2]
+    hyb100 = rows["hybrid 10x10, N=825K"][2]
+    nat1 = rows["native 1 card, N=30K"][2]
+    nat100 = rows["native 10x10, N=300K"][2]
+    # The cards transform the node's energy efficiency ...
+    assert hyb1 > 2 * cpu
+    # ... a second card helps energy efficiency further (more flops per
+    # fixed host power) ...
+    assert hyb2 > hyb1
+    # ... and the paper's future-work claim: native beats hybrid.
+    assert nat1 > hyb1
+    assert nat100 > hyb100
+    # Energy of a full 100-node hybrid run, for scale (order: tens of MJ).
+    power_100 = 100 * hybrid_node_power(1).total_w
+    run_energy = energy_kj(power_100, 300.0)
+    assert run_energy == pytest.approx(power_100 * 0.3, rel=1e-9)

@@ -1,0 +1,58 @@
+"""Figure 11 — offload DGEMM performance for trailing-update matrices
+(M = N, Kt = 1200), one and two coprocessors.
+
+Paper anchors: single card ~917 GFLOPS (85.4%) at 82K with slow
+degradation toward small sizes; dual card ~1785 GFLOPS (83%) with
+noticeably faster degradation (each card only amortises half the tiles).
+"""
+
+import pytest
+
+from repro.hybrid import OffloadDGEMM
+from repro.report import Table, render_chart
+
+from conftest import once
+
+SIZES = (5000, 10000, 15000, 20000, 30000, 40000, 55000, 70000, 82000)
+
+
+def build_fig11():
+    t = Table(
+        "Figure 11: offload DGEMM vs size (Kt=1200)",
+        ["M=N", "1 card GFLOPS", "1 card eff", "2 cards GFLOPS", "2 cards eff"],
+    )
+    series = {}
+    for m in SIZES:
+        r1 = OffloadDGEMM(m, m).run()
+        r2 = OffloadDGEMM(m, m, cards=2).run()
+        t.add(m, round(r1.gflops), round(r1.efficiency, 3), round(r2.gflops), round(r2.efficiency, 3))
+        series[m] = (r1, r2)
+    return t, series
+
+
+def test_fig11(benchmark, emit):
+    table, series = once(benchmark, build_fig11)
+    chart = render_chart(
+        {
+            "1 card": [(m, series[m][0].gflops) for m in SIZES],
+            "2 cards": [(m, series[m][1].gflops) for m in SIZES],
+        },
+        x_label="M = N",
+        y_label="GFLOPS",
+    )
+    emit("fig11", table.render() + "\n\n" + chart)
+    r1, r2 = series[82000]
+    assert r1.gflops == pytest.approx(917, abs=25)
+    assert r1.efficiency == pytest.approx(0.854, abs=0.02)
+    assert r2.gflops == pytest.approx(1785, abs=90)
+    # Efficiency ordering and degradation shape.
+    for m in SIZES:
+        one, two = series[m]
+        assert two.efficiency < one.efficiency
+        assert two.gflops > one.gflops
+    # Single card degrades slowly (still strong at 20K)...
+    assert series[20000][0].efficiency > 0.78
+    # ... dual card degrades faster (Figure 11b).
+    drop1 = series[82000][0].efficiency - series[15000][0].efficiency
+    drop2 = series[82000][1].efficiency - series[15000][1].efficiency
+    assert drop2 > drop1

@@ -1,0 +1,63 @@
+"""Figure 4 — native DGEMM performance vs problem size.
+
+Three series: Sandy Bridge EP (MKL, bottom, ~90% at large sizes),
+Knights Corner outer-product kernel without packing (middle, 88% at 5K),
+and Knights Corner DGEMM including packing (top curve gap: 15% overhead
+at 1K shrinking below 0.4% past 17K).
+"""
+
+import pytest
+
+from repro.machine import KNC, SNB
+from repro.machine.gemm_model import (
+    gemm_efficiency,
+    gemm_gflops,
+    packing_overhead,
+    snb_dgemm_efficiency,
+)
+from repro.report import Table, render_chart
+
+from conftest import once
+
+SIZES = (1000, 2000, 5000, 8000, 11000, 14000, 17000, 20000, 24000, 28000)
+
+
+def build_fig4():
+    t = Table(
+        "Figure 4: DGEMM GFLOPS vs matrix size (k=300)",
+        ["N", "SNB MKL", "KNC kernel", "KNC packed", "pack overhead %"],
+    )
+    series = {}
+    for n in SIZES:
+        snb = snb_dgemm_efficiency(n) * SNB.peak_dp_gflops()
+        kern = gemm_gflops(n, n, 300, KNC)
+        packed = gemm_gflops(n, n, 300, KNC, include_packing=True)
+        over = packing_overhead(n, n)
+        t.add(n, round(snb), round(kern), round(packed), round(100 * over, 2))
+        series[n] = (snb, kern, packed, over)
+    return t, series
+
+
+def test_fig4(benchmark, emit):
+    table, series = once(benchmark, build_fig4)
+    chart = render_chart(
+        {
+            "SNB MKL": [(n, series[n][0]) for n in SIZES],
+            "KNC kernel": [(n, series[n][1]) for n in SIZES],
+            "KNC packed": [(n, series[n][2]) for n in SIZES],
+        },
+        x_label="matrix size",
+        y_label="GFLOPS",
+    )
+    emit("fig4", table.render() + "\n\n" + chart)
+    # Kernel-only curve: 88% at 5K (Section III-B).
+    assert gemm_efficiency(5000, 5000, 300) == pytest.approx(0.88, abs=0.01)
+    # Packing overhead anchors.
+    assert series[1000][3] == pytest.approx(0.15, abs=0.02)
+    assert series[5000][3] <= 0.03
+    assert series[17000][3] <= 0.008
+    # KNC beats SNB everywhere from 2K up; gap grows with N.
+    for n in SIZES[1:]:
+        assert series[n][2] > series[n][0]
+    # The top curve approaches the kernel curve at large sizes.
+    assert series[28000][1] - series[28000][2] < 5.0

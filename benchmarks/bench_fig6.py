@@ -1,0 +1,57 @@
+"""Figure 6 — native Linpack performance vs problem size.
+
+Three series: Sandy Bridge EP MKL SMP Linpack (277 GFLOPS / 83% at 30K),
+Knights Corner with static look-ahead, and with dynamic scheduling.
+Dynamic wins below ~8K; the two converge toward 832 GFLOPS (~79%) at 30K.
+"""
+
+import pytest
+
+from repro.hpl.driver import NativeHPL, snb_hpl_gflops
+from repro.report import Table, render_chart
+
+from conftest import once
+
+SIZES = (1000, 2000, 5000, 8000, 12000, 16000, 20000, 25000, 30000)
+
+
+def build_fig6():
+    t = Table(
+        "Figure 6: native Linpack GFLOPS vs N",
+        ["N", "SNB MKL", "KNC static", "KNC dynamic", "dyn eff"],
+    )
+    series = {}
+    for n in SIZES:
+        snb = snb_hpl_gflops(n)
+        sta = NativeHPL(n, scheduler="static").run()
+        dyn = NativeHPL(n, scheduler="dynamic").run()
+        t.add(n, round(snb), round(sta.gflops), round(dyn.gflops), round(dyn.efficiency, 3))
+        series[n] = (snb, sta.gflops, dyn.gflops)
+    return t, series
+
+
+def test_fig6(benchmark, emit):
+    table, series = once(benchmark, build_fig6)
+    chart = render_chart(
+        {
+            "SNB MKL": [(n, series[n][0]) for n in SIZES],
+            "KNC static": [(n, series[n][1]) for n in SIZES],
+            "KNC dynamic": [(n, series[n][2]) for n in SIZES],
+        },
+        x_label="N",
+        y_label="GFLOPS",
+    )
+    emit("fig6", table.render() + "\n\n" + chart)
+    # 30K anchors: SNB 277 / 83%, KNC ~832 / ~79%.
+    assert series[30000][0] == pytest.approx(277, abs=3)
+    assert series[30000][2] == pytest.approx(832, abs=25)
+    # Dynamic beats static at every size; the relative gap shrinks.
+    for n in SIZES:
+        assert series[n][2] >= series[n][1]
+    gap_5k = series[5000][2] / series[5000][1]
+    gap_30k = series[30000][2] / series[30000][1]
+    assert gap_5k > gap_30k
+    assert gap_30k < 1.10  # near-convergence at 30K
+    # The KNC dynamic curve crosses SNB between 2K and 5K.
+    assert series[2000][2] < 2.2 * series[2000][0]
+    assert series[5000][2] > series[5000][0]

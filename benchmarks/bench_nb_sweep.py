@@ -1,0 +1,59 @@
+"""Ablation — block-size sweeps for both Linpack flavours.
+
+Native: nb = 300 balances kernel depth (Table II's best k), panel cost
+and scheduling granularity; very small blocks drown in panel/lock
+overhead, very large ones starve the DAG of parallelism.
+
+Hybrid: NB = Kt is pinned near 1200 by the PCIe bound (Section V-B);
+going below it starves the card, going far above it slows the host panel
+— the "lower-bound on block size which slows panel factorization"
+drawback the conclusion calls out.
+"""
+
+import pytest
+
+from repro.hpl import NativeHPL
+from repro.hybrid import HybridHPL
+from repro.report import Table
+
+from conftest import once
+
+NATIVE_N = 15000
+NATIVE_NBS = (60, 120, 300, 600, 1200)
+HYBRID_N = 42000
+HYBRID_NBS = (300, 600, 1200, 2400, 4800)
+
+
+def build_sweep():
+    t = Table(
+        "Block-size sweeps",
+        ["flavour", "nb", "GFLOPS", "efficiency"],
+    )
+    native = {}
+    for nb in NATIVE_NBS:
+        r = NativeHPL(NATIVE_N, nb=nb).run()
+        native[nb] = r
+        t.add("native 15K", nb, round(r.gflops), round(r.efficiency, 3))
+    hybrid = {}
+    for nb in HYBRID_NBS:
+        r = HybridHPL(HYBRID_N, nb=nb).run()
+        hybrid[nb] = r
+        t.add("hybrid 42K", nb, round(r.tflops * 1e3), round(r.efficiency, 3))
+    return t, native, hybrid
+
+
+def test_nb_sweep(benchmark, emit):
+    table, native, hybrid = once(benchmark, build_sweep)
+    emit("nb_sweep", table.render())
+    # Native: the paper's kernel-preferred 300 is near-optimal (at mid
+    # sizes slightly smaller blocks buy extra task parallelism) and
+    # clearly beats both extremes.
+    best_native = max(NATIVE_NBS, key=lambda nb: native[nb].gflops)
+    assert native[300].gflops >= 0.90 * native[best_native].gflops
+    assert native[300].gflops > native[60].gflops
+    assert native[300].gflops > native[1200].gflops
+    # Hybrid: sub-bound blocks starve the card on PCIe.
+    assert hybrid[1200].tflops > hybrid[300].tflops
+    assert hybrid[1200].tflops > hybrid[600].tflops
+    # Far beyond the bound the panel and pipeline granularity suffer.
+    assert hybrid[4800].tflops < hybrid[1200].tflops * 1.02

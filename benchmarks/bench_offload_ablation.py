@@ -1,0 +1,56 @@
+"""Ablations (Section V-B) — offload DGEMM design choices.
+
+1. **Tile size**: the pre-computed best tile vs fixed small/large tiles
+   (small tiles lower per-tile efficiency indirectly via edge exposure;
+   large tiles leave fewer tiles to amortise the first/last edges).
+2. **Host work stealing**: the host joining from the opposite corner
+   adds its DGEMM rate on top of the card's.
+3. **Kt**: below the PCIe bound (~950) the link cannot hide the output
+   tiles and the card starves.
+"""
+
+import pytest
+
+from repro.hybrid import OffloadDGEMM
+from repro.hybrid.tile_select import best_tile_size
+from repro.report import Table
+
+from conftest import once
+
+M = 40000
+
+
+def build_ablation():
+    t = Table(
+        f"Offload ablations at M=N={M}",
+        ["variant", "GFLOPS", "efficiency", "card tiles", "host tiles"],
+    )
+    rows = {}
+
+    def add(name, r):
+        t.add(name, round(r.gflops), round(r.efficiency, 3), r.tiles_card, r.tiles_host)
+        rows[name] = r
+
+    add("auto tile", OffloadDGEMM(M, M).run())
+    add("tiny tiles (1200)", OffloadDGEMM(M, M, tile=(1200, 1200)).run())
+    add("huge tiles (20000)", OffloadDGEMM(M, M, tile=(20000, 20000)).run())
+    add("host stealing", OffloadDGEMM(M, M, host_assist=True).run())
+    add("Kt=600 (< bound)", OffloadDGEMM(M, M, kt=600, tile=(7200, 7200)).run())
+    return t, rows
+
+
+def test_offload_ablation(benchmark, emit):
+    table, rows = once(benchmark, build_ablation)
+    emit("offload_ablation", table.render())
+    auto = rows["auto tile"]
+    # The pre-computed tile choice beats both extremes.
+    assert auto.gflops >= rows["tiny tiles (1200)"].gflops
+    assert auto.gflops >= rows["huge tiles (20000)"].gflops
+    # Host stealing adds throughput beyond the card-only run.
+    assert rows["host stealing"].gflops > auto.gflops
+    assert rows["host stealing"].tiles_host > 0
+    # Sub-bound Kt starves the card on the PCIe link.
+    assert rows["Kt=600 (< bound)"].efficiency < auto.efficiency - 0.03
+    # The auto choice matches the model's precomputation.
+    mt, nt, _ = best_tile_size(M, M)
+    assert (OffloadDGEMM(M, M).mt, OffloadDGEMM(M, M).nt) == (mt, nt)

@@ -1,0 +1,58 @@
+"""Ablation — hybrid HPL sensitivity to PCIe bandwidth.
+
+The paper's conclusion names the limited PCIe bandwidth as the hybrid
+design's first drawback: it forces NB >= ~1200, slowing the panel, and
+exposes transfer time when violated. This sweep varies the effective
+link bandwidth around the paper's ~4 GB/s and reports the single-node
+efficiency and the Kt bound that bandwidth implies — quantifying how
+much a faster interconnect (e.g. the PCIe 3.0 the next Phi generation
+got) would have bought.
+"""
+
+import pytest
+
+from repro.hybrid import HybridHPL
+from repro.hybrid.tile_select import min_kt
+from repro.machine.pcie import PCIeLink
+from repro.report import Table
+
+from conftest import once
+
+BWS = (2.0, 3.0, 4.0, 6.0, 8.0, 12.0)
+N = 84000
+
+
+def build_sweep():
+    t = Table(
+        f"PCIe bandwidth sweep (single node, N={N}, NB=1200)",
+        ["effective GB/s", "Kt bound", "TFLOPS", "efficiency %"],
+    )
+    rows = {}
+    for bw in BWS:
+        link = PCIeLink(peak_bw_gbs=max(6.0, bw), effective_bw_gbs=bw)
+        r = HybridHPL(N, pcie_link=link).run()
+        rows[bw] = r
+        t.add(
+            bw,
+            round(min_kt(950.0, link)),
+            round(r.tflops, 3),
+            round(100 * r.efficiency, 1),
+        )
+    return t, rows
+
+
+def test_pcie_sweep(benchmark, emit):
+    table, rows = once(benchmark, build_sweep)
+    emit("pcie_sweep", table.render())
+    # Efficiency is monotone in link bandwidth ...
+    effs = [rows[bw].efficiency for bw in BWS]
+    assert effs == sorted(effs)
+    # ... with diminishing returns once transfers hide under compute:
+    # halving the paper's 4 GB/s costs more than doubling it gains.
+    loss_down = rows[4.0].efficiency - rows[2.0].efficiency
+    gain_up = rows[8.0].efficiency - rows[4.0].efficiency
+    assert loss_down > gain_up
+    # The Kt bound scales inversely with bandwidth (Kt > 4 P / BW).
+    assert min_kt(950.0, PCIeLink(effective_bw_gbs=2.0)) == pytest.approx(
+        2 * min_kt(950.0, PCIeLink(effective_bw_gbs=4.0))
+    )

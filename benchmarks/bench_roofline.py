@@ -1,0 +1,52 @@
+"""Ablation (Section III-A1) — the cache-blocking bandwidth analysis.
+
+Regenerates the paper's example: m=120, n=32, k=240 demands ~1.1
+bytes/cycle per core (~74 GB/s over 60 cores), well under the 150 GB/s
+STREAM bandwidth; and shows how the demand scales with k and m.
+"""
+
+import pytest
+
+from repro.blas.blocking import choose_blocking
+from repro.machine import KNC
+from repro.machine.roofline import (
+    l2_block_bytes,
+    required_bandwidth_bytes_per_cycle,
+    required_bandwidth_gbs,
+)
+from repro.report import Table
+
+from conftest import once
+
+
+def build_roofline():
+    t = Table(
+        "Roofline: bandwidth demand of L2 blockings (amortised form)",
+        ["m", "n", "k", "L2 KB", "B/cycle/core", "GB/s (60 cores)", "feasible"],
+    )
+    cases = [(120, 32, 120), (120, 32, 240), (120, 32, 300), (60, 32, 240), (240, 32, 240)]
+    rows = {}
+    for m, n, k in cases:
+        bpc = required_bandwidth_bytes_per_cycle(m, n, k, amortize_a=True)
+        gbs = required_bandwidth_gbs(m, n, k, KNC, cores=60, amortize_a=True)
+        l2 = l2_block_bytes(m, n, k) / 1024
+        t.add(m, n, k, round(l2, 1), round(bpc, 3), round(gbs, 1), gbs < KNC.stream_bw_gbs)
+        rows[(m, n, k)] = (bpc, gbs, l2)
+    return t, rows
+
+
+def test_roofline(benchmark, emit):
+    table, rows = once(benchmark, build_roofline)
+    emit("roofline", table.render())
+    bpc, gbs, _ = rows[(120, 32, 240)]
+    assert bpc == pytest.approx(1.1, abs=0.05)
+    assert gbs == pytest.approx(74, abs=4)
+    assert gbs < KNC.stream_bw_gbs
+    # Demand falls with deeper k and taller m.
+    assert rows[(120, 32, 300)][0] < rows[(120, 32, 120)][0]
+    assert rows[(240, 32, 240)][0] < rows[(60, 32, 240)][0]
+    # The automatic chooser lands on the paper's preferred depth.
+    choice = choose_blocking(KNC)
+    assert choice.k == 300
+    choice_sp = choose_blocking(KNC, elem_bytes=4)
+    assert choice_sp.k == 400

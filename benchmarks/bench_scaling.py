@@ -1,0 +1,57 @@
+"""Ablation — strong scaling across Knights Corner cores.
+
+Footnote 2 of the paper distinguishes "inherent hardware efficiency"
+(peak over the compute cores) from whole-card efficiency. This sweep
+shows how DGEMM and native Linpack throughput scale as cores are added:
+DGEMM scales nearly linearly (the kernel is compute-bound by design);
+Linpack bends earlier because the panel critical path and the swap
+bandwidth do not scale with cores.
+"""
+
+import pytest
+
+from repro.lu.dynamic import DynamicScheduler
+from repro.machine import KNC
+from repro.machine.gemm_model import gemm_efficiency
+from repro.report import Table
+
+from conftest import once
+
+CORES = (4, 8, 15, 30, 45, 60)
+N = 12000
+
+
+def build_scaling():
+    t = Table(
+        f"Strong scaling over cores (N={N})",
+        ["cores", "DGEMM GFLOPS", "DGEMM speedup", "HPL GFLOPS", "HPL speedup"],
+    )
+    dgemm = {}
+    hpl = {}
+    for c in CORES:
+        eff = gemm_efficiency(N, N, 300, cores=c)
+        dgemm[c] = eff * KNC.peak_dp_gflops(c)
+        hpl[c] = DynamicScheduler(N, nb=300, cores=c).run().gflops
+    for c in CORES:
+        t.add(
+            c,
+            round(dgemm[c]),
+            round(dgemm[c] / dgemm[CORES[0]], 2),
+            round(hpl[c]),
+            round(hpl[c] / hpl[CORES[0]], 2),
+        )
+    return t, dgemm, hpl
+
+
+def test_scaling(benchmark, emit):
+    table, dgemm, hpl = once(benchmark, build_scaling)
+    emit("scaling", table.render())
+    # DGEMM scales nearly linearly: 15x cores -> >13x throughput.
+    assert dgemm[60] / dgemm[4] > 13
+    # Linpack scales but sublinearly (panel path + swap bandwidth).
+    assert 6 < hpl[60] / hpl[4] < 15
+    assert hpl[60] / hpl[4] < dgemm[60] / dgemm[4]
+    # Throughput is monotone in cores for both.
+    for a, b in zip(CORES, CORES[1:]):
+        assert dgemm[b] > dgemm[a]
+        assert hpl[b] > hpl[a]

@@ -1,0 +1,38 @@
+"""Table I — system configurations of Sandy Bridge EP and Knights Corner.
+
+Regenerates the configuration table from the machine models, verifying
+the derived peak numbers against the paper's published values.
+"""
+
+import pytest
+
+from repro.machine import KNC, SNB
+from repro.report import Table
+
+from conftest import once
+
+
+def build_table1() -> Table:
+    t = Table(
+        "Table I: system configurations",
+        ["parameter", "Sandy Bridge EP", "Knights Corner"],
+    )
+    t.add("sockets x cores x SMT", "2 x 8 x 2", "1 x 61 x 4")
+    t.add("clock (GHz)", SNB.clock_ghz, KNC.clock_ghz)
+    t.add("SP GFLOPS", round(SNB.peak_sp_gflops()), round(KNC.peak_sp_gflops()))
+    t.add("DP GFLOPS", round(SNB.peak_dp_gflops()), round(KNC.peak_dp_gflops()))
+    t.add("L1 / L2 (KB per core)", "32 / 256", "32 / 512")
+    t.add("L3 (MB)", SNB.l3_bytes // 2**20, "-")
+    t.add("DRAM (GB)", SNB.dram_bytes // 2**30, KNC.dram_bytes // 2**30)
+    t.add("STREAM BW (GB/s)", SNB.stream_bw_gbs, KNC.stream_bw_gbs)
+    t.add("PCIe BW (GB/s)", SNB.pcie_bw_gbs, KNC.pcie_bw_gbs)
+    return t
+
+
+def test_table1(benchmark, emit):
+    table = once(benchmark, build_table1)
+    emit("table1", table.render())
+    assert KNC.peak_dp_gflops() == pytest.approx(1074, abs=1)
+    assert SNB.peak_dp_gflops() == pytest.approx(333, abs=1)
+    assert KNC.peak_sp_gflops() == pytest.approx(2148, abs=1)
+    assert SNB.peak_sp_gflops() == pytest.approx(666, abs=1)

@@ -1,0 +1,59 @@
+"""Table II — SGEMM and DGEMM performance/efficiency as a function of k
+(M = N = 28000).
+
+Paper values: DGEMM peaks at 89.4% / 944 GFLOPS for k=300 then dips as
+the L2 blocks spill; SGEMM rises monotonically to 90.8% / 1917 GFLOPS at
+k=400.
+"""
+
+import pytest
+
+from repro.machine.calibration import TABLE2_DGEMM, TABLE2_SGEMM
+from repro.machine.gemm_model import dgemm_efficiency_vs_k, sgemm_efficiency_vs_k
+from repro.report import Table
+
+from conftest import once
+
+KS = (120, 180, 240, 300, 340, 400)
+
+
+def build_table2():
+    d = dgemm_efficiency_vs_k(KS)
+    s = sgemm_efficiency_vs_k(KS)
+    t = Table(
+        "Table II: GEMM efficiency vs k (M=N=28000)",
+        [
+            "k",
+            "SGEMM eff (paper)",
+            "SGEMM eff (model)",
+            "SGEMM GFLOPS",
+            "DGEMM eff (paper)",
+            "DGEMM eff (model)",
+            "DGEMM GFLOPS",
+        ],
+    )
+    for k in KS:
+        t.add(
+            k,
+            TABLE2_SGEMM[k],
+            round(s[k][0], 4),
+            round(s[k][1]),
+            TABLE2_DGEMM[k],
+            round(d[k][0], 4),
+            round(d[k][1]),
+        )
+    return t, d, s
+
+
+def test_table2(benchmark, emit):
+    table, d, s = once(benchmark, build_table2)
+    emit("table2", table.render())
+    # Every entry within one efficiency point of the paper.
+    for k in KS:
+        assert d[k][0] == pytest.approx(TABLE2_DGEMM[k], abs=0.01)
+        assert s[k][0] == pytest.approx(TABLE2_SGEMM[k], abs=0.01)
+    # Who wins where: DGEMM peak at k=300, SGEMM at k=400.
+    assert max(KS, key=lambda k: d[k][0]) == 300
+    assert max(KS, key=lambda k: s[k][0]) == 400
+    assert d[300][1] == pytest.approx(944, abs=5)
+    assert s[400][1] == pytest.approx(1917, abs=15)

@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and
+writes the reproduced rows/series to ``benchmarks/out/<name>.txt`` (also
+echoed to stdout when pytest runs with ``-s``), so paper-vs-measured
+comparisons in EXPERIMENTS.md can be refreshed from these artifacts.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture
+def emit():
+    """Write (and print) a named benchmark artifact."""
+
+    def _emit(name: str, text: str) -> pathlib.Path:
+        OUT_DIR.mkdir(exist_ok=True)
+        path = OUT_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+        return path
+
+    return _emit
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run a heavy simulation exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,71 @@
+"""Energy study — quantifying the paper's Section VII argument.
+
+"The fact that Sandy Bridge EP is several times slower than Knights
+Corner, but consumes comparable power, makes the hybrid implementation
+less energy efficient compared to the fully-native multi-node
+implementation that only uses Knights Corners" — with host CPUs in deep
+sleep. This example compares GFLOPS/W across CPU-only, hybrid and
+fully-native configurations, and estimates the energy of a full
+100-node Table III run.
+
+Run:  python examples/energy_study.py
+"""
+
+from repro.cluster.native_cluster import NativeClusterHPL
+from repro.hpl.driver import snb_hpl_gflops
+from repro.hybrid import HybridHPL, NodeConfig
+from repro.machine import (
+    cpu_only_node_power,
+    energy_kj,
+    gflops_per_watt,
+    hybrid_node_power,
+    native_node_power,
+)
+from repro.report import Table
+
+
+def main() -> None:
+    t = Table(
+        "GFLOPS per watt (Section VII)",
+        ["configuration", "TFLOPS", "power (kW)", "GFLOPS/W"],
+    )
+
+    snb = snb_hpl_gflops(84000) / 1e3
+    t.add("CPU-only node", round(snb, 2), round(cpu_only_node_power().total_w / 1e3, 2),
+          round(gflops_per_watt(snb * 1e3, cpu_only_node_power().total_w), 2))
+
+    h1 = HybridHPL(84000).run()
+    p1 = hybrid_node_power(1).total_w
+    t.add("hybrid node, 1 card", round(h1.tflops, 2), round(p1 / 1e3, 2),
+          round(gflops_per_watt(h1.tflops * 1e3, p1), 2))
+
+    h2 = HybridHPL(84000, node=NodeConfig(cards=2)).run()
+    p2 = hybrid_node_power(2).total_w
+    t.add("hybrid node, 2 cards", round(h2.tflops, 2), round(p2 / 1e3, 2),
+          round(gflops_per_watt(h2.tflops * 1e3, p2), 2))
+
+    n1 = NativeClusterHPL(30000).run()
+    t.add("native card, host asleep", round(n1.tflops, 2),
+          round(native_node_power(1).total_w / 1e3, 2), round(n1.gflops_per_watt, 2))
+
+    n100 = NativeClusterHPL(300000, p=10, q=10).run()
+    t.add("native 10x10 cluster", round(n100.tflops, 1),
+          round(100 * native_node_power(1).total_w / 1e3, 1),
+          round(n100.gflops_per_watt, 2))
+
+    h100 = HybridHPL(825000, p=10, q=10).run()
+    p100 = 100 * hybrid_node_power(1).total_w
+    t.add("hybrid 10x10 cluster", round(h100.tflops, 1), round(p100 / 1e3, 1),
+          round(gflops_per_watt(h100.tflops * 1e3, p100), 2))
+    print(t)
+    print()
+    run_mj = energy_kj(p100, h100.time_s) / 1e3
+    print(
+        f"One full hybrid 100-node Table III run (N=825K, {h100.time_s:.0f}s) "
+        f"burns roughly {run_mj:.1f} MJ — about "
+        f"{run_mj / 3.6:.1f} kWh."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Hybrid cluster what-if studies on top of the Table III machinery.
+
+The drivers are fully parameterised, so beyond reproducing the paper's
+configurations you can ask the questions the paper's conclusion raises:
+how much does the limited PCIe bandwidth cost? What would a faster
+interconnect or a third card buy? This example runs a few of those
+studies on the 100-node configuration.
+
+Run:  python examples/hybrid_cluster.py
+"""
+
+from repro.hybrid import HybridHPL, NodeConfig
+from repro.hybrid.driver import Network
+from repro.report import Table
+
+GB = 1024**3
+
+
+def paper_rows() -> None:
+    t = Table(
+        "Paper configurations (pipelined look-ahead)",
+        ["config", "N", "TFLOPS", "efficiency %"],
+    )
+    for label, n, p, q, cards in [
+        ("1 node, 1 card", 84_000, 1, 1, 1),
+        ("2x2, 1 card", 168_000, 2, 2, 1),
+        ("10x10, 1 card", 825_000, 10, 10, 1),
+        ("10x10, 2 cards", 822_000, 10, 10, 2),
+    ]:
+        r = HybridHPL(n, node=NodeConfig(cards=cards), p=p, q=q).run()
+        t.add(label, f"{n // 1000}K", round(r.tflops, 2), round(100 * r.efficiency, 1))
+    print(t)
+    print()
+
+
+def what_if() -> None:
+    t = Table(
+        "What-if studies: 100 nodes, N=825K, 1 card, pipelined",
+        ["variant", "TFLOPS", "efficiency %"],
+    )
+    base = HybridHPL(825_000, p=10, q=10).run()
+    t.add("baseline (FDR IB ~6 GB/s)", round(base.tflops, 1), round(100 * base.efficiency, 1))
+
+    slow_net = HybridHPL(825_000, p=10, q=10, network=Network(bw_gbs=1.5)).run()
+    t.add("1.5 GB/s network", round(slow_net.tflops, 1), round(100 * slow_net.efficiency, 1))
+
+    fat_mem = HybridHPL(
+        1_170_000,
+        p=10,
+        q=10,
+        node=NodeConfig(cards=1, host_mem_bytes=128 * GB),
+    ).run()
+    t.add("128 GB hosts, N=1.17M", round(fat_mem.tflops, 1), round(100 * fat_mem.efficiency, 1))
+
+    no_la = HybridHPL(825_000, p=10, q=10, lookahead="none").run()
+    t.add("no look-ahead at all", round(no_la.tflops, 1), round(100 * no_la.efficiency, 1))
+    print(t)
+    print()
+    print(
+        "Bigger host memory lets the panel hide behind larger trailing\n"
+        "updates (the paper's 128 GB observation); removing look-ahead\n"
+        "exposes every host step and costs the cluster roughly a fifth\n"
+        "of its throughput."
+    )
+
+
+def main() -> None:
+    paper_rows()
+    what_if()
+
+
+if __name__ == "__main__":
+    main()

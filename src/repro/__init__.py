@@ -1,0 +1,59 @@
+"""repro — a reproduction of "Design and Implementation of the Linpack
+Benchmark for Single and Multi-Node Systems Based on Intel Xeon Phi
+Coprocessor" (Heinecke et al., IPDPS 2013).
+
+The package has two coupled layers:
+
+* a **functional layer** that really computes: packed-format DGEMM built
+  on the paper's basic kernels (:mod:`repro.blas`), blocked LU with the
+  dynamic DAG scheduler (:mod:`repro.lu`), the HPL benchmark core
+  (:mod:`repro.hpl`), offload DGEMM with work stealing
+  (:mod:`repro.hybrid`), and a distributed block-cyclic HPL over a
+  simulated MPI world (:mod:`repro.cluster`);
+* a **machine-model timing layer** (:mod:`repro.machine`,
+  :mod:`repro.sim`) standing in for the Knights Corner / Sandy Bridge /
+  FDR InfiniBand hardware, which regenerates the paper's tables and
+  figures (see ``benchmarks/``).
+
+Quick start::
+
+    from repro import NativeHPL, HybridHPL, dgemm
+
+    result = NativeHPL(30000).run()           # ~832 GFLOPS at ~79%
+    print(result.gflops, result.efficiency)
+
+    small = NativeHPL(256, nb=64).run(numeric=True)  # really solves Ax=b
+    assert small.passed
+"""
+
+from repro.blas import dgemm, sgemm, gemm
+from repro.hpl import NativeHPL, HPLResult, hpl_matrix, hpl_residual
+from repro.hybrid import HybridHPL, HybridResult, OffloadDGEMM, NodeConfig, Lookahead
+from repro.cluster import DistributedHPL
+from repro.lu import DynamicScheduler, StaticLookaheadScheduler, blocked_lu, lu_solve
+from repro.machine import KNC, SNB
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "dgemm",
+    "sgemm",
+    "gemm",
+    "NativeHPL",
+    "HPLResult",
+    "hpl_matrix",
+    "hpl_residual",
+    "HybridHPL",
+    "HybridResult",
+    "OffloadDGEMM",
+    "NodeConfig",
+    "Lookahead",
+    "DistributedHPL",
+    "DynamicScheduler",
+    "StaticLookaheadScheduler",
+    "blocked_lu",
+    "lu_solve",
+    "KNC",
+    "SNB",
+    "__version__",
+]

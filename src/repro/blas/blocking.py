@@ -1,0 +1,86 @@
+"""L2 block-size selection (Section III-A1).
+
+The paper chooses L2 blocks (m x k for Ab, k x n for Bb, m x n for Cb)
+such that all three fit in the core's 512 KB L2 and the implied memory
+bandwidth 64*(2/k + 1/n + 1/m) bytes/cycle stays under what the machine
+delivers; Ab gets the largest share of L2 (Goto-style), with practical
+preferences pinning m to a multiple of the kernel's 30-row tile and n to
+a multiple of 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.calibration import default_calibration
+from repro.machine.config import KNC, MachineConfig
+from repro.machine.roofline import (
+    l2_block_bytes,
+    required_bandwidth_gbs,
+)
+
+#: Kernel footprint the block sizes must be multiples of.
+M_STEP = 30
+N_STEP = 8
+
+
+@dataclass(frozen=True)
+class BlockChoice:
+    """A selected (m, n, k) blocking with its model metrics."""
+
+    m: int
+    n: int
+    k: int
+    l2_bytes: int
+    bandwidth_gbs: float
+    l2_fraction: float
+
+
+def choose_blocking(
+    machine: MachineConfig = KNC,
+    elem_bytes: int = 8,
+    k_candidates=(120, 180, 240, 300, 340, 400),
+    l2_budget_fraction: float = 0.9,
+    n: int = 32,
+) -> BlockChoice:
+    """Pick (m, n, k) for the given machine.
+
+    For every candidate k the largest m (multiple of 30) that keeps
+    Ab + Bb + Cb within ``l2_budget_fraction`` of L2 is computed; among
+    candidates whose bandwidth demand is feasible, the one with the best
+    calibrated kernel efficiency (which encodes the paper's 1/k c-update
+    amortisation and the L2-spill penalty of Table II) wins — on KNC this
+    reproduces the paper's k=300 for doubles and k=400 for singles.
+    """
+    if not 0 < l2_budget_fraction <= 1:
+        raise ValueError("l2_budget_fraction must be in (0, 1]")
+    if n % N_STEP:
+        raise ValueError(f"n must be a multiple of {N_STEP}")
+    cal = default_calibration()
+    eff_of_k = cal.dgemm_eff_k if elem_bytes == 8 else cal.sgemm_eff_k
+    budget = machine.l2.size_bytes * l2_budget_fraction
+    best: BlockChoice | None = None
+    best_eff = -1.0
+    for k in k_candidates:
+        # Largest m with elem*(m*n + m*k + k*n) <= budget.
+        m_max = int((budget / elem_bytes - k * n) / (n + k))
+        m = (m_max // M_STEP) * M_STEP
+        if m < M_STEP:
+            continue
+        bw = required_bandwidth_gbs(m, n, k, machine, amortize_a=True)
+        if bw >= machine.stream_bw_gbs:
+            continue
+        choice = BlockChoice(
+            m=m,
+            n=n,
+            k=k,
+            l2_bytes=l2_block_bytes(m, n, k, elem_bytes),
+            bandwidth_gbs=bw,
+            l2_fraction=l2_block_bytes(m, n, k, elem_bytes) / machine.l2.size_bytes,
+        )
+        eff = eff_of_k(k)
+        if eff > best_eff:
+            best, best_eff = choice, eff
+    if best is None:
+        raise ValueError("no feasible blocking for this machine")
+    return best

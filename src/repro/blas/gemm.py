@@ -1,0 +1,126 @@
+"""Row-major outer-product GEMM built on the packed tile formats.
+
+The paper decomposes C = alpha*A@B + beta*C into a sequence of rank-k
+updates C += alpha * Ai @ Bi over K/k outer products (Section III-A).
+This module implements exactly that decomposition:
+
+* the K dimension is chopped into ``k_block`` deep slices,
+* each slice's Ai / Bi is packed into the Knights Corner-friendly format,
+* the packed tiles are multiplied tile-by-tile (30 x 8 c blocks) by
+  either the fast NumPy tile kernel or the instruction-level emulated
+  Basic Kernel 2 (31-row tiles select Basic Kernel 1),
+* c blocks accumulate into the row-major C.
+
+All matrices are row-major, matching the paper's convention (footnote 3
+notes the column-major case reduces to this one by transposition).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.blas.kernels import (
+    KERNEL1_ROWS,
+    KERNEL2_ROWS,
+    basic_kernel_1,
+    basic_kernel_2,
+    tile_multiply_fast,
+)
+from repro.blas.packing import TILE_B_COLS, pack_a, pack_b
+
+_EMULATED_KERNELS = {KERNEL1_ROWS: basic_kernel_1, KERNEL2_ROWS: basic_kernel_2}
+
+
+def gemm(
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray | None = None,
+    alpha: float = 1.0,
+    beta: float = 0.0,
+    k_block: int = 300,
+    tile_rows: int = KERNEL2_ROWS,
+    kernel: str = "fast",
+) -> np.ndarray:
+    """C = alpha * A @ B + beta * C via packed outer products.
+
+    Parameters
+    ----------
+    a, b:
+        Row-major (M, K) and (K, N) operands of a common float dtype.
+    c:
+        Optional (M, N) accumulator, updated in place. Created zeroed if
+        omitted (beta is then irrelevant).
+    k_block:
+        Depth of each outer product (the paper's k; 300 is the best
+        DGEMM depth per Table II).
+    tile_rows:
+        30 selects Basic Kernel 2 tiling (default), 31 Basic Kernel 1.
+    kernel:
+        "fast" (NumPy tile multiply) or "emulated" (vector-ISA emulation;
+        only sensible for small matrices).
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.ndim != 2 or b.ndim != 2:
+        raise ValueError("gemm operands must be 2-D")
+    if a.shape[1] != b.shape[0]:
+        raise ValueError(f"inner dimensions differ: {a.shape} @ {b.shape}")
+    if a.dtype != b.dtype:
+        raise ValueError("operands must share a dtype")
+    if k_block < 1:
+        raise ValueError("k_block must be positive")
+    if kernel not in ("fast", "emulated"):
+        raise ValueError(f"unknown kernel {kernel!r}")
+    if kernel == "emulated" and tile_rows not in _EMULATED_KERNELS:
+        raise ValueError(f"emulated kernels exist for tile_rows in (30, 31)")
+
+    m, k_total = a.shape
+    n = b.shape[1]
+    if c is None:
+        c = np.zeros((m, n), dtype=a.dtype)
+        beta = 0.0
+    else:
+        if c.shape != (m, n):
+            raise ValueError(f"c must be {(m, n)}, got {c.shape}")
+        if c.dtype != a.dtype:
+            raise ValueError("c dtype must match operands")
+        if beta != 1.0:
+            c *= a.dtype.type(beta)
+
+    alpha = a.dtype.type(alpha)
+    for k0 in range(0, k_total, k_block):
+        k1 = min(k0 + k_block, k_total)
+        pa = pack_a(a[:, k0:k1], tile_rows=tile_rows)
+        pb = pack_b(b[k0:k1, :], tile_cols=TILE_B_COLS)
+        _outer_product(c, pa, pb, alpha, kernel)
+    return c
+
+
+def _outer_product(c, pa, pb, alpha, kernel) -> None:
+    """Accumulate alpha * unpack(pa) @ unpack(pb) into c, tile by tile."""
+    emulated = _EMULATED_KERNELS.get(pa.tile_rows) if kernel == "emulated" else None
+    for ta in range(pa.n_tiles):
+        rlo, rhi = pa.tile_row_range(ta)
+        a_tile = pa.tile(ta)
+        for tb in range(pb.n_tiles):
+            clo, chi = pb.tile_col_range(tb)
+            if emulated is not None:
+                block = emulated(a_tile, pb.tile(tb))
+            else:
+                block = tile_multiply_fast(a_tile, pb.tile(tb))
+            c[rlo:rhi, clo:chi] += alpha * block[: rhi - rlo, : chi - clo]
+
+
+def dgemm(a, b, c=None, alpha=1.0, beta=0.0, k_block=300, **kw) -> np.ndarray:
+    """Double-precision GEMM; inputs are cast to float64."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    return gemm(a, b, c, alpha, beta, k_block, **kw)
+
+
+def sgemm(a, b, c=None, alpha=1.0, beta=0.0, k_block=400, **kw) -> np.ndarray:
+    """Single-precision GEMM; k_block defaults to SGEMM's best depth
+    (Table II: 400)."""
+    a = np.asarray(a, dtype=np.float32)
+    b = np.asarray(b, dtype=np.float32)
+    return gemm(a, b, c, alpha, beta, k_block, **kw)

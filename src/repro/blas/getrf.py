@@ -1,0 +1,134 @@
+"""Panel factorization: LU with partial pivoting (DGETRF).
+
+The panel factorization [DLi] of stage i (Figure 5a) factors a tall
+M x nb panel in place into unit-lower L (below the diagonal) and upper U
+(on/above), producing the pivot vector the row swaps are based on.
+
+Two variants:
+
+* :func:`getf2` — unblocked right-looking factorization (the classic
+  rank-1 update loop), used at the recursion base;
+* :func:`getrf` — recursive blocked factorization splitting the column
+  range in half, applying swaps and a triangular solve to the right
+  half, then a GEMM update. Recursion converts most of the panel work
+  into matrix-matrix products, which is what makes a highly optimised
+  panel factorization possible on Knights Corner (Section IV).
+
+Pivot convention is LAPACK's: ``ipiv[j] = r`` means row j was swapped
+with row r (r >= j, indices local to the factored block) *at step j*.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class SingularMatrixError(np.linalg.LinAlgError):
+    """Raised when a zero pivot column makes the factorization break down."""
+
+
+def getf2(a: np.ndarray, ipiv: np.ndarray | None = None) -> np.ndarray:
+    """Unblocked in-place LU with partial pivoting of an (m, n) block.
+
+    Returns ``ipiv`` (length min(m, n)).
+    """
+    a = _check_panel(a)
+    m, n = a.shape
+    kmax = min(m, n)
+    if ipiv is None:
+        ipiv = np.zeros(kmax, dtype=np.int64)
+    for j in range(kmax):
+        p = j + int(np.argmax(np.abs(a[j:, j])))
+        if a[p, j] == 0.0:
+            raise SingularMatrixError(f"zero pivot column at step {j}")
+        ipiv[j] = p
+        if p != j:
+            a[[j, p], :] = a[[p, j], :]
+        a[j + 1 :, j] /= a[j, j]
+        if j + 1 < n:
+            # Rank-1 trailing update.
+            a[j + 1 :, j + 1 :] -= np.outer(a[j + 1 :, j], a[j, j + 1 :])
+    return ipiv
+
+
+def getrf(a: np.ndarray, min_block: int = 16) -> np.ndarray:
+    """Recursive blocked in-place LU with partial pivoting.
+
+    Splits columns in half; the left half recursion produces pivots that
+    are applied to the right half, followed by a unit-lower triangular
+    solve and a GEMM update of the bottom-right block. Returns the pivot
+    vector in the same convention as :func:`getf2`.
+    """
+    a = _check_panel(a)
+    m, n = a.shape
+    kmax = min(m, n)
+    ipiv = np.zeros(kmax, dtype=np.int64)
+    _getrf_rec(a, ipiv, min_block)
+    return ipiv
+
+
+def _getrf_rec(a: np.ndarray, ipiv: np.ndarray, min_block: int) -> None:
+    m, n = a.shape
+    kmax = min(m, n)
+    if kmax <= min_block:
+        getf2(a, ipiv[:kmax])
+        return
+    n1 = kmax // 2
+    left = a[:, :n1]
+    _getrf_rec(left, ipiv[:n1], min_block)
+    # Apply the left half's swaps to the right half.
+    right = a[:, n1:]
+    for j in range(n1):
+        p = ipiv[j]
+        if p != j:
+            right[[j, p], :] = right[[p, j], :]
+    # U12 = L11^{-1} @ A12 (unit lower triangular forward solve) ...
+    l11 = left[:n1, :]
+    u12 = right[:n1, :]
+    _forward_solve_unit_inplace(l11, u12)
+    # ... then the trailing GEMM: A22 -= L21 @ U12.
+    if m > n1:
+        right[n1:, :] -= left[n1:, :] @ u12
+        sub_ipiv = np.zeros(kmax - n1, dtype=np.int64)
+        _getrf_rec(a[n1:, n1:], sub_ipiv, min_block)
+        # Apply the sub-factorization's swaps to the left columns and
+        # rebase its pivot indices.
+        bottom_left = a[n1:, :n1]
+        for j in range(kmax - n1):
+            p = sub_ipiv[j]
+            if p != j:
+                bottom_left[[j, p], :] = bottom_left[[p, j], :]
+        ipiv[n1:] = sub_ipiv + n1
+
+
+def _forward_solve_unit_inplace(l: np.ndarray, b: np.ndarray) -> None:
+    """b <- L^{-1} b for unit lower-triangular L, blocked loop."""
+    n = l.shape[0]
+    step = 32
+    for j0 in range(0, n, step):
+        j1 = min(j0 + step, n)
+        for j in range(j0, j1):
+            b[j + 1 : j1, :] -= np.outer(l[j + 1 : j1, j], b[j, :])
+        if j1 < n:
+            b[j1:, :] -= l[j1:, j0:j1] @ b[j0:j1, :]
+
+
+def _check_panel(a: np.ndarray) -> np.ndarray:
+    a = np.asarray(a)
+    if a.ndim != 2:
+        raise ValueError("panel must be 2-D")
+    if a.dtype.kind != "f":
+        raise ValueError("panel must be a float array (factored in place)")
+    if not a.flags.writeable:
+        raise ValueError("panel must be writeable (factored in place)")
+    return a
+
+
+def reconstruct_lu(a: np.ndarray) -> tuple:
+    """Split an in-place factored (m, n) block into (L, U) with unit
+    diagonal L — a test helper mirroring LAPACK's storage convention."""
+    m, n = a.shape
+    kmax = min(m, n)
+    lower = np.tril(a[:, :kmax], -1) + np.eye(m, kmax, dtype=a.dtype)
+    upper = np.triu(a[:kmax, :])
+    return lower, upper

@@ -1,0 +1,81 @@
+"""DLASWP: apply a pivot vector's row interchanges to a matrix block.
+
+After panel factorization the pivot swaps must be applied to the rows of
+the trailing sub-matrix (and, in the blocked LU, to the already-factored
+columns on the left) — the light-blue DLASWP regions of Figure 7. The
+paper's hybrid scheme pipelines this bandwidth-bound operation with the
+trailing update (Section V-A).
+
+The pivot convention matches :mod:`repro.blas.getrf`: ``ipiv[j] = r``
+means rows j and r (offset by ``offset`` into the target) were swapped at
+step j; forward order applies a factorization's swaps, backward order
+undoes them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def laswp(
+    a: np.ndarray,
+    ipiv: np.ndarray,
+    offset: int = 0,
+    forward: bool = True,
+) -> np.ndarray:
+    """Apply row interchanges in place and return ``a``.
+
+    Parameters
+    ----------
+    a:
+        The matrix block whose rows are swapped.
+    ipiv:
+        Pivot vector; entry j names the partner row of row ``offset + j``
+        (also offset, i.e. indices are local to the factored block).
+    offset:
+        Row of ``a`` corresponding to pivot entry 0.
+    forward:
+        Apply swaps in factorization order (True) or reverse (False).
+    """
+    a = np.asarray(a)
+    if a.ndim != 2:
+        raise ValueError("laswp expects a 2-D block")
+    ipiv = np.asarray(ipiv, dtype=np.int64)
+    steps = range(len(ipiv)) if forward else range(len(ipiv) - 1, -1, -1)
+    for j in steps:
+        p = int(ipiv[j])
+        if p != j:
+            r0, r1 = offset + j, offset + p
+            if not (0 <= r0 < a.shape[0] and 0 <= r1 < a.shape[0]):
+                raise IndexError(f"pivot swap ({r0}, {r1}) outside block of {a.shape[0]} rows")
+            a[[r0, r1], :] = a[[r1, r0], :]
+    return a
+
+
+def apply_pivots_to_vector(
+    x: np.ndarray, ipiv: np.ndarray, offset: int = 0, forward: bool = True
+) -> np.ndarray:
+    """The right-hand-side counterpart of :func:`laswp` (in place)."""
+    x = np.asarray(x)
+    if x.ndim != 1:
+        raise ValueError("expected a vector")
+    ipiv = np.asarray(ipiv, dtype=np.int64)
+    steps = range(len(ipiv)) if forward else range(len(ipiv) - 1, -1, -1)
+    for j in steps:
+        p = int(ipiv[j])
+        if p != j:
+            r0, r1 = offset + j, offset + p
+            x[r0], x[r1] = x[r1], x[r0]
+    return x
+
+
+def pivots_to_permutation(ipiv: np.ndarray, n: int, offset: int = 0) -> np.ndarray:
+    """The permutation vector perm with P @ A == A[perm] equivalent to
+    applying the swaps forward — a convenience for verification."""
+    perm = np.arange(n)
+    for j in range(len(ipiv)):
+        p = int(ipiv[j])
+        if p != j:
+            r0, r1 = offset + j, offset + p
+            perm[r0], perm[r1] = perm[r1], perm[r0]
+    return perm

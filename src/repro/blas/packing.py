@@ -1,0 +1,141 @@
+"""Packing into the Knights Corner-friendly data layout (Figure 3).
+
+Prior to an outer product C += Ai @ Bi the paper packs
+
+* ``Ai`` (M x k) into block row-major format of 30 x k tiles, each tile
+  stored **column-major** — so the basic kernel reads a 30-element column
+  of a contiguously (Figure 3a). Kernel 1 uses 31-row tiles; the tile
+  height is a parameter.
+* ``Bi`` (k x N) into block row-major format of k x 8 tiles, each tile
+  stored **row-major** — so the kernel reads an 8-element row of b as one
+  vector load (Figure 3b).
+
+Ragged edges (M not a multiple of the tile height, N not a multiple of
+8) are zero-padded inside the last tile; the logical sizes are kept so
+unpacking and the GEMM driver slice the padding away. Zero padding is
+numerically exact for the multiply.
+
+Tiles are exposed as views into one contiguous backing array per packed
+matrix — mirroring the "temporary storage" the paper packs into — so the
+packing cost is a predictable, bandwidth-bound pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Tile height of packed A for Basic Kernel 2 (30 accumulator rows).
+TILE_A_ROWS = 30
+#: Tile width of packed B (one 512-bit vector of doubles).
+TILE_B_COLS = 8
+
+
+@dataclass
+class PackedA:
+    """Ai packed as (n_tiles, k, tile_rows): ``data[t, j, :]`` is column j
+    of tile t — the contiguous column access the kernel wants."""
+
+    data: np.ndarray  # shape (n_tiles, k, tile_rows)
+    m: int  # logical row count of the original Ai
+    tile_rows: int
+
+    @property
+    def n_tiles(self) -> int:
+        return self.data.shape[0]
+
+    @property
+    def k(self) -> int:
+        return self.data.shape[1]
+
+    def tile(self, t: int) -> np.ndarray:
+        """Tile t as a (k, tile_rows) array (column j at [j, :])."""
+        return self.data[t]
+
+    def tile_row_range(self, t: int) -> tuple:
+        """Rows [lo, hi) of the original matrix covered by tile t
+        (hi clips at m for the ragged last tile)."""
+        lo = t * self.tile_rows
+        return lo, min(lo + self.tile_rows, self.m)
+
+    def unpack(self) -> np.ndarray:
+        """Reconstruct the original (m, k) matrix."""
+        # data transposed per tile: (n_tiles, tile_rows, k) stacked.
+        full = self.data.transpose(0, 2, 1).reshape(self.n_tiles * self.tile_rows, -1)
+        return np.ascontiguousarray(full[: self.m])
+
+
+@dataclass
+class PackedB:
+    """Bi packed as (n_tiles, k, tile_cols): ``data[t, j, :]`` is row j of
+    tile t — one contiguous vector load per kernel iteration."""
+
+    data: np.ndarray  # shape (n_tiles, k, tile_cols)
+    n: int  # logical column count of the original Bi
+    tile_cols: int
+
+    @property
+    def n_tiles(self) -> int:
+        return self.data.shape[0]
+
+    @property
+    def k(self) -> int:
+        return self.data.shape[1]
+
+    def tile(self, t: int) -> np.ndarray:
+        """Tile t as a (k, tile_cols) array (row j at [j, :])."""
+        return self.data[t]
+
+    def tile_col_range(self, t: int) -> tuple:
+        lo = t * self.tile_cols
+        return lo, min(lo + self.tile_cols, self.n)
+
+    def unpack(self) -> np.ndarray:
+        """Reconstruct the original (k, n) matrix."""
+        full = self.data.transpose(1, 0, 2).reshape(self.k, -1)
+        return np.ascontiguousarray(full[:, : self.n])
+
+
+def pack_a(a: np.ndarray, tile_rows: int = TILE_A_ROWS) -> PackedA:
+    """Pack an (m, k) block of A into column-major tiles (Figure 3a)."""
+    a = np.asarray(a)
+    if a.ndim != 2:
+        raise ValueError("pack_a expects a 2-D block")
+    if tile_rows < 1:
+        raise ValueError("tile_rows must be positive")
+    m, k = a.shape
+    n_tiles = -(-m // tile_rows)  # ceil division
+    data = np.zeros((n_tiles, k, tile_rows), dtype=a.dtype)
+    for t in range(n_tiles):
+        lo = t * tile_rows
+        hi = min(lo + tile_rows, m)
+        # Column-major tile: transpose the row slab into (k, rows).
+        data[t, :, : hi - lo] = a[lo:hi].T
+    return PackedA(data=data, m=m, tile_rows=tile_rows)
+
+
+def pack_b(b: np.ndarray, tile_cols: int = TILE_B_COLS) -> PackedB:
+    """Pack a (k, n) block of B into row-major tiles (Figure 3b)."""
+    b = np.asarray(b)
+    if b.ndim != 2:
+        raise ValueError("pack_b expects a 2-D block")
+    if tile_cols < 1:
+        raise ValueError("tile_cols must be positive")
+    k, n = b.shape
+    n_tiles = -(-n // tile_cols)
+    data = np.zeros((n_tiles, k, tile_cols), dtype=b.dtype)
+    for t in range(n_tiles):
+        lo = t * tile_cols
+        hi = min(lo + tile_cols, n)
+        data[t, :, : hi - lo] = b[:, lo:hi]
+    return PackedB(data=data, n=n, tile_cols=tile_cols)
+
+
+def packing_bytes(m: int, n: int, k: int, elem_bytes: int = 8) -> int:
+    """Memory traffic of one pack pass (read + write of Ai and Bi) — the
+    quantity whose bandwidth-bound cost the Figure 4 overhead curve
+    models."""
+    if min(m, n, k) < 0:
+        raise ValueError("dimensions must be non-negative")
+    return 2 * elem_bytes * (m * k + k * n)

@@ -1,0 +1,86 @@
+"""Triangular solves (DTRSM) used by the blocked LU.
+
+Three variants cover everything the factorization and the final
+substitutions need:
+
+* :func:`trsm_lower_unit_left` — B <- L^{-1} B for unit lower-triangular
+  L: the forward solve that turns the swapped row panel into Ui
+  (Figure 5a's "forward solver", the orange DTRSM of Figure 7);
+* :func:`trsm_upper_left` — B <- U^{-1} B for non-unit upper-triangular
+  U: the back substitution of the final solve;
+* :func:`trsm_lower_unit_right` — B <- B L^{-T}-style right solve
+  variant used when updating a column panel against a factored diagonal
+  block.
+
+All are blocked: the triangular factor is processed in ``block``-sized
+diagonal chunks with GEMM updates in between, so the bulk of the FLOPs
+run through matrix-matrix products (the standard high-performance TRSM
+formulation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _check(t: np.ndarray, b: np.ndarray, left: bool = True) -> tuple:
+    t = np.asarray(t)
+    b = np.asarray(b)
+    if t.ndim != 2 or t.shape[0] != t.shape[1]:
+        raise ValueError("triangular factor must be square")
+    if b.ndim != 2:
+        raise ValueError("right-hand side must be 2-D")
+    need = b.shape[0] if left else b.shape[1]
+    if t.shape[0] != need:
+        raise ValueError(
+            f"dimension mismatch: factor is {t.shape[0]}x{t.shape[0]}, "
+            f"rhs needs {need}"
+        )
+    return t, b
+
+
+def trsm_lower_unit_left(l: np.ndarray, b: np.ndarray, block: int = 64) -> np.ndarray:
+    """Solve L X = B in place (unit lower-triangular L); returns B."""
+    l, b = _check(l, b)
+    n = l.shape[0]
+    for j0 in range(0, n, block):
+        j1 = min(j0 + block, n)
+        for j in range(j0, j1):
+            # Unit diagonal: no division.
+            b[j + 1 : j1, :] -= np.outer(l[j + 1 : j1, j], b[j, :])
+        if j1 < n:
+            b[j1:, :] -= l[j1:, j0:j1] @ b[j0:j1, :]
+    return b
+
+
+def trsm_upper_left(u: np.ndarray, b: np.ndarray, block: int = 64) -> np.ndarray:
+    """Solve U X = B in place (non-unit upper-triangular U); returns B."""
+    u, b = _check(u, b)
+    n = u.shape[0]
+    if n and np.any(np.diag(u) == 0):
+        raise np.linalg.LinAlgError("singular upper factor in TRSM")
+    for j1 in range(n, 0, -block):
+        j0 = max(j1 - block, 0)
+        for j in range(j1 - 1, j0 - 1, -1):
+            b[j, :] /= u[j, j]
+            b[j0:j, :] -= np.outer(u[j0:j, j], b[j, :])
+        if j0 > 0:
+            b[:j0, :] -= u[:j0, j0:j1] @ b[j0:j1, :]
+    return b
+
+
+def trsm_lower_unit_right(l: np.ndarray, b: np.ndarray, block: int = 64) -> np.ndarray:
+    """Solve X L^T = B in place for unit lower-triangular L; returns B.
+
+    Equivalently X = B @ L^{-T}; used to update a column panel against a
+    factored diagonal block when the panel sits to the *left* of it.
+    """
+    l, b = _check(l, b, left=False)
+    n = l.shape[0]
+    for j0 in range(0, n, block):
+        j1 = min(j0 + block, n)
+        for j in range(j0, j1):
+            b[:, j + 1 : j1] -= np.outer(b[:, j], l[j + 1 : j1, j])
+        if j1 < n:
+            b[:, j1:] -= b[:, j0:j1] @ l[j1:, j0:j1].T
+    return b

@@ -1,0 +1,303 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Regenerates the paper's experiments and runs ad-hoc benchmark
+configurations without going through pytest:
+
+``info``
+    Table I machine configurations and derived peaks.
+``table2`` / ``fig4`` / ``fig6`` / ``fig11`` / ``table3`` / ``energy``
+    The corresponding table/figure series.
+``native --n 30000 [--nb 300] [--scheduler dynamic|static] [--numeric]``
+    One native Linpack run (``--numeric`` really solves and checks).
+``hybrid --n 84000 [--cards 1] [--p 1 --q 1] [--lookahead pipelined]``
+    One hybrid HPL run.
+``distributed --n 144 --nb 16 --p 2 --q 3``
+    A real distributed solve on the simulated MPI world.
+``gantt --n 5000 [--scheduler dynamic]``
+    ASCII Gantt chart of a native LU schedule (Figure 7).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.machine import KNC, SNB
+
+
+def _cmd_info(_args) -> int:
+    from repro.report import Table
+
+    t = Table("Machine models (Table I)", ["parameter", "SNB", "KNC"])
+    t.add("cores x SMT", f"{SNB.cores} x {SNB.smt}", f"{KNC.cores} x {KNC.smt}")
+    t.add("clock (GHz)", SNB.clock_ghz, KNC.clock_ghz)
+    t.add("DP GFLOPS", round(SNB.peak_dp_gflops()), round(KNC.peak_dp_gflops()))
+    t.add("SP GFLOPS", round(SNB.peak_sp_gflops()), round(KNC.peak_sp_gflops()))
+    t.add("STREAM (GB/s)", SNB.stream_bw_gbs, KNC.stream_bw_gbs)
+    t.add("DRAM (GB)", SNB.dram_bytes // 2**30, KNC.dram_bytes // 2**30)
+    print(t)
+    return 0
+
+
+def _cmd_table2(_args) -> int:
+    from repro.machine.gemm_model import dgemm_efficiency_vs_k, sgemm_efficiency_vs_k
+    from repro.report import Table
+
+    ks = (120, 180, 240, 300, 340, 400)
+    d, s = dgemm_efficiency_vs_k(ks), sgemm_efficiency_vs_k(ks)
+    t = Table("Table II", ["k", "SGEMM eff", "SGEMM GF", "DGEMM eff", "DGEMM GF"])
+    for k in ks:
+        t.add(k, round(s[k][0], 4), round(s[k][1]), round(d[k][0], 4), round(d[k][1]))
+    print(t)
+    return 0
+
+
+def _cmd_fig4(args) -> int:
+    from repro.machine.gemm_model import gemm_gflops, snb_dgemm_efficiency
+    from repro.report import Table
+
+    t = Table("Figure 4", ["N", "SNB", "KNC kernel", "KNC packed"])
+    for n in args.sizes:
+        t.add(
+            n,
+            round(snb_dgemm_efficiency(n) * SNB.peak_dp_gflops()),
+            round(gemm_gflops(n, n, 300)),
+            round(gemm_gflops(n, n, 300, include_packing=True)),
+        )
+    print(t)
+    return 0
+
+
+def _cmd_fig6(args) -> int:
+    from repro.hpl import NativeHPL
+    from repro.hpl.driver import snb_hpl_gflops
+    from repro.report import Table
+
+    t = Table("Figure 6", ["N", "SNB MKL", "KNC static", "KNC dynamic"])
+    for n in args.sizes:
+        sta = NativeHPL(n, scheduler="static").run()
+        dyn = NativeHPL(n, scheduler="dynamic").run()
+        t.add(n, round(snb_hpl_gflops(n)), round(sta.gflops), round(dyn.gflops))
+    print(t)
+    return 0
+
+
+def _cmd_fig11(args) -> int:
+    from repro.hybrid import OffloadDGEMM
+    from repro.report import Table
+
+    t = Table("Figure 11", ["M=N", "1 card GF", "eff", "2 cards GF", "eff"])
+    for m in args.sizes:
+        r1 = OffloadDGEMM(m, m).run()
+        r2 = OffloadDGEMM(m, m, cards=2).run()
+        t.add(m, round(r1.gflops), round(r1.efficiency, 3), round(r2.gflops), round(r2.efficiency, 3))
+    print(t)
+    return 0
+
+
+def _cmd_table3(_args) -> int:
+    from repro.hybrid import HybridHPL, NodeConfig
+    from repro.report import Table
+
+    gb = 1024**3
+    rows = [
+        ("basic, 1 card", 84_000, 1, 1, 1, "basic", 64),
+        ("pipeline, 1 card", 84_000, 1, 1, 1, "pipelined", 64),
+        ("pipeline, 1 card", 168_000, 2, 2, 1, "pipelined", 64),
+        ("pipeline, 1 card", 825_000, 10, 10, 1, "pipelined", 64),
+        ("pipeline, 2 cards", 84_000, 1, 1, 2, "pipelined", 64),
+        ("pipeline, 2 cards", 822_000, 10, 10, 2, "pipelined", 64),
+        ("pipeline, 1 card, 128GB", 242_000, 2, 2, 1, "pipelined", 128),
+    ]
+    t = Table("Table III (hybrid rows)", ["system", "N", "P", "Q", "TFLOPS", "eff %"])
+    for label, n, p, q, cards, la, mem in rows:
+        r = HybridHPL(
+            n, node=NodeConfig(cards=cards, host_mem_bytes=mem * gb), p=p, q=q, lookahead=la
+        ).run()
+        t.add(label, f"{n // 1000}K", p, q, round(r.tflops, 2), round(100 * r.efficiency, 1))
+    print(t)
+    return 0
+
+
+def _cmd_energy(_args) -> int:
+    from repro.cluster.native_cluster import NativeClusterHPL
+    from repro.hybrid import HybridHPL
+    from repro.machine import gflops_per_watt, hybrid_node_power, native_node_power
+    from repro.report import Table
+
+    t = Table("Energy (Section VII)", ["configuration", "TFLOPS", "GFLOPS/W"])
+    h = HybridHPL(84000).run()
+    t.add("hybrid 1 node", round(h.tflops, 2), round(gflops_per_watt(h.tflops * 1e3, hybrid_node_power(1).total_w), 2))
+    n = NativeClusterHPL(30000).run()
+    t.add("native 1 card", round(n.tflops, 2), round(n.gflops_per_watt, 2))
+    n100 = NativeClusterHPL(300000, p=10, q=10).run()
+    t.add("native 10x10", round(n100.tflops, 1), round(n100.gflops_per_watt, 2))
+    h100 = HybridHPL(825000, p=10, q=10).run()
+    t.add("hybrid 10x10", round(h100.tflops, 1), round(gflops_per_watt(h100.tflops * 1e3, 100 * hybrid_node_power(1).total_w), 2))
+    print(t)
+    return 0
+
+
+def _cmd_native(args) -> int:
+    from repro.hpl import NativeHPL
+
+    r = NativeHPL(args.n, nb=args.nb, scheduler=args.scheduler).run(numeric=args.numeric)
+    print(
+        f"N={r.n} nb={r.nb} scheduler={r.scheduler}: {r.gflops:.1f} GFLOPS "
+        f"({100 * r.efficiency:.1f}%), {r.time_s:.3f}s"
+    )
+    if args.numeric:
+        print(f"residual={r.residual:.4f} -> {'PASSED' if r.passed else 'FAILED'}")
+        return 0 if r.passed else 1
+    return 0
+
+
+def _cmd_hybrid(args) -> int:
+    from repro.hybrid import HybridHPL, NodeConfig
+
+    r = HybridHPL(
+        args.n,
+        node=NodeConfig(cards=args.cards, host_mem_bytes=args.mem_gb * 1024**3),
+        p=args.p,
+        q=args.q,
+        lookahead=args.lookahead,
+    ).run()
+    print(
+        f"N={r.n} {r.p}x{r.q} cards={r.cards} {r.lookahead}: {r.tflops:.3f} TFLOPS "
+        f"({100 * r.efficiency:.1f}%), card idle {100 * r.knc_idle_fraction:.1f}%"
+    )
+    return 0
+
+
+def _cmd_distributed(args) -> int:
+    from repro.cluster import DistributedHPL
+
+    r = DistributedHPL(args.n, args.nb, args.p, args.q).run()
+    print(
+        f"N={r.n} NB={r.nb} grid {r.p}x{r.q}: residual={r.residual:.4f} "
+        f"-> {'PASSED' if r.passed else 'FAILED'}; "
+        f"{r.total_bytes / 1e6:.2f} MB total traffic"
+    )
+    return 0 if r.passed else 1
+
+
+def _cmd_selftest(_args) -> int:
+    from repro.validate import selftest
+
+    return 0 if selftest() else 1
+
+
+def _cmd_hpldat(args) -> int:
+    from repro.hpl.hpldat import format_hpl_output, parse_hpl_dat, run_hpl_dat
+    from repro.hybrid import NodeConfig
+
+    with open(args.file) as fh:
+        cfg = parse_hpl_dat(fh.read())
+    rows = run_hpl_dat(cfg, node=NodeConfig(cards=args.cards))
+    print(format_hpl_output(rows))
+    return 0
+
+
+def _cmd_tune(args) -> int:
+    from repro.hpl.tuner import tune
+
+    r = tune(args.nodes, cards=args.cards, host_mem_gb=args.mem_gb)
+    print(r.describe())
+    return 0
+
+
+def _cmd_gantt(args) -> int:
+    from repro.hpl import NativeHPL
+    from repro.report import render_gantt
+
+    r = NativeHPL(args.n, scheduler=args.scheduler).run()
+    print(f"{args.scheduler} schedule, N={args.n}: {r.gflops:.0f} GFLOPS")
+    print(render_gantt(r.trace, width=args.width))
+    return 0
+
+
+def _sizes(text: str) -> List[int]:
+    return [int(x) for x in text.split(",")]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser with every subcommand registered."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Xeon Phi Linpack reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="machine configurations").set_defaults(fn=_cmd_info)
+    sub.add_parser("selftest", help="fast cross-layer sanity checks").set_defaults(
+        fn=_cmd_selftest
+    )
+    sub.add_parser("table2", help="GEMM efficiency vs k").set_defaults(fn=_cmd_table2)
+
+    p = sub.add_parser("fig4", help="DGEMM vs size")
+    p.add_argument("--sizes", type=_sizes, default=[1000, 5000, 17000, 28000])
+    p.set_defaults(fn=_cmd_fig4)
+
+    p = sub.add_parser("fig6", help="native Linpack vs size")
+    p.add_argument("--sizes", type=_sizes, default=[2000, 5000, 15000, 30000])
+    p.set_defaults(fn=_cmd_fig6)
+
+    p = sub.add_parser("fig11", help="offload DGEMM vs size")
+    p.add_argument("--sizes", type=_sizes, default=[10000, 40000, 82000])
+    p.set_defaults(fn=_cmd_fig11)
+
+    sub.add_parser("table3", help="hybrid HPL grid").set_defaults(fn=_cmd_table3)
+    sub.add_parser("energy", help="GFLOPS/W study").set_defaults(fn=_cmd_energy)
+
+    p = sub.add_parser("native", help="one native Linpack run")
+    p.add_argument("--n", type=int, required=True)
+    p.add_argument("--nb", type=int, default=300)
+    p.add_argument("--scheduler", choices=["dynamic", "static"], default="dynamic")
+    p.add_argument("--numeric", action="store_true", help="really solve and check")
+    p.set_defaults(fn=_cmd_native)
+
+    p = sub.add_parser("hybrid", help="one hybrid HPL run")
+    p.add_argument("--n", type=int, required=True)
+    p.add_argument("--cards", type=int, default=1)
+    p.add_argument("--p", type=int, default=1)
+    p.add_argument("--q", type=int, default=1)
+    p.add_argument("--mem-gb", type=int, default=64)
+    p.add_argument(
+        "--lookahead", choices=["none", "basic", "pipelined"], default="pipelined"
+    )
+    p.set_defaults(fn=_cmd_hybrid)
+
+    p = sub.add_parser("distributed", help="real distributed solve")
+    p.add_argument("--n", type=int, default=144)
+    p.add_argument("--nb", type=int, default=16)
+    p.add_argument("--p", type=int, default=2)
+    p.add_argument("--q", type=int, default=2)
+    p.set_defaults(fn=_cmd_distributed)
+
+    p = sub.add_parser("hpldat", help="run an HPL.dat configuration file")
+    p.add_argument("--file", required=True)
+    p.add_argument("--cards", type=int, default=1)
+    p.set_defaults(fn=_cmd_hpldat)
+
+    p = sub.add_parser("tune", help="pick N/NB/grid for a cluster")
+    p.add_argument("--nodes", type=int, required=True)
+    p.add_argument("--cards", type=int, default=1)
+    p.add_argument("--mem-gb", type=float, default=64.0)
+    p.set_defaults(fn=_cmd_tune)
+
+    p = sub.add_parser("gantt", help="render a schedule")
+    p.add_argument("--n", type=int, default=5000)
+    p.add_argument("--scheduler", choices=["dynamic", "static"], default="dynamic")
+    p.add_argument("--width", type=int, default=100)
+    p.set_defaults(fn=_cmd_gantt)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point: parse arguments and dispatch to the subcommand."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,56 @@
+"""Multi-node substrate: simulated MPI, process grids, distributed HPL.
+
+The paper's cluster runs use MPI over single-rail FDR InfiniBand
+(Table III: up to a 10 x 10 process grid / 100 nodes). This package
+provides the in-process stand-in:
+
+* :mod:`repro.cluster.comm` — a thread-based message-passing world with
+  mpi4py-style point-to-point and collective operations carrying real
+  NumPy payloads, plus per-rank traffic accounting;
+* :mod:`repro.cluster.grid` — the P x Q process grid and 2-D
+  block-cyclic distribution maps HPL uses;
+* :mod:`repro.cluster.panel_bcast` — panel broadcast along process rows;
+* :mod:`repro.cluster.swap` — distributed pivot row exchange;
+* :mod:`repro.cluster.hpl_mpi` — the distributed LU/HPL: numerically
+  real, verified against the single-node factorization, with traffic
+  statistics that feed the network timing model.
+"""
+
+from repro.cluster.comm import World, Comm, CommStats, CommError
+from repro.cluster.grid import ProcessGrid, BlockCyclic
+from repro.cluster.panel_bcast import bcast_along_row, bcast_along_col
+from repro.cluster.swap import (
+    exchange_pivot_rows,
+    exchange_pivot_rows_long,
+    resolve_final_sources,
+)
+from repro.cluster.bcast_algos import (
+    ring_bcast,
+    binomial_bcast,
+    segmented_ring_bcast,
+    bcast_time_model,
+)
+from repro.cluster.hpl_mpi import DistributedHPL, DistributedResult
+from repro.cluster.native_cluster import NativeClusterHPL, NativeClusterResult
+
+__all__ = [
+    "World",
+    "Comm",
+    "CommStats",
+    "CommError",
+    "ProcessGrid",
+    "BlockCyclic",
+    "bcast_along_row",
+    "bcast_along_col",
+    "exchange_pivot_rows",
+    "exchange_pivot_rows_long",
+    "resolve_final_sources",
+    "ring_bcast",
+    "binomial_bcast",
+    "segmented_ring_bcast",
+    "bcast_time_model",
+    "DistributedHPL",
+    "DistributedResult",
+    "NativeClusterHPL",
+    "NativeClusterResult",
+]

@@ -1,0 +1,150 @@
+"""Panel-broadcast algorithms.
+
+Reference HPL ships six broadcast variants because the panel broadcast
+sits on the critical path of every stage; the paper's U broadcast
+pipelining (Section V-A) exists for the same reason. This module
+implements the three classic shapes over the simulated communicator —
+all functionally verified to deliver identical payloads — plus analytic
+cost models used by the broadcast ablation benchmark:
+
+* **ring** (HPL's ``1ring``): rank i forwards to i+1; latency scales
+  with the group size, but each link carries the payload once — good
+  when the broadcast can be overlapped with compute.
+* **binomial tree**: log2(size) rounds; the standard latency-optimal
+  tree for unsegmented messages.
+* **segmented ring** (HPL's bandwidth-optimal long broadcast): the
+  payload is cut into segments pipelined around the ring; for large
+  payloads the cost approaches one payload transfer regardless of the
+  group size.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, List, Sequence
+
+import numpy as np
+
+from repro.cluster.comm import Comm
+
+_TAG = -7
+
+
+def _group_pos(group: Sequence[int], rank: int) -> int:
+    try:
+        return list(group).index(rank)
+    except ValueError:
+        raise ValueError(f"rank {rank} is not in the broadcast group") from None
+
+
+def ring_bcast(comm: Comm, payload: Any, root: int, group: Sequence[int]) -> Any:
+    """1-ring: root -> next -> next ... around the group."""
+    group = list(group)
+    pos = _group_pos(group, comm.rank)
+    rpos = _group_pos(group, root)
+    size = len(group)
+    if size == 1:
+        return payload
+    rel = (pos - rpos) % size
+    if rel == 0:
+        comm.send(payload, group[(pos + 1) % size], tag=_TAG)
+        return payload
+    got = comm.recv(group[(pos - 1) % size], tag=_TAG)
+    if rel != size - 1:
+        comm.send(got, group[(pos + 1) % size], tag=_TAG)
+    return got
+
+
+def binomial_bcast(comm: Comm, payload: Any, root: int, group: Sequence[int]) -> Any:
+    """Binomial tree: ceil(log2(size)) rounds.
+
+    In relative ranks: a non-root receives from ``rel - lowbit(rel)``,
+    then both it and the root fan out to ``rel + mask`` for every mask
+    below the bit they received on (the root starts at the top bit).
+    """
+    group = list(group)
+    size = len(group)
+    rpos = _group_pos(group, root)
+    rel = (_group_pos(group, comm.rank) - rpos) % size
+
+    def abs_rank(relative: int) -> int:
+        return group[(relative + rpos) % size]
+
+    if rel == 0:
+        got = payload
+        mask = 1 << max(0, (size - 1).bit_length() - 1)
+    else:
+        low = rel & -rel
+        got = comm.recv(abs_rank(rel - low), tag=_TAG)
+        mask = low >> 1
+    while mask >= 1:
+        dst = rel + mask
+        if dst < size:
+            comm.send(got, abs_rank(dst), tag=_TAG)
+        mask >>= 1
+    return got
+
+
+def segmented_ring_bcast(
+    comm: Comm,
+    payload: np.ndarray,
+    root: int,
+    group: Sequence[int],
+    segments: int = 4,
+) -> np.ndarray:
+    """Pipelined ring broadcast of an array in ``segments`` pieces."""
+    group = list(group)
+    size = len(group)
+    pos = _group_pos(group, comm.rank)
+    rpos = _group_pos(group, root)
+    if size == 1:
+        return payload
+    rel = (pos - rpos) % size
+    nxt = group[(pos + 1) % size]
+    prv = group[(pos - 1) % size]
+    if rel == 0:
+        arr = np.asarray(payload)
+        for s, part in enumerate(np.array_split(arr.ravel(), segments)):
+            comm.send((s, arr.shape, part), nxt, tag=_TAG - 1 - s)
+        return payload
+    parts: List = [None] * segments
+    shape = None
+    for s in range(segments):
+        s_got, shape, part = comm.recv(prv, tag=_TAG - 1 - s)
+        parts[s_got] = part
+        if rel != size - 1:
+            comm.send((s_got, shape, part), nxt, tag=_TAG - 1 - s)
+    return np.concatenate(parts).reshape(shape)
+
+
+#: Named registry used by the ablation benchmark and the docs.
+ALGORITHMS = {
+    "ring": ring_bcast,
+    "binomial": binomial_bcast,
+}
+
+
+def bcast_time_model(
+    nbytes: float,
+    group_size: int,
+    bw_gbs: float,
+    latency_s: float,
+    algorithm: str,
+    segments: int = 4,
+) -> float:
+    """Analytic completion-time models for the three shapes."""
+    if group_size < 1:
+        raise ValueError("group must be non-empty")
+    if nbytes < 0:
+        raise ValueError("bytes must be non-negative")
+    if group_size == 1:
+        return 0.0
+    t_msg = latency_s + nbytes / (bw_gbs * 1e9)
+    if algorithm == "ring":
+        return (group_size - 1) * t_msg
+    if algorithm == "binomial":
+        return math.ceil(math.log2(group_size)) * t_msg
+    if algorithm == "segmented-ring":
+        t_seg = latency_s + nbytes / segments / (bw_gbs * 1e9)
+        return (group_size - 2 + segments) * t_seg
+    raise ValueError(f"unknown broadcast algorithm {algorithm!r}")

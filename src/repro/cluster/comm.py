@@ -1,0 +1,212 @@
+"""In-process message passing: the MPI stand-in for multi-node runs.
+
+Each rank runs in its own thread; point-to-point messages travel through
+per-(source, destination) FIFO queues with tag matching, mirroring the
+mpi4py calls the real system would use (``send``/``recv``/``sendrecv``,
+``bcast``, ``gather``, ``barrier``, ``allreduce``). NumPy payloads are
+copied on send, so ranks never alias each other's buffers — the same
+isolation a real network gives.
+
+Every communicator records traffic statistics (messages and bytes by
+operation); the cluster timing model turns those into FDR InfiniBand
+transfer times.
+
+Determinism and safety: queue operations use a global timeout so a
+deadlocked exchange fails the test with :class:`CommError` instead of
+hanging, and ``World.run`` re-raises the first rank exception.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+#: Seconds a blocking receive waits before declaring a deadlock.
+DEFAULT_TIMEOUT_S = 60.0
+
+
+class CommError(RuntimeError):
+    """A communication failure (timeout / mismatched exchange)."""
+
+
+@dataclass
+class CommStats:
+    """Traffic accounting for one rank."""
+
+    messages_sent: int = 0
+    bytes_sent: int = 0
+    by_op: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+
+    def record(self, op: str, nbytes: int) -> None:
+        self.messages_sent += 1
+        self.bytes_sent += nbytes
+        self.by_op[op] += nbytes
+
+
+def _payload_bytes(obj: Any) -> int:
+    if isinstance(obj, np.ndarray):
+        return obj.nbytes
+    if isinstance(obj, (list, tuple)):
+        return sum(_payload_bytes(x) for x in obj)
+    if isinstance(obj, dict):
+        return sum(_payload_bytes(v) for v in obj.values())
+    return 64  # headers / scalars / pickled small objects
+
+
+def _copy(obj: Any) -> Any:
+    """Deep-copy NumPy content so ranks cannot alias buffers."""
+    if isinstance(obj, np.ndarray):
+        return obj.copy()
+    if isinstance(obj, tuple):
+        return tuple(_copy(x) for x in obj)
+    if isinstance(obj, list):
+        return [_copy(x) for x in obj]
+    if isinstance(obj, dict):
+        return {k: _copy(v) for k, v in obj.items()}
+    return obj
+
+
+class World:
+    """A fixed-size set of ranks with mailboxes and barrier state."""
+
+    def __init__(self, size: int, timeout_s: float = DEFAULT_TIMEOUT_S):
+        if size < 1:
+            raise ValueError("world size must be positive")
+        self.size = size
+        self.timeout_s = timeout_s
+        self._boxes: Dict[Tuple[int, int], queue.Queue] = {
+            (s, d): queue.Queue() for s in range(size) for d in range(size)
+        }
+        self._barrier = threading.Barrier(size)
+        self.comms = [Comm(self, rank) for rank in range(size)]
+
+    def run(self, fn: Callable, *args, **kwargs) -> List[Any]:
+        """SPMD-launch ``fn(comm, *args, **kwargs)`` on every rank and
+        return the per-rank results (first exception re-raised)."""
+        results: List[Any] = [None] * self.size
+        errors: List[Optional[BaseException]] = [None] * self.size
+
+        def runner(rank: int) -> None:
+            try:
+                results[rank] = fn(self.comms[rank], *args, **kwargs)
+            except BaseException as exc:  # noqa: BLE001 — surfaced below
+                errors[rank] = exc
+                self._barrier.abort()
+
+        threads = [
+            threading.Thread(target=runner, args=(r,), daemon=True)
+            for r in range(self.size)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=self.timeout_s * 4)
+            if t.is_alive():
+                raise CommError("rank thread did not terminate (deadlock?)")
+        for exc in errors:
+            if exc is not None:
+                raise exc
+        return results
+
+
+class Comm:
+    """One rank's endpoint."""
+
+    def __init__(self, world: World, rank: int):
+        self.world = world
+        self.rank = rank
+        self.stats = CommStats()
+        self._stash: List[Tuple[int, int, Any]] = []  # out-of-order messages
+
+    @property
+    def size(self) -> int:
+        return self.world.size
+
+    # -- point to point ---------------------------------------------------------
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        if not 0 <= dest < self.size:
+            raise ValueError(f"destination {dest} out of range")
+        payload = _copy(obj)
+        self.stats.record("send", _payload_bytes(payload))
+        self.world._boxes[(self.rank, dest)].put((tag, payload))
+
+    def recv(self, source: int, tag: int = 0) -> Any:
+        if not 0 <= source < self.size:
+            raise ValueError(f"source {source} out of range")
+        # Check stashed out-of-order messages first.
+        for i, (s, t, payload) in enumerate(self._stash):
+            if s == source and t == tag:
+                del self._stash[i]
+                return payload
+        box = self.world._boxes[(source, self.rank)]
+        deadline = self.world.timeout_s
+        while True:
+            try:
+                got_tag, payload = box.get(timeout=deadline)
+            except queue.Empty:
+                raise CommError(
+                    f"rank {self.rank} timed out receiving tag {tag} from {source}"
+                ) from None
+            if got_tag == tag:
+                return payload
+            self._stash.append((source, got_tag, payload))
+
+    def sendrecv(self, obj: Any, peer: int, tag: int = 0) -> Any:
+        """Symmetric exchange with ``peer`` (deadlock-free: send first,
+        then receive — sends never block in this world)."""
+        self.send(obj, peer, tag)
+        return self.recv(peer, tag)
+
+    # -- collectives ------------------------------------------------------------
+    def barrier(self) -> None:
+        try:
+            self.world._barrier.wait(timeout=self.world.timeout_s)
+        except threading.BrokenBarrierError:
+            raise CommError(f"barrier broken at rank {self.rank}") from None
+
+    def bcast(self, obj: Any, root: int = 0, ranks: Optional[List[int]] = None) -> Any:
+        """Broadcast among ``ranks`` (default: the whole world)."""
+        group = list(range(self.size)) if ranks is None else list(ranks)
+        if root not in group:
+            raise ValueError("root must belong to the broadcast group")
+        if self.rank not in group:
+            raise ValueError(f"rank {self.rank} is not in the broadcast group")
+        if self.rank == root:
+            for r in group:
+                if r != root:
+                    self.send(obj, r, tag=-2)
+            self.stats.by_op["bcast"] += _payload_bytes(obj) * (len(group) - 1)
+            return _copy(obj)
+        return self.recv(root, tag=-2)
+
+    def gather(self, obj: Any, root: int = 0, ranks: Optional[List[int]] = None):
+        group = list(range(self.size)) if ranks is None else list(ranks)
+        if root not in group:
+            raise ValueError("root must belong to the gather group")
+        if self.rank == root:
+            out = {}
+            for r in group:
+                out[r] = _copy(obj) if r == root else self.recv(r, tag=-3)
+            return [out[r] for r in group]
+        self.send(obj, root, tag=-3)
+        return None
+
+    def allreduce(self, value, op: Callable = None):
+        """Reduce-to-all of picklable values (default: sum)."""
+        gathered = self.gather(value, root=0)
+        if self.rank == 0:
+            if op is None:
+                total = sum(gathered[1:], start=gathered[0])
+            else:
+                total = gathered[0]
+                for v in gathered[1:]:
+                    total = op(total, v)
+            result = self.bcast(total, root=0)
+        else:
+            result = self.bcast(None, root=0)
+        return result

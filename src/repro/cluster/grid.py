@@ -1,0 +1,122 @@
+"""P x Q process grids and the 2-D block-cyclic distribution.
+
+HPL distributes the global matrix in nb x nb blocks over a P x Q grid:
+block (I, J) lives on process (I mod P, J mod Q), at local block
+coordinates (I // P, J // Q). Table III's runs use grids from 1 x 1 to
+10 x 10 ("the number of used nodes can be derived by multiplying P and
+Q"). :class:`BlockCyclic` provides the index algebra every distributed
+kernel needs: ownership, local shapes, and global<->local row/column
+maps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ProcessGrid:
+    """A P x Q logical grid over ``p * q`` ranks (row-major rank order)."""
+
+    p: int
+    q: int
+
+    def __post_init__(self):
+        if self.p < 1 or self.q < 1:
+            raise ValueError("grid dimensions must be positive")
+
+    @property
+    def size(self) -> int:
+        return self.p * self.q
+
+    def coords(self, rank: int) -> tuple:
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} out of range")
+        return divmod(rank, self.q)
+
+    def rank_of(self, row: int, col: int) -> int:
+        if not (0 <= row < self.p and 0 <= col < self.q):
+            raise ValueError(f"coords ({row}, {col}) out of range")
+        return row * self.q + col
+
+    def row_ranks(self, row: int) -> list:
+        """Ranks of one process row (panel broadcast peers)."""
+        return [self.rank_of(row, c) for c in range(self.q)]
+
+    def col_ranks(self, col: int) -> list:
+        """Ranks of one process column (swap / U-broadcast peers)."""
+        return [self.rank_of(r, col) for r in range(self.p)]
+
+
+@dataclass(frozen=True)
+class BlockCyclic:
+    """Block-cyclic index algebra for an n x n matrix with nb x nb blocks."""
+
+    n: int
+    nb: int
+    grid: ProcessGrid
+
+    def __post_init__(self):
+        if self.n < 1 or self.nb < 1:
+            raise ValueError("matrix and block sizes must be positive")
+
+    @property
+    def n_blocks(self) -> int:
+        return -(-self.n // self.nb)
+
+    # -- ownership --------------------------------------------------------------
+    def owner_of_block(self, bi: int, bj: int) -> tuple:
+        """(grid row, grid col) owning block (bi, bj)."""
+        self._check_block(bi, bj)
+        return (bi % self.grid.p, bj % self.grid.q)
+
+    def row_owner(self, i: int) -> int:
+        """Grid row owning global matrix row i."""
+        return (i // self.nb) % self.grid.p
+
+    def col_owner(self, j: int) -> int:
+        """Grid column owning global matrix column j."""
+        return (j // self.nb) % self.grid.q
+
+    # -- local index maps ----------------------------------------------------------
+    def local_rows(self, grid_row: int) -> np.ndarray:
+        """Global row indices stored on a grid row, in storage order."""
+        return self._local_indices(grid_row, self.grid.p)
+
+    def local_cols(self, grid_col: int) -> np.ndarray:
+        """Global column indices stored on a grid column, in storage order."""
+        return self._local_indices(grid_col, self.grid.q)
+
+    def _local_indices(self, coord: int, parties: int) -> np.ndarray:
+        out = []
+        for blk in range(coord, self.n_blocks, parties):
+            lo = blk * self.nb
+            out.extend(range(lo, min(lo + self.nb, self.n)))
+        return np.asarray(out, dtype=np.int64)
+
+    def local_shape(self, rank: int) -> tuple:
+        gr, gc = self.grid.coords(rank)
+        return (self.local_rows(gr).size, self.local_cols(gc).size)
+
+    def global_to_local_row(self, i: int) -> int:
+        """Storage position of global row i on its owner."""
+        self._check_index(i)
+        blk, off = divmod(i, self.nb)
+        local_blk = blk // self.grid.p
+        # Full blocks before this one on the owner all have nb rows.
+        return local_blk * self.nb + off
+
+    def global_to_local_col(self, j: int) -> int:
+        self._check_index(j)
+        blk, off = divmod(j, self.nb)
+        return (blk // self.grid.q) * self.nb + off
+
+    def _check_block(self, bi: int, bj: int) -> None:
+        if not (0 <= bi < self.n_blocks and 0 <= bj < self.n_blocks):
+            raise IndexError(f"block ({bi}, {bj}) out of range")
+
+    def _check_index(self, i: int) -> None:
+        if not 0 <= i < self.n:
+            raise IndexError(f"index {i} out of range for n={self.n}")

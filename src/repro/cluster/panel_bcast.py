@@ -1,0 +1,39 @@
+"""Panel broadcast along process rows.
+
+After the stage-k panel is factored in process column ``k mod Q``, every
+other column needs the L rows matching *its own* local rows before it
+can run the trailing update. Each rank of the owner column therefore
+broadcasts its local slice of the factored panel along its process row —
+the "L broadcast" of the HPL stage (and the ``t_lbcast`` term of the
+hybrid timing model).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.cluster.comm import Comm
+from repro.cluster.grid import ProcessGrid
+
+
+def bcast_along_row(
+    comm: Comm, grid: ProcessGrid, payload: Any, owner_col: int
+) -> Any:
+    """Broadcast ``payload`` from the ``owner_col`` member of this rank's
+    process row to the whole row; returns the received payload.
+
+    Every rank of the grid must call this (SPMD).
+    """
+    my_row, _my_col = grid.coords(comm.rank)
+    root = grid.rank_of(my_row, owner_col)
+    return comm.bcast(payload, root=root, ranks=grid.row_ranks(my_row))
+
+
+def bcast_along_col(
+    comm: Comm, grid: ProcessGrid, payload: Any, owner_row: int
+) -> Any:
+    """Broadcast down this rank's process column from ``owner_row`` — the
+    U broadcast of the HPL stage (``t_ubcast``)."""
+    _my_row, my_col = grid.coords(comm.rank)
+    root = grid.rank_of(owner_row, my_col)
+    return comm.bcast(payload, root=root, ranks=grid.col_ranks(my_col))

@@ -1,0 +1,34 @@
+"""The Linpack (HPL) benchmark core.
+
+HPL solves a dense pseudo-random system A x = b by LU factorization with
+partial pivoting, counts 2/3 n^3 + 2 n^2 operations, and accepts the run
+if the scaled residual passes the standard threshold. This package
+provides the benchmark machinery shared by the native (Section IV) and
+hybrid (Section V) flavours:
+
+* :mod:`repro.hpl.matgen` — the HPL-style pseudo-random matrix generator;
+* :mod:`repro.hpl.residual` — norms and the HPL acceptance test;
+* :mod:`repro.hpl.driver` — the native-KNC benchmark driver running the
+  paper's schedulers, plus the MKL-on-Sandy-Bridge baseline curve.
+"""
+
+from repro.hpl.matgen import hpl_matrix, hpl_system
+from repro.hpl.residual import hpl_residual, residual_passes, HPL_THRESHOLD
+from repro.hpl.driver import NativeHPL, HPLResult, snb_hpl_efficiency, snb_hpl_gflops
+from repro.hpl.tuner import tune, TuneResult, grid_shapes, problem_size
+
+__all__ = [
+    "tune",
+    "TuneResult",
+    "grid_shapes",
+    "problem_size",
+    "hpl_matrix",
+    "hpl_system",
+    "hpl_residual",
+    "residual_passes",
+    "HPL_THRESHOLD",
+    "NativeHPL",
+    "HPLResult",
+    "snb_hpl_efficiency",
+    "snb_hpl_gflops",
+]

@@ -1,0 +1,145 @@
+"""Native Linpack driver (Section IV) and the Sandy Bridge baseline.
+
+:class:`NativeHPL` runs the benchmark entirely "on the card": the
+factorization goes through one of the paper's two schedulers on the
+simulated Knights Corner, the solve is charged as a bandwidth-bound pass,
+and — in numeric mode — the whole thing actually computes x and checks
+the HPL residual.
+
+The Sandy Bridge curve of Figure 6 (MKL SMP Linpack) is an analytic
+baseline calibrated to the paper's two published points: 83% at N=30K
+(Figure 6) and 86.4% at N=84K (Table III's CPU-only row).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.hpl.matgen import hpl_system
+from repro.hpl.residual import hpl_residual, residual_passes
+from repro.lu.dynamic import DynamicScheduler, ScheduleResult
+from repro.lu.factorize import lu_solve
+from repro.lu.static_la import StaticLookaheadScheduler
+from repro.lu.tasks import LUWorkspace
+from repro.lu.timing import LUTiming
+from repro.machine.calibration import default_calibration
+from repro.machine.config import SNB
+from repro.sim import TraceRecorder
+
+#: Anchors for the SNB MKL Linpack curve: (N, efficiency).
+_SNB_ANCHORS = ((30000.0, 0.83), (84000.0, 0.864))
+
+
+def _snb_fit() -> tuple:
+    """Fit eff(N) = E_inf * N / (N + n0) through the two paper anchors."""
+    (n1, e1), (n2, e2) = _SNB_ANCHORS
+    # e2/e1 = (n2 (n1 + n0)) / (n1 (n2 + n0))  ->  solve for n0.
+    r = e2 / e1
+    n0 = n1 * n2 * (r - 1.0) / (n2 - r * n1)
+    e_inf = e1 * (n1 + n0) / n1
+    return e_inf, n0
+
+
+_SNB_EINF, _SNB_N0 = _snb_fit()
+
+
+def snb_hpl_efficiency(n: int) -> float:
+    """MKL SMP Linpack efficiency on the dual-socket E5-2670 vs N."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    return _SNB_EINF * n / (n + _SNB_N0)
+
+
+def snb_hpl_gflops(n: int) -> float:
+    """The corresponding achieved GFLOPS (333 GFLOPS peak)."""
+    return snb_hpl_efficiency(n) * SNB.peak_dp_gflops()
+
+
+@dataclass
+class HPLResult:
+    """One benchmark run's report row."""
+
+    n: int
+    nb: int
+    scheduler: str
+    time_s: float
+    gflops: float
+    efficiency: float
+    trace: Optional[TraceRecorder] = None
+    residual: Optional[float] = None
+    passed: Optional[bool] = None
+
+
+class NativeHPL:
+    """The native Knights Corner Linpack benchmark."""
+
+    SCHEDULERS = {"dynamic": DynamicScheduler, "static": StaticLookaheadScheduler}
+
+    def __init__(
+        self,
+        n: int,
+        nb: int = 300,
+        scheduler: str = "dynamic",
+        timing: Optional[LUTiming] = None,
+    ):
+        if scheduler not in self.SCHEDULERS:
+            raise ValueError(
+                f"unknown scheduler {scheduler!r}; pick from {sorted(self.SCHEDULERS)}"
+            )
+        self.n = n
+        self.nb = nb
+        self.scheduler_name = scheduler
+        self.timing = timing or LUTiming()
+        cal = self.timing.cal or default_calibration()
+        mem_needed = 8 * n * n
+        if mem_needed > self.timing.machine.dram_bytes:
+            raise ValueError(
+                f"N={n} needs {mem_needed / 2**30:.1f} GiB but the card has "
+                f"{self.timing.machine.dram_bytes / 2**30:.0f} GiB — the memory "
+                "limit that motivates the hybrid implementation (Section V)"
+            )
+
+    def _make_scheduler(self):
+        cls = self.SCHEDULERS[self.scheduler_name]
+        return cls(self.n, nb=self.nb, timing=self.timing)
+
+    def solve_time_s(self) -> float:
+        """Forward+back substitution: 2 n^2 FLOPs, bandwidth-bound (the
+        whole factored matrix streams through once)."""
+        bytes_touched = 8 * self.n * self.n
+        return bytes_touched / (self.timing.machine.stream_bw_gbs * 1e9)
+
+    def run(self, numeric: bool = False, seed: int = 42) -> HPLResult:
+        """Run the benchmark; ``numeric=True`` also computes and checks x
+        (keep N modest — the matrix is materialised)."""
+        workspace = None
+        a0 = b = None
+        if numeric:
+            a0, b = hpl_system(self.n, seed)
+            workspace = LUWorkspace(a0.copy(), self.nb)
+        sched = self._make_scheduler()
+        result: ScheduleResult = sched.run(workspace)
+        time_s = result.makespan_s + self.solve_time_s()
+        flops = LUTiming.hpl_flops(self.n)
+        gflops = flops / time_s / 1e9
+        peak = self.timing.machine.peak_dp_gflops(
+            self.timing.machine.compute_cores
+        )
+        out = HPLResult(
+            n=self.n,
+            nb=self.nb,
+            scheduler=self.scheduler_name,
+            time_s=time_s,
+            gflops=gflops,
+            efficiency=gflops / peak,
+            trace=result.trace,
+        )
+        if numeric:
+            ipiv = workspace.finalize()
+            x = lu_solve(workspace.a, ipiv, np.asarray(b))
+            out.residual = hpl_residual(a0, x, b)
+            out.passed = residual_passes(a0, x, b)
+        return out

@@ -1,0 +1,153 @@
+"""HPL.dat-compatible configuration frontend.
+
+The paper's hybrid implementation "is based on the standard open-source
+implementation, High Performance Linpack (HPL)", which is driven by the
+venerable ``HPL.dat`` input file. This module parses that format (the
+fields this reproduction models), runs the cross-product of requested
+configurations through the hybrid driver, and prints results in HPL's
+output format::
+
+    T/V                N    NB     P     Q               Time      Gflops
+    ---------------------------------------------------------------------
+    WR02L2L4       84000  1200     1     1             299.14   1.109e+03
+
+The look-ahead DEPTH field maps onto the paper's schemes: 0 = no
+look-ahead, 1 = basic, >= 2 = pipelined (an extension mapping — real HPL
+depths beyond 1 trade memory for overlap much like the paper's
+pipelining trades chunk overhead for it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.hybrid.driver import HybridHPL, NodeConfig
+from repro.hybrid.lookahead import Lookahead
+from repro.lu.timing import LUTiming
+
+
+@dataclass
+class HPLDatConfig:
+    """The subset of HPL.dat this reproduction models."""
+
+    ns: List[int] = field(default_factory=lambda: [84000])
+    nbs: List[int] = field(default_factory=lambda: [1200])
+    ps: List[int] = field(default_factory=lambda: [1])
+    qs: List[int] = field(default_factory=lambda: [1])
+    depths: List[int] = field(default_factory=lambda: [1])
+    threshold: float = 16.0
+
+    def runs(self) -> List[tuple]:
+        """The cross-product of configurations, HPL-style."""
+        out = []
+        for n in self.ns:
+            for nb in self.nbs:
+                for p, q in zip(self.ps, self.qs):
+                    for depth in self.depths:
+                        out.append((n, nb, p, q, depth))
+        return out
+
+
+def depth_to_lookahead(depth: int) -> Lookahead:
+    """DEPTH 0 -> none, 1 -> basic, >= 2 -> pipelined."""
+    if depth < 0:
+        raise ValueError("look-ahead depth cannot be negative")
+    if depth == 0:
+        return Lookahead.NONE
+    if depth == 1:
+        return Lookahead.BASIC
+    return Lookahead.PIPELINED
+
+
+def _counted_list(lines: List[str], count_idx: int, dtype=int) -> List:
+    """Read HPL.dat's '<count> ...' / '<values> ...' line pair."""
+    count = int(lines[count_idx].split()[0])
+    values = [dtype(tok) for tok in lines[count_idx + 1].split()[: count]]
+    if len(values) != count:
+        raise ValueError(
+            f"HPL.dat line {count_idx + 2}: expected {count} values, "
+            f"got {len(values)}"
+        )
+    return values
+
+
+def parse_hpl_dat(text: str) -> HPLDatConfig:
+    """Parse the classic fixed-line-order HPL.dat layout."""
+    lines = text.splitlines()
+    if len(lines) < 13:
+        raise ValueError("HPL.dat too short: expected the classic layout")
+    # Lines 0-1: banner. 2: output file. 3: device. Then the counted lists.
+    cfg = HPLDatConfig()
+    cfg.ns = _counted_list(lines, 4)
+    cfg.nbs = _counted_list(lines, 6)
+    # Line 8: PMAP. 9: # of grids, 10: Ps, 11: Qs.
+    n_grids = int(lines[9].split()[0])
+    cfg.ps = [int(t) for t in lines[10].split()[: n_grids]]
+    cfg.qs = [int(t) for t in lines[11].split()[: n_grids]]
+    if len(cfg.ps) != n_grids or len(cfg.qs) != n_grids:
+        raise ValueError("HPL.dat: Ps/Qs lines shorter than the grid count")
+    cfg.threshold = float(lines[12].split()[0])
+    # Optional: depth line (real HPL has PFACTs etc. in between; we accept
+    # a '# of lookahead depths' + 'DEPTHs' pair anywhere after line 12).
+    for i in range(13, len(lines) - 1):
+        if "depth" in lines[i].lower():
+            try:
+                cfg.depths = _counted_list(lines, i)
+            except (ValueError, IndexError):
+                continue
+            break
+    return cfg
+
+
+@dataclass
+class HPLDatRow:
+    """One output line of an HPL run."""
+
+    variant: str
+    n: int
+    nb: int
+    p: int
+    q: int
+    time_s: float
+    gflops: float
+
+
+def run_hpl_dat(
+    cfg: HPLDatConfig, node: Optional[NodeConfig] = None
+) -> List[HPLDatRow]:
+    """Run every configuration in the file through the hybrid driver."""
+    node = node or NodeConfig()
+    rows = []
+    for n, nb, p, q, depth in cfg.runs():
+        la = depth_to_lookahead(depth)
+        r = HybridHPL(n, nb=nb, node=node, p=p, q=q, lookahead=la).run()
+        variant = f"WR{depth:02d}L2L{4 if la is Lookahead.PIPELINED else 1}"
+        rows.append(
+            HPLDatRow(
+                variant=variant,
+                n=n,
+                nb=nb,
+                p=p,
+                q=q,
+                time_s=r.time_s,
+                gflops=r.tflops * 1e3,
+            )
+        )
+    return rows
+
+
+def format_hpl_output(rows: List[HPLDatRow]) -> str:
+    """HPL's classic result block."""
+    header = (
+        "T/V                N    NB     P     Q               Time"
+        "                 Gflops"
+    )
+    sep = "-" * len(header)
+    lines = [header, sep]
+    for r in rows:
+        lines.append(
+            f"{r.variant:<12}{r.n:>9}{r.nb:>6}{r.p:>6}{r.q:>6}"
+            f"{r.time_s:>19.2f}{r.gflops:>23.3e}"
+        )
+    return "\n".join(lines)

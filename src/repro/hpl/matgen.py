@@ -1,0 +1,134 @@
+"""HPL-style pseudo-random matrix generation.
+
+HPL fills the matrix with a 64-bit linear congruential generator so that
+any process can reproduce any sub-block of the global matrix without
+communication. We implement the same structure: a jumpable LCG with
+HPL's multiplier/increment, mapped to uniform values in [-0.5, 0.5].
+The jump capability (:func:`lcg_jump`) is what the distributed generator
+in :mod:`repro.cluster` uses to fill local block-cyclic pieces that agree
+with the global matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: HPL_rand's multiplier and increment (HPL's [DI]RAND with 2^64 modulus
+#: here; reference HPL uses 2^31-style splits of the same recurrence).
+LCG_MULT = 6364136223846793005
+LCG_ADD = 1442695040888963407
+_MASK = (1 << 64) - 1
+
+
+def lcg_jump(seed: int, steps: int) -> int:
+    """State after ``steps`` LCG iterations from ``seed``, in O(log steps).
+
+    Uses the standard power-of-the-affine-map trick: the k-step map is
+    x -> A^k x + c (A^k - 1)/(A - 1), computed by repeated squaring.
+    """
+    if steps < 0:
+        raise ValueError("cannot jump backwards")
+    a, c = LCG_MULT, LCG_ADD
+    a_acc, c_acc = 1, 0
+    while steps:
+        if steps & 1:
+            a_acc = (a_acc * a) & _MASK
+            c_acc = (c_acc * a + c) & _MASK
+        c = (c * (a + 1)) & _MASK
+        a = (a * a) & _MASK
+        steps >>= 1
+    return (a_acc * seed + c_acc) & _MASK
+
+
+def _states_to_uniform(states: np.ndarray) -> np.ndarray:
+    """Map raw 64-bit states to doubles in [-0.5, 0.5)."""
+    return (states >> np.uint64(11)).astype(np.float64) / float(1 << 53) - 0.5
+
+
+_POW_CACHE: dict = {}
+
+
+def _lcg_tables(count: int) -> tuple:
+    """(A^k, sum_{i<k} A^i) for k = 1..count, modulo 2^64, vectorised."""
+    cached = _POW_CACHE.get("tables")
+    if cached is not None and cached[0].size >= count:
+        pows, sums = cached
+        return pows[:count], sums[:count]
+    with np.errstate(over="ignore"):
+        pows = np.full(count, LCG_MULT, dtype=np.uint64)
+        np.multiply.accumulate(pows, out=pows)  # A^1 .. A^count, wrapping
+        # sum_{i<k} A^i for k=1..count: 1, 1+A, 1+A+A^2, ...
+        sums = np.empty(count, dtype=np.uint64)
+        sums[0] = 1
+        if count > 1:
+            sums[1:] = pows[:-1]
+        np.add.accumulate(sums, out=sums)
+    _POW_CACHE["tables"] = (pows, sums)
+    return pows, sums
+
+
+def lcg_stream(seed: int, count: int) -> np.ndarray:
+    """``count`` consecutive uniform values starting *after* ``seed``.
+
+    The k-th state is A^k s + c * sum_{i<k} A^i (mod 2^64), computed
+    vectorised from accumulated power tables — the LCG recurrence itself
+    is serial, but the closed form is not.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if count == 0:
+        return np.empty(0, dtype=np.float64)
+    pows, sums = _lcg_tables(count)
+    with np.errstate(over="ignore"):
+        states = pows * np.uint64(seed & _MASK) + sums * np.uint64(LCG_ADD)
+    return _states_to_uniform(states)
+
+
+def hpl_matrix(n: int, seed: int = 42, m: int | None = None) -> np.ndarray:
+    """The (m x n) HPL input matrix (square by default).
+
+    Element (i, j) is the (j * m + i)-th value of the LCG stream
+    (column-major numbering, as HPL fills column panels), so any
+    sub-block is reproducible via :func:`hpl_submatrix`.
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    m = n if m is None else m
+    total = m * n
+    # Fill column-major in one vectorised pass: precompute all states via
+    # cumulative application is serial, so generate per column with jumps.
+    out = np.empty((m, n), dtype=np.float64)
+    for j in range(n):
+        s = lcg_jump(seed, j * m)
+        out[:, j] = lcg_stream(s, m)
+    return out
+
+
+def hpl_submatrix(
+    n: int, rows: np.ndarray, cols: np.ndarray, seed: int = 42
+) -> np.ndarray:
+    """The sub-matrix A[rows][:, cols] of the global n x n HPL matrix,
+    generated without materialising the global matrix — what each rank
+    of the distributed HPL does for its block-cyclic local piece."""
+    rows = np.asarray(rows)
+    cols = np.asarray(cols)
+    if rows.size and (rows.min() < 0 or rows.max() >= n):
+        raise IndexError("row index out of range")
+    if cols.size and (cols.min() < 0 or cols.max() >= n):
+        raise IndexError("column index out of range")
+    out = np.empty((rows.size, cols.size), dtype=np.float64)
+    for jj, j in enumerate(cols):
+        # Generate the needed entries of column j.
+        col_seed = lcg_jump(seed, int(j) * n)
+        col = lcg_stream(col_seed, int(rows.max()) + 1 if rows.size else 0)
+        out[:, jj] = col[rows]
+    return out
+
+
+def hpl_system(n: int, seed: int = 42) -> tuple:
+    """(A, b) with b also drawn from the generator (HPL appends b as an
+    extra column of the random matrix)."""
+    a = hpl_matrix(n, seed)
+    b_seed = lcg_jump(seed, n * n)
+    b = lcg_stream(b_seed, n)
+    return a, b

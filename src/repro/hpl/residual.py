@@ -1,0 +1,47 @@
+"""The HPL acceptance test.
+
+HPL accepts a solve when the scaled residual
+
+    ||A x - b||_inf / (eps * (||A||_inf * ||x||_inf + ||b||_inf) * n)
+
+is below a threshold (16.0 in the reference implementation). This is the
+check every benchmark run in this repository — native, hybrid, and
+multi-node — must pass when run in numeric mode.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: The reference implementation's acceptance threshold.
+HPL_THRESHOLD = 16.0
+
+
+def hpl_residual(a: np.ndarray, x: np.ndarray, b: np.ndarray) -> float:
+    """The HPL scaled residual of a proposed solution."""
+    a = np.asarray(a, dtype=np.float64)
+    x = np.asarray(x, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise ValueError("A must be square")
+    n = a.shape[0]
+    if x.shape != (n,) or b.shape != (n,):
+        raise ValueError("x and b must be length-n vectors")
+    if n == 0:
+        return 0.0
+    r_inf = np.abs(a @ x - b).max()
+    a_inf = np.abs(a).sum(axis=1).max()
+    x_inf = np.abs(x).max()
+    b_inf = np.abs(b).max()
+    eps = np.finfo(np.float64).eps
+    denom = eps * (a_inf * x_inf + b_inf) * n
+    if denom == 0.0:
+        return 0.0 if r_inf == 0.0 else np.inf
+    return float(r_inf / denom)
+
+
+def residual_passes(
+    a: np.ndarray, x: np.ndarray, b: np.ndarray, threshold: float = HPL_THRESHOLD
+) -> bool:
+    """Whether the solve passes the HPL acceptance test."""
+    return hpl_residual(a, x, b) < threshold

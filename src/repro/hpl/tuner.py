@@ -1,0 +1,105 @@
+"""Configuration auto-tuning: the HPL.dat workflow, automated.
+
+Running HPL well requires choosing the problem size N (fill memory, but
+leave room), the block size NB, the process-grid shape P x Q (HPL folk
+wisdom: P <= Q, as close to square as possible), and — for this paper's
+hybrid flavour — the look-ahead scheme. The paper's own choices (NB =
+1200 from the PCIe bound, near-square grids, N filling 64/128 GB hosts)
+are exactly what this tuner recovers; it exists so a downstream user can
+point the library at *their* imagined cluster and get a sensible
+configuration plus its predicted score.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.hybrid.driver import HybridHPL, NodeConfig
+from repro.hybrid.tile_select import HYBRID_KT
+
+GB = 1024**3
+
+
+@dataclass(frozen=True)
+class TuneResult:
+    """The chosen configuration and its predicted performance."""
+
+    n: int
+    nb: int
+    p: int
+    q: int
+    lookahead: str
+    tflops: float
+    efficiency: float
+
+    def describe(self) -> str:
+        return (
+            f"N={self.n} NB={self.nb} grid {self.p}x{self.q} "
+            f"lookahead={self.lookahead}: predicted {self.tflops:.2f} TFLOPS "
+            f"({100 * self.efficiency:.1f}%)"
+        )
+
+
+def grid_shapes(nodes: int) -> List[Tuple[int, int]]:
+    """All P x Q factorisations with P <= Q (the HPL recommendation)."""
+    if nodes < 1:
+        raise ValueError("need at least one node")
+    shapes = []
+    for p in range(1, int(math.isqrt(nodes)) + 1):
+        if nodes % p == 0:
+            shapes.append((p, nodes // p))
+    return shapes
+
+
+def problem_size(
+    nodes: int, host_mem_bytes: int, fill_fraction: float = 0.8, nb: int = HYBRID_KT
+) -> int:
+    """Largest NB-multiple N whose per-node share fits in
+    ``fill_fraction`` of host memory (HPL's usual ~80% rule)."""
+    if not 0 < fill_fraction <= 1:
+        raise ValueError("fill_fraction must be in (0, 1]")
+    n_max = math.sqrt(fill_fraction * host_mem_bytes * nodes / 8)
+    return max(nb, int(n_max // nb) * nb)
+
+
+def tune(
+    nodes: int,
+    cards: int = 1,
+    host_mem_gb: float = 64.0,
+    fill_fraction: float = 0.8,
+    nb_candidates: Tuple[int, ...] = (1200, 2400),
+    n: Optional[int] = None,
+) -> TuneResult:
+    """Pick (N, NB, P, Q, look-ahead) for a cluster and predict its run.
+
+    Every candidate grid shape and block size is scored through the
+    hybrid timing model with pipelined look-ahead (which dominates
+    everywhere at these scales); the best predicted TFLOPS wins.
+    """
+    if cards < 1:
+        raise ValueError("cards must be >= 1")
+    node = NodeConfig(cards=cards, host_mem_bytes=int(host_mem_gb * GB))
+    best: Optional[TuneResult] = None
+    for nb in nb_candidates:
+        n_run = n if n is not None else problem_size(
+            nodes, node.host_mem_bytes, fill_fraction, nb
+        )
+        for p, q in grid_shapes(nodes):
+            r = HybridHPL(
+                n_run, nb=nb, node=node, p=p, q=q, lookahead="pipelined"
+            ).run()
+            cand = TuneResult(
+                n=n_run,
+                nb=nb,
+                p=p,
+                q=q,
+                lookahead="pipelined",
+                tflops=r.tflops,
+                efficiency=r.efficiency,
+            )
+            if best is None or cand.tflops > best.tflops:
+                best = cand
+    assert best is not None
+    return best

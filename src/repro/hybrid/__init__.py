@@ -1,0 +1,48 @@
+"""Hybrid HPL: Sandy Bridge host + Knights Corner coprocessor(s).
+
+Section V of the paper: the host owns the (large) matrix and runs panel
+factorization, row swapping, DTRSM and broadcasts; the trailing-update
+DGEMM is offloaded to one or two Knights Corner cards through tile
+decomposition, memory-mapped request/response queues, and dynamic
+corner-to-corner work stealing (Figure 10). Three look-ahead schemes
+(Figure 8) hide increasing amounts of the host work behind the card's
+DGEMM; the pipelined scheme cuts the card's idle time from ~13% to under
+3% (Figure 9).
+
+* :mod:`repro.hybrid.tiles` — tile grids with partial-tile merging;
+* :mod:`repro.hybrid.tile_select` — the PCIe-driven Kt bound and the
+  per-size pre-computed best tile dimensions;
+* :mod:`repro.hybrid.offload` — the offload DGEMM engine (DES timing and
+  functional work-stealing execution), Figure 11's curves;
+* :mod:`repro.hybrid.lookahead` — the three schemes of Figure 8;
+* :mod:`repro.hybrid.driver` — single- and multi-node hybrid HPL
+  (Figure 9, Table III).
+"""
+
+from repro.hybrid.tiles import Tile, TileGrid
+from repro.hybrid.tile_select import (
+    min_kt,
+    offload_efficiency_model,
+    best_tile_size,
+    HYBRID_KT,
+)
+from repro.hybrid.offload import OffloadDGEMM, OffloadResult
+from repro.hybrid.lookahead import Lookahead
+from repro.hybrid.driver import HybridHPL, HybridResult, NodeConfig
+from repro.hybrid.functional import hybrid_blocked_lu
+
+__all__ = [
+    "Tile",
+    "TileGrid",
+    "min_kt",
+    "offload_efficiency_model",
+    "best_tile_size",
+    "HYBRID_KT",
+    "OffloadDGEMM",
+    "OffloadResult",
+    "Lookahead",
+    "HybridHPL",
+    "HybridResult",
+    "NodeConfig",
+    "hybrid_blocked_lu",
+]

@@ -1,0 +1,344 @@
+"""Hybrid HPL driver: single node and P x Q clusters (Section V, Table III).
+
+The driver simulates the hybrid benchmark stage by stage on the DES. The
+matrix lives in host memory (the whole point of the hybrid flavour: the
+8 GB card caps native runs at N~30K, while 64/128 GB hosts reach 84K+);
+each stage runs
+
+* on the **host**: U broadcast (multi-node), pivot row swapping, DTRSM,
+  the look-ahead panel factorization and its row broadcast;
+* on the **card(s)**: the offloaded trailing-update DGEMM, at the rate
+  given by the offload model (including first/last-tile exposure and the
+  60/61 queue-handling core), with the host's spare cores contributing
+  via work stealing.
+
+The three :class:`~repro.hybrid.lookahead.Lookahead` schemes decide what
+overlaps what; the per-stage card idle time falls out of the simulation
+and reproduces Figure 9's 13% -> <3% pipelining gain and Table III's
+efficiency grid.
+
+Multi-node runs model one representative node of the P x Q process grid
+(HPL is bulk-synchronous at stage granularity): local block sizes shrink
+by P and Q and the swap/broadcast steps pay FDR InfiniBand transfer
+costs with log2-tree depth.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.hybrid.lookahead import Lookahead
+from repro.hybrid.tile_select import HYBRID_KT, best_tile_size, offload_efficiency_model
+from repro.lu.timing import LUTiming
+from repro.machine.calibration import Calibration, default_calibration
+from repro.machine.config import KNC, SNB
+from repro.machine.memory import MemoryModel
+from repro.sim import Simulator, TraceRecorder
+
+GB = 1024**3
+
+
+@dataclass(frozen=True)
+class NodeConfig:
+    """One cluster node: a dual-socket SNB host with 1-2 KNC cards."""
+
+    cards: int = 1
+    host_mem_bytes: int = 64 * GB
+    #: Host cores reserved for packing/queue driving, per card.
+    pack_cores_per_card: int = 2
+
+    @property
+    def peak_gflops(self) -> float:
+        """1.4 TFLOPS with one card, 2.48 with two (Section V-C)."""
+        return SNB.peak_dp_gflops() + self.cards * KNC.peak_dp_gflops()
+
+    @property
+    def host_compute_cores(self) -> int:
+        return max(1, SNB.cores - self.cards * self.pack_cores_per_card)
+
+
+@dataclass(frozen=True)
+class Network:
+    """Single-rail FDR InfiniBand (Section V-C)."""
+
+    bw_gbs: float = 6.0
+    latency_s: float = 2e-6
+
+    def transfer_s(self, nbytes: float, hops: int = 1) -> float:
+        """A pipelined tree transfer: latency paid per hop level, volume
+        paid once (large messages stream through the tree)."""
+        if nbytes < 0 or hops < 0:
+            raise ValueError("bytes and hops must be non-negative")
+        if hops == 0:
+            return 0.0
+        return hops * self.latency_s + nbytes / (self.bw_gbs * 1e9)
+
+
+@dataclass
+class HybridResult:
+    """One Table III row."""
+
+    n: int
+    nb: int
+    p: int
+    q: int
+    cards: int
+    lookahead: str
+    time_s: float
+    tflops: float
+    efficiency: float
+    knc_idle_fraction: float
+    trace: TraceRecorder
+    per_stage: list = field(default_factory=list)
+
+
+class HybridHPL:
+    """Simulate the hybrid HPL benchmark."""
+
+    def __init__(
+        self,
+        n: int,
+        nb: int = HYBRID_KT,
+        node: Optional[NodeConfig] = None,
+        p: int = 1,
+        q: int = 1,
+        lookahead=Lookahead.PIPELINED,
+        pipeline_chunks: int = 8,
+        network: Optional[Network] = None,
+        cal: Optional[Calibration] = None,
+        offload_trsm: bool = False,
+        pcie_link=None,
+    ):
+        if n < 1 or nb < 1:
+            raise ValueError("n and nb must be positive")
+        if p < 1 or q < 1:
+            raise ValueError("grid dimensions must be positive")
+        if pipeline_chunks < 2:
+            raise ValueError("pipelining needs at least two chunks")
+        self.n, self.nb, self.p, self.q = n, nb, p, q
+        self.node = node or NodeConfig()
+        self.lookahead = Lookahead.parse(lookahead)
+        self.pipeline_chunks = pipeline_chunks
+        self.network = network or Network()
+        self.cal = cal or default_calibration()
+        self.n_panels = -(-n // nb)
+        local_bytes = 8 * n * n / (p * q)
+        if local_bytes > self.node.host_mem_bytes:
+            raise ValueError(
+                f"N={n} needs {local_bytes / GB:.0f} GiB per node but hosts have "
+                f"{self.node.host_mem_bytes / GB:.0f} GiB"
+            )
+        #: Related-work what-if (Section VI): GPU HPL ports offload DTRSM
+        #: too. On KNC the solve itself is faster, but the U panel has to
+        #: cross PCIe twice; worthwhile only when the trailing width is
+        #: large relative to the link.
+        self.offload_trsm = offload_trsm
+        #: Optional PCIe override for bandwidth-sensitivity studies (the
+        #: conclusion's "limited PCIe bandwidth" drawback).
+        self.pcie_link = pcie_link
+        self._host_timing = LUTiming(machine=SNB, cal=self.cal)
+        self._host_mem = MemoryModel(SNB, available_fraction=0.6)
+
+    # -- per-stage component times -------------------------------------------------
+    def _trailing(self, i: int) -> int:
+        return self.n - (i + 1) * self.nb
+
+    def _loc(self, size: int, div: int) -> int:
+        return max(0, math.ceil(size / div))
+
+    def panel_time_s(self, i: int) -> float:
+        """Factor the next panel on the host's compute cores (the panel's
+        rows are spread over the P nodes of its process column)."""
+        rows = self._loc(self.n - i * self.nb, self.p)
+        if rows <= 0:
+            return 0.0
+        width = min(self.nb, self.n - i * self.nb)
+        t = self._host_timing.panel_time(rows, width, self.node.host_compute_cores)
+        # Pivot agreement along the column adds latency per sub-column.
+        if self.p > 1:
+            t += self.network.transfer_s(8 * width * 4, hops=_tree_depth(self.p))
+        return t
+
+    def lbcast_time_s(self, i: int) -> float:
+        """Broadcast the factored panel along the process row."""
+        rows = self._loc(self._trailing(i) + self.nb, self.p)
+        return self.network.transfer_s(
+            8 * rows * self.nb, hops=_tree_depth(self.q)
+        )
+
+    def swap_time_s(self, i: int) -> float:
+        """Row swapping across the trailing local columns: local memory
+        traffic plus the long-swap exchange along the process column."""
+        cols = self._loc(self._trailing(i), self.q)
+        if cols <= 0:
+            return 0.0
+        local_bw = SNB.stream_bw_gbs * self.cal.laswp_host_bw_fraction * 1e9
+        local = 4 * 8 * self.nb * cols / local_bw
+        net = self.network.transfer_s(8 * self.nb * cols, hops=_tree_depth(self.p))
+        return local + net
+
+    def dtrsm_time_s(self, i: int) -> float:
+        cols = self._loc(self._trailing(i), self.q)
+        if cols <= 0:
+            return 0.0
+        flops = self.nb * self.nb * cols
+        if self.offload_trsm:
+            from repro.machine.pcie import PCIeLink
+
+            rate = self.cal.trsm_efficiency_knc * KNC.peak_dp_gflops() * 1e9
+            link = self.pcie_link or PCIeLink()
+            # U panel out and back (nb x cols doubles each way).
+            return flops / rate + 2 * link.transfer_time_s(8 * self.nb * cols)
+        rate = (
+            self.cal.trsm_efficiency_snb
+            * SNB.peak_dp_gflops(self.node.host_compute_cores)
+            * 1e9
+        )
+        return flops / rate
+
+    def ubcast_time_s(self, i: int) -> float:
+        """Broadcast the solved U row panel along the process column."""
+        cols = self._loc(self._trailing(i), self.q)
+        return self.network.transfer_s(8 * self.nb * cols, hops=_tree_depth(self.p))
+
+    def update_time_s(self, i: int) -> float:
+        """The offloaded trailing update of the local block."""
+        m = self._loc(self._trailing(i), self.p)
+        n = self._loc(self._trailing(i), self.q)
+        if m <= 0 or n <= 0:
+            return 0.0
+        flops = 2.0 * m * n * self.nb
+        mt, nt, eff = best_tile_size(m, n, self.nb, self.node.cards, self.pcie_link)
+        card_rate = eff * self.node.cards * KNC.peak_dp_gflops() * 1e9
+        host_rate = self._host_assist_gflops(min(m, n)) * 1e9
+        return flops / (card_rate + host_rate)
+
+    #: Fraction of the host's spare capacity that effectively reaches the
+    #: trailing update: the same cores interleave swapping, DTRSM,
+    #: packing and MPI progress with their stolen DGEMM tiles.
+    HOST_ASSIST_DUTY = 0.7
+
+    def _host_assist_gflops(self, size: int) -> float:
+        """Host cores work-stealing on the trailing update."""
+        from repro.machine.gemm_model import snb_dgemm_efficiency
+
+        cores = self.node.host_compute_cores
+        rate = snb_dgemm_efficiency(max(size, 1), self.cal) * SNB.peak_dp_gflops(cores)
+        return rate * self.HOST_ASSIST_DUTY
+
+    #: Fixed software overhead per pipeline chunk (queue sync, extra
+    #: kernel launches) — the cost that "delays panel factorization".
+    PIPELINE_CHUNK_OVERHEAD_S = 3e-4
+
+    # -- stage orchestration ------------------------------------------------------------
+    def run(self) -> HybridResult:
+        sim = Simulator()
+        trace = TraceRecorder()
+        per_stage = []
+
+        def host_span(kind: str, dur: float):
+            t0 = sim.now
+            yield dur
+            trace.record("host", kind, t0, sim.now)
+
+        def card_span(kind: str, dur: float):
+            t0 = sim.now
+            yield dur
+            trace.record("knc", kind, t0, sim.now)
+
+        def stage(i: int):
+            t_stage0 = sim.now
+            t_swap = self.swap_time_s(i)
+            t_trsm = self.dtrsm_time_s(i)
+            t_ubc = self.ubcast_time_s(i)
+            t_upd = self.update_time_s(i)
+            has_next_panel = i + 1 < self.n_panels
+            t_panel = self.panel_time_s(i + 1) if has_next_panel else 0.0
+            t_lbc = self.lbcast_time_s(i + 1) if has_next_panel else 0.0
+
+            if self.lookahead is Lookahead.NONE:
+                yield from host_span("ubcast", t_ubc)
+                yield from host_span("dlaswp", t_swap)
+                yield from host_span("dtrsm", t_trsm)
+                yield from card_span("dgemm", t_upd)
+                if has_next_panel:
+                    yield from host_span("dgetrf", t_panel)
+                    yield from host_span("lbcast", t_lbc)
+            elif self.lookahead is Lookahead.BASIC:
+                yield from host_span("ubcast", t_ubc)
+                yield from host_span("dlaswp", t_swap)
+                yield from host_span("dtrsm", t_trsm)
+                card = sim.process(card_span("dgemm", t_upd))
+
+                def panel_side():
+                    if has_next_panel:
+                        # Free up the leftmost panel block first (a 1/chunks
+                        # slice of the update), then factor and broadcast.
+                        yield from host_span("update_head", t_upd * 0.02)
+                        yield from host_span("dgetrf", t_panel)
+                        yield from host_span("lbcast", t_lbc)
+
+                panel = sim.process(panel_side())
+                yield card
+                yield panel
+            else:  # PIPELINED
+                chunks = self.pipeline_chunks
+                oh = self.PIPELINE_CHUNK_OVERHEAD_S
+                ready = [sim.event() for _ in range(chunks)]
+
+                def host_side():
+                    for c in range(chunks):
+                        yield from host_span("ubcast", t_ubc / chunks + oh / 3)
+                        yield from host_span("dlaswp", t_swap / chunks + oh / 3)
+                        yield from host_span("dtrsm", t_trsm / chunks + oh / 3)
+                        ready[c].succeed()
+                    if has_next_panel:
+                        yield from host_span("update_head", t_upd * 0.02)
+                        yield from host_span("dgetrf", t_panel)
+                        yield from host_span("lbcast", t_lbc)
+
+                def card_side():
+                    for c in range(chunks):
+                        yield ready[c]
+                        yield from card_span("dgemm", t_upd / chunks)
+
+                host = sim.process(host_side())
+                card = sim.process(card_side())
+                yield host
+                yield card
+            per_stage.append((i, self._trailing(i) + self.nb, sim.now - t_stage0))
+
+        def driver():
+            for i in range(self.n_panels):
+                yield sim.process(stage(i))
+
+        sim.process(driver(), name="hpl")
+        time_s = sim.run()
+        # Final substitutions: bandwidth-bound pass over the local matrix.
+        time_s += self._host_mem.transfer_time_s(8 * (self.n / self.p) * (self.n / self.q))
+
+        flops = LUTiming.hpl_flops(self.n)
+        tflops = flops / time_s / 1e12
+        peak = self.p * self.q * self.node.peak_gflops / 1e3
+        knc_busy = trace.busy_time("knc")
+        return HybridResult(
+            n=self.n,
+            nb=self.nb,
+            p=self.p,
+            q=self.q,
+            cards=self.node.cards,
+            lookahead=self.lookahead.value,
+            time_s=time_s,
+            tflops=tflops,
+            efficiency=tflops / peak,
+            knc_idle_fraction=1.0 - knc_busy / time_s,
+            trace=trace,
+            per_stage=per_stage,
+        )
+
+
+def _tree_depth(parties: int) -> int:
+    """Hops of a binomial broadcast/reduction tree."""
+    return int(math.ceil(math.log2(parties))) if parties > 1 else 0

@@ -1,0 +1,120 @@
+"""Tile-size selection for offload DGEMM (Section V-B).
+
+Two decisions from the paper:
+
+* **Kt (block depth / HPL block size).** Hiding the PCIe transfer of an
+  Mt x Nt output tile behind its computation requires
+  ``Kt > 4 * P_dgemm / BW_pcie`` (~950 with P ~ 950 GFLOPS and the ~4
+  GB/s effective PCIe rate); accounting for input-tile traffic and the
+  kernel's preference for k = 300 multiples, the paper uses Kt = 1200.
+
+* **Mt x Nt.** Large tiles raise per-tile DGEMM efficiency but expose
+  more first/last-tile overhead (fewer tiles to amortise it); small
+  tiles do the opposite. For each matrix size the best tile size is
+  *pre-computed* from the model below and picked at run time.
+
+:func:`offload_efficiency_model` is the analytic composition: kernel
+efficiency at k = 300 x the 60/61 communication-core factor x the
+first/last-tile exposure for the candidate grid. It reproduces the 85.4%
+(single card) and 83% (dual card) peaks of Figure 11 and their
+small-size degradation.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.hybrid.tiles import TileGrid
+from repro.machine.calibration import Calibration, default_calibration
+from repro.machine.config import KNC, SNB
+from repro.machine.gemm_model import gemm_efficiency
+from repro.machine.memory import MemoryModel
+from repro.machine.pcie import PCIeLink
+
+#: The paper's hybrid HPL block size.
+HYBRID_KT = 1200
+
+#: Inner kernel depth on the card (Table II's best DGEMM k).
+KERNEL_K = 300
+
+#: Candidate square-ish tile sizes considered by the pre-computation.
+TILE_CANDIDATES = (2400, 3600, 4800, 7200, 9600, 12000, 14400)
+
+
+def min_kt(dgemm_gflops: float = 950.0, link: PCIeLink | None = None) -> float:
+    """The paper's lower bound on Kt (~950 for the paper's numbers)."""
+    link = link or PCIeLink()
+    return link.min_kt_to_hide_transfer(dgemm_gflops)
+
+
+def offload_efficiency_model(
+    m: int,
+    n: int,
+    mt: int,
+    nt: int,
+    kt: int = HYBRID_KT,
+    cards: int = 1,
+    cal: Calibration | None = None,
+    link: PCIeLink | None = None,
+) -> float:
+    """Modelled offload-DGEMM efficiency w.r.t. the card's full peak.
+
+    Composition: per-tile kernel efficiency (k = 300 outer products on 60
+    compute cores) x 60/61 (one core drives the DMA queues) x the
+    first/last-tile exposure of the steady-state transfer pipeline. With
+    ``cards=2`` each card covers half the columns, halving the tiles that
+    amortise its exposure — the faster small-size degradation of
+    Figure 11b.
+    """
+    if cards < 1:
+        raise ValueError("cards must be >= 1")
+    cal = cal or default_calibration()
+    link = link or PCIeLink()
+    n_per_card = max(1, n // cards)
+    grid = TileGrid(m, n_per_card, min(mt, m), min(nt, n_per_card))
+    # Per-tile kernel efficiency on the card (k=300 sub-products).
+    first = grid.tiles[0]
+    kernel_eff = gemm_efficiency(
+        first.m, first.n, KERNEL_K, KNC, cores=KNC.compute_cores, cal=cal
+    )
+    comm_core = KNC.compute_cores / KNC.cores  # 60/61: one core polls queues
+    card_gflops = kernel_eff * KNC.peak_dp_gflops(KNC.compute_cores)
+    # Steady-state link cap: sustaining the output stream limits the card
+    # to Kt * BW / 4 GFLOPS (the paper's compute/transfer inequality
+    # rearranged); below the Kt bound this, not the kernel, is the rate.
+    link_cap_gflops = kt * link.effective_bw_gbs / 4.0
+    card_gflops = min(card_gflops, link_cap_gflops)
+    compute_s = grid.total_flops(kt) / cards / (card_gflops * 1e9)
+    # Exposure: the first tile's input pack+transfer and the last tile's
+    # output transfer cannot overlap anything.
+    host_mem = MemoryModel(SNB, available_fraction=0.6)
+    t_first = host_mem.copy_time_s(first.input_bytes(kt)) + link.transfer_time_s(
+        first.input_bytes(kt)
+    )
+    last = grid.tiles[-1]
+    t_last = link.transfer_time_s(last.output_bytes())
+    exposure = (t_first + t_last) / (compute_s + t_first + t_last)
+    sustained_eff = card_gflops / KNC.peak_dp_gflops(KNC.compute_cores)
+    return sustained_eff * comm_core * (1.0 - exposure)
+
+
+@lru_cache(maxsize=512)
+def best_tile_size(
+    m: int,
+    n: int,
+    kt: int = HYBRID_KT,
+    cards: int = 1,
+    link: PCIeLink | None = None,
+) -> tuple:
+    """Pre-compute the (Mt, Nt) maximising modelled efficiency — the
+    run-time dynamic pick of Section V-B."""
+    if m < 1 or n < 1:
+        raise ValueError("matrix dimensions must be positive")
+    best = None
+    best_eff = -1.0
+    for t in TILE_CANDIDATES:
+        mt, nt = min(t, m), min(t, max(1, n // cards))
+        eff = offload_efficiency_model(m, n, mt, nt, kt, cards, link=link)
+        if eff > best_eff:
+            best, best_eff = (mt, nt), eff
+    return best + (best_eff,)

@@ -1,0 +1,150 @@
+"""Tile decomposition for offload DGEMM (Figure 10a, Section V-B).
+
+The trailing-update output C (M x N) is carved into Mt x Nt tiles.
+Knights Corner steals tiles from the upper-left corner forward in
+column-major order; Sandy Bridge EP steals from the lower-right corner
+backward. Two paper-specified refinements:
+
+* **partial-tile merging** — if M or N is not a multiple of the tile
+  size, the last complete tile and the trailing partial tile of each row
+  or column are merged and processed together, so no undersized tile
+  exposes its transfer overhead;
+* the geometry helpers report each tile's row/column spans so both the
+  timing layer (transfer/compute costs per tile) and the functional
+  layer (actual sub-matrix multiplication) share one source of truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+
+@dataclass(frozen=True)
+class Tile:
+    """One tile of the output matrix: rows [r0, r1) x cols [c0, c1)."""
+
+    index: int
+    r0: int
+    r1: int
+    c0: int
+    c1: int
+
+    @property
+    def m(self) -> int:
+        return self.r1 - self.r0
+
+    @property
+    def n(self) -> int:
+        return self.c1 - self.c0
+
+    def flops(self, k: int) -> float:
+        return 2.0 * self.m * self.n * k
+
+    def output_bytes(self, elem: int = 8) -> int:
+        return elem * self.m * self.n
+
+    def input_bytes(self, k: int, elem: int = 8) -> int:
+        """A and B tile bytes shipped for this output tile (worst case:
+        no reuse of previously shipped row/column strips)."""
+        return elem * k * (self.m + self.n)
+
+
+def _edges(total: int, step: int) -> List[int]:
+    """Cut points with the paper's merge rule: the final remainder is
+    folded into the preceding full tile."""
+    if total <= 0 or step <= 0:
+        raise ValueError("sizes must be positive")
+    edges = list(range(0, total, step))
+    edges.append(total)
+    # Merge a trailing partial strip (shorter than step) into the last
+    # full one — unless it is the only strip.
+    if len(edges) > 2 and edges[-1] - edges[-2] < step:
+        del edges[-2]
+    return edges
+
+
+class TileGrid:
+    """The Mt x Nt tiling of an M x N output with merged edges."""
+
+    def __init__(self, m: int, n: int, mt: int, nt: int):
+        self.m, self.n, self.mt, self.nt = m, n, mt, nt
+        self._row_edges = _edges(m, mt)
+        self._col_edges = _edges(n, nt)
+        self.tiles: List[Tile] = []
+        idx = 0
+        # Column-major enumeration: the order Knights Corner steals in.
+        for c in range(len(self._col_edges) - 1):
+            for r in range(len(self._row_edges) - 1):
+                self.tiles.append(
+                    Tile(
+                        idx,
+                        self._row_edges[r],
+                        self._row_edges[r + 1],
+                        self._col_edges[c],
+                        self._col_edges[c + 1],
+                    )
+                )
+                idx += 1
+
+    def __len__(self) -> int:
+        return len(self.tiles)
+
+    def __iter__(self) -> Iterator[Tile]:
+        return iter(self.tiles)
+
+    @property
+    def n_tile_rows(self) -> int:
+        return len(self._row_edges) - 1
+
+    @property
+    def n_tile_cols(self) -> int:
+        return len(self._col_edges) - 1
+
+    def forward_order(self) -> List[Tile]:
+        """Knights Corner's order: C00 forward, column-major."""
+        return list(self.tiles)
+
+    def backward_order(self) -> List[Tile]:
+        """Sandy Bridge's order: C_last backward."""
+        return list(reversed(self.tiles))
+
+    def total_flops(self, k: int) -> float:
+        return 2.0 * self.m * self.n * k
+
+    def coverage_is_exact(self) -> bool:
+        """Every output element in exactly one tile (test invariant)."""
+        return sum(t.m * t.n for t in self.tiles) == self.m * self.n
+
+
+class StealState:
+    """Dynamic work stealing over a tile grid (Section V-B).
+
+    The card takes from the front, the host from the back, one tile at a
+    time, until the two frontiers meet.
+    """
+
+    def __init__(self, grid: TileGrid):
+        self.grid = grid
+        self._front = 0
+        self._back = len(grid) - 1
+
+    @property
+    def remaining(self) -> int:
+        return max(0, self._back - self._front + 1)
+
+    def steal_front(self) -> Tile | None:
+        """Coprocessor steal (upper-left, forward)."""
+        if self._front > self._back:
+            return None
+        t = self.grid.tiles[self._front]
+        self._front += 1
+        return t
+
+    def steal_back(self) -> Tile | None:
+        """Host steal (lower-right, backward)."""
+        if self._front > self._back:
+            return None
+        t = self.grid.tiles[self._back]
+        self._back -= 1
+        return t

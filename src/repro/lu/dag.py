@@ -1,0 +1,139 @@
+"""The compact LU dependency DAG of Figure 5b / Section IV-A.
+
+The paper stores the whole DAG as a one-dimensional array with one entry
+per panel, holding the panel's *current stage*. We keep the same compact
+representation:
+
+* ``stage[p] == i``: panel p has received the trailing updates of stages
+  0..i-1 and is waiting for the stage-i update (or, if p == i, for its
+  own factorization);
+* panel p is *factored* when Task1(p) completes (recorded in a bitmap);
+* Task2(i, p) — the composite pivoting + DTRSM + DGEMM update of panel p
+  by stage i — is runnable when panel i is factored and ``stage[p] == i``;
+  on completion the commit bumps ``stage[p]`` to i+1 (no critical section
+  needed in the paper because the completing thread owns the entry);
+* Task1(i) is runnable as soon as ``stage[i] == i`` — the *look-ahead*
+  rule: the moment Task2(i-1, i) lands, the next panel factorization can
+  start, overlapping with the rest of stage i-1's updates.
+
+:meth:`PanelDAG.available_task` implements the paper's search order:
+ready panel factorizations are preferred over updates (that is what makes
+look-ahead effective), updates are served lowest-stage-first.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Set
+
+
+class TaskType(enum.Enum):
+    PANEL = "panel"  # Task1: panel factorization
+    UPDATE = "update"  # Task2: pivoting + forward solve + trailing GEMM
+
+
+@dataclass(frozen=True)
+class Task:
+    """A node of the DAG.
+
+    PANEL tasks have ``panel == stage``; UPDATE tasks update ``panel``
+    with the factored panel of ``stage`` (panel > stage).
+    """
+
+    type: TaskType
+    stage: int
+    panel: int
+
+    def __post_init__(self):
+        if self.type is TaskType.PANEL and self.panel != self.stage:
+            raise ValueError("a PANEL task factors its own panel")
+        if self.type is TaskType.UPDATE and self.panel <= self.stage:
+            raise ValueError("an UPDATE task must target a later panel")
+
+    @staticmethod
+    def panel_task(stage: int) -> "Task":
+        return Task(TaskType.PANEL, stage, stage)
+
+    @staticmethod
+    def update_task(stage: int, panel: int) -> "Task":
+        return Task(TaskType.UPDATE, stage, panel)
+
+
+class PanelDAG:
+    """Dynamic task distribution over the one-array DAG."""
+
+    def __init__(self, n_panels: int):
+        if n_panels < 1:
+            raise ValueError("need at least one panel")
+        self.n_panels = n_panels
+        self.stage: List[int] = [0] * n_panels
+        self.factored: List[bool] = [False] * n_panels
+        self.in_progress: Set[Task] = set()
+        self._completed = 0
+
+    @property
+    def total_tasks(self) -> int:
+        """P panel factorizations + P(P-1)/2 updates."""
+        p = self.n_panels
+        return p + p * (p - 1) // 2
+
+    @property
+    def done(self) -> bool:
+        return self._completed == self.total_tasks
+
+    # -- the paper's AvailableTask() ----------------------------------------
+    def available_task(self, max_stage: Optional[int] = None) -> Optional[Task]:
+        """Return a runnable task and mark it in progress, or None.
+
+        Priority: the lowest ready panel factorization (the look-ahead
+        exception of Section IV-A), then the lowest-stage pending update.
+        ``max_stage`` restricts the search to tasks with stage below it —
+        the super-stage boundary of the dynamic scheduler.
+        """
+        limit = self.n_panels if max_stage is None else min(max_stage, self.n_panels)
+        for p in range(limit):
+            if not self.factored[p] and self.stage[p] == p:
+                task = Task.panel_task(p)
+                if task not in self.in_progress:
+                    self.in_progress.add(task)
+                    return task
+        for i in range(min(limit, self.n_panels - 1)):
+            if not self.factored[i]:
+                # Later stages cannot have runnable updates either: their
+                # panels factor only after this one's updates flow.
+                break
+            for p in range(i + 1, self.n_panels):
+                if self.stage[p] == i:
+                    task = Task.update_task(i, p)
+                    if task not in self.in_progress:
+                        self.in_progress.add(task)
+                        return task
+        return None
+
+    def complete(self, task: Task) -> None:
+        """Commit a finished task (the paper's stage increment)."""
+        if task not in self.in_progress:
+            raise ValueError(f"{task} was not in progress")
+        self.in_progress.discard(task)
+        if task.type is TaskType.PANEL:
+            if self.stage[task.panel] != task.stage:
+                raise RuntimeError("panel factored before its updates arrived")
+            self.factored[task.panel] = True
+            self.stage[task.panel] = task.stage + 1
+        else:
+            if not self.factored[task.stage]:
+                raise RuntimeError("update committed before its panel factored")
+            if self.stage[task.panel] != task.stage:
+                raise RuntimeError("update committed out of order")
+            self.stage[task.panel] = task.stage + 1
+        self._completed += 1
+
+    def abandon(self, task: Task) -> None:
+        """Return a claimed task to the pool without completing it."""
+        if task not in self.in_progress:
+            raise ValueError(f"{task} was not in progress")
+        self.in_progress.discard(task)
+
+    def remaining_tasks(self) -> int:
+        return self.total_tasks - self._completed

@@ -1,0 +1,86 @@
+"""Sequential blocked LU, DAG-ordered LU, and the triangular solve.
+
+:func:`blocked_lu` is the plain right-looking reference (the task order a
+single worker would produce); :func:`lu_via_dag` drains the
+:class:`~repro.lu.dag.PanelDAG` with a pluggable task-selection policy —
+used by tests to prove that *every* dependency-respecting order gives the
+same factorization the schedulers then merely reorder in time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.blas.laswp import apply_pivots_to_vector
+from repro.blas.trsm import trsm_lower_unit_left, trsm_upper_left
+from repro.lu.dag import PanelDAG, Task
+from repro.lu.tasks import LUWorkspace
+
+
+def blocked_lu(a: np.ndarray, nb: int = 64, **ws_kwargs) -> tuple:
+    """Factor ``a`` in place (stage loop order); returns (a, ipiv)."""
+    ws = LUWorkspace(a, nb, **ws_kwargs)
+    for i in range(ws.n_panels):
+        ws.execute(Task.panel_task(i))
+        for p in range(i + 1, ws.n_panels):
+            ws.execute(Task.update_task(i, p))
+    return ws.a, ws.finalize()
+
+
+def lu_via_dag(
+    a: np.ndarray,
+    nb: int = 64,
+    pick: Optional[Callable[[List[Task]], Task]] = None,
+    **ws_kwargs,
+) -> tuple:
+    """Factor ``a`` by draining the DAG.
+
+    ``pick`` selects among *all currently runnable* tasks (default: the
+    DAG's own priority). Since execution is sequential here, this
+    effectively replays an arbitrary topological order — the property the
+    dynamic scheduler relies on for correctness.
+    """
+    ws = LUWorkspace(a, nb, **ws_kwargs)
+    dag = PanelDAG(ws.n_panels)
+    while not dag.done:
+        if pick is None:
+            task = dag.available_task()
+            if task is None:
+                raise RuntimeError("DAG stalled with no runnable task")
+        else:
+            runnable = _drain_runnable(dag)
+            if not runnable:
+                raise RuntimeError("DAG stalled with no runnable task")
+            task = pick(runnable)
+            for other in runnable:
+                if other != task:
+                    dag.abandon(other)
+        ws.execute(task)
+        dag.complete(task)
+    return ws.a, ws.finalize()
+
+
+def _drain_runnable(dag: PanelDAG) -> List[Task]:
+    """Claim every currently runnable task (caller abandons the unused)."""
+    out = []
+    while True:
+        t = dag.available_task()
+        if t is None:
+            return out
+        out.append(t)
+
+
+def lu_solve(lu: np.ndarray, ipiv: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Solve A x = b given the in-place factorization and global pivots."""
+    lu = np.asarray(lu)
+    b = np.asarray(b, dtype=lu.dtype)
+    if b.ndim != 1 or b.shape[0] != lu.shape[0]:
+        raise ValueError("right-hand side has the wrong shape")
+    x = b.copy()
+    apply_pivots_to_vector(x, ipiv, forward=True)
+    col = x.reshape(-1, 1)
+    trsm_lower_unit_left(lu, col)
+    trsm_upper_left(lu, col)
+    return x

@@ -1,0 +1,129 @@
+"""Real-numerics execution of the LU DAG tasks.
+
+:class:`LUWorkspace` owns the matrix being factored in place and executes
+:class:`~repro.lu.dag.Task` objects:
+
+* **Task1 / PANEL(i)** — factor the column panel A[i*nb:, i*nb:(i+1)*nb]
+  with partial pivoting (:func:`repro.blas.getrf.getrf`), recording the
+  stage's local pivot vector;
+* **Task2 / UPDATE(i, p)** — the composite of Figure 5b: apply stage i's
+  row swaps to panel p (DLASWP), forward-solve the top nb x nb block
+  against L11 (DTRSM), and GEMM-update the rows below.
+
+Any execution order that respects the DAG's dependencies produces the
+same factorization; :func:`repro.lu.factorize.lu_via_dag` and the
+property tests exploit this to validate the schedulers' orderings.
+
+After all tasks complete, :meth:`LUWorkspace.finalize` applies each
+stage's swaps to the *left* of its panel (bookkeeping HPL defers), so the
+in-place result matches LAPACK's getrf storage exactly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.blas.gemm import gemm
+from repro.blas.getrf import getrf
+from repro.blas.laswp import laswp
+from repro.blas.trsm import trsm_lower_unit_left
+from repro.lu.dag import Task, TaskType
+
+
+class LUWorkspace:
+    """The in-place blocked LU state shared by all workers."""
+
+    def __init__(self, a: np.ndarray, nb: int, use_packed_gemm: bool = False):
+        a = np.asarray(a)
+        if a.ndim != 2 or a.shape[0] != a.shape[1]:
+            raise ValueError("LU workspace expects a square matrix")
+        if a.dtype.kind != "f":
+            raise ValueError("matrix must be a float array (factored in place)")
+        if nb < 1:
+            raise ValueError("block size must be positive")
+        self.a = a
+        self.n = a.shape[0]
+        self.nb = nb
+        self.n_panels = -(-self.n // nb)
+        self.stage_ipiv: List[Optional[np.ndarray]] = [None] * self.n_panels
+        self.use_packed_gemm = use_packed_gemm
+        self.finalized = False
+
+    # -- geometry -------------------------------------------------------------
+    def panel_cols(self, p: int) -> slice:
+        """Column range of panel p (the last panel may be narrower)."""
+        self._check_panel(p)
+        return slice(p * self.nb, min((p + 1) * self.nb, self.n))
+
+    def stage_row0(self, i: int) -> int:
+        """First row of stage i's diagonal block."""
+        return i * self.nb
+
+    def panel_width(self, p: int) -> int:
+        c = self.panel_cols(p)
+        return c.stop - c.start
+
+    # -- task execution ---------------------------------------------------------
+    def execute(self, task: Task) -> None:
+        if task.type is TaskType.PANEL:
+            self._run_panel(task.stage)
+        else:
+            self._run_update(task.stage, task.panel)
+
+    def _run_panel(self, i: int) -> None:
+        if self.stage_ipiv[i] is not None:
+            raise RuntimeError(f"panel {i} factored twice")
+        r0 = self.stage_row0(i)
+        panel = self.a[r0:, self.panel_cols(i)]
+        self.stage_ipiv[i] = getrf(panel)
+
+    def _run_update(self, i: int, p: int) -> None:
+        ipiv = self.stage_ipiv[i]
+        if ipiv is None:
+            raise RuntimeError(f"update of stage {i} before its panel factored")
+        r0 = self.stage_row0(i)
+        w = self.panel_width(i)
+        block = self.a[r0:, self.panel_cols(p)]
+        # DLASWP: stage i's swaps, local to rows r0...
+        laswp(block, ipiv, forward=True)
+        # DTRSM: U block = L11^{-1} @ top rows.
+        l11 = self.a[r0 : r0 + w, self.panel_cols(i)]
+        u_block = block[:w, :]
+        trsm_lower_unit_left(l11, u_block)
+        # DGEMM: trailing rows -= L21 @ U block.
+        if block.shape[0] > w:
+            l21 = self.a[r0 + w :, self.panel_cols(i)]
+            if self.use_packed_gemm:
+                gemm(l21, u_block, block[w:, :], alpha=-1.0, beta=1.0)
+            else:
+                block[w:, :] -= l21 @ u_block
+
+    # -- finalisation -----------------------------------------------------------
+    def finalize(self) -> np.ndarray:
+        """Apply each stage's swaps to the columns left of its panel and
+        return the global LAPACK-convention pivot vector."""
+        if self.finalized:
+            raise RuntimeError("workspace already finalized")
+        if any(ip is None for ip in self.stage_ipiv):
+            raise RuntimeError("finalize before all panels factored")
+        for i in range(1, self.n_panels):
+            r0 = self.stage_row0(i)
+            left = self.a[:, : r0]
+            laswp(left, self.stage_ipiv[i], offset=r0, forward=True)
+        self.finalized = True
+        return self.global_ipiv()
+
+    def global_ipiv(self) -> np.ndarray:
+        """Concatenate stage-local pivots into one global vector."""
+        parts = []
+        for i, ip in enumerate(self.stage_ipiv):
+            if ip is None:
+                raise RuntimeError("global_ipiv before all panels factored")
+            parts.append(ip + self.stage_row0(i))
+        return np.concatenate(parts)
+
+    def _check_panel(self, p: int) -> None:
+        if not 0 <= p < self.n_panels:
+            raise IndexError(f"panel {p} out of range (have {self.n_panels})")

@@ -1,0 +1,122 @@
+"""Task duration models for the native LU on a simulated machine.
+
+Durations are derived from the paper's own cost structure:
+
+* **Task1 (DGETRF panel)** — ~nb^2 * (rows - nb/3) FLOPs. The panel is
+  latency-sensitive and scales sub-linearly with cores (that is why the
+  static scheme must assign "the minimum required number of threads to
+  each panel factorization" and why later stages need regrouping); we
+  model the rate as ``panel_eff * per_core_peak * g**alpha``.
+* **Task2 (DLASWP + DTRSM + DGEMM)** — the swap is bandwidth-bound (a
+  fraction of STREAM shared among concurrent groups), the triangular
+  solve runs at a fixed fraction of peak, and the trailing GEMM uses the
+  calibrated kernel model of :mod:`repro.machine.gemm_model` evaluated
+  for the group's cores.
+* **barrier / DAG lock** — fixed cycle costs from the calibration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.calibration import Calibration, default_calibration
+from repro.machine.config import KNC, MachineConfig
+from repro.machine.gemm_model import gemm_efficiency
+
+#: Sub-linear core-scaling exponent for panel factorization.
+PANEL_SCALING_ALPHA = 0.7
+
+
+@dataclass
+class LUTiming:
+    """Duration oracle for LU tasks on ``machine``."""
+
+    machine: MachineConfig = None
+    cal: Calibration = None
+    #: Panel rate fraction of per-core peak (overrides the calibration's
+    #: machine-specific default when set).
+    panel_eff: float = None
+
+    def __post_init__(self):
+        self.machine = self.machine or KNC
+        self.cal = self.cal or default_calibration()
+        if self.panel_eff is None:
+            self.panel_eff = (
+                self.cal.panel_efficiency_knc
+                if self.machine.name == KNC.name
+                else self.cal.panel_efficiency_snb
+            )
+
+    # -- building blocks -----------------------------------------------------
+    def _per_core_peak_gflops(self) -> float:
+        return self.machine.clock_ghz * self.machine.flops_per_cycle_per_core_dp()
+
+    def panel_time(self, rows: int, nb: int, g_cores: int) -> float:
+        """Seconds to factor a rows x nb panel on a g-core group."""
+        if rows <= 0 or nb <= 0 or g_cores < 1:
+            raise ValueError("panel dimensions and cores must be positive")
+        flops = nb * nb * max(rows - nb / 3.0, 1.0)
+        rate = (
+            self.panel_eff
+            * self._per_core_peak_gflops()
+            * g_cores**PANEL_SCALING_ALPHA
+        )
+        return flops / (rate * 1e9)
+
+    def swap_time(self, n_pivots: int, width: int, bw_sharers: int = 1) -> float:
+        """DLASWP applying ``n_pivots`` row interchanges across ``width``
+        columns: each swap reads and writes both partner rows (4 row
+        touches), at the swap fraction of STREAM bandwidth shared among
+        ``bw_sharers`` concurrent groups."""
+        bw = self.machine.stream_bw_gbs * self.cal.laswp_bw_fraction / max(bw_sharers, 1)
+        return 4 * 8 * n_pivots * width / (bw * 1e9)
+
+    def trsm_time(self, nb: int, width: int, g_cores: int) -> float:
+        """DTRSM of the nb x width U block against the nb x nb L11."""
+        flops = nb * nb * width
+        rate = self.cal.trsm_efficiency_knc * self._per_core_peak_gflops() * g_cores
+        return flops / (rate * 1e9)
+
+    def gemm_time(self, m: int, n: int, k: int, g_cores: int) -> float:
+        """Trailing-update GEMM on a g-core group."""
+        if m <= 0 or n <= 0:
+            return 0.0
+        eff = gemm_efficiency(m, n, k, self.machine, cores=g_cores, cal=self.cal)
+        rate = eff * self._per_core_peak_gflops() * g_cores
+        return 2.0 * m * n * k / (rate * 1e9)
+
+    def update_components(
+        self, rows: int, nb: int, width: int, g_cores: int, bw_sharers: int = 1
+    ) -> tuple:
+        """Task2 phase durations (swap, trsm, gemm) for one panel of
+        ``width`` columns, ``rows`` = rows from the stage's diagonal block
+        down — the DLASWP/DTRSM/DGEMM colours of the Figure 7 Gantt."""
+        return (
+            self.swap_time(nb, width, bw_sharers),
+            self.trsm_time(nb, width, g_cores),
+            self.gemm_time(rows - nb, width, nb, g_cores),
+        )
+
+    def update_time(
+        self, rows: int, nb: int, width: int, g_cores: int, bw_sharers: int = 1
+    ) -> float:
+        """Task2 composite: sum of :meth:`update_components`."""
+        return sum(self.update_components(rows, nb, width, g_cores, bw_sharers))
+
+    # -- fixed costs -----------------------------------------------------------
+    def barrier_time(self) -> float:
+        return self.machine.cycles_to_seconds(self.cal.barrier_cycles_knc)
+
+    def dag_lock_time(self) -> float:
+        return self.machine.cycles_to_seconds(self.cal.dag_lock_cycles)
+
+    # -- totals ------------------------------------------------------------------
+    @staticmethod
+    def lu_flops(n: int) -> float:
+        """The HPL flop count of the factorization part: 2/3 n^3."""
+        return (2.0 / 3.0) * n**3
+
+    @staticmethod
+    def hpl_flops(n: int) -> float:
+        """Full HPL operation count: 2/3 n^3 + 2 n^2 (solve included)."""
+        return (2.0 / 3.0) * n**3 + 2.0 * n**2

@@ -1,0 +1,92 @@
+"""Machine models for the Knights Corner / Sandy Bridge EP test bed.
+
+This package is the hardware-substitution layer of the reproduction: it
+provides parameterised models of the machines in Table I of the paper
+(core counts, clocks, peak FLOPS, cache sizes, STREAM and PCIe
+bandwidths), a functional emulator of the Knights Corner vector ISA used
+by the DGEMM basic kernels, an L1/L2 cache-port model reproducing the
+prefetch-stall mechanism of Section II, and analytic cycle/efficiency
+models for the basic kernels and full GEMM calls.
+"""
+
+from repro.machine.config import (
+    CacheConfig,
+    MachineConfig,
+    knights_corner,
+    sandy_bridge_ep,
+    KNC,
+    SNB,
+)
+from repro.machine.vector import VectorMachine, VLEN
+from repro.machine.cache import L1PortModel, CacheSim
+from repro.machine.kernel_model import (
+    KernelSpec,
+    BASIC_KERNEL_1,
+    BASIC_KERNEL_2,
+    kernel_cycle_model,
+    kernel_efficiency,
+)
+from repro.machine.roofline import (
+    l2_block_bytes,
+    l2_blocks_fit,
+    required_bandwidth_bytes_per_cycle,
+    required_bandwidth_gbs,
+)
+from repro.machine.memory import stream_time_s, MemoryModel
+from repro.machine.pcie import PCIeLink
+from repro.machine.calibration import Calibration, default_calibration
+from repro.machine.energy import (
+    NodePower,
+    hybrid_node_power,
+    native_node_power,
+    cpu_only_node_power,
+    energy_kj,
+    gflops_per_watt,
+)
+from repro.machine.gemm_model import (
+    dgemm_efficiency_vs_k,
+    sgemm_efficiency_vs_k,
+    gemm_efficiency,
+    gemm_time_s,
+    packing_overhead,
+    snb_dgemm_efficiency,
+)
+
+__all__ = [
+    "CacheConfig",
+    "MachineConfig",
+    "knights_corner",
+    "sandy_bridge_ep",
+    "KNC",
+    "SNB",
+    "VectorMachine",
+    "VLEN",
+    "L1PortModel",
+    "CacheSim",
+    "KernelSpec",
+    "BASIC_KERNEL_1",
+    "BASIC_KERNEL_2",
+    "kernel_cycle_model",
+    "kernel_efficiency",
+    "l2_block_bytes",
+    "l2_blocks_fit",
+    "required_bandwidth_bytes_per_cycle",
+    "required_bandwidth_gbs",
+    "stream_time_s",
+    "MemoryModel",
+    "PCIeLink",
+    "Calibration",
+    "default_calibration",
+    "NodePower",
+    "hybrid_node_power",
+    "native_node_power",
+    "cpu_only_node_power",
+    "energy_kj",
+    "gflops_per_watt",
+    "dgemm_efficiency_vs_k",
+    "sgemm_efficiency_vs_k",
+    "gemm_efficiency",
+    "gemm_time_s",
+    "packing_overhead",
+    "snb_dgemm_efficiency",
+]

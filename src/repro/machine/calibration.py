@@ -1,0 +1,198 @@
+"""Calibration of the timing-layer model constants against anchor points
+the paper itself reports.
+
+The *functional forms* of the models come from the paper's own analysis:
+
+* kernel efficiency vs k: ``E0 * k / (k + u)`` — the c-tile update is an
+  O(1) overhead amortised over k iterations (Section III-A2);
+* L2-spill penalty: a hinge on L2 occupancy — "as k increases, L2 block
+  sizes also increase and eventually fall out of L2 cache"
+  (Section III-B, explaining the k=340/400 DGEMM dip in Table II);
+* packing overhead: quadratic work over cubic compute → ~1/N, plus a
+  1/N^2 startup term for the sub-bandwidth small-matrix regime
+  (Section III-A3 and Figure 4);
+* per-call parallel overhead: fixed cycles for work distribution and
+  thread synchronisation, visible only for small matrices (the "scalar
+  instructions overhead required to drive DGEMM parallel distribution"
+  of Section III-B).
+
+Only the constants are fit, by least squares, against the paper's
+published numbers (Table II, Figure 4). The anchors are kept here as
+data so EXPERIMENTS.md can compare model output back against them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+import numpy as np
+
+from repro.machine.config import KNC
+
+# --------------------------------------------------------------------------
+# Anchor data transcribed from the paper.
+# --------------------------------------------------------------------------
+
+#: Table II: DGEMM efficiency vs k at M = N = 28000.
+TABLE2_DGEMM = {120: 0.867, 180: 0.886, 240: 0.891, 300: 0.894, 340: 0.893, 400: 0.889}
+#: Table II: SGEMM efficiency vs k at M = N = 28000.
+TABLE2_SGEMM = {120: 0.883, 180: 0.893, 240: 0.901, 300: 0.904, 340: 0.906, 400: 0.908}
+#: Figure 4: packing overhead vs matrix size (fractions of total time).
+FIG4_PACKING = {1000: 0.15, 5000: 0.02, 17000: 0.004}
+#: Figure 4: kernel-only efficiency at 5K is ~88% (asymptote 89.4%).
+FIG4_KERNEL_5K = 0.88
+#: The L2 blocking the paper quotes in the bandwidth example (Sec III-A1).
+BLOCK_M, BLOCK_N = 120, 32
+
+#: k values where the eff-vs-k model is fit without the spill hinge.
+_NO_SPILL_KS_DGEMM = (120, 180, 240, 300)
+_SPILL_KS_DGEMM = (340, 400)
+
+
+def _l2_occupancy_fraction(k: int, elem_bytes: int) -> float:
+    """Fraction of the 512 KB L2 used by the m x k / k x n / m x n blocks."""
+    occ = elem_bytes * (BLOCK_M * BLOCK_N + BLOCK_M * k + k * BLOCK_N)
+    return occ / KNC.l2.size_bytes
+
+
+def _fit_amortisation(anchors: dict, ks) -> tuple:
+    """Fit E0, u in eff(k) = E0 * k/(k+u) over the given anchor ks."""
+    ks = np.asarray(ks, dtype=float)
+    effs = np.asarray([anchors[int(k)] for k in ks])
+    # eff = E0*k/(k+u)  <=>  k/eff = k/E0 + u/E0: linear in (k, 1).
+    y = ks / effs
+    A = np.column_stack([ks, np.ones_like(ks)])
+    slope, intercept = np.linalg.lstsq(A, y, rcond=None)[0]
+    e0 = 1.0 / slope
+    u = intercept * e0
+    return float(e0), float(u)
+
+
+def _fit_spill(anchors: dict, e0: float, u: float, ks, elem_bytes: int) -> tuple:
+    """Fit gamma, theta in penalty = gamma * max(0, occ_frac - theta)."""
+    ks = np.asarray(ks, dtype=float)
+    predicted = e0 * ks / (ks + u)
+    residual = predicted - np.asarray([anchors[int(k)] for k in ks])
+    occ = np.asarray([_l2_occupancy_fraction(int(k), elem_bytes) for k in ks])
+    # residual = gamma*occ - gamma*theta: linear in (occ, 1).
+    A = np.column_stack([occ, np.ones_like(occ)])
+    gamma, neg_gt = np.linalg.lstsq(A, residual, rcond=None)[0]
+    theta = -neg_gt / gamma if gamma > 0 else 1.0
+    return float(max(gamma, 0.0)), float(min(max(theta, 0.0), 1.0))
+
+
+def _fit_packing(anchors: dict) -> tuple:
+    """Fit c1, c2 in overhead(N) = c1*(2/N) + c2*(2/N)^2 (square matrices)."""
+    ns = np.asarray(sorted(anchors), dtype=float)
+    target = np.asarray([anchors[int(n)] for n in ns])
+    x = 2.0 / ns
+    A = np.column_stack([x, x * x])
+    c1, c2 = np.linalg.lstsq(A, target, rcond=None)[0]
+    return float(c1), float(c2)
+
+
+@dataclass(frozen=True)
+class Calibration:
+    """Fitted model constants for the KNC timing layer.
+
+    GEMM constants are fit from the paper's anchors; the LU/HPL/offload
+    constants below them are calibrated once against the headline numbers
+    (native HPL 79% at 30K, offload DGEMM 85.4% at 82K) and then held
+    fixed for every experiment.
+    """
+
+    # eff(k) = e0 * k/(k+u) - spill
+    dgemm_e0: float
+    dgemm_u: float
+    dgemm_spill_gamma: float
+    dgemm_spill_theta: float
+    sgemm_e0: float
+    sgemm_u: float
+
+    # packing overhead(M, N) = c1*h + c2*h^2 with h = 1/M + 1/N
+    pack_c1: float
+    pack_c2: float
+
+    # per-GEMM-call fixed overhead (work distribution + sync), in cycles
+    gemm_call_overhead_cycles: float
+
+    # ---- native LU / HPL constants (Section IV) -------------------------
+    #: DGETRF panel factorization rate on KNC as a fraction of per-core
+    #: peak (scaled sub-linearly with group size in
+    #: :mod:`repro.lu.timing`). The recursive panel is mostly small-k
+    #: GEMM, latency-sensitive on the in-order cores; calibrated so the
+    #: native HPL lands at the paper's ~79% at N=30K.
+    panel_efficiency_knc: float = 0.18
+    #: DTRSM (triangular solve of the U row panel) fraction of peak.
+    trsm_efficiency_knc: float = 0.35
+    #: DLASWP effective bandwidth as a fraction of STREAM (irregular rows).
+    laswp_bw_fraction: float = 0.6
+    #: Global-barrier cost across all KNC threads, cycles.
+    barrier_cycles_knc: float = 30_000.0
+    #: DAG critical-section service time per acquisition, cycles.
+    dag_lock_cycles: float = 2_000.0
+
+    # ---- host (SNB) baseline constants -----------------------------------
+    #: MKL DGEMM asymptotic efficiency on SNB (Figure 4: ~90%).
+    snb_dgemm_e0: float = 0.905
+    #: Half-saturation size for the SNB DGEMM size rolloff.
+    snb_dgemm_n0: float = 450.0
+    #: MKL HPL efficiency on SNB at 30K (Figure 6: 83%).
+    snb_hpl_30k: float = 0.83
+    #: SNB panel factorization (DGETRF) efficiency — OOO cores do much
+    #: better on the latency-bound panel than KNC.
+    panel_efficiency_snb: float = 0.45
+    #: MKL DTRSM on the host (compute-bound, near-GEMM speed): the U-panel
+    #: solve of the hybrid stages (Section V-A).
+    trsm_efficiency_snb: float = 0.70
+    #: Host DLASWP effective bandwidth fraction: scattered pivot rows are
+    #: strided accesses, far below STREAM ("swapping, constrained by both
+    #: DRAM and interconnect bandwidth" — Section V-A).
+    laswp_host_bw_fraction: float = 0.25
+
+    def dgemm_eff_k(self, k: int) -> float:
+        """DGEMM kernel efficiency at block depth k (Table II model)."""
+        base = self.dgemm_e0 * k / (k + self.dgemm_u)
+        occ = _l2_occupancy_fraction(k, elem_bytes=8)
+        return base - self.dgemm_spill_gamma * max(0.0, occ - self.dgemm_spill_theta)
+
+    def sgemm_eff_k(self, k: int) -> float:
+        """SGEMM kernel efficiency at block depth k (no spill: blocks are
+        half the size and stay inside L2 for the swept range)."""
+        return self.sgemm_e0 * k / (k + self.sgemm_u)
+
+    def packing_overhead(self, m: int, n: int) -> float:
+        """Packing time as a fraction of total GEMM time (Figure 4)."""
+        h = 0.5 * (1.0 / m + 1.0 / n)  # = 1/N for square matrices
+        x = 2.0 * h
+        return float(min(0.95, max(0.0, self.pack_c1 * x + self.pack_c2 * x * x)))
+
+
+@lru_cache(maxsize=1)
+def default_calibration() -> Calibration:
+    """Fit and memoise the default calibration from the paper anchors."""
+    d_e0, d_u = _fit_amortisation(TABLE2_DGEMM, _NO_SPILL_KS_DGEMM)
+    gamma, theta = _fit_spill(TABLE2_DGEMM, d_e0, d_u, _SPILL_KS_DGEMM, elem_bytes=8)
+    s_e0, s_u = _fit_amortisation(TABLE2_SGEMM, tuple(TABLE2_SGEMM))
+    c1, c2 = _fit_packing(FIG4_PACKING)
+
+    # Per-call overhead from the Figure 4 kernel-only 5K anchor: the model
+    # without overhead predicts eff(k=300); the anchor says 88%.
+    n5k = 5000
+    eff_inf = d_e0 * 300 / (300 + d_u)
+    compute_cycles = (
+        2.0 * n5k * n5k * 300 / (KNC.flops_per_cycle_per_core_dp() * KNC.compute_cores)
+    )
+    overhead = compute_cycles * (eff_inf / FIG4_KERNEL_5K - 1.0)
+    return Calibration(
+        dgemm_e0=d_e0,
+        dgemm_u=d_u,
+        dgemm_spill_gamma=gamma,
+        dgemm_spill_theta=theta,
+        sgemm_e0=s_e0,
+        sgemm_u=s_u,
+        pack_c1=c1,
+        pack_c2=c2,
+        gemm_call_overhead_cycles=float(max(overhead, 0.0)),
+    )

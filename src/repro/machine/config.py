@@ -1,0 +1,155 @@
+"""System configurations from Table I of the paper.
+
+Two machines are modelled:
+
+* ``knights_corner`` — the Intel Xeon Phi coprocessor ("Knights Corner",
+  KNC): 61 in-order cores, 4-way SMT, 512-bit (8-wide double-precision)
+  vector unit with fused multiply-add, 1.1 GHz, 32 KB L1 / 512 KB L2 per
+  core, 8 GB GDDR at 150 GB/s STREAM, attached over PCIe.
+* ``sandy_bridge_ep`` — the dual-socket Intel Xeon E5-2670 host ("Sandy
+  Bridge EP", SNB): 2 x 8 out-of-order cores, 2-way SMT, 256-bit AVX with
+  separate multiply and add ports, 2.6 GHz, 128 GB DDR at 76 GB/s.
+
+All downstream timing models read their parameters from these objects, so
+hypothetical machines (more cores, different bandwidth) can be explored by
+constructing new :class:`MachineConfig` instances.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Per-core cache level parameters.
+
+    ``ports_read``/``ports_write`` model the L1 structure described in
+    Section II: one read port and one write port, so a vector instruction
+    with a memory operand and a vector store can co-issue, but a prefetch
+    fill competes with them for the same ports.
+    """
+
+    size_bytes: int
+    line_bytes: int = 64
+    latency_cycles: int = 1
+    ports_read: int = 1
+    ports_write: int = 1
+
+    @property
+    def lines(self) -> int:
+        return self.size_bytes // self.line_bytes
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """A machine in the style of Table I.
+
+    Peak FLOPS are derived, not stored: ``peak_dp_gflops`` multiplies
+    cores x clock x SIMD width x FMA factor, which reproduces the 1074
+    DP GFLOPS of KNC (61 cores) and 333 DP GFLOPS of SNB exactly.
+    """
+
+    name: str
+    sockets: int
+    cores_per_socket: int
+    smt: int
+    clock_ghz: float
+    simd_dp: int  # double-precision lanes per vector instruction
+    fma_per_cycle: int  # FLOPs per lane per cycle (2 for FMA, 2 for mul+add ports)
+    vector_registers: int
+    l1: CacheConfig
+    l2: CacheConfig
+    l3_bytes: int  # 0 if absent
+    dram_bytes: int
+    stream_bw_gbs: float
+    pcie_bw_gbs: float  # 0 if not a PCIe device
+    reserved_cores: int = 0  # cores the OS keeps (1 on KNC)
+
+    @property
+    def cores(self) -> int:
+        return self.sockets * self.cores_per_socket
+
+    @property
+    def compute_cores(self) -> int:
+        """Cores usable for computation (native runs leave one to the OS)."""
+        return self.cores - self.reserved_cores
+
+    @property
+    def threads(self) -> int:
+        return self.cores * self.smt
+
+    @property
+    def compute_threads(self) -> int:
+        return self.compute_cores * self.smt
+
+    def peak_dp_gflops(self, cores: int | None = None) -> float:
+        """Peak double-precision GFLOPS over ``cores`` (default: all)."""
+        n = self.cores if cores is None else cores
+        return n * self.clock_ghz * self.simd_dp * self.fma_per_cycle
+
+    def peak_sp_gflops(self, cores: int | None = None) -> float:
+        """Peak single-precision GFLOPS (twice the DP lane count)."""
+        n = self.cores if cores is None else cores
+        return n * self.clock_ghz * (2 * self.simd_dp) * self.fma_per_cycle
+
+    def flops_per_cycle_per_core_dp(self) -> int:
+        return self.simd_dp * self.fma_per_cycle
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        return cycles / (self.clock_ghz * 1e9)
+
+    def with_(self, **changes) -> "MachineConfig":
+        """A copy with some fields replaced (for what-if studies)."""
+        return dataclasses.replace(self, **changes)
+
+
+def knights_corner() -> MachineConfig:
+    """The Knights Corner coprocessor of Table I."""
+    return MachineConfig(
+        name="Knights Corner",
+        sockets=1,
+        cores_per_socket=61,
+        smt=4,
+        clock_ghz=1.1,
+        simd_dp=8,
+        fma_per_cycle=2,
+        vector_registers=32,
+        l1=CacheConfig(size_bytes=32 * KB),
+        l2=CacheConfig(size_bytes=512 * KB, latency_cycles=25),
+        l3_bytes=0,
+        dram_bytes=8 * GB,
+        stream_bw_gbs=150.0,
+        pcie_bw_gbs=6.0,
+        reserved_cores=1,
+    )
+
+
+def sandy_bridge_ep() -> MachineConfig:
+    """The dual-socket Xeon E5-2670 host of Table I."""
+    return MachineConfig(
+        name="Sandy Bridge EP",
+        sockets=2,
+        cores_per_socket=8,
+        smt=2,
+        clock_ghz=2.6,
+        simd_dp=4,
+        fma_per_cycle=2,  # separate multiply and add ports: 1 mul + 1 add per cycle
+        vector_registers=16,
+        l1=CacheConfig(size_bytes=32 * KB),
+        l2=CacheConfig(size_bytes=256 * KB, latency_cycles=12),
+        l3_bytes=20 * MB,
+        dram_bytes=128 * GB,
+        stream_bw_gbs=76.0,
+        pcie_bw_gbs=6.0,
+    )
+
+
+#: Module-level singletons for the two paper machines.
+KNC = knights_corner()
+SNB = sandy_bridge_ep()

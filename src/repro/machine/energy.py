@@ -1,0 +1,106 @@
+"""Node power and energy-efficiency model (Section VII).
+
+The paper's conclusion argues that the hybrid implementation is *less
+energy efficient* than a fully-native one would be: "the fact that Sandy
+Bridge EP is several times slower than Knights Corner, but consumes
+comparable power, makes the hybrid implementation less energy efficient
+compared to the fully-native multi-node implementation that only uses
+Knights Corners" — with the host "put into a deep sleep state". This
+module quantifies that argument with 2012-era component powers:
+
+* Xeon E5-2670: 115 W TDP per socket (2 sockets on the paper's host);
+* Knights Corner (SE10/7110-class): 300 W TDP per card;
+* host DRAM: ~0.4 W/GB under load; base node overhead (NIC, fans, VRs,
+  PSU losses): ~80 W;
+* a deep-sleep host: package C-states plus DRAM refresh, ~45 W.
+
+Figures are configurable; the default instances are what the energy
+ablation benchmark uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+GB = 1024**3
+
+#: Component power defaults (watts).
+SNB_SOCKET_W = 115.0
+KNC_CARD_W = 300.0
+DRAM_W_PER_GB = 0.4
+NODE_BASE_W = 80.0
+HOST_SLEEP_W = 45.0
+
+
+@dataclass(frozen=True)
+class NodePower:
+    """Power draw of one node under load."""
+
+    host_w: float
+    cards_w: float
+    dram_w: float
+    base_w: float
+
+    @property
+    def total_w(self) -> float:
+        return self.host_w + self.cards_w + self.dram_w + self.base_w
+
+
+def hybrid_node_power(cards: int = 1, host_mem_gb: float = 64.0) -> NodePower:
+    """A hybrid node: both host sockets busy plus the card(s)."""
+    _check(cards, host_mem_gb)
+    return NodePower(
+        host_w=2 * SNB_SOCKET_W,
+        cards_w=cards * KNC_CARD_W,
+        dram_w=host_mem_gb * DRAM_W_PER_GB,
+        base_w=NODE_BASE_W,
+    )
+
+
+def native_node_power(cards: int = 1) -> NodePower:
+    """The paper's future-work node: cards compute, host deep-asleep.
+
+    Card GDDR power is inside the card TDP; host DRAM refresh and the
+    sleeping packages are folded into the sleep figure.
+    """
+    _check(cards, 1.0)
+    return NodePower(
+        host_w=HOST_SLEEP_W,
+        cards_w=cards * KNC_CARD_W,
+        dram_w=0.0,
+        base_w=NODE_BASE_W,
+    )
+
+
+def cpu_only_node_power(host_mem_gb: float = 64.0) -> NodePower:
+    """A host-only node (the Table III CPU baseline)."""
+    _check(1, host_mem_gb)
+    return NodePower(
+        host_w=2 * SNB_SOCKET_W,
+        cards_w=0.0,
+        dram_w=host_mem_gb * DRAM_W_PER_GB,
+        base_w=NODE_BASE_W,
+    )
+
+
+def energy_kj(power_w: float, time_s: float) -> float:
+    """Energy of a run in kilojoules."""
+    if power_w < 0 or time_s < 0:
+        raise ValueError("power and time must be non-negative")
+    return power_w * time_s / 1e3
+
+
+def gflops_per_watt(gflops: float, power_w: float) -> float:
+    """The energy-efficiency figure of merit."""
+    if power_w <= 0:
+        raise ValueError("power must be positive")
+    if gflops < 0:
+        raise ValueError("gflops must be non-negative")
+    return gflops / power_w
+
+
+def _check(cards: int, mem_gb: float) -> None:
+    if cards < 0:
+        raise ValueError("cards must be non-negative")
+    if mem_gb <= 0:
+        raise ValueError("memory must be positive")

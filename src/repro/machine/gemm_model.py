@@ -1,0 +1,154 @@
+"""Analytic GEMM timing/efficiency model for the Knights Corner and
+Sandy Bridge machines.
+
+This is the timing half of the DGEMM reproduction: given matrix sizes and
+block depth k it predicts the achieved fraction of peak and wall time,
+combining
+
+* the kernel amortisation model eff(k) = E0 * k/(k+u) with the L2-spill
+  hinge (calibrated to Table II),
+* tile-quantisation load imbalance across the 60 compute cores,
+* the fixed per-call distribution/synchronisation overhead,
+* optionally the packing overhead curve of Figure 4.
+
+The model regenerates Table II (efficiency vs k), Figure 4 (efficiency vs
+size, with and without packing), and supplies per-task durations to the
+LU/HPL discrete-event simulations.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.machine.calibration import Calibration, default_calibration
+from repro.machine.config import KNC, SNB, MachineConfig
+
+#: Tile footprint of the basic kernel: 30 rows (Kernel 2) x 8 columns.
+TILE_ROWS = 30
+TILE_COLS = 8
+
+
+def _quantisation_utilisation(m: int, n: int, threads: int) -> float:
+    """Fraction of thread-cycles doing useful work when the (m x n)
+    output is carved into TILE_ROWS x TILE_COLS tiles spread over
+    ``threads`` workers (ceil effects at small sizes)."""
+    tiles = math.ceil(m / TILE_ROWS) * math.ceil(n / TILE_COLS)
+    rounds = math.ceil(tiles / threads)
+    return tiles / (rounds * threads)
+
+
+def gemm_efficiency(
+    m: int,
+    n: int,
+    k: int,
+    machine: MachineConfig = KNC,
+    dtype_bytes: int = 8,
+    include_packing: bool = False,
+    cores: int | None = None,
+    cal: Calibration | None = None,
+) -> float:
+    """Achieved fraction of peak for an outer-product GEMM of shape
+    (m x k) @ (k x n) on the given machine.
+
+    For KNC this uses the calibrated kernel model; for SNB the MKL
+    baseline rolloff model. ``cores=None`` means the machine's compute
+    cores (native convention: 60 of 61 on KNC).
+    """
+    _validate_dims(m, n, k)
+    cal = cal or default_calibration()
+    if machine.name == SNB.name:
+        return snb_dgemm_efficiency(min(m, n), cal)
+
+    ncores = machine.compute_cores if cores is None else cores
+    eff = cal.dgemm_eff_k(k) if dtype_bytes == 8 else cal.sgemm_eff_k(k)
+    # Tile-quantisation imbalance across hardware threads (by core, since
+    # the four threads of a core cooperate on one 30-row tile).
+    eff *= _quantisation_utilisation(m, n, ncores)
+    # Fixed per-call overhead, amortised by the call's compute volume.
+    flops_per_cycle = machine.flops_per_cycle_per_core_dp() * ncores
+    if dtype_bytes == 4:
+        flops_per_cycle *= 2
+    compute_cycles = 2.0 * m * n * k / flops_per_cycle
+    eff *= compute_cycles / (compute_cycles + cal.gemm_call_overhead_cycles)
+    if include_packing:
+        eff *= 1.0 - cal.packing_overhead(m, n)
+    return eff
+
+
+def gemm_time_s(
+    m: int,
+    n: int,
+    k: int,
+    machine: MachineConfig = KNC,
+    dtype_bytes: int = 8,
+    include_packing: bool = False,
+    cores: int | None = None,
+    cal: Calibration | None = None,
+) -> float:
+    """Predicted wall time for the outer-product GEMM."""
+    ncores = machine.compute_cores if cores is None else cores
+    eff = gemm_efficiency(
+        m, n, k, machine, dtype_bytes, include_packing, cores=cores, cal=cal
+    )
+    peak = (
+        machine.peak_dp_gflops(ncores)
+        if dtype_bytes == 8
+        else machine.peak_sp_gflops(ncores)
+    )
+    flops = 2.0 * m * n * k
+    return flops / (eff * peak * 1e9)
+
+
+def gemm_gflops(
+    m: int,
+    n: int,
+    k: int,
+    machine: MachineConfig = KNC,
+    dtype_bytes: int = 8,
+    include_packing: bool = False,
+    cores: int | None = None,
+    cal: Calibration | None = None,
+) -> float:
+    """Predicted achieved GFLOPS."""
+    t = gemm_time_s(m, n, k, machine, dtype_bytes, include_packing, cores, cal)
+    return 2.0 * m * n * k / t / 1e9
+
+
+def dgemm_efficiency_vs_k(ks, m: int = 28000, n: int = 28000, cal=None) -> dict:
+    """The DGEMM row of Table II: k -> (efficiency, GFLOPS)."""
+    cal = cal or default_calibration()
+    out = {}
+    for k in ks:
+        eff = gemm_efficiency(m, n, k, KNC, dtype_bytes=8, cal=cal)
+        out[k] = (eff, eff * KNC.peak_dp_gflops(KNC.compute_cores))
+    return out
+
+
+def sgemm_efficiency_vs_k(ks, m: int = 28000, n: int = 28000, cal=None) -> dict:
+    """The SGEMM row of Table II: k -> (efficiency, GFLOPS)."""
+    cal = cal or default_calibration()
+    out = {}
+    for k in ks:
+        eff = gemm_efficiency(m, n, k, KNC, dtype_bytes=4, cal=cal)
+        out[k] = (eff, eff * KNC.peak_sp_gflops(KNC.compute_cores))
+    return out
+
+
+def packing_overhead(m: int, n: int, cal: Calibration | None = None) -> float:
+    """Packing overhead fraction (Figure 4's top-vs-middle curve gap)."""
+    cal = cal or default_calibration()
+    return cal.packing_overhead(m, n)
+
+
+def snb_dgemm_efficiency(n: int, cal: Calibration | None = None) -> float:
+    """MKL DGEMM efficiency on Sandy Bridge EP vs problem size
+    (Figure 4's bottom curve: ~90% at large sizes)."""
+    if n <= 0:
+        raise ValueError("matrix size must be positive")
+    cal = cal or default_calibration()
+    return cal.snb_dgemm_e0 * n / (n + cal.snb_dgemm_n0)
+
+
+def _validate_dims(m: int, n: int, k: int) -> None:
+    if m <= 0 or n <= 0 or k <= 0:
+        raise ValueError("matrix dimensions must be positive")

@@ -1,0 +1,52 @@
+"""Main-memory bandwidth model (STREAM numbers from Table I).
+
+Bandwidth-bound kernels in the timing layer (packing, DLASWP row
+swapping, the copy half of offload DGEMM) charge time through
+:class:`MemoryModel`, which shares a machine's STREAM bandwidth among the
+concurrent consumers and supports reserving a fraction for competing
+traffic (the paper notes PCIe transfers compete with swapping and host
+DGEMM for memory bandwidth).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.config import MachineConfig
+
+
+def stream_time_s(bytes_moved: float, bw_gbs: float) -> float:
+    """Seconds to move ``bytes_moved`` at ``bw_gbs`` GB/s."""
+    if bw_gbs <= 0:
+        raise ValueError("bandwidth must be positive")
+    if bytes_moved < 0:
+        raise ValueError("bytes must be non-negative")
+    return bytes_moved / (bw_gbs * 1e9)
+
+
+@dataclass
+class MemoryModel:
+    """Shared-bandwidth model for one machine's DRAM."""
+
+    machine: MachineConfig
+    #: Fraction of STREAM bandwidth actually available to the consumer
+    #: (the rest is lost to competing traffic such as PCIe DMA).
+    available_fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.available_fraction <= 1:
+            raise ValueError("available_fraction must be in (0, 1]")
+
+    @property
+    def effective_bw_gbs(self) -> float:
+        return self.machine.stream_bw_gbs * self.available_fraction
+
+    def transfer_time_s(self, bytes_moved: float, sharers: int = 1) -> float:
+        """Seconds to move bytes when ``sharers`` streams share the bus."""
+        if sharers < 1:
+            raise ValueError("sharers must be >= 1")
+        return stream_time_s(bytes_moved, self.effective_bw_gbs / sharers)
+
+    def copy_time_s(self, bytes_copied: float, sharers: int = 1) -> float:
+        """Seconds for a copy (reads + writes: 2x traffic)."""
+        return self.transfer_time_s(2 * bytes_copied, sharers)

@@ -1,0 +1,69 @@
+"""PCIe link model for host <-> Knights Corner transfers (Section V-B).
+
+Table I lists 6 GB/s of PCIe bandwidth; the paper's footnote explains
+that while 5.5 GB/s is achievable in isolation, PCIe transfers compete
+with swapping and host DGEMM for memory bandwidth, so the effective rate
+used for the tile-size bound is ~4 GB/s. The link model exposes both and
+implements the paper's tile-size analysis:
+
+* time to compute one Mt x Nt tile on KNC: ``2*Mt*Nt*Kt / P_dgemm``;
+* time to ship the output tile back: ``8*Mt*Nt / BW_pcie``;
+* hiding the transfer requires compute/transfer > 1, i.e.
+  ``Kt > 4 * P_dgemm / BW_pcie`` (~950 for P=950 GFLOPS, BW=4 GB/s; the
+  paper rounds up to Kt=1200 to cover input tiles and the k=300 kernel
+  preference).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PCIeLink:
+    """A host <-> coprocessor PCIe link (immutable, hashable — cached
+    tile-size precomputations key on it)."""
+
+    peak_bw_gbs: float = 6.0
+    #: Effective bandwidth under memory-bandwidth contention (footnote 4).
+    effective_bw_gbs: float = 4.0
+    latency_s: float = 10e-6
+
+    def __post_init__(self) -> None:
+        if self.effective_bw_gbs <= 0 or self.peak_bw_gbs <= 0:
+            raise ValueError("bandwidths must be positive")
+        if self.effective_bw_gbs > self.peak_bw_gbs:
+            raise ValueError("effective bandwidth cannot exceed peak")
+        if self.latency_s < 0:
+            raise ValueError("latency must be non-negative")
+
+    def transfer_time_s(self, nbytes: float, effective: bool = True) -> float:
+        """Seconds to move ``nbytes`` over the link (one direction)."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        bw = self.effective_bw_gbs if effective else self.peak_bw_gbs
+        return self.latency_s + nbytes / (bw * 1e9)
+
+    def tile_output_time_s(self, mt: int, nt: int, elem_bytes: int = 8) -> float:
+        """Time to ship an Mt x Nt output tile back to the host."""
+        return self.transfer_time_s(elem_bytes * mt * nt)
+
+    def min_kt_to_hide_transfer(
+        self, dgemm_gflops: float, elem_bytes: int = 8
+    ) -> float:
+        """The paper's lower bound Kt > 4 * P_dgemm / BW_pcie.
+
+        Derived from compute time (2*Mt*Nt*Kt / P) exceeding output
+        transfer time (elem_bytes*Mt*Nt / BW); Mt and Nt cancel.
+        """
+        if dgemm_gflops <= 0:
+            raise ValueError("dgemm_gflops must be positive")
+        return (elem_bytes / 2.0) * dgemm_gflops / self.effective_bw_gbs
+
+    def compute_to_transfer_ratio(
+        self, mt: int, nt: int, kt: int, dgemm_gflops: float, elem_bytes: int = 8
+    ) -> float:
+        """Ratio of tile compute time to output transfer time (>1 hides it)."""
+        compute_s = 2.0 * mt * nt * kt / (dgemm_gflops * 1e9)
+        transfer_s = self.tile_output_time_s(mt, nt, elem_bytes)
+        return compute_s / transfer_s

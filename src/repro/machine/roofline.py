@@ -1,0 +1,87 @@
+"""The cache-blocking bandwidth analysis of Section III-A1.
+
+For L2 blocks Ab (m x k), Bb (k x n), Cb (m x n) the paper derives:
+
+* all three blocks must fit in the 512 KB L2:
+  ``8 * (m*n + m*k + k*n) < 512 KB``;
+* computing Cb takes ``m*n*k / 8`` vmadd cycles (8 vmadds/cycle/core);
+* memory traffic is ``8 * (2*m*n + m*k + k*n)`` bytes (Cb read+written);
+* required bandwidth is ``64 * (2/k + 1/n + 1/m)`` bytes/cycle/core,
+  which for m=120, n=32, k=240 is ~1.1 B/cycle = ~74 GB/s over 60 cores
+  at 1.1 GHz — well under the 150 GB/s STREAM bandwidth.
+
+For large N the Ab load amortises and the bound loses its 1/n term:
+``64 * (2/k + 1/m)``.
+"""
+
+from __future__ import annotations
+
+from repro.machine.config import KNC, MachineConfig
+
+
+def l2_block_bytes(m: int, n: int, k: int, elem_bytes: int = 8) -> int:
+    """Bytes occupied in L2 by the three blocks Ab, Bb, Cb."""
+    _validate(m, n, k)
+    return elem_bytes * (m * n + m * k + k * n)
+
+
+def l2_blocks_fit(
+    m: int, n: int, k: int, machine: MachineConfig = KNC, elem_bytes: int = 8
+) -> bool:
+    """The paper's conservative inequality: all three blocks fit in L2."""
+    return l2_block_bytes(m, n, k, elem_bytes) < machine.l2.size_bytes
+
+
+def compute_cycles(m: int, n: int, k: int, vmadds_per_cycle: int = 8) -> float:
+    """Minimum cycles to compute the m x n block: m*n*k / (8 vmadds/cycle)."""
+    _validate(m, n, k)
+    return m * n * k / vmadds_per_cycle
+
+
+def memory_traffic_bytes(m: int, n: int, k: int, elem_bytes: int = 8) -> int:
+    """Main-memory traffic to stream all blocks in; Cb counted twice."""
+    _validate(m, n, k)
+    return elem_bytes * (2 * m * n + m * k + k * n)
+
+
+def required_bandwidth_bytes_per_cycle(
+    m: int, n: int, k: int, amortize_a: bool = False, elem_bytes: int = 8
+) -> float:
+    """Per-core bandwidth demand, the paper's 64*(2/k + 1/n + 1/m).
+
+    With ``amortize_a=True`` the 1/n term drops (large-N limit where the
+    cost of bringing Ab into L2 is amortised): 64*(2/k + 1/m).
+    """
+    _validate(m, n, k)
+    scale = 8 * elem_bytes  # 64 for doubles
+    if amortize_a:
+        return scale * (2.0 / k + 1.0 / m)
+    return scale * (2.0 / k + 1.0 / n + 1.0 / m)
+
+
+def required_bandwidth_gbs(
+    m: int,
+    n: int,
+    k: int,
+    machine: MachineConfig = KNC,
+    cores: int | None = None,
+    amortize_a: bool = False,
+) -> float:
+    """Aggregate bandwidth demand in GB/s over ``cores`` compute cores."""
+    ncores = machine.compute_cores if cores is None else cores
+    bpc = required_bandwidth_bytes_per_cycle(m, n, k, amortize_a=amortize_a)
+    return bpc * ncores * machine.clock_ghz  # bytes/cycle * cycles/ns = GB/s
+
+
+def bandwidth_feasible(
+    m: int, n: int, k: int, machine: MachineConfig = KNC, amortize_a: bool = False
+) -> bool:
+    """Whether the blocking's demand stays under STREAM bandwidth."""
+    return required_bandwidth_gbs(m, n, k, machine, amortize_a=amortize_a) < (
+        machine.stream_bw_gbs
+    )
+
+
+def _validate(m: int, n: int, k: int) -> None:
+    if m <= 0 or n <= 0 or k <= 0:
+        raise ValueError("block dimensions must be positive")

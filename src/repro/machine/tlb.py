@@ -1,0 +1,84 @@
+"""TLB model — the other half of the Section III-A3 packing argument.
+
+"Multiplying matrices stored in row or column-major format may result in
+performance degradation, due to TLB pressure and cache associativity
+conflicts, especially when these matrices have large leading dimensions."
+
+:class:`TLBSim` is an LRU translation buffer; the access-stream helpers
+generate the page-touch patterns of walking a matrix column with a large
+leading dimension (one page per element: every access translates a new
+page once the working set exceeds the TLB) versus walking a packed tile
+(all columns inside a handful of pages). Together with
+:class:`repro.machine.cache.CacheSim`, the associated tests demonstrate
+*why* the packed format of Figure 3 exists.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable, List
+
+
+class TLBSim:
+    """A fully-associative LRU TLB (entries x page_bytes of reach)."""
+
+    def __init__(self, entries: int = 64, page_bytes: int = 4096):
+        if entries < 1 or page_bytes < 1:
+            raise ValueError("entries and page size must be positive")
+        self.entries = entries
+        self.page_bytes = page_bytes
+        self._lru: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def reach_bytes(self) -> int:
+        """Memory covered without a miss (entries * page size)."""
+        return self.entries * self.page_bytes
+
+    def access(self, addr: int) -> bool:
+        """Translate ``addr``; True on hit."""
+        page = addr // self.page_bytes
+        if page in self._lru:
+            self._lru.move_to_end(page)
+            self.hits += 1
+            return True
+        if len(self._lru) >= self.entries:
+            self._lru.popitem(last=False)
+        self._lru[page] = True
+        self.misses += 1
+        return False
+
+    def access_array(self, addrs: Iterable[int]) -> int:
+        before = self.misses
+        for a in addrs:
+            self.access(a)
+        return self.misses - before
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0
+
+
+def column_walk_addresses(
+    rows: int, leading_dim: int, elem_bytes: int = 8, col: int = 0
+) -> List[int]:
+    """Byte addresses of one column walk of a row-major (rows x ld)
+    matrix: consecutive elements sit ``ld * elem_bytes`` apart."""
+    if rows < 1 or leading_dim < 1:
+        raise ValueError("rows and leading dimension must be positive")
+    stride = leading_dim * elem_bytes
+    return [r * stride + col * elem_bytes for r in range(rows)]
+
+
+def packed_tile_addresses(
+    rows: int, k: int, tile_rows: int = 30, elem_bytes: int = 8
+) -> List[int]:
+    """Byte addresses of reading packed column-major tiles end to end:
+    contiguous, so the page footprint is the data footprint."""
+    if rows < 1 or k < 1 or tile_rows < 1:
+        raise ValueError("dimensions must be positive")
+    n_tiles = -(-rows // tile_rows)
+    total = n_tiles * tile_rows * k
+    return [i * elem_bytes for i in range(total)]

@@ -1,0 +1,178 @@
+"""Functional emulation of the Knights Corner vector ISA subset used by
+the DGEMM basic kernels (Figures 1 and 2 of the paper).
+
+The emulator models a register file of 32 vector registers, each holding
+``VLEN`` = 8 double-precision lanes, and the instruction flavours the
+kernels rely on:
+
+* ``vmadd`` — fused multiply-add ``dst += src1 * src2`` where ``src2``
+  may be a register or a memory operand with an in-flight broadcast;
+* ``broadcast 1to8`` — replicate one element of memory into all 8 lanes
+  (Figure 1a describes 4to8; 1to8 is the single-element variant used in
+  Basic Kernel 1);
+* ``broadcast 4to8`` — replicate a 4-element group twice (Figure 1a);
+* ``swizzle`` — replicate the i-th element of each 4-element lane group
+  four times within that group (Figure 1b), used by Basic Kernel 2 to
+  avoid memory-operand broadcasts for the first four rows.
+
+The emulation is *functional*: it computes the same values the hardware
+would. Cycle costs live separately in :mod:`repro.machine.kernel_model`,
+keeping "what is computed" and "how long it takes" decoupled. The
+emulator also counts instructions by category so the kernel
+implementations can be checked against the paper's instruction-mix
+arithmetic (31 or 30 vmadds out of 32 vector instructions per iteration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Double-precision lanes per vector register (512 bits / 64 bits).
+VLEN = 8
+
+
+@dataclass
+class InstructionCounts:
+    """Vector-instruction census, by flavour."""
+
+    vmadd: int = 0
+    vmadd_mem: int = 0  # vmadds whose second operand came from memory
+    load: int = 0
+    store: int = 0
+    broadcast: int = 0
+    swizzle_use: int = 0  # vmadds consuming a swizzled register operand
+    prefetch: int = 0
+
+    @property
+    def vector_total(self) -> int:
+        """Instructions occupying a vector-pipe slot.
+
+        Prefetches and scalar bookkeeping co-issue on the second pipe of
+        the dual-issue core (Section II) and therefore do not count.
+        """
+        return self.vmadd + self.load + self.store + self.broadcast
+
+    @property
+    def memory_accessing(self) -> int:
+        """Vector-pipe instructions that touch the L1 ports."""
+        return self.vmadd_mem + self.load + self.store + self.broadcast
+
+
+class VectorMachine:
+    """A tiny functional model of one KNC hardware thread's vector unit.
+
+    Registers are indexed 0..n_registers-1; each register holds
+    ``lanes`` elements of ``dtype`` — 8 float64 lanes for DGEMM, 16
+    float32 lanes for SGEMM (the same 512-bit registers either way).
+    All operations validate register indices so kernels that would not
+    fit the real register file fail loudly.
+    """
+
+    def __init__(self, n_registers: int = 32, dtype=np.float64, lanes: int = None):
+        if n_registers < 1:
+            raise ValueError("need at least one vector register")
+        self.n_registers = n_registers
+        self.dtype = np.dtype(dtype)
+        if lanes is None:
+            lanes = 64 // self.dtype.itemsize  # 512-bit registers
+        if lanes < 4 or lanes % 4:
+            raise ValueError("lanes must be a positive multiple of 4")
+        self.lanes = lanes
+        self.regs = np.zeros((n_registers, lanes), dtype=self.dtype)
+        self.counts = InstructionCounts()
+
+    # -- helpers -----------------------------------------------------------
+    def _check(self, *idx: int) -> None:
+        for i in idx:
+            if not (0 <= i < self.n_registers):
+                raise IndexError(
+                    f"register v{i} out of range (file has {self.n_registers})"
+                )
+
+    def reset_counts(self) -> None:
+        self.counts = InstructionCounts()
+
+    # -- instructions ------------------------------------------------------
+    def vzero(self, dst: int) -> None:
+        """Zero a register (used to initialise the c accumulators)."""
+        self._check(dst)
+        self.regs[dst] = 0.0
+
+    def vload(self, dst: int, mem: np.ndarray) -> None:
+        """Vector load of 8 contiguous elements."""
+        self._check(dst)
+        mem = np.asarray(mem, dtype=self.dtype)
+        if mem.shape != (self.lanes,):
+            raise ValueError(f"vload expects {self.lanes} contiguous elements")
+        self.regs[dst] = mem
+        self.counts.load += 1
+
+    def vstore(self, src: int, out: np.ndarray) -> None:
+        """Vector store of 8 contiguous elements."""
+        self._check(src)
+        if out.shape != (self.lanes,):
+            raise ValueError(f"vstore expects {self.lanes} contiguous elements")
+        out[:] = self.regs[src]
+        self.counts.store += 1
+
+    def broadcast_1to8(self, dst: int, value: float) -> None:
+        """Replicate a single memory element into all lanes (Figure 1a)."""
+        self._check(dst)
+        self.regs[dst] = self.dtype.type(value)
+        self.counts.broadcast += 1
+
+    def broadcast_4to8(self, dst: int, mem: np.ndarray) -> None:
+        """Replicate four memory elements across the register:
+        [a b c d a b c d] at 8 lanes, four repetitions at 16 (the SP
+        flavour of the same 4toN broadcast)."""
+        self._check(dst)
+        mem = np.asarray(mem, dtype=self.dtype)
+        if mem.shape != (4,):
+            raise ValueError("4toN broadcast takes exactly 4 elements")
+        self.regs[dst] = np.tile(mem, self.lanes // 4)
+        self.counts.broadcast += 1
+
+    @staticmethod
+    def _swizzle(vec: np.ndarray, i: int) -> np.ndarray:
+        """SWIZZLE_i: replicate element i of each 4-lane group (Figure 1b)."""
+        if not 0 <= i < 4:
+            raise ValueError("swizzle index must be in 0..3")
+        groups = vec.reshape(-1, 4)
+        return np.repeat(groups[:, i], 4).astype(vec.dtype, copy=False)
+
+    def vmadd(self, dst: int, src1: int, src2: int) -> None:
+        """dst += src1 * src2, all registers."""
+        self._check(dst, src1, src2)
+        self.regs[dst] += self.regs[src1] * self.regs[src2]
+        self.counts.vmadd += 1
+
+    def vmadd_swizzle(self, dst: int, src1: int, src2: int, swizzle: int) -> None:
+        """dst += src1 * SWIZZLE_swizzle(src2) — in-flight swizzle, no memory."""
+        self._check(dst, src1, src2)
+        self.regs[dst] += self.regs[src1] * self._swizzle(self.regs[src2], swizzle)
+        self.counts.vmadd += 1
+        self.counts.swizzle_use += 1
+
+    def vmadd_mem_1to8(self, dst: int, src1: int, value: float) -> None:
+        """dst += src1 * broadcast_1to8(memory) — memory-operand vmadd."""
+        self._check(dst, src1)
+        self.regs[dst] += self.regs[src1] * self.dtype.type(value)
+        self.counts.vmadd += 1
+        self.counts.vmadd_mem += 1
+
+    def vmadd_mem_vec(self, dst: int, src1: int, mem: np.ndarray) -> None:
+        """dst += src1 * memory-vector (full 8-element memory operand)."""
+        self._check(dst, src1)
+        mem = np.asarray(mem, dtype=self.dtype)
+        if mem.shape != (self.lanes,):
+            raise ValueError(f"memory operand must have {self.lanes} elements")
+        self.regs[dst] += self.regs[src1] * mem
+        self.counts.vmadd += 1
+        self.counts.vmadd_mem += 1
+
+    def prefetch(self) -> None:
+        """Record an L1/L2 software prefetch (co-issues; port use modelled
+        in :mod:`repro.machine.cache`)."""
+        self.counts.prefetch += 1

@@ -1,0 +1,19 @@
+"""Reporting: paper-style tables and ASCII Gantt charts.
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report; this package holds the shared formatting: fixed-width
+tables (:mod:`repro.report.tables`) and trace renderings of the Figure 7
+and Figure 9 charts (:mod:`repro.report.gantt`).
+"""
+
+from repro.report.tables import Table, format_row
+from repro.report.gantt import render_gantt, render_stacked_profile
+from repro.report.chart import render_chart
+
+__all__ = [
+    "Table",
+    "format_row",
+    "render_gantt",
+    "render_stacked_profile",
+    "render_chart",
+]

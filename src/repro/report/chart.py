@@ -1,0 +1,64 @@
+"""ASCII line charts for the figure benchmarks.
+
+Renders multi-series x/y data as a character grid — enough to eyeball
+the *shape* of Figure 4/6/11 (who is on top, where curves cross, where
+they flatten) straight from the benchmark artifacts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+#: Series glyphs, assigned in declaration order.
+GLYPHS = "ox+*#@%&"
+
+
+def render_chart(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    width: int = 72,
+    height: int = 20,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render named (x, y) series on one shared axis grid.
+
+    Points map to the nearest cell; later series overwrite earlier ones
+    where they collide (collisions are rare at default resolution and
+    harmless for shape-reading).
+    """
+    if width < 8 or height < 4:
+        raise ValueError("chart too small to draw")
+    if not series or all(len(pts) == 0 for pts in series.values()):
+        return "(no data)"
+    xs = [x for pts in series.values() for x, _ in pts]
+    ys = [y for pts in series.values() for _, y in pts]
+    x0, x1 = min(xs), max(xs)
+    y0, y1 = min(ys), max(ys)
+    if x1 == x0:
+        x1 = x0 + 1.0
+    if y1 == y0:
+        y1 = y0 + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for (name, pts), glyph in zip(series.items(), GLYPHS):
+        for x, y in pts:
+            col = round((x - x0) / (x1 - x0) * (width - 1))
+            row = height - 1 - round((y - y0) / (y1 - y0) * (height - 1))
+            grid[row][col] = glyph
+
+    lines: List[str] = []
+    if y_label:
+        lines.append(y_label)
+    for i, row in enumerate(grid):
+        edge = f"{y1:10.3g} |" if i == 0 else (
+            f"{y0:10.3g} |" if i == height - 1 else " " * 11 + "|"
+        )
+        lines.append(edge + "".join(row))
+    lines.append(" " * 11 + "+" + "-" * width)
+    x_axis = f"{x0:<12.4g}{x_label:^{max(width - 24, 0)}}{x1:>12.4g}"
+    lines.append(" " * 11 + x_axis)
+    legend = "   ".join(
+        f"{glyph}={name}" for (name, _), glyph in zip(series.items(), GLYPHS)
+    )
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,99 @@
+"""ASCII renderings of execution traces.
+
+:func:`render_gantt` draws the Figure 7-style chart: one text row per
+worker, one character per time bucket, with a legend mapping activity
+kinds to characters (DGETRF/DLASWP/DTRSM/DGEMM/barrier like the paper's
+violet/light-blue/orange/green/white).
+
+:func:`render_stacked_profile` draws the Figure 9-style per-window
+breakdown: for consecutive time windows, the percentage of worker time
+per kind — the stacked-area data of the paper's execution profiles.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.sim.trace import TraceRecorder
+
+#: Default kind -> glyph mapping, mirroring the Figure 7 legend.
+DEFAULT_GLYPHS = {
+    "dgetrf": "P",  # violet: panel factorization
+    "panel": "P",
+    "dlaswp": "s",  # light blue: row swapping
+    "dtrsm": "t",  # orange: triangular solve
+    "dgemm": "#",  # green: trailing update
+    "update": "#",
+    "barrier": ".",  # white: barrier / idle
+    "pack": "k",
+    "dma_in": "<",
+    "dma_out": ">",
+    "accumulate": "a",
+    "ubcast": "u",
+    "lbcast": "l",
+    "update_head": "h",
+}
+
+
+def render_gantt(
+    trace: TraceRecorder,
+    width: int = 100,
+    workers: Optional[Sequence[str]] = None,
+    glyphs: Optional[Dict[str, str]] = None,
+) -> str:
+    """Render the trace as one lane per worker (idle = space)."""
+    if width < 1:
+        raise ValueError("width must be positive")
+    glyphs = {**DEFAULT_GLYPHS, **(glyphs or {})}
+    names = list(workers) if workers is not None else trace.workers()
+    span = trace.makespan
+    if span <= 0 or not names:
+        return "(empty trace)"
+    dt = span / width
+    label_w = max(len(n) for n in names)
+    lines = []
+    for name in names:
+        lane = [" "] * width
+        for s in trace.spans_for(name):
+            b0 = min(width - 1, int(s.start / dt))
+            b1 = min(width - 1, max(b0, int((s.end - 1e-12) / dt)))
+            ch = glyphs.get(s.kind, "?")
+            for b in range(b0, b1 + 1):
+                lane[b] = ch
+        lines.append(f"{name.ljust(label_w)} |{''.join(lane)}|")
+    used = sorted({s.kind for s in trace.spans if s.worker in set(names)})
+    legend = "  ".join(f"{glyphs.get(k, '?')}={k}" for k in used)
+    lines.append(f"{''.ljust(label_w)}  0{'.' * (width - 12)}{span:9.3g}s")
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)
+
+
+def render_stacked_profile(
+    trace: TraceRecorder,
+    n_windows: int = 20,
+    worker: Optional[str] = None,
+    kinds: Optional[Sequence[str]] = None,
+) -> str:
+    """Figure 9-style profile: per-window percentage of time by kind.
+
+    Percentages are of the window's wall time; the remainder is idle.
+    """
+    if n_windows < 1:
+        raise ValueError("need at least one window")
+    span = trace.makespan
+    if span <= 0:
+        return "(empty trace)"
+    all_kinds = list(kinds) if kinds is not None else trace.kinds()
+    header = "window    " + "".join(k.rjust(12) for k in all_kinds) + "       idle%"
+    lines = [header, "-" * len(header)]
+    dt = span / n_windows
+    for w in range(n_windows):
+        t0, t1 = w * dt, (w + 1) * dt
+        by_kind = trace.window_by_kind(t0, t1, worker=worker)
+        workers = [worker] if worker else trace.workers()
+        denom = dt * len(workers)
+        fractions = [100.0 * by_kind.get(k, 0.0) / denom for k in all_kinds]
+        idle = max(0.0, 100.0 - sum(fractions))
+        cells = "".join(f"{f:12.1f}" for f in fractions)
+        lines.append(f"[{t0:7.2f}s {cells}{idle:12.1f}")
+    return "\n".join(lines)

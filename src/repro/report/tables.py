@@ -1,0 +1,57 @@
+"""Fixed-width text tables for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_row(cells: Sequence, widths: Sequence[int]) -> str:
+    """One row with right-aligned numeric cells."""
+    out = []
+    for cell, w in zip(cells, widths):
+        if isinstance(cell, float):
+            text = f"{cell:.1f}" if abs(cell) >= 100 else f"{cell:.3g}"
+        else:
+            text = str(cell)
+        out.append(text.rjust(w) if _is_number(cell) else text.ljust(w))
+    return "  ".join(out).rstrip()
+
+
+def _is_number(x) -> bool:
+    return isinstance(x, (int, float)) and not isinstance(x, bool)
+
+
+class Table:
+    """A simple accumulating table with a title and column headers."""
+
+    def __init__(self, title: str, columns: Sequence[str]):
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[list] = []
+
+    def add(self, *cells) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} cells, got {len(cells)}"
+            )
+        self.rows.append(list(cells))
+
+    def _widths(self) -> List[int]:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                text = f"{cell:.3g}" if isinstance(cell, float) else str(cell)
+                widths[i] = max(widths[i], len(text))
+        return widths
+
+    def render(self) -> str:
+        widths = self._widths()
+        lines = [self.title, "=" * len(self.title)]
+        lines.append(format_row(self.columns, widths))
+        lines.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+        for row in self.rows:
+            lines.append(format_row(row, widths))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,220 @@
+"""Generator-based discrete-event simulation core.
+
+Processes are Python generators. A process may yield:
+
+* a number — sleep for that many simulated seconds;
+* an :class:`Event` — suspend until the event is triggered; the yield
+  expression evaluates to the event's value;
+* a :class:`Process` — suspend until that process terminates (join).
+
+The engine is deterministic: events scheduled for the same time fire in
+insertion order. Simulated time is a float in seconds (the machine
+models convert cycles/bytes to seconds before scheduling).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, List, Optional
+
+
+class Interrupt(Exception):
+    """Thrown into a process that is interrupted while waiting."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot event; processes wait on it and resume when triggered."""
+
+    __slots__ = ("sim", "_waiters", "triggered", "value")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self._waiters: List["Process"] = []
+        self.triggered = False
+        self.value: Any = None
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event, waking all current waiters in FIFO order."""
+        if self.triggered:
+            raise RuntimeError("event already triggered")
+        self.triggered = True
+        self.value = value
+        for proc in self._waiters:
+            self.sim._schedule(self.sim.now, proc._resume, value)
+        self._waiters.clear()
+        return self
+
+    def _add_waiter(self, proc: "Process") -> None:
+        if self.triggered:
+            self.sim._schedule(self.sim.now, proc._resume, self.value)
+        else:
+            self._waiters.append(proc)
+
+    def abandon(self, proc: "Process") -> None:
+        """Remove a waiter (used when a process is interrupted)."""
+        if proc in self._waiters:
+            self._waiters.remove(proc)
+
+
+class Process:
+    """A running generator inside the simulator."""
+
+    __slots__ = ("sim", "gen", "name", "alive", "_done_event", "result", "_waiting_on")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+        self.sim = sim
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self.alive = True
+        self.result: Any = None
+        self._done_event = Event(sim)
+        self._waiting_on: Optional[Event] = None
+        sim._schedule(sim.now, self._resume, None)
+
+    @property
+    def done(self) -> Event:
+        """Event triggered when this process terminates."""
+        return self._done_event
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.alive:
+            return
+        if self._waiting_on is not None:
+            self._waiting_on.abandon(self)
+            self._waiting_on = None
+        self.sim._schedule(self.sim.now, self._throw, Interrupt(cause))
+
+    # -- engine internals ----------------------------------------------------
+    def _resume(self, value: Any) -> None:
+        if not self.alive:
+            return
+        self._waiting_on = None
+        try:
+            target = self.gen.send(value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        self._handle_yield(target)
+
+    def _throw(self, exc: BaseException) -> None:
+        if not self.alive:
+            return
+        try:
+            target = self.gen.throw(exc)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        self._handle_yield(target)
+
+    def _handle_yield(self, target: Any) -> None:
+        if isinstance(target, (int, float)):
+            if target < 0:
+                raise ValueError(f"process {self.name!r} slept negative time {target}")
+            self.sim._schedule(self.sim.now + target, self._resume, None)
+        elif isinstance(target, Event):
+            self._waiting_on = target
+            target._add_waiter(self)
+        elif isinstance(target, Process):
+            self._waiting_on = target._done_event
+            target._done_event._add_waiter(self)
+        else:
+            raise TypeError(
+                f"process {self.name!r} yielded {target!r}; expected a delay, "
+                "Event, or Process"
+            )
+
+    def _finish(self, result: Any) -> None:
+        self.alive = False
+        self.result = result
+        self._done_event.succeed(result)
+
+
+class Simulator:
+    """The event loop."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: List = []
+        self._seq = 0  # tie-break counter for determinism
+        self._active_processes = 0
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def process(self, gen: Generator, name: str = "") -> Process:
+        """Register a generator as a process starting now."""
+        return Process(self, gen, name)
+
+    def timeout_event(self, delay: float, value: Any = None) -> Event:
+        """An event that triggers ``delay`` seconds from now."""
+        ev = Event(self)
+        self._schedule(self.now + delay, ev.succeed, value)
+        return ev
+
+    def any_of(self, events: List[Event]) -> Event:
+        """An event triggering when the first of ``events`` triggers.
+
+        The value is the (index, value) pair of the first trigger.
+        """
+        out = Event(self)
+
+        def make_cb(i: int) -> Callable:
+            def cb(value: Any) -> None:
+                if not out.triggered:
+                    out.succeed((i, value))
+
+            return cb
+
+        for i, ev in enumerate(events):
+            watcher = _watcher(ev, make_cb(i))
+            self.process(watcher, name="any_of_watcher")
+        return out
+
+    def all_of(self, events: List[Event]) -> Event:
+        """An event triggering when all of ``events`` have triggered."""
+        out = Event(self)
+        remaining = [len(events)]
+        if not events:
+            self._schedule(self.now, out.succeed, None)
+            return out
+
+        def make_cb() -> Callable:
+            def cb(_value: Any) -> None:
+                remaining[0] -= 1
+                if remaining[0] == 0:
+                    out.succeed(None)
+
+            return cb
+
+        for ev in events:
+            self.process(_watcher(ev, make_cb()), name="all_of_watcher")
+        return out
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the queue drains (or simulated time passes ``until``).
+
+        Returns the final simulation time.
+        """
+        while self._heap:
+            t, _seq, fn, arg = self._heap[0]
+            if until is not None and t > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._heap)
+            self.now = t
+            fn(arg)
+        return self.now
+
+    def _schedule(self, at: float, fn: Callable, arg: Any) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (at, self._seq, fn, arg))
+
+
+def _watcher(ev: Event, cb: Callable) -> Generator:
+    value = yield ev
+    cb(value)

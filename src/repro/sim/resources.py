@@ -1,0 +1,138 @@
+"""Synchronisation primitives for the DES: FIFO lock, barrier, store.
+
+These model the shared resources of the paper's schedulers: the DAG
+critical section (a lock whose contention the "master thread" design
+reduces — Section IV-A), group and global barriers (static look-ahead and
+super-stage regrouping), and memory-mapped request/response queues of the
+offload DGEMM design (Figure 10b).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator, List, Optional
+
+from repro.sim.engine import Event, Simulator
+
+
+class Lock:
+    """FIFO mutex; optionally charges a fixed hold (service) time.
+
+    Usage inside a process::
+
+        yield from lock.acquire()
+        ... critical section ...
+        lock.release()
+    """
+
+    def __init__(self, sim: Simulator, service_time: float = 0.0):
+        if service_time < 0:
+            raise ValueError("service_time must be non-negative")
+        self.sim = sim
+        self.service_time = service_time
+        self._locked = False
+        self._queue: Deque[Event] = deque()
+        # statistics
+        self.acquisitions = 0
+        self.total_wait = 0.0
+        self.max_queue_len = 0
+
+    @property
+    def locked(self) -> bool:
+        return self._locked
+
+    def acquire(self) -> Generator:
+        """Generator to be delegated to with ``yield from``."""
+        t0 = self.sim.now
+        if self._locked:
+            ev = self.sim.event()
+            self._queue.append(ev)
+            self.max_queue_len = max(self.max_queue_len, len(self._queue))
+            yield ev
+        self._locked = True
+        self.acquisitions += 1
+        self.total_wait += self.sim.now - t0
+        if self.service_time:
+            yield self.service_time
+
+    def release(self) -> None:
+        if not self._locked:
+            raise RuntimeError("release of an unlocked Lock")
+        if self._queue:
+            # Hand over directly: stays locked, next waiter proceeds.
+            self._queue.popleft().succeed()
+        else:
+            self._locked = False
+
+    @property
+    def mean_wait(self) -> float:
+        return self.total_wait / self.acquisitions if self.acquisitions else 0.0
+
+
+class Barrier:
+    """Reusable n-party barrier.
+
+    ``yield from barrier.wait()``; the last arriving party releases all.
+    """
+
+    def __init__(self, sim: Simulator, parties: int, overhead: float = 0.0):
+        if parties < 1:
+            raise ValueError("barrier needs at least one party")
+        if overhead < 0:
+            raise ValueError("overhead must be non-negative")
+        self.sim = sim
+        self.parties = parties
+        self.overhead = overhead  # extra time charged to every party
+        self._count = 0
+        self._event = sim.event()
+        self.generations = 0
+
+    def wait(self) -> Generator:
+        self._count += 1
+        if self._count == self.parties:
+            ev = self._event
+            self._event = self.sim.event()
+            self._count = 0
+            self.generations += 1
+            ev.succeed()
+            if self.overhead:
+                yield self.overhead
+        else:
+            ev = self._event
+            yield ev
+            if self.overhead:
+                yield self.overhead
+
+
+class Store:
+    """Unbounded FIFO store (the req/res queues of Figure 10b).
+
+    ``put`` is immediate; ``get`` suspends until an item is available.
+    """
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self.puts = 0
+        self.gets = 0
+
+    def put(self, item: Any) -> None:
+        self.puts += 1
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Generator:
+        """``item = yield from store.get()``."""
+        self.gets += 1
+        if self._items:
+            return self._items.popleft()
+        ev = self.sim.event()
+        self._getters.append(ev)
+        item = yield ev
+        return item
+
+    def __len__(self) -> int:
+        return len(self._items)

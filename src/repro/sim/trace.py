@@ -1,0 +1,104 @@
+"""Execution trace recording: per-worker activity spans.
+
+The Gantt charts of Figure 7 (native LU, static vs dynamic scheduling)
+and the per-iteration breakdowns of Figure 9 (hybrid HPL with/without the
+swapping pipeline) are renderings of this trace: every worker records
+(kind, start, end) spans, and the recorder aggregates busy/idle time
+globally, per worker, per kind, or within a time window.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+
+@dataclass(frozen=True)
+class Span:
+    """One contiguous activity interval on one worker."""
+
+    worker: str
+    kind: str
+    start: float
+    end: float
+    info: Optional[str] = None
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class TraceRecorder:
+    """Collects spans and computes aggregate statistics."""
+
+    def __init__(self) -> None:
+        self.spans: List[Span] = []
+
+    def record(
+        self, worker: str, kind: str, start: float, end: float, info: str = None
+    ) -> Span:
+        if end < start:
+            raise ValueError(f"span ends before it starts: {start} > {end}")
+        span = Span(worker, kind, start, end, info)
+        self.spans.append(span)
+        return span
+
+    # -- aggregate queries ---------------------------------------------------
+    @property
+    def makespan(self) -> float:
+        return max((s.end for s in self.spans), default=0.0)
+
+    def workers(self) -> List[str]:
+        seen = dict.fromkeys(s.worker for s in self.spans)
+        return list(seen)
+
+    def kinds(self) -> List[str]:
+        seen = dict.fromkeys(s.kind for s in self.spans)
+        return list(seen)
+
+    def busy_time(self, worker: str = None, kind: str = None) -> float:
+        """Total span time, filtered by worker and/or kind."""
+        return sum(
+            s.duration
+            for s in self.spans
+            if (worker is None or s.worker == worker)
+            and (kind is None or s.kind == kind)
+        )
+
+    def time_by_kind(self, worker: str = None) -> Dict[str, float]:
+        out: Dict[str, float] = defaultdict(float)
+        for s in self.spans:
+            if worker is None or s.worker == worker:
+                out[s.kind] += s.duration
+        return dict(out)
+
+    def idle_fraction(self, worker: str, t_end: float = None) -> float:
+        """1 - busy/total for one worker over [0, t_end or makespan]."""
+        total = self.makespan if t_end is None else t_end
+        if total <= 0:
+            return 0.0
+        return max(0.0, 1.0 - self.busy_time(worker) / total)
+
+    def window_by_kind(self, t0: float, t1: float, worker: str = None) -> Dict[str, float]:
+        """Span time per kind clipped to the window [t0, t1]."""
+        if t1 < t0:
+            raise ValueError("window ends before it starts")
+        out: Dict[str, float] = defaultdict(float)
+        for s in self.spans:
+            if worker is not None and s.worker != worker:
+                continue
+            lo, hi = max(s.start, t0), min(s.end, t1)
+            if hi > lo:
+                out[s.kind] += hi - lo
+        return dict(out)
+
+    def spans_for(self, worker: str) -> List[Span]:
+        return [s for s in self.spans if s.worker == worker]
+
+    def utilisation(self, workers: Iterable[str] = None) -> float:
+        """Mean busy fraction across the given (or all) workers."""
+        names = list(workers) if workers is not None else self.workers()
+        if not names or self.makespan == 0:
+            return 0.0
+        return sum(1.0 - self.idle_fraction(w) for w in names) / len(names)

@@ -1,0 +1,60 @@
+"""L2 block-size chooser (Section III-A1)."""
+
+import pytest
+
+from repro.blas.blocking import BlockChoice, choose_blocking
+from repro.machine import KNC, SNB
+
+
+class TestChooser:
+    def test_knc_choice_is_feasible(self):
+        c = choose_blocking(KNC)
+        assert c.l2_bytes < KNC.l2.size_bytes
+        assert c.bandwidth_gbs < KNC.stream_bw_gbs
+
+    def test_knc_prefers_deep_k(self):
+        # The paper argues for large k (amortise c update, lower
+        # bandwidth); the chooser must not pick the smallest k.
+        c = choose_blocking(KNC)
+        assert c.k >= 240
+
+    def test_m_is_tile_multiple(self):
+        c = choose_blocking(KNC)
+        assert c.m % 30 == 0
+        assert c.n % 8 == 0
+
+    def test_ab_dominates_l2(self):
+        # Goto-style: the m x k block takes the largest share.
+        c = choose_blocking(KNC)
+        ab = 8 * c.m * c.k
+        bb = 8 * c.k * c.n
+        cb = 8 * c.m * c.n
+        assert ab > bb and ab > cb
+
+    def test_single_precision_allows_bigger_blocks(self):
+        cd = choose_blocking(KNC, elem_bytes=8)
+        cs = choose_blocking(KNC, elem_bytes=4)
+        assert cs.m * cs.k >= cd.m * cd.k
+
+    def test_l2_budget_respected(self):
+        c = choose_blocking(KNC, l2_budget_fraction=0.5)
+        assert c.l2_fraction <= 0.5
+
+    def test_smaller_l2_machine_gets_smaller_blocks(self):
+        c_knc = choose_blocking(KNC)
+        c_snb = choose_blocking(SNB)  # 256 KB L2
+        assert c_snb.l2_bytes < c_knc.l2_bytes
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            choose_blocking(KNC, l2_budget_fraction=0.0)
+        with pytest.raises(ValueError):
+            choose_blocking(KNC, n=30)
+
+    def test_infeasible_machine_raises(self):
+        tiny = KNC.with_(l1=KNC.l1, l2=KNC.l2.__class__(size_bytes=64 * 1024 // 8))
+        with pytest.raises(ValueError):
+            choose_blocking(tiny, k_candidates=(2048,))
+
+    def test_result_type(self):
+        assert isinstance(choose_blocking(KNC), BlockChoice)

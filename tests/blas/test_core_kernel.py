@@ -1,0 +1,89 @@
+"""Figure 2a: four hardware threads cooperating on one core's a tile."""
+
+import numpy as np
+import pytest
+
+from repro.blas.kernels import (
+    KERNEL1_ROWS,
+    KERNEL2_ROWS,
+    basic_kernel_1,
+    core_a_line_traffic,
+    core_multiply,
+    fills_per_thread_iteration,
+)
+from repro.blas.packing import pack_a, pack_b
+from repro.machine.kernel_model import BASIC_KERNEL_2
+from repro.machine.vector import VectorMachine
+
+
+def make_inputs(rows, k, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((rows, k))
+    bs = [rng.standard_normal((k, 8)) for _ in range(4)]
+    a_tile = pack_a(a, tile_rows=rows).tile(0)
+    b_tiles = [pack_b(b).tile(0) for b in bs]
+    return a, bs, a_tile, b_tiles
+
+
+class TestCoreMultiply:
+    def test_four_threads_four_results(self):
+        a, bs, a_tile, b_tiles = make_inputs(KERNEL2_ROWS, 9)
+        cs = core_multiply(a_tile, b_tiles)
+        assert len(cs) == 4
+        for c, b in zip(cs, bs):
+            np.testing.assert_allclose(c, a @ b, rtol=1e-12)
+
+    def test_kernel1_variant(self):
+        a, bs, a_tile, b_tiles = make_inputs(KERNEL1_ROWS, 7, seed=2)
+        cs = core_multiply(a_tile, b_tiles, kernel=basic_kernel_1)
+        for c, b in zip(cs, bs):
+            np.testing.assert_allclose(c, a @ b, rtol=1e-12)
+
+    def test_per_thread_instruction_census(self):
+        _, _, a_tile, b_tiles = make_inputs(KERNEL2_ROWS, 6, seed=3)
+        vms = [VectorMachine() for _ in range(4)]
+        core_multiply(a_tile, b_tiles, vms=vms)
+        for vm in vms:
+            assert vm.counts.vmadd == 30 * 6
+
+    def test_wrong_thread_count(self):
+        _, _, a_tile, b_tiles = make_inputs(KERNEL2_ROWS, 4)
+        with pytest.raises(ValueError):
+            core_multiply(a_tile, b_tiles[:3])
+        with pytest.raises(ValueError):
+            core_multiply(a_tile, b_tiles, vms=[VectorMachine()])
+
+
+class TestSharingEconomics:
+    def test_synchronized_threads_fetch_a_once(self):
+        # "a line of a accessed by one of the threads is likely to remain
+        # in L1 for the other three threads, as long as all threads are
+        # synchronized" — 4x less a traffic.
+        k = 240
+        assert core_a_line_traffic(k, synchronized=True) * 4 == (
+            core_a_line_traffic(k, synchronized=False)
+        )
+
+    def test_fills_match_stall_analysis(self):
+        # Section III-A2: "on average, each iteration of the kernel
+        # requires two cache lines to be brought from L2 into L1."
+        assert fills_per_thread_iteration(synchronized=True) == pytest.approx(2.0)
+        assert fills_per_thread_iteration(synchronized=False) == pytest.approx(5.0)
+
+    def test_kernel_spec_agrees_with_sharing_model(self):
+        assert BASIC_KERNEL_2.fills_per_iter == pytest.approx(
+            fills_per_thread_iteration(synchronized=True)
+        )
+
+    def test_unsynchronized_fills_would_stall_kernel2(self):
+        # Five fills against Kernel 2's four holes: stalls return, which
+        # is why the fast inter-thread synchronization matters.
+        from repro.machine.cache import L1PortModel
+
+        pm = L1PortModel(stall_penalty=1)
+        fills = round(fills_per_thread_iteration(synchronized=False))
+        assert pm.iteration_stalls(32, 28, fills) > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            core_a_line_traffic(0, True)

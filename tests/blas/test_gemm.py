@@ -1,0 +1,109 @@
+"""Outer-product GEMM vs NumPy across shapes, dtypes and kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blas.gemm import dgemm, gemm, sgemm
+
+
+def rand(m, n, seed, dtype=np.float64):
+    return np.random.default_rng(seed).standard_normal((m, n)).astype(dtype)
+
+
+class TestCorrectness:
+    def test_square(self):
+        a, b = rand(64, 64, 1), rand(64, 64, 2)
+        np.testing.assert_allclose(dgemm(a, b), a @ b, rtol=1e-12)
+
+    def test_rectangular(self):
+        a, b = rand(45, 70, 3), rand(70, 23, 4)
+        np.testing.assert_allclose(dgemm(a, b), a @ b, rtol=1e-12)
+
+    def test_multiple_k_blocks(self):
+        a, b = rand(40, 100, 5), rand(100, 40, 6)
+        np.testing.assert_allclose(dgemm(a, b, k_block=16), a @ b, rtol=1e-12)
+
+    def test_alpha_beta(self):
+        a, b = rand(30, 30, 7), rand(30, 30, 8)
+        c0 = rand(30, 30, 9)
+        c = c0.copy()
+        dgemm(a, b, c, alpha=2.5, beta=-0.5)
+        np.testing.assert_allclose(c, 2.5 * (a @ b) - 0.5 * c0, rtol=1e-12)
+
+    def test_beta_one_accumulates(self):
+        a, b = rand(20, 20, 10), rand(20, 20, 11)
+        c0 = rand(20, 20, 12)
+        c = c0.copy()
+        dgemm(a, b, c, beta=1.0)
+        np.testing.assert_allclose(c, a @ b + c0, rtol=1e-12)
+
+    def test_kernel1_tiling(self):
+        a, b = rand(62, 40, 13), rand(40, 16, 14)
+        out = gemm(a, b, tile_rows=31)
+        np.testing.assert_allclose(out, a @ b, rtol=1e-12)
+
+    def test_emulated_kernel2_path(self):
+        a, b = rand(35, 10, 15), rand(10, 12, 16)
+        out = gemm(a, b, kernel="emulated", k_block=4)
+        np.testing.assert_allclose(out, a @ b, rtol=1e-12)
+
+    def test_emulated_kernel1_path(self):
+        a, b = rand(33, 7, 17), rand(7, 9, 18)
+        out = gemm(a, b, kernel="emulated", tile_rows=31)
+        np.testing.assert_allclose(out, a @ b, rtol=1e-12)
+
+    def test_sgemm_single_precision(self):
+        a, b = rand(50, 50, 19, np.float32), rand(50, 50, 20, np.float32)
+        out = sgemm(a, b)
+        assert out.dtype == np.float32
+        np.testing.assert_allclose(out, a @ b, rtol=1e-4)
+
+    @given(
+        st.integers(1, 70),
+        st.integers(1, 70),
+        st.integers(1, 70),
+        st.integers(1, 40),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_matches_numpy(self, m, k, n, k_block):
+        a, b = rand(m, k, m * 7 + k), rand(k, n, n * 13 + k)
+        np.testing.assert_allclose(
+            dgemm(a, b, k_block=k_block), a @ b, rtol=1e-11, atol=1e-11
+        )
+
+
+class TestValidation:
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            gemm(rand(4, 5, 0), rand(6, 4, 1))
+
+    def test_dtype_mismatch(self):
+        with pytest.raises(ValueError):
+            gemm(rand(4, 5, 0), rand(5, 4, 1).astype(np.float32))
+
+    def test_bad_c_shape(self):
+        with pytest.raises(ValueError):
+            gemm(rand(4, 5, 0), rand(5, 4, 1), c=np.zeros((3, 3)))
+
+    def test_bad_kernel_name(self):
+        with pytest.raises(ValueError):
+            gemm(rand(4, 5, 0), rand(5, 4, 1), kernel="magic")
+
+    def test_emulated_requires_known_tile_rows(self):
+        with pytest.raises(ValueError):
+            gemm(rand(4, 5, 0), rand(5, 4, 1), kernel="emulated", tile_rows=16)
+
+    def test_bad_k_block(self):
+        with pytest.raises(ValueError):
+            gemm(rand(4, 5, 0), rand(5, 4, 1), k_block=0)
+
+    def test_non_2d(self):
+        with pytest.raises(ValueError):
+            gemm(np.zeros(4), rand(5, 4, 1))
+
+    def test_c_returned_is_c_argument(self):
+        a, b = rand(10, 10, 0), rand(10, 10, 1)
+        c = np.zeros((10, 10))
+        assert gemm(a, b, c) is c

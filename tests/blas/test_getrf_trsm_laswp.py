@@ -1,0 +1,177 @@
+"""LU building blocks vs SciPy/NumPy references."""
+
+import numpy as np
+import pytest
+import scipy.linalg as sla
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blas.getrf import SingularMatrixError, getf2, getrf, reconstruct_lu
+from repro.blas.laswp import (
+    apply_pivots_to_vector,
+    laswp,
+    pivots_to_permutation,
+)
+from repro.blas.trsm import (
+    trsm_lower_unit_left,
+    trsm_lower_unit_right,
+    trsm_upper_left,
+)
+
+
+def rand(m, n, seed):
+    return np.random.default_rng(seed).standard_normal((m, n))
+
+
+def check_plu(original, factored, ipiv):
+    """P @ original == L @ U for the in-place factorization."""
+    lower, upper = reconstruct_lu(factored)
+    perm = pivots_to_permutation(ipiv, original.shape[0])
+    np.testing.assert_allclose(original[perm], lower @ upper, rtol=1e-10, atol=1e-10)
+
+
+class TestGetf2:
+    def test_square(self):
+        a0 = rand(12, 12, 0)
+        a = a0.copy()
+        ipiv = getf2(a)
+        check_plu(a0, a, ipiv)
+
+    def test_tall_panel(self):
+        a0 = rand(50, 8, 1)
+        a = a0.copy()
+        ipiv = getf2(a)
+        assert len(ipiv) == 8
+        check_plu(a0, a, ipiv)
+
+    def test_pivoting_selects_max_abs(self):
+        a = np.array([[1.0, 2.0], [10.0, 1.0]])
+        ipiv = getf2(a)
+        assert ipiv[0] == 1  # row 1 had the bigger leading element
+
+    def test_unit_lower_magnitudes_bounded(self):
+        # Partial pivoting guarantees |L| <= 1 below the diagonal.
+        a = rand(40, 40, 2)
+        getf2(a)
+        assert np.all(np.abs(np.tril(a, -1)) <= 1.0 + 1e-12)
+
+    def test_singular_raises(self):
+        with pytest.raises(SingularMatrixError):
+            getf2(np.zeros((4, 4)))
+
+    def test_rejects_int_matrix(self):
+        with pytest.raises(ValueError):
+            getf2(np.eye(3, dtype=int))
+
+
+class TestGetrf:
+    def test_matches_getf2(self):
+        a0 = rand(60, 24, 3)
+        a_blocked, a_unblocked = a0.copy(), a0.copy()
+        ipiv_b = getrf(a_blocked, min_block=8)
+        ipiv_u = getf2(a_unblocked)
+        np.testing.assert_array_equal(ipiv_b, ipiv_u)
+        np.testing.assert_allclose(a_blocked, a_unblocked, rtol=1e-10, atol=1e-12)
+
+    def test_square_vs_scipy(self):
+        a0 = rand(48, 48, 4)
+        a = a0.copy()
+        ipiv = getrf(a, min_block=12)
+        lu_ref, piv_ref = sla.lu_factor(a0)
+        np.testing.assert_allclose(a, lu_ref, rtol=1e-9, atol=1e-10)
+        np.testing.assert_array_equal(ipiv, piv_ref)
+
+    @given(st.integers(2, 64), st.integers(1, 24), st.integers(2, 32))
+    @settings(max_examples=25, deadline=None)
+    def test_property_plu(self, m, n, min_block):
+        n = min(n, m)
+        a0 = rand(m, n, m * 31 + n)
+        a = a0.copy()
+        ipiv = getrf(a, min_block=min_block)
+        check_plu(a0, a, ipiv)
+
+
+class TestLaswp:
+    def test_forward_matches_permutation(self):
+        a0 = rand(10, 6, 5)
+        ipiv = np.array([3, 1, 5, 3])
+        a = laswp(a0.copy(), ipiv)
+        perm = pivots_to_permutation(ipiv, 10)
+        np.testing.assert_array_equal(a, a0[perm])
+
+    def test_backward_inverts_forward(self):
+        a0 = rand(12, 4, 6)
+        ipiv = np.array([7, 2, 2, 9, 4])
+        a = laswp(laswp(a0.copy(), ipiv, forward=True), ipiv, forward=False)
+        np.testing.assert_array_equal(a, a0)
+
+    def test_offset(self):
+        a0 = rand(10, 3, 7)
+        ipiv = np.array([2, 1])  # local to rows 4..
+        a = laswp(a0.copy(), ipiv, offset=4)
+        expected = a0.copy()
+        expected[[4, 6]] = expected[[6, 4]]
+        np.testing.assert_array_equal(a, expected)
+
+    def test_out_of_range_swap_raises(self):
+        with pytest.raises(IndexError):
+            laswp(rand(4, 2, 8), np.array([10]))
+
+    def test_vector_variant_consistent(self):
+        x0 = np.arange(10.0)
+        ipiv = np.array([4, 3, 2])
+        x = apply_pivots_to_vector(x0.copy(), ipiv)
+        as_matrix = laswp(x0.reshape(-1, 1).copy(), ipiv)
+        np.testing.assert_array_equal(x, as_matrix.ravel())
+
+    def test_vector_backward_inverts(self):
+        x0 = np.arange(8.0)
+        ipiv = np.array([5, 5, 3])
+        x = apply_pivots_to_vector(
+            apply_pivots_to_vector(x0.copy(), ipiv), ipiv, forward=False
+        )
+        np.testing.assert_array_equal(x, x0)
+
+
+class TestTrsm:
+    def test_lower_unit_left(self):
+        n = 40
+        l = np.tril(rand(n, n, 9), -1) + np.eye(n)
+        b0 = rand(n, 12, 10)
+        out = trsm_lower_unit_left(l, b0.copy(), block=8)
+        np.testing.assert_allclose(out, sla.solve_triangular(l, b0, lower=True, unit_diagonal=True), rtol=1e-10)
+
+    def test_upper_left(self):
+        n = 40
+        u = np.triu(rand(n, n, 11)) + 5 * np.eye(n)
+        b0 = rand(n, 9, 12)
+        out = trsm_upper_left(u, b0.copy(), block=16)
+        np.testing.assert_allclose(out, sla.solve_triangular(u, b0, lower=False), rtol=1e-10)
+
+    def test_lower_unit_right(self):
+        n = 24
+        l = np.tril(rand(n, n, 13), -1) + np.eye(n)
+        b0 = rand(7, n, 14)
+        out = trsm_lower_unit_right(l, b0.copy(), block=10)
+        # X L^T = B  =>  X = B @ inv(L).T
+        np.testing.assert_allclose(out, b0 @ np.linalg.inv(l).T, rtol=1e-9)
+
+    def test_singular_upper_raises(self):
+        u = np.triu(rand(5, 5, 15))
+        u[2, 2] = 0.0
+        with pytest.raises(np.linalg.LinAlgError):
+            trsm_upper_left(u, rand(5, 2, 16))
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            trsm_lower_unit_left(np.eye(4), np.zeros((5, 2)))
+        with pytest.raises(ValueError):
+            trsm_upper_left(np.zeros((3, 4)), np.zeros((4, 2)))
+
+    @given(st.integers(1, 48), st.integers(1, 12), st.integers(1, 64))
+    @settings(max_examples=25, deadline=None)
+    def test_lower_unit_left_property(self, n, nrhs, block):
+        l = np.tril(rand(n, n, n * 3 + nrhs), -1) + np.eye(n)
+        b0 = rand(n, nrhs, nrhs * 5 + n)
+        out = trsm_lower_unit_left(l, b0.copy(), block=block)
+        np.testing.assert_allclose(l @ out, b0, rtol=1e-8, atol=1e-8)

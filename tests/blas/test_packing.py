@@ -1,0 +1,125 @@
+"""Packed tile formats of Figure 3: round trips and layout guarantees."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blas.packing import (
+    TILE_A_ROWS,
+    TILE_B_COLS,
+    pack_a,
+    pack_b,
+    packing_bytes,
+)
+
+
+def rand(m, n, seed=0, dtype=np.float64):
+    return np.random.default_rng(seed).standard_normal((m, n)).astype(dtype)
+
+
+class TestPackA:
+    def test_roundtrip_exact_multiple(self):
+        a = rand(90, 40)
+        assert pack_a(a).unpack() == pytest.approx(a)
+
+    def test_roundtrip_ragged(self):
+        a = rand(71, 13)
+        pa = pack_a(a)
+        assert pa.n_tiles == 3
+        np.testing.assert_array_equal(pa.unpack(), a)
+
+    def test_tile_is_column_major_view_of_rows(self):
+        # data[t, j, :] must be column j of the 30-row slab (Figure 3a).
+        a = rand(60, 5)
+        pa = pack_a(a)
+        np.testing.assert_array_equal(pa.tile(1)[2], a[30:60, 2])
+
+    def test_tile_columns_are_contiguous(self):
+        pa = pack_a(rand(60, 7))
+        assert pa.tile(0)[3].flags.c_contiguous
+
+    def test_padding_is_zero(self):
+        a = rand(31, 4)
+        pa = pack_a(a)
+        np.testing.assert_array_equal(pa.tile(1)[:, 1:], 0.0)
+
+    def test_tile_row_range_clips(self):
+        pa = pack_a(rand(31, 4))
+        assert pa.tile_row_range(0) == (0, 30)
+        assert pa.tile_row_range(1) == (30, 31)
+
+    def test_kernel1_tile_height(self):
+        pa = pack_a(rand(62, 4), tile_rows=31)
+        assert pa.n_tiles == 2
+        np.testing.assert_array_equal(pa.unpack(), rand(62, 4))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pack_a(np.zeros(5))
+        with pytest.raises(ValueError):
+            pack_a(np.zeros((4, 4)), tile_rows=0)
+
+    @given(st.integers(1, 97), st.integers(1, 33), st.integers(1, 40))
+    @settings(max_examples=30)
+    def test_roundtrip_property(self, m, k, tile_rows):
+        a = rand(m, k, seed=m * 100 + k)
+        pa = pack_a(a, tile_rows=tile_rows)
+        np.testing.assert_array_equal(pa.unpack(), a)
+        assert pa.n_tiles == -(-m // tile_rows)
+
+
+class TestPackB:
+    def test_roundtrip_exact_multiple(self):
+        b = rand(40, 32)
+        np.testing.assert_array_equal(pack_b(b).unpack(), b)
+
+    def test_roundtrip_ragged(self):
+        b = rand(13, 21)
+        pb = pack_b(b)
+        assert pb.n_tiles == 3
+        np.testing.assert_array_equal(pb.unpack(), b)
+
+    def test_tile_is_row_major_strip(self):
+        # data[t, j, :] must be row j of the 8-wide strip (Figure 3b).
+        b = rand(10, 16)
+        pb = pack_b(b)
+        np.testing.assert_array_equal(pb.tile(1)[4], b[4, 8:16])
+
+    def test_tile_rows_are_contiguous(self):
+        pb = pack_b(rand(10, 16))
+        assert pb.tile(0)[0].flags.c_contiguous
+
+    def test_padding_is_zero(self):
+        pb = pack_b(rand(5, 9))
+        np.testing.assert_array_equal(pb.tile(1)[:, 1:], 0.0)
+
+    @given(st.integers(1, 60), st.integers(1, 70))
+    @settings(max_examples=30)
+    def test_roundtrip_property(self, k, n):
+        b = rand(k, n, seed=k * 71 + n)
+        pb = pack_b(b)
+        np.testing.assert_array_equal(pb.unpack(), b)
+        assert pb.n_tiles == -(-n // TILE_B_COLS)
+
+
+class TestPackingCost:
+    def test_packing_bytes_counts_read_and_write(self):
+        assert packing_bytes(10, 20, 30) == 2 * 8 * (10 * 30 + 30 * 20)
+
+    def test_single_precision(self):
+        assert packing_bytes(10, 20, 30, elem_bytes=4) == packing_bytes(10, 20, 30) // 2
+
+    def test_negative_dims_raise(self):
+        with pytest.raises(ValueError):
+            packing_bytes(-1, 2, 3)
+
+    def test_defaults_match_kernel_footprint(self):
+        assert TILE_A_ROWS == 30
+        assert TILE_B_COLS == 8
+
+    def test_float32_packing_preserves_dtype(self):
+        pa = pack_a(rand(31, 8, dtype=np.float32))
+        assert pa.data.dtype == np.float32
+        pb = pack_b(rand(8, 9, dtype=np.float32))
+        assert pb.data.dtype == np.float32

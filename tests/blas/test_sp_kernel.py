@@ -1,0 +1,83 @@
+"""Single-precision Basic Kernel 2: 16 float32 lanes per register."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blas.kernels import KERNEL2_ROWS, SP_LANES, basic_kernel_2_sp
+from repro.blas.packing import pack_a, pack_b
+from repro.machine.vector import VectorMachine
+
+
+def make_tiles(k, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((KERNEL2_ROWS, k)).astype(np.float32)
+    b = rng.standard_normal((k, SP_LANES)).astype(np.float32)
+    return a, b, pack_a(a).tile(0), pack_b(b, tile_cols=SP_LANES).tile(0)
+
+
+class TestSPKernel:
+    def test_matches_numpy(self):
+        a, b, at, bt = make_tiles(11)
+        np.testing.assert_allclose(
+            basic_kernel_2_sp(at, bt), a @ b, rtol=1e-5, atol=1e-5
+        )
+
+    def test_output_is_float32(self):
+        _, _, at, bt = make_tiles(5)
+        assert basic_kernel_2_sp(at, bt).dtype == np.float32
+
+    def test_census_matches_dp_kernel(self):
+        # Same 32-instruction loop, same 30/32 mix, same 4 port holes —
+        # but every vmadd now does 16 lanes of work.
+        _, _, at, bt = make_tiles(7)
+        vm = VectorMachine(dtype=np.float32, lanes=SP_LANES)
+        basic_kernel_2_sp(at, bt, vm)
+        c = vm.counts
+        assert c.vmadd == 30 * 7
+        assert c.vmadd_mem == 26 * 7
+        assert c.load == 7 and c.broadcast == 7
+        assert (c.vector_total - c.store) == 32 * 7
+
+    def test_requires_16_lane_machine(self):
+        _, _, at, bt = make_tiles(3)
+        with pytest.raises(ValueError):
+            basic_kernel_2_sp(at, bt, VectorMachine())  # 8 DP lanes
+
+    def test_tile_shape_validation(self):
+        with pytest.raises(ValueError):
+            basic_kernel_2_sp(np.zeros((4, 30), np.float32), np.zeros((4, 8), np.float32))
+        with pytest.raises(ValueError):
+            basic_kernel_2_sp(np.zeros((4, 29), np.float32), np.zeros((4, 16), np.float32))
+
+    @given(st.integers(1, 30), st.integers(0, 10**6))
+    @settings(max_examples=15, deadline=None)
+    def test_property(self, k, seed):
+        a, b, at, bt = make_tiles(k, seed)
+        np.testing.assert_allclose(
+            basic_kernel_2_sp(at, bt), a @ b, rtol=2e-4, atol=2e-4
+        )
+
+
+class TestSPVectorMachine:
+    def test_sp_machine_defaults_to_16_lanes(self):
+        vm = VectorMachine(dtype=np.float32)
+        assert vm.lanes == 16
+        assert vm.regs.shape == (32, 16)
+
+    def test_4ton_broadcast_tiles_four_times(self):
+        vm = VectorMachine(dtype=np.float32, lanes=16)
+        vm.broadcast_4to8(0, np.array([1, 2, 3, 4], np.float32))
+        np.testing.assert_array_equal(vm.regs[0], np.tile([1, 2, 3, 4], 4))
+
+    def test_swizzle_generalises_to_16_lanes(self):
+        v = np.arange(16.0, dtype=np.float32)
+        out = VectorMachine._swizzle(v, 2)
+        np.testing.assert_array_equal(out, np.repeat([2, 6, 10, 14], 4))
+
+    def test_bad_lanes(self):
+        with pytest.raises(ValueError):
+            VectorMachine(lanes=6)
+        with pytest.raises(ValueError):
+            VectorMachine(lanes=0)

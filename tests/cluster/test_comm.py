@@ -1,0 +1,152 @@
+"""Simulated MPI world: point-to-point, collectives, stats, failures."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.comm import Comm, CommError, World
+
+
+class TestPointToPoint:
+    def test_send_recv(self):
+        def body(comm):
+            if comm.rank == 0:
+                comm.send({"x": 1}, dest=1)
+                return None
+            return comm.recv(source=0)
+
+        results = World(2).run(body)
+        assert results[1] == {"x": 1}
+
+    def test_numpy_payload_is_copied(self):
+        def body(comm):
+            if comm.rank == 0:
+                arr = np.arange(4.0)
+                comm.send(arr, dest=1)
+                arr[:] = -1  # must not affect the receiver
+                return None
+            got = comm.recv(source=0)
+            return got.copy()
+
+        results = World(2).run(body)
+        np.testing.assert_array_equal(results[1], np.arange(4.0))
+
+    def test_tag_matching_out_of_order(self):
+        def body(comm):
+            if comm.rank == 0:
+                comm.send("first", dest=1, tag=7)
+                comm.send("second", dest=1, tag=9)
+                return None
+            second = comm.recv(source=0, tag=9)
+            first = comm.recv(source=0, tag=7)
+            return (first, second)
+
+        results = World(2).run(body)
+        assert results[1] == ("first", "second")
+
+    def test_sendrecv_symmetric_exchange(self):
+        def body(comm):
+            peer = 1 - comm.rank
+            return comm.sendrecv(f"from{comm.rank}", peer)
+
+        results = World(2).run(body)
+        assert results == ["from1", "from0"]
+
+    def test_recv_timeout_raises(self):
+        def body(comm):
+            if comm.rank == 1:
+                comm.recv(source=0)  # never sent
+
+        with pytest.raises(CommError):
+            World(2, timeout_s=0.2).run(body)
+
+    def test_rank_exception_propagates(self):
+        def body(comm):
+            if comm.rank == 1:
+                raise ValueError("boom")
+            comm.barrier()
+
+        with pytest.raises((ValueError, CommError)):
+            World(2, timeout_s=0.5).run(body)
+
+    def test_bad_destination(self):
+        def body(comm):
+            if comm.rank == 0:
+                comm.send(1, dest=5)
+
+        with pytest.raises(ValueError):
+            World(2).run(body)
+
+
+class TestCollectives:
+    def test_bcast_world(self):
+        def body(comm):
+            data = np.arange(3.0) if comm.rank == 0 else None
+            return comm.bcast(data, root=0)
+
+        for got in World(3).run(body):
+            np.testing.assert_array_equal(got, np.arange(3.0))
+
+    def test_bcast_subgroup(self):
+        def body(comm):
+            if comm.rank in (1, 2):
+                return comm.bcast("hi" if comm.rank == 1 else None, root=1, ranks=[1, 2])
+            return "out"
+
+        assert World(3).run(body) == ["out", "hi", "hi"]
+
+    def test_bcast_group_validation(self):
+        def body(comm):
+            comm.bcast("x", root=0, ranks=[1, 2])
+
+        with pytest.raises(ValueError):
+            World(3).run(body)
+
+    def test_gather(self):
+        def body(comm):
+            return comm.gather(comm.rank * 10, root=0)
+
+        results = World(4).run(body)
+        assert results[0] == [0, 10, 20, 30]
+        assert results[1] is None
+
+    def test_allreduce_sum(self):
+        def body(comm):
+            return comm.allreduce(comm.rank + 1)
+
+        assert World(4).run(body) == [10, 10, 10, 10]
+
+    def test_allreduce_custom_op(self):
+        def body(comm):
+            return comm.allreduce(comm.rank, op=max)
+
+        assert World(3).run(body) == [2, 2, 2]
+
+    def test_barrier_synchronises(self):
+        import time
+
+        def body(comm):
+            if comm.rank == 0:
+                time.sleep(0.05)
+            comm.barrier()
+            return time.monotonic()
+
+        times = World(3).run(body)
+        assert max(times) - min(times) < 0.05
+
+
+class TestStats:
+    def test_bytes_counted(self):
+        def body(comm):
+            if comm.rank == 0:
+                comm.send(np.zeros(100), dest=1)
+            elif comm.rank == 1:
+                comm.recv(source=0)
+            return comm.stats.bytes_sent
+
+        sent = World(2).run(body)
+        assert sent[0] == 800
+        assert sent[1] == 0
+
+    def test_world_size_validation(self):
+        with pytest.raises(ValueError):
+            World(0)

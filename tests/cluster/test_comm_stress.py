@@ -1,0 +1,86 @@
+"""Stress tests for the simulated MPI world: random traffic patterns."""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.comm import World
+
+
+class TestRandomTraffic:
+    @given(
+        size=st.integers(2, 5),
+        n_msgs=st.integers(1, 15),
+        seed=st.integers(0, 10**6),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_all_to_one_delivery(self, size, n_msgs, seed):
+        """Every rank floods rank 0 with tagged messages; all arrive."""
+
+        def body(comm):
+            if comm.rank == 0:
+                got = []
+                for src in range(1, comm.size):
+                    for j in range(n_msgs):
+                        got.append(comm.recv(source=src, tag=j))
+                return sorted(got)
+            r = random.Random(seed * 100 + comm.rank)
+            order = list(range(n_msgs))
+            r.shuffle(order)  # send tags out of order: recv must match
+            for j in order:
+                comm.send((comm.rank, j), dest=0, tag=j)
+            return None
+
+        results = World(size).run(body)
+        expected = sorted((s, j) for s in range(1, size) for j in range(n_msgs))
+        assert results[0] == expected
+
+    @given(size=st.integers(2, 6), seed=st.integers(0, 10**6))
+    @settings(max_examples=15, deadline=None)
+    def test_random_ring_rotations(self, size, seed):
+        """Payloads rotate around a ring a random number of steps and end
+        up where arithmetic says they should."""
+        steps = random.Random(seed).randrange(1, 2 * size)
+
+        def body(comm):
+            payload = np.full(4, float(comm.rank))
+            for s in range(steps):
+                nxt = (comm.rank + 1) % comm.size
+                prv = (comm.rank - 1) % comm.size
+                comm.send(payload, nxt, tag=s)
+                payload = comm.recv(prv, tag=s)
+            return int(payload[0])
+
+        results = World(size).run(body)
+        for rank, origin in enumerate(results):
+            assert origin == (rank - steps) % size
+
+    def test_concurrent_collectives_and_p2p(self):
+        """Interleaved bcast/gather/p2p across 4 ranks stays consistent."""
+
+        def body(comm):
+            token = comm.bcast("t" if comm.rank == 2 else None, root=2)
+            if comm.rank == 0:
+                comm.send(np.arange(8.0), dest=3, tag=42)
+            sums = comm.allreduce(comm.rank)
+            if comm.rank == 3:
+                arr = comm.recv(source=0, tag=42)
+                assert arr.sum() == 28.0
+            gathered = comm.gather((comm.rank, token), root=1)
+            return (token, sums, gathered)
+
+        results = World(4).run(body)
+        assert all(r[0] == "t" for r in results)
+        assert all(r[1] == 6 for r in results)
+        assert results[1][2] == [(i, "t") for i in range(4)]
+
+    def test_many_barriers_in_a_row(self):
+        def body(comm):
+            for _ in range(50):
+                comm.barrier()
+            return True
+
+        assert all(World(4).run(body))

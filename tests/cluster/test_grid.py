@@ -1,0 +1,94 @@
+"""Process grid and block-cyclic index algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.grid import BlockCyclic, ProcessGrid
+
+
+class TestProcessGrid:
+    def test_coords_roundtrip(self):
+        g = ProcessGrid(3, 4)
+        for rank in range(12):
+            assert g.rank_of(*g.coords(rank)) == rank
+
+    def test_row_and_col_ranks(self):
+        g = ProcessGrid(2, 3)
+        assert g.row_ranks(1) == [3, 4, 5]
+        assert g.col_ranks(2) == [2, 5]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProcessGrid(0, 2)
+        with pytest.raises(ValueError):
+            ProcessGrid(2, 2).coords(4)
+        with pytest.raises(ValueError):
+            ProcessGrid(2, 2).rank_of(2, 0)
+
+    def test_table3_grids(self):
+        # "The number of used nodes can be derived by multiplying P and Q."
+        assert ProcessGrid(10, 10).size == 100
+        assert ProcessGrid(2, 2).size == 4
+
+
+class TestBlockCyclic:
+    def test_block_ownership_cycles(self):
+        bc = BlockCyclic(n=64, nb=8, grid=ProcessGrid(2, 2))
+        assert bc.owner_of_block(0, 0) == (0, 0)
+        assert bc.owner_of_block(1, 0) == (1, 0)
+        assert bc.owner_of_block(2, 3) == (0, 1)
+
+    def test_local_rows_partition_globals(self):
+        bc = BlockCyclic(n=50, nb=8, grid=ProcessGrid(3, 2))
+        all_rows = np.concatenate([bc.local_rows(r) for r in range(3)])
+        assert sorted(all_rows.tolist()) == list(range(50))
+
+    def test_local_cols_partition_globals(self):
+        bc = BlockCyclic(n=45, nb=7, grid=ProcessGrid(2, 3))
+        all_cols = np.concatenate([bc.local_cols(c) for c in range(3)])
+        assert sorted(all_cols.tolist()) == list(range(45))
+
+    def test_row_owner_matches_local_rows(self):
+        bc = BlockCyclic(n=40, nb=6, grid=ProcessGrid(2, 2))
+        for r in range(2):
+            for i in bc.local_rows(r):
+                assert bc.row_owner(int(i)) == r
+
+    def test_global_to_local_row(self):
+        bc = BlockCyclic(n=40, nb=6, grid=ProcessGrid(2, 2))
+        for r in range(2):
+            locs = bc.local_rows(r)
+            for pos, i in enumerate(locs):
+                assert bc.global_to_local_row(int(i)) == pos
+
+    def test_local_shape_sums_to_global(self):
+        grid = ProcessGrid(2, 3)
+        bc = BlockCyclic(n=55, nb=8, grid=grid)
+        total = sum(
+            bc.local_shape(rank)[0] * bc.local_shape(rank)[1]
+            for rank in range(grid.size)
+        )
+        assert total == 55 * 55
+
+    @given(st.integers(1, 120), st.integers(1, 16), st.integers(1, 4), st.integers(1, 4))
+    @settings(max_examples=40)
+    def test_partition_property(self, n, nb, p, q):
+        bc = BlockCyclic(n=n, nb=nb, grid=ProcessGrid(p, q))
+        rows = np.concatenate([bc.local_rows(r) for r in range(p)])
+        assert sorted(rows.tolist()) == list(range(n))
+        for r in range(p):
+            lr = bc.local_rows(r)
+            for pos, i in enumerate(lr):
+                assert bc.global_to_local_row(int(i)) == pos
+                assert bc.row_owner(int(i)) == r
+
+    def test_bounds(self):
+        bc = BlockCyclic(n=20, nb=5, grid=ProcessGrid(2, 2))
+        with pytest.raises(IndexError):
+            bc.owner_of_block(4, 0)
+        with pytest.raises(IndexError):
+            bc.global_to_local_row(20)
+        with pytest.raises(ValueError):
+            BlockCyclic(n=0, nb=5, grid=ProcessGrid(1, 1))

@@ -1,0 +1,125 @@
+"""Distributed HPL: numerics vs single-node LU, residuals, traffic."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.hpl_mpi import DistributedHPL
+from repro.cluster.comm import World
+from repro.cluster.grid import BlockCyclic, ProcessGrid
+from repro.cluster.swap import exchange_pivot_rows, pivot_pairs_from_ipiv
+from repro.hpl.matgen import hpl_matrix
+from repro.lu.factorize import blocked_lu
+
+
+def reference(n, nb):
+    a0 = hpl_matrix(n, 42)
+    return blocked_lu(a0.copy(), nb=nb)
+
+
+class TestDistributedFactorization:
+    @pytest.mark.parametrize(
+        "n,nb,p,q",
+        [
+            (48, 8, 2, 2),
+            (48, 8, 1, 2),
+            (48, 8, 2, 1),
+            (60, 8, 2, 3),
+            (60, 8, 3, 2),
+            (64, 16, 1, 1),
+        ],
+    )
+    def test_matches_single_node_lu(self, n, nb, p, q):
+        r = DistributedHPL(n, nb, p, q).run()
+        lu_ref, ipiv_ref = reference(n, nb)
+        np.testing.assert_allclose(r.lu, lu_ref, rtol=1e-12, atol=1e-13)
+        np.testing.assert_array_equal(r.ipiv, ipiv_ref)
+
+    def test_ragged_blocks(self):
+        # n not a multiple of nb: the last stage has a narrow panel.
+        r = DistributedHPL(37, 5, 2, 2).run()
+        lu_ref, ipiv_ref = reference(37, 5)
+        np.testing.assert_allclose(r.lu, lu_ref, rtol=1e-12, atol=1e-13)
+        np.testing.assert_array_equal(r.ipiv, ipiv_ref)
+
+    def test_residual_passes(self):
+        r = DistributedHPL(52, 8, 2, 2).run()
+        assert r.passed
+        assert r.residual < 16.0
+
+    def test_solution_matches_numpy(self):
+        from repro.hpl.matgen import hpl_system
+
+        r = DistributedHPL(40, 8, 2, 2).run()
+        a0, b = hpl_system(40, 42)
+        np.testing.assert_allclose(r.x, np.linalg.solve(a0, b), rtol=1e-8, atol=1e-9)
+
+    def test_grid_shape_does_not_change_answer(self):
+        runs = [
+            DistributedHPL(48, 8, p, q).run().lu
+            for (p, q) in [(1, 1), (2, 2), (1, 4)]
+        ]
+        np.testing.assert_allclose(runs[0], runs[1], rtol=1e-12, atol=1e-13)
+        np.testing.assert_allclose(runs[0], runs[2], rtol=1e-12, atol=1e-13)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DistributedHPL(0, 8, 2, 2)
+
+
+class TestTraffic:
+    def test_single_rank_sends_nothing(self):
+        r = DistributedHPL(32, 8, 1, 1).run()
+        assert r.total_bytes == 0
+
+    def test_bigger_grid_means_more_traffic(self):
+        small = DistributedHPL(48, 8, 1, 2).run()
+        large = DistributedHPL(48, 8, 2, 3).run()
+        assert large.total_bytes > small.total_bytes
+
+    def test_bytes_by_rank_covers_total(self):
+        r = DistributedHPL(48, 8, 2, 2).run()
+        assert sum(r.bytes_by_rank) == r.total_bytes
+        assert len(r.bytes_by_rank) == 4
+
+
+class TestDistributedSwap:
+    def test_exchange_matches_global_permutation(self):
+        n, nb, p, q = 24, 4, 2, 2
+        grid = ProcessGrid(p, q)
+        bc = BlockCyclic(n, nb, grid)
+        a_global = hpl_matrix(n, 7)
+        ipiv = np.array([3, 1, 9, 3])  # local offsets within the panel at k0=4
+        pairs = pivot_pairs_from_ipiv(4, ipiv)
+
+        def body(comm):
+            gr, gc = grid.coords(comm.rank)
+            rows, cols = bc.local_rows(gr), bc.local_cols(gc)
+            a_loc = a_global[np.ix_(rows, cols)].copy()
+            mask = np.ones(cols.size, dtype=bool)
+            exchange_pivot_rows(comm, bc, a_loc, pairs, mask)
+            return (rows, cols, a_loc)
+
+        pieces = World(grid.size).run(body)
+        out = np.empty_like(a_global)
+        for rows, cols, piece in pieces:
+            out[np.ix_(rows, cols)] = piece
+        expected = a_global.copy()
+        for r0, r1 in pairs:
+            expected[[r0, r1]] = expected[[r1, r0]]
+        np.testing.assert_array_equal(out, expected)
+
+    def test_identity_pivots_are_noop(self):
+        n, nb = 16, 4
+        grid = ProcessGrid(2, 1)
+        bc = BlockCyclic(n, nb, grid)
+        a_global = hpl_matrix(n, 9)
+        pairs = pivot_pairs_from_ipiv(0, np.arange(4))
+
+        def body(comm):
+            gr, gc = grid.coords(comm.rank)
+            rows, cols = bc.local_rows(gr), bc.local_cols(gc)
+            a_loc = a_global[np.ix_(rows, cols)].copy()
+            exchange_pivot_rows(comm, bc, a_loc, pairs, np.ones(cols.size, bool))
+            return np.array_equal(a_loc, a_global[np.ix_(rows, cols)])
+
+        assert all(World(2).run(body))

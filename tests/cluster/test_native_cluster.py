@@ -1,0 +1,67 @@
+"""The future-work native cluster model (Section VII)."""
+
+import pytest
+
+from repro.cluster.native_cluster import NativeClusterHPL
+from repro.hpl import NativeHPL
+from repro.hybrid import HybridHPL
+from repro.machine.energy import gflops_per_watt, hybrid_node_power
+
+
+class TestConsistency:
+    def test_single_card_matches_native_des(self):
+        # The per-stage model is calibrated to the full DES at 30K and
+        # must stay within a few percent of it elsewhere.
+        cluster = NativeClusterHPL(30000).run()
+        des = NativeHPL(30000).run()
+        assert cluster.tflops * 1e3 == pytest.approx(des.gflops, rel=0.03)
+
+    def test_memory_gate(self):
+        with pytest.raises(ValueError):
+            NativeClusterHPL(40000)  # > 8 GiB of GDDR
+        NativeClusterHPL(60000, p=2, q=2)  # fits across 4 cards
+
+    def test_max_n(self):
+        assert NativeClusterHPL.max_n(1, 1) == pytest.approx(32768, abs=1)
+        assert NativeClusterHPL.max_n(10, 10) == pytest.approx(327680, abs=1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NativeClusterHPL(0)
+        with pytest.raises(ValueError):
+            NativeClusterHPL(1000, p=0)
+
+
+class TestScaling:
+    def test_cluster_efficiency_stays_high(self):
+        r = NativeClusterHPL(300000, p=10, q=10).run()
+        assert 0.70 < r.efficiency < 0.85
+
+    def test_multi_node_efficiency_below_single(self):
+        single = NativeClusterHPL(30000).run()
+        multi = NativeClusterHPL(120000, p=4, q=4).run()
+        assert multi.efficiency < single.efficiency
+
+    def test_bigger_n_helps_at_fixed_grid(self):
+        small = NativeClusterHPL(120000, p=10, q=10).run()
+        big = NativeClusterHPL(300000, p=10, q=10).run()
+        assert big.efficiency > small.efficiency
+
+
+class TestEnergyClaim:
+    def test_native_beats_hybrid_gflops_per_watt(self):
+        # Section VII: hybrid is "less energy efficient compared to the
+        # fully-native multi-node implementation".
+        native = NativeClusterHPL(300000, p=10, q=10).run()
+        hybrid = HybridHPL(825000, p=10, q=10).run()
+        hybrid_gpw = gflops_per_watt(
+            hybrid.tflops * 1e3, 100 * hybrid_node_power(1).total_w
+        )
+        assert native.gflops_per_watt > hybrid_gpw
+
+    def test_hybrid_still_wins_raw_tflops(self):
+        # The hybrid's bigger host memory lets it run a larger N and it
+        # keeps the host flops: more TFLOPS, less efficiency per watt.
+        native = NativeClusterHPL(300000, p=10, q=10).run()
+        hybrid = HybridHPL(825000, p=10, q=10).run()
+        assert hybrid.tflops > native.tflops

@@ -1,0 +1,78 @@
+"""HPL.dat parsing and running."""
+
+import pathlib
+
+import pytest
+
+from repro.hpl.hpldat import (
+    HPLDatConfig,
+    depth_to_lookahead,
+    format_hpl_output,
+    parse_hpl_dat,
+    run_hpl_dat,
+)
+from repro.hybrid.lookahead import Lookahead
+
+EXAMPLE = pathlib.Path(__file__).parents[2] / "examples" / "HPL.dat"
+
+
+class TestParsing:
+    def test_parse_example_file(self):
+        cfg = parse_hpl_dat(EXAMPLE.read_text())
+        assert cfg.ns == [42000, 84000]
+        assert cfg.nbs == [1200]
+        assert cfg.ps == [1] and cfg.qs == [1]
+        assert cfg.threshold == 16.0
+        assert cfg.depths == [1, 2]
+
+    def test_runs_cross_product(self):
+        cfg = HPLDatConfig(ns=[10, 20], nbs=[2], ps=[1, 2], qs=[1, 2], depths=[0, 1])
+        runs = cfg.runs()
+        assert len(runs) == 2 * 1 * 2 * 2
+        assert (10, 2, 1, 1, 0) in runs
+        assert (20, 2, 2, 2, 1) in runs
+
+    def test_too_short_raises(self):
+        with pytest.raises(ValueError):
+            parse_hpl_dat("just\nthree\nlines")
+
+    def test_count_mismatch_raises(self):
+        text = EXAMPLE.read_text().replace("42000 84000", "42000")
+        with pytest.raises(ValueError):
+            parse_hpl_dat(text)
+
+    def test_missing_depths_keeps_default(self):
+        lines = EXAMPLE.read_text().splitlines()[:13]
+        cfg = parse_hpl_dat("\n".join(lines + ["", ""]))
+        assert cfg.depths == [1]
+
+
+class TestDepthMapping:
+    def test_mapping(self):
+        assert depth_to_lookahead(0) is Lookahead.NONE
+        assert depth_to_lookahead(1) is Lookahead.BASIC
+        assert depth_to_lookahead(2) is Lookahead.PIPELINED
+        assert depth_to_lookahead(5) is Lookahead.PIPELINED
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            depth_to_lookahead(-1)
+
+
+class TestRunAndFormat:
+    def test_run_small_config(self):
+        cfg = HPLDatConfig(ns=[24000], nbs=[1200], ps=[1], qs=[1], depths=[1, 2])
+        rows = run_hpl_dat(cfg)
+        assert len(rows) == 2
+        basic, pipe = rows
+        assert pipe.gflops > basic.gflops
+        assert basic.variant.startswith("WR01")
+        assert pipe.variant.startswith("WR02")
+
+    def test_output_format_looks_like_hpl(self):
+        cfg = HPLDatConfig(ns=[24000], depths=[2])
+        out = format_hpl_output(run_hpl_dat(cfg))
+        assert "T/V" in out and "Gflops" in out
+        line = out.splitlines()[2]
+        assert "24000" in line and "1200" in line
+        assert "e+0" in line  # scientific-notation GFLOPS

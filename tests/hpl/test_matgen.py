@@ -1,0 +1,105 @@
+"""HPL pseudo-random generator: determinism, jumps, sub-blocks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hpl.matgen import (
+    LCG_ADD,
+    LCG_MULT,
+    hpl_matrix,
+    hpl_submatrix,
+    hpl_system,
+    lcg_jump,
+    lcg_stream,
+)
+
+_MASK = (1 << 64) - 1
+
+
+def scalar_stream(seed, count):
+    x = seed
+    out = []
+    for _ in range(count):
+        x = (x * LCG_MULT + LCG_ADD) & _MASK
+        out.append((x >> 11) / float(1 << 53) - 0.5)
+    return np.array(out)
+
+
+class TestLCG:
+    def test_vectorised_matches_scalar_recurrence(self):
+        np.testing.assert_array_equal(lcg_stream(987, 64), scalar_stream(987, 64))
+
+    @given(st.integers(0, _MASK), st.integers(0, 200), st.integers(0, 200))
+    @settings(max_examples=30)
+    def test_jump_equals_iteration(self, seed, j1, j2):
+        # Jumping j1+j2 equals jumping j1 then j2.
+        assert lcg_jump(seed, j1 + j2) == lcg_jump(lcg_jump(seed, j1), j2)
+
+    def test_jump_zero_is_identity(self):
+        assert lcg_jump(1234, 0) == 1234
+
+    def test_jump_matches_stream_tail(self):
+        s = 5
+        long = lcg_stream(s, 100)
+        np.testing.assert_array_equal(lcg_stream(lcg_jump(s, 37), 63), long[37:])
+
+    def test_negative_jump_raises(self):
+        with pytest.raises(ValueError):
+            lcg_jump(1, -1)
+
+    def test_values_in_half_unit_interval(self):
+        v = lcg_stream(99, 10000)
+        assert v.min() >= -0.5 and v.max() < 0.5
+
+    def test_roughly_uniform(self):
+        v = lcg_stream(7, 50000)
+        assert abs(v.mean()) < 0.01
+        assert np.var(v) == pytest.approx(1 / 12, rel=0.05)
+
+    def test_empty_stream(self):
+        assert lcg_stream(1, 0).size == 0
+
+
+class TestMatrix:
+    def test_deterministic(self):
+        np.testing.assert_array_equal(hpl_matrix(30, seed=3), hpl_matrix(30, seed=3))
+
+    def test_seed_changes_matrix(self):
+        assert not np.array_equal(hpl_matrix(30, seed=3), hpl_matrix(30, seed=4))
+
+    def test_rectangular(self):
+        a = hpl_matrix(10, seed=1, m=25)
+        assert a.shape == (25, 10)
+
+    def test_submatrix_agrees_with_global(self):
+        n = 80
+        a = hpl_matrix(n, seed=11)
+        rows = np.array([0, 7, 33, 79])
+        cols = np.array([2, 40, 78])
+        np.testing.assert_array_equal(
+            hpl_submatrix(n, rows, cols, seed=11), a[np.ix_(rows, cols)]
+        )
+
+    def test_submatrix_bounds_checked(self):
+        with pytest.raises(IndexError):
+            hpl_submatrix(10, np.array([10]), np.array([0]))
+        with pytest.raises(IndexError):
+            hpl_submatrix(10, np.array([0]), np.array([-1]))
+
+    def test_system_b_independent_of_a_tail(self):
+        a, b = hpl_system(20, seed=5)
+        assert a.shape == (20, 20) and b.shape == (20,)
+        # b continues the stream after the matrix.
+        a2, b2 = hpl_system(20, seed=5)
+        np.testing.assert_array_equal(b, b2)
+
+    def test_matrix_is_well_conditioned_enough_to_solve(self):
+        a, b = hpl_system(120, seed=42)
+        x = np.linalg.solve(a, b)
+        assert np.isfinite(x).all()
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            hpl_matrix(0)

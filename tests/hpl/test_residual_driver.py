@@ -1,0 +1,121 @@
+"""HPL residual test and the native benchmark driver."""
+
+import numpy as np
+import pytest
+
+from repro.hpl.driver import HPLResult, NativeHPL, snb_hpl_efficiency, snb_hpl_gflops
+from repro.hpl.matgen import hpl_system
+from repro.hpl.residual import HPL_THRESHOLD, hpl_residual, residual_passes
+
+
+class TestResidual:
+    def test_exact_solution_passes(self):
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((40, 40))
+        x = rng.standard_normal(40)
+        b = a @ x
+        assert hpl_residual(a, x, b) < 1.0
+        assert residual_passes(a, x, b)
+
+    def test_garbage_solution_fails(self):
+        rng = np.random.default_rng(1)
+        a = rng.standard_normal((40, 40))
+        b = rng.standard_normal(40)
+        assert not residual_passes(a, np.zeros(40), b + 1.0)
+
+    def test_numpy_solve_passes_on_hpl_matrix(self):
+        a, b = hpl_system(100, seed=3)
+        x = np.linalg.solve(a, b)
+        assert residual_passes(a, x, b)
+
+    def test_threshold_value(self):
+        assert HPL_THRESHOLD == 16.0
+
+    def test_zero_system(self):
+        a = np.zeros((3, 3))
+        assert hpl_residual(a, np.zeros(3), np.zeros(3)) == 0.0
+        # Unsatisfiable zero system: the scaled residual must fail the test.
+        assert not residual_passes(a, np.zeros(3), np.ones(3))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hpl_residual(np.zeros((2, 3)), np.zeros(2), np.zeros(2))
+        with pytest.raises(ValueError):
+            hpl_residual(np.zeros((3, 3)), np.zeros(2), np.zeros(3))
+
+
+class TestSNBBaseline:
+    def test_anchor_30k(self):
+        # Figure 6: 277 GFLOPS / 83% at 30K.
+        assert snb_hpl_efficiency(30000) == pytest.approx(0.83, abs=0.005)
+        assert snb_hpl_gflops(30000) == pytest.approx(277, abs=3)
+
+    def test_anchor_84k(self):
+        # Table III CPU-only single node: 86.4%.
+        assert snb_hpl_efficiency(84000) == pytest.approx(0.864, abs=0.005)
+
+    def test_monotone(self):
+        effs = [snb_hpl_efficiency(n) for n in (1000, 5000, 30000, 84000)]
+        assert effs == sorted(effs)
+        assert all(0 < e < 1 for e in effs)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            snb_hpl_efficiency(0)
+
+
+class TestNativeDriver:
+    def test_numeric_run_passes_residual(self):
+        r = NativeHPL(180, nb=36).run(numeric=True)
+        assert r.passed
+        assert r.residual < HPL_THRESHOLD
+
+    def test_static_numeric_run_passes(self):
+        r = NativeHPL(150, nb=50, scheduler="static").run(numeric=True)
+        assert r.passed
+
+    def test_timing_only_run_has_no_residual(self):
+        r = NativeHPL(2000).run()
+        assert r.residual is None and r.passed is None
+        assert r.gflops > 0
+
+    def test_30k_reproduces_paper(self):
+        # Section IV-B: "both schemes achieve 832 GFLOPS, which
+        # corresponds to ~79% efficiency".
+        r = NativeHPL(30000).run()
+        assert r.gflops == pytest.approx(832, abs=25)
+        assert r.efficiency == pytest.approx(0.788, abs=0.02)
+
+    def test_knc_beats_snb_beyond_4k(self):
+        # Figure 6: the KNC dynamic curve crosses the SNB curve.
+        for n in (5000, 15000, 30000):
+            assert NativeHPL(n).run().gflops > snb_hpl_gflops(n)
+
+    def test_knc_advantage_shrinks_toward_small_sizes(self):
+        # Figure 6's left edge: the curves close up (and cross in the
+        # paper) as N shrinks — the small-N regime favours the host.
+        ratio_small = NativeHPL(1000).run().gflops / snb_hpl_gflops(1000)
+        ratio_large = NativeHPL(30000).run().gflops / snb_hpl_gflops(30000)
+        assert ratio_small < 0.5 * ratio_large
+
+    def test_memory_gate(self):
+        # 8 GB of GDDR caps the native problem size near 30K (Section V).
+        with pytest.raises(ValueError):
+            NativeHPL(40000)
+
+    def test_dynamic_no_slower_than_static(self):
+        for n in (2000, 8000):
+            dyn = NativeHPL(n, scheduler="dynamic").run()
+            sta = NativeHPL(n, scheduler="static").run()
+            assert dyn.gflops >= sta.gflops
+
+    def test_unknown_scheduler(self):
+        with pytest.raises(ValueError):
+            NativeHPL(1000, scheduler="magic")
+
+    def test_result_type(self):
+        assert isinstance(NativeHPL(1000).run(), HPLResult)
+
+    def test_solve_time_small_but_positive(self):
+        d = NativeHPL(10000)
+        assert 0 < d.solve_time_s() < 0.1

@@ -1,0 +1,69 @@
+"""HPL configuration auto-tuner."""
+
+import pytest
+
+from repro.hpl.tuner import TuneResult, grid_shapes, problem_size, tune
+
+GB = 1024**3
+
+
+class TestGridShapes:
+    def test_all_factorisations_p_le_q(self):
+        assert grid_shapes(100) == [(1, 100), (2, 50), (4, 25), (5, 20), (10, 10)]
+
+    def test_prime_node_count(self):
+        assert grid_shapes(7) == [(1, 7)]
+
+    def test_single_node(self):
+        assert grid_shapes(1) == [(1, 1)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            grid_shapes(0)
+
+
+class TestProblemSize:
+    def test_single_node_64gb_lands_near_paper_n(self):
+        # 80% of 64 GB holds ~82K; the paper ran 84K on those nodes.
+        n = problem_size(1, 64 * GB)
+        assert 72_000 <= n <= 86_400
+        assert n % 1200 == 0
+
+    def test_scales_with_sqrt_nodes(self):
+        n1 = problem_size(1, 64 * GB)
+        n100 = problem_size(100, 64 * GB)
+        assert n100 == pytest.approx(10 * n1, rel=0.02)
+
+    def test_memory_scaling(self):
+        assert problem_size(1, 128 * GB) > problem_size(1, 64 * GB)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            problem_size(1, 64 * GB, fill_fraction=0.0)
+
+
+class TestTune:
+    def test_100_nodes_picks_square_grid(self):
+        # HPL folk wisdom and the paper's own 10x10 choice.
+        r = tune(100, nb_candidates=(1200,))
+        assert (r.p, r.q) == (10, 10)
+        assert r.lookahead == "pipelined"
+        assert r.tflops > 90  # the paper's regime (107 TF at N=825K)
+
+    def test_single_node_matches_paper_configuration(self):
+        r = tune(1, nb_candidates=(1200,))
+        assert (r.p, r.q) == (1, 1)
+        assert 0.7 < r.efficiency < 0.85
+
+    def test_explicit_n_respected(self):
+        r = tune(4, n=84_000, nb_candidates=(1200,))
+        assert r.n == 84_000
+
+    def test_result_describe(self):
+        r = tune(1, n=36_000, nb_candidates=(1200,))
+        text = r.describe()
+        assert "NB=1200" in text and "TFLOPS" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            tune(1, cards=0)

@@ -1,0 +1,62 @@
+"""Numeric hybrid LU: the offloaded trailing updates produce the same
+factorization as the reference path."""
+
+import numpy as np
+import pytest
+import scipy.linalg as sla
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hpl.matgen import hpl_matrix, hpl_system
+from repro.hpl.residual import residual_passes
+from repro.hybrid.functional import hybrid_blocked_lu
+from repro.lu.factorize import blocked_lu, lu_solve
+
+
+class TestHybridFunctionalLU:
+    def test_matches_reference_blocked_lu(self):
+        a0 = hpl_matrix(96, seed=1)
+        lu_h, ipiv_h = hybrid_blocked_lu(a0.copy(), nb=24)
+        lu_r, ipiv_r = blocked_lu(a0.copy(), nb=24)
+        np.testing.assert_allclose(lu_h, lu_r, rtol=1e-11, atol=1e-12)
+        np.testing.assert_array_equal(ipiv_h, ipiv_r)
+
+    def test_matches_scipy(self):
+        a0 = hpl_matrix(80, seed=2)
+        lu_h, ipiv_h = hybrid_blocked_lu(a0.copy(), nb=20)
+        lu_ref, piv_ref = sla.lu_factor(a0)
+        np.testing.assert_allclose(lu_h, lu_ref, rtol=1e-10, atol=1e-11)
+        np.testing.assert_array_equal(ipiv_h, piv_ref)
+
+    def test_dual_card_same_answer(self):
+        a0 = hpl_matrix(72, seed=3)
+        one, _ = hybrid_blocked_lu(a0.copy(), nb=18, cards=1)
+        two, _ = hybrid_blocked_lu(a0.copy(), nb=18, cards=2)
+        np.testing.assert_allclose(one, two, rtol=1e-12, atol=1e-13)
+
+    def test_solve_passes_hpl_residual(self):
+        a0, b = hpl_system(90, seed=4)
+        a = a0.copy()
+        lu, ipiv = hybrid_blocked_lu(a, nb=30, cards=2)
+        x = lu_solve(lu, ipiv, np.asarray(b))
+        assert residual_passes(a0, x, b)
+
+    def test_no_host_assist_still_correct(self):
+        a0 = hpl_matrix(60, seed=5)
+        lu_h, _ = hybrid_blocked_lu(a0.copy(), nb=15, host_assist=False)
+        lu_r, _ = blocked_lu(a0.copy(), nb=15)
+        np.testing.assert_allclose(lu_h, lu_r, rtol=1e-11, atol=1e-12)
+
+    @given(
+        n=st.integers(20, 90),
+        nb=st.integers(5, 32),
+        cards=st.integers(1, 2),
+        seed=st.integers(0, 10**6),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_property_vs_reference(self, n, nb, cards, seed):
+        a0 = hpl_matrix(n, seed=seed)
+        lu_h, ipiv_h = hybrid_blocked_lu(a0.copy(), nb=nb, cards=cards)
+        lu_r, ipiv_r = blocked_lu(a0.copy(), nb=nb)
+        np.testing.assert_allclose(lu_h, lu_r, rtol=1e-10, atol=1e-11)
+        np.testing.assert_array_equal(ipiv_h, ipiv_r)

@@ -1,0 +1,167 @@
+"""The one-array LU DAG: dependencies, look-ahead, super-stage limits."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lu.dag import PanelDAG, Task, TaskType
+
+
+class TestTaskValidation:
+    def test_panel_task_factors_itself(self):
+        with pytest.raises(ValueError):
+            Task(TaskType.PANEL, 2, 3)
+
+    def test_update_targets_later_panel(self):
+        with pytest.raises(ValueError):
+            Task(TaskType.UPDATE, 3, 3)
+
+    def test_constructors(self):
+        assert Task.panel_task(4) == Task(TaskType.PANEL, 4, 4)
+        assert Task.update_task(1, 5) == Task(TaskType.UPDATE, 1, 5)
+
+
+class TestDAGBasics:
+    def test_total_tasks(self):
+        assert PanelDAG(1).total_tasks == 1
+        assert PanelDAG(6).total_tasks == 6 + 15
+
+    def test_first_task_is_panel_zero(self):
+        dag = PanelDAG(4)
+        assert dag.available_task() == Task.panel_task(0)
+
+    def test_nothing_else_before_panel_zero_commits(self):
+        dag = PanelDAG(4)
+        dag.available_task()
+        assert dag.available_task() is None
+
+    def test_updates_flow_after_panel(self):
+        dag = PanelDAG(3)
+        t = dag.available_task()
+        dag.complete(t)
+        got = {dag.available_task(), dag.available_task()}
+        assert got == {Task.update_task(0, 1), Task.update_task(0, 2)}
+
+    def test_lookahead_panel_preferred_over_updates(self):
+        # After UPDATE(0,1) commits, PANEL(1) must be offered before the
+        # still-pending UPDATE(0,2) — the look-ahead rule.
+        dag = PanelDAG(3)
+        dag.complete(dag.available_task())  # PANEL(0)
+        u01 = dag.available_task()
+        assert u01 == Task.update_task(0, 1)
+        dag.complete(u01)
+        assert dag.available_task() == Task.panel_task(1)
+
+    def test_update_requires_factored_stage_panel(self):
+        dag = PanelDAG(3)
+        dag.complete(dag.available_task())  # PANEL(0)
+        dag.complete(dag.available_task())  # UPDATE(0,1)
+        p1 = dag.available_task()
+        assert p1 == Task.panel_task(1)
+        # UPDATE(1,2) not available: panel 1 in progress, and panel 2
+        # still needs UPDATE(0,2) first.
+        nxt = dag.available_task()
+        assert nxt == Task.update_task(0, 2)
+
+    def test_single_panel_matrix(self):
+        dag = PanelDAG(1)
+        dag.complete(dag.available_task())
+        assert dag.done
+
+    def test_complete_unclaimed_raises(self):
+        dag = PanelDAG(2)
+        with pytest.raises(ValueError):
+            dag.complete(Task.panel_task(0))
+
+    def test_abandon_returns_task(self):
+        dag = PanelDAG(2)
+        t = dag.available_task()
+        dag.abandon(t)
+        assert dag.available_task() == t
+
+    def test_abandon_unclaimed_raises(self):
+        with pytest.raises(ValueError):
+            PanelDAG(2).abandon(Task.panel_task(0))
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            PanelDAG(0)
+
+
+class TestMaxStage:
+    def test_superstage_boundary_blocks_later_tasks(self):
+        dag = PanelDAG(4)
+        dag.complete(dag.available_task())  # PANEL(0)
+        dag.complete(dag.available_task())  # UPDATE(0,1) (lowest first)
+        # With max_stage=1 the ready PANEL(1) is invisible.
+        t = dag.available_task(max_stage=1)
+        assert t == Task.update_task(0, 2)
+        dag.abandon(t)
+        assert dag.available_task(max_stage=2) == Task.panel_task(1)
+
+    def test_drain_to_boundary_then_none(self):
+        dag = PanelDAG(3)
+        while True:
+            t = dag.available_task(max_stage=1)
+            if t is None:
+                break
+            dag.complete(t)
+        # Everything with stage < 1 done; stage-1 tasks untouched.
+        assert dag.factored == [True, False, False]
+        assert dag.stage == [1, 1, 1]
+
+
+class TestFullDrain:
+    def _drain(self, n_panels, rng=None):
+        dag = PanelDAG(n_panels)
+        executed = []
+        in_flight = []
+        while not dag.done:
+            t = dag.available_task()
+            while t is not None:
+                in_flight.append(t)
+                t = dag.available_task()
+            assert in_flight, "DAG stalled"
+            if rng:
+                rng.shuffle(in_flight)
+            done = in_flight.pop()
+            dag.complete(done)
+            executed.append(done)
+        return executed
+
+    def test_serial_drain_completes_all(self):
+        executed = self._drain(5)
+        assert len(executed) == PanelDAG(5).total_tasks
+
+    @given(st.integers(1, 12), st.integers(0, 10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_random_drain_respects_dependencies(self, n_panels, seed):
+        executed = self._drain(n_panels, random.Random(seed))
+        assert len(executed) == PanelDAG(n_panels).total_tasks
+        seen = set()
+        for t in executed:
+            if t.type is TaskType.UPDATE:
+                # Its stage's panel factored earlier; its panel received
+                # all earlier-stage updates first.
+                assert Task.panel_task(t.stage) in seen
+                for j in range(t.stage):
+                    assert Task.update_task(j, t.panel) in seen
+            else:
+                for j in range(t.stage):
+                    assert Task.update_task(j, t.panel) in seen
+            seen.add(t)
+
+    def test_commit_out_of_order_raises(self):
+        dag = PanelDAG(3)
+        dag.complete(dag.available_task())  # PANEL(0)
+        t1 = dag.available_task()  # UPDATE(0,1)
+        t2 = dag.available_task()  # UPDATE(0,2)
+        dag.complete(t2)
+        dag.complete(t1)
+        # Force an inconsistent manual commit.
+        bogus = Task.update_task(0, 1)
+        dag.in_progress.add(bogus)
+        with pytest.raises(RuntimeError):
+            dag.complete(bogus)

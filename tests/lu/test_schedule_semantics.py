@@ -1,0 +1,99 @@
+"""Temporal semantics of the simulated schedules: the trace itself must
+respect every DAG dependency (not just the numeric execution order)."""
+
+import re
+from collections import defaultdict
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lu.dynamic import DynamicScheduler
+from repro.lu.static_la import StaticLookaheadScheduler
+
+_INFO = re.compile(r"s(\d+)p(\d+)")
+
+
+def task_windows(trace):
+    """(stage, panel) -> (start, end) across that task's phase spans."""
+    windows = defaultdict(lambda: [float("inf"), 0.0])
+    for span in trace.spans:
+        if not span.info:
+            continue
+        m = _INFO.fullmatch(span.info.replace("s", "s", 1)) or _INFO.match(span.info)
+        if not m:
+            continue
+        key = (int(m.group(1)), int(m.group(2)))
+        windows[key][0] = min(windows[key][0], span.start)
+        windows[key][1] = max(windows[key][1], span.end)
+    return {k: tuple(v) for k, v in windows.items()}
+
+
+def panel_windows(trace):
+    """stage -> (start, end) of its DGETRF spans (static scheme tags
+    panels with 's<stage>' only)."""
+    out = {}
+    for span in trace.spans:
+        if span.kind != "dgetrf" or not span.info:
+            continue
+        m = re.match(r"s(\d+)", span.info)
+        if not m:
+            continue
+        stage = int(m.group(1))
+        lo, hi = out.get(stage, (float("inf"), 0.0))
+        out[stage] = (min(lo, span.start), max(hi, span.end))
+    return out
+
+
+class TestDynamicTemporalDependencies:
+    @given(
+        n=st.sampled_from([3000, 6000, 9000]),
+        nb=st.sampled_from([250, 300, 500]),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_trace_respects_dag(self, n, nb):
+        r = DynamicScheduler(n, nb=nb).run()
+        windows = task_windows(r.trace)
+        panels = {
+            s: w for (s, p), w in windows.items() if s == p
+        }  # PANEL tasks have stage == panel
+        eps = 1e-9
+        for (stage, panel), (start, _end) in windows.items():
+            if stage == panel:
+                # Panel(i) starts only after update(i-1, i) ended.
+                if stage > 0:
+                    dep = windows.get((stage - 1, panel))
+                    assert dep is not None
+                    assert start >= dep[1] - eps
+            else:
+                # Update(i, p) starts only after panel(i) ended and after
+                # update(i-1, p) ended.
+                assert start >= panels[stage][1] - eps
+                if stage > 0:
+                    assert start >= windows[(stage - 1, panel)][1] - eps
+
+    def test_every_task_appears_exactly_once(self):
+        nb, n = 300, 6000
+        r = DynamicScheduler(n, nb=nb).run()
+        windows = task_windows(r.trace)
+        panels = -(-n // nb)
+        expected = {(i, i) for i in range(panels)} | {
+            (i, p) for i in range(panels) for p in range(i + 1, panels)
+        }
+        assert set(windows) == expected
+
+
+class TestStaticTemporalStructure:
+    def test_stage_barrier_ordering(self):
+        # In the static scheme, no stage-i+1 activity may begin before
+        # stage i's panel (factored via look-ahead during stage i) ends.
+        r = StaticLookaheadScheduler(6000, nb=300).run()
+        panels = panel_windows(r.trace)
+        stages = sorted(panels)
+        for a, b in zip(stages, stages[1:]):
+            assert panels[b][0] >= panels[a][0]
+
+    def test_barrier_count_matches_stages(self):
+        r = StaticLookaheadScheduler(6000, nb=300).run()
+        barrier_spans = [s for s in r.trace.spans if s.kind == "barrier"]
+        assert len(barrier_spans) == r.barriers == 19

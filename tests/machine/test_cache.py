@@ -1,0 +1,134 @@
+"""L1 port/stall model and set-associative cache simulator tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.cache import CacheSim, L1PortModel
+
+
+class TestPortModelClosedForm:
+    def test_kernel1_pattern_stalls(self):
+        # 32 instructions, all memory-accessing, 2 fills -> 2 stalls.
+        pm = L1PortModel(stall_penalty=1)
+        assert pm.iteration_stalls(32, 32, 2) == 2
+
+    def test_kernel2_pattern_no_stalls(self):
+        # 4 holes absorb the 2 fills.
+        pm = L1PortModel()
+        assert pm.iteration_stalls(32, 28, 2) == 0
+
+    def test_fills_beyond_holes_stall(self):
+        pm = L1PortModel(stall_penalty=3)
+        assert pm.iteration_stalls(32, 30, 5) == 9  # 5 fills - 2 holes = 3 stalls
+
+    def test_invalid_memory_count(self):
+        with pytest.raises(ValueError):
+            L1PortModel().iteration_stalls(32, 33, 1)
+
+    @given(
+        st.integers(1, 64), st.integers(0, 64), st.integers(0, 8), st.integers(0, 4)
+    )
+    @settings(max_examples=50)
+    def test_nonnegative_and_monotone_in_fills(self, n, mem, fills, penalty):
+        mem = min(mem, n)
+        pm = L1PortModel(stall_penalty=penalty)
+        s = pm.iteration_stalls(n, mem, fills)
+        assert s >= 0
+        assert pm.iteration_stalls(n, mem, fills + 1) >= s
+
+
+class TestPortModelWalk:
+    def test_all_busy_schedule_forces_stalls(self):
+        pm = L1PortModel(threshold=4, stall_penalty=1)
+        rep = pm.walk([True] * 32, [0, 16])
+        assert rep.stall_cycles == 2
+        assert rep.cycles == 34
+        assert rep.fills_completed == 2
+
+    def test_holes_absorb_fills_without_stall(self):
+        pm = L1PortModel(threshold=4, stall_penalty=1)
+        sched = [True] * 32
+        sched[2] = sched[18] = False  # two holes
+        rep = pm.walk(sched, [0, 16])
+        assert rep.stall_cycles == 0
+        assert rep.cycles == 32
+        assert rep.fills_completed == 2
+
+    def test_fill_completes_in_first_hole_after_arrival(self):
+        pm = L1PortModel(threshold=10, stall_penalty=1)
+        sched = [True, True, False, True]
+        rep = pm.walk(sched, [0])
+        assert rep.stall_cycles == 0
+        assert rep.fills_deferred_total == 2  # arrived at 0, completed at 2
+
+    def test_invalid_arrival_raises(self):
+        with pytest.raises(ValueError):
+            L1PortModel().walk([True] * 4, [9])
+
+    def test_empty_schedule(self):
+        rep = L1PortModel().walk([], [])
+        assert rep.cycles == 0
+        assert rep.fills_completed == 0
+
+    @given(
+        st.lists(st.booleans(), min_size=1, max_size=64),
+        st.lists(st.integers(0, 63), max_size=6),
+    )
+    @settings(max_examples=60)
+    def test_walk_invariants(self, sched, arrivals):
+        arrivals = [a for a in arrivals if a < len(sched)]
+        rep = L1PortModel(threshold=3).walk(sched, arrivals)
+        assert rep.fills_completed == len(arrivals)
+        assert rep.cycles == len(sched) + rep.stall_cycles
+        assert rep.stall_cycles >= 0
+        assert rep.fills_deferred_total >= 0
+
+
+class TestCacheSim:
+    def test_sequential_reuse_hits(self):
+        c = CacheSim(size_bytes=4096, line_bytes=64, ways=4)
+        addrs = list(range(0, 2048, 8))
+        c.access_array(addrs)  # cold misses: 2048/64 = 32 lines
+        assert c.misses == 32
+        c.access_array(addrs)  # fits in cache: all hits
+        assert c.misses == 32
+
+    def test_power_of_two_stride_thrashes_set(self):
+        # Column walk of a row-major matrix with power-of-two leading
+        # dimension: every access maps to the same set (Section III-A3).
+        c = CacheSim(size_bytes=32 * 1024, line_bytes=64, ways=8)
+        ld_bytes = 4096 * 8  # leading dimension 4096 doubles
+        col = [r * ld_bytes for r in range(64)]
+        c.access_array(col)
+        c2 = CacheSim(size_bytes=32 * 1024, line_bytes=64, ways=8)
+        c2.access_array(col)  # second pass: still all misses (thrash)
+        assert c2.misses == 64
+
+    def test_small_leading_dimension_avoids_thrash(self):
+        # Packed tiles have a tiny leading dimension: the same 64 rows of
+        # a 30-wide tile fit in L1 and the second pass hits.
+        c = CacheSim(size_bytes=32 * 1024, line_bytes=64, ways=8)
+        ld_bytes = 30 * 8
+        col = [r * ld_bytes for r in range(64)]
+        c.access_array(col)
+        miss_second = c.access_array(col)
+        assert miss_second == 0
+
+    def test_capacity_eviction(self):
+        c = CacheSim(size_bytes=1024, line_bytes=64, ways=2)  # 16 lines
+        addrs = [i * 64 for i in range(32)]
+        c.access_array(addrs)
+        assert c.misses == 32
+        missed = c.access_array(addrs)  # working set 2x capacity: thrash
+        assert missed == 32
+
+    def test_bad_geometry_raises(self):
+        with pytest.raises(ValueError):
+            CacheSim(size_bytes=1000, line_bytes=64, ways=3)
+
+    def test_miss_rate(self):
+        c = CacheSim(size_bytes=1024, line_bytes=64, ways=2)
+        c.access(0)
+        c.access(0)
+        assert c.miss_rate == pytest.approx(0.5)

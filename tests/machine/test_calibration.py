@@ -1,0 +1,95 @@
+"""The calibration fits: known-parameter recovery and anchor fidelity."""
+
+import numpy as np
+import pytest
+
+from repro.machine.calibration import (
+    FIG4_PACKING,
+    TABLE2_DGEMM,
+    TABLE2_SGEMM,
+    Calibration,
+    _fit_amortisation,
+    _fit_packing,
+    _fit_spill,
+    _l2_occupancy_fraction,
+    default_calibration,
+)
+
+
+class TestFitRecovery:
+    def test_amortisation_fit_recovers_exact_model(self):
+        # Generate data from a known (E0, u) and recover it.
+        e0, u = 0.9, 7.5
+        ks = (100, 200, 300, 400)
+        anchors = {k: e0 * k / (k + u) for k in ks}
+        got_e0, got_u = _fit_amortisation(anchors, ks)
+        assert got_e0 == pytest.approx(e0, rel=1e-9)
+        assert got_u == pytest.approx(u, rel=1e-9)
+
+    def test_packing_fit_recovers_exact_model(self):
+        c1, c2 = 40.0, 15000.0
+        anchors = {n: c1 * (2 / n) + c2 * (2 / n) ** 2 for n in (1000, 5000, 17000)}
+        got1, got2 = _fit_packing(anchors)
+        assert got1 == pytest.approx(c1, rel=1e-6)
+        assert got2 == pytest.approx(c2, rel=1e-6)
+
+    def test_spill_fit_recovers_hinge(self):
+        e0, u, gamma, theta = 0.91, 6.0, 0.05, 0.75
+        ks = (340, 400)
+        anchors = {
+            k: e0 * k / (k + u)
+            - gamma * max(0.0, _l2_occupancy_fraction(k, 8) - theta)
+            for k in ks
+        }
+        got_g, got_t = _fit_spill(anchors, e0, u, ks, elem_bytes=8)
+        assert got_g == pytest.approx(gamma, rel=1e-6)
+        assert got_t == pytest.approx(theta, rel=1e-6)
+
+
+class TestDefaultCalibration:
+    def test_anchor_fidelity_dgemm(self):
+        cal = default_calibration()
+        for k, eff in TABLE2_DGEMM.items():
+            assert cal.dgemm_eff_k(k) == pytest.approx(eff, abs=0.004)
+
+    def test_anchor_fidelity_sgemm(self):
+        cal = default_calibration()
+        for k, eff in TABLE2_SGEMM.items():
+            assert cal.sgemm_eff_k(k) == pytest.approx(eff, abs=0.004)
+
+    def test_packing_anchor_fidelity(self):
+        cal = default_calibration()
+        for n, over in FIG4_PACKING.items():
+            assert cal.packing_overhead(n, n) == pytest.approx(over, abs=0.01)
+
+    def test_spill_only_hits_deep_k(self):
+        cal = default_calibration()
+        # Below the hinge the spill term is zero.
+        assert cal.dgemm_eff_k(240) == pytest.approx(
+            cal.dgemm_e0 * 240 / (240 + cal.dgemm_u), rel=1e-12
+        )
+
+    def test_packing_overhead_clipped(self):
+        cal = default_calibration()
+        assert cal.packing_overhead(2, 2) <= 0.95
+        assert cal.packing_overhead(10**9, 10**9) >= 0.0
+
+    def test_calibration_is_frozen(self):
+        cal = default_calibration()
+        with pytest.raises(Exception):
+            cal.dgemm_e0 = 1.0
+
+    def test_occupancy_fraction_monotone_in_k(self):
+        occs = [_l2_occupancy_fraction(k, 8) for k in (120, 240, 400)]
+        assert occs == sorted(occs)
+        assert all(0 < o < 1.1 for o in occs)
+
+    def test_custom_calibration_flows_through(self):
+        import dataclasses
+
+        from repro.machine.gemm_model import gemm_efficiency
+
+        hot = dataclasses.replace(default_calibration(), dgemm_e0=0.95)
+        base = gemm_efficiency(8000, 8000, 300)
+        tuned = gemm_efficiency(8000, 8000, 300, cal=hot)
+        assert tuned > base

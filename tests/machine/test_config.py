@@ -1,0 +1,81 @@
+"""Table I parameters and derived peak numbers."""
+
+import pytest
+
+from repro.machine import KNC, SNB, knights_corner, sandy_bridge_ep
+
+
+class TestKnightsCorner:
+    def test_peak_dp_matches_table1(self):
+        # Table I: 1074 DP GFLOPS over all 61 cores.
+        assert KNC.peak_dp_gflops() == pytest.approx(1074, abs=1)
+
+    def test_peak_sp_matches_table1(self):
+        assert KNC.peak_sp_gflops() == pytest.approx(2148, abs=1)
+
+    def test_core_and_thread_counts(self):
+        assert KNC.cores == 61
+        assert KNC.compute_cores == 60  # last core reserved for the OS
+        assert KNC.threads == 244
+        assert KNC.compute_threads == 240
+
+    def test_compute_peak_basis_for_native_results(self):
+        # Native DGEMM 944 GFLOPS at 89.4% implies a ~1056 GFLOPS basis,
+        # i.e. peak over the 60 compute cores.
+        assert KNC.peak_dp_gflops(KNC.compute_cores) == pytest.approx(1056, abs=1)
+
+    def test_cache_sizes(self):
+        assert KNC.l1.size_bytes == 32 * 1024
+        assert KNC.l2.size_bytes == 512 * 1024
+        assert KNC.l3_bytes == 0
+
+    def test_bandwidths(self):
+        assert KNC.stream_bw_gbs == 150.0
+        assert KNC.pcie_bw_gbs == 6.0
+
+    def test_vector_registers(self):
+        assert KNC.vector_registers == 32
+
+
+class TestSandyBridge:
+    def test_peak_dp_matches_table1(self):
+        assert SNB.peak_dp_gflops() == pytest.approx(333, abs=1)
+
+    def test_peak_sp_matches_table1(self):
+        assert SNB.peak_sp_gflops() == pytest.approx(666, abs=1)
+
+    def test_core_counts(self):
+        assert SNB.sockets == 2
+        assert SNB.cores == 16
+        assert SNB.compute_cores == 16
+        assert SNB.threads == 32
+
+    def test_memory(self):
+        assert SNB.dram_bytes == 128 * 1024**3
+        assert SNB.stream_bw_gbs == 76.0
+
+    def test_flops_ratio_roughly_six_with_two_cards(self):
+        # Section V-A: "two Knights Corner cards can deliver roughly six
+        # times the flops compared to Sandy Bridge EP".
+        ratio = 2 * KNC.peak_dp_gflops() / SNB.peak_dp_gflops()
+        assert 5.5 < ratio < 7.0
+
+
+class TestConfigMechanics:
+    def test_factories_return_fresh_equal_configs(self):
+        assert knights_corner() == KNC
+        assert sandy_bridge_ep() == SNB
+        assert knights_corner() is not KNC
+
+    def test_with_override(self):
+        fat = KNC.with_(cores_per_socket=122)
+        assert fat.cores == 122
+        assert fat.peak_dp_gflops() == pytest.approx(2 * KNC.peak_dp_gflops(), rel=0.02)
+        assert KNC.cores == 61  # original untouched
+
+    def test_cycles_to_seconds(self):
+        assert KNC.cycles_to_seconds(1.1e9) == pytest.approx(1.0)
+
+    def test_configs_are_frozen(self):
+        with pytest.raises(Exception):
+            KNC.clock_ghz = 2.0

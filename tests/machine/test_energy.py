@@ -1,0 +1,77 @@
+"""Node power / energy model (Section VII)."""
+
+import pytest
+
+from repro.machine.energy import (
+    HOST_SLEEP_W,
+    KNC_CARD_W,
+    SNB_SOCKET_W,
+    NodePower,
+    cpu_only_node_power,
+    energy_kj,
+    gflops_per_watt,
+    hybrid_node_power,
+    native_node_power,
+)
+
+
+class TestNodePower:
+    def test_hybrid_components(self):
+        p = hybrid_node_power(cards=1)
+        assert p.host_w == 2 * SNB_SOCKET_W
+        assert p.cards_w == KNC_CARD_W
+        assert p.total_w == pytest.approx(
+            p.host_w + p.cards_w + p.dram_w + p.base_w
+        )
+
+    def test_second_card_adds_card_power_only(self):
+        one, two = hybrid_node_power(1), hybrid_node_power(2)
+        assert two.total_w - one.total_w == pytest.approx(KNC_CARD_W)
+
+    def test_native_sleeps_the_host(self):
+        p = native_node_power(1)
+        assert p.host_w == HOST_SLEEP_W
+        assert p.total_w < hybrid_node_power(1).total_w
+
+    def test_paper_claim_host_and_card_power_comparable(self):
+        # "Sandy Bridge EP ... consumes comparable power" to the card.
+        host = hybrid_node_power(0).host_w + hybrid_node_power(0).dram_w
+        assert 0.5 < host / KNC_CARD_W < 1.5
+
+    def test_more_memory_costs_power(self):
+        assert hybrid_node_power(1, 128).total_w > hybrid_node_power(1, 64).total_w
+
+    def test_cpu_only(self):
+        assert cpu_only_node_power().cards_w == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hybrid_node_power(-1)
+        with pytest.raises(ValueError):
+            native_node_power(-2)
+        with pytest.raises(ValueError):
+            hybrid_node_power(1, 0)
+
+
+class TestEnergyMath:
+    def test_energy_kj(self):
+        assert energy_kj(1000.0, 60.0) == pytest.approx(60.0)
+
+    def test_energy_validation(self):
+        with pytest.raises(ValueError):
+            energy_kj(-1, 1)
+        with pytest.raises(ValueError):
+            energy_kj(1, -1)
+
+    def test_gflops_per_watt(self):
+        assert gflops_per_watt(1000.0, 500.0) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            gflops_per_watt(1.0, 0.0)
+        with pytest.raises(ValueError):
+            gflops_per_watt(-1.0, 10.0)
+
+    def test_native_node_more_efficient_at_equal_throughput(self):
+        gf = 900.0
+        assert gflops_per_watt(gf, native_node_power(1).total_w) > gflops_per_watt(
+            gf, hybrid_node_power(1).total_w
+        )

@@ -1,0 +1,120 @@
+"""Calibrated GEMM efficiency model vs the paper's Table II / Figure 4."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import KNC, SNB
+from repro.machine.calibration import (
+    TABLE2_DGEMM,
+    TABLE2_SGEMM,
+    default_calibration,
+)
+from repro.machine.gemm_model import (
+    dgemm_efficiency_vs_k,
+    gemm_efficiency,
+    gemm_gflops,
+    gemm_time_s,
+    packing_overhead,
+    sgemm_efficiency_vs_k,
+    snb_dgemm_efficiency,
+)
+
+
+class TestTable2Reproduction:
+    def test_dgemm_within_one_point_of_paper(self):
+        model = dgemm_efficiency_vs_k(list(TABLE2_DGEMM))
+        for k, paper_eff in TABLE2_DGEMM.items():
+            assert model[k][0] == pytest.approx(paper_eff, abs=0.01)
+
+    def test_sgemm_within_one_point_of_paper(self):
+        model = sgemm_efficiency_vs_k(list(TABLE2_SGEMM))
+        for k, paper_eff in TABLE2_SGEMM.items():
+            assert model[k][0] == pytest.approx(paper_eff, abs=0.01)
+
+    def test_dgemm_peaks_at_k300(self):
+        model = dgemm_efficiency_vs_k(list(TABLE2_DGEMM))
+        best_k = max(model, key=lambda k: model[k][0])
+        assert best_k == 300
+
+    def test_sgemm_peaks_at_k400(self):
+        model = sgemm_efficiency_vs_k(list(TABLE2_SGEMM))
+        best_k = max(model, key=lambda k: model[k][0])
+        assert best_k == 400
+
+    def test_dgemm_944_gflops_at_k300(self):
+        model = dgemm_efficiency_vs_k([300])
+        assert model[300][1] == pytest.approx(944, abs=5)
+
+    def test_sgemm_1917_gflops_at_k400(self):
+        model = sgemm_efficiency_vs_k([400])
+        assert model[400][1] == pytest.approx(1917, abs=15)
+
+    def test_dgemm_spill_dip_beyond_k300(self):
+        model = dgemm_efficiency_vs_k([300, 340, 400])
+        assert model[340][0] < model[300][0]
+        assert model[400][0] < model[340][0]
+
+
+class TestFigure4Reproduction:
+    def test_kernel_efficiency_88pct_at_5k(self):
+        assert gemm_efficiency(5000, 5000, 300) == pytest.approx(0.88, abs=0.01)
+
+    def test_packing_overhead_curve(self):
+        assert packing_overhead(1000, 1000) == pytest.approx(0.15, abs=0.02)
+        assert packing_overhead(5000, 5000) == pytest.approx(0.02, abs=0.01)
+        assert packing_overhead(17000, 17000) == pytest.approx(0.004, abs=0.004)
+
+    def test_packing_overhead_under_2pct_from_5k(self):
+        for n in (5000, 8000, 12000, 20000, 28000):
+            assert packing_overhead(n, n) <= 0.025
+
+    def test_snb_approaches_90pct(self):
+        assert snb_dgemm_efficiency(28000) == pytest.approx(0.90, abs=0.01)
+
+    def test_knc_beats_snb_in_gflops_everywhere_beyond_2k(self):
+        for n in (2000, 5000, 10000, 28000):
+            knc = gemm_gflops(n, n, 300, KNC, include_packing=True)
+            snb = snb_dgemm_efficiency(n) * SNB.peak_dp_gflops()
+            assert knc > snb
+
+    def test_packed_efficiency_monotone_in_size(self):
+        effs = [
+            gemm_efficiency(n, n, 300, include_packing=True)
+            for n in (1000, 2000, 5000, 10000, 28000)
+        ]
+        assert effs == sorted(effs)
+
+
+class TestModelMechanics:
+    @given(st.integers(64, 4096), st.integers(64, 4096), st.integers(32, 512))
+    @settings(max_examples=40)
+    def test_efficiency_in_unit_interval(self, m, n, k):
+        assert 0 < gemm_efficiency(m, n, k) <= 1
+
+    @given(st.integers(256, 4096), st.integers(32, 512))
+    @settings(max_examples=30)
+    def test_time_flops_consistency(self, n, k):
+        t = gemm_time_s(n, n, k)
+        gf = gemm_gflops(n, n, k)
+        assert gf * 1e9 * t == pytest.approx(2.0 * n * n * k, rel=1e-9)
+
+    def test_packing_reduces_efficiency(self):
+        assert gemm_efficiency(4000, 4000, 300, include_packing=True) < (
+            gemm_efficiency(4000, 4000, 300)
+        )
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            gemm_efficiency(0, 10, 10)
+        with pytest.raises(ValueError):
+            snb_dgemm_efficiency(0)
+
+    def test_calibration_is_memoised(self):
+        assert default_calibration() is default_calibration()
+
+    def test_sgemm_has_no_spill_in_swept_range(self):
+        cal = default_calibration()
+        # SGEMM blocks are half the bytes: monotone increasing over the sweep.
+        effs = [cal.sgemm_eff_k(k) for k in (120, 180, 240, 300, 340, 400)]
+        assert effs == sorted(effs)

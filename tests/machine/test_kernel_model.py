@@ -1,0 +1,100 @@
+"""Instruction-mix arithmetic of Section III-A2."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.cache import L1PortModel
+from repro.machine.kernel_model import (
+    BASIC_KERNEL_1,
+    BASIC_KERNEL_2,
+    KernelSpec,
+    kernel_cycle_model,
+    kernel_efficiency,
+    stalled_efficiency_bound,
+)
+
+
+class TestTheoreticalEfficiencies:
+    def test_kernel1_969(self):
+        assert BASIC_KERNEL_1.theoretical_efficiency == pytest.approx(31 / 32)
+
+    def test_kernel2_937(self):
+        assert BASIC_KERNEL_2.theoretical_efficiency == pytest.approx(30 / 32)
+
+    def test_kernel1_stalled_bound_91(self):
+        # "two stall cycles ... reduce overall efficiency down to 91%"
+        assert stalled_efficiency_bound(BASIC_KERNEL_1, 2) == pytest.approx(
+            31 / 34, abs=1e-9
+        )
+
+    def test_kernel1_has_no_holes(self):
+        assert BASIC_KERNEL_1.holes == 0
+
+    def test_kernel2_has_four_holes(self):
+        assert BASIC_KERNEL_2.holes == 4
+
+
+class TestCycleModel:
+    def test_kernel2_beats_kernel1_under_port_model(self):
+        # The paper's headline point: sacrificing one vmadd wins once L1
+        # port conflicts are accounted for.
+        for k in (120, 240, 300, 400):
+            e1 = kernel_efficiency(BASIC_KERNEL_1, k)
+            e2 = kernel_efficiency(BASIC_KERNEL_2, k)
+            assert e2 > e1
+
+    def test_kernel1_wins_without_port_conflicts(self):
+        # With a free L1 (no stalls), Kernel 1's extra vmadd wins back.
+        pm = L1PortModel(stall_penalty=0)
+        e1 = kernel_efficiency(BASIC_KERNEL_1, 300, pm)
+        e2 = kernel_efficiency(BASIC_KERNEL_2, 300, pm)
+        assert e1 > e2
+
+    def test_c_update_overhead_below_half_percent_at_k240(self):
+        # Paper: "for k = 240 it is less than 0.5%".
+        spec = BASIC_KERNEL_2
+        pm = L1PortModel()
+        with_update = kernel_cycle_model(spec, 240, pm)
+        without_update = 240 * spec.vector_instrs
+        overhead = (with_update - without_update) / with_update
+        assert overhead < 0.005
+
+    def test_efficiency_increases_with_k(self):
+        effs = [kernel_efficiency(BASIC_KERNEL_2, k) for k in (60, 120, 240, 480)]
+        assert effs == sorted(effs)
+
+    def test_efficiency_approaches_theoretical_limit(self):
+        eff = kernel_efficiency(BASIC_KERNEL_2, 10**7)
+        assert eff == pytest.approx(BASIC_KERNEL_2.theoretical_efficiency, abs=1e-4)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            kernel_cycle_model(BASIC_KERNEL_2, 0)
+
+    @given(st.integers(1, 4096))
+    @settings(max_examples=40)
+    def test_efficiency_in_unit_interval(self, k):
+        for spec in (BASIC_KERNEL_1, BASIC_KERNEL_2):
+            assert 0 < kernel_efficiency(spec, k) < 1
+
+
+class TestCustomSpecs:
+    def test_spec_consistency_with_emulated_kernels(self):
+        # Kernel 2's census: 30 vmadds (4 swizzle + 26 memory), 1 load,
+        # 1 broadcast -> 32 vector slots, 28 memory-accessing.
+        s = BASIC_KERNEL_2
+        assert s.vmadds + 2 == s.vector_instrs  # load + broadcast
+        assert s.memory_accessing == 26 + 1 + 1
+
+    def test_hypothetical_wider_register_file(self):
+        # With 64 registers a 63-row kernel would reach 63/64.
+        spec = KernelSpec(
+            name="hypothetical",
+            c_rows=63,
+            vector_instrs=64,
+            vmadds=63,
+            memory_accessing=64,
+            fills_per_iter=2.0,
+        )
+        assert spec.theoretical_efficiency == pytest.approx(63 / 64)

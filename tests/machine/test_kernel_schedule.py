@@ -1,0 +1,65 @@
+"""The per-cycle kernel schedules fed through the L1 port walker —
+connecting the Figure 2 code layout to the stall arithmetic."""
+
+import pytest
+
+from repro.machine.cache import L1PortModel
+from repro.machine.kernel_model import (
+    BASIC_KERNEL_1,
+    BASIC_KERNEL_2,
+    iteration_schedule,
+)
+
+
+class TestSchedules:
+    def test_kernel1_schedule_census(self):
+        sched, fills = iteration_schedule(BASIC_KERNEL_1)
+        assert len(sched) == 32
+        assert sum(sched) == 32  # every instruction touches the ports
+        assert len(fills) == 2
+
+    def test_kernel2_schedule_census(self):
+        sched, fills = iteration_schedule(BASIC_KERNEL_2)
+        assert len(sched) == 32
+        assert sum(sched) == 28  # four swizzle holes
+        assert len(fills) == 2
+
+    def test_kernel2_holes_sit_early(self):
+        # The holes follow the load+broadcast, where the fills arrive.
+        sched, _ = iteration_schedule(BASIC_KERNEL_2)
+        assert sched[2:6] == [False, False, False, False]
+
+
+class TestWalkedStalls:
+    def test_kernel1_walk_stalls_twice(self):
+        # Walking the actual schedule reproduces the closed-form count:
+        # no holes, two fills, two stalls (the paper's 31/34 ~ 91%).
+        pm = L1PortModel(threshold=8, stall_penalty=1)
+        sched, fills = iteration_schedule(BASIC_KERNEL_1)
+        rep = pm.walk(sched, fills)
+        assert rep.stall_cycles == 2
+        assert rep.cycles == 34
+
+    def test_kernel2_walk_never_stalls(self):
+        pm = L1PortModel(threshold=8, stall_penalty=1)
+        sched, fills = iteration_schedule(BASIC_KERNEL_2)
+        rep = pm.walk(sched, fills)
+        assert rep.stall_cycles == 0
+        assert rep.cycles == 32
+
+    def test_walk_agrees_with_closed_form(self):
+        pm = L1PortModel()
+        for spec in (BASIC_KERNEL_1, BASIC_KERNEL_2):
+            sched, fills = iteration_schedule(spec)
+            walked = pm.walk(sched, fills).stall_cycles
+            closed = pm.iteration_stalls(
+                spec.vector_instrs, spec.memory_accessing, len(fills)
+            )
+            assert walked == closed
+
+    def test_extra_fills_overwhelm_kernel2_holes(self):
+        # Six fills against four holes: two stalls even for Kernel 2.
+        pm = L1PortModel(threshold=8, stall_penalty=1)
+        sched, _ = iteration_schedule(BASIC_KERNEL_2)
+        rep = pm.walk(sched, [1] * 6)
+        assert rep.stall_cycles == 2

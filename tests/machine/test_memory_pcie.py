@@ -1,0 +1,89 @@
+"""Memory bandwidth model and PCIe link model tests."""
+
+import pytest
+
+from repro.machine import KNC, SNB
+from repro.machine.memory import MemoryModel, stream_time_s
+from repro.machine.pcie import PCIeLink
+
+
+class TestStreamTime:
+    def test_basic(self):
+        assert stream_time_s(150e9, 150.0) == pytest.approx(1.0)
+
+    def test_zero_bytes(self):
+        assert stream_time_s(0, 10.0) == 0.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            stream_time_s(1.0, 0.0)
+        with pytest.raises(ValueError):
+            stream_time_s(-1.0, 10.0)
+
+
+class TestMemoryModel:
+    def test_knc_full_bandwidth(self):
+        mm = MemoryModel(KNC)
+        assert mm.transfer_time_s(150e9) == pytest.approx(1.0)
+
+    def test_sharers_divide_bandwidth(self):
+        mm = MemoryModel(SNB)
+        assert mm.transfer_time_s(1e9, sharers=2) == pytest.approx(
+            2 * mm.transfer_time_s(1e9)
+        )
+
+    def test_copy_is_double_traffic(self):
+        mm = MemoryModel(SNB)
+        assert mm.copy_time_s(1e9) == pytest.approx(2 * mm.transfer_time_s(1e9))
+
+    def test_available_fraction(self):
+        mm = MemoryModel(SNB, available_fraction=0.5)
+        assert mm.effective_bw_gbs == pytest.approx(38.0)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            MemoryModel(SNB, available_fraction=0.0)
+
+    def test_invalid_sharers(self):
+        with pytest.raises(ValueError):
+            MemoryModel(SNB).transfer_time_s(1.0, sharers=0)
+
+
+class TestPCIeLink:
+    def test_tile_size_bound_matches_paper(self):
+        # Kt > 4 * Pdgemm / BWpcie ~ 950 for P=950 GFLOPS, BW=4 GB/s.
+        link = PCIeLink(effective_bw_gbs=4.0)
+        assert link.min_kt_to_hide_transfer(950.0) == pytest.approx(950, abs=1)
+
+    def test_kt_1200_hides_transfer(self):
+        link = PCIeLink(effective_bw_gbs=4.0)
+        ratio = link.compute_to_transfer_ratio(1200, 1200, 1200, 950.0)
+        assert ratio > 1.0
+
+    def test_small_kt_exposes_transfer(self):
+        link = PCIeLink(effective_bw_gbs=4.0)
+        ratio = link.compute_to_transfer_ratio(1200, 1200, 300, 950.0)
+        assert ratio < 1.0
+
+    def test_ratio_crosses_one_at_bound(self):
+        link = PCIeLink(effective_bw_gbs=4.0, latency_s=0.0)
+        kt = link.min_kt_to_hide_transfer(950.0)
+        ratio = link.compute_to_transfer_ratio(2000, 2000, int(kt), 950.0)
+        assert ratio == pytest.approx(1.0, rel=0.01)
+
+    def test_transfer_time_includes_latency(self):
+        link = PCIeLink(latency_s=1e-5)
+        assert link.transfer_time_s(0) == pytest.approx(1e-5)
+
+    def test_peak_vs_effective(self):
+        link = PCIeLink(peak_bw_gbs=6.0, effective_bw_gbs=4.0, latency_s=0.0)
+        assert link.transfer_time_s(12e9, effective=False) == pytest.approx(2.0)
+        assert link.transfer_time_s(12e9, effective=True) == pytest.approx(3.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PCIeLink(effective_bw_gbs=8.0, peak_bw_gbs=6.0)
+        with pytest.raises(ValueError):
+            PCIeLink(peak_bw_gbs=-1.0)
+        with pytest.raises(ValueError):
+            PCIeLink().transfer_time_s(-5)

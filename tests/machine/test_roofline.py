@@ -1,0 +1,79 @@
+"""Section III-A1 cache-blocking bandwidth analysis."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import KNC
+from repro.machine.roofline import (
+    bandwidth_feasible,
+    compute_cycles,
+    l2_block_bytes,
+    l2_blocks_fit,
+    memory_traffic_bytes,
+    required_bandwidth_bytes_per_cycle,
+    required_bandwidth_gbs,
+)
+
+dims = st.integers(1, 2048)
+
+
+class TestPaperNumbers:
+    def test_example_blocking_is_1_1_bytes_per_cycle(self):
+        # m=120, n=32, k=240 -> ~1.1 bytes/cycle per core. The paper's
+        # example uses the large-N amortised form 64*(2/k + 1/m).
+        bpc = required_bandwidth_bytes_per_cycle(120, 32, 240, amortize_a=True)
+        assert bpc == pytest.approx(1.1, abs=0.05)
+
+    def test_example_blocking_is_74_gbs_on_60_cores(self):
+        gbs = required_bandwidth_gbs(120, 32, 240, KNC, cores=60, amortize_a=True)
+        assert gbs == pytest.approx(74, abs=4)
+
+    def test_example_within_stream_bandwidth(self):
+        # "well within the limits of Knights Corner's achievable STREAM
+        # bandwidth of 150 GB/s" — with the Ab load amortised.
+        assert bandwidth_feasible(120, 32, 240, KNC, amortize_a=True)
+
+    def test_amortized_form_drops_n_term(self):
+        full = required_bandwidth_bytes_per_cycle(120, 32, 240)
+        amort = required_bandwidth_bytes_per_cycle(120, 32, 240, amortize_a=True)
+        assert amort == pytest.approx(full - 64 / 32)
+
+    def test_k300_leaves_l2_headroom_but_k400_does_not(self):
+        # Table II: DGEMM dips at k >= 340 because the blocks start to
+        # fall out of L2. k=300 uses ~75% of the 512 KB; k=400 ~99%,
+        # leaving no room for stacks/metadata, and k=420 overflows.
+        l2 = KNC.l2.size_bytes
+        assert l2_block_bytes(120, 32, 300) < 0.80 * l2
+        assert l2_block_bytes(120, 32, 400) > 0.95 * l2
+        assert not l2_blocks_fit(120, 32, 420, KNC)
+
+
+class TestFormulas:
+    @given(dims, dims, dims)
+    @settings(max_examples=50)
+    def test_bandwidth_is_traffic_over_compute_time(self, m, n, k):
+        bpc = required_bandwidth_bytes_per_cycle(m, n, k)
+        expected = memory_traffic_bytes(m, n, k) / compute_cycles(m, n, k)
+        assert bpc == pytest.approx(expected, rel=1e-12)
+
+    @given(dims, dims, dims)
+    @settings(max_examples=50)
+    def test_traffic_counts_c_twice(self, m, n, k):
+        assert memory_traffic_bytes(m, n, k) - l2_block_bytes(m, n, k) == 8 * m * n
+
+    def test_bigger_k_needs_less_bandwidth(self):
+        assert required_bandwidth_bytes_per_cycle(
+            120, 32, 480
+        ) < required_bandwidth_bytes_per_cycle(120, 32, 120)
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            l2_block_bytes(0, 32, 240)
+        with pytest.raises(ValueError):
+            required_bandwidth_bytes_per_cycle(120, -1, 240)
+
+    def test_single_precision_halves_footprint(self):
+        assert l2_block_bytes(120, 32, 240, elem_bytes=4) == l2_block_bytes(
+            120, 32, 240
+        ) // 2

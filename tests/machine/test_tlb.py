@@ -1,0 +1,76 @@
+"""TLB pressure: why matrices are packed before the kernel runs."""
+
+import pytest
+
+from repro.machine.tlb import (
+    TLBSim,
+    column_walk_addresses,
+    packed_tile_addresses,
+)
+
+
+class TestTLBSim:
+    def test_working_set_within_reach_hits(self):
+        tlb = TLBSim(entries=16, page_bytes=4096)
+        addrs = list(range(0, 16 * 4096, 512))
+        tlb.access_array(addrs)  # cold: 16 page misses
+        assert tlb.misses == 16
+        assert tlb.access_array(addrs) == 0  # warm: everything hits
+
+    def test_lru_eviction(self):
+        tlb = TLBSim(entries=2, page_bytes=4096)
+        tlb.access(0)
+        tlb.access(4096)
+        tlb.access(8192)  # evicts page 0
+        assert not tlb.access(0)
+
+    def test_reach(self):
+        assert TLBSim(entries=64, page_bytes=4096).reach_bytes == 256 * 1024
+
+    def test_miss_rate(self):
+        tlb = TLBSim(entries=4)
+        tlb.access(0)
+        tlb.access(0)
+        assert tlb.miss_rate == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TLBSim(entries=0)
+
+
+class TestPackingArgument:
+    """Section III-A3: large leading dimensions thrash the TLB; the
+    packed tiles' small leading dimension does not."""
+
+    def test_large_leading_dimension_thrashes(self):
+        # A 28000-wide row-major matrix: each column element lives on its
+        # own page; a 240-deep column walk overwhelms a 64-entry TLB.
+        tlb = TLBSim(entries=64, page_bytes=4096)
+        col = column_walk_addresses(rows=240, leading_dim=28000)
+        tlb.access_array(col)
+        second_pass = tlb.access_array(col)
+        assert second_pass == 240  # zero reuse: every access misses again
+
+    def test_packed_tiles_fit_in_tlb(self):
+        tlb = TLBSim(entries=64, page_bytes=4096)
+        addrs = packed_tile_addresses(rows=240, k=120)
+        tlb.access_array(addrs)
+        cold = tlb.misses
+        assert tlb.access_array(addrs) == 0  # full reuse on the 2nd pass
+        # Cold misses equal the data footprint in pages, nothing more.
+        footprint_pages = -(-len(addrs) * 8 // 4096)
+        assert cold == footprint_pages
+
+    def test_moderate_leading_dimension_is_fine(self):
+        # ld=512 -> one page per element, but only for 64+ rows; a 30-row
+        # walk stays within the TLB.
+        tlb = TLBSim(entries=64, page_bytes=4096)
+        col = column_walk_addresses(rows=30, leading_dim=512)
+        tlb.access_array(col)
+        assert tlb.access_array(col) == 0
+
+    def test_address_generators_validate(self):
+        with pytest.raises(ValueError):
+            column_walk_addresses(0, 10)
+        with pytest.raises(ValueError):
+            packed_tile_addresses(10, 0)

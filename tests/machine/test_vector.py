@@ -1,0 +1,142 @@
+"""Functional tests of the KNC vector ISA emulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.machine.vector import VLEN, VectorMachine
+
+
+@pytest.fixture
+def vm():
+    return VectorMachine()
+
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+vec8 = hnp.arrays(np.float64, (VLEN,), elements=finite)
+vec4 = hnp.arrays(np.float64, (4,), elements=finite)
+
+
+class TestBasics:
+    def test_register_file_size(self, vm):
+        assert vm.n_registers == 32
+        assert vm.regs.shape == (32, VLEN)
+
+    def test_out_of_range_register_raises(self, vm):
+        with pytest.raises(IndexError):
+            vm.vzero(32)
+        with pytest.raises(IndexError):
+            vm.vmadd(0, 1, 33)
+
+    def test_vload_vstore_roundtrip(self, vm):
+        data = np.arange(8.0)
+        out = np.zeros(8)
+        vm.vload(3, data)
+        vm.vstore(3, out)
+        np.testing.assert_array_equal(out, data)
+
+    def test_vload_wrong_size_raises(self, vm):
+        with pytest.raises(ValueError):
+            vm.vload(0, np.zeros(7))
+
+
+class TestBroadcasts:
+    def test_1to8_replicates_scalar(self, vm):
+        vm.broadcast_1to8(5, 3.25)
+        np.testing.assert_array_equal(vm.regs[5], np.full(8, 3.25))
+
+    @given(vec4)
+    @settings(max_examples=25)
+    def test_4to8_tiles_four_elements_twice(self, data):
+        vm = VectorMachine()
+        vm.broadcast_4to8(0, data)
+        np.testing.assert_array_equal(vm.regs[0][:4], data)
+        np.testing.assert_array_equal(vm.regs[0][4:], data)
+
+    def test_4to8_wrong_size_raises(self, vm):
+        with pytest.raises(ValueError):
+            vm.broadcast_4to8(0, np.zeros(8))
+
+
+class TestSwizzle:
+    @given(vec8, st.integers(0, 3))
+    @settings(max_examples=25)
+    def test_swizzle_replicates_within_lane_groups(self, data, i):
+        out = VectorMachine._swizzle(data, i)
+        np.testing.assert_array_equal(out[:4], np.full(4, data[i]))
+        np.testing.assert_array_equal(out[4:], np.full(4, data[4 + i]))
+
+    def test_figure_1b_example(self):
+        # SWIZZLE_2 of [a0..a7] -> [a2 a2 a2 a2 a6 a6 a6 a6]
+        v = np.arange(8.0)
+        np.testing.assert_array_equal(
+            VectorMachine._swizzle(v, 2), [2, 2, 2, 2, 6, 6, 6, 6]
+        )
+
+    def test_bad_swizzle_index(self):
+        with pytest.raises(ValueError):
+            VectorMachine._swizzle(np.zeros(8), 4)
+
+
+class TestVmadd:
+    @given(vec8, vec8, vec8)
+    @settings(max_examples=25)
+    def test_vmadd_register(self, acc, x, y):
+        vm = VectorMachine()
+        vm.regs[0], vm.regs[1], vm.regs[2] = acc.copy(), x, y
+        vm.vmadd(0, 1, 2)
+        np.testing.assert_allclose(vm.regs[0], acc + x * y)
+
+    @given(vec8, finite)
+    @settings(max_examples=25)
+    def test_vmadd_mem_1to8_equals_scalar_broadcast(self, x, s):
+        vm = VectorMachine()
+        vm.regs[1] = x
+        vm.vmadd_mem_1to8(0, 1, s)
+        np.testing.assert_allclose(vm.regs[0], x * s)
+
+    @given(vec8, vec8, st.integers(0, 3))
+    @settings(max_examples=25)
+    def test_vmadd_swizzle_matches_manual(self, x, y, i):
+        vm = VectorMachine()
+        vm.regs[1], vm.regs[2] = x, y
+        vm.vmadd_swizzle(0, 1, 2, i)
+        np.testing.assert_allclose(vm.regs[0], x * VectorMachine._swizzle(y, i))
+
+
+class TestInstructionCounting:
+    def test_counts_by_category(self, vm):
+        vm.vload(0, np.zeros(8))
+        vm.broadcast_1to8(1, 2.0)
+        vm.vmadd(2, 0, 1)
+        vm.vmadd_mem_1to8(2, 0, 3.0)
+        vm.vmadd_swizzle(2, 0, 1, 1)
+        vm.prefetch()
+        c = vm.counts
+        assert c.load == 1
+        assert c.broadcast == 1
+        assert c.vmadd == 3
+        assert c.vmadd_mem == 1
+        assert c.swizzle_use == 1
+        assert c.prefetch == 1
+
+    def test_vector_total_excludes_prefetch(self, vm):
+        vm.prefetch()
+        vm.vload(0, np.zeros(8))
+        assert vm.counts.vector_total == 1
+
+    def test_memory_accessing(self, vm):
+        vm.vload(0, np.zeros(8))  # memory
+        vm.regs[1] = 1.0
+        vm.vmadd(2, 0, 1)  # register-only
+        vm.vmadd_mem_1to8(2, 0, 1.0)  # memory
+        assert vm.counts.memory_accessing == 2
+
+    def test_reset_counts(self, vm):
+        vm.vload(0, np.zeros(8))
+        vm.reset_counts()
+        assert vm.counts.vector_total == 0

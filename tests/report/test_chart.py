@@ -1,0 +1,53 @@
+"""ASCII chart rendering."""
+
+import pytest
+
+from repro.report import render_chart
+
+
+@pytest.fixture
+def series():
+    return {
+        "a": [(0.0, 0.0), (10.0, 100.0)],
+        "b": [(0.0, 50.0), (10.0, 50.0)],
+    }
+
+
+class TestRenderChart:
+    def test_contains_legend_and_glyphs(self, series):
+        out = render_chart(series)
+        assert "o=a" in out and "x=b" in out
+
+    def test_extremes_on_axis_labels(self, series):
+        out = render_chart(series)
+        assert "100" in out
+        assert out.splitlines()[-3].startswith(" " * 11 + "+")
+
+    def test_top_and_bottom_points_placed(self, series):
+        out = render_chart(series, width=40, height=10)
+        lines = out.splitlines()
+        assert "o" in lines[0]  # y-max row holds a's top point
+        assert "o" in lines[9]  # y-min row holds a's bottom point
+
+    def test_axis_labels(self, series):
+        out = render_chart(series, x_label="N", y_label="GFLOPS")
+        assert out.startswith("GFLOPS")
+        assert " N " in out or "N" in out.splitlines()[-2]
+
+    def test_single_point_series(self):
+        out = render_chart({"p": [(5.0, 5.0)]})
+        assert "o=p" in out
+
+    def test_empty_series(self):
+        assert render_chart({"a": []}) == "(no data)"
+        assert render_chart({}) == "(no data)"
+
+    def test_too_small_raises(self, series):
+        with pytest.raises(ValueError):
+            render_chart(series, width=4)
+        with pytest.raises(ValueError):
+            render_chart(series, height=2)
+
+    def test_constant_series_does_not_divide_by_zero(self):
+        out = render_chart({"flat": [(1.0, 3.0), (2.0, 3.0)]})
+        assert "o=flat" in out

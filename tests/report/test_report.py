@@ -1,0 +1,84 @@
+"""Table and Gantt rendering."""
+
+import pytest
+
+from repro.report import Table, render_gantt, render_stacked_profile
+from repro.sim import TraceRecorder
+
+
+@pytest.fixture
+def trace():
+    t = TraceRecorder()
+    t.record("g0", "dgemm", 0.0, 6.0)
+    t.record("g0", "dgetrf", 6.0, 8.0)
+    t.record("g1", "dlaswp", 0.0, 1.0)
+    t.record("g1", "dgemm", 1.0, 7.0)
+    return t
+
+
+class TestTable:
+    def test_render_contains_everything(self):
+        t = Table("Table II", ["k", "eff", "GFLOPS"])
+        t.add(300, 0.894, 944.0)
+        t.add(400, 0.889, 938.0)
+        out = t.render()
+        assert "Table II" in out
+        assert "k" in out and "eff" in out
+        assert "944" in out and "0.894" in out
+
+    def test_wrong_cell_count_raises(self):
+        t = Table("x", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add(1)
+
+    def test_str_is_render(self):
+        t = Table("t", ["a"])
+        t.add(1)
+        assert str(t) == t.render()
+
+
+class TestGantt:
+    def test_lanes_and_legend(self, trace):
+        out = render_gantt(trace, width=40)
+        assert "g0" in out and "g1" in out
+        assert "#=dgemm" in out
+        assert "P=dgetrf" in out
+
+    def test_glyphs_cover_duration(self, trace):
+        out = render_gantt(trace, width=40)
+        g0_line = next(l for l in out.splitlines() if l.startswith("g0"))
+        # dgemm occupies ~3/4 of the g0 lane.
+        assert g0_line.count("#") >= 25
+
+    def test_empty_trace(self):
+        assert render_gantt(TraceRecorder()) == "(empty trace)"
+
+    def test_worker_filter(self, trace):
+        out = render_gantt(trace, width=20, workers=["g1"])
+        assert "g0" not in out
+
+    def test_invalid_width(self, trace):
+        with pytest.raises(ValueError):
+            render_gantt(trace, width=0)
+
+
+class TestStackedProfile:
+    def test_percentages_sane(self, trace):
+        out = render_stacked_profile(trace, n_windows=4)
+        lines = [l for l in out.splitlines() if l.startswith("[")]
+        assert len(lines) == 4
+
+    def test_idle_column_present(self, trace):
+        out = render_stacked_profile(trace, n_windows=2)
+        assert "idle%" in out
+
+    def test_single_worker_filter(self, trace):
+        out = render_stacked_profile(trace, n_windows=2, worker="g0")
+        assert "dgemm" in out
+
+    def test_validation(self, trace):
+        with pytest.raises(ValueError):
+            render_stacked_profile(trace, n_windows=0)
+
+    def test_empty(self):
+        assert render_stacked_profile(TraceRecorder()) == "(empty trace)"

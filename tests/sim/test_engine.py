@@ -1,0 +1,293 @@
+"""DES engine semantics: timeouts, events, joins, determinism."""
+
+import pytest
+
+from repro.sim import Event, Interrupt, Simulator
+
+
+class TestTimeouts:
+    def test_simple_delay(self):
+        sim = Simulator()
+        log = []
+
+        def proc():
+            yield 5.0
+            log.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert log == [5.0]
+
+    def test_sequential_delays_accumulate(self):
+        sim = Simulator()
+        log = []
+
+        def proc():
+            yield 1.0
+            yield 2.5
+            log.append(sim.now)
+
+        sim.process(proc())
+        assert sim.run() == 3.5
+        assert log == [3.5]
+
+    def test_negative_delay_raises(self):
+        sim = Simulator()
+
+        def proc():
+            yield -1.0
+
+        sim.process(proc())
+        with pytest.raises(ValueError):
+            sim.run()
+
+    def test_run_until_stops_clock(self):
+        sim = Simulator()
+
+        def proc():
+            yield 100.0
+
+        sim.process(proc())
+        assert sim.run(until=10.0) == 10.0
+
+    def test_bad_yield_type_raises(self):
+        sim = Simulator()
+
+        def proc():
+            yield "nope"
+
+        sim.process(proc())
+        with pytest.raises(TypeError):
+            sim.run()
+
+
+class TestEvents:
+    def test_event_wakes_waiter_with_value(self):
+        sim = Simulator()
+        ev = sim.event()
+        got = []
+
+        def waiter():
+            value = yield ev
+            got.append((sim.now, value))
+
+        def trigger():
+            yield 3.0
+            ev.succeed("payload")
+
+        sim.process(waiter())
+        sim.process(trigger())
+        sim.run()
+        assert got == [(3.0, "payload")]
+
+    def test_wait_on_already_triggered_event_resumes_immediately(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.succeed(42)
+        got = []
+
+        def waiter():
+            value = yield ev
+            got.append(value)
+
+        sim.process(waiter())
+        sim.run()
+        assert got == [42]
+
+    def test_double_trigger_raises(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.succeed()
+        with pytest.raises(RuntimeError):
+            ev.succeed()
+
+    def test_multiple_waiters_all_wake(self):
+        sim = Simulator()
+        ev = sim.event()
+        woke = []
+
+        def waiter(i):
+            yield ev
+            woke.append(i)
+
+        for i in range(5):
+            sim.process(waiter(i))
+
+        def trigger():
+            yield 1.0
+            ev.succeed()
+
+        sim.process(trigger())
+        sim.run()
+        assert woke == [0, 1, 2, 3, 4]  # FIFO wake order
+
+    def test_timeout_event(self):
+        sim = Simulator()
+        got = []
+
+        def waiter():
+            v = yield sim.timeout_event(4.0, "late")
+            got.append((sim.now, v))
+
+        sim.process(waiter())
+        sim.run()
+        assert got == [(4.0, "late")]
+
+
+class TestJoinAndCombinators:
+    def test_join_child_process(self):
+        sim = Simulator()
+        log = []
+
+        def child():
+            yield 2.0
+            return "result"
+
+        def parent():
+            value = yield sim.process(child())
+            log.append((sim.now, value))
+
+        sim.process(parent())
+        sim.run()
+        assert log == [(2.0, "result")]
+
+    def test_join_finished_process(self):
+        sim = Simulator()
+        log = []
+
+        def child():
+            yield 1.0
+            return 7
+
+        def parent(p):
+            yield 5.0
+            value = yield p
+            log.append((sim.now, value))
+
+        p = sim.process(child())
+        sim.process(parent(p))
+        sim.run()
+        assert log == [(5.0, 7)]
+
+    def test_any_of_returns_first(self):
+        sim = Simulator()
+        got = []
+
+        def waiter():
+            idx, val = yield sim.any_of(
+                [sim.timeout_event(5.0, "slow"), sim.timeout_event(2.0, "fast")]
+            )
+            got.append((sim.now, idx, val))
+
+        sim.process(waiter())
+        sim.run()
+        assert got == [(2.0, 1, "fast")]
+
+    def test_all_of_waits_for_all(self):
+        sim = Simulator()
+        got = []
+
+        def waiter():
+            yield sim.all_of([sim.timeout_event(1.0), sim.timeout_event(6.0)])
+            got.append(sim.now)
+
+        sim.process(waiter())
+        sim.run()
+        assert got == [6.0]
+
+    def test_all_of_empty_list_immediate(self):
+        sim = Simulator()
+        got = []
+
+        def waiter():
+            yield sim.all_of([])
+            got.append(sim.now)
+
+        sim.process(waiter())
+        sim.run()
+        assert got == [0.0]
+
+
+class TestInterrupt:
+    def test_interrupt_waiting_process(self):
+        sim = Simulator()
+        log = []
+
+        def victim():
+            try:
+                yield 100.0
+            except Interrupt as exc:
+                log.append((sim.now, exc.cause))
+
+        def attacker(p):
+            yield 3.0
+            p.interrupt("stop")
+
+        p = sim.process(victim())
+        sim.process(attacker(p))
+        sim.run()
+        assert log == [(3.0, "stop")]
+
+    def test_interrupt_removes_from_event_waiters(self):
+        sim = Simulator()
+        ev = sim.event()
+        log = []
+
+        def victim():
+            try:
+                yield ev
+            except Interrupt:
+                log.append("interrupted")
+
+        def attacker(p):
+            yield 1.0
+            p.interrupt()
+            yield 1.0
+            ev.succeed()  # must not resume the victim twice
+
+        p = sim.process(victim())
+        sim.process(attacker(p))
+        sim.run()
+        assert log == ["interrupted"]
+
+    def test_interrupt_dead_process_is_noop(self):
+        sim = Simulator()
+
+        def quick():
+            yield 0.5
+
+        p = sim.process(quick())
+        sim.run()
+        p.interrupt()  # no exception
+        sim.run()
+
+
+class TestDeterminism:
+    def test_same_time_events_fire_in_insertion_order(self):
+        sim = Simulator()
+        order = []
+
+        def proc(i):
+            yield 1.0
+            order.append(i)
+
+        for i in range(10):
+            sim.process(proc(i))
+        sim.run()
+        assert order == list(range(10))
+
+    def test_repeated_runs_identical(self):
+        def build():
+            sim = Simulator()
+            order = []
+
+            def proc(i, d):
+                yield d
+                order.append((i, sim.now))
+
+            for i in range(20):
+                sim.process(proc(i, (i * 7) % 5 + 0.5))
+            sim.run()
+            return order
+
+        assert build() == build()

@@ -1,0 +1,123 @@
+"""Fuzz tests for the DES engine: random process networks terminate
+with consistent state."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Barrier, Lock, Simulator, Store
+
+
+class TestRandomLockNetworks:
+    @given(
+        n_workers=st.integers(1, 12),
+        n_locks=st.integers(1, 4),
+        n_ops=st.integers(1, 30),
+        seed=st.integers(0, 10**6),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_no_deadlock_with_single_lock_holding(self, n_workers, n_locks, n_ops, seed):
+        # Workers acquire one lock at a time (no nesting): must drain.
+        sim = Simulator()
+        rng = random.Random(seed)
+        locks = [Lock(sim, service_time=0.01) for _ in range(n_locks)]
+        completed = []
+
+        def worker(i):
+            r = random.Random(seed * 1000 + i)
+            for _ in range(n_ops):
+                lock = locks[r.randrange(n_locks)]
+                yield from lock.acquire()
+                yield r.random() * 0.1
+                lock.release()
+            completed.append(i)
+
+        for i in range(n_workers):
+            sim.process(worker(i))
+        sim.run()
+        assert sorted(completed) == list(range(n_workers))
+        for lock in locks:
+            assert not lock.locked
+
+    @given(
+        n_workers=st.integers(2, 10),
+        rounds=st.integers(1, 8),
+        seed=st.integers(0, 10**6),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_barrier_rounds_always_complete(self, n_workers, rounds, seed):
+        sim = Simulator()
+        bar = Barrier(sim, parties=n_workers, overhead=0.001)
+        log = []
+
+        def worker(i):
+            r = random.Random(seed * 7 + i)
+            for phase in range(rounds):
+                yield r.random()
+                yield from bar.wait()
+                log.append((phase, i, sim.now))
+
+        for i in range(n_workers):
+            sim.process(worker(i))
+        sim.run()
+        assert bar.generations == rounds
+        # Within each phase every worker leaves at the same time.
+        for phase in range(rounds):
+            times = {t for (p, _i, t) in log if p == phase}
+            assert len(times) == 1
+
+    @given(
+        n_producers=st.integers(1, 5),
+        n_consumers=st.integers(1, 5),
+        items_each=st.integers(0, 20),
+        seed=st.integers(0, 10**6),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_producer_consumer_conservation(
+        self, n_producers, n_consumers, items_each, seed
+    ):
+        sim = Simulator()
+        store = Store(sim)
+        total = n_producers * items_each
+        consumed = []
+
+        def producer(i):
+            r = random.Random(seed + i)
+            for j in range(items_each):
+                yield r.random() * 0.01
+                store.put((i, j))
+
+        def consumer(i, quota):
+            for _ in range(quota):
+                item = yield from store.get()
+                consumed.append(item)
+
+        base, extra = divmod(total, n_consumers)
+        for i in range(n_producers):
+            sim.process(producer(i))
+        for i in range(n_consumers):
+            sim.process(consumer(i, base + (1 if i < extra else 0)))
+        sim.run()
+        assert len(consumed) == total
+        assert len(set(consumed)) == total  # each item exactly once
+        assert len(store) == 0
+
+    @given(seed=st.integers(0, 10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_time_is_monotone_under_random_workload(self, seed):
+        sim = Simulator()
+        rng = random.Random(seed)
+        stamps = []
+
+        def proc(i):
+            r = random.Random(seed * 31 + i)
+            for _ in range(r.randrange(1, 10)):
+                yield r.random()
+                stamps.append(sim.now)
+
+        for i in range(rng.randrange(1, 8)):
+            sim.process(proc(i))
+        sim.run()
+        assert stamps == sorted(stamps)

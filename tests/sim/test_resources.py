@@ -1,0 +1,216 @@
+"""Lock/Barrier/Store semantics under simulated time."""
+
+import pytest
+
+from repro.sim import Barrier, Lock, Simulator, Store
+
+
+class TestLock:
+    def test_mutual_exclusion_serialises_holders(self):
+        sim = Simulator()
+        lock = Lock(sim)
+        log = []
+
+        def worker(i):
+            yield from lock.acquire()
+            log.append(("in", i, sim.now))
+            yield 2.0
+            log.append(("out", i, sim.now))
+            lock.release()
+
+        for i in range(3):
+            sim.process(worker(i))
+        sim.run()
+        # Each holder's exit precedes the next holder's entry.
+        times = [t for (_, _, t) in log]
+        assert times == [0.0, 2.0, 2.0, 4.0, 4.0, 6.0]
+
+    def test_fifo_order(self):
+        sim = Simulator()
+        lock = Lock(sim)
+        order = []
+
+        def worker(i):
+            yield from lock.acquire()
+            order.append(i)
+            yield 1.0
+            lock.release()
+
+        for i in range(5):
+            sim.process(worker(i))
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_service_time_charged(self):
+        sim = Simulator()
+        lock = Lock(sim, service_time=0.5)
+        done = []
+
+        def worker():
+            yield from lock.acquire()
+            done.append(sim.now)
+            lock.release()
+
+        sim.process(worker())
+        sim.run()
+        assert done == [0.5]
+
+    def test_release_unlocked_raises(self):
+        sim = Simulator()
+        with pytest.raises(RuntimeError):
+            Lock(sim).release()
+
+    def test_wait_statistics(self):
+        sim = Simulator()
+        lock = Lock(sim)
+
+        def worker():
+            yield from lock.acquire()
+            yield 3.0
+            lock.release()
+
+        sim.process(worker())
+        sim.process(worker())
+        sim.run()
+        assert lock.acquisitions == 2
+        assert lock.total_wait == pytest.approx(3.0)
+        assert lock.mean_wait == pytest.approx(1.5)
+        assert lock.max_queue_len == 1
+
+    def test_negative_service_time_raises(self):
+        with pytest.raises(ValueError):
+            Lock(Simulator(), service_time=-1.0)
+
+
+class TestBarrier:
+    def test_all_parties_released_together(self):
+        sim = Simulator()
+        bar = Barrier(sim, parties=3)
+        released = []
+
+        def worker(i, delay):
+            yield delay
+            yield from bar.wait()
+            released.append((i, sim.now))
+
+        sim.process(worker(0, 1.0))
+        sim.process(worker(1, 5.0))
+        sim.process(worker(2, 3.0))
+        sim.run()
+        assert sorted(released) == [(0, 5.0), (1, 5.0), (2, 5.0)]
+
+    def test_barrier_reusable_across_generations(self):
+        sim = Simulator()
+        bar = Barrier(sim, parties=2)
+        log = []
+
+        def worker(i):
+            for phase in range(3):
+                yield (i + 1) * 1.0
+                yield from bar.wait()
+                log.append((phase, i, sim.now))
+
+        sim.process(worker(0))
+        sim.process(worker(1))
+        sim.run()
+        assert bar.generations == 3
+        # Both workers leave each phase at the slower worker's time.
+        phase_times = {}
+        for phase, _i, t in log:
+            phase_times.setdefault(phase, set()).add(t)
+        assert all(len(ts) == 1 for ts in phase_times.values())
+
+    def test_overhead_charged_to_every_party(self):
+        sim = Simulator()
+        bar = Barrier(sim, parties=2, overhead=0.25)
+        out = []
+
+        def worker():
+            yield from bar.wait()
+            out.append(sim.now)
+
+        sim.process(worker())
+        sim.process(worker())
+        sim.run()
+        assert out == [0.25, 0.25]
+
+    def test_single_party_barrier_is_noop(self):
+        sim = Simulator()
+        bar = Barrier(sim, parties=1)
+        out = []
+
+        def worker():
+            yield from bar.wait()
+            out.append(sim.now)
+
+        sim.process(worker())
+        sim.run()
+        assert out == [0.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Barrier(Simulator(), parties=0)
+        with pytest.raises(ValueError):
+            Barrier(Simulator(), parties=2, overhead=-1)
+
+
+class TestStore:
+    def test_put_then_get(self):
+        sim = Simulator()
+        store = Store(sim)
+        got = []
+
+        def consumer():
+            item = yield from store.get()
+            got.append((item, sim.now))
+
+        store.put("x")
+        sim.process(consumer())
+        sim.run()
+        assert got == [("x", 0.0)]
+
+    def test_get_blocks_until_put(self):
+        sim = Simulator()
+        store = Store(sim)
+        got = []
+
+        def consumer():
+            item = yield from store.get()
+            got.append((item, sim.now))
+
+        def producer():
+            yield 4.0
+            store.put("late")
+
+        sim.process(consumer())
+        sim.process(producer())
+        sim.run()
+        assert got == [("late", 4.0)]
+
+    def test_fifo_items_and_consumers(self):
+        sim = Simulator()
+        store = Store(sim)
+        got = []
+
+        def consumer(i):
+            item = yield from store.get()
+            got.append((i, item))
+
+        for i in range(3):
+            sim.process(consumer(i))
+
+        def producer():
+            yield 1.0
+            for x in "abc":
+                store.put(x)
+
+        sim.process(producer())
+        sim.run()
+        assert got == [(0, "a"), (1, "b"), (2, "c")]
+
+    def test_len_counts_buffered_items(self):
+        sim = Simulator()
+        store = Store(sim)
+        store.put(1)
+        store.put(2)
+        assert len(store) == 2

@@ -1,0 +1,106 @@
+"""TraceRecorder aggregation tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import TraceRecorder
+
+
+@pytest.fixture
+def trace():
+    t = TraceRecorder()
+    t.record("w0", "dgemm", 0.0, 4.0)
+    t.record("w0", "panel", 4.0, 5.0)
+    t.record("w1", "dgemm", 1.0, 3.0)
+    t.record("w1", "swap", 3.0, 4.5)
+    return t
+
+
+class TestAggregation:
+    def test_makespan(self, trace):
+        assert trace.makespan == 5.0
+
+    def test_busy_time_filters(self, trace):
+        assert trace.busy_time() == pytest.approx(8.5)
+        assert trace.busy_time(worker="w0") == pytest.approx(5.0)
+        assert trace.busy_time(kind="dgemm") == pytest.approx(6.0)
+        assert trace.busy_time(worker="w1", kind="swap") == pytest.approx(1.5)
+
+    def test_time_by_kind(self, trace):
+        by_kind = trace.time_by_kind()
+        assert by_kind == {
+            "dgemm": pytest.approx(6.0),
+            "panel": pytest.approx(1.0),
+            "swap": pytest.approx(1.5),
+        }
+
+    def test_idle_fraction(self, trace):
+        assert trace.idle_fraction("w0") == pytest.approx(0.0)
+        assert trace.idle_fraction("w1") == pytest.approx(1.5 / 5.0)
+
+    def test_idle_fraction_with_custom_end(self, trace):
+        assert trace.idle_fraction("w1", t_end=7.0) == pytest.approx(3.5 / 7.0)
+
+    def test_window_by_kind_clips(self, trace):
+        window = trace.window_by_kind(2.0, 4.25)
+        assert window["dgemm"] == pytest.approx(3.0)  # w0: 2, w1: 1
+        assert window["panel"] == pytest.approx(0.25)
+        assert window["swap"] == pytest.approx(1.25)
+
+    def test_workers_and_kinds_preserve_first_seen_order(self, trace):
+        assert trace.workers() == ["w0", "w1"]
+        assert trace.kinds() == ["dgemm", "panel", "swap"]
+
+    def test_utilisation(self, trace):
+        expected = (1.0 + (1.0 - 1.5 / 5.0)) / 2
+        assert trace.utilisation() == pytest.approx(expected)
+
+    def test_spans_for(self, trace):
+        assert [s.kind for s in trace.spans_for("w1")] == ["dgemm", "swap"]
+
+
+class TestValidation:
+    def test_reversed_span_raises(self):
+        with pytest.raises(ValueError):
+            TraceRecorder().record("w", "k", 2.0, 1.0)
+
+    def test_reversed_window_raises(self, trace):
+        with pytest.raises(ValueError):
+            trace.window_by_kind(3.0, 2.0)
+
+    def test_empty_trace(self):
+        t = TraceRecorder()
+        assert t.makespan == 0.0
+        assert t.busy_time() == 0.0
+        assert t.utilisation() == 0.0
+        assert t.idle_fraction("ghost") == 0.0
+
+
+class TestProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["a", "b", "c"]),
+                st.sampled_from(["x", "y"]),
+                st.floats(0, 100, allow_nan=False),
+                st.floats(0, 100, allow_nan=False),
+            ),
+            max_size=30,
+        )
+    )
+    @settings(max_examples=40)
+    def test_busy_time_decomposes_by_kind_and_worker(self, raw):
+        t = TraceRecorder()
+        for w, k, a, b in raw:
+            lo, hi = min(a, b), max(a, b)
+            t.record(w, k, lo, hi)
+        total = t.busy_time()
+        assert total == pytest.approx(sum(t.time_by_kind().values()), abs=1e-9)
+        assert total == pytest.approx(
+            sum(t.busy_time(worker=w) for w in t.workers()), abs=1e-9
+        )
+        # Full-range window equals unclipped totals.
+        if t.spans:
+            full = t.window_by_kind(0.0, t.makespan + 1)
+            assert sum(full.values()) == pytest.approx(total, abs=1e-9)

@@ -1,0 +1,49 @@
+"""CLI smoke tests (fast commands only)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "1074" in out and "333" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        assert "944" in capsys.readouterr().out
+
+    def test_fig4_custom_sizes(self, capsys):
+        assert main(["fig4", "--sizes", "1000,5000"]) == 0
+        out = capsys.readouterr().out
+        assert "1000" in out and "5000" in out
+
+    def test_native_run(self, capsys):
+        assert main(["native", "--n", "3000"]) == 0
+        assert "GFLOPS" in capsys.readouterr().out
+
+    def test_native_numeric_passes(self, capsys):
+        assert main(["native", "--n", "200", "--nb", "50", "--numeric"]) == 0
+        assert "PASSED" in capsys.readouterr().out
+
+    def test_hybrid_run(self, capsys):
+        assert main(["hybrid", "--n", "30000"]) == 0
+        assert "TFLOPS" in capsys.readouterr().out
+
+    def test_distributed_run(self, capsys):
+        assert main(["distributed", "--n", "48", "--nb", "8"]) == 0
+        assert "PASSED" in capsys.readouterr().out
+
+    def test_gantt(self, capsys):
+        assert main(["gantt", "--n", "3000", "--width", "60"]) == 0
+        assert "legend" in capsys.readouterr().out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

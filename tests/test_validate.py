@@ -1,0 +1,47 @@
+"""The self-test harness."""
+
+import pytest
+
+from repro.validate import CHECKS, Check, selftest
+
+
+class TestSelftest:
+    def test_all_checks_pass(self, capsys):
+        assert selftest(verbose=True)
+        out = capsys.readouterr().out
+        assert out.count("[   ok]") == len(CHECKS)
+        assert "FAIL" not in out
+
+    def test_quiet_mode(self, capsys):
+        assert selftest(verbose=False)
+        assert capsys.readouterr().out == ""
+
+    def test_failing_check_reported_not_raised(self, capsys, monkeypatch):
+        import repro.validate as validate
+
+        def bad():
+            raise AssertionError("synthetic failure")
+
+        def broken():
+            raise RuntimeError("synthetic crash")
+
+        monkeypatch.setattr(
+            validate,
+            "CHECKS",
+            [Check("bad", bad), Check("broken", broken)] + validate.CHECKS[:1],
+        )
+        assert not validate.selftest()
+        out = capsys.readouterr().out
+        assert "[ FAIL] bad" in out
+        assert "[ERROR] broken" in out
+        assert "[   ok]" in out  # the healthy check still ran
+
+    def test_cli_selftest_exit_code(self):
+        from repro.cli import main
+
+        assert main(["selftest"]) == 0
+
+    def test_check_count_covers_all_layers(self):
+        names = " ".join(c.name for c in CHECKS)
+        for keyword in ("DGEMM", "HPL", "distributed", "offload", "anchor"):
+            assert keyword.lower() in names.lower() or keyword in names
