@@ -21,17 +21,20 @@ def build_fig6():
         ["N", "SNB MKL", "KNC static", "KNC dynamic", "dyn eff"],
     )
     series = {}
+    rows = []
     for n in SIZES:
         snb = snb_hpl_gflops(n)
         sta = NativeHPL(n, scheduler="static").run()
         dyn = NativeHPL(n, scheduler="dynamic").run()
         t.add(n, round(snb), round(sta.gflops), round(dyn.gflops), round(dyn.efficiency, 3))
         series[n] = (snb, sta.gflops, dyn.gflops)
-    return t, series
+        rows.append({"n": n, "snb_gflops": snb, "static": sta, "dynamic": dyn})
+    return t, series, rows
 
 
-def test_fig6(benchmark, emit):
-    table, series = once(benchmark, build_fig6)
+def test_fig6(benchmark, emit, emit_json):
+    table, series, rows = once(benchmark, build_fig6)
+    emit_json("fig6", rows)
     chart = render_chart(
         {
             "SNB MKL": [(n, series[n][0]) for n in SIZES],

@@ -54,22 +54,29 @@ def build_table3():
         ["system", "N", "P", "Q", "TFLOPS", "eff %", "paper TFLOPS", "paper eff %"],
     )
     measured = []
+    rows = []
     for label, n, p, q, cards, la, mem, p_tf, p_eff in ROWS:
+        row = {"label": label, "n": n, "p": p, "q": q, "cards": cards,
+               "lookahead": la, "paper_tflops": p_tf, "paper_eff_pct": p_eff}
         if cards == 0:
             tflops, eff = snb_only(n, p * q)
+            row["tflops"], row["efficiency"] = tflops, eff
         else:
             node = NodeConfig(cards=cards, host_mem_bytes=mem * GB)
             r = HybridHPL(n, node=node, p=p, q=q, lookahead=la).run()
             tflops, eff = r.tflops, r.efficiency
+            row["result"] = r
         label_full = f"{label}"
         t.add(label_full, f"{n // 1000}K", p, q, round(tflops, 2), round(100 * eff, 1), p_tf, p_eff)
         measured.append((label, n, p, q, cards, la, tflops, eff, p_tf, p_eff))
-    return t, measured
+        rows.append(row)
+    return t, measured, rows
 
 
-def test_table3(benchmark, emit):
-    table, measured = once(benchmark, build_table3)
+def test_table3(benchmark, emit, emit_json):
+    table, measured, rows = once(benchmark, build_table3)
     emit("table3", table.render())
+    emit_json("table3", rows)
 
     by_key = {(n, p, q, cards, la): (tf, eff) for (label, n, p, q, cards, la, tf, eff, *_ ) in measured}
 

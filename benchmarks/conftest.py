@@ -4,13 +4,19 @@ Every benchmark regenerates one of the paper's tables or figures and
 writes the reproduced rows/series to ``benchmarks/out/<name>.txt`` (also
 echoed to stdout when pytest runs with ``-s``), so paper-vs-measured
 comparisons in EXPERIMENTS.md can be refreshed from these artifacts.
+Benches that produce driver results additionally emit machine-readable
+rows — serialized through ``RunResult.to_dict()`` — to
+``benchmarks/out/<name>.json``.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
+
+from repro.obs import RunResult
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
 
@@ -24,6 +30,32 @@ def emit():
         path = OUT_DIR / f"{name}.txt"
         path.write_text(text + "\n")
         print(f"\n{text}\n[written to {path}]")
+        return path
+
+    return _emit
+
+
+def _coerce(obj):
+    """Recursively make benchmark rows JSON-safe, exporting any embedded
+    RunResult through its to_dict()."""
+    if isinstance(obj, RunResult):
+        return obj.to_dict()
+    if isinstance(obj, dict):
+        return {str(k): _coerce(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_coerce(v) for v in obj]
+    return obj
+
+
+@pytest.fixture
+def emit_json():
+    """Write a named machine-readable artifact to ``out/<name>.json``."""
+
+    def _emit(name: str, rows) -> pathlib.Path:
+        OUT_DIR.mkdir(exist_ok=True)
+        path = OUT_DIR / f"{name}.json"
+        path.write_text(json.dumps(_coerce(rows), indent=2, sort_keys=True) + "\n")
+        print(f"[written to {path}]")
         return path
 
     return _emit

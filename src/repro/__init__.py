@@ -29,9 +29,16 @@ Quick start::
 from repro.blas import dgemm, sgemm, gemm
 from repro.hpl import NativeHPL, HPLResult, hpl_matrix, hpl_residual
 from repro.hybrid import HybridHPL, HybridResult, OffloadDGEMM, NodeConfig, Lookahead
-from repro.cluster import DistributedHPL
+from repro.cluster import (
+    DistributedHPL,
+    DistributedResult,
+    NativeClusterHPL,
+    NativeClusterResult,
+)
 from repro.lu import DynamicScheduler, StaticLookaheadScheduler, blocked_lu, lu_solve
 from repro.machine import KNC, SNB
+from repro.obs import MetricsRegistry, RunResult
+from repro.sim import TraceRecorder
 
 __version__ = "1.0.0"
 
@@ -49,11 +56,17 @@ __all__ = [
     "NodeConfig",
     "Lookahead",
     "DistributedHPL",
+    "DistributedResult",
+    "NativeClusterHPL",
+    "NativeClusterResult",
     "DynamicScheduler",
     "StaticLookaheadScheduler",
     "blocked_lu",
     "lu_solve",
     "KNC",
     "SNB",
+    "RunResult",
+    "MetricsRegistry",
+    "TraceRecorder",
     "__version__",
 ]

@@ -15,15 +15,73 @@ configurations without going through pytest:
     A real distributed solve on the simulated MPI world.
 ``gantt --n 5000 [--scheduler dynamic]``
     ASCII Gantt chart of a native LU schedule (Figure 7).
+
+The run commands (``native``, ``hybrid``, ``distributed``, ``gantt``)
+share three observability flags:
+
+``--json``
+    print the run's :class:`~repro.obs.result.RunResult` as JSON
+    (deterministic: identical seeded runs emit identical bytes);
+``--trace-out PATH``
+    write the DES trace as a Chrome ``trace_event`` file, loadable in
+    ``about:tracing`` or https://ui.perfetto.dev;
+``--metrics``
+    print the run's metrics registry as a table.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
 from repro.machine import KNC, SNB
+
+
+def _add_obs_flags(p: argparse.ArgumentParser) -> None:
+    """The uniform observability flags shared by every run command."""
+    p.add_argument(
+        "--json", action="store_true", help="emit the RunResult as JSON"
+    )
+    p.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="write the trace as a Chrome trace_event file",
+    )
+    p.add_argument(
+        "--metrics", action="store_true", help="print the metrics registry"
+    )
+
+
+def _emit_observability(r, args) -> bool:
+    """Handle --json / --trace-out / --metrics for a RunResult.
+
+    Returns True when JSON replaced the human-readable report (so the
+    caller skips its normal print and stdout stays valid JSON).
+    """
+    if getattr(args, "trace_out", None):
+        trace = getattr(r, "trace", None)
+        if trace is None:
+            print(f"warning: no trace recorded; {args.trace_out} not written", file=sys.stderr)
+        else:
+            try:
+                trace.write_chrome_trace(args.trace_out)
+            except OSError as exc:
+                print(f"error: cannot write trace to {args.trace_out}: {exc}", file=sys.stderr)
+                raise SystemExit(2)
+    if getattr(args, "json", False):
+        print(r.to_json())
+        return True
+    if getattr(args, "metrics", False) and r.metrics is not None:
+        from repro.report import Table
+
+        t = Table("Metrics", ["name", "value"])
+        for name, value in r.metric_rows():
+            t.add(name, value)
+        print(t)
+    return False
 
 
 def _cmd_info(_args) -> int:
@@ -143,12 +201,14 @@ def _cmd_native(args) -> int:
     from repro.hpl import NativeHPL
 
     r = NativeHPL(args.n, nb=args.nb, scheduler=args.scheduler).run(numeric=args.numeric)
-    print(
-        f"N={r.n} nb={r.nb} scheduler={r.scheduler}: {r.gflops:.1f} GFLOPS "
-        f"({100 * r.efficiency:.1f}%), {r.time_s:.3f}s"
-    )
+    if not _emit_observability(r, args):
+        print(
+            f"N={r.n} nb={r.nb} scheduler={r.scheduler}: {r.gflops:.1f} GFLOPS "
+            f"({100 * r.efficiency:.1f}%), {r.time_s:.3f}s"
+        )
+        if args.numeric:
+            print(f"residual={r.residual:.4f} -> {'PASSED' if r.passed else 'FAILED'}")
     if args.numeric:
-        print(f"residual={r.residual:.4f} -> {'PASSED' if r.passed else 'FAILED'}")
         return 0 if r.passed else 1
     return 0
 
@@ -163,10 +223,11 @@ def _cmd_hybrid(args) -> int:
         q=args.q,
         lookahead=args.lookahead,
     ).run()
-    print(
-        f"N={r.n} {r.p}x{r.q} cards={r.cards} {r.lookahead}: {r.tflops:.3f} TFLOPS "
-        f"({100 * r.efficiency:.1f}%), card idle {100 * r.knc_idle_fraction:.1f}%"
-    )
+    if not _emit_observability(r, args):
+        print(
+            f"N={r.n} {r.p}x{r.q} cards={r.cards} {r.lookahead}: {r.tflops:.3f} TFLOPS "
+            f"({100 * r.efficiency:.1f}%), card idle {100 * r.knc_idle_fraction:.1f}%"
+        )
     return 0
 
 
@@ -174,11 +235,12 @@ def _cmd_distributed(args) -> int:
     from repro.cluster import DistributedHPL
 
     r = DistributedHPL(args.n, args.nb, args.p, args.q).run()
-    print(
-        f"N={r.n} NB={r.nb} grid {r.p}x{r.q}: residual={r.residual:.4f} "
-        f"-> {'PASSED' if r.passed else 'FAILED'}; "
-        f"{r.total_bytes / 1e6:.2f} MB total traffic"
-    )
+    if not _emit_observability(r, args):
+        print(
+            f"N={r.n} NB={r.nb} grid {r.p}x{r.q}: residual={r.residual:.4f} "
+            f"-> {'PASSED' if r.passed else 'FAILED'}; "
+            f"{r.total_bytes / 1e6:.2f} MB total traffic"
+        )
     return 0 if r.passed else 1
 
 
@@ -212,8 +274,9 @@ def _cmd_gantt(args) -> int:
     from repro.report import render_gantt
 
     r = NativeHPL(args.n, scheduler=args.scheduler).run()
-    print(f"{args.scheduler} schedule, N={args.n}: {r.gflops:.0f} GFLOPS")
-    print(render_gantt(r.trace, width=args.width))
+    if not _emit_observability(r, args):
+        print(f"{args.scheduler} schedule, N={args.n}: {r.gflops:.0f} GFLOPS")
+        print(render_gantt(r.trace, width=args.width))
     return 0
 
 
@@ -254,6 +317,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--nb", type=int, default=300)
     p.add_argument("--scheduler", choices=["dynamic", "static"], default="dynamic")
     p.add_argument("--numeric", action="store_true", help="really solve and check")
+    _add_obs_flags(p)
     p.set_defaults(fn=_cmd_native)
 
     p = sub.add_parser("hybrid", help="one hybrid HPL run")
@@ -265,6 +329,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--lookahead", choices=["none", "basic", "pipelined"], default="pipelined"
     )
+    _add_obs_flags(p)
     p.set_defaults(fn=_cmd_hybrid)
 
     p = sub.add_parser("distributed", help="real distributed solve")
@@ -272,6 +337,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--nb", type=int, default=16)
     p.add_argument("--p", type=int, default=2)
     p.add_argument("--q", type=int, default=2)
+    _add_obs_flags(p)
     p.set_defaults(fn=_cmd_distributed)
 
     p = sub.add_parser("hpldat", help="run an HPL.dat configuration file")
@@ -289,6 +355,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--n", type=int, default=5000)
     p.add_argument("--scheduler", choices=["dynamic", "static"], default="dynamic")
     p.add_argument("--width", type=int, default=100)
+    _add_obs_flags(p)
     p.set_defaults(fn=_cmd_gantt)
     return parser
 
@@ -296,7 +363,14 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point: parse arguments and dispatch to the subcommand."""
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # Downstream consumer (head, jq -e, ...) closed stdout early.
+        # Point stdout at devnull so the interpreter's exit flush of the
+        # dangling buffer does not raise a second time.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

@@ -22,9 +22,12 @@ import queue
 import threading
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover — hints only
+    from repro.obs.metrics import MetricsRegistry
 
 #: Seconds a blocking receive waits before declaring a deadlock.
 DEFAULT_TIMEOUT_S = 60.0
@@ -46,6 +49,13 @@ class CommStats:
         self.messages_sent += 1
         self.bytes_sent += nbytes
         self.by_op[op] += nbytes
+
+    def publish(self, registry: "MetricsRegistry", prefix: str = "comm") -> None:
+        """Write this rank's traffic accounting into ``registry``."""
+        registry.counter(f"{prefix}.messages").inc(self.messages_sent)
+        registry.counter(f"{prefix}.bytes").inc(self.bytes_sent)
+        for op in sorted(self.by_op):
+            registry.counter(f"{prefix}.bytes.{op}").inc(self.by_op[op])
 
 
 def _payload_bytes(obj: Any) -> int:

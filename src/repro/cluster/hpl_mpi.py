@@ -24,6 +24,7 @@ actual communication volume.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -43,11 +44,20 @@ from repro.cluster.swap import (
 from repro.hpl.matgen import hpl_submatrix, hpl_system
 from repro.hpl.residual import hpl_residual, residual_passes
 from repro.lu.factorize import lu_solve
+from repro.lu.timing import LUTiming
+from repro.obs import MetricsRegistry, RunResult
 
 
 @dataclass
-class DistributedResult:
-    """Rank-0 report of a distributed factorization and solve."""
+class DistributedResult(RunResult):
+    """Rank-0 report of a distributed factorization and solve.
+
+    Unlike the timing-model drivers this is a *real* computation, so
+    ``time_s`` is measured wall-clock of the SPMD run and ``gflops``
+    follows from the HPL operation count; ``efficiency`` is kept for API
+    uniformity but reported as 0.0 — there is no meaningful hardware
+    peak for a thread-simulated MPI world.
+    """
 
     n: int
     nb: int
@@ -60,6 +70,12 @@ class DistributedResult:
     ipiv: np.ndarray
     bytes_by_rank: List[int]
     total_bytes: int
+    time_s: float = 0.0
+    gflops: float = 0.0
+    efficiency: float = 0.0
+    metrics: Optional[MetricsRegistry] = None
+
+    kind = "distributed"
 
 
 class DistributedHPL:
@@ -109,6 +125,7 @@ class DistributedHPL:
         # Local piece of the global matrix, generated independently.
         a_loc = hpl_submatrix(self.n, rows, cols, seed=self.seed)
         stage_pivots: List[np.ndarray] = []
+        bcast_wall_s, bcast_calls = 0.0, 0  # per-algorithm broadcast time
 
         for k in range(bc.n_blocks):
             k0 = k * self.nb
@@ -166,7 +183,10 @@ class DistributedHPL:
                 payload = (rows[below], a_loc[np.ix_(np.flatnonzero(below), my_panel_cols)])
             else:
                 payload = None
+            t_bc = time.perf_counter()
             g_rows, panel_rows = self._row_bcast(comm, payload, my_row, owner_col)
+            bcast_wall_s += time.perf_counter() - t_bc
+            bcast_calls += 1
 
             # 3b. The diagonal row solves its trailing U blocks and
             # broadcasts them down the columns.
@@ -228,6 +248,17 @@ class DistributedHPL:
         )
         a0, b = hpl_system(self.n, self.seed)
         x = lu_solve(lu, ipiv_global, b)
+        metrics = MetricsRegistry()
+        metrics.counter("comm.messages").inc(comm.stats.messages_sent)
+        metrics.counter("comm.total_bytes").inc(total)
+        for op in sorted(comm.stats.by_op):
+            metrics.counter(f"comm.rank0.bytes.{op}").inc(comm.stats.by_op[op])
+        for r, nbytes in enumerate(bytes_by_rank):
+            metrics.gauge(f"comm.bytes_by_rank.{r}").set(nbytes)
+        metrics.timer(f"comm.bcast.{self.bcast_algo}").add(
+            bcast_wall_s, count=bcast_calls
+        )
+        metrics.counter("hpl.stages").inc(self.bc.n_blocks)
         return DistributedResult(
             n=self.n,
             nb=self.nb,
@@ -240,6 +271,7 @@ class DistributedHPL:
             ipiv=ipiv_global,
             bytes_by_rank=bytes_by_rank,
             total_bytes=total,
+            metrics=metrics,
         )
 
     def _row_bcast(self, comm: Comm, payload, my_row: int, owner_col: int):
@@ -255,5 +287,12 @@ class DistributedHPL:
 
     def run(self) -> DistributedResult:
         world = World(self.grid.size)
+        t0 = time.perf_counter()
         results = world.run(self._rank_main)
-        return results[0]
+        wall_s = time.perf_counter() - t0
+        out: DistributedResult = results[0]
+        out.time_s = wall_s
+        out.gflops = LUTiming.hpl_flops(self.n) / wall_s / 1e9
+        if out.metrics is not None:
+            out.metrics.gauge("hpl.wall_time_s").set(wall_s)
+        return out

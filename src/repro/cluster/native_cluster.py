@@ -31,17 +31,19 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.hybrid.driver import Network
 from repro.lu.timing import LUTiming
 from repro.machine.calibration import Calibration, default_calibration
 from repro.machine.config import KNC
 from repro.machine.energy import gflops_per_watt, native_node_power
+from repro.obs import MetricsRegistry, RunResult
 from repro.sim import Simulator, TraceRecorder
 
 
 @dataclass
-class NativeClusterResult:
+class NativeClusterResult(RunResult):
     """One native-cluster run."""
 
     n: int
@@ -49,10 +51,18 @@ class NativeClusterResult:
     p: int
     q: int
     time_s: float
-    tflops: float
+    gflops: float
     efficiency: float  # vs all-61-core card peak per node
     gflops_per_watt: float
     trace: TraceRecorder
+    metrics: Optional[MetricsRegistry] = None
+
+    kind = "native-cluster"
+
+    @property
+    def tflops(self) -> float:
+        """Back-compat alias: cluster rates are quoted in TFLOPS."""
+        return self.gflops / 1e3
 
 
 class NativeClusterHPL:
@@ -193,16 +203,24 @@ class NativeClusterHPL:
         node_peak_tf = KNC.peak_dp_gflops() / 1e3
         nodes = self.p * self.q
         power_w = nodes * native_node_power(cards=1).total_w
+        metrics = MetricsRegistry()
+        metrics.counter("cluster.stages").inc(self.n_panels)
+        metrics.gauge("cluster.card_idle_fraction").set(
+            1.0 - trace.busy_time("card") / time_s
+        )
+        metrics.gauge("cluster.comm_time_s").set(trace.busy_time("net"))
+        sim.publish_metrics(metrics)
         return NativeClusterResult(
             n=self.n,
             nb=self.nb,
             p=self.p,
             q=self.q,
             time_s=time_s,
-            tflops=tflops,
+            gflops=tflops * 1e3,
             efficiency=tflops / (nodes * node_peak_tf),
             gflops_per_watt=gflops_per_watt(tflops * 1e3, power_w),
             trace=trace,
+            metrics=metrics,
         )
 
 

@@ -27,6 +27,7 @@ from repro.lu.tasks import LUWorkspace
 from repro.lu.timing import LUTiming
 from repro.machine.calibration import default_calibration
 from repro.machine.config import SNB
+from repro.obs import MetricsRegistry, RunResult
 from repro.sim import TraceRecorder
 
 #: Anchors for the SNB MKL Linpack curve: (N, efficiency).
@@ -59,7 +60,7 @@ def snb_hpl_gflops(n: int) -> float:
 
 
 @dataclass
-class HPLResult:
+class HPLResult(RunResult):
     """One benchmark run's report row."""
 
     n: int
@@ -71,6 +72,9 @@ class HPLResult:
     trace: Optional[TraceRecorder] = None
     residual: Optional[float] = None
     passed: Optional[bool] = None
+    metrics: Optional[MetricsRegistry] = None
+
+    kind = "native"
 
 
 class NativeHPL:
@@ -128,6 +132,10 @@ class NativeHPL:
         peak = self.timing.machine.peak_dp_gflops(
             self.timing.machine.compute_cores
         )
+        # Carry the scheduler's registry forward and add the HPL-level view.
+        metrics = result.metrics or MetricsRegistry()
+        metrics.gauge("hpl.factor_time_s").set(result.makespan_s)
+        metrics.gauge("hpl.solve_time_s").set(self.solve_time_s())
         out = HPLResult(
             n=self.n,
             nb=self.nb,
@@ -136,6 +144,7 @@ class NativeHPL:
             gflops=gflops,
             efficiency=gflops / peak,
             trace=result.trace,
+            metrics=metrics,
         )
         if numeric:
             ipiv = workspace.finalize()

@@ -35,6 +35,7 @@ from repro.lu.timing import LUTiming
 from repro.machine.calibration import Calibration, default_calibration
 from repro.machine.config import KNC, SNB
 from repro.machine.memory import MemoryModel
+from repro.obs import MetricsRegistry, RunResult
 from repro.sim import Simulator, TraceRecorder
 
 GB = 1024**3
@@ -77,7 +78,7 @@ class Network:
 
 
 @dataclass
-class HybridResult:
+class HybridResult(RunResult):
     """One Table III row."""
 
     n: int
@@ -87,11 +88,19 @@ class HybridResult:
     cards: int
     lookahead: str
     time_s: float
-    tflops: float
+    gflops: float
     efficiency: float
     knc_idle_fraction: float
     trace: TraceRecorder
     per_stage: list = field(default_factory=list)
+    metrics: Optional[MetricsRegistry] = None
+
+    kind = "hybrid"
+
+    @property
+    def tflops(self) -> float:
+        """Back-compat alias: the Table III rows are quoted in TFLOPS."""
+        return self.gflops / 1e3
 
 
 class HybridHPL:
@@ -323,6 +332,12 @@ class HybridHPL:
         tflops = flops / time_s / 1e12
         peak = self.p * self.q * self.node.peak_gflops / 1e3
         knc_busy = trace.busy_time("knc")
+        metrics = MetricsRegistry()
+        metrics.counter("hybrid.stages").inc(self.n_panels)
+        metrics.gauge("hybrid.knc_idle_fraction").set(1.0 - knc_busy / time_s)
+        for kind, busy in sorted(trace.time_by_kind().items()):
+            metrics.gauge(f"hybrid.busy_s.{kind}").set(busy)
+        sim.publish_metrics(metrics)
         return HybridResult(
             n=self.n,
             nb=self.nb,
@@ -331,11 +346,12 @@ class HybridHPL:
             cards=self.node.cards,
             lookahead=self.lookahead.value,
             time_s=time_s,
-            tflops=tflops,
+            gflops=tflops * 1e3,
             efficiency=tflops / peak,
             knc_idle_fraction=1.0 - knc_busy / time_s,
             trace=trace,
             per_stage=per_stage,
+            metrics=metrics,
         )
 
 

@@ -39,11 +39,12 @@ from repro.machine.config import KNC, SNB
 from repro.machine.gemm_model import gemm_efficiency, snb_dgemm_efficiency
 from repro.machine.memory import MemoryModel
 from repro.machine.pcie import PCIeLink
+from repro.obs import MetricsRegistry, RunResult
 from repro.sim import Lock, Simulator, Store, TraceRecorder
 
 
 @dataclass
-class OffloadResult:
+class OffloadResult(RunResult):
     """Outcome of one offload DGEMM call."""
 
     m: int
@@ -58,6 +59,9 @@ class OffloadResult:
     card_flops: float
     host_flops: float
     trace: TraceRecorder
+    metrics: Optional[MetricsRegistry] = None
+
+    kind = "offload"
 
 
 class OffloadDGEMM:
@@ -174,7 +178,14 @@ class OffloadDGEMM:
 
         sim = Simulator()
         trace = TraceRecorder()
-        stats = {"card_tiles": 0, "host_tiles": 0, "card_flops": 0.0, "host_flops": 0.0}
+        stats = {
+            "card_tiles": 0,
+            "host_tiles": 0,
+            "card_flops": 0.0,
+            "host_flops": 0.0,
+            "pcie_bytes_in": 0,
+            "pcie_bytes_out": 0,
+        }
         steals = [StealState(g) for g in self.grids]
         links = [Lock(sim) for _ in range(self.cards)]
 
@@ -198,8 +209,9 @@ class OffloadDGEMM:
             yield from link.acquire()
             t0 = sim.now
             yield self.link.transfer_time_s(nbytes)
-            trace.record(worker, kind, t0, sim.now)
+            trace.record(worker, kind, t0, sim.now, nbytes=nbytes)
             link.release()
+            stats["pcie_bytes_in" if kind == "dma_in" else "pcie_bytes_out"] += nbytes
 
         def packer(card: int):
             """Feed the card: steal -> pack new strips -> DMA-in -> ready."""
@@ -304,6 +316,15 @@ class OffloadDGEMM:
         total_flops = 2.0 * self.m * self.n * self.kt
         gflops = total_flops / time_s / 1e9
         peak = self.cards * KNC.peak_dp_gflops()  # all 61 cores (Section V)
+        metrics = MetricsRegistry()
+        metrics.counter("offload.tiles_card").inc(stats["card_tiles"])
+        metrics.counter("offload.tiles_stolen_host").inc(stats["host_tiles"])
+        metrics.counter("offload.pcie_bytes_in").inc(stats["pcie_bytes_in"])
+        metrics.counter("offload.pcie_bytes_out").inc(stats["pcie_bytes_out"])
+        for card in range(self.cards):
+            ready_queues[card].publish_metrics(metrics, f"offload.queue.card{card}")
+            links[card].publish_metrics(metrics, f"offload.link.card{card}")
+        sim.publish_metrics(metrics)
         return OffloadResult(
             m=self.m,
             n=self.n,
@@ -317,4 +338,5 @@ class OffloadDGEMM:
             card_flops=stats["card_flops"],
             host_flops=stats["host_flops"],
             trace=trace,
+            metrics=metrics,
         )

@@ -32,11 +32,12 @@ from typing import List, Optional
 from repro.lu.dag import PanelDAG, Task, TaskType
 from repro.lu.tasks import LUWorkspace
 from repro.lu.timing import LUTiming
+from repro.obs import MetricsRegistry, RunResult
 from repro.sim import Lock, Simulator, TraceRecorder
 
 
 @dataclass
-class ScheduleResult:
+class ScheduleResult(RunResult):
     """Outcome of a simulated LU factorization."""
 
     n: int
@@ -48,6 +49,14 @@ class ScheduleResult:
     tasks_executed: int
     lock_mean_wait_s: float = 0.0
     barriers: int = 0
+    metrics: Optional[MetricsRegistry] = None
+
+    kind = "schedule"
+
+    @property
+    def time_s(self) -> float:
+        """Uniform-API alias for the factorization makespan."""
+        return self.makespan_s
 
 
 @dataclass(frozen=True)
@@ -186,6 +195,7 @@ class DynamicScheduler:
         sim = Simulator()
         dag = PanelDAG(self.n_panels)
         trace = TraceRecorder()
+        metrics = MetricsRegistry()
         lock = Lock(sim, service_time=self.timing.dag_lock_time())
         change: List = [sim.event()]  # re-armed after every commit
         tasks_run = [0]
@@ -217,11 +227,20 @@ class DynamicScheduler:
                 for kind, dur in self._phases(task, g_cores, n_groups):
                     t0 = sim.now
                     yield dur
-                    trace.record(name, kind, t0, sim.now, info=f"s{task.stage}p{task.panel}")
+                    trace.record(
+                        name,
+                        kind,
+                        t0,
+                        sim.now,
+                        info=f"s{task.stage}p{task.panel}",
+                        stage=task.stage,
+                        panel=task.panel,
+                    )
                 if workspace is not None:
                     workspace.execute(task)
                 dag.complete(task)
                 tasks_run[0] += 1
+                metrics.counter(f"sched.tasks.{name}").inc()
                 notify()
 
         def driver():
@@ -249,6 +268,12 @@ class DynamicScheduler:
         flops = LUTiming.lu_flops(self.n)
         gflops = flops / makespan / 1e9
         peak = self.timing.machine.peak_dp_gflops(self.cores)
+        metrics.counter("sched.tasks").inc(tasks_run[0])
+        metrics.counter("sched.barriers").inc(barriers[0])
+        metrics.gauge("sched.superstages").set(len(self.superstages))
+        metrics.gauge("sched.idle_fraction").set(1.0 - trace.utilisation())
+        lock.publish_metrics(metrics, "sched.dag_lock")
+        sim.publish_metrics(metrics)
         return ScheduleResult(
             n=self.n,
             nb=self.nb,
@@ -259,6 +284,7 @@ class DynamicScheduler:
             tasks_executed=tasks_run[0],
             lock_mean_wait_s=lock.mean_wait,
             barriers=barriers[0],
+            metrics=metrics,
         )
 
     @staticmethod

@@ -33,6 +33,7 @@ from repro.lu.dag import Task
 from repro.lu.dynamic import ScheduleResult
 from repro.lu.tasks import LUWorkspace
 from repro.lu.timing import LUTiming
+from repro.obs import MetricsRegistry
 from repro.sim import Simulator, TraceRecorder
 
 
@@ -202,6 +203,14 @@ class StaticLookaheadScheduler:
         flops = LUTiming.lu_flops(self.n)
         gflops = flops / makespan / 1e9
         peak = self.timing.machine.peak_dp_gflops(self.cores)
+        metrics = MetricsRegistry()
+        metrics.counter("sched.tasks").inc(tasks_run[0])
+        metrics.counter("sched.barriers").inc(barriers[0])
+        metrics.gauge("sched.idle_fraction").set(1.0 - trace.utilisation())
+        metrics.timer("sched.panel_group_busy").add(
+            trace.busy_time("panel_group"), count=max(1, self.n_panels)
+        )
+        sim.publish_metrics(metrics)
         return ScheduleResult(
             n=self.n,
             nb=self.nb,
@@ -211,4 +220,5 @@ class StaticLookaheadScheduler:
             trace=trace,
             tasks_executed=tasks_run[0],
             barriers=barriers[0],
+            metrics=metrics,
         )

@@ -18,6 +18,7 @@ Durations are derived from the paper's own cost structure:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.machine.calibration import Calibration, default_calibration
 from repro.machine.config import KNC, MachineConfig
@@ -31,11 +32,11 @@ PANEL_SCALING_ALPHA = 0.7
 class LUTiming:
     """Duration oracle for LU tasks on ``machine``."""
 
-    machine: MachineConfig = None
-    cal: Calibration = None
+    machine: Optional[MachineConfig] = None
+    cal: Optional[Calibration] = None
     #: Panel rate fraction of per-core peak (overrides the calibration's
     #: machine-specific default when set).
-    panel_eff: float = None
+    panel_eff: Optional[float] = None
 
     def __post_init__(self):
         self.machine = self.machine or KNC

@@ -26,6 +26,7 @@ arithmetic (31 or 30 vmadds out of 32 vector instructions per iteration).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 import numpy as np
 
@@ -70,7 +71,9 @@ class VectorMachine:
     fit the real register file fail loudly.
     """
 
-    def __init__(self, n_registers: int = 32, dtype=np.float64, lanes: int = None):
+    def __init__(
+        self, n_registers: int = 32, dtype=np.float64, lanes: Optional[int] = None
+    ):
         if n_registers < 1:
             raise ValueError("need at least one vector register")
         self.n_registers = n_registers

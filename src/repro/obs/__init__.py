@@ -1,0 +1,28 @@
+"""Observability: the metrics registry and the unified RunResult API.
+
+The DESIGN promise — "who wins, by what factor, where the crossovers
+fall comes out of the simulator" — needs a measurement surface, not ad
+hoc dataclass fields. This package provides it:
+
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry` with counters,
+  gauges and timers that the DES engine, schedulers, offload engine and
+  communicator publish into;
+* :mod:`repro.obs.result` — :class:`RunResult`, the base every driver's
+  result extends, with ``to_dict()`` / ``to_json()`` / ``summary()`` and
+  the attached metrics/trace.
+
+Trace export (Chrome ``trace_event`` JSON and JSONL) lives on
+:class:`~repro.sim.trace.TraceRecorder` itself; the CLI exposes all of
+it uniformly as ``--json`` / ``--trace-out PATH`` / ``--metrics``.
+"""
+
+from repro.obs.metrics import Counter, Gauge, MetricsRegistry, Timer
+from repro.obs.result import RunResult
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Timer",
+    "MetricsRegistry",
+    "RunResult",
+]

@@ -1,0 +1,185 @@
+"""Metric primitives: counters, gauges, timers, and their registry.
+
+Every layer of the system — the DES engine (events processed, queue
+depth), the synchronisation primitives (lock wait/hold time), the
+schedulers (tasks, barriers, idle time), the offload engine (tiles,
+PCIe bytes, queue occupancy) and the communicator (messages, bytes) —
+publishes into one :class:`MetricsRegistry` that travels on the run's
+:class:`~repro.obs.result.RunResult`. The registry is deliberately
+minimal: three metric kinds, hierarchical dot-separated names, and a
+deterministic, sorted :meth:`MetricsRegistry.to_dict` so two identical
+seeded runs serialise byte-identically and can be diffed across PRs.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Tuple, Union
+
+Number = Union[int, float]
+
+
+class Counter:
+    """A monotonically increasing count (events, tasks, bytes)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the count."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A point-in-time value (queue depth, idle fraction, high-water mark)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Number = 0
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+    def update_max(self, value: Number) -> None:
+        """Keep the high-water mark of the observed values."""
+        if value > self.value:
+            self.value = value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}={self.value})"
+
+
+class Timer:
+    """Accumulated duration over a number of observations.
+
+    Durations are simulated seconds when fed from the DES (``add``) or
+    wall-clock seconds when used as a context manager (``time``).
+    """
+
+    __slots__ = ("name", "total_s", "count", "max_s")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.total_s = 0.0
+        self.count = 0
+        self.max_s = 0.0
+
+    def add(self, seconds: float, count: int = 1) -> None:
+        """Record ``count`` observations totalling ``seconds``."""
+        if seconds < 0:
+            raise ValueError(f"timer {self.name!r} cannot record negative time")
+        self.total_s += seconds
+        self.count += count
+        if count == 1 and seconds > self.max_s:
+            self.max_s = seconds
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+    @contextmanager
+    def time(self) -> Iterator[None]:
+        """Wall-clock a ``with`` block into this timer."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(time.perf_counter() - t0)
+
+    def __repr__(self) -> str:
+        return f"Timer({self.name}: {self.total_s:.6g}s / {self.count})"
+
+
+class MetricsRegistry:
+    """A named collection of counters, gauges and timers.
+
+    Metrics are created on first access (``registry.counter("sim.events")``)
+    so publishers need no registration step, and exported deterministically:
+    :meth:`to_dict` sorts every name, which makes the JSON of two identical
+    seeded runs byte-identical.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._timers: Dict[str, Timer] = {}
+
+    # -- access (get-or-create) ----------------------------------------------
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name``, created on first use."""
+        try:
+            return self._counters[name]
+        except KeyError:
+            c = self._counters[name] = Counter(name)
+            return c
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name``, created on first use."""
+        try:
+            return self._gauges[name]
+        except KeyError:
+            g = self._gauges[name] = Gauge(name)
+            return g
+
+    def timer(self, name: str) -> Timer:
+        """The timer called ``name``, created on first use."""
+        try:
+            return self._timers[name]
+        except KeyError:
+            t = self._timers[name] = Timer(name)
+            return t
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._timers)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._counters or name in self._gauges or name in self._timers
+
+    # -- export ----------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Deterministic nested dict: ``{"counters", "gauges", "timers"}``."""
+        return {
+            "counters": {n: self._counters[n].value for n in sorted(self._counters)},
+            "gauges": {n: self._gauges[n].value for n in sorted(self._gauges)},
+            "timers": {
+                n: {
+                    "total_s": self._timers[n].total_s,
+                    "count": self._timers[n].count,
+                    "mean_s": self._timers[n].mean_s,
+                    "max_s": self._timers[n].max_s,
+                }
+                for n in sorted(self._timers)
+            },
+        }
+
+    def flatten(self) -> List[Tuple[str, Number]]:
+        """Sorted ``(name, scalar)`` rows for table rendering: counters and
+        gauges verbatim, timers as ``name.total_s`` / ``name.count``."""
+        rows: List[Tuple[str, Number]] = []
+        for n in self._counters:
+            rows.append((n, self._counters[n].value))
+        for n in self._gauges:
+            rows.append((n, self._gauges[n].value))
+        for n in self._timers:
+            t = self._timers[n]
+            rows.append((f"{n}.total_s", t.total_s))
+            rows.append((f"{n}.count", t.count))
+        rows.sort()
+        return rows
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry({len(self._counters)} counters, "
+            f"{len(self._gauges)} gauges, {len(self._timers)} timers)"
+        )

@@ -1,0 +1,116 @@
+"""The unified run-result API shared by every driver.
+
+All drivers — native (:class:`~repro.hpl.driver.NativeHPL`), hybrid
+(:class:`~repro.hybrid.driver.HybridHPL`), distributed
+(:class:`~repro.cluster.hpl_mpi.DistributedHPL`), native-cluster
+(:class:`~repro.cluster.native_cluster.NativeClusterHPL`) and the
+offload engine — return a dataclass extending :class:`RunResult`, which
+guarantees:
+
+* consistent headline fields: ``time_s``, ``gflops``, ``efficiency``;
+* an attached :class:`~repro.obs.metrics.MetricsRegistry` (``metrics``)
+  and, where a DES ran, a :class:`~repro.sim.trace.TraceRecorder`
+  (``trace``);
+* machine-readable export — :meth:`RunResult.to_dict` /
+  :meth:`RunResult.to_json` — with deterministic key order, so two runs
+  with identical arguments and seed serialise byte-identically;
+* a one-line human :meth:`RunResult.summary`.
+
+Heavy payloads (trace recorders, NumPy arrays) are deliberately left out
+of the dict export: traces have their own exporters
+(:meth:`~repro.sim.trace.TraceRecorder.to_chrome_trace`), and arrays
+belong to the numeric verification path, not the report.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, List, Optional, Tuple
+
+import numpy as np
+
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.trace import TraceRecorder
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce a field value into plain JSON types (tuples become lists)."""
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return value
+
+
+class RunResult:
+    """Base class (mixin) for all driver result dataclasses.
+
+    Subclasses stay ordinary dataclasses; this base contributes the
+    uniform export surface. It expects the conventional field names
+    ``n``, ``time_s``, ``gflops`` and ``efficiency`` where they apply
+    and degrades gracefully where they do not.
+    """
+
+    #: Short machine-readable run-kind tag (``"native"``, ``"hybrid"``, ...).
+    #: Deliberately *not* annotated with a field type: a plain class
+    #: attribute stays out of the subclasses' dataclass field machinery.
+    kind = "run"
+
+    def to_dict(self) -> dict:
+        """Plain-data view of the result.
+
+        Every dataclass field appears under its own name except traces
+        and NumPy arrays (dropped — they have dedicated exporters) and
+        the metrics registry (exported via
+        :meth:`~repro.obs.metrics.MetricsRegistry.to_dict`).
+        """
+        if not dataclasses.is_dataclass(self):
+            raise TypeError("RunResult subclasses must be dataclasses")
+        out: dict = {"kind": self.kind}
+        for f in dataclasses.fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, (TraceRecorder, np.ndarray)):
+                continue
+            if isinstance(value, MetricsRegistry):
+                out[f.name] = value.to_dict()
+                continue
+            out[f.name] = _jsonable(value)
+        return out
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """Deterministic JSON (sorted keys) of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def summary(self) -> str:
+        """One human line: problem size, rate, efficiency, wall time."""
+        parts: List[str] = [self.kind]
+        n = getattr(self, "n", None)
+        if n:
+            parts.append(f"N={n}")
+        gflops = getattr(self, "gflops", None)
+        if gflops:
+            parts.append(
+                f"{gflops / 1e3:.2f} TFLOPS" if gflops >= 1e3 else f"{gflops:.1f} GFLOPS"
+            )
+        efficiency = getattr(self, "efficiency", None)
+        if efficiency:
+            parts.append(f"({100 * efficiency:.1f}%)")
+        time_s = getattr(self, "time_s", None)
+        if time_s:
+            parts.append(f"in {time_s:.3f}s")
+        passed = getattr(self, "passed", None)
+        if passed is not None:
+            parts.append("PASSED" if passed else "FAILED")
+        return " ".join(parts)
+
+    def metric_rows(self) -> List[Tuple[str, Any]]:
+        """The attached registry flattened to sorted (name, value) rows."""
+        metrics: Optional[MetricsRegistry] = getattr(self, "metrics", None)
+        return metrics.flatten() if metrics is not None else []

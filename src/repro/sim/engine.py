@@ -15,7 +15,10 @@ models convert cycles/bytes to seconds before scheduling).
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, List, Optional
+from typing import TYPE_CHECKING, Any, Callable, Generator, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle guard, hints only
+    from repro.obs.metrics import MetricsRegistry
 
 
 class Interrupt(Exception):
@@ -142,6 +145,9 @@ class Simulator:
         self._heap: List = []
         self._seq = 0  # tie-break counter for determinism
         self._active_processes = 0
+        # Observability: always-on cheap counters, published on demand.
+        self.events_processed = 0
+        self.queue_depth_hwm = 0
 
     def event(self) -> Event:
         return Event(self)
@@ -207,12 +213,21 @@ class Simulator:
                 return self.now
             heapq.heappop(self._heap)
             self.now = t
+            self.events_processed += 1
             fn(arg)
         return self.now
+
+    def publish_metrics(self, registry: "MetricsRegistry", prefix: str = "sim") -> None:
+        """Write the engine's counters into ``registry`` (idempotent)."""
+        registry.gauge(f"{prefix}.events_processed").set(self.events_processed)
+        registry.gauge(f"{prefix}.queue_depth_hwm").set(self.queue_depth_hwm)
+        registry.gauge(f"{prefix}.final_time_s").set(self.now)
 
     def _schedule(self, at: float, fn: Callable, arg: Any) -> None:
         self._seq += 1
         heapq.heappush(self._heap, (at, self._seq, fn, arg))
+        if len(self._heap) > self.queue_depth_hwm:
+            self.queue_depth_hwm = len(self._heap)
 
 
 def _watcher(ev: Event, cb: Callable) -> Generator:

@@ -10,9 +10,12 @@ offload DGEMM design (Figure 10b).
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Generator, List, Optional
+from typing import TYPE_CHECKING, Any, Deque, Generator, List, Optional
 
 from repro.sim.engine import Event, Simulator
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle guard, hints only
+    from repro.obs.metrics import MetricsRegistry
 
 
 class Lock:
@@ -35,7 +38,9 @@ class Lock:
         # statistics
         self.acquisitions = 0
         self.total_wait = 0.0
+        self.total_hold = 0.0
         self.max_queue_len = 0
+        self._acquired_at = 0.0
 
     @property
     def locked(self) -> bool:
@@ -52,21 +57,31 @@ class Lock:
         self._locked = True
         self.acquisitions += 1
         self.total_wait += self.sim.now - t0
+        self._acquired_at = self.sim.now
         if self.service_time:
             yield self.service_time
 
     def release(self) -> None:
         if not self._locked:
             raise RuntimeError("release of an unlocked Lock")
+        self.total_hold += self.sim.now - self._acquired_at
         if self._queue:
             # Hand over directly: stays locked, next waiter proceeds.
             self._queue.popleft().succeed()
+            self._acquired_at = self.sim.now
         else:
             self._locked = False
 
     @property
     def mean_wait(self) -> float:
         return self.total_wait / self.acquisitions if self.acquisitions else 0.0
+
+    def publish_metrics(self, registry: "MetricsRegistry", name: str) -> None:
+        """Write this lock's contention statistics into ``registry``."""
+        registry.counter(f"{name}.acquisitions").inc(self.acquisitions)
+        registry.timer(f"{name}.wait").add(self.total_wait, count=self.acquisitions)
+        registry.timer(f"{name}.hold").add(self.total_hold, count=self.acquisitions)
+        registry.gauge(f"{name}.queue_len_hwm").update_max(self.max_queue_len)
 
 
 class Barrier:
@@ -103,6 +118,10 @@ class Barrier:
             if self.overhead:
                 yield self.overhead
 
+    def publish_metrics(self, registry: "MetricsRegistry", name: str) -> None:
+        """Write this barrier's generation count into ``registry``."""
+        registry.counter(f"{name}.generations").inc(self.generations)
+
 
 class Store:
     """Unbounded FIFO store (the req/res queues of Figure 10b).
@@ -116,6 +135,7 @@ class Store:
         self._getters: Deque[Event] = deque()
         self.puts = 0
         self.gets = 0
+        self.max_occupancy = 0
 
     def put(self, item: Any) -> None:
         self.puts += 1
@@ -123,6 +143,8 @@ class Store:
             self._getters.popleft().succeed(item)
         else:
             self._items.append(item)
+            if len(self._items) > self.max_occupancy:
+                self.max_occupancy = len(self._items)
 
     def get(self) -> Generator:
         """``item = yield from store.get()``."""
@@ -133,6 +155,12 @@ class Store:
         self._getters.append(ev)
         item = yield ev
         return item
+
+    def publish_metrics(self, registry: "MetricsRegistry", name: str) -> None:
+        """Write this store's throughput/occupancy stats into ``registry``."""
+        registry.counter(f"{name}.puts").inc(self.puts)
+        registry.counter(f"{name}.gets").inc(self.gets)
+        registry.gauge(f"{name}.occupancy_hwm").update_max(self.max_occupancy)
 
     def __len__(self) -> int:
         return len(self._items)

@@ -5,28 +5,47 @@ and the per-iteration breakdowns of Figure 9 (hybrid HPL with/without the
 swapping pipeline) are renderings of this trace: every worker records
 (kind, start, end) spans, and the recorder aggregates busy/idle time
 globally, per worker, per kind, or within a time window.
+
+Beyond the in-process queries, a trace exports to two machine-readable
+formats: Chrome ``trace_event`` JSON (:meth:`TraceRecorder.to_chrome_trace`,
+loadable in ``about:tracing`` / Perfetto — the interactive version of
+Figures 7 and 9) and line-delimited JSON
+(:meth:`TraceRecorder.to_jsonl` / :meth:`TraceRecorder.from_jsonl`) for
+ad-hoc analysis pipelines.
 """
 
 from __future__ import annotations
 
+import json
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 
 @dataclass(frozen=True)
 class Span:
-    """One contiguous activity interval on one worker."""
+    """One contiguous activity interval on one worker.
+
+    ``info`` is a free-form label; ``attrs`` carries structured key/value
+    pairs (stored as a sorted tuple so spans stay hashable) surfaced in
+    the Chrome trace's ``args`` panel.
+    """
 
     worker: str
     kind: str
     start: float
     end: float
     info: Optional[str] = None
+    attrs: Tuple[Tuple[str, Any], ...] = ()
 
     @property
     def duration(self) -> float:
         return self.end - self.start
+
+    @property
+    def attrs_dict(self) -> Dict[str, Any]:
+        """The structured key/value pairs as a plain dict."""
+        return dict(self.attrs)
 
 
 class TraceRecorder:
@@ -36,11 +55,18 @@ class TraceRecorder:
         self.spans: List[Span] = []
 
     def record(
-        self, worker: str, kind: str, start: float, end: float, info: str = None
+        self,
+        worker: str,
+        kind: str,
+        start: float,
+        end: float,
+        info: Optional[str] = None,
+        **attrs: Any,
     ) -> Span:
+        """Append one span; keyword extras become structured attributes."""
         if end < start:
             raise ValueError(f"span ends before it starts: {start} > {end}")
-        span = Span(worker, kind, start, end, info)
+        span = Span(worker, kind, start, end, info, tuple(sorted(attrs.items())))
         self.spans.append(span)
         return span
 
@@ -57,7 +83,7 @@ class TraceRecorder:
         seen = dict.fromkeys(s.kind for s in self.spans)
         return list(seen)
 
-    def busy_time(self, worker: str = None, kind: str = None) -> float:
+    def busy_time(self, worker: Optional[str] = None, kind: Optional[str] = None) -> float:
         """Total span time, filtered by worker and/or kind."""
         return sum(
             s.duration
@@ -66,21 +92,23 @@ class TraceRecorder:
             and (kind is None or s.kind == kind)
         )
 
-    def time_by_kind(self, worker: str = None) -> Dict[str, float]:
+    def time_by_kind(self, worker: Optional[str] = None) -> Dict[str, float]:
         out: Dict[str, float] = defaultdict(float)
         for s in self.spans:
             if worker is None or s.worker == worker:
                 out[s.kind] += s.duration
         return dict(out)
 
-    def idle_fraction(self, worker: str, t_end: float = None) -> float:
+    def idle_fraction(self, worker: str, t_end: Optional[float] = None) -> float:
         """1 - busy/total for one worker over [0, t_end or makespan]."""
         total = self.makespan if t_end is None else t_end
         if total <= 0:
             return 0.0
         return max(0.0, 1.0 - self.busy_time(worker) / total)
 
-    def window_by_kind(self, t0: float, t1: float, worker: str = None) -> Dict[str, float]:
+    def window_by_kind(
+        self, t0: float, t1: float, worker: Optional[str] = None
+    ) -> Dict[str, float]:
         """Span time per kind clipped to the window [t0, t1]."""
         if t1 < t0:
             raise ValueError("window ends before it starts")
@@ -96,9 +124,83 @@ class TraceRecorder:
     def spans_for(self, worker: str) -> List[Span]:
         return [s for s in self.spans if s.worker == worker]
 
-    def utilisation(self, workers: Iterable[str] = None) -> float:
+    def utilisation(self, workers: Optional[Iterable[str]] = None) -> float:
         """Mean busy fraction across the given (or all) workers."""
         names = list(workers) if workers is not None else self.workers()
         if not names or self.makespan == 0:
             return 0.0
         return sum(1.0 - self.idle_fraction(w) for w in names) / len(names)
+
+    # -- export ----------------------------------------------------------------
+    def to_chrome_trace(self) -> dict:
+        """The trace as a Chrome ``trace_event`` JSON object.
+
+        Exactly one complete ("ph": "X") event per recorded span, sorted
+        by start time; workers map to ``tid`` in first-seen order and the
+        worker name, ``info`` label and structured attributes appear under
+        ``args``. The object serialises to a file loadable in
+        ``about:tracing`` or https://ui.perfetto.dev. Timestamps are
+        microseconds (the trace_event unit); simulated seconds * 1e6.
+        """
+        tids = {w: i for i, w in enumerate(self.workers())}
+        events = []
+        for s in self.spans:
+            args: Dict[str, Any] = {"worker": s.worker}
+            if s.info is not None:
+                args["info"] = s.info
+            args.update(s.attrs)
+            events.append(
+                {
+                    "name": s.kind,
+                    "cat": s.kind,
+                    "ph": "X",
+                    "ts": s.start * 1e6,
+                    "dur": s.duration * 1e6,
+                    "pid": 0,
+                    "tid": tids[s.worker],
+                    "args": args,
+                }
+            )
+        events.sort(key=lambda e: (e["ts"], e["tid"]))
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write_chrome_trace(self, path: str) -> None:
+        """Serialise :meth:`to_chrome_trace` to ``path``."""
+        with open(path, "w") as fh:
+            json.dump(self.to_chrome_trace(), fh, indent=1, sort_keys=True)
+            fh.write("\n")
+
+    def to_jsonl(self) -> str:
+        """One JSON object per span, one span per line, recording order."""
+        lines = []
+        for s in self.spans:
+            row: Dict[str, Any] = {
+                "worker": s.worker,
+                "kind": s.kind,
+                "start": s.start,
+                "end": s.end,
+            }
+            if s.info is not None:
+                row["info"] = s.info
+            if s.attrs:
+                row["attrs"] = dict(s.attrs)
+            lines.append(json.dumps(row, sort_keys=True))
+        return "\n".join(lines)
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "TraceRecorder":
+        """Rebuild a recorder from :meth:`to_jsonl` output (round-trip)."""
+        rec = cls()
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            row = json.loads(line)
+            rec.record(
+                row["worker"],
+                row["kind"],
+                row["start"],
+                row["end"],
+                info=row.get("info"),
+                **row.get("attrs", {}),
+            )
+        return rec

@@ -1,0 +1,109 @@
+"""MetricsRegistry semantics and cross-run determinism."""
+
+import json
+
+import pytest
+
+from repro.hpl import NativeHPL
+from repro.obs import MetricsRegistry
+
+
+class TestPrimitives:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        reg.counter("a").inc(4)
+        assert reg.counter("a").value == 5
+
+    def test_counter_rejects_decrease(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("a").inc(-1)
+
+    def test_gauge_set_and_update_max(self):
+        g = MetricsRegistry().gauge("depth")
+        g.set(3)
+        g.update_max(1)
+        assert g.value == 3
+        g.update_max(7)
+        assert g.value == 7
+
+    def test_timer_totals_and_mean(self):
+        t = MetricsRegistry().timer("wait")
+        t.add(0.5)
+        t.add(1.5)
+        assert t.total_s == pytest.approx(2.0)
+        assert t.count == 2
+        assert t.mean_s == pytest.approx(1.0)
+        assert t.max_s == pytest.approx(1.5)
+
+    def test_timer_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().timer("t").add(-0.1)
+
+    def test_timer_context_manager_wall_clocks(self):
+        t = MetricsRegistry().timer("wall")
+        with t.time():
+            pass
+        assert t.count == 1
+        assert t.total_s >= 0.0
+
+
+class TestRegistry:
+    def test_get_or_create_is_stable(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        assert reg.gauge("y") is reg.gauge("y")
+        assert reg.timer("z") is reg.timer("z")
+        assert len(reg) == 3
+        assert "x" in reg and "nope" not in reg
+
+    def test_to_dict_shape_and_sorted_keys(self):
+        reg = MetricsRegistry()
+        reg.counter("b").inc(2)
+        reg.counter("a").inc(1)
+        reg.gauge("g").set(0.5)
+        reg.timer("t").add(1.0)
+        d = reg.to_dict()
+        assert set(d) == {"counters", "gauges", "timers"}
+        assert list(d["counters"]) == ["a", "b"]
+        assert d["timers"]["t"] == {
+            "total_s": 1.0,
+            "count": 1,
+            "mean_s": 1.0,
+            "max_s": 1.0,
+        }
+
+    def test_flatten_rows_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("b").inc()
+        reg.gauge("a").set(2)
+        reg.timer("c").add(1.0)
+        names = [n for n, _ in reg.flatten()]
+        assert names == sorted(names)
+        assert "c.total_s" in names and "c.count" in names
+
+
+class TestDeterminism:
+    def test_identical_seeded_runs_identical_metrics(self):
+        r1 = NativeHPL(2000).run()
+        r2 = NativeHPL(2000).run()
+        assert r1.metrics is not None
+        assert r1.metrics.to_dict() == r2.metrics.to_dict()
+        assert json.dumps(r1.metrics.to_dict(), sort_keys=True) == json.dumps(
+            r2.metrics.to_dict(), sort_keys=True
+        )
+
+    def test_engine_metrics_populated(self):
+        r = NativeHPL(2000).run()
+        d = r.metrics.to_dict()
+        assert d["gauges"]["sim.events_processed"] > 0
+        assert d["gauges"]["sim.queue_depth_hwm"] >= 1
+        assert d["counters"]["sched.tasks"] > 0
+        assert 0.0 <= d["gauges"]["sched.idle_fraction"] <= 1.0
+
+    def test_lock_contention_metrics(self):
+        r = NativeHPL(3000).run()
+        d = r.metrics.to_dict()
+        assert d["counters"]["sched.dag_lock.acquisitions"] > 0
+        assert d["timers"]["sched.dag_lock.hold"]["total_s"] >= 0.0

@@ -1,0 +1,96 @@
+"""Unified RunResult surface across the three driver families."""
+
+import json
+
+import pytest
+
+from repro.cluster.hpl_mpi import DistributedHPL
+from repro.hpl import NativeHPL
+from repro.hybrid import HybridHPL
+from repro.obs import MetricsRegistry, RunResult
+
+
+@pytest.fixture(scope="module")
+def native():
+    return NativeHPL(2000).run()
+
+
+@pytest.fixture(scope="module")
+def hybrid():
+    return HybridHPL(24000).run()
+
+
+@pytest.fixture(scope="module")
+def distributed():
+    return DistributedHPL(48, 8, 2, 2).run()
+
+
+def _schema_check(r, kind):
+    assert isinstance(r, RunResult)
+    assert r.kind == kind
+    d = r.to_dict()
+    assert d["kind"] == kind
+    parsed = json.loads(r.to_json())
+    assert parsed == json.loads(json.dumps(d))
+    for name in ("time_s", "gflops", "efficiency"):
+        assert name in d, f"{kind} result missing canonical field {name}"
+        assert isinstance(d[name], (int, float))
+    assert isinstance(d["metrics"], dict)
+    assert set(d["metrics"]) == {"counters", "gauges", "timers"}
+    return d
+
+
+class TestSchema:
+    def test_native(self, native):
+        d = _schema_check(native, "native")
+        assert d["gflops"] > 0 and 0 < d["efficiency"] <= 1
+        assert "trace" not in d  # traces export separately, not via to_dict
+
+    def test_hybrid(self, hybrid):
+        d = _schema_check(hybrid, "hybrid")
+        assert d["gflops"] > 0 and 0 < d["efficiency"] <= 1
+
+    def test_distributed(self, distributed):
+        d = _schema_check(distributed, "distributed")
+        assert d["time_s"] > 0 and d["gflops"] > 0
+        assert d["passed"] is True
+
+    def test_metrics_attached(self, native, hybrid, distributed):
+        for r in (native, hybrid, distributed):
+            assert isinstance(r.metrics, MetricsRegistry)
+            assert len(r.metrics) > 0
+            assert r.metric_rows() == r.metrics.flatten()
+
+    def test_json_sorted_and_stable(self, native):
+        assert native.to_json() == native.to_json()
+        d = json.loads(native.to_json())
+        assert list(d) == sorted(d)
+
+
+class TestSummary:
+    def test_summary_one_line(self, native, hybrid, distributed):
+        for r in (native, hybrid, distributed):
+            s = r.summary()
+            assert isinstance(s, str) and "\n" not in s
+            assert r.kind in s
+
+    def test_native_summary_mentions_rate(self, native):
+        assert "GFLOPS" in native.summary() or "TFLOPS" in native.summary()
+
+
+class TestBackCompat:
+    def test_hybrid_tflops_property(self, hybrid):
+        assert hybrid.tflops == pytest.approx(hybrid.gflops / 1e3)
+
+    def test_native_fields_unchanged(self, native):
+        assert native.gflops == pytest.approx(
+            native.tflops * 1e3 if hasattr(native, "tflops") else native.gflops
+        )
+        assert native.time_s > 0
+
+    def test_distributed_legacy_fields_survive(self, distributed):
+        # Pre-existing surface (lu, pivots, byte accounting) must still be there.
+        assert distributed.lu is not None
+        assert distributed.total_bytes > 0
+        d = distributed.to_dict()
+        assert "n" in d and "nb" in d

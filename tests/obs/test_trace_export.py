@@ -1,0 +1,105 @@
+"""Chrome-trace and JSONL export round-trips."""
+
+import json
+
+from repro.hpl import NativeHPL
+from repro.sim import TraceRecorder
+
+
+def _sample_trace() -> TraceRecorder:
+    rec = TraceRecorder()
+    rec.record("w0", "dgemm", 0.0, 1.0, info="s0p1", stage=0, panel=1)
+    rec.record("w1", "dgetrf", 0.5, 2.0)
+    rec.record("w0", "dlaswp", 1.0, 1.25, bytes=4096)
+    return rec
+
+
+class TestChromeTrace:
+    def test_one_event_per_span(self):
+        rec = _sample_trace()
+        doc = rec.to_chrome_trace()
+        assert len(doc["traceEvents"]) == len(rec.spans)
+
+    def test_valid_json_and_required_fields(self):
+        doc = _sample_trace().to_chrome_trace()
+        text = json.dumps(doc)
+        parsed = json.loads(text)
+        for ev in parsed["traceEvents"]:
+            assert ev["ph"] == "X"
+            assert set(ev) >= {"name", "cat", "ts", "dur", "pid", "tid", "args"}
+            assert ev["dur"] >= 0
+
+    def test_timestamps_monotone(self):
+        doc = _sample_trace().to_chrome_trace()
+        ts = [ev["ts"] for ev in doc["traceEvents"]]
+        assert ts == sorted(ts)
+
+    def test_microsecond_unit(self):
+        doc = _sample_trace().to_chrome_trace()
+        ev = next(e for e in doc["traceEvents"] if e["name"] == "dgemm")
+        assert ev["ts"] == 0.0 and ev["dur"] == 1e6
+
+    def test_structured_attrs_in_args(self):
+        doc = _sample_trace().to_chrome_trace()
+        ev = next(e for e in doc["traceEvents"] if e["name"] == "dgemm")
+        assert ev["args"]["worker"] == "w0"
+        assert ev["args"]["info"] == "s0p1"
+        assert ev["args"]["stage"] == 0 and ev["args"]["panel"] == 1
+
+    def test_write_chrome_trace_file(self, tmp_path):
+        path = tmp_path / "trace.json"
+        rec = _sample_trace()
+        rec.write_chrome_trace(str(path))
+        doc = json.loads(path.read_text())
+        assert len(doc["traceEvents"]) == len(rec.spans)
+
+    def test_real_run_trace_exports(self):
+        r = NativeHPL(2000).run()
+        doc = r.trace.to_chrome_trace()
+        assert len(doc["traceEvents"]) == len(r.trace.spans)
+        ts = [ev["ts"] for ev in doc["traceEvents"]]
+        assert ts == sorted(ts)
+        assert min(ts) >= 0.0
+
+
+class TestJsonl:
+    def test_round_trip(self):
+        rec = _sample_trace()
+        back = TraceRecorder.from_jsonl(rec.to_jsonl())
+        assert back.spans == rec.spans
+
+    def test_one_line_per_span(self):
+        rec = _sample_trace()
+        lines = rec.to_jsonl().splitlines()
+        assert len(lines) == len(rec.spans)
+        for line in lines:
+            row = json.loads(line)
+            assert {"worker", "kind", "start", "end"} <= set(row)
+
+    def test_empty_trace(self):
+        rec = TraceRecorder()
+        assert rec.to_jsonl() == ""
+        assert rec.to_chrome_trace()["traceEvents"] == []
+        assert TraceRecorder.from_jsonl("").spans == []
+
+
+class TestSpanAttrs:
+    def test_attrs_dict_property(self):
+        rec = TraceRecorder()
+        span = rec.record("w", "k", 0.0, 1.0, stage=3, panel=5)
+        assert span.attrs_dict == {"panel": 5, "stage": 3}
+
+    def test_attrs_sorted_and_hashable(self):
+        rec = TraceRecorder()
+        s1 = rec.record("w", "k", 0.0, 1.0, b=2, a=1)
+        s2 = rec.record("w", "k", 0.0, 1.0, a=1, b=2)
+        assert s1 == s2
+        assert hash(s1) == hash(s2)
+
+    def test_scheduler_spans_carry_stage_panel(self):
+        r = NativeHPL(2000).run()
+        tagged = [s for s in r.trace.spans if s.attrs]
+        assert tagged, "dynamic scheduler spans should carry structured attrs"
+        assert all(
+            "stage" in s.attrs_dict and "panel" in s.attrs_dict for s in tagged
+        )

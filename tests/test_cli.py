@@ -1,5 +1,7 @@
 """CLI smoke tests (fast commands only)."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -39,6 +41,61 @@ class TestCLI:
     def test_gantt(self, capsys):
         assert main(["gantt", "--n", "3000", "--width", "60"]) == 0
         assert "legend" in capsys.readouterr().out
+
+    def test_native_json(self, capsys):
+        assert main(["native", "--n", "2000", "--json"]) == 0
+        d = json.loads(capsys.readouterr().out)
+        assert d["kind"] == "native"
+        assert d["gflops"] > 0 and 0 < d["efficiency"] <= 1
+        assert set(d["metrics"]) == {"counters", "gauges", "timers"}
+
+    def test_native_json_deterministic(self, capsys):
+        main(["native", "--n", "2000", "--json"])
+        first = capsys.readouterr().out
+        main(["native", "--n", "2000", "--json"])
+        assert capsys.readouterr().out == first
+
+    def test_native_trace_out(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        assert main(["native", "--n", "2000", "--trace-out", str(path)]) == 0
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"], "trace file should contain events"
+        assert all(ev["ph"] == "X" for ev in doc["traceEvents"])
+
+    def test_native_metrics_table(self, capsys):
+        assert main(["native", "--n", "2000", "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "sim.events_processed" in out and "sched.tasks" in out
+
+    def test_hybrid_json(self, capsys):
+        assert main(["hybrid", "--n", "24000", "--json"]) == 0
+        d = json.loads(capsys.readouterr().out)
+        assert d["kind"] == "hybrid" and d["gflops"] > 0
+
+    def test_distributed_json(self, capsys):
+        assert main(["distributed", "--n", "48", "--nb", "8", "--json"]) == 0
+        d = json.loads(capsys.readouterr().out)
+        assert d["kind"] == "distributed" and d["passed"] is True
+
+    def test_distributed_trace_out_warns_without_trace(self, tmp_path, capsys):
+        # DistributedResult records no trace; the flag must warn, not crash.
+        path = tmp_path / "none.json"
+        assert main(["distributed", "--n", "48", "--nb", "8",
+                     "--trace-out", str(path)]) == 0
+        assert "no trace recorded" in capsys.readouterr().err
+        assert not path.exists()
+
+    def test_trace_out_unwritable_path_clean_error(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["native", "--n", "2000",
+                  "--trace-out", "/nonexistent-dir/t.json"])
+        assert exc.value.code == 2
+        assert "cannot write trace" in capsys.readouterr().err
+
+    def test_gantt_trace_out(self, tmp_path, capsys):
+        path = tmp_path / "gantt.json"
+        assert main(["gantt", "--n", "3000", "--trace-out", str(path)]) == 0
+        assert json.loads(path.read_text())["traceEvents"]
 
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
