@@ -44,9 +44,22 @@ def build_kernels():
     return t, rows
 
 
-def test_kernel_ablation(benchmark, emit):
+def test_kernel_ablation(benchmark, emit, emit_json):
     table, rows = once(benchmark, build_kernels)
     emit("kernels_ablation", table.render())
+    emit_json(
+        "kernels_ablation",
+        [
+            {
+                "k": k,
+                "k1_ports_efficiency": rows[k][0],
+                "k2_ports_efficiency": rows[k][1],
+                "k1_free_efficiency": rows[k][2],
+                "k2_free_efficiency": rows[k][3],
+            }
+            for k in KS
+        ],
+    )
     for k in KS:
         k1s, k2s, k1f, k2f = rows[k]
         assert k2s > k1s  # with port conflicts, Kernel 2 wins

@@ -7,6 +7,8 @@ two cards per node with and without the swapping pipeline at 1, 4 and
 76.1% efficiency on the 100-node cluster with pipelined look-ahead.
 """
 
+import os
+
 import pytest
 
 from repro.hpl.driver import snb_hpl_efficiency
@@ -36,6 +38,15 @@ ROWS = [
     ("pipeline, 2 cards", 822_000, 10, 10, 2, "pipelined", 64, 175.8, 71.9),
     ("pipeline, 1 card, 128GB", 242_000, 2, 2, 1, "pipelined", 128, 4.42, 79.6),
 ]
+
+#: ``BENCH_SMOKE=1`` drops the cluster-scale rows (N >= 242K) so the CI
+#: bench-smoke job finishes quickly; the reduced artifact is written
+#: under its own name (``table3_smoke``) and gated against a committed
+#: baseline by ``tools/bench_compare.py``. The model is deterministic,
+#: so the smoke figures are exactly reproducible.
+SMOKE = bool(int(os.environ.get("BENCH_SMOKE", "0") or "0"))
+if SMOKE:
+    ROWS = [row for row in ROWS if row[1] <= 168_000]
 
 
 def snb_only(n: int, nodes: int) -> tuple:
@@ -75,15 +86,17 @@ def build_table3():
 
 def test_table3(benchmark, emit, emit_json):
     table, measured, rows = once(benchmark, build_table3)
-    emit("table3", table.render())
-    emit_json("table3", rows)
+    name = "table3_smoke" if SMOKE else "table3"
+    emit(name, table.render())
+    emit_json(name, rows)
 
     by_key = {(n, p, q, cards, la): (tf, eff) for (label, n, p, q, cards, la, tf, eff, *_ ) in measured}
 
-    # Headline: 100 nodes, pipelined, 1 card — ~107 TFLOPS at ~76%.
-    tf, eff = by_key[(825_000, 10, 10, 1, "pipelined")]
-    assert tf == pytest.approx(107.0, rel=0.05)
-    assert eff == pytest.approx(0.761, abs=0.02)
+    if not SMOKE:
+        # Headline: 100 nodes, pipelined, 1 card — ~107 TFLOPS at ~76%.
+        tf, eff = by_key[(825_000, 10, 10, 1, "pipelined")]
+        assert tf == pytest.approx(107.0, rel=0.05)
+        assert eff == pytest.approx(0.761, abs=0.02)
 
     # Every efficiency within 4.5 points of the paper's value, and every
     # TFLOPS within 10%.
@@ -98,9 +111,11 @@ def test_table3(benchmark, emit, emit_json):
         (825_000, 10, 10, 1),
         (84_000, 1, 1, 2),
     ]:
-        assert by_key[(n, p, q, cards, "pipelined")][1] > by_key[(n, p, q, cards, "basic")][1]
+        if (n, p, q, cards, "pipelined") in by_key:
+            assert by_key[(n, p, q, cards, "pipelined")][1] > by_key[(n, p, q, cards, "basic")][1]
     # ... the second card adds TFLOPS but costs efficiency ...
     assert by_key[(84_000, 1, 1, 2, "pipelined")][0] > by_key[(84_000, 1, 1, 1, "pipelined")][0]
     assert by_key[(84_000, 1, 1, 2, "pipelined")][1] < by_key[(84_000, 1, 1, 1, "pipelined")][1]
-    # ... and more host memory lifts cluster efficiency (the 128 GB row).
-    assert by_key[(242_000, 2, 2, 1, "pipelined")][1] > by_key[(168_000, 2, 2, 1, "pipelined")][1]
+    if not SMOKE:
+        # ... and more host memory lifts cluster efficiency (the 128 GB row).
+        assert by_key[(242_000, 2, 2, 1, "pipelined")][1] > by_key[(168_000, 2, 2, 1, "pipelined")][1]

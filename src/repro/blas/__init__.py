@@ -16,7 +16,11 @@ implements:
   (:mod:`repro.blas.getrf`), row interchanges (:mod:`repro.blas.laswp`)
   and triangular solves (:mod:`repro.blas.trsm`),
 * the L2 block-size chooser implementing the Section III-A1 inequality
-  (:mod:`repro.blas.blocking`).
+  (:mod:`repro.blas.blocking`),
+* the pack-once workspace — :class:`~repro.blas.workspace.PackCache` —
+  that lets GEMM consumers pack each operand panel exactly once and
+  reuse the tiles across all trailing updates
+  (:mod:`repro.blas.workspace`).
 """
 
 from repro.blas.packing import PackedA, PackedB, pack_a, pack_b, TILE_A_ROWS, TILE_B_COLS
@@ -29,7 +33,8 @@ from repro.blas.kernels import (
 )
 from repro.blas.gemm import gemm, dgemm, sgemm
 from repro.blas.getrf import getf2, getrf
-from repro.blas.laswp import laswp, apply_pivots_to_vector
+from repro.blas.laswp import laswp, apply_pivots_to_vector, pivots_to_permutation
+from repro.blas.workspace import PackCache
 from repro.blas.trsm import trsm_lower_unit_left, trsm_upper_left, trsm_lower_unit_right
 from repro.blas.blocking import choose_blocking, BlockChoice
 
@@ -52,6 +57,8 @@ __all__ = [
     "getrf",
     "laswp",
     "apply_pivots_to_vector",
+    "pivots_to_permutation",
+    "PackCache",
     "trsm_lower_unit_left",
     "trsm_upper_left",
     "trsm_lower_unit_right",

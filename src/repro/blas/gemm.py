@@ -5,11 +5,23 @@ updates C += alpha * Ai @ Bi over K/k outer products (Section III-A).
 This module implements exactly that decomposition:
 
 * the K dimension is chopped into ``k_block`` deep slices,
-* each slice's Ai / Bi is packed into the Knights Corner-friendly format,
-* the packed tiles are multiplied tile-by-tile (30 x 8 c blocks) by
-  either the fast NumPy tile kernel or the instruction-level emulated
-  Basic Kernel 2 (31-row tiles select Basic Kernel 1),
-* c blocks accumulate into the row-major C.
+* each slice's Ai / Bi is packed into the Knights Corner-friendly format
+  — directly, or through a :class:`~repro.blas.workspace.PackCache` so a
+  panel reused across many calls (the blocked LU's L21, the offload
+  engine's resident strips) is packed exactly once,
+* the packed tiles are multiplied by one of two strategies:
+
+  - ``"stripe"`` (default for the fast kernel): each 30-row a tile is
+    multiplied against the whole packed-B panel in a single BLAS call
+    into a preallocated per-thread accumulator — the functional-layer
+    analogue of handing one a tile to one core (Figure 2a). Stripes
+    write disjoint row bands of C, so a
+    :class:`~repro.parallel.TileExecutor` fans them across cores with
+    bitwise-identical results at any worker count;
+  - ``"tiles"``: the original tile-by-tile loop over the full
+    (a tile, b tile) grid — required by the instruction-level emulated
+    kernels, and kept as the serial reference the benchmark regression
+    gate compares against.
 
 All matrices are row-major, matching the paper's convention (footnote 3
 notes the column-major case reduces to this one by transposition).
@@ -27,8 +39,18 @@ from repro.blas.kernels import (
     tile_multiply_fast,
 )
 from repro.blas.packing import TILE_B_COLS, pack_a, pack_b
+from repro.parallel import as_executor, scratch_buffer
 
 _EMULATED_KERNELS = {KERNEL1_ROWS: basic_kernel_1, KERNEL2_ROWS: basic_kernel_2}
+
+_STRATEGIES = ("stripe", "tiles")
+
+#: a tiles fused into one stripe task. Eight 30-row tiles give the BLAS
+#: call a 240-row operand (good kernel shape) while leaving enough
+#: stripes per outer product to keep a pool busy. Fixed — never derived
+#: from the worker count — so the stripe geometry, and therefore every
+#: floating-point sum, is identical at any pool width.
+STRIPE_TILES = 8
 
 
 def gemm(
@@ -40,6 +62,11 @@ def gemm(
     k_block: int = 300,
     tile_rows: int = KERNEL2_ROWS,
     kernel: str = "fast",
+    strategy: str = "stripe",
+    executor=None,
+    pack_cache=None,
+    a_key=None,
+    b_key=None,
 ) -> np.ndarray:
     """C = alpha * A @ B + beta * C via packed outer products.
 
@@ -58,6 +85,18 @@ def gemm(
     kernel:
         "fast" (NumPy tile multiply) or "emulated" (vector-ISA emulation;
         only sensible for small matrices).
+    strategy:
+        "stripe" (vectorized row-stripe path, default) or "tiles" (the
+        per-tile reference loop). ``kernel="emulated"`` always runs
+        tile-by-tile.
+    executor:
+        ``None`` (serial), a worker count, or a
+        :class:`~repro.parallel.TileExecutor` to fan the stripe grid
+        across threads. Results are bitwise independent of the choice.
+    pack_cache / a_key / b_key:
+        With a :class:`~repro.blas.workspace.PackCache` and keys, the
+        packed k-slices of A/B are cached under ``(key, k0)`` and reused
+        by later calls on the same operand slice.
     """
     a = np.asarray(a)
     b = np.asarray(b)
@@ -71,8 +110,13 @@ def gemm(
         raise ValueError("k_block must be positive")
     if kernel not in ("fast", "emulated"):
         raise ValueError(f"unknown kernel {kernel!r}")
+    if strategy not in _STRATEGIES:
+        raise ValueError(f"strategy must be one of {_STRATEGIES}, got {strategy!r}")
     if kernel == "emulated" and tile_rows not in _EMULATED_KERNELS:
-        raise ValueError(f"emulated kernels exist for tile_rows in (30, 31)")
+        raise ValueError(
+            f"emulated kernels exist for tile_rows in "
+            f"{tuple(sorted(_EMULATED_KERNELS))}, got tile_rows={tile_rows}"
+        )
 
     m, k_total = a.shape
     n = b.shape[1]
@@ -87,27 +131,87 @@ def gemm(
         if beta != 1.0:
             c *= a.dtype.type(beta)
 
+    executor = as_executor(executor)
     alpha = a.dtype.type(alpha)
     for k0 in range(0, k_total, k_block):
         k1 = min(k0 + k_block, k_total)
-        pa = pack_a(a[:, k0:k1], tile_rows=tile_rows)
-        pb = pack_b(b[k0:k1, :], tile_cols=TILE_B_COLS)
-        _outer_product(c, pa, pb, alpha, kernel)
+        if pack_cache is not None:
+            pa = pack_cache.pack_a(
+                a[:, k0:k1],
+                key=None if a_key is None else (a_key, k0),
+                tile_rows=tile_rows,
+            )
+            pb = pack_cache.pack_b(
+                b[k0:k1, :],
+                key=None if b_key is None else (b_key, k0),
+                tile_cols=TILE_B_COLS,
+            )
+        else:
+            pa = pack_a(a[:, k0:k1], tile_rows=tile_rows)
+            pb = pack_b(b[k0:k1, :], tile_cols=TILE_B_COLS)
+        if kernel == "emulated" or strategy == "tiles":
+            _outer_product_tiles(c, pa, pb, alpha, kernel)
+        else:
+            _outer_product_stripes(c, pa, pb, alpha, executor)
     return c
 
 
-def _outer_product(c, pa, pb, alpha, kernel) -> None:
-    """Accumulate alpha * unpack(pa) @ unpack(pb) into c, tile by tile."""
+def _outer_product_stripes(c, pa, pb, alpha, executor) -> None:
+    """Accumulate alpha * unpack(pa) @ unpack(pb) into c, one row stripe
+    per a tile.
+
+    Each stripe multiplies its (tile_rows, k) a tile against the whole
+    packed-B panel in a single BLAS call into a thread-local scratch
+    accumulator, then folds the valid region into its disjoint row band
+    of c. Because stripes never share output rows and the k-slice loop
+    above stays serial, the executor's scheduling cannot alter any
+    floating-point sum — serial and parallel runs are bitwise identical.
+    """
+    b_panel = pb.row_major()  # (k, n_tiles * tile_cols), padding included
+    ncols = pb.n
+    dtype = c.dtype
+    k = pa.k
+    rows_per_task = STRIPE_TILES * pa.tile_rows
+
+    def run_stripe(t0: int) -> None:
+        t1 = min(t0 + STRIPE_TILES, pa.n_tiles)
+        rlo = t0 * pa.tile_rows
+        rhi = min(t1 * pa.tile_rows, pa.m)
+        # Tiles are stored (k, tile_rows); lay the fused stripe out as
+        # one (rows, k) operand for a single BLAS call.
+        stripe = pa.data[t0:t1].transpose(0, 2, 1).reshape(-1, k)
+        buf = scratch_buffer((rows_per_task, b_panel.shape[1]), dtype)
+        out = buf[: stripe.shape[0]]
+        np.matmul(stripe, b_panel, out=out)
+        if alpha != 1.0:
+            np.multiply(out, alpha, out=out)
+        c[rlo:rhi, :ncols] += out[: rhi - rlo, :ncols]
+
+    starts = range(0, pa.n_tiles, STRIPE_TILES)
+    if executor is None:
+        for t0 in starts:
+            run_stripe(t0)
+    else:
+        executor.map(run_stripe, starts)
+
+
+def _outer_product_tiles(c, pa, pb, alpha, kernel) -> None:
+    """Accumulate alpha * unpack(pa) @ unpack(pb) into c, tile by tile —
+    the reference loop over the full (a tile, b tile) grid."""
     emulated = _EMULATED_KERNELS.get(pa.tile_rows) if kernel == "emulated" else None
+    # PackedB tiles are strided views of the row-major panel; the
+    # tile-by-tile loop touches each one many times, so take one
+    # contiguous copy of the grid up front (the legacy layout).
+    b_tiles = np.ascontiguousarray(pb.data)
     for ta in range(pa.n_tiles):
         rlo, rhi = pa.tile_row_range(ta)
         a_tile = pa.tile(ta)
         for tb in range(pb.n_tiles):
             clo, chi = pb.tile_col_range(tb)
             if emulated is not None:
-                block = emulated(a_tile, pb.tile(tb))
+                block = emulated(a_tile, b_tiles[tb])
             else:
-                block = tile_multiply_fast(a_tile, pb.tile(tb))
+                block = tile_multiply_fast(a_tile, b_tiles[tb])
             c[rlo:rhi, clo:chi] += alpha * block[: rhi - rlo, : chi - clo]
 
 

@@ -10,11 +10,49 @@ The pivot convention matches :mod:`repro.blas.getrf`: ``ipiv[j] = r``
 means rows j and r (offset by ``offset`` into the target) were swapped at
 step j; forward order applies a factorization's swaps, backward order
 undoes them.
+
+Implementation note: the swap sequence is first collapsed into a single
+permutation vector (:func:`pivots_to_permutation`, vectorized via
+pointer doubling for the partial-pivoting case ``ipiv[j] >= j``), and
+the swaps are then applied as **one gather per block** — ``a[changed] =
+a[perm[changed]]`` — instead of one two-row exchange per pivot. Both
+formulations move the same rows to the same places, so the result is
+bitwise identical to the step-by-step loop.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+
+def _check_swap_bounds(ipiv: np.ndarray, n_rows: int, offset: int) -> None:
+    """Raise IndexError if any nontrivial swap leaves the block."""
+    j = np.arange(len(ipiv), dtype=np.int64)
+    nontrivial = ipiv != j
+    if not nontrivial.any():
+        return
+    touched = np.concatenate(
+        [offset + j[nontrivial], offset + ipiv[nontrivial]]
+    )
+    bad = (touched < 0) | (touched >= n_rows)
+    if bad.any():
+        r = int(touched[bad][0])
+        raise IndexError(
+            f"pivot swap touching row {r} outside block of {n_rows} rows"
+        )
+
+
+def _forward_permutation(
+    ipiv: np.ndarray, n: int, offset: int, forward: bool
+) -> np.ndarray:
+    """Permutation ``perm`` with ``a[perm]`` == the swapped block."""
+    perm = pivots_to_permutation(ipiv, n, offset)
+    if forward:
+        return perm
+    # Undoing the swaps is gathering with the inverse permutation.
+    inv = np.empty_like(perm)
+    inv[perm] = np.arange(n, dtype=perm.dtype)
+    return inv
 
 
 def laswp(
@@ -41,14 +79,15 @@ def laswp(
     if a.ndim != 2:
         raise ValueError("laswp expects a 2-D block")
     ipiv = np.asarray(ipiv, dtype=np.int64)
-    steps = range(len(ipiv)) if forward else range(len(ipiv) - 1, -1, -1)
-    for j in steps:
-        p = int(ipiv[j])
-        if p != j:
-            r0, r1 = offset + j, offset + p
-            if not (0 <= r0 < a.shape[0] and 0 <= r1 < a.shape[0]):
-                raise IndexError(f"pivot swap ({r0}, {r1}) outside block of {a.shape[0]} rows")
-            a[[r0, r1], :] = a[[r1, r0], :]
+    if len(ipiv) == 0:
+        return a
+    _check_swap_bounds(ipiv, a.shape[0], offset)
+    perm = _forward_permutation(ipiv, a.shape[0], offset, forward)
+    changed = np.flatnonzero(perm != np.arange(a.shape[0]))
+    if changed.size:
+        # RHS gather is materialised before the scatter, so the in-place
+        # row cycle is safe.
+        a[changed] = a[perm[changed]]
     return a
 
 
@@ -60,22 +99,87 @@ def apply_pivots_to_vector(
     if x.ndim != 1:
         raise ValueError("expected a vector")
     ipiv = np.asarray(ipiv, dtype=np.int64)
-    steps = range(len(ipiv)) if forward else range(len(ipiv) - 1, -1, -1)
-    for j in steps:
-        p = int(ipiv[j])
-        if p != j:
-            r0, r1 = offset + j, offset + p
-            x[r0], x[r1] = x[r1], x[r0]
+    if len(ipiv) == 0:
+        return x
+    _check_swap_bounds(ipiv, x.shape[0], offset)
+    perm = _forward_permutation(ipiv, x.shape[0], offset, forward)
+    changed = np.flatnonzero(perm != np.arange(x.shape[0]))
+    if changed.size:
+        x[changed] = x[perm[changed]]
     return x
 
 
-def pivots_to_permutation(ipiv: np.ndarray, n: int, offset: int = 0) -> np.ndarray:
-    """The permutation vector perm with P @ A == A[perm] equivalent to
-    applying the swaps forward — a convenience for verification."""
-    perm = np.arange(n)
+def _pivots_to_permutation_loop(
+    ipiv: np.ndarray, n: int, offset: int = 0
+) -> np.ndarray:
+    """Reference step-by-step construction — the definition the
+    vectorized path is property-tested against, and the fallback for
+    arbitrary (non-partial-pivoting) swap sequences."""
+    perm = np.arange(n, dtype=np.int64)
     for j in range(len(ipiv)):
         p = int(ipiv[j])
         if p != j:
             r0, r1 = offset + j, offset + p
             perm[r0], perm[r1] = perm[r1], perm[r0]
+    return perm
+
+
+def pivots_to_permutation(ipiv: np.ndarray, n: int, offset: int = 0) -> np.ndarray:
+    """The permutation vector perm with P @ A == A[perm] equivalent to
+    applying the swaps forward.
+
+    Vectorized for the partial-pivoting convention ``ipiv[j] >= j``
+    (which :mod:`repro.blas.getrf` guarantees): because step j is the
+    last step ever to touch row ``offset + j``, every row's final
+    occupant is found by chasing "which earlier step last deposited a
+    value here" links — a forest resolved with pointer doubling in
+    O(log #pivots) passes instead of a Python loop. Arbitrary swap
+    sequences fall back to the step-by-step loop.
+    """
+    ipiv = np.asarray(ipiv, dtype=np.int64)
+    m = len(ipiv)
+    perm = np.arange(n, dtype=np.int64)
+    if m == 0:
+        return perm
+    steps = np.arange(m, dtype=np.int64)
+    if np.any(ipiv < steps):
+        # Not a partial-pivoting sequence; rows below the diagonal may be
+        # revisited, so the finalized-at-own-step argument breaks.
+        return _pivots_to_permutation_loop(ipiv, n, offset)
+    nt = np.flatnonzero(ipiv != steps)  # nontrivial steps, in order
+    if nt.size == 0:
+        return perm
+    src = offset + nt  # row finalized at this step
+    tgt = offset + ipiv[nt]  # partner row (>= src, may repeat)
+
+    # last_t[q]: index (into nt) of the last nontrivial step whose
+    # partner row is q, or -1. Any step targeting row src[i] precedes
+    # step i, so these links always point strictly backwards.
+    last_t = np.full(n, -1, dtype=np.int64)
+    np.maximum.at(last_t, tgt, np.arange(nt.size, dtype=np.int64))
+
+    # f[i] = the original row sitting at src[i] just before step i:
+    # follow "deposited by" links to the chain root via pointer doubling.
+    link = last_t[src]
+    root = np.where(link < 0, np.arange(nt.size, dtype=np.int64), link)
+    while True:
+        nxt = root[root]
+        if np.array_equal(nxt, root):
+            break
+        root = nxt
+    f = src[root]
+
+    # Rows touched only as partner targets keep whatever the last
+    # targeting step deposited.
+    targeted = np.flatnonzero(last_t >= 0)
+    perm[targeted] = f[last_t[targeted]]
+
+    # Source rows are finalized at their own step: they receive the value
+    # sitting at their partner row just beforehand — deposited by the
+    # previous step with the same partner, or the partner row itself.
+    order = np.argsort(tgt, kind="stable")
+    prev = np.full(nt.size, -1, dtype=np.int64)
+    same = tgt[order][1:] == tgt[order][:-1]
+    prev[order[1:][same]] = order[:-1][same]
+    perm[src] = np.where(prev >= 0, f[np.maximum(prev, 0)], tgt)
     return perm

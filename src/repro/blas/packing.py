@@ -22,7 +22,8 @@ packing cost is a predictable, bandwidth-bound pass.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Optional
 
 import numpy as np
 
@@ -69,11 +70,22 @@ class PackedA:
 @dataclass
 class PackedB:
     """Bi packed as (n_tiles, k, tile_cols): ``data[t, j, :]`` is row j of
-    tile t — one contiguous vector load per kernel iteration."""
+    tile t — one contiguous vector load per kernel iteration.
 
-    data: np.ndarray  # shape (n_tiles, k, tile_cols)
+    Storage trick: the primary allocation is the contiguous row-major
+    (k, n_tiles * tile_cols) *panel* (zero padding in the last tile's
+    columns), and ``data`` is a zero-copy strided view of it shaped as
+    the Figure 3b tile grid. Both the tile consumers (kernels) and the
+    stripe GEMM (which multiplies against the whole panel in one BLAS
+    call per a stripe) read the same bytes — packing costs a single
+    bandwidth-bound copy of Bi.
+    """
+
+    data: np.ndarray  # shape (n_tiles, k, tile_cols); view of the panel
     n: int  # logical column count of the original Bi
     tile_cols: int
+    # The contiguous (k, n_tiles * tile_cols) backing panel.
+    panel: Optional[np.ndarray] = field(default=None, repr=False, compare=False)
 
     @property
     def n_tiles(self) -> int:
@@ -91,10 +103,19 @@ class PackedB:
         lo = t * self.tile_cols
         return lo, min(lo + self.tile_cols, self.n)
 
+    def row_major(self) -> np.ndarray:
+        """All tiles side by side as one contiguous (k, n_tiles *
+        tile_cols) panel (zero padding kept in the last tile). This is
+        the backing storage, so cache hits reuse it for free."""
+        if self.panel is None:  # externally-built PackedB (tests)
+            self.panel = np.ascontiguousarray(
+                self.data.transpose(1, 0, 2).reshape(self.k, -1)
+            )
+        return self.panel
+
     def unpack(self) -> np.ndarray:
         """Reconstruct the original (k, n) matrix."""
-        full = self.data.transpose(1, 0, 2).reshape(self.k, -1)
-        return np.ascontiguousarray(full[:, : self.n])
+        return np.ascontiguousarray(self.row_major()[:, : self.n])
 
 
 def pack_a(a: np.ndarray, tile_rows: int = TILE_A_ROWS) -> PackedA:
@@ -107,11 +128,18 @@ def pack_a(a: np.ndarray, tile_rows: int = TILE_A_ROWS) -> PackedA:
     m, k = a.shape
     n_tiles = -(-m // tile_rows)  # ceil division
     data = np.zeros((n_tiles, k, tile_rows), dtype=a.dtype)
-    for t in range(n_tiles):
-        lo = t * tile_rows
-        hi = min(lo + tile_rows, m)
+    # Full tiles in one transposed copy; only the ragged tail (if any)
+    # needs its own slab — the pack stays a bandwidth-bound pass with no
+    # per-tile Python loop.
+    full = m // tile_rows
+    if full:
+        data[:full] = a[: full * tile_rows].reshape(
+            full, tile_rows, k
+        ).transpose(0, 2, 1)
+    if full < n_tiles:
+        lo = full * tile_rows
         # Column-major tile: transpose the row slab into (k, rows).
-        data[t, :, : hi - lo] = a[lo:hi].T
+        data[full, :, : m - lo] = a[lo:].T
     return PackedA(data=data, m=m, tile_rows=tile_rows)
 
 
@@ -124,12 +152,18 @@ def pack_b(b: np.ndarray, tile_cols: int = TILE_B_COLS) -> PackedB:
         raise ValueError("tile_cols must be positive")
     k, n = b.shape
     n_tiles = -(-n // tile_cols)
-    data = np.zeros((n_tiles, k, tile_cols), dtype=b.dtype)
-    for t in range(n_tiles):
-        lo = t * tile_cols
-        hi = min(lo + tile_cols, n)
-        data[t, :, : hi - lo] = b[:, lo:hi]
-    return PackedB(data=data, n=n, tile_cols=tile_cols)
+    # One contiguous padded copy of Bi; the tile grid is a strided view
+    # of it (tile t, row j, col c) -> panel[j, t * tile_cols + c].
+    panel = np.zeros((k, n_tiles * tile_cols), dtype=b.dtype)
+    panel[:, :n] = b
+    s = panel.strides
+    data = np.lib.stride_tricks.as_strided(
+        panel,
+        shape=(n_tiles, k, tile_cols),
+        strides=(tile_cols * s[1], s[0], s[1]),
+        writeable=False,
+    )
+    return PackedB(data=data, n=n, tile_cols=tile_cols, panel=panel)
 
 
 def packing_bytes(m: int, n: int, k: int, elem_bytes: int = 8) -> int:

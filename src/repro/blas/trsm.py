@@ -15,12 +15,31 @@ substitutions need:
 All are blocked: the triangular factor is processed in ``block``-sized
 diagonal chunks with GEMM updates in between, so the bulk of the FLOPs
 run through matrix-matrix products (the standard high-performance TRSM
-formulation).
+formulation). Each diagonal chunk is handed to LAPACK's native solver
+(:func:`scipy.linalg.solve_triangular`) in one call; a pure-NumPy
+column-loop fallback keeps the module importable without SciPy.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+try:  # SciPy is a declared dependency, but keep a pure-NumPy fallback.
+    from scipy.linalg import solve_triangular as _solve_triangular
+except ImportError:  # pragma: no cover - exercised via the _FORCE_LOOPS knob
+    _solve_triangular = None
+
+#: Test/benchmark knob: force the column-loop fallback even with SciPy.
+_FORCE_LOOPS = False
+
+
+def _native(t: np.ndarray, b: np.ndarray, lower: bool, unit: bool) -> np.ndarray | None:
+    """One LAPACK solve of the diagonal chunk, or None if unavailable."""
+    if _solve_triangular is None or _FORCE_LOOPS:
+        return None
+    return _solve_triangular(
+        t, b, lower=lower, unit_diagonal=unit, check_finite=False
+    )
 
 
 def _check(t: np.ndarray, b: np.ndarray, left: bool = True) -> tuple:
@@ -45,9 +64,13 @@ def trsm_lower_unit_left(l: np.ndarray, b: np.ndarray, block: int = 64) -> np.nd
     n = l.shape[0]
     for j0 in range(0, n, block):
         j1 = min(j0 + block, n)
-        for j in range(j0, j1):
-            # Unit diagonal: no division.
-            b[j + 1 : j1, :] -= np.outer(l[j + 1 : j1, j], b[j, :])
+        solved = _native(l[j0:j1, j0:j1], b[j0:j1, :], lower=True, unit=True)
+        if solved is not None:
+            b[j0:j1, :] = solved
+        else:
+            for j in range(j0, j1):
+                # Unit diagonal: no division.
+                b[j + 1 : j1, :] -= np.outer(l[j + 1 : j1, j], b[j, :])
         if j1 < n:
             b[j1:, :] -= l[j1:, j0:j1] @ b[j0:j1, :]
     return b
@@ -61,9 +84,13 @@ def trsm_upper_left(u: np.ndarray, b: np.ndarray, block: int = 64) -> np.ndarray
         raise np.linalg.LinAlgError("singular upper factor in TRSM")
     for j1 in range(n, 0, -block):
         j0 = max(j1 - block, 0)
-        for j in range(j1 - 1, j0 - 1, -1):
-            b[j, :] /= u[j, j]
-            b[j0:j, :] -= np.outer(u[j0:j, j], b[j, :])
+        solved = _native(u[j0:j1, j0:j1], b[j0:j1, :], lower=False, unit=False)
+        if solved is not None:
+            b[j0:j1, :] = solved
+        else:
+            for j in range(j1 - 1, j0 - 1, -1):
+                b[j, :] /= u[j, j]
+                b[j0:j, :] -= np.outer(u[j0:j, j], b[j, :])
         if j0 > 0:
             b[:j0, :] -= u[:j0, j0:j1] @ b[j0:j1, :]
     return b
@@ -79,8 +106,15 @@ def trsm_lower_unit_right(l: np.ndarray, b: np.ndarray, block: int = 64) -> np.n
     n = l.shape[0]
     for j0 in range(0, n, block):
         j1 = min(j0 + block, n)
-        for j in range(j0, j1):
-            b[:, j + 1 : j1] -= np.outer(b[:, j], l[j + 1 : j1, j])
+        # X L_blk^T = B_blk transposes to L_blk X^T = B_blk^T.
+        solved = _native(
+            l[j0:j1, j0:j1], b[:, j0:j1].T, lower=True, unit=True
+        )
+        if solved is not None:
+            b[:, j0:j1] = solved.T
+        else:
+            for j in range(j0, j1):
+                b[:, j + 1 : j1] -= np.outer(b[:, j], l[j + 1 : j1, j])
         if j1 < n:
             b[:, j1:] -= b[:, j0:j1] @ l[j1:, j0:j1].T
     return b

@@ -10,9 +10,18 @@ configurations without going through pytest:
 ``native --n 30000 [--nb 300] [--scheduler dynamic|static] [--numeric]``
     One native Linpack run (``--numeric`` really solves and checks).
 ``hybrid --n 84000 [--cards 1] [--p 1 --q 1] [--lookahead pipelined]``
-    One hybrid HPL run.
+    One hybrid HPL run; ``--numeric`` (with ``--nb``) instead runs the
+    real functional hybrid factorization + solve + residual check.
 ``distributed --n 144 --nb 16 --p 2 --q 3``
     A real distributed solve on the simulated MPI world.
+
+The numeric paths (``native --numeric``, ``hybrid --numeric``,
+``distributed``) additionally take the substrate knobs:
+
+``--workers N``
+    tile-executor pool width (default: all cores; ``1`` = inline);
+``--no-pack-cache``
+    disable the pack-once tile cache and re-pack every GEMM panel.
 ``gantt --n 5000 [--scheduler dynamic]``
     ASCII Gantt chart of a native LU schedule (Figure 7).
 
@@ -37,6 +46,22 @@ import sys
 from typing import List, Optional
 
 from repro.machine import KNC, SNB
+
+
+def _add_substrate_flags(p: argparse.ArgumentParser) -> None:
+    """Pack-once / tile-executor knobs shared by the numeric drivers."""
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="tile-executor pool width for numeric runs (default: all cores)",
+    )
+    p.add_argument(
+        "--no-pack-cache",
+        action="store_true",
+        help="disable the pack-once tile cache (re-pack every GEMM panel)",
+    )
 
 
 def _add_obs_flags(p: argparse.ArgumentParser) -> None:
@@ -200,7 +225,13 @@ def _cmd_energy(_args) -> int:
 def _cmd_native(args) -> int:
     from repro.hpl import NativeHPL
 
-    r = NativeHPL(args.n, nb=args.nb, scheduler=args.scheduler).run(numeric=args.numeric)
+    r = NativeHPL(
+        args.n,
+        nb=args.nb,
+        scheduler=args.scheduler,
+        workers=args.workers,
+        pack_cache=not args.no_pack_cache,
+    ).run(numeric=args.numeric)
     if not _emit_observability(r, args):
         print(
             f"N={r.n} nb={r.nb} scheduler={r.scheduler}: {r.gflops:.1f} GFLOPS "
@@ -215,6 +246,24 @@ def _cmd_native(args) -> int:
 
 def _cmd_hybrid(args) -> int:
     from repro.hybrid import HybridHPL, NodeConfig
+
+    if args.numeric:
+        from repro.hybrid.functional import run_hybrid_numeric
+
+        r = run_hybrid_numeric(
+            args.n,
+            nb=args.nb,
+            cards=args.cards,
+            workers=args.workers,
+            pack_cache=not args.no_pack_cache,
+        )
+        if not _emit_observability(r, args):
+            print(
+                f"N={r.n} nb={r.nb} cards={r.cards} workers={r.workers}: "
+                f"{r.gflops:.2f} GFLOPS (wall), residual={r.residual:.4f} "
+                f"-> {'PASSED' if r.passed else 'FAILED'}"
+            )
+        return 0 if r.passed else 1
 
     r = HybridHPL(
         args.n,
@@ -234,7 +283,14 @@ def _cmd_hybrid(args) -> int:
 def _cmd_distributed(args) -> int:
     from repro.cluster import DistributedHPL
 
-    r = DistributedHPL(args.n, args.nb, args.p, args.q).run()
+    r = DistributedHPL(
+        args.n,
+        args.nb,
+        args.p,
+        args.q,
+        workers=args.workers,
+        pack_cache=not args.no_pack_cache,
+    ).run()
     if not _emit_observability(r, args):
         print(
             f"N={r.n} NB={r.nb} grid {r.p}x{r.q}: residual={r.residual:.4f} "
@@ -317,11 +373,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--nb", type=int, default=300)
     p.add_argument("--scheduler", choices=["dynamic", "static"], default="dynamic")
     p.add_argument("--numeric", action="store_true", help="really solve and check")
+    _add_substrate_flags(p)
     _add_obs_flags(p)
     p.set_defaults(fn=_cmd_native)
 
     p = sub.add_parser("hybrid", help="one hybrid HPL run")
     p.add_argument("--n", type=int, required=True)
+    p.add_argument("--nb", type=int, default=64, help="block size for --numeric runs")
     p.add_argument("--cards", type=int, default=1)
     p.add_argument("--p", type=int, default=1)
     p.add_argument("--q", type=int, default=1)
@@ -329,6 +387,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--lookahead", choices=["none", "basic", "pipelined"], default="pipelined"
     )
+    p.add_argument(
+        "--numeric",
+        action="store_true",
+        help="really factor and solve through the offload engine (keep N modest)",
+    )
+    _add_substrate_flags(p)
     _add_obs_flags(p)
     p.set_defaults(fn=_cmd_hybrid)
 
@@ -337,6 +401,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--nb", type=int, default=16)
     p.add_argument("--p", type=int, default=2)
     p.add_argument("--q", type=int, default=2)
+    _add_substrate_flags(p)
     _add_obs_flags(p)
     p.set_defaults(fn=_cmd_distributed)
 

@@ -30,8 +30,10 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.blas.trsm import trsm_lower_unit_left
+from repro.blas.gemm import gemm
 from repro.blas.getrf import getrf
+from repro.blas.trsm import trsm_lower_unit_left
+from repro.blas.workspace import PackCache
 from repro.cluster.comm import Comm, World
 from repro.cluster.grid import BlockCyclic, ProcessGrid
 from repro.cluster.bcast_algos import binomial_bcast, ring_bcast
@@ -46,6 +48,7 @@ from repro.hpl.residual import hpl_residual, residual_passes
 from repro.lu.factorize import lu_solve
 from repro.lu.timing import LUTiming
 from repro.obs import MetricsRegistry, RunResult
+from repro.parallel import TileExecutor
 
 
 @dataclass
@@ -102,6 +105,8 @@ class DistributedHPL:
         use_offload: bool = False,
         bcast_algo: str = "star",
         swap_algo: str = "pairwise",
+        workers: Optional[int] = None,
+        pack_cache: bool = False,
     ):
         if n < 1 or nb < 1:
             raise ValueError("n and nb must be positive")
@@ -113,6 +118,13 @@ class DistributedHPL:
         self.use_offload = use_offload
         self.bcast_algo = bcast_algo
         self.swap_algo = swap_algo
+        # Pack-once + tile-executor substrate for every rank's local
+        # trailing update. The executor is shared by all rank threads
+        # (its map degrades to inline inside worker threads); each rank
+        # keeps its own PackCache, and rank 0's counters are published.
+        self.workers = workers
+        self.pack_cache = pack_cache
+        self._executor = None
         self.grid = ProcessGrid(p, q)
         self.bc = BlockCyclic(n, nb, self.grid)
 
@@ -124,6 +136,7 @@ class DistributedHPL:
         cols = bc.local_cols(my_col)
         # Local piece of the global matrix, generated independently.
         a_loc = hpl_submatrix(self.n, rows, cols, seed=self.seed)
+        cache = PackCache() if self.pack_cache else None
         stage_pivots: List[np.ndarray] = []
         bcast_wall_s, bcast_calls = 0.0, 0  # per-algorithm broadcast time
 
@@ -229,6 +242,25 @@ class DistributedHPL:
                         host_assist=True,
                     ).run(-np.ascontiguousarray(l21), np.ascontiguousarray(u_block), c)
                     a_loc[sub] = c
+                elif cache is not None or self._executor is not None:
+                    # Pack-once + stripe substrate: the fancy-indexed
+                    # region is gathered, updated in place, scattered back.
+                    c = a_loc[sub]
+                    gemm(
+                        np.ascontiguousarray(l21),
+                        u_block,
+                        c,
+                        alpha=-1.0,
+                        beta=1.0,
+                        pack_cache=cache,
+                        a_key=("dist.l21", k),
+                        b_key=("dist.u", k),
+                        executor=self._executor,
+                    )
+                    a_loc[sub] = c
+                    if cache is not None:
+                        cache.invalidate(("dist.l21", k))
+                        cache.invalidate(("dist.u", k))
                 else:
                     a_loc[sub] -= l21 @ u_block
 
@@ -259,6 +291,8 @@ class DistributedHPL:
             bcast_wall_s, count=bcast_calls
         )
         metrics.counter("hpl.stages").inc(self.bc.n_blocks)
+        if cache is not None:
+            cache.publish(metrics)
         return DistributedResult(
             n=self.n,
             nb=self.nb,
@@ -287,12 +321,21 @@ class DistributedHPL:
 
     def run(self) -> DistributedResult:
         world = World(self.grid.size)
+        executor = TileExecutor(self.workers) if self.workers is not None else None
+        self._executor = executor
         t0 = time.perf_counter()
-        results = world.run(self._rank_main)
+        try:
+            results = world.run(self._rank_main)
+        finally:
+            self._executor = None
         wall_s = time.perf_counter() - t0
         out: DistributedResult = results[0]
         out.time_s = wall_s
         out.gflops = LUTiming.hpl_flops(self.n) / wall_s / 1e9
         if out.metrics is not None:
             out.metrics.gauge("hpl.wall_time_s").set(wall_s)
+            if executor is not None:
+                executor.publish(out.metrics)
+        if executor is not None:
+            executor.close()
         return out

@@ -28,6 +28,7 @@ from repro.lu.timing import LUTiming
 from repro.machine.calibration import default_calibration
 from repro.machine.config import SNB
 from repro.obs import MetricsRegistry, RunResult
+from repro.parallel import TileExecutor
 from repro.sim import TraceRecorder
 
 #: Anchors for the SNB MKL Linpack curve: (N, efficiency).
@@ -88,6 +89,8 @@ class NativeHPL:
         nb: int = 300,
         scheduler: str = "dynamic",
         timing: Optional[LUTiming] = None,
+        workers: Optional[int] = None,
+        pack_cache: bool = True,
     ):
         if scheduler not in self.SCHEDULERS:
             raise ValueError(
@@ -96,6 +99,8 @@ class NativeHPL:
         self.n = n
         self.nb = nb
         self.scheduler_name = scheduler
+        self.workers = workers
+        self.pack_cache = pack_cache
         self.timing = timing or LUTiming()
         cal = self.timing.cal or default_calibration()
         mem_needed = 8 * n * n
@@ -118,12 +123,25 @@ class NativeHPL:
 
     def run(self, numeric: bool = False, seed: int = 42) -> HPLResult:
         """Run the benchmark; ``numeric=True`` also computes and checks x
-        (keep N modest — the matrix is materialised)."""
+        (keep N modest — the matrix is materialised).
+
+        Numeric runs execute every trailing update on the pack-once +
+        tile-executor substrate (``workers`` wide, all cores by default;
+        ``pack_cache=False`` reverts to plain NumPy updates); the cache
+        and pool counters land in the result's metrics registry.
+        """
         workspace = None
+        executor = None
         a0 = b = None
         if numeric:
             a0, b = hpl_system(self.n, seed)
-            workspace = LUWorkspace(a0.copy(), self.nb)
+            executor = TileExecutor(self.workers)
+            workspace = LUWorkspace(
+                a0.copy(),
+                self.nb,
+                pack_cache=self.pack_cache,
+                executor=executor,
+            )
         sched = self._make_scheduler()
         result: ScheduleResult = sched.run(workspace)
         time_s = result.makespan_s + self.solve_time_s()
@@ -151,4 +169,8 @@ class NativeHPL:
             x = lu_solve(workspace.a, ipiv, np.asarray(b))
             out.residual = hpl_residual(a0, x, b)
             out.passed = residual_passes(a0, x, b)
+            if workspace.pack_cache is not None:
+                workspace.pack_cache.publish(metrics)
+            executor.publish(metrics)
+            executor.close()
         return out

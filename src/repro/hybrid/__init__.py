@@ -29,7 +29,11 @@ from repro.hybrid.tile_select import (
 from repro.hybrid.offload import OffloadDGEMM, OffloadResult
 from repro.hybrid.lookahead import Lookahead
 from repro.hybrid.driver import HybridHPL, HybridResult, NodeConfig
-from repro.hybrid.functional import hybrid_blocked_lu
+from repro.hybrid.functional import (
+    HybridNumericResult,
+    hybrid_blocked_lu,
+    run_hybrid_numeric,
+)
 
 __all__ = [
     "Tile",
@@ -45,4 +49,6 @@ __all__ = [
     "HybridResult",
     "NodeConfig",
     "hybrid_blocked_lu",
+    "run_hybrid_numeric",
+    "HybridNumericResult",
 ]

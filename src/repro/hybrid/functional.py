@@ -9,10 +9,19 @@ simulated card via the packed-format BLAS, and accumulated back, with
 the host's spare capacity work-stealing from the opposite corner. The
 result is verified against SciPy and the HPL residual test, which pins
 down that the hybrid orchestration moves exactly the right blocks.
+
+With ``pack_cache`` / ``workers`` the offloaded updates run on the
+pack-once + tile-executor substrate: each stage's resident strips are
+packed once and shared across tiles, and the stripe GEMMs fan across
+the pool. :func:`run_hybrid_numeric` wraps the whole factorization +
+solve + residual check into a :class:`~repro.obs.result.RunResult` for
+the CLI's ``hybrid --numeric`` path.
 """
 
 from __future__ import annotations
 
+import time
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
@@ -20,8 +29,11 @@ import numpy as np
 from repro.blas.getrf import getrf
 from repro.blas.laswp import laswp
 from repro.blas.trsm import trsm_lower_unit_left
+from repro.blas.workspace import PackCache
 from repro.hybrid.offload import OffloadDGEMM
 from repro.lu.tasks import LUWorkspace
+from repro.obs import MetricsRegistry, RunResult
+from repro.parallel import TileExecutor, as_executor
 
 
 def hybrid_blocked_lu(
@@ -30,6 +42,8 @@ def hybrid_blocked_lu(
     cards: int = 1,
     tile: Optional[tuple] = None,
     host_assist: bool = True,
+    workers=None,
+    pack_cache=None,
 ) -> tuple:
     """Factor ``a`` in place with offloaded trailing updates.
 
@@ -37,39 +51,129 @@ def hybrid_blocked_lu(
     :func:`repro.lu.factorize.blocked_lu` — and produces bit-compatible
     results with it, because the offload tiles partition the exact same
     GEMM.
+
+    ``pack_cache`` (True or a :class:`~repro.blas.workspace.PackCache`)
+    lets each stage's offload engine pack its resident A/B strips once
+    and reuse them across tiles; ``workers`` fans the card-side stripe
+    GEMMs over a :class:`~repro.parallel.TileExecutor`.
     """
+    if pack_cache is True:
+        pack_cache = PackCache()
+    elif pack_cache is False:
+        pack_cache = None
+    own_executor = workers is not None and not isinstance(workers, TileExecutor)
+    executor = as_executor(workers)
     ws = LUWorkspace(a, nb)  # reuse the geometry/pivot bookkeeping
-    n = ws.n
-    for i in range(ws.n_panels):
-        r0 = ws.stage_row0(i)
-        cols = ws.panel_cols(i)
-        w = ws.panel_width(i)
-        # Host: panel factorization.
-        ipiv = getrf(a[r0:, cols])
-        ws.stage_ipiv[i] = ipiv
-        trailing = a[r0:, cols.stop :]
-        if trailing.shape[1] == 0:
-            continue
-        # Host: pivot swaps and the U-panel triangular solve.
-        laswp(trailing, ipiv, forward=True)
-        l11 = a[r0 : r0 + w, cols]
-        u_panel = trailing[:w, :]
-        trsm_lower_unit_left(l11, u_panel)
-        # Card(s): the offloaded trailing update C -= L21 @ U.
-        m_t = trailing.shape[0] - w
-        n_t = trailing.shape[1]
-        if m_t > 0:
-            l21 = np.ascontiguousarray(a[r0 + w :, cols])
-            u = np.ascontiguousarray(u_panel)
-            c = np.ascontiguousarray(trailing[w:, :])
-            tile_choice = tile or (max(1, m_t // 2), max(1, n_t // 2))
-            OffloadDGEMM(
-                m_t,
-                n_t,
-                kt=w,
-                cards=min(cards, n_t),
-                tile=tile_choice,
-                host_assist=host_assist,
-            ).run(-l21, u, c)
-            trailing[w:, :] = c
+    try:
+        for i in range(ws.n_panels):
+            r0 = ws.stage_row0(i)
+            cols = ws.panel_cols(i)
+            w = ws.panel_width(i)
+            # Host: panel factorization.
+            ipiv = getrf(a[r0:, cols])
+            ws.stage_ipiv[i] = ipiv
+            trailing = a[r0:, cols.stop :]
+            if trailing.shape[1] == 0:
+                continue
+            # Host: pivot swaps and the U-panel triangular solve.
+            laswp(trailing, ipiv, forward=True)
+            l11 = a[r0 : r0 + w, cols]
+            u_panel = trailing[:w, :]
+            trsm_lower_unit_left(l11, u_panel)
+            # Card(s): the offloaded trailing update C -= L21 @ U.
+            m_t = trailing.shape[0] - w
+            n_t = trailing.shape[1]
+            if m_t > 0:
+                l21 = np.ascontiguousarray(a[r0 + w :, cols])
+                u = np.ascontiguousarray(u_panel)
+                c = np.ascontiguousarray(trailing[w:, :])
+                tile_choice = tile or (max(1, m_t // 2), max(1, n_t // 2))
+                OffloadDGEMM(
+                    m_t,
+                    n_t,
+                    kt=w,
+                    cards=min(cards, n_t),
+                    tile=tile_choice,
+                    host_assist=host_assist,
+                    pack_cache=pack_cache,
+                    executor=executor,
+                ).run(-l21, u, c)
+                trailing[w:, :] = c
+                if pack_cache is not None:
+                    # This stage's strips are dead; only counters persist.
+                    pack_cache.invalidate()
+    finally:
+        if own_executor and executor is not None:
+            executor.close()
     return ws.a, ws.finalize()
+
+
+@dataclass
+class HybridNumericResult(RunResult):
+    """A real (numeric) hybrid factorization + solve + residual check."""
+
+    n: int
+    nb: int
+    cards: int
+    workers: int
+    time_s: float
+    gflops: float
+    residual: float
+    passed: bool
+    metrics: Optional[MetricsRegistry] = None
+
+    kind = "hybrid-numeric"
+
+
+def run_hybrid_numeric(
+    n: int,
+    nb: int = 64,
+    cards: int = 1,
+    workers: Optional[int] = None,
+    pack_cache: bool = True,
+    host_assist: bool = True,
+    seed: int = 42,
+) -> HybridNumericResult:
+    """Factor and solve a seeded HPL system through the hybrid path.
+
+    Wall-clock timed (this is a real computation); the pack-cache and
+    pool counters land in ``metrics``. ``workers=None`` uses all cores.
+    """
+    from repro.hpl.matgen import hpl_system
+    from repro.hpl.residual import hpl_residual, residual_passes
+    from repro.lu.factorize import lu_solve
+    from repro.lu.timing import LUTiming
+
+    a0, b = hpl_system(n, seed)
+    cache = PackCache() if pack_cache else None
+    executor = TileExecutor(workers)
+    t0 = time.perf_counter()
+    try:
+        lu, ipiv = hybrid_blocked_lu(
+            a0.copy(),
+            nb=nb,
+            cards=cards,
+            workers=executor,
+            pack_cache=cache,
+            host_assist=host_assist,
+        )
+        x = lu_solve(lu, ipiv, b)
+    finally:
+        executor.close()
+    wall_s = time.perf_counter() - t0
+    metrics = MetricsRegistry()
+    if cache is not None:
+        cache.publish(metrics)
+    executor.publish(metrics)
+    metrics.gauge("hpl.wall_time_s").set(wall_s)
+    return HybridNumericResult(
+        n=n,
+        nb=nb,
+        cards=cards,
+        workers=executor.workers,
+        time_s=wall_s,
+        gflops=LUTiming.hpl_flops(n) / wall_s / 1e9,
+        residual=hpl_residual(a0, x, b),
+        passed=residual_passes(a0, x, b),
+        metrics=metrics,
+    )

@@ -32,7 +32,9 @@ from typing import List, Optional
 import numpy as np
 
 from repro.blas.gemm import gemm as blas_gemm
+from repro.blas.workspace import PackCache
 from repro.hybrid.tile_select import HYBRID_KT, KERNEL_K, best_tile_size
+from repro.parallel import as_executor
 from repro.hybrid.tiles import StealState, Tile, TileGrid
 from repro.machine.calibration import Calibration, default_calibration
 from repro.machine.config import KNC, SNB
@@ -79,12 +81,24 @@ class OffloadDGEMM:
         socket_interleave: bool = True,
         cal: Optional[Calibration] = None,
         link: Optional[PCIeLink] = None,
+        pack_cache=None,
+        executor=None,
     ):
         if m < 1 or n < 1 or kt < 1:
             raise ValueError("matrix dimensions must be positive")
         if cards < 1:
             raise ValueError("need at least one card")
         self.m, self.n, self.kt, self.cards = m, n, kt, cards
+        # Pack-once substrate for the numeric path: each resident A row
+        # strip / B column strip is packed on first touch and reused by
+        # every tile that shares it (the functional analogue of the
+        # strips staying resident in the card's GDDR).
+        if pack_cache is True:
+            pack_cache = PackCache()
+        elif pack_cache is False:
+            pack_cache = None
+        self.pack_cache = pack_cache
+        self.executor = as_executor(executor)
         self.cal = cal or default_calibration()
         self.link = link or PCIeLink()
         if tile is None:
@@ -193,7 +207,8 @@ class OffloadDGEMM:
             rows = slice(tile.r0, tile.r1)
             cols = slice(col_lo + tile.c0, col_lo + tile.c1)
             if on_card:
-                # The card path goes through the packed-format BLAS.
+                # The card path goes through the packed-format BLAS; with
+                # a PackCache the strips shared between tiles pack once.
                 blas_gemm(
                     a[rows, :],
                     b[:, cols],
@@ -201,6 +216,10 @@ class OffloadDGEMM:
                     alpha=1.0,
                     beta=1.0,
                     k_block=KERNEL_K,
+                    pack_cache=self.pack_cache,
+                    a_key=("offload.a", tile.r0, tile.r1),
+                    b_key=("offload.b", col_lo + tile.c0, col_lo + tile.c1),
+                    executor=self.executor,
                 )
             else:
                 c[rows, cols] += a[rows, :] @ b[:, cols]
@@ -325,6 +344,10 @@ class OffloadDGEMM:
             ready_queues[card].publish_metrics(metrics, f"offload.queue.card{card}")
             links[card].publish_metrics(metrics, f"offload.link.card{card}")
         sim.publish_metrics(metrics)
+        if self.pack_cache is not None:
+            self.pack_cache.publish(metrics)
+        if self.executor is not None:
+            self.executor.publish(metrics)
         return OffloadResult(
             m=self.m,
             n=self.n,

@@ -17,15 +17,40 @@ from repro.blas.laswp import apply_pivots_to_vector
 from repro.blas.trsm import trsm_lower_unit_left, trsm_upper_left
 from repro.lu.dag import PanelDAG, Task
 from repro.lu.tasks import LUWorkspace
+from repro.parallel import TileExecutor, as_executor
 
 
-def blocked_lu(a: np.ndarray, nb: int = 64, **ws_kwargs) -> tuple:
-    """Factor ``a`` in place (stage loop order); returns (a, ipiv)."""
+def _claim_executor(workers) -> tuple:
+    """Coerce ``workers`` into (executor, owned): ``owned`` marks a pool
+    we created here and must close before returning."""
+    owned = workers is not None and not isinstance(workers, TileExecutor)
+    return as_executor(workers), owned
+
+
+def blocked_lu(
+    a: np.ndarray, nb: int = 64, workers=None, **ws_kwargs
+) -> tuple:
+    """Factor ``a`` in place (stage loop order); returns (a, ipiv).
+
+    ``workers`` (a count or a :class:`~repro.parallel.TileExecutor`)
+    fans each stage's trailing updates — which write disjoint column
+    panels — across threads; the panel factorizations and the stage
+    order stay serial, so results are bitwise identical at any width.
+    """
     ws = LUWorkspace(a, nb, **ws_kwargs)
-    for i in range(ws.n_panels):
-        ws.execute(Task.panel_task(i))
-        for p in range(i + 1, ws.n_panels):
-            ws.execute(Task.update_task(i, p))
+    ex, owned = _claim_executor(workers)
+    try:
+        for i in range(ws.n_panels):
+            ws.execute(Task.panel_task(i))
+            updates = [Task.update_task(i, p) for p in range(i + 1, ws.n_panels)]
+            if ex is None:
+                for task in updates:
+                    ws.execute(task)
+            elif updates:
+                ex.map(ws.execute, updates)
+    finally:
+        if owned and ex is not None:
+            ex.close()
     return ws.a, ws.finalize()
 
 
@@ -33,6 +58,7 @@ def lu_via_dag(
     a: np.ndarray,
     nb: int = 64,
     pick: Optional[Callable[[List[Task]], Task]] = None,
+    workers=None,
     **ws_kwargs,
 ) -> tuple:
     """Factor ``a`` by draining the DAG.
@@ -41,24 +67,47 @@ def lu_via_dag(
     DAG's own priority). Since execution is sequential here, this
     effectively replays an arbitrary topological order — the property the
     dynamic scheduler relies on for correctness.
+
+    ``workers`` instead executes every runnable wave concurrently: tasks
+    that are simultaneously runnable always write disjoint regions (each
+    UPDATE owns its column panel, and a PANEL is never runnable while
+    updates still target its columns), so wave execution is one more
+    dependency-respecting order with bitwise-identical results. ``pick``
+    and ``workers`` are mutually exclusive — one chooses a single task
+    per step, the other runs them all.
     """
+    if pick is not None and workers is not None:
+        raise ValueError("pick and workers are mutually exclusive")
     ws = LUWorkspace(a, nb, **ws_kwargs)
     dag = PanelDAG(ws.n_panels)
-    while not dag.done:
-        if pick is None:
-            task = dag.available_task()
-            if task is None:
-                raise RuntimeError("DAG stalled with no runnable task")
-        else:
-            runnable = _drain_runnable(dag)
-            if not runnable:
-                raise RuntimeError("DAG stalled with no runnable task")
-            task = pick(runnable)
-            for other in runnable:
-                if other != task:
-                    dag.abandon(other)
-        ws.execute(task)
-        dag.complete(task)
+    ex, owned = _claim_executor(workers)
+    try:
+        while not dag.done:
+            if ex is not None:
+                runnable = _drain_runnable(dag)
+                if not runnable:
+                    raise RuntimeError("DAG stalled with no runnable task")
+                ex.map(ws.execute, runnable)
+                for task in runnable:
+                    dag.complete(task)
+                continue
+            if pick is None:
+                task = dag.available_task()
+                if task is None:
+                    raise RuntimeError("DAG stalled with no runnable task")
+            else:
+                runnable = _drain_runnable(dag)
+                if not runnable:
+                    raise RuntimeError("DAG stalled with no runnable task")
+                task = pick(runnable)
+                for other in runnable:
+                    if other != task:
+                        dag.abandon(other)
+            ws.execute(task)
+            dag.complete(task)
+    finally:
+        if owned and ex is not None:
+            ex.close()
     return ws.a, ws.finalize()
 
 

@@ -21,6 +21,7 @@ in-place result matches LAPACK's getrf storage exactly.
 
 from __future__ import annotations
 
+import threading
 from typing import List, Optional
 
 import numpy as np
@@ -29,13 +30,32 @@ from repro.blas.gemm import gemm
 from repro.blas.getrf import getrf
 from repro.blas.laswp import laswp
 from repro.blas.trsm import trsm_lower_unit_left
+from repro.blas.workspace import PackCache
 from repro.lu.dag import Task, TaskType
+from repro.parallel import as_executor
 
 
 class LUWorkspace:
-    """The in-place blocked LU state shared by all workers."""
+    """The in-place blocked LU state shared by all workers.
 
-    def __init__(self, a: np.ndarray, nb: int, use_packed_gemm: bool = False):
+    With a :class:`~repro.blas.workspace.PackCache` attached
+    (``pack_cache=True`` or an instance), every trailing update runs
+    through the packed-GEMM substrate and stage i's L21 panel is packed
+    exactly once — the first UPDATE(i, p) misses, every later one hits —
+    then invalidated the moment the stage's last update retires. An
+    ``executor`` (worker count or :class:`~repro.parallel.TileExecutor`)
+    is forwarded to those GEMMs so a serial task order can still fan the
+    stripe grid across threads.
+    """
+
+    def __init__(
+        self,
+        a: np.ndarray,
+        nb: int,
+        use_packed_gemm: bool = False,
+        pack_cache=None,
+        executor=None,
+    ):
         a = np.asarray(a)
         if a.ndim != 2 or a.shape[0] != a.shape[1]:
             raise ValueError("LU workspace expects a square matrix")
@@ -49,6 +69,16 @@ class LUWorkspace:
         self.n_panels = -(-self.n // nb)
         self.stage_ipiv: List[Optional[np.ndarray]] = [None] * self.n_panels
         self.use_packed_gemm = use_packed_gemm
+        if pack_cache is True:
+            pack_cache = PackCache()
+        elif pack_cache is False:
+            pack_cache = None
+        self.pack_cache: Optional[PackCache] = pack_cache
+        self.executor = as_executor(executor)
+        # Per-stage count of outstanding trailing updates, so the stage's
+        # packed L21 can be dropped as soon as its last consumer retires.
+        self._updates_left = [self.n_panels - i - 1 for i in range(self.n_panels)]
+        self._retire_lock = threading.Lock()
         self.finalized = False
 
     # -- geometry -------------------------------------------------------------
@@ -95,10 +125,34 @@ class LUWorkspace:
         # DGEMM: trailing rows -= L21 @ U block.
         if block.shape[0] > w:
             l21 = self.a[r0 + w :, self.panel_cols(i)]
-            if self.use_packed_gemm:
-                gemm(l21, u_block, block[w:, :], alpha=-1.0, beta=1.0)
+            if self.pack_cache is not None:
+                gemm(
+                    l21,
+                    u_block,
+                    block[w:, :],
+                    alpha=-1.0,
+                    beta=1.0,
+                    pack_cache=self.pack_cache,
+                    a_key=("lu.l21", i),
+                    b_key=("lu.u", i, p),
+                    executor=self.executor,
+                )
+            elif self.use_packed_gemm:
+                gemm(
+                    l21, u_block, block[w:, :], alpha=-1.0, beta=1.0,
+                    executor=self.executor,
+                )
             else:
                 block[w:, :] -= l21 @ u_block
+        if self.pack_cache is not None:
+            # The U panel is consumed by exactly this update; the L21
+            # panel dies with the stage's last trailing update.
+            self.pack_cache.invalidate(("lu.u", i, p))
+            with self._retire_lock:
+                self._updates_left[i] -= 1
+                stage_done = self._updates_left[i] == 0
+            if stage_done:
+                self.pack_cache.invalidate(("lu.l21", i))
 
     # -- finalisation -----------------------------------------------------------
     def finalize(self) -> np.ndarray:

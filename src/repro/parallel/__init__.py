@@ -1,0 +1,27 @@
+"""Parallel tile execution for the functional layer.
+
+The paper's DGEMM spreads the packed tile grid over the Knights
+Corner's 60 compute cores (Section III-A); the functional layer's
+analogue is :class:`~repro.parallel.executor.TileExecutor` — a
+persistent thread pool (NumPy releases the GIL inside BLAS calls) that
+fans independent tile/stripe/panel work items across host cores while
+guaranteeing results bitwise identical to the serial order: every unit
+of work writes a disjoint output region, so scheduling cannot change
+any floating-point reduction.
+"""
+
+from repro.parallel.executor import (
+    TileExecutor,
+    as_executor,
+    default_workers,
+    in_worker,
+    scratch_buffer,
+)
+
+__all__ = [
+    "TileExecutor",
+    "as_executor",
+    "default_workers",
+    "in_worker",
+    "scratch_buffer",
+]

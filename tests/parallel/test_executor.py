@@ -1,0 +1,155 @@
+"""TileExecutor: inline degradation, no nested pools, determinism,
+counters."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.parallel import TileExecutor, as_executor, default_workers
+from repro.parallel.executor import in_worker, scratch_buffer
+
+
+def test_map_preserves_item_order():
+    with TileExecutor(4) as ex:
+        assert ex.map(lambda x: x * x, range(32)) == [x * x for x in range(32)]
+
+
+def test_inline_when_single_worker():
+    ex = TileExecutor(1)
+    assert ex.map(lambda x: x + 1, [1, 2, 3]) == [2, 3, 4]
+    assert ex.inline_maps == 1
+    assert ex._pool is None  # no pool was ever built
+
+
+def test_inline_when_single_item():
+    with TileExecutor(4) as ex:
+        ex.map(lambda x: x, [42])
+        assert ex.inline_maps == 1
+        assert ex._pool is None
+
+
+def test_no_nested_pools():
+    """A map issued from inside a worker runs inline, on that worker."""
+    outer = TileExecutor(2)
+    inner = TileExecutor(2)
+    seen = {}
+
+    def inner_fn(i):
+        seen[i] = (threading.current_thread().name, in_worker())
+        return i
+
+    def outer_fn(i):
+        assert in_worker()
+        inner.map(inner_fn, [10 * i, 10 * i + 1])
+        return threading.current_thread().name
+
+    try:
+        outer_names = outer.map(outer_fn, [0, 1, 2, 3])
+        # Inner items ran on the outer pool's threads, flagged as workers.
+        for i, (name, flagged) in seen.items():
+            assert flagged
+            assert name in outer_names
+        assert inner.inline_maps == inner.maps == 4
+        assert inner._pool is None
+    finally:
+        outer.close()
+        inner.close()
+    assert not in_worker()  # the flag never leaks to the caller thread
+
+
+@pytest.mark.parametrize("workers", [1, 2, 8])
+def test_disjoint_writes_are_bitwise_deterministic(workers):
+    rng = np.random.default_rng(3)
+    a = rng.standard_normal((64, 64))
+    b = rng.standard_normal((64, 64))
+    ref = np.empty_like(a)
+    for r in range(0, 64, 8):
+        ref[r : r + 8] = a[r : r + 8] @ b
+
+    out = np.empty_like(a)
+
+    def stripe(r):
+        out[r : r + 8] = a[r : r + 8] @ b
+
+    with TileExecutor(workers) as ex:
+        ex.map(stripe, range(0, 64, 8))
+    assert np.array_equal(out, ref)
+
+
+def test_exceptions_propagate():
+    def boom(i):
+        if i == 3:
+            raise RuntimeError("tile 3")
+        return i
+
+    with TileExecutor(2) as ex:
+        with pytest.raises(RuntimeError, match="tile 3"):
+            ex.map(boom, range(8))
+
+
+def test_close_is_idempotent_and_pool_recreates():
+    ex = TileExecutor(2)
+    ex.map(lambda x: x, range(8))
+    assert ex._pool is not None
+    ex.close()
+    ex.close()
+    assert ex._pool is None
+    assert ex.map(lambda x: x, range(8)) == list(range(8))
+    ex.close()
+
+
+def test_counters_and_publish():
+    with TileExecutor(2) as ex:
+        ex.map(lambda x: x, range(8))
+        ex.map(lambda x: x, [1])  # inline
+        metrics = MetricsRegistry()
+        ex.publish(metrics)
+    flat = dict(metrics.flatten())
+    assert flat["parallel.tasks"] == 9
+    assert flat["parallel.maps"] == 2
+    assert flat["parallel.maps_inline"] == 1
+    assert flat["parallel.pool.workers"] == 2
+    assert 0.0 <= flat["parallel.pool.utilization"] <= 1.0
+    ex.publish(None)  # tolerated no-op
+
+
+def test_as_executor_coercions():
+    assert as_executor(None) is None
+    ex = as_executor(3)
+    assert isinstance(ex, TileExecutor) and ex.workers == 3
+    ex.close()
+    same = TileExecutor(1)
+    assert as_executor(same) is same
+    with pytest.raises(TypeError):
+        as_executor("four")
+
+
+def test_invalid_worker_counts():
+    with pytest.raises(ValueError):
+        TileExecutor(0)
+    with pytest.raises(ValueError):
+        TileExecutor(-2)
+
+
+def test_default_workers_env(monkeypatch):
+    monkeypatch.setenv("REPRO_WORKERS", "5")
+    assert default_workers() == 5
+    assert TileExecutor().workers == 5
+    monkeypatch.setenv("REPRO_WORKERS", "zero")
+    with pytest.raises(ValueError):
+        default_workers()
+    monkeypatch.setenv("REPRO_WORKERS", "0")
+    with pytest.raises(ValueError):
+        default_workers()
+    monkeypatch.delenv("REPRO_WORKERS")
+    assert default_workers() >= 1
+
+
+def test_scratch_buffer_reuse():
+    b1 = scratch_buffer((4, 8), np.float64)
+    b2 = scratch_buffer((4, 8), np.float64)
+    assert b1 is b2
+    assert scratch_buffer((4, 8), np.float32) is not b1
+    assert b1.shape == (4, 8)

@@ -1,0 +1,116 @@
+"""The benchmark regression gate: trips on a slowdown, passes clean."""
+
+import json
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+SCRIPT = REPO / "tools" / "bench_compare.py"
+
+ROWS = [
+    {"n": 84000, "tflops": 1.12, "efficiency": 0.798, "paper_tflops": 1.2,
+     "result": {"gflops": 1120.0, "time_s": 350.0}},
+    {"n": 168000, "tflops": 4.36, "efficiency": 0.776},
+]
+
+
+def run_gate(*args):
+    return subprocess.run(
+        [sys.executable, str(SCRIPT), *map(str, args)],
+        capture_output=True,
+        text=True,
+    )
+
+
+@pytest.fixture
+def dirs(tmp_path):
+    base = tmp_path / "baseline"
+    cur = tmp_path / "current"
+    base.mkdir()
+    cur.mkdir()
+    (base / "table.json").write_text(json.dumps(ROWS))
+    return base, cur
+
+
+def test_clean_run_exits_zero(dirs):
+    base, cur = dirs
+    (cur / "table.json").write_text(json.dumps(ROWS))
+    proc = run_gate(base, cur)
+    assert proc.returncode == 0, proc.stderr
+    assert "OK" in proc.stdout
+
+
+def test_injected_25pct_slowdown_exits_nonzero(dirs):
+    base, cur = dirs
+    slowed = json.loads(json.dumps(ROWS))
+    for row in slowed:
+        row["tflops"] *= 0.75
+        if "result" in row:
+            row["result"]["gflops"] *= 0.75
+    (cur / "table.json").write_text(json.dumps(slowed))
+    proc = run_gate(base, cur)
+    assert proc.returncode == 1
+    assert "REGRESSION" in proc.stderr
+    assert "tflops" in proc.stderr
+    assert "result.gflops" in proc.stderr
+
+
+def test_drop_within_threshold_passes(dirs):
+    base, cur = dirs
+    wobbled = json.loads(json.dumps(ROWS))
+    for row in wobbled:
+        row["tflops"] *= 0.85  # -15%, under the 20% gate
+    (cur / "table.json").write_text(json.dumps(wobbled))
+    assert run_gate(base, cur).returncode == 0
+
+
+def test_tighter_threshold_trips(dirs):
+    base, cur = dirs
+    wobbled = json.loads(json.dumps(ROWS))
+    for row in wobbled:
+        row["tflops"] *= 0.85
+    (cur / "table.json").write_text(json.dumps(wobbled))
+    assert run_gate(base, cur, "--threshold", "0.1").returncode == 1
+
+
+def test_improvements_and_times_are_not_regressions(dirs):
+    base, cur = dirs
+    changed = json.loads(json.dumps(ROWS))
+    changed[0]["tflops"] *= 2.0  # faster: fine
+    changed[0]["result"]["time_s"] *= 10.0  # not a gated key
+    changed[0]["paper_tflops"] = 0.01  # reference values never gated
+    (cur / "table.json").write_text(json.dumps(changed))
+    proc = run_gate(base, cur)
+    assert proc.returncode == 0, proc.stderr
+    assert "improved" in proc.stdout
+
+
+def test_missing_current_file_is_a_note_not_a_failure(dirs):
+    base, cur = dirs
+    proc = run_gate(base, cur)
+    assert proc.returncode == 0
+    assert "missing from current" in proc.stdout
+
+
+def test_single_file_arguments(dirs):
+    base, cur = dirs
+    (cur / "table.json").write_text(json.dumps(ROWS))
+    proc = run_gate(base / "table.json", cur / "table.json")
+    assert proc.returncode == 0
+
+
+def test_missing_baseline_path_errors(tmp_path):
+    proc = run_gate(tmp_path / "nope", tmp_path / "nope2")
+    assert proc.returncode not in (0, 1) or "FileNotFoundError" in proc.stderr
+
+
+def test_committed_baseline_gates_real_artifacts():
+    """The acceptance wiring: the committed baseline compares clean
+    against the repo's own current artifacts."""
+    baseline = REPO / "benchmarks" / "out" / "baseline"
+    assert baseline.is_dir() and list(baseline.glob("*.json"))
+    proc = run_gate(baseline, REPO / "benchmarks" / "out")
+    assert proc.returncode == 0, proc.stdout + proc.stderr

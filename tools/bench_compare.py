@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate.
+
+Compares the throughput-style figures in two sets of benchmark JSON
+artifacts (as written by ``benchmarks/conftest.py``'s ``emit_json``
+fixture, i.e. ``RunResult.to_dict()`` rows) and exits non-zero when any
+figure in ``current`` has dropped more than ``--threshold`` (default
+20%) below ``baseline``.
+
+Usage::
+
+    python tools/bench_compare.py BASELINE CURRENT [--threshold 0.2]
+
+``BASELINE`` and ``CURRENT`` are each a ``.json`` file or a directory;
+directories are matched by filename, and only files present in the
+*baseline* set are compared — extra artifacts in ``current`` are
+ignored, so the committed baseline directory decides what is gated.
+
+Comparable figures are numeric leaves whose key names a rate or an
+efficiency (``gflops``, ``tflops``, ``efficiency`` — including
+prefixed forms like ``snb_gflops``); wall-clock times, counters and
+paper reference values (``paper_*``) are never gated. Higher is better
+for every gated key.
+
+Standard library only, so CI can run it before (or without) installing
+the package.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import pathlib
+import sys
+from typing import Dict, Iterator, List, Tuple
+
+#: A leaf is gated when its key contains one of these (case-insensitive).
+RATE_KEY_PARTS = ("gflops", "tflops", "efficiency")
+
+#: ...unless it also matches one of these (reference data, not measurements).
+SKIP_KEY_PARTS = ("paper",)
+
+
+def is_rate_key(key: str) -> bool:
+    k = key.lower()
+    if any(part in k for part in SKIP_KEY_PARTS):
+        return False
+    return any(part in k for part in RATE_KEY_PARTS)
+
+
+def iter_rate_leaves(node, path: str = "") -> Iterator[Tuple[str, float]]:
+    """Yield (dotted.path, value) for every gated numeric leaf."""
+    if isinstance(node, dict):
+        for key in sorted(node):
+            sub = f"{path}.{key}" if path else str(key)
+            value = node[key]
+            if isinstance(value, (dict, list)):
+                yield from iter_rate_leaves(value, sub)
+            elif isinstance(value, (int, float)) and not isinstance(value, bool):
+                if is_rate_key(str(key)) and math.isfinite(value):
+                    yield sub, float(value)
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            yield from iter_rate_leaves(value, f"{path}[{i}]")
+
+
+def load_rates(path: pathlib.Path) -> Dict[str, float]:
+    return dict(iter_rate_leaves(json.loads(path.read_text())))
+
+
+def collect(root: pathlib.Path) -> Dict[str, pathlib.Path]:
+    """Map artifact name -> json path for a file or directory argument."""
+    if root.is_file():
+        return {root.name: root}
+    if root.is_dir():
+        return {p.name: p for p in sorted(root.glob("*.json"))}
+    raise FileNotFoundError(root)
+
+
+def compare(
+    baseline: pathlib.Path, current: pathlib.Path, threshold: float
+) -> Tuple[List[str], List[str]]:
+    """Return (regressions, notes) as printable report lines."""
+    base_files = collect(baseline)
+    cur_files = collect(current)
+    regressions: List[str] = []
+    notes: List[str] = []
+    if not base_files:
+        notes.append(f"note: no baseline artifacts under {baseline}")
+    for name, base_path in base_files.items():
+        cur_path = cur_files.get(name)
+        if cur_path is None:
+            notes.append(f"note: {name}: missing from current set (skipped)")
+            continue
+        base_rates = load_rates(base_path)
+        cur_rates = load_rates(cur_path)
+        if not base_rates:
+            notes.append(f"note: {name}: no gated figures in baseline")
+            continue
+        for key, base_val in base_rates.items():
+            cur_val = cur_rates.get(key)
+            if cur_val is None:
+                notes.append(f"note: {name}: {key} missing from current (skipped)")
+                continue
+            if base_val <= 0:
+                continue
+            rel = (cur_val - base_val) / base_val
+            line = (
+                f"{name}: {key}: {base_val:.6g} -> {cur_val:.6g} "
+                f"({rel:+.1%})"
+            )
+            if rel < -threshold:
+                regressions.append("REGRESSION " + line)
+            elif rel > threshold:
+                notes.append("improved   " + line)
+    return regressions, notes
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=pathlib.Path, help="baseline file or dir")
+    parser.add_argument("current", type=pathlib.Path, help="current file or dir")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.2,
+        help="max tolerated fractional drop (default 0.2 = 20%%)",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="also print every compared figure"
+    )
+    args = parser.parse_args(argv)
+
+    if args.verbose:
+        for name, path in collect(args.baseline).items():
+            for key, val in load_rates(path).items():
+                print(f"baseline {name}: {key} = {val:.6g}")
+
+    regressions, notes = compare(args.baseline, args.current, args.threshold)
+    for line in notes:
+        print(line)
+    for line in regressions:
+        print(line, file=sys.stderr)
+    n_base = sum(len(load_rates(p)) for p in collect(args.baseline).values())
+    if regressions:
+        print(
+            f"bench_compare: {len(regressions)} regression(s) beyond "
+            f"{args.threshold:.0%} across {n_base} gated figure(s)",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"bench_compare: OK — no regression beyond {args.threshold:.0%} "
+        f"across {n_base} gated figure(s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
