@@ -13,7 +13,10 @@ configurations without going through pytest:
     One hybrid HPL run; ``--numeric`` (with ``--nb``) instead runs the
     real functional hybrid factorization + solve + residual check.
 ``distributed --n 144 --nb 16 --p 2 --q 3``
-    A real distributed solve on the simulated MPI world.
+    A real distributed solve on the simulated MPI world. Takes
+    ``--bcast-algo {star,ring,binomial,ring-mod}``, ``--lookahead``
+    (overlap panel broadcast with the trailing update) and
+    ``--chunk-kb`` (segment size for non-blocking transfers).
 
 The numeric paths (``native --numeric``, ``hybrid --numeric``,
 ``distributed``) additionally take the substrate knobs:
@@ -288,14 +291,20 @@ def _cmd_distributed(args) -> int:
         args.nb,
         args.p,
         args.q,
+        bcast_algo=args.bcast_algo,
+        lookahead=args.lookahead,
+        chunk_kb=args.chunk_kb,
         workers=args.workers,
         pack_cache=not args.no_pack_cache,
     ).run()
     if not _emit_observability(r, args):
+        mode = f"lookahead/{r.bcast_algo}" if r.lookahead else f"sync/{r.bcast_algo}"
         print(
-            f"N={r.n} NB={r.nb} grid {r.p}x{r.q}: residual={r.residual:.4f} "
+            f"N={r.n} NB={r.nb} grid {r.p}x{r.q} [{mode}]: "
+            f"residual={r.residual:.4f} "
             f"-> {'PASSED' if r.passed else 'FAILED'}; "
-            f"{r.total_bytes / 1e6:.2f} MB total traffic"
+            f"{r.total_bytes / 1e6:.2f} MB total traffic; "
+            f"comm exposed {r.exposed_comm_s:.3f}s hidden {r.hidden_comm_s:.3f}s"
         )
     return 0 if r.passed else 1
 
@@ -401,6 +410,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--nb", type=int, default=16)
     p.add_argument("--p", type=int, default=2)
     p.add_argument("--q", type=int, default=2)
+    p.add_argument(
+        "--bcast-algo",
+        choices=("star", "ring", "binomial", "ring-mod"),
+        default="star",
+        help="panel-broadcast algorithm (ring-mod = pipelined segmented ring)",
+    )
+    p.add_argument(
+        "--lookahead",
+        action="store_true",
+        help="overlap panel broadcast with the trailing update (Section IV)",
+    )
+    p.add_argument(
+        "--chunk-kb",
+        type=float,
+        default=None,
+        metavar="KB",
+        help="segment size for chunked non-blocking transfers (default 256)",
+    )
     _add_substrate_flags(p)
     _add_obs_flags(p)
     p.set_defaults(fn=_cmd_distributed)

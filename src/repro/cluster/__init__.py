@@ -6,19 +6,38 @@ provides the in-process stand-in:
 
 * :mod:`repro.cluster.comm` — a thread-based message-passing world with
   mpi4py-style point-to-point and collective operations carrying real
-  NumPy payloads, plus per-rank traffic accounting;
+  NumPy payloads (blocking and non-blocking: ``isend``/``irecv`` with
+  Request handles and chunked transfers), plus per-rank traffic and
+  overlap accounting;
 * :mod:`repro.cluster.grid` — the P x Q process grid and 2-D
   block-cyclic distribution maps HPL uses;
 * :mod:`repro.cluster.panel_bcast` — panel broadcast along process rows;
 * :mod:`repro.cluster.swap` — distributed pivot row exchange;
 * :mod:`repro.cluster.hpl_mpi` — the distributed LU/HPL: numerically
   real, verified against the single-node factorization, with traffic
-  statistics that feed the network timing model.
+  statistics that feed the network timing model, and an optional
+  look-ahead schedule that overlaps panel broadcast with the trailing
+  update (bitwise-identical results).
 """
 
-from repro.cluster.comm import World, Comm, CommStats, CommError
+from repro.cluster.comm import (
+    World,
+    Comm,
+    CommStats,
+    CommError,
+    Request,
+    SendRequest,
+    RecvRequest,
+    waitall,
+)
 from repro.cluster.grid import ProcessGrid, BlockCyclic
-from repro.cluster.panel_bcast import bcast_along_row, bcast_along_col
+from repro.cluster.panel_bcast import (
+    bcast_along_row,
+    bcast_along_col,
+    ibcast_panel_start,
+    ibcast_panel_post,
+    ibcast_panel_finish,
+)
 from repro.cluster.swap import (
     exchange_pivot_rows,
     exchange_pivot_rows_long,
@@ -28,6 +47,7 @@ from repro.cluster.bcast_algos import (
     ring_bcast,
     binomial_bcast,
     segmented_ring_bcast,
+    segmented_ring_bcast_nb,
     bcast_time_model,
 )
 from repro.cluster.hpl_mpi import DistributedHPL, DistributedResult
@@ -38,16 +58,24 @@ __all__ = [
     "Comm",
     "CommStats",
     "CommError",
+    "Request",
+    "SendRequest",
+    "RecvRequest",
+    "waitall",
     "ProcessGrid",
     "BlockCyclic",
     "bcast_along_row",
     "bcast_along_col",
+    "ibcast_panel_start",
+    "ibcast_panel_post",
+    "ibcast_panel_finish",
     "exchange_pivot_rows",
     "exchange_pivot_rows_long",
     "resolve_final_sources",
     "ring_bcast",
     "binomial_bcast",
     "segmented_ring_bcast",
+    "segmented_ring_bcast_nb",
     "bcast_time_model",
     "DistributedHPL",
     "DistributedResult",

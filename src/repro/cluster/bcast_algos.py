@@ -16,6 +16,11 @@ cost models used by the broadcast ablation benchmark:
   payload is cut into segments pipelined around the ring; for large
   payloads the cost approaches one payload transfer regardless of the
   group size.
+* **ring-modified** (:func:`segmented_ring_bcast_nb`): the non-blocking
+  segmented ring the look-ahead schedule uses — each hop forwards a
+  segment with ``isend`` as soon as it arrives, so the forward of
+  segment *s* overlaps the receive of segment *s+1* and the whole
+  broadcast can drain behind the trailing update.
 """
 
 from __future__ import annotations
@@ -28,6 +33,7 @@ import numpy as np
 from repro.cluster.comm import Comm
 
 _TAG = -7
+_NB_TAG = -97
 
 
 def _group_pos(group: Sequence[int], rank: int) -> int:
@@ -117,10 +123,87 @@ def segmented_ring_bcast(
     return np.concatenate(parts).reshape(shape)
 
 
+def segmented_ring_bcast_nb(
+    comm: Comm,
+    payload: Any,
+    root: int,
+    group: Sequence[int],
+    segments: int = 4,
+    tag: int = _NB_TAG,
+) -> Any:
+    """HPL's "ring-modified" broadcast: pipelined segmented ring with
+    non-blocking forwarding.
+
+    The payload — an ndarray, or a tuple/list of ndarrays whose leading
+    dimensions match the first array's (they are split in tandem, like a
+    panel's ``(global_rows, L_block)`` pair) — is cut into ``segments``
+    pieces. Every hop forwards each segment with ``isend`` the moment it
+    arrives, so the forward of segment *s* overlaps the receive of
+    segment *s+1*; non-array components (and arrays with a different
+    leading dimension) ride with segment 0. Only the root needs to know
+    ``segments``: every message is self-describing.
+    """
+    group = list(group)
+    size = len(group)
+    pos = _group_pos(group, comm.rank)
+    rpos = _group_pos(group, root)
+    if size == 1:
+        return payload
+    rel = (pos - rpos) % size
+    nxt = group[(pos + 1) % size]
+    prv = group[(pos - 1) % size]
+
+    if rel == 0:
+        was_seq = isinstance(payload, (tuple, list))
+        items = list(payload) if was_seq else [np.asarray(payload)]
+        lead = np.asarray(items[0]).shape[0] if np.asarray(items[0]).ndim else 0
+        nseg = max(1, min(int(segments), max(1, lead)))
+        splits = np.array_split(np.arange(lead), nseg)
+        reqs = []
+        for s, idx in enumerate(splits):
+            seg = [
+                a[idx]
+                if isinstance(a, np.ndarray) and a.ndim and a.shape[0] == lead
+                else (a if s == 0 else None)
+                for a in items
+            ]
+            reqs.append(comm.isend((s, nseg, was_seq, seg), nxt, tag=tag, op="bcast"))
+        comm.waitall(reqs)
+        return payload
+
+    first = comm.recv(prv, tag=tag)
+    nseg = first[1]
+    segs: List[Any] = [None] * nseg
+    reqs = []
+    msg = first
+    received = 0
+    while True:
+        s, _n, was_seq, seg = msg
+        if rel != size - 1:
+            reqs.append(comm.isend(msg, nxt, tag=tag, op="bcast"))
+        segs[s] = seg
+        received += 1
+        if received == nseg:
+            break
+        msg = comm.recv(prv, tag=tag)
+    comm.waitall(reqs)
+    n_items = len(segs[0])
+    out = []
+    for i in range(n_items):
+        parts = [seg[i] for seg in segs]
+        if all(p is None for p in parts[1:]):
+            out.append(parts[0])
+        else:
+            out.append(np.concatenate(parts))
+    return tuple(out) if was_seq else out[0]
+
+
 #: Named registry used by the ablation benchmark and the docs.
 ALGORITHMS = {
     "ring": ring_bcast,
     "binomial": binomial_bcast,
+    "segmented-ring": segmented_ring_bcast,
+    "ring-mod": segmented_ring_bcast_nb,
 }
 
 
@@ -144,7 +227,7 @@ def bcast_time_model(
         return (group_size - 1) * t_msg
     if algorithm == "binomial":
         return math.ceil(math.log2(group_size)) * t_msg
-    if algorithm == "segmented-ring":
+    if algorithm in ("segmented-ring", "ring-mod"):
         t_seg = latency_s + nbytes / segments / (bw_gbs * 1e9)
         return (group_size - 2 + segments) * t_seg
     raise ValueError(f"unknown broadcast algorithm {algorithm!r}")

@@ -3,13 +3,31 @@
 Each rank runs in its own thread; point-to-point messages travel through
 per-(source, destination) FIFO queues with tag matching, mirroring the
 mpi4py calls the real system would use (``send``/``recv``/``sendrecv``,
-``bcast``, ``gather``, ``barrier``, ``allreduce``). NumPy payloads are
-copied on send, so ranks never alias each other's buffers — the same
-isolation a real network gives.
+``isend``/``irecv``, ``bcast``, ``gather``, ``barrier``, ``allreduce``).
+NumPy payloads are copied on send, so ranks never alias each other's
+buffers — the same isolation a real network gives.
+
+Non-blocking transfers power the multi-node look-ahead schedule:
+``isend`` hands the message to a per-rank background sender thread and
+returns a :class:`Request` immediately, so the payload copy, optional
+segmentation and enqueue all drain while the rank's NumPy compute
+proceeds (BLAS releases the GIL, so the overlap is real wall-clock).
+``irecv`` returns a :class:`Request` whose ``wait`` collects the
+message; messages that arrived while the rank was computing complete
+instantly. As in MPI, the send buffer must not be mutated until the
+request completes — every payload our callers post is a fresh copy.
+
+Chunked (segmented) transfers: ``isend(..., chunk_bytes=...)`` splits
+large ndarray components of the payload into segments that travel as
+individual messages and are reassembled transparently on the receive
+side — the transport HPL's segmented ("ring-modified") broadcast
+pipelines around process rows.
 
 Every communicator records traffic statistics (messages and bytes by
-operation); the cluster timing model turns those into FDR InfiniBand
-transfer times.
+operation — each byte counted exactly once) plus overlap accounting:
+``wait_s`` (time the rank thread was blocked receiving or waiting on
+requests), ``drain_s`` (background sender busy time) and ``hidden_s``
+(the portion of drain time that never blocked compute).
 
 Determinism and safety: queue operations use a global timeout so a
 deadlocked exchange fails the test with :class:`CommError` instead of
@@ -20,9 +38,20 @@ from __future__ import annotations
 
 import queue
 import threading
-from collections import defaultdict
+import time
+from collections import defaultdict, deque
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
@@ -32,6 +61,9 @@ if TYPE_CHECKING:  # pragma: no cover — hints only
 #: Seconds a blocking receive waits before declaring a deadlock.
 DEFAULT_TIMEOUT_S = 60.0
 
+#: Default segment size for chunked transfers (the CLI's ``--chunk-kb``).
+DEFAULT_CHUNK_BYTES = 256 * 1024
+
 
 class CommError(RuntimeError):
     """A communication failure (timeout / mismatched exchange)."""
@@ -39,16 +71,53 @@ class CommError(RuntimeError):
 
 @dataclass
 class CommStats:
-    """Traffic accounting for one rank."""
+    """Traffic and overlap accounting for one rank.
+
+    Byte counts are single-attribution: every byte a rank puts on the
+    wire lands in ``bytes_sent`` once and in exactly one ``by_op``
+    bucket (``send`` for point-to-point, the collective's name for
+    collective traffic), so ``sum(by_op.values()) == bytes_sent``.
+    """
 
     messages_sent: int = 0
     bytes_sent: int = 0
     by_op: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    #: Wall time the rank thread spent blocked in recv/wait (exposed comm).
+    wait_s: float = 0.0
+    #: Background sender busy time (copy + segment + enqueue).
+    drain_s: float = 0.0
+    #: Portion of drain time that did not block the compute thread.
+    hidden_s: float = 0.0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def record(self, op: str, nbytes: int) -> None:
-        self.messages_sent += 1
-        self.bytes_sent += nbytes
-        self.by_op[op] += nbytes
+        with self._lock:
+            self.messages_sent += 1
+            self.bytes_sent += nbytes
+            self.by_op[op] += nbytes
+
+    def add_wait(self, seconds: float) -> None:
+        with self._lock:
+            self.wait_s += seconds
+
+    def add_drain(self, seconds: float) -> None:
+        with self._lock:
+            self.drain_s += seconds
+
+    def add_hidden(self, seconds: float) -> None:
+        with self._lock:
+            self.hidden_s += seconds
+
+    def overlap_snapshot(self) -> Dict[str, float]:
+        """The three overlap figures as a plain dict (for gathers)."""
+        with self._lock:
+            return {
+                "wait_s": self.wait_s,
+                "drain_s": self.drain_s,
+                "hidden_s": self.hidden_s,
+            }
 
     def publish(self, registry: "MetricsRegistry", prefix: str = "comm") -> None:
         """Write this rank's traffic accounting into ``registry``."""
@@ -56,6 +125,9 @@ class CommStats:
         registry.counter(f"{prefix}.bytes").inc(self.bytes_sent)
         for op in sorted(self.by_op):
             registry.counter(f"{prefix}.bytes.{op}").inc(self.by_op[op])
+        registry.gauge(f"{prefix}.overlap.wait_s").set(self.wait_s)
+        registry.gauge(f"{prefix}.overlap.drain_s").set(self.drain_s)
+        registry.gauge(f"{prefix}.overlap.hidden_s").set(self.hidden_s)
 
 
 def _payload_bytes(obj: Any) -> int:
@@ -79,6 +151,228 @@ def _copy(obj: Any) -> Any:
     if isinstance(obj, dict):
         return {k: _copy(v) for k, v in obj.items()}
     return obj
+
+
+# -- chunked (segmented) transfer protocol --------------------------------------
+
+
+class _Slot:
+    """Placeholder for a chunked array inside a payload skeleton."""
+
+    __slots__ = ("idx",)
+
+    def __init__(self, idx: int):
+        self.idx = idx
+
+
+class _ChunkHeader:
+    """First message of a segmented transfer: payload skeleton + plans."""
+
+    __slots__ = ("skeleton", "plans")
+
+    def __init__(self, skeleton: Any, plans: List[Tuple[tuple, np.dtype, int]]):
+        self.skeleton = skeleton
+        self.plans = plans  # per array: (shape, dtype, n_segments)
+
+
+class _ChunkSeg:
+    """One segment of one chunked array."""
+
+    __slots__ = ("arr_idx", "seg_idx", "part")
+
+    def __init__(self, arr_idx: int, seg_idx: int, part: np.ndarray):
+        self.arr_idx = arr_idx
+        self.seg_idx = seg_idx
+        self.part = part
+
+
+def _encode_chunks(obj: Any, chunk_bytes: int):
+    """Split large ndarray components of ``obj`` into segments.
+
+    Returns ``(header, segments)`` or ``None`` when nothing in the
+    payload is big enough to be worth segmenting.
+    """
+    arrays: List[np.ndarray] = []
+
+    def walk(x: Any) -> Any:
+        if isinstance(x, np.ndarray):
+            if x.nbytes > chunk_bytes:
+                arrays.append(x)
+                return _Slot(len(arrays) - 1)
+            return x.copy()
+        if isinstance(x, tuple):
+            return tuple(walk(v) for v in x)
+        if isinstance(x, list):
+            return [walk(v) for v in x]
+        if isinstance(x, dict):
+            return {k: walk(v) for k, v in x.items()}
+        return x
+
+    skeleton = walk(obj)
+    if not arrays:
+        return None
+    plans: List[Tuple[tuple, np.dtype, int]] = []
+    segments: List[_ChunkSeg] = []
+    for ai, arr in enumerate(arrays):
+        flat = np.ascontiguousarray(arr).reshape(-1)
+        per_seg = max(1, chunk_bytes // max(1, arr.itemsize))
+        nseg = -(-flat.size // per_seg)
+        plans.append((arr.shape, arr.dtype, nseg))
+        for si in range(nseg):
+            segments.append(
+                _ChunkSeg(ai, si, flat[si * per_seg : (si + 1) * per_seg].copy())
+            )
+    return _ChunkHeader(skeleton, plans), segments
+
+
+class _PartialMessage:
+    """Receive-side reassembly state for one segmented transfer."""
+
+    def __init__(self, header: _ChunkHeader):
+        self.header = header
+        self.parts: List[List[Optional[np.ndarray]]] = [
+            [None] * nseg for (_shape, _dtype, nseg) in header.plans
+        ]
+        self.remaining = sum(nseg for (_s, _d, nseg) in header.plans)
+
+    def add(self, seg: _ChunkSeg) -> bool:
+        """Store one segment; True when the transfer is complete."""
+        if self.parts[seg.arr_idx][seg.seg_idx] is not None:
+            raise CommError("duplicate chunk segment")
+        self.parts[seg.arr_idx][seg.seg_idx] = seg.part
+        self.remaining -= 1
+        return self.remaining == 0
+
+    def assemble(self) -> Any:
+        arrays = []
+        for parts, (shape, dtype, _nseg) in zip(self.parts, self.header.plans):
+            flat = parts[0] if len(parts) == 1 else np.concatenate(parts)
+            arrays.append(flat.astype(dtype, copy=False).reshape(shape))
+
+        def unwalk(x: Any) -> Any:
+            if isinstance(x, _Slot):
+                return arrays[x.idx]
+            if isinstance(x, tuple):
+                return tuple(unwalk(v) for v in x)
+            if isinstance(x, list):
+                return [unwalk(v) for v in x]
+            if isinstance(x, dict):
+                return {k: unwalk(v) for k, v in x.items()}
+            return x
+
+        return unwalk(self.header.skeleton)
+
+
+# -- requests -------------------------------------------------------------------
+
+
+class Request:
+    """Handle for an in-flight non-blocking operation (MPI_Request)."""
+
+    def wait(self, timeout: Optional[float] = None) -> Any:  # pragma: no cover
+        raise NotImplementedError
+
+    def test(self) -> bool:  # pragma: no cover
+        raise NotImplementedError
+
+
+class SendRequest(Request):
+    """Completion handle for :meth:`Comm.isend`.
+
+    The message drains (payload copy, segmentation, enqueue) on the
+    communicator's background sender thread; ``wait`` blocks until the
+    drain finished and credits the non-blocking portion to
+    ``CommStats.hidden_s``.
+    """
+
+    def __init__(self, comm: "Comm"):
+        self._comm = comm
+        self._event = threading.Event()
+        self._error: Optional[BaseException] = None
+        self._accounted = False
+        self.drain_s = 0.0
+
+    def test(self) -> bool:
+        done = self._event.is_set()
+        if done:
+            self._settle(blocked=0.0)
+        return done
+
+    def wait(self, timeout: Optional[float] = None) -> None:
+        limit = self._comm.world.timeout_s if timeout is None else timeout
+        t0 = time.perf_counter()
+        if not self._event.wait(limit):
+            raise CommError(
+                f"rank {self._comm.rank}: isend did not complete within {limit}s"
+            )
+        if self._error is not None:
+            raise self._error
+        blocked = time.perf_counter() - t0
+        self._comm.stats.add_wait(blocked)
+        self._settle(blocked)
+
+    def _settle(self, blocked: float) -> None:
+        if not self._accounted and self._error is None:
+            self._accounted = True
+            self._comm.stats.add_hidden(max(0.0, self.drain_s - blocked))
+
+
+class RecvRequest(Request):
+    """Completion handle for :meth:`Comm.irecv`.
+
+    Matching is lazy: ``test`` polls the mailbox without blocking;
+    ``wait`` blocks until the message (all segments of a chunked
+    transfer) has arrived and returns the payload. A message that landed
+    while the rank was computing completes with no blocked time.
+    """
+
+    def __init__(self, comm: "Comm", source: int, tag: int):
+        self._comm = comm
+        self.source = source
+        self.tag = tag
+        self._value: Any = None
+        self._done = False
+
+    def test(self) -> bool:
+        if self._done:
+            return True
+        comm = self._comm
+        key = (self.source, self.tag)
+        while True:
+            q = comm._stash.get(key)
+            if q:
+                self._value = q.popleft()
+                self._done = True
+                return True
+            if not comm._pump(self.source, timeout=None):
+                return False
+
+    def wait(self, timeout: Optional[float] = None) -> Any:
+        if self._done:
+            return self._value
+        if self.test():  # already arrived: fully hidden receive
+            return self._value
+        comm = self._comm
+        key = (self.source, self.tag)
+        limit = comm.world.timeout_s if timeout is None else timeout
+        t0 = time.perf_counter()
+        while True:
+            if not comm._pump(self.source, timeout=limit):
+                raise CommError(
+                    f"rank {comm.rank} timed out waiting for tag {self.tag} "
+                    f"from {self.source}"
+                )
+            q = comm._stash.get(key)
+            if q:
+                self._value = q.popleft()
+                self._done = True
+                comm.stats.add_wait(time.perf_counter() - t0)
+                return self._value
+
+
+def waitall(requests: Sequence[Request], timeout: Optional[float] = None) -> List[Any]:
+    """Wait on every request; returns their values (None for sends)."""
+    return [r.wait(timeout) for r in requests]
 
 
 class World:
@@ -112,12 +406,16 @@ class World:
             threading.Thread(target=runner, args=(r,), daemon=True)
             for r in range(self.size)
         ]
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join(timeout=self.timeout_s * 4)
-            if t.is_alive():
-                raise CommError("rank thread did not terminate (deadlock?)")
+        try:
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=self.timeout_s * 4)
+                if t.is_alive():
+                    raise CommError("rank thread did not terminate (deadlock?)")
+        finally:
+            for comm in self.comms:
+                comm._shutdown_tx()
         for exc in errors:
             if exc is not None:
                 raise exc
@@ -131,45 +429,163 @@ class Comm:
         self.world = world
         self.rank = rank
         self.stats = CommStats()
-        self._stash: List[Tuple[int, int, Any]] = []  # out-of-order messages
+        #: Reassembled messages awaiting a matching recv, FIFO per
+        #: (source, tag) — O(1) under heavy tag traffic.
+        self._stash: Dict[Tuple[int, int], Deque[Any]] = {}
+        #: In-progress segmented transfers, per (source, tag).
+        self._partial: Dict[Tuple[int, int], _PartialMessage] = {}
+        self._tx_queue: Optional[queue.Queue] = None
+        self._tx_thread: Optional[threading.Thread] = None
+        self._tx_lock = threading.Lock()
 
     @property
     def size(self) -> int:
         return self.world.size
 
-    # -- point to point ---------------------------------------------------------
-    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
-        if not 0 <= dest < self.size:
-            raise ValueError(f"destination {dest} out of range")
+    # -- background sender ------------------------------------------------------
+    def _ensure_tx(self) -> None:
+        with self._tx_lock:
+            if self._tx_thread is None or not self._tx_thread.is_alive():
+                self._tx_queue = queue.Queue()
+                self._tx_thread = threading.Thread(
+                    target=self._tx_main, args=(self._tx_queue,), daemon=True
+                )
+                self._tx_thread.start()
+
+    def _shutdown_tx(self) -> None:
+        with self._tx_lock:
+            thread, q = self._tx_thread, self._tx_queue
+            self._tx_thread = None
+            self._tx_queue = None
+        if thread is not None and thread.is_alive():
+            q.put(None)
+            thread.join(timeout=5.0)
+
+    def _tx_main(self, q: queue.Queue) -> None:
+        while True:
+            item = q.get()
+            if item is None:
+                return
+            obj, dest, tag, chunk_bytes, op, req = item
+            t0 = time.perf_counter()
+            try:
+                self._deliver(obj, dest, tag, chunk_bytes, op)
+            except BaseException as exc:  # noqa: BLE001 — re-raised at wait()
+                req._error = exc
+            req.drain_s = time.perf_counter() - t0
+            self.stats.add_drain(req.drain_s)
+            req._event.set()
+
+    def _deliver(
+        self, obj: Any, dest: int, tag: int, chunk_bytes: Optional[int], op: str
+    ) -> None:
+        """Copy, optionally segment, account and enqueue one message."""
+        box = self.world._boxes[(self.rank, dest)]
+        if chunk_bytes:
+            encoded = _encode_chunks(obj, chunk_bytes)
+            if encoded is not None:
+                header, segments = encoded
+                self.stats.record(op, _payload_bytes(header.skeleton))
+                box.put((tag, header))
+                for seg in segments:
+                    self.stats.record(op, seg.part.nbytes)
+                    box.put((tag, seg))
+                return
         payload = _copy(obj)
-        self.stats.record("send", _payload_bytes(payload))
-        self.world._boxes[(self.rank, dest)].put((tag, payload))
+        self.stats.record(op, _payload_bytes(payload))
+        box.put((tag, payload))
+
+    # -- receive machinery ------------------------------------------------------
+    def _route(self, source: int, tag: int, payload: Any) -> None:
+        """File one incoming message: segment assembly or the stash."""
+        key = (source, tag)
+        if isinstance(payload, _ChunkHeader):
+            if key in self._partial:
+                raise CommError(f"overlapping chunked transfers on {key}")
+            self._partial[key] = _PartialMessage(payload)
+        elif isinstance(payload, _ChunkSeg):
+            partial = self._partial.get(key)
+            if partial is None:
+                raise CommError(f"chunk segment without header on {key}")
+            if partial.add(payload):
+                del self._partial[key]
+                self._stash.setdefault(key, deque()).append(partial.assemble())
+        else:
+            self._stash.setdefault(key, deque()).append(payload)
+
+    def _pump(self, source: int, timeout: Optional[float]) -> bool:
+        """Process one message from ``source``'s mailbox.
+
+        ``timeout=None`` polls without blocking. Returns False when no
+        message was available within the timeout.
+        """
+        box = self.world._boxes[(source, self.rank)]
+        try:
+            if timeout is None:
+                got_tag, payload = box.get_nowait()
+            else:
+                got_tag, payload = box.get(timeout=timeout)
+        except queue.Empty:
+            return False
+        self._route(source, got_tag, payload)
+        return True
+
+    def _check_rank(self, rank: int, role: str) -> None:
+        if not 0 <= rank < self.size:
+            raise ValueError(f"{role} {rank} out of range")
+
+    # -- point to point ---------------------------------------------------------
+    def send(self, obj: Any, dest: int, tag: int = 0, op: str = "send") -> None:
+        self._check_rank(dest, "destination")
+        self._deliver(obj, dest, tag, None, op)
+
+    def isend(
+        self,
+        obj: Any,
+        dest: int,
+        tag: int = 0,
+        chunk_bytes: Optional[int] = None,
+        op: str = "send",
+    ) -> SendRequest:
+        """Non-blocking send: returns immediately, the message drains on
+        the background sender thread. As in MPI, ``obj`` must not be
+        mutated until the request completes."""
+        self._check_rank(dest, "destination")
+        req = SendRequest(self)
+        self._ensure_tx()
+        self._tx_queue.put((obj, dest, tag, chunk_bytes, op, req))
+        return req
 
     def recv(self, source: int, tag: int = 0) -> Any:
-        if not 0 <= source < self.size:
-            raise ValueError(f"source {source} out of range")
-        # Check stashed out-of-order messages first.
-        for i, (s, t, payload) in enumerate(self._stash):
-            if s == source and t == tag:
-                del self._stash[i]
-                return payload
-        box = self.world._boxes[(source, self.rank)]
-        deadline = self.world.timeout_s
+        self._check_rank(source, "source")
+        key = (source, tag)
         while True:
-            try:
-                got_tag, payload = box.get(timeout=deadline)
-            except queue.Empty:
+            q = self._stash.get(key)
+            if q:
+                return q.popleft()
+            t0 = time.perf_counter()
+            if not self._pump(source, timeout=self.world.timeout_s):
                 raise CommError(
                     f"rank {self.rank} timed out receiving tag {tag} from {source}"
-                ) from None
-            if got_tag == tag:
-                return payload
-            self._stash.append((source, got_tag, payload))
+                )
+            self.stats.add_wait(time.perf_counter() - t0)
 
-    def sendrecv(self, obj: Any, peer: int, tag: int = 0) -> Any:
+    def irecv(self, source: int, tag: int = 0) -> RecvRequest:
+        """Non-blocking receive: matching happens at ``test``/``wait``;
+        a message that arrived during compute completes instantly."""
+        self._check_rank(source, "source")
+        return RecvRequest(self, source, tag)
+
+    def waitall(
+        self, requests: Sequence[Request], timeout: Optional[float] = None
+    ) -> List[Any]:
+        """Wait on every request; returns their values (None for sends)."""
+        return waitall(requests, timeout)
+
+    def sendrecv(self, obj: Any, peer: int, tag: int = 0, op: str = "send") -> Any:
         """Symmetric exchange with ``peer`` (deadlock-free: send first,
         then receive — sends never block in this world)."""
-        self.send(obj, peer, tag)
+        self.send(obj, peer, tag, op=op)
         return self.recv(peer, tag)
 
     # -- collectives ------------------------------------------------------------
@@ -179,7 +595,13 @@ class Comm:
         except threading.BrokenBarrierError:
             raise CommError(f"barrier broken at rank {self.rank}") from None
 
-    def bcast(self, obj: Any, root: int = 0, ranks: Optional[List[int]] = None) -> Any:
+    def bcast(
+        self,
+        obj: Any,
+        root: int = 0,
+        ranks: Optional[List[int]] = None,
+        op: str = "bcast",
+    ) -> Any:
         """Broadcast among ``ranks`` (default: the whole world)."""
         group = list(range(self.size)) if ranks is None else list(ranks)
         if root not in group:
@@ -189,12 +611,17 @@ class Comm:
         if self.rank == root:
             for r in group:
                 if r != root:
-                    self.send(obj, r, tag=-2)
-            self.stats.by_op["bcast"] += _payload_bytes(obj) * (len(group) - 1)
+                    self.send(obj, r, tag=-2, op=op)
             return _copy(obj)
         return self.recv(root, tag=-2)
 
-    def gather(self, obj: Any, root: int = 0, ranks: Optional[List[int]] = None):
+    def gather(
+        self,
+        obj: Any,
+        root: int = 0,
+        ranks: Optional[List[int]] = None,
+        op: str = "gather",
+    ):
         group = list(range(self.size)) if ranks is None else list(ranks)
         if root not in group:
             raise ValueError("root must belong to the gather group")
@@ -203,20 +630,37 @@ class Comm:
             for r in group:
                 out[r] = _copy(obj) if r == root else self.recv(r, tag=-3)
             return [out[r] for r in group]
-        self.send(obj, root, tag=-3)
+        self.send(obj, root, tag=-3, op=op)
         return None
 
     def allreduce(self, value, op: Callable = None):
-        """Reduce-to-all of picklable values (default: sum)."""
-        gathered = self.gather(value, root=0)
-        if self.rank == 0:
-            if op is None:
-                total = sum(gathered[1:], start=gathered[0])
-            else:
+        """Reduce-to-all (default: sum) with a recursive-doubling
+        exchange for power-of-two worlds — log2(P) rounds instead of the
+        O(P) gather + star broadcast, which remains the fallback for
+        non-power-of-two sizes.
+
+        The reduction ``op`` must be associative and commutative; values
+        are combined in a fixed rank-ordered binary tree, so every rank
+        computes bit-identical results.
+        """
+        size = self.size
+        if size == 1:
+            return _copy(value)
+        combine = (lambda a, b: a + b) if op is None else op
+        if size & (size - 1):  # non-power-of-two: gather + broadcast
+            gathered = self.gather(value, root=0, op="allreduce")
+            if self.rank == 0:
                 total = gathered[0]
                 for v in gathered[1:]:
-                    total = op(total, v)
-            result = self.bcast(total, root=0)
-        else:
-            result = self.bcast(None, root=0)
-        return result
+                    total = combine(total, v)
+                return self.bcast(total, root=0, op="allreduce")
+            return self.bcast(None, root=0, op="allreduce")
+        acc = _copy(value)
+        mask = 1
+        while mask < size:
+            peer = self.rank ^ mask
+            theirs = self.sendrecv(acc, peer, tag=-5, op="allreduce")
+            lo, hi = (acc, theirs) if self.rank < peer else (theirs, acc)
+            acc = combine(lo, hi)
+            mask <<= 1
+        return acc

@@ -16,8 +16,23 @@ real HPL does), then the grid factors it stage by stage:
    blocks (DTRSM) and broadcasts them down the columns;
 4. every rank GEMM-updates its local trailing block.
 
+With ``lookahead=True`` the schedule is restructured into the paper's
+Section IV pipeline: during stage *k*'s trailing update the next panel's
+owner column updates **its own next-panel columns first**, factors panel
+*k+1* and starts broadcasting it (pivots riding along) with non-blocking
+chunked ``isend`` — then finishes the rest of its trailing update while
+the broadcast drains on the background sender threads. Every other
+column posts its panel ``irecv`` before updating, so by the time stage
+*k+1* begins the panel has usually already landed and the broadcast
+never sits on the critical path. The U broadcast is overlapped the same
+way (``isend`` per column peer). The factorization is bit-for-bit
+identical to the synchronous schedule — only the order of independent
+work changes — and the overlap is real wall-clock, since BLAS releases
+the GIL under the communication threads.
+
 After the last stage the matrix is gathered at rank 0, the system is
-solved and the HPL residual checked. Per-rank traffic statistics are
+solved and the HPL residual checked. Per-rank traffic statistics and
+overlap accounting (exposed wait time vs. hidden drain time) are
 reported so the cluster timing model can be cross-checked against the
 actual communication volume.
 """
@@ -26,7 +41,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Any, List, Optional, Tuple
 
 import numpy as np
 
@@ -34,10 +49,18 @@ from repro.blas.gemm import gemm
 from repro.blas.getrf import getrf
 from repro.blas.trsm import trsm_lower_unit_left
 from repro.blas.workspace import PackCache
-from repro.cluster.comm import Comm, World
+from repro.cluster.comm import Comm, DEFAULT_CHUNK_BYTES, RecvRequest, World
 from repro.cluster.grid import BlockCyclic, ProcessGrid
-from repro.cluster.bcast_algos import binomial_bcast, ring_bcast
-from repro.cluster.panel_bcast import bcast_along_col, bcast_along_row
+from repro.cluster.bcast_algos import (
+    binomial_bcast,
+    ring_bcast,
+    segmented_ring_bcast_nb,
+)
+from repro.cluster.panel_bcast import (
+    ibcast_panel_finish,
+    ibcast_panel_post,
+    ibcast_panel_start,
+)
 from repro.cluster.swap import (
     exchange_pivot_rows,
     exchange_pivot_rows_long,
@@ -50,6 +73,11 @@ from repro.lu.timing import LUTiming
 from repro.obs import MetricsRegistry, RunResult
 from repro.parallel import TileExecutor
 
+#: Tag bases for the look-ahead panel / U broadcast streams (one tag per
+#: stage keeps concurrent stages from cross-matching).
+_PANEL_TAG = 7_000_000
+_U_TAG = 8_000_000
+
 
 @dataclass
 class DistributedResult(RunResult):
@@ -60,6 +88,11 @@ class DistributedResult(RunResult):
     follows from the HPL operation count; ``efficiency`` is kept for API
     uniformity but reported as 0.0 — there is no meaningful hardware
     peak for a thread-simulated MPI world.
+
+    ``exposed_comm_s`` is the wall time rank threads spent blocked in
+    receives/waits (communication on the critical path) summed over
+    ranks; ``hidden_comm_s`` is the background-drain time that never
+    blocked compute — the look-ahead's win.
     """
 
     n: int
@@ -76,6 +109,10 @@ class DistributedResult(RunResult):
     time_s: float = 0.0
     gflops: float = 0.0
     efficiency: float = 0.0
+    lookahead: bool = False
+    bcast_algo: str = "star"
+    exposed_comm_s: float = 0.0
+    hidden_comm_s: float = 0.0
     metrics: Optional[MetricsRegistry] = None
 
     kind = "distributed"
@@ -87,11 +124,14 @@ class DistributedHPL:
     With ``use_offload=True`` every rank's local trailing update runs
     through the offload-DGEMM engine (tiles, queues, work stealing) —
     the complete multi-node hybrid system of Section V, executed
-    numerically end to end.
+    numerically end to end. With ``lookahead=True`` the stages run the
+    paper's look-ahead pipeline over the non-blocking communicator:
+    panel broadcasts (and pivots) overlap the trailing update.
     """
 
     #: Panel-broadcast algorithm choices (HPL's BCAST menu, abridged).
-    BCAST_ALGOS = ("star", "ring", "binomial")
+    #: ``ring-mod`` is the pipelined segmented ring (HPL's long bcast).
+    BCAST_ALGOS = ("star", "ring", "binomial", "ring-mod")
     #: Row-swap variants: ordered pairwise exchange vs the long swap.
     SWAP_ALGOS = ("pairwise", "long")
 
@@ -107,6 +147,8 @@ class DistributedHPL:
         swap_algo: str = "pairwise",
         workers: Optional[int] = None,
         pack_cache: bool = False,
+        lookahead: bool = False,
+        chunk_kb: Optional[float] = None,
     ):
         if n < 1 or nb < 1:
             raise ValueError("n and nb must be positive")
@@ -114,10 +156,16 @@ class DistributedHPL:
             raise ValueError(f"bcast_algo must be one of {self.BCAST_ALGOS}")
         if swap_algo not in self.SWAP_ALGOS:
             raise ValueError(f"swap_algo must be one of {self.SWAP_ALGOS}")
+        if chunk_kb is not None and chunk_kb <= 0:
+            raise ValueError("chunk_kb must be positive")
         self.n, self.nb, self.seed = n, nb, seed
         self.use_offload = use_offload
         self.bcast_algo = bcast_algo
         self.swap_algo = swap_algo
+        self.lookahead = bool(lookahead)
+        self.chunk_bytes = (
+            DEFAULT_CHUNK_BYTES if chunk_kb is None else int(chunk_kb * 1024)
+        )
         # Pack-once + tile-executor substrate for every rank's local
         # trailing update. The executor is shared by all rank threads
         # (its map degrades to inline inside worker threads); each rank
@@ -128,7 +176,128 @@ class DistributedHPL:
         self.grid = ProcessGrid(p, q)
         self.bc = BlockCyclic(n, nb, self.grid)
 
-    # -- the SPMD body ------------------------------------------------------------
+    # -- shared stage pieces ------------------------------------------------------
+    def _factor_panel(
+        self,
+        comm: Comm,
+        a_loc: np.ndarray,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        k: int,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Gather the stage-k panel to the diagonal rank, factor it with
+        partial pivoting and scatter the factored rows back.
+
+        Must be called (SPMD) by every rank of the owner column; writes
+        the factored block into ``a_loc`` and returns
+        ``(global_rows, factored_block, ipiv)`` for this rank.
+        """
+        bc, grid = self.bc, self.grid
+        k0 = k * self.nb
+        kw = min(self.nb, self.n - k0)
+        owner_row = k % grid.p
+        owner_col = k % grid.q
+        panel_root = grid.rank_of(owner_row, owner_col)
+        panel_global_cols = np.arange(k0, k0 + kw)
+        my_panel_cols = np.flatnonzero(np.isin(cols, panel_global_cols))
+        below = rows >= k0
+
+        part = (rows[below], a_loc[np.ix_(np.flatnonzero(below), my_panel_cols)])
+        parts = comm.gather(part, root=panel_root, ranks=grid.col_ranks(owner_col))
+        factored_mine = None
+        if comm.rank == panel_root:
+            panel = np.empty((self.n - k0, kw))
+            for g_rows, block in parts:
+                panel[g_rows - k0] = block
+            ipiv = getrf(panel)
+            # Scatter factored rows back by owner.
+            for r in range(grid.p):
+                dest_rows = bc.local_rows(r)
+                mask = dest_rows >= k0
+                sel = dest_rows[mask] - k0
+                payload = (dest_rows[mask], panel[sel], ipiv)
+                if grid.rank_of(r, owner_col) == comm.rank:
+                    factored_mine = payload
+                else:
+                    comm.send(payload, grid.rank_of(r, owner_col), tag=500 + k)
+        if factored_mine is None:
+            factored_mine = comm.recv(panel_root, tag=500 + k)
+        g_rows, block, ipiv = factored_mine
+        a_loc[np.ix_(np.flatnonzero(below), my_panel_cols)] = block
+        return g_rows, block, ipiv
+
+    def _local_update(
+        self,
+        a_loc: np.ndarray,
+        sub_rows: np.ndarray,
+        sub_cols: np.ndarray,
+        l21: np.ndarray,
+        u_block: np.ndarray,
+        cache: Optional[PackCache],
+        k: int,
+        u_key: tuple,
+    ) -> None:
+        """GEMM-update ``a_loc[sub_rows, sub_cols] -= l21 @ u_block``
+        through the configured substrate (offload engine, pack-once +
+        tile executor, or plain BLAS)."""
+        sub = np.ix_(sub_rows, sub_cols)
+        if self.use_offload:
+            from repro.hybrid.offload import OffloadDGEMM
+
+            m_t, n_t = sub_rows.size, sub_cols.size
+            c = np.ascontiguousarray(a_loc[sub])
+            OffloadDGEMM(
+                m_t,
+                n_t,
+                kt=l21.shape[1],
+                tile=(max(1, m_t // 2), max(1, n_t // 2)),
+                host_assist=True,
+            ).run(-np.ascontiguousarray(l21), np.ascontiguousarray(u_block), c)
+            a_loc[sub] = c
+        elif cache is not None or self._executor is not None:
+            # Pack-once + stripe substrate: the fancy-indexed region is
+            # gathered, updated in place, scattered back.
+            c = a_loc[sub]
+            gemm(
+                np.ascontiguousarray(l21),
+                u_block,
+                c,
+                alpha=-1.0,
+                beta=1.0,
+                pack_cache=cache,
+                a_key=("dist.l21", k),
+                b_key=u_key,
+                executor=self._executor,
+            )
+            a_loc[sub] = c
+        else:
+            a_loc[sub] -= l21 @ u_block
+
+    def _split_trailing_cols(
+        self, cols: np.ndarray, trail_cols_mask: np.ndarray, k: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Split this rank's trailing columns of stage ``k`` into the
+        next panel's columns (updated first under look-ahead) and the
+        rest. ``early`` is non-empty only on the column owning panel
+        k+1; at the last stage everything is ``rest``. Both schedules
+        route through this so their GEMM call shapes match exactly.
+        """
+        k0 = k * self.nb
+        kw = min(self.nb, self.n - k0)
+        k1 = k0 + kw
+        kw1 = min(self.nb, self.n - k1)
+        trail_cols = np.flatnonzero(trail_cols_mask)
+        early = np.array([], dtype=np.intp)
+        if k + 1 < self.bc.n_blocks:
+            trail_globals = cols[trail_cols_mask]
+            early = np.flatnonzero((trail_globals >= k1) & (trail_globals < k1 + kw1))
+        if early.size:
+            rest = np.setdiff1d(np.arange(trail_cols.size), early, assume_unique=True)
+        else:
+            rest = np.arange(trail_cols.size)
+        return early, rest
+
+    # -- the synchronous SPMD body ------------------------------------------------
     def _rank_main(self, comm: Comm):
         bc, grid = self.bc, self.grid
         my_row, my_col = grid.coords(comm.rank)
@@ -151,30 +320,9 @@ class DistributedHPL:
             below = rows >= k0  # local rows in the panel's row range
 
             # 1. Gather the panel to the diagonal rank and factor it.
-            factored_mine = None
             ipiv = None
             if my_col == owner_col:
-                part = (rows[below], a_loc[np.ix_(np.flatnonzero(below), my_panel_cols)])
-                parts = comm.gather(part, root=panel_root, ranks=grid.col_ranks(owner_col))
-                if comm.rank == panel_root:
-                    panel = np.empty((self.n - k0, kw))
-                    for g_rows, block in parts:
-                        panel[g_rows - k0] = block
-                    ipiv = getrf(panel)
-                    # Scatter factored rows back by owner.
-                    for r in range(grid.p):
-                        dest_rows = bc.local_rows(r)
-                        mask = dest_rows >= k0
-                        sel = dest_rows[mask] - k0
-                        payload = (dest_rows[mask], panel[sel], ipiv)
-                        if grid.rank_of(r, owner_col) == comm.rank:
-                            factored_mine = payload
-                        else:
-                            comm.send(payload, grid.rank_of(r, owner_col), tag=500 + k)
-                if factored_mine is None:
-                    factored_mine = comm.recv(panel_root, tag=500 + k)
-                _g_rows, block, ipiv = factored_mine
-                a_loc[np.ix_(np.flatnonzero(below), my_panel_cols)] = block
+                _g_rows, _block, ipiv = self._factor_panel(comm, a_loc, rows, cols, k)
 
             # Pivots broadcast world-wide.
             ipiv = comm.bcast(ipiv, root=panel_root)
@@ -217,60 +365,204 @@ class DistributedHPL:
                 u_payload = u_block
             else:
                 u_payload = None
-            u_block = bcast_along_col(comm, grid, u_payload, owner_row)
+            u_block = comm.bcast(
+                u_payload,
+                root=grid.rank_of(owner_row, my_col),
+                ranks=grid.col_ranks(my_col),
+            )
 
-            # 4. Local trailing update (optionally via the offload engine).
-            trail_rows_mask = rows >= k0 + kw
-            if trail_rows_mask.any() and trail_cols_mask.any():
-                l21 = panel_rows[g_rows >= k0 + kw]
-                # panel_rows are ordered like this rank's local rows, so
-                # l21 aligns with the local trailing rows.
-                sub = np.ix_(
-                    np.flatnonzero(trail_rows_mask), np.flatnonzero(trail_cols_mask)
+            # 4. Local trailing update (optionally via the offload
+            # engine). The update is issued as the same early/rest
+            # column split the look-ahead schedule uses — BLAS results
+            # depend on the operand shapes, so sharing the exact call
+            # sequence is what keeps the two schedules bit-for-bit
+            # identical.
+            trail_rows = np.flatnonzero(rows >= k0 + kw)
+            trail_cols = np.flatnonzero(trail_cols_mask)
+            # panel_rows are ordered like this rank's local rows, so
+            # l21 aligns with the local trailing rows.
+            l21 = panel_rows[g_rows >= k0 + kw]
+            early_sel, rest_sel = self._split_trailing_cols(cols, trail_cols_mask, k)
+            if trail_rows.size and early_sel.size:
+                self._local_update(
+                    a_loc, trail_rows, trail_cols[early_sel], l21,
+                    u_block[:, early_sel], cache, k, ("dist.u", k, "early"),
                 )
-                if self.use_offload:
-                    from repro.hybrid.offload import OffloadDGEMM
+            if trail_rows.size and rest_sel.size:
+                self._local_update(
+                    a_loc, trail_rows, trail_cols[rest_sel], l21,
+                    u_block[:, rest_sel], cache, k, ("dist.u", k, "rest"),
+                )
+            if cache is not None:
+                cache.invalidate(("dist.l21", k))
+                cache.invalidate(("dist.u", k, "early"))
+                cache.invalidate(("dist.u", k, "rest"))
 
-                    m_t = int(trail_rows_mask.sum())
-                    n_t = int(trail_cols_mask.sum())
-                    c = np.ascontiguousarray(a_loc[sub])
-                    OffloadDGEMM(
-                        m_t,
-                        n_t,
-                        kt=kw,
-                        tile=(max(1, m_t // 2), max(1, n_t // 2)),
-                        host_assist=True,
-                    ).run(-np.ascontiguousarray(l21), np.ascontiguousarray(u_block), c)
-                    a_loc[sub] = c
-                elif cache is not None or self._executor is not None:
-                    # Pack-once + stripe substrate: the fancy-indexed
-                    # region is gathered, updated in place, scattered back.
-                    c = a_loc[sub]
-                    gemm(
-                        np.ascontiguousarray(l21),
-                        u_block,
-                        c,
-                        alpha=-1.0,
-                        beta=1.0,
-                        pack_cache=cache,
-                        a_key=("dist.l21", k),
-                        b_key=("dist.u", k),
-                        executor=self._executor,
-                    )
-                    a_loc[sub] = c
-                    if cache is not None:
-                        cache.invalidate(("dist.l21", k))
-                        cache.invalidate(("dist.u", k))
+        return self._epilogue(
+            comm, a_loc, rows, cols, stage_pivots, cache, bcast_wall_s, bcast_calls, []
+        )
+
+    # -- the look-ahead SPMD body --------------------------------------------------
+    def _rank_main_lookahead(self, comm: Comm):
+        bc, grid = self.bc, self.grid
+        my_row, my_col = grid.coords(comm.rank)
+        rows = bc.local_rows(my_row)
+        cols = bc.local_cols(my_col)
+        a_loc = hpl_submatrix(self.n, rows, cols, seed=self.seed)
+        cache = PackCache() if self.pack_cache else None
+        stage_pivots: List[np.ndarray] = []
+        nstages = bc.n_blocks
+        algo = self.bcast_algo
+        chunk = self.chunk_bytes
+        send_reqs: List[Any] = []
+        pending: Optional[RecvRequest] = None
+        panel_state = None  # (g_rows, block, ipiv) on owner-column ranks
+        track = comm.rank == 0  # rank 0 records per-stage overlap deltas
+        stage_overlap: List[Tuple[float, float]] = []
+
+        # Stage 0 has nothing to hide behind: factor the first panel and
+        # launch its broadcast up front.
+        if my_col == 0 % grid.q:
+            panel_state = self._factor_panel(comm, a_loc, rows, cols, 0)
+            send_reqs += ibcast_panel_start(
+                comm, grid, panel_state, 0 % grid.q, _PANEL_TAG, algo=algo, chunk_bytes=chunk
+            )
+        else:
+            pending = ibcast_panel_post(comm, grid, 0 % grid.q, _PANEL_TAG, algo=algo)
+
+        for k in range(nstages):
+            k0 = k * self.nb
+            kw = min(self.nb, self.n - k0)
+            owner_row = k % grid.p
+            owner_col = k % grid.q
+            snap0 = comm.stats.overlap_snapshot() if track else None
+
+            # 1. Collect the stage panel (+ pivots, riding along) that
+            # started broadcasting during the previous stage.
+            if my_col == owner_col:
+                g_rows, panel_rows, ipiv = panel_state
+            else:
+                (g_rows, panel_rows, ipiv), fwd = ibcast_panel_finish(
+                    comm, grid, pending, owner_col, _PANEL_TAG + k, algo=algo, chunk_bytes=chunk
+                )
+                send_reqs += fwd
+            stage_pivots.append(np.asarray(ipiv))
+            pairs = pivot_pairs_from_ipiv(k0, ipiv)
+
+            # 2. Distributed row exchange on everything but the panel cols.
+            panel_global_cols = np.arange(k0, k0 + kw)
+            col_mask = ~np.isin(cols, panel_global_cols)
+            exchange = (
+                exchange_pivot_rows_long
+                if self.swap_algo == "long"
+                else exchange_pivot_rows
+            )
+            exchange(comm, bc, a_loc, pairs, col_mask, tag_base=10_000 + 1000 * k)
+
+            # 3. U solve on the diagonal row; the U broadcast drains via
+            # isend behind the sender's own trailing update.
+            l11_rows = (g_rows >= k0) & (g_rows < k0 + kw)
+            trail_cols_mask = cols >= k0 + kw
+            if my_row == owner_row:
+                l11 = panel_rows[l11_rows][np.argsort(g_rows[l11_rows])]
+                u_rows_local = np.flatnonzero((rows >= k0) & (rows < k0 + kw))
+                if trail_cols_mask.any():
+                    u_block = a_loc[np.ix_(u_rows_local, np.flatnonzero(trail_cols_mask))]
+                    trsm_lower_unit_left(l11, u_block)
+                    a_loc[np.ix_(u_rows_local, np.flatnonzero(trail_cols_mask))] = u_block
                 else:
-                    a_loc[sub] -= l21 @ u_block
+                    u_block = np.empty((kw, 0))
+                for peer in grid.col_ranks(my_col):
+                    if peer != comm.rank:
+                        send_reqs.append(
+                            comm.isend(u_block, peer, tag=_U_TAG + k, chunk_bytes=chunk, op="bcast")
+                        )
+            else:
+                u_block = comm.recv(grid.rank_of(owner_row, my_col), tag=_U_TAG + k)
 
+            # 4. Trailing update with look-ahead: the next panel's
+            # columns go first, panel k+1 is factored and its broadcast
+            # starts, then the rest of the update hides the drain.
+            trail_rows = np.flatnonzero(rows >= k0 + kw)
+            trail_cols = np.flatnonzero(trail_cols_mask)
+            l21 = panel_rows[g_rows >= k0 + kw]
+            have_next = k + 1 < nstages
+            next_owner_col = (k + 1) % grid.q
+            early_sel, rest_sel = self._split_trailing_cols(cols, trail_cols_mask, k)
+            if have_next and my_col == next_owner_col:
+                if trail_rows.size and early_sel.size:
+                    self._local_update(
+                        a_loc,
+                        trail_rows,
+                        trail_cols[early_sel],
+                        l21,
+                        u_block[:, early_sel],
+                        cache,
+                        k,
+                        ("dist.u", k, "early"),
+                    )
+                panel_state = self._factor_panel(comm, a_loc, rows, cols, k + 1)
+                send_reqs += ibcast_panel_start(
+                    comm, grid, panel_state, next_owner_col, _PANEL_TAG + k + 1,
+                    algo=algo, chunk_bytes=chunk,
+                )
+            elif have_next:
+                pending = ibcast_panel_post(
+                    comm, grid, next_owner_col, _PANEL_TAG + k + 1, algo=algo
+                )
+
+            if trail_rows.size and rest_sel.size:
+                self._local_update(
+                    a_loc,
+                    trail_rows,
+                    trail_cols[rest_sel],
+                    l21,
+                    u_block[:, rest_sel],
+                    cache,
+                    k,
+                    ("dist.u", k, "rest"),
+                )
+            if cache is not None:
+                cache.invalidate(("dist.l21", k))
+                cache.invalidate(("dist.u", k, "early"))
+                cache.invalidate(("dist.u", k, "rest"))
+
+            # Settle completed sends so hidden time accrues per stage.
+            send_reqs = [r for r in send_reqs if not r.test()]
+            if track:
+                snap1 = comm.stats.overlap_snapshot()
+                stage_overlap.append(
+                    (
+                        snap1["hidden_s"] - snap0["hidden_s"],
+                        snap1["wait_s"] - snap0["wait_s"],
+                    )
+                )
+
+        comm.waitall(send_reqs)
+        return self._epilogue(comm, a_loc, rows, cols, stage_pivots, cache, 0.0, 0, stage_overlap)
+
+    # -- epilogue: gather, solve, report ------------------------------------------
+    def _epilogue(
+        self,
+        comm: Comm,
+        a_loc: np.ndarray,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        stage_pivots: List[np.ndarray],
+        cache: Optional[PackCache],
+        bcast_wall_s: float,
+        bcast_calls: int,
+        stage_overlap: List[Tuple[float, float]],
+    ):
         # Gather the factored matrix at rank 0 and solve there.
         # Snapshot traffic before the result gather adds its own bytes.
         snapshot = comm.stats.bytes_sent
-        bytes_by_rank = comm.gather(snapshot, root=0)
+        overlap = comm.stats.overlap_snapshot()
+        per_rank = comm.gather((snapshot, overlap), root=0)
         pieces = comm.gather((rows, cols, a_loc), root=0)
         if comm.rank != 0:
             return None
+        bytes_by_rank = [b for b, _o in per_rank]
         total = sum(bytes_by_rank)
         lu = np.empty((self.n, self.n))
         for g_rows, g_cols, piece in pieces:
@@ -287,9 +579,22 @@ class DistributedHPL:
             metrics.counter(f"comm.rank0.bytes.{op}").inc(comm.stats.by_op[op])
         for r, nbytes in enumerate(bytes_by_rank):
             metrics.gauge(f"comm.bytes_by_rank.{r}").set(nbytes)
-        metrics.timer(f"comm.bcast.{self.bcast_algo}").add(
-            bcast_wall_s, count=bcast_calls
-        )
+        if bcast_calls:
+            metrics.timer(f"comm.bcast.{self.bcast_algo}").add(
+                bcast_wall_s, count=bcast_calls
+            )
+        # Overlap accounting, summed across ranks: exposed wait is the
+        # communication on rank critical paths; hidden is drain time the
+        # background senders absorbed while compute proceeded.
+        wait_total = sum(o["wait_s"] for _b, o in per_rank)
+        drain_total = sum(o["drain_s"] for _b, o in per_rank)
+        hidden_total = sum(o["hidden_s"] for _b, o in per_rank)
+        metrics.gauge("comm.overlap.wait_s").set(wait_total)
+        metrics.gauge("comm.overlap.drain_s").set(drain_total)
+        metrics.gauge("comm.overlap.hidden_s").set(hidden_total)
+        for hidden_d, wait_d in stage_overlap:
+            metrics.timer("comm.overlap.stage_hidden_s").add(max(0.0, hidden_d))
+            metrics.timer("comm.overlap.stage_wait_s").add(max(0.0, wait_d))
         metrics.counter("hpl.stages").inc(self.bc.n_blocks)
         if cache is not None:
             cache.publish(metrics)
@@ -305,6 +610,10 @@ class DistributedHPL:
             ipiv=ipiv_global,
             bytes_by_rank=bytes_by_rank,
             total_bytes=total,
+            lookahead=self.lookahead,
+            bcast_algo=self.bcast_algo,
+            exposed_comm_s=wait_total,
+            hidden_comm_s=hidden_total,
             metrics=metrics,
         )
 
@@ -317,15 +626,23 @@ class DistributedHPL:
             return ring_bcast(comm, payload, root, group)
         if self.bcast_algo == "binomial":
             return binomial_bcast(comm, payload, root, group)
+        if self.bcast_algo == "ring-mod":
+            segments = 1
+            if payload is not None:
+                segments = max(1, -(-payload[1].nbytes // self.chunk_bytes))
+            return segmented_ring_bcast_nb(
+                comm, payload, root, group, segments=segments
+            )
         return comm.bcast(payload, root=root, ranks=group)
 
     def run(self) -> DistributedResult:
         world = World(self.grid.size)
         executor = TileExecutor(self.workers) if self.workers is not None else None
         self._executor = executor
+        body = self._rank_main_lookahead if self.lookahead else self._rank_main
         t0 = time.perf_counter()
         try:
-            results = world.run(self._rank_main)
+            results = world.run(body)
         finally:
             self._executor = None
         wall_s = time.perf_counter() - t0

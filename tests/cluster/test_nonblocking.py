@@ -1,0 +1,299 @@
+"""Non-blocking communication: isend/irecv/wait/test/waitall, chunked
+transfers, overlap accounting, recursive-doubling allreduce, and the
+single-attribution traffic regression."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.cluster.comm import (
+    Comm,
+    CommError,
+    DEFAULT_CHUNK_BYTES,
+    RecvRequest,
+    SendRequest,
+    World,
+    waitall,
+)
+
+
+class TestIsendIrecv:
+    def test_basic_roundtrip(self):
+        def body(comm: Comm):
+            if comm.rank == 0:
+                req = comm.isend(np.arange(10.0), 1, tag=3)
+                assert isinstance(req, SendRequest)
+                req.wait()
+                return None
+            got = comm.irecv(0, tag=3).wait()
+            return got
+
+        results = World(2).run(body)
+        np.testing.assert_array_equal(results[1], np.arange(10.0))
+
+    def test_send_buffer_isolated_after_wait(self):
+        """The receiver sees the values as posted — mutating the buffer
+        after the request completes cannot reach across ranks."""
+
+        def body(comm: Comm):
+            if comm.rank == 0:
+                buf = np.ones(8)
+                req = comm.isend(buf, 1)
+                req.wait()
+                buf[:] = -1.0  # after completion: must not alias
+                comm.barrier()
+                return None
+            got = comm.recv(0)
+            comm.barrier()
+            return got
+
+        results = World(2).run(body)
+        np.testing.assert_array_equal(results[1], np.ones(8))
+
+    def test_irecv_test_polls_without_blocking(self):
+        def body(comm: Comm):
+            if comm.rank == 0:
+                req = comm.irecv(1, tag=9)
+                assert isinstance(req, RecvRequest)
+                seen_false = not req.test()  # nothing sent yet (probably)
+                comm.barrier()  # rank 1 sends before this passes
+                deadline = time.perf_counter() + 30.0
+                while not req.test():
+                    assert time.perf_counter() < deadline
+                return seen_false, req.wait()
+            comm.isend(np.float64(7.5), 0, tag=9).wait()
+            comm.barrier()
+            return None
+
+        results = World(2).run(body)
+        _seen_false, value = results[0]
+        assert value == 7.5
+
+    def test_wait_is_idempotent_and_returns_value(self):
+        def body(comm: Comm):
+            if comm.rank == 0:
+                comm.send("payload", 1)
+                return None
+            req = comm.irecv(0)
+            return req.wait(), req.wait()  # second wait returns cached value
+
+        results = World(2).run(body)
+        assert results[1] == ("payload", "payload")
+
+    def test_waitall_mixed_requests(self):
+        def body(comm: Comm):
+            if comm.rank == 0:
+                reqs = [comm.isend(np.full(4, r), r, tag=1) for r in (1, 2)]
+                assert waitall(reqs) == [None, None]
+                return None
+            return comm.waitall([comm.irecv(0, tag=1)])[0]
+
+        results = World(3).run(body)
+        np.testing.assert_array_equal(results[1], np.full(4, 1))
+        np.testing.assert_array_equal(results[2], np.full(4, 2))
+
+    def test_irecv_timeout_raises(self):
+        def body(comm: Comm):
+            if comm.rank == 0:
+                with pytest.raises(CommError):
+                    comm.irecv(1, tag=4).wait(timeout=0.05)
+            comm.barrier()
+
+        World(2, timeout_s=10.0).run(body)
+
+    def test_out_of_order_tags_via_stash(self):
+        """Receives drain in any tag order; per-(source, tag) FIFO."""
+
+        def body(comm: Comm):
+            if comm.rank == 0:
+                for tag in range(6):
+                    comm.send(tag * 10, 1, tag=tag)
+                for tag in range(6):  # same tag twice: FIFO order
+                    comm.send(tag * 10 + 1, 1, tag=tag)
+                return None
+            got = [comm.recv(0, tag=tag) for tag in reversed(range(6))]
+            got += [comm.recv(0, tag=tag) for tag in reversed(range(6))]
+            return got
+
+        results = World(2).run(body)
+        assert results[1] == [50, 40, 30, 20, 10, 0, 51, 41, 31, 21, 11, 1]
+
+
+class TestChunkedTransfers:
+    def test_large_array_reassembles_bitwise(self):
+        rng = np.random.default_rng(0)
+        big = rng.standard_normal((64, 37))
+
+        def body(comm: Comm):
+            if comm.rank == 0:
+                comm.isend(big, 1, chunk_bytes=1024).wait()
+                return None
+            return comm.recv(0)
+
+        results = World(2).run(body)
+        assert np.array_equal(results[1], big)
+        assert results[1].shape == big.shape
+
+    def test_mixed_payload_only_big_components_segment(self):
+        rng = np.random.default_rng(1)
+        payload = (
+            np.arange(5),  # small: travels in the skeleton
+            rng.standard_normal(4096),  # big: segmented
+            {"meta": "x", "block": rng.standard_normal((32, 32))},
+        )
+
+        def body(comm: Comm):
+            if comm.rank == 0:
+                comm.isend(payload, 1, chunk_bytes=2048).wait()
+                return None
+            return comm.irecv(0).wait()
+
+        got = World(2).run(body)[1]
+        assert np.array_equal(got[0], payload[0])
+        assert np.array_equal(got[1], payload[1])
+        assert got[2]["meta"] == "x"
+        assert np.array_equal(got[2]["block"], payload[2]["block"])
+
+    def test_interleaved_chunked_streams_by_tag(self):
+        """Two segmented transfers on different tags reassemble
+        independently even when their segments interleave."""
+        a = np.arange(3000.0)
+        b = -np.arange(5000.0)
+
+        def body(comm: Comm):
+            if comm.rank == 0:
+                r1 = comm.isend(a, 1, tag=1, chunk_bytes=4096)
+                r2 = comm.isend(b, 1, tag=2, chunk_bytes=4096)
+                waitall([r1, r2])
+                return None
+            got_b = comm.recv(0, tag=2)
+            got_a = comm.recv(0, tag=1)
+            return got_a, got_b
+
+        got_a, got_b = World(2).run(body)[1]
+        assert np.array_equal(got_a, a)
+        assert np.array_equal(got_b, b)
+
+    def test_chunked_bytes_accounted_once(self):
+        big = np.zeros(100_000)  # 800 kB -> several default chunks
+
+        def body(comm: Comm):
+            if comm.rank == 0:
+                comm.isend(big, 1, chunk_bytes=DEFAULT_CHUNK_BYTES).wait()
+                return comm.stats.bytes_sent, dict(comm.stats.by_op)
+            comm.recv(0)
+            return None
+
+        bytes_sent, by_op = World(2).run(body)[0]
+        assert bytes_sent >= big.nbytes  # payload + skeleton header
+        assert sum(by_op.values()) == bytes_sent
+
+
+class TestOverlapAccounting:
+    def test_hidden_time_accrues_when_compute_overlaps(self):
+        big = np.zeros(400_000)  # 3.2 MB: a real drain
+
+        def body(comm: Comm):
+            if comm.rank == 0:
+                req = comm.isend(big, 1, chunk_bytes=64 * 1024)
+                time.sleep(0.05)  # "compute" while the send drains
+                req.wait()
+                return comm.stats.overlap_snapshot()
+            comm.recv(0)
+            return None
+
+        snap = World(2).run(body)[0]
+        assert snap["drain_s"] > 0.0
+        assert snap["hidden_s"] > 0.0
+        assert snap["hidden_s"] <= snap["drain_s"] + 1e-9
+
+    def test_blocking_recv_records_wait(self):
+        def body(comm: Comm):
+            if comm.rank == 0:
+                time.sleep(0.03)
+                comm.send(1, 1)
+                return None
+            comm.recv(0)
+            return comm.stats.overlap_snapshot()
+
+        snap = World(2).run(body)[1]
+        assert snap["wait_s"] > 0.0
+        assert snap["hidden_s"] == 0.0  # no non-blocking sends posted
+
+
+class TestRecursiveDoublingAllreduce:
+    @pytest.mark.parametrize("size", [2, 4, 8])
+    def test_power_of_two_sum(self, size):
+        results = World(size).run(lambda comm: comm.allreduce(comm.rank + 1.0))
+        assert results == [size * (size + 1) / 2] * size
+
+    @pytest.mark.parametrize("size", [3, 5, 6])
+    def test_non_power_of_two_fallback(self, size):
+        results = World(size).run(lambda comm: comm.allreduce(comm.rank + 1.0))
+        assert results == [size * (size + 1) / 2] * size
+
+    @pytest.mark.parametrize("size", [4, 6])
+    def test_custom_op_and_arrays_bit_identical(self, size):
+        def body(comm: Comm):
+            value = np.array([comm.rank, -comm.rank, comm.rank * 0.5])
+            return comm.allreduce(value, op=np.maximum)
+
+        results = World(size).run(body)
+        expected = np.array([size - 1, 0.0, (size - 1) * 0.5])
+        for r in results:
+            np.testing.assert_array_equal(r, expected)
+
+    @pytest.mark.parametrize("size", [4, 8])
+    def test_float_sum_identical_across_ranks(self, size):
+        """The fixed rank-ordered combine tree makes every rank's float
+        sum bitwise identical (not merely close)."""
+
+        def body(comm: Comm):
+            rng = np.random.default_rng(comm.rank)
+            return comm.allreduce(rng.standard_normal(64))
+
+        results = World(size).run(body)
+        for r in results[1:]:
+            assert np.array_equal(r, results[0])
+
+    def test_allreduce_traffic_attributed_to_allreduce(self):
+        def body(comm: Comm):
+            comm.allreduce(np.ones(100))
+            return dict(comm.stats.by_op), comm.stats.bytes_sent
+
+        for size in (4, 6):  # doubling path and fallback path
+            for by_op, bytes_sent in World(size).run(body):
+                assert sum(by_op.values()) == bytes_sent
+                assert set(by_op) <= {"allreduce"}
+
+
+class TestSingleAttributionRegression:
+    """Satellite fix: bcast used to record payload bytes under both
+    ``send`` (per message) and a lump-sum ``bcast`` bucket, so
+    ``sum(by_op.values()) > bytes_sent`` at the root."""
+
+    def test_bcast_root_counts_each_byte_once(self):
+        payload = np.ones(1000)  # 8 kB per destination
+
+        def body(comm: Comm):
+            comm.bcast(payload if comm.rank == 0 else None, root=0)
+            return comm.stats.bytes_sent, dict(comm.stats.by_op)
+
+        results = World(4).run(body)
+        root_bytes, root_by_op = results[0]
+        assert sum(root_by_op.values()) == root_bytes
+        assert root_by_op.get("bcast", 0) == root_bytes  # op name kept
+        assert root_bytes == 3 * payload.nbytes  # one copy per non-root
+
+    def test_all_collectives_sum_to_bytes_sent(self):
+        def body(comm: Comm):
+            comm.bcast(np.ones(64) if comm.rank == 0 else None, root=0)
+            comm.gather(np.full(8, comm.rank), root=1)
+            comm.allreduce(float(comm.rank))
+            comm.send(np.zeros(4), (comm.rank + 1) % comm.size, tag=8)
+            comm.recv((comm.rank - 1) % comm.size, tag=8)
+            return comm.stats.bytes_sent, dict(comm.stats.by_op)
+
+        for bytes_sent, by_op in World(4).run(body):
+            assert sum(by_op.values()) == bytes_sent

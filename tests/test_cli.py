@@ -38,6 +38,27 @@ class TestCLI:
         assert main(["distributed", "--n", "48", "--nb", "8"]) == 0
         assert "PASSED" in capsys.readouterr().out
 
+    def test_distributed_lookahead_flags(self, capsys):
+        assert (
+            main(
+                ["distributed", "--n", "48", "--nb", "8", "--lookahead",
+                 "--bcast-algo", "ring-mod", "--chunk-kb", "64"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "PASSED" in out and "lookahead/ring-mod" in out
+
+    def test_distributed_lookahead_json_reports_overlap(self, capsys):
+        assert (
+            main(["distributed", "--n", "48", "--nb", "8", "--lookahead", "--json"])
+            == 0
+        )
+        d = json.loads(capsys.readouterr().out)
+        assert d["lookahead"] is True
+        assert "hidden_comm_s" in d and "exposed_comm_s" in d
+        assert "comm.overlap.hidden_s" in d["metrics"]["gauges"]
+
     def test_gantt(self, capsys):
         assert main(["gantt", "--n", "3000", "--width", "60"]) == 0
         assert "legend" in capsys.readouterr().out

@@ -17,6 +17,7 @@ class TestReadmeQuickstart:
         # Shrink the heavyweight model runs: the APIs are identical.
         block = block.replace("NativeHPL(30000)", "NativeHPL(5000)")
         block = block.replace("HybridHPL(84000", "HybridHPL(24000")
+        block = block.replace("n=1024, nb=128", "n=256, nb=64")
         namespace: dict = {}
         exec(compile(block, str(README), "exec"), namespace)  # noqa: S102
         assert namespace["small"].passed
