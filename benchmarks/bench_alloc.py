@@ -1,0 +1,142 @@
+"""Steady-state allocation ablation — pooled vs allocating hot paths.
+
+The buffer-arena tentpole claims the LU hot paths stop allocating once
+the :class:`~repro.blas.buffers.BufferPool` is warm: every kernel
+scratch (pivot search, row swaps, rank-1 updates, gather buffers, trsm
+workspaces, trailing-update products) is rented from the arena instead
+of hitting the NumPy allocator per call. This benchmark measures the
+claim directly with tracemalloc: a seeded blocked LU (and the
+triangular solve) runs once with the pool disabled and once with a
+pre-warmed pool, and we record the temporary bytes each steady-state
+run allocated — total and per stage.
+
+Emits ``alloc.json``. The ``alloc_*_bytes`` keys are gated
+*lower-is-better* by ``tools/bench_compare.py`` (growth beyond the
+threshold is the regression); ``pool_reduction_efficiency`` — the
+fraction of the allocating path's temporaries the pool eliminates — is
+gated higher-is-better like every other efficiency. Both runs produce
+bitwise-identical factors, which the benchmark asserts. Set
+``BENCH_SMOKE=1`` for the reduced CI sizes; the byte counts are
+allocation accounting, not wall-clock, so the headline assertion (the
+pool eliminates at least half the temporaries) holds at any size.
+"""
+
+import os
+
+import numpy as np
+
+from repro.blas.buffers import BufferPool
+from repro.lu.factorize import blocked_lu, lu_solve
+from repro.obs import measure_temp_bytes
+from repro.report import Table
+
+from conftest import once
+
+SMOKE = bool(int(os.environ.get("BENCH_SMOKE", "0") or "0"))
+
+N = 192 if SMOKE else 384
+NB = 48
+SEED = 7
+
+
+def _steady_state_factor(pool):
+    """Temp bytes of one full blocked LU at steady state.
+
+    The matrix copy lives outside the measured span; with a pool the
+    first (unmeasured) factorization warms the arena so the measured
+    run only exercises checkout/release.
+    """
+    rng = np.random.default_rng(SEED)
+    a = rng.standard_normal((N, N))
+    work = np.empty_like(a)
+    if pool is not None:
+        np.copyto(work, a)
+        blocked_lu(work, nb=NB, buffer_pool=pool)
+    np.copyto(work, a)
+    (lu, ipiv), temp = measure_temp_bytes(
+        blocked_lu, work, nb=NB, buffer_pool=pool
+    )
+    return lu.copy(), ipiv, temp
+
+
+def _steady_state_solve(lu, ipiv, b, pool):
+    """Temp bytes of one lu_solve at steady state (pool pre-warmed)."""
+    if pool is not None:
+        lu_solve(lu, ipiv, b, pool=pool)
+    x, temp = measure_temp_bytes(lu_solve, lu, ipiv, b, pool=pool)
+    return x, temp
+
+
+def build_alloc():
+    stages = (N + NB - 1) // NB
+    rng = np.random.default_rng(SEED + 1)
+    b = rng.standard_normal(N)
+
+    lu_a, ipiv_a, factor_alloc = _steady_state_factor(None)
+    pool = BufferPool()
+    lu_p, ipiv_p, factor_pooled = _steady_state_factor(pool)
+    # The pool changes where scratch lives, never what is computed.
+    assert np.array_equal(lu_a, lu_p)
+    assert np.array_equal(ipiv_a, ipiv_p)
+
+    x_a, solve_alloc = _steady_state_solve(lu_a, ipiv_a, b, None)
+    x_p, solve_pooled = _steady_state_solve(lu_p, ipiv_p, b, pool)
+    assert np.array_equal(x_a, x_p)
+
+    reduction = 1.0 - factor_pooled / factor_alloc
+    rows = [
+        {
+            "bench": "lu.factor",
+            "mode": "alloc",
+            "n": N,
+            "nb": NB,
+            "stages": stages,
+            "alloc_temp_bytes": factor_alloc,
+            "alloc_bytes_per_stage": factor_alloc / stages,
+        },
+        {
+            "bench": "lu.factor",
+            "mode": "pooled",
+            "n": N,
+            "nb": NB,
+            "stages": stages,
+            "alloc_temp_bytes": factor_pooled,
+            "alloc_bytes_per_stage": factor_pooled / stages,
+            "pool_reduction_efficiency": reduction,
+        },
+        {
+            "bench": "lu.solve",
+            "mode": "alloc",
+            "n": N,
+            "alloc_temp_bytes": solve_alloc,
+        },
+        {
+            "bench": "lu.solve",
+            "mode": "pooled",
+            "n": N,
+            "alloc_temp_bytes": solve_pooled,
+        },
+    ]
+
+    t = Table(
+        "Steady-state temporaries: pooled vs allocating"
+        + (" (smoke sizes)" if SMOKE else ""),
+        ["bench", "mode", "temp bytes", "per stage"],
+    )
+    for row in rows:
+        t.add(
+            row["bench"],
+            row["mode"],
+            row["alloc_temp_bytes"],
+            round(row.get("alloc_bytes_per_stage", 0)),
+        )
+    return t, rows, reduction
+
+
+def test_alloc(benchmark, emit, emit_json):
+    table, rows, reduction = once(benchmark, build_alloc)
+    emit("alloc", table.render())
+    emit_json("alloc", rows)
+    # The tentpole's acceptance bar: the warm pool eliminates at least
+    # half of the allocating path's steady-state temporaries per stage.
+    assert reduction >= 0.5, rows

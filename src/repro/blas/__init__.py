@@ -20,9 +20,13 @@ implements:
 * the pack-once workspace — :class:`~repro.blas.workspace.PackCache` —
   that lets GEMM consumers pack each operand panel exactly once and
   reuse the tiles across all trailing updates
-  (:mod:`repro.blas.workspace`).
+  (:mod:`repro.blas.workspace`),
+* the buffer arena — :class:`~repro.blas.buffers.BufferPool` — that the
+  kernels rent their scratch from so steady-state stages allocate
+  nothing (:mod:`repro.blas.buffers`).
 """
 
+from repro.blas.buffers import BufferPool, BufferPoolError, as_buffer_pool
 from repro.blas.packing import PackedA, PackedB, pack_a, pack_b, TILE_A_ROWS, TILE_B_COLS
 from repro.blas.kernels import (
     basic_kernel_1,
@@ -39,6 +43,9 @@ from repro.blas.trsm import trsm_lower_unit_left, trsm_upper_left, trsm_lower_un
 from repro.blas.blocking import choose_blocking, BlockChoice
 
 __all__ = [
+    "BufferPool",
+    "BufferPoolError",
+    "as_buffer_pool",
     "PackedA",
     "PackedB",
     "pack_a",

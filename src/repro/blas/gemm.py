@@ -29,8 +29,11 @@ notes the column-major case reduces to this one by transposition).
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
+from repro.blas.buffers import BufferPool
 from repro.blas.kernels import (
     KERNEL1_ROWS,
     KERNEL2_ROWS,
@@ -67,6 +70,7 @@ def gemm(
     pack_cache=None,
     a_key=None,
     b_key=None,
+    pool: Optional[BufferPool] = None,
 ) -> np.ndarray:
     """C = alpha * A @ B + beta * C via packed outer products.
 
@@ -97,6 +101,13 @@ def gemm(
         With a :class:`~repro.blas.workspace.PackCache` and keys, the
         packed k-slices of A/B are cached under ``(key, k0)`` and reused
         by later calls on the same operand slice.
+    pool:
+        Optional :class:`~repro.blas.buffers.BufferPool` the stripe
+        path rents its fused-stripe operand and accumulator from
+        (instead of a fresh ``transpose().reshape()`` copy plus the
+        thread-local scratch buffer). The operand values and BLAS call
+        are unchanged, so pooled and unpooled results are bitwise
+        identical.
     """
     a = np.asarray(a)
     b = np.asarray(b)
@@ -152,11 +163,11 @@ def gemm(
         if kernel == "emulated" or strategy == "tiles":
             _outer_product_tiles(c, pa, pb, alpha, kernel)
         else:
-            _outer_product_stripes(c, pa, pb, alpha, executor)
+            _outer_product_stripes(c, pa, pb, alpha, executor, pool)
     return c
 
 
-def _outer_product_stripes(c, pa, pb, alpha, executor) -> None:
+def _outer_product_stripes(c, pa, pb, alpha, executor, pool=None) -> None:
     """Accumulate alpha * unpack(pa) @ unpack(pb) into c, one row stripe
     per a tile.
 
@@ -177,15 +188,30 @@ def _outer_product_stripes(c, pa, pb, alpha, executor) -> None:
         t1 = min(t0 + STRIPE_TILES, pa.n_tiles)
         rlo = t0 * pa.tile_rows
         rhi = min(t1 * pa.tile_rows, pa.m)
+        nrows = (t1 - t0) * pa.tile_rows
         # Tiles are stored (k, tile_rows); lay the fused stripe out as
-        # one (rows, k) operand for a single BLAS call.
-        stripe = pa.data[t0:t1].transpose(0, 2, 1).reshape(-1, k)
-        buf = scratch_buffer((rows_per_task, b_panel.shape[1]), dtype)
-        out = buf[: stripe.shape[0]]
-        np.matmul(stripe, b_panel, out=out)
-        if alpha != 1.0:
-            np.multiply(out, alpha, out=out)
-        c[rlo:rhi, :ncols] += out[: rhi - rlo, :ncols]
+        # one (rows, k) operand for a single BLAS call. With a pool the
+        # copy lands in a rented buffer (via the strided assignment);
+        # without one, transpose().reshape() materialises it.
+        if pool is not None:
+            stripe = pool.checkout((nrows, k), dtype, key="gemm.stripe")
+            stripe.reshape(t1 - t0, pa.tile_rows, k)[...] = pa.data[
+                t0:t1
+            ].transpose(0, 2, 1)
+            out = pool.checkout((nrows, b_panel.shape[1]), dtype, key="gemm.out")
+        else:
+            stripe = pa.data[t0:t1].transpose(0, 2, 1).reshape(-1, k)
+            buf = scratch_buffer((rows_per_task, b_panel.shape[1]), dtype)
+            out = buf[:nrows]
+        try:
+            np.matmul(stripe, b_panel, out=out)
+            if alpha != 1.0:
+                np.multiply(out, alpha, out=out)
+            c[rlo:rhi, :ncols] += out[: rhi - rlo, :ncols]
+        finally:
+            if pool is not None:
+                pool.release(stripe)
+                pool.release(out)
 
     starts = range(0, pa.n_tiles, STRIPE_TILES)
     if executor is None:

@@ -16,101 +16,223 @@ Two variants:
 
 Pivot convention is LAPACK's: ``ipiv[j] = r`` means row j was swapped
 with row r (r >= j, indices local to the factored block) *at step j*.
+
+Allocation discipline: the pivot search computes |column| into a
+reusable scratch vector (one allocation per call, not one per column),
+row swaps go through an explicit swap-row buffer instead of the
+double-copying fancy-index idiom, and — with a
+:class:`~repro.blas.buffers.BufferPool` passed as ``pool`` — all
+scratch (including the rank-1 and trailing-GEMM workspaces, which
+replace ``np.outer`` / ``@`` temporaries with ``np.multiply`` /
+``np.matmul(..., out=)``) is rented from the arena, so steady-state
+panel factorizations allocate nothing. The pooled and allocating paths
+compute the same products in the same order and are bitwise identical.
 """
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
+
+from repro.blas.buffers import BufferPool, matmul_into, subtract_into
 
 
 class SingularMatrixError(np.linalg.LinAlgError):
     """Raised when a zero pivot column makes the factorization break down."""
 
 
-def getf2(a: np.ndarray, ipiv: np.ndarray | None = None) -> np.ndarray:
+def _swap_rows(a: np.ndarray, j: int, p: int, row_buf: np.ndarray) -> None:
+    """Exchange rows j and p of ``a`` through ``row_buf`` (one row copy
+    instead of the two (2, n) gathers of ``a[[j, p]] = a[[p, j]]``)."""
+    row_buf[...] = a[j]
+    a[j] = a[p]
+    a[p] = row_buf
+
+
+def getf2(
+    a: np.ndarray,
+    ipiv: np.ndarray | None = None,
+    pool: Optional[BufferPool] = None,
+) -> np.ndarray:
     """Unblocked in-place LU with partial pivoting of an (m, n) block.
 
-    Returns ``ipiv`` (length min(m, n)).
+    Returns ``ipiv`` (length min(m, n)). With ``pool`` the scratch
+    (pivot-search vector, swap row, rank-1 workspace) is rented from
+    the arena and the rank-1 update runs through
+    ``np.multiply``/``np.subtract(..., out=)``; without it the update
+    stays the allocating ``np.outer`` reference. Both paths are bitwise
+    identical.
     """
     a = _check_panel(a)
     m, n = a.shape
     kmax = min(m, n)
     if ipiv is None:
         ipiv = np.zeros(kmax, dtype=np.int64)
-    for j in range(kmax):
-        p = j + int(np.argmax(np.abs(a[j:, j])))
-        if a[p, j] == 0.0:
-            raise SingularMatrixError(f"zero pivot column at step {j}")
-        ipiv[j] = p
-        if p != j:
-            a[[j, p], :] = a[[p, j], :]
-        a[j + 1 :, j] /= a[j, j]
-        if j + 1 < n:
-            # Rank-1 trailing update.
-            a[j + 1 :, j + 1 :] -= np.outer(a[j + 1 :, j], a[j, j + 1 :])
+    if kmax == 0:
+        return ipiv
+    rank1_elems = (m - 1) * (n - 1)
+    if pool is not None:
+        abs_col = pool.checkout((m,), a.dtype, key="getf2.abs")
+        row_buf = pool.checkout((n,), a.dtype, key="getf2.swap")
+        rank1 = pool.checkout((rank1_elems,), a.dtype, key="getf2.rank1")
+    else:
+        # Reusable per-call scratch: one allocation per panel, not one
+        # np.abs temporary per column / one (2, n) gather per swap.
+        abs_col = np.empty(m, dtype=a.dtype)
+        row_buf = np.empty(n, dtype=a.dtype)
+        rank1 = None
+    try:
+        for j in range(kmax):
+            scratch = abs_col[: m - j]
+            np.abs(a[j:, j], out=scratch)
+            p = j + int(np.argmax(scratch))
+            if a[p, j] == 0.0:
+                raise SingularMatrixError(f"zero pivot column at step {j}")
+            ipiv[j] = p
+            if p != j:
+                _swap_rows(a, j, p, row_buf)
+            a[j + 1 :, j] /= a[j, j]
+            if j + 1 < n:
+                # Rank-1 trailing update.
+                trailing = a[j + 1 :, j + 1 :]
+                if rank1 is None:
+                    trailing -= np.outer(a[j + 1 :, j], a[j, j + 1 :])
+                elif trailing.size:
+                    w = rank1[: trailing.size].reshape(trailing.shape)
+                    # Outer product via k=1 GEMM: one multiply per
+                    # element, bitwise equal to np.outer, and unlike the
+                    # broadcast ufunc it never stages through numpy's
+                    # internal iteration buffers.
+                    np.matmul(a[j + 1 :, j, None], a[None, j, j + 1 :], out=w)
+                    subtract_into(trailing, w)
+    finally:
+        if pool is not None:
+            pool.release(abs_col)
+            pool.release(row_buf)
+            pool.release(rank1)
     return ipiv
 
 
-def getrf(a: np.ndarray, min_block: int = 16) -> np.ndarray:
+def getrf(
+    a: np.ndarray, min_block: int = 16, pool: Optional[BufferPool] = None
+) -> np.ndarray:
     """Recursive blocked in-place LU with partial pivoting.
 
     Splits columns in half; the left half recursion produces pivots that
     are applied to the right half, followed by a unit-lower triangular
     solve and a GEMM update of the bottom-right block. Returns the pivot
-    vector in the same convention as :func:`getf2`.
+    vector in the same convention as :func:`getf2`. ``pool`` threads a
+    :class:`~repro.blas.buffers.BufferPool` through the recursion so the
+    swap rows, forward-solve workspaces and trailing-GEMM products are
+    rented instead of allocated.
     """
     a = _check_panel(a)
     m, n = a.shape
     kmax = min(m, n)
     ipiv = np.zeros(kmax, dtype=np.int64)
-    _getrf_rec(a, ipiv, min_block)
+    _getrf_rec(a, ipiv, min_block, pool)
     return ipiv
 
 
-def _getrf_rec(a: np.ndarray, ipiv: np.ndarray, min_block: int) -> None:
+def _apply_swaps(
+    a: np.ndarray,
+    ipiv: np.ndarray,
+    kmax: int,
+    pool: Optional[BufferPool],
+    key: str,
+) -> None:
+    """Apply ``ipiv[:kmax]``'s swaps to the rows of ``a`` through one
+    swap-row buffer."""
+    if a.shape[1] == 0:
+        return
+    if pool is not None:
+        with pool.rent((a.shape[1],), a.dtype, key=key) as row_buf:
+            for j in range(kmax):
+                p = ipiv[j]
+                if p != j:
+                    _swap_rows(a, j, p, row_buf)
+        return
+    row_buf = np.empty(a.shape[1], dtype=a.dtype)
+    for j in range(kmax):
+        p = ipiv[j]
+        if p != j:
+            _swap_rows(a, j, p, row_buf)
+
+
+def _getrf_rec(
+    a: np.ndarray,
+    ipiv: np.ndarray,
+    min_block: int,
+    pool: Optional[BufferPool] = None,
+) -> None:
     m, n = a.shape
     kmax = min(m, n)
     if kmax <= min_block:
-        getf2(a, ipiv[:kmax])
+        getf2(a, ipiv[:kmax], pool=pool)
         return
     n1 = kmax // 2
     left = a[:, :n1]
-    _getrf_rec(left, ipiv[:n1], min_block)
+    _getrf_rec(left, ipiv[:n1], min_block, pool)
     # Apply the left half's swaps to the right half.
     right = a[:, n1:]
-    for j in range(n1):
-        p = ipiv[j]
-        if p != j:
-            right[[j, p], :] = right[[p, j], :]
+    _apply_swaps(right, ipiv, n1, pool, "getrf.swap_right")
     # U12 = L11^{-1} @ A12 (unit lower triangular forward solve) ...
     l11 = left[:n1, :]
     u12 = right[:n1, :]
-    _forward_solve_unit_inplace(l11, u12)
+    _forward_solve_unit_inplace(l11, u12, pool=pool)
     # ... then the trailing GEMM: A22 -= L21 @ U12.
     if m > n1:
-        right[n1:, :] -= left[n1:, :] @ u12
+        a22 = right[n1:, :]
+        if pool is not None and a22.size:
+            with pool.rent(a22.shape, a.dtype, key="getrf.gemm") as w:
+                matmul_into(pool, left[n1:, :], u12, w, key="getrf.gemm")
+                subtract_into(a22, w)
+        else:
+            a22 -= left[n1:, :] @ u12
         sub_ipiv = np.zeros(kmax - n1, dtype=np.int64)
-        _getrf_rec(a[n1:, n1:], sub_ipiv, min_block)
+        _getrf_rec(a[n1:, n1:], sub_ipiv, min_block, pool)
         # Apply the sub-factorization's swaps to the left columns and
         # rebase its pivot indices.
-        bottom_left = a[n1:, :n1]
-        for j in range(kmax - n1):
-            p = sub_ipiv[j]
-            if p != j:
-                bottom_left[[j, p], :] = bottom_left[[p, j], :]
+        _apply_swaps(a[n1:, :n1], sub_ipiv, kmax - n1, pool, "getrf.swap_left")
         ipiv[n1:] = sub_ipiv + n1
 
 
-def _forward_solve_unit_inplace(l: np.ndarray, b: np.ndarray) -> None:
-    """b <- L^{-1} b for unit lower-triangular L, blocked loop."""
+def _forward_solve_unit_inplace(
+    l: np.ndarray, b: np.ndarray, pool: Optional[BufferPool] = None
+) -> None:
+    """b <- L^{-1} b for unit lower-triangular L, blocked loop.
+
+    With ``pool`` the per-column rank-1 products and the inter-block
+    GEMM run through rented workspaces (``out=``) instead of
+    temporaries; the products and subtraction order are unchanged, so
+    the result is bitwise identical.
+    """
     n = l.shape[0]
     step = 32
-    for j0 in range(0, n, step):
-        j1 = min(j0 + step, n)
-        for j in range(j0, j1):
-            b[j + 1 : j1, :] -= np.outer(l[j + 1 : j1, j], b[j, :])
-        if j1 < n:
-            b[j1:, :] -= l[j1:, j0:j1] @ b[j0:j1, :]
+    ncols = b.shape[1]
+    if pool is None or ncols == 0 or n == 0:
+        for j0 in range(0, n, step):
+            j1 = min(j0 + step, n)
+            for j in range(j0, j1):
+                b[j + 1 : j1, :] -= np.outer(l[j + 1 : j1, j], b[j, :])
+            if j1 < n:
+                b[j1:, :] -= l[j1:, j0:j1] @ b[j0:j1, :]
+        return
+    with pool.rent((n * ncols,), b.dtype, key="fsolve.work") as work:
+        for j0 in range(0, n, step):
+            j1 = min(j0 + step, n)
+            for j in range(j0, j1):
+                rows = b[j + 1 : j1, :]
+                if rows.size:
+                    w = work[: rows.size].reshape(rows.shape)
+                    np.matmul(l[j + 1 : j1, j, None], b[None, j, :], out=w)
+                    subtract_into(rows, w)
+            if j1 < n:
+                below = b[j1:, :]
+                w = work[: below.size].reshape(below.shape)
+                matmul_into(pool, l[j1:, j0:j1], b[j0:j1, :], w, key="fsolve.work")
+                subtract_into(below, w)
 
 
 def _check_panel(a: np.ndarray) -> np.ndarray:

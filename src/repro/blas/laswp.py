@@ -18,11 +18,21 @@ the swaps are then applied as **one gather per block** — ``a[changed] =
 a[perm[changed]]`` — instead of one two-row exchange per pivot. Both
 formulations move the same rows to the same places, so the result is
 bitwise identical to the step-by-step loop.
+
+With a :class:`~repro.blas.buffers.BufferPool` passed as ``pool`` the
+gather goes through a rented staging buffer (``np.take(..., out=)``
+followed by the scatter) instead of materialising a fresh
+``a[perm[changed]]`` array per call — the same rows land in the same
+places, bitwise identically.
 """
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
+
+from repro.blas.buffers import BufferPool
 
 
 def _check_swap_bounds(ipiv: np.ndarray, n_rows: int, offset: int) -> None:
@@ -40,6 +50,23 @@ def _check_swap_bounds(ipiv: np.ndarray, n_rows: int, offset: int) -> None:
         raise IndexError(
             f"pivot swap touching row {r} outside block of {n_rows} rows"
         )
+
+
+def _gather_rows(a: np.ndarray, idx: np.ndarray, buf: np.ndarray) -> None:
+    """Gather ``a[idx]`` into ``buf`` without a hidden temporary.
+
+    ``np.take``'s fast path writes straight into ``out`` only for a
+    C-contiguous source (and only with mode="clip"/"wrap" — "raise"
+    stages through a scratch array); for the strided column-slice views
+    the blocked LU hands us, it first materialises a contiguous copy of
+    the *whole* source, which would defeat the pool. Row-wise copyto
+    moves exactly the same values in that case.
+    """
+    if a.flags.c_contiguous:
+        np.take(a, idx, axis=0, out=buf, mode="clip")
+    else:
+        for k, r in enumerate(idx):
+            np.copyto(buf[k], a[r])
 
 
 def _forward_permutation(
@@ -60,6 +87,7 @@ def laswp(
     ipiv: np.ndarray,
     offset: int = 0,
     forward: bool = True,
+    pool: Optional[BufferPool] = None,
 ) -> np.ndarray:
     """Apply row interchanges in place and return ``a``.
 
@@ -74,6 +102,9 @@ def laswp(
         Row of ``a`` corresponding to pivot entry 0.
     forward:
         Apply swaps in factorization order (True) or reverse (False).
+    pool:
+        Optional :class:`~repro.blas.buffers.BufferPool` the gather
+        staging buffer is rented from (no fresh gather array per call).
     """
     a = np.asarray(a)
     if a.ndim != 2:
@@ -85,14 +116,25 @@ def laswp(
     perm = _forward_permutation(ipiv, a.shape[0], offset, forward)
     changed = np.flatnonzero(perm != np.arange(a.shape[0]))
     if changed.size:
-        # RHS gather is materialised before the scatter, so the in-place
+        # The gather is materialised before the scatter, so the in-place
         # row cycle is safe.
-        a[changed] = a[perm[changed]]
+        if pool is not None:
+            with pool.rent(
+                (changed.size, a.shape[1]), a.dtype, key="laswp.gather"
+            ) as buf:
+                _gather_rows(a, perm[changed], buf)
+                a[changed] = buf
+        else:
+            a[changed] = a[perm[changed]]
     return a
 
 
 def apply_pivots_to_vector(
-    x: np.ndarray, ipiv: np.ndarray, offset: int = 0, forward: bool = True
+    x: np.ndarray,
+    ipiv: np.ndarray,
+    offset: int = 0,
+    forward: bool = True,
+    pool: Optional[BufferPool] = None,
 ) -> np.ndarray:
     """The right-hand-side counterpart of :func:`laswp` (in place)."""
     x = np.asarray(x)
@@ -105,7 +147,15 @@ def apply_pivots_to_vector(
     perm = _forward_permutation(ipiv, x.shape[0], offset, forward)
     changed = np.flatnonzero(perm != np.arange(x.shape[0]))
     if changed.size:
-        x[changed] = x[perm[changed]]
+        if pool is not None:
+            with pool.rent((changed.size,), x.dtype, key="laswp.gather") as buf:
+                if x.flags.c_contiguous:
+                    np.take(x, perm[changed], out=buf, mode="clip")
+                else:
+                    buf[...] = x[perm[changed]]
+                x[changed] = buf
+        else:
+            x[changed] = x[perm[changed]]
     return x
 
 

@@ -24,7 +24,13 @@ The numeric paths (``native --numeric``, ``hybrid --numeric``,
 ``--workers N``
     tile-executor pool width (default: all cores; ``1`` = inline);
 ``--no-pack-cache``
-    disable the pack-once tile cache and re-pack every GEMM panel.
+    disable the pack-once tile cache and re-pack every GEMM panel;
+``--no-buffer-pool``
+    disable the scratch-buffer arena and fall back to the allocating
+    kernel paths (the A/B ablation — results are bitwise identical);
+``--alloc-profile``
+    wrap the factor/solve phases in tracemalloc spans and record the
+    steady-state temporary bytes in the result's ``alloc`` field.
 ``gantt --n 5000 [--scheduler dynamic]``
     ASCII Gantt chart of a native LU schedule (Figure 7).
 
@@ -64,6 +70,16 @@ def _add_substrate_flags(p: argparse.ArgumentParser) -> None:
         "--no-pack-cache",
         action="store_true",
         help="disable the pack-once tile cache (re-pack every GEMM panel)",
+    )
+    p.add_argument(
+        "--no-buffer-pool",
+        action="store_true",
+        help="disable the scratch-buffer arena (allocate per call instead)",
+    )
+    p.add_argument(
+        "--alloc-profile",
+        action="store_true",
+        help="record tracemalloc allocation spans in the result's alloc field",
     )
 
 
@@ -234,6 +250,8 @@ def _cmd_native(args) -> int:
         scheduler=args.scheduler,
         workers=args.workers,
         pack_cache=not args.no_pack_cache,
+        buffer_pool=not args.no_buffer_pool,
+        alloc_profile=args.alloc_profile,
     ).run(numeric=args.numeric)
     if not _emit_observability(r, args):
         print(
@@ -259,6 +277,8 @@ def _cmd_hybrid(args) -> int:
             cards=args.cards,
             workers=args.workers,
             pack_cache=not args.no_pack_cache,
+            buffer_pool=not args.no_buffer_pool,
+            alloc_profile=args.alloc_profile,
         )
         if not _emit_observability(r, args):
             print(
@@ -296,6 +316,8 @@ def _cmd_distributed(args) -> int:
         chunk_kb=args.chunk_kb,
         workers=args.workers,
         pack_cache=not args.no_pack_cache,
+        buffer_pool=not args.no_buffer_pool,
+        alloc_profile=args.alloc_profile,
     ).run()
     if not _emit_observability(r, args):
         mode = f"lookahead/{r.bcast_algo}" if r.lookahead else f"sync/{r.bcast_algo}"

@@ -29,6 +29,15 @@ operation — each byte counted exactly once) plus overlap accounting:
 requests), ``drain_s`` (background sender busy time) and ``hidden_s``
 (the portion of drain time that never blocked compute).
 
+Send-side staging: with a :class:`~repro.blas.buffers.BufferPool`
+attached (``World(..., buffer_pool=True)``), the segments of a chunked
+transfer are staged in buffers rented from the sender's arena instead
+of freshly allocated per isend; the receiver returns each segment to
+the owning pool after reassembly. ``CommStats`` splits the payload
+accounting into ``staged_bytes`` (pooled staging) vs ``copied_bytes``
+(fresh deep copies), so overlap accounting distinguishes reused
+staging from true allocation.
+
 Determinism and safety: queue operations use a global timeout so a
 deadlocked exchange fails the test with :class:`CommError` instead of
 hanging, and ``World.run`` re-raises the first rank exception.
@@ -54,6 +63,8 @@ from typing import (
 )
 
 import numpy as np
+
+from repro.blas.buffers import BufferPool, as_buffer_pool
 
 if TYPE_CHECKING:  # pragma: no cover — hints only
     from repro.obs.metrics import MetricsRegistry
@@ -82,6 +93,10 @@ class CommStats:
     messages_sent: int = 0
     bytes_sent: int = 0
     by_op: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    #: Payload bytes staged through pooled (reused) send buffers.
+    staged_bytes: int = 0
+    #: Payload bytes that went out as fresh deep copies.
+    copied_bytes: int = 0
     #: Wall time the rank thread spent blocked in recv/wait (exposed comm).
     wait_s: float = 0.0
     #: Background sender busy time (copy + segment + enqueue).
@@ -97,6 +112,12 @@ class CommStats:
             self.messages_sent += 1
             self.bytes_sent += nbytes
             self.by_op[op] += nbytes
+
+    def record_staging(self, staged: int = 0, copied: int = 0) -> None:
+        """Attribute payload bytes to pooled staging vs fresh copies."""
+        with self._lock:
+            self.staged_bytes += staged
+            self.copied_bytes += copied
 
     def add_wait(self, seconds: float) -> None:
         with self._lock:
@@ -125,6 +146,8 @@ class CommStats:
         registry.counter(f"{prefix}.bytes").inc(self.bytes_sent)
         for op in sorted(self.by_op):
             registry.counter(f"{prefix}.bytes.{op}").inc(self.by_op[op])
+        registry.counter(f"{prefix}.staged_bytes").inc(self.staged_bytes)
+        registry.counter(f"{prefix}.copied_bytes").inc(self.copied_bytes)
         registry.gauge(f"{prefix}.overlap.wait_s").set(self.wait_s)
         registry.gauge(f"{prefix}.overlap.drain_s").set(self.drain_s)
         registry.gauge(f"{prefix}.overlap.hidden_s").set(self.hidden_s)
@@ -176,21 +199,32 @@ class _ChunkHeader:
 
 
 class _ChunkSeg:
-    """One segment of one chunked array."""
+    """One segment of one chunked array. ``pool`` names the sender's
+    arena the part was staged in (None for a fresh copy); the receiver
+    returns pooled parts after reassembly."""
 
-    __slots__ = ("arr_idx", "seg_idx", "part")
+    __slots__ = ("arr_idx", "seg_idx", "part", "pool")
 
-    def __init__(self, arr_idx: int, seg_idx: int, part: np.ndarray):
+    def __init__(
+        self,
+        arr_idx: int,
+        seg_idx: int,
+        part: np.ndarray,
+        pool: Optional[BufferPool] = None,
+    ):
         self.arr_idx = arr_idx
         self.seg_idx = seg_idx
         self.part = part
+        self.pool = pool
 
 
-def _encode_chunks(obj: Any, chunk_bytes: int):
+def _encode_chunks(obj: Any, chunk_bytes: int, pool: Optional[BufferPool] = None):
     """Split large ndarray components of ``obj`` into segments.
 
     Returns ``(header, segments)`` or ``None`` when nothing in the
-    payload is big enough to be worth segmenting.
+    payload is big enough to be worth segmenting. With ``pool`` the
+    segment buffers are rented from the sender's arena (released by the
+    receiver after reassembly) instead of freshly copied per isend.
     """
     arrays: List[np.ndarray] = []
 
@@ -219,9 +253,13 @@ def _encode_chunks(obj: Any, chunk_bytes: int):
         nseg = -(-flat.size // per_seg)
         plans.append((arr.shape, arr.dtype, nseg))
         for si in range(nseg):
-            segments.append(
-                _ChunkSeg(ai, si, flat[si * per_seg : (si + 1) * per_seg].copy())
-            )
+            src = flat[si * per_seg : (si + 1) * per_seg]
+            if pool is not None:
+                part = pool.checkout(src.shape, src.dtype, key="comm.segment")
+                np.copyto(part, src)
+            else:
+                part = src.copy()
+            segments.append(_ChunkSeg(ai, si, part, pool))
     return _ChunkHeader(skeleton, plans), segments
 
 
@@ -234,20 +272,35 @@ class _PartialMessage:
             [None] * nseg for (_shape, _dtype, nseg) in header.plans
         ]
         self.remaining = sum(nseg for (_s, _d, nseg) in header.plans)
+        #: Pooled segments to hand back to their sender's arena once the
+        #: reassembled copy exists.
+        self._pooled: List[Tuple[BufferPool, np.ndarray]] = []
 
     def add(self, seg: _ChunkSeg) -> bool:
         """Store one segment; True when the transfer is complete."""
         if self.parts[seg.arr_idx][seg.seg_idx] is not None:
             raise CommError("duplicate chunk segment")
         self.parts[seg.arr_idx][seg.seg_idx] = seg.part
+        if seg.pool is not None:
+            self._pooled.append((seg.pool, seg.part))
         self.remaining -= 1
         return self.remaining == 0
 
     def assemble(self) -> Any:
         arrays = []
         for parts, (shape, dtype, _nseg) in zip(self.parts, self.header.plans):
-            flat = parts[0] if len(parts) == 1 else np.concatenate(parts)
+            if len(parts) == 1:
+                # A single-segment transfer may hand us pool memory
+                # directly; copy so the receiver never aliases the arena.
+                flat = parts[0] if not self._pooled else parts[0].copy()
+            else:
+                flat = np.concatenate(parts)
             arrays.append(flat.astype(dtype, copy=False).reshape(shape))
+        # The concatenated copies above are receiver-owned; the staged
+        # segments go back to the sender's arena.
+        for pool, part in self._pooled:
+            pool.release(part)
+        self._pooled.clear()
 
         def unwalk(x: Any) -> Any:
             if isinstance(x, _Slot):
@@ -376,9 +429,19 @@ def waitall(requests: Sequence[Request], timeout: Optional[float] = None) -> Lis
 
 
 class World:
-    """A fixed-size set of ranks with mailboxes and barrier state."""
+    """A fixed-size set of ranks with mailboxes and barrier state.
 
-    def __init__(self, size: int, timeout_s: float = DEFAULT_TIMEOUT_S):
+    ``buffer_pool=True`` gives every rank's communicator its own
+    :class:`~repro.blas.buffers.BufferPool` for send-side segment
+    staging (pass a shared instance to pool across ranks).
+    """
+
+    def __init__(
+        self,
+        size: int,
+        timeout_s: float = DEFAULT_TIMEOUT_S,
+        buffer_pool=None,
+    ):
         if size < 1:
             raise ValueError("world size must be positive")
         self.size = size
@@ -387,7 +450,9 @@ class World:
             (s, d): queue.Queue() for s in range(size) for d in range(size)
         }
         self._barrier = threading.Barrier(size)
-        self.comms = [Comm(self, rank) for rank in range(size)]
+        self.comms = [
+            Comm(self, rank, buffer_pool=buffer_pool) for rank in range(size)
+        ]
 
     def run(self, fn: Callable, *args, **kwargs) -> List[Any]:
         """SPMD-launch ``fn(comm, *args, **kwargs)`` on every rank and
@@ -425,10 +490,18 @@ class World:
 class Comm:
     """One rank's endpoint."""
 
-    def __init__(self, world: World, rank: int):
+    def __init__(self, world: World, rank: int, buffer_pool=None):
         self.world = world
         self.rank = rank
         self.stats = CommStats()
+        #: Send-side staging arena (None: fresh copies per message).
+        #: ``True`` builds a per-rank pool, so ranks never contend; the
+        #: distinct name keeps its published counters separate from the
+        #: compute pools'.
+        if buffer_pool is True:
+            self.pool: Optional[BufferPool] = BufferPool(name="comm.buffer_pool")
+        else:
+            self.pool = as_buffer_pool(buffer_pool)
         #: Reassembled messages awaiting a matching recv, FIFO per
         #: (source, tag) — O(1) under heavy tag traffic.
         self._stash: Dict[Tuple[int, int], Deque[Any]] = {}
@@ -479,20 +552,29 @@ class Comm:
     def _deliver(
         self, obj: Any, dest: int, tag: int, chunk_bytes: Optional[int], op: str
     ) -> None:
-        """Copy, optionally segment, account and enqueue one message."""
+        """Copy (or stage), optionally segment, account and enqueue one
+        message."""
         box = self.world._boxes[(self.rank, dest)]
         if chunk_bytes:
-            encoded = _encode_chunks(obj, chunk_bytes)
+            encoded = _encode_chunks(obj, chunk_bytes, pool=self.pool)
             if encoded is not None:
                 header, segments = encoded
-                self.stats.record(op, _payload_bytes(header.skeleton))
+                skeleton_bytes = _payload_bytes(header.skeleton)
+                self.stats.record(op, skeleton_bytes)
+                self.stats.record_staging(copied=skeleton_bytes)
                 box.put((tag, header))
                 for seg in segments:
                     self.stats.record(op, seg.part.nbytes)
+                    if seg.pool is not None:
+                        self.stats.record_staging(staged=seg.part.nbytes)
+                    else:
+                        self.stats.record_staging(copied=seg.part.nbytes)
                     box.put((tag, seg))
                 return
         payload = _copy(obj)
-        self.stats.record(op, _payload_bytes(payload))
+        nbytes = _payload_bytes(payload)
+        self.stats.record(op, nbytes)
+        self.stats.record_staging(copied=nbytes)
         box.put((tag, payload))
 
     # -- receive machinery ------------------------------------------------------

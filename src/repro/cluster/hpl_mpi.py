@@ -45,6 +45,7 @@ from typing import Any, List, Optional, Tuple
 
 import numpy as np
 
+from repro.blas.buffers import BufferPool, as_buffer_pool, matmul_into
 from repro.blas.gemm import gemm
 from repro.blas.getrf import getrf
 from repro.blas.trsm import trsm_lower_unit_left
@@ -70,7 +71,7 @@ from repro.hpl.matgen import hpl_submatrix, hpl_system
 from repro.hpl.residual import hpl_residual, residual_passes
 from repro.lu.factorize import lu_solve
 from repro.lu.timing import LUTiming
-from repro.obs import MetricsRegistry, RunResult
+from repro.obs import AllocProfiler, MetricsRegistry, RunResult
 from repro.parallel import TileExecutor
 
 #: Tag bases for the look-ahead panel / U broadcast streams (one tag per
@@ -114,6 +115,7 @@ class DistributedResult(RunResult):
     exposed_comm_s: float = 0.0
     hidden_comm_s: float = 0.0
     metrics: Optional[MetricsRegistry] = None
+    alloc: Optional[dict] = None
 
     kind = "distributed"
 
@@ -149,6 +151,8 @@ class DistributedHPL:
         pack_cache: bool = False,
         lookahead: bool = False,
         chunk_kb: Optional[float] = None,
+        buffer_pool: bool = True,
+        alloc_profile: bool = False,
     ):
         if n < 1 or nb < 1:
             raise ValueError("n and nb must be positive")
@@ -172,6 +176,11 @@ class DistributedHPL:
         # keeps its own PackCache, and rank 0's counters are published.
         self.workers = workers
         self.pack_cache = pack_cache
+        # Buffer arena: every rank rents its kernel scratch and comm
+        # staging from its own pool (bitwise identical to the allocating
+        # paths); alloc_profile wraps the run in a tracemalloc span.
+        self.buffer_pool = bool(buffer_pool)
+        self.alloc_profile = bool(alloc_profile)
         self._executor = None
         self.grid = ProcessGrid(p, q)
         self.bc = BlockCyclic(n, nb, self.grid)
@@ -184,6 +193,7 @@ class DistributedHPL:
         rows: np.ndarray,
         cols: np.ndarray,
         k: int,
+        pool: Optional[BufferPool] = None,
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Gather the stage-k panel to the diagonal rank, factor it with
         partial pivoting and scatter the factored rows back.
@@ -209,7 +219,7 @@ class DistributedHPL:
             panel = np.empty((self.n - k0, kw))
             for g_rows, block in parts:
                 panel[g_rows - k0] = block
-            ipiv = getrf(panel)
+            ipiv = getrf(panel, pool=pool)
             # Scatter factored rows back by owner.
             for r in range(grid.p):
                 dest_rows = bc.local_rows(r)
@@ -236,23 +246,36 @@ class DistributedHPL:
         cache: Optional[PackCache],
         k: int,
         u_key: tuple,
+        pool: Optional[BufferPool] = None,
     ) -> None:
         """GEMM-update ``a_loc[sub_rows, sub_cols] -= l21 @ u_block``
         through the configured substrate (offload engine, pack-once +
-        tile executor, or plain BLAS)."""
+        tile executor, or plain BLAS). ``pool`` rents the staging and
+        product workspaces from the rank's arena; the call shapes and
+        values are unchanged, so pooled runs stay bitwise identical."""
         sub = np.ix_(sub_rows, sub_cols)
         if self.use_offload:
             from repro.hybrid.offload import OffloadDGEMM
 
             m_t, n_t = sub_rows.size, sub_cols.size
             c = np.ascontiguousarray(a_loc[sub])
-            OffloadDGEMM(
-                m_t,
-                n_t,
-                kt=l21.shape[1],
-                tile=(max(1, m_t // 2), max(1, n_t // 2)),
-                host_assist=True,
-            ).run(-np.ascontiguousarray(l21), np.ascontiguousarray(u_block), c)
+            if pool is not None:
+                neg_l21 = pool.checkout(l21.shape, l21.dtype, key="dist.l21neg")
+                np.negative(l21, out=neg_l21)
+            else:
+                neg_l21 = -np.ascontiguousarray(l21)
+            try:
+                OffloadDGEMM(
+                    m_t,
+                    n_t,
+                    kt=l21.shape[1],
+                    tile=(max(1, m_t // 2), max(1, n_t // 2)),
+                    host_assist=True,
+                    buffer_pool=pool,
+                ).run(neg_l21, np.ascontiguousarray(u_block), c)
+            finally:
+                if pool is not None:
+                    pool.release(neg_l21)
             a_loc[sub] = c
         elif cache is not None or self._executor is not None:
             # Pack-once + stripe substrate: the fancy-indexed region is
@@ -268,7 +291,16 @@ class DistributedHPL:
                 a_key=("dist.l21", k),
                 b_key=u_key,
                 executor=self._executor,
+                pool=pool,
             )
+            a_loc[sub] = c
+        elif pool is not None:
+            # Same gather / update-in-place / scatter the fancy-indexed
+            # in-place subtraction performs, with the product rented.
+            c = a_loc[sub]
+            with pool.rent(c.shape, c.dtype, key="dist.trailing") as w:
+                matmul_into(pool, l21, u_block, w, key="dist.trailing")
+                np.subtract(c, w, out=c)
             a_loc[sub] = c
         else:
             a_loc[sub] -= l21 @ u_block
@@ -306,6 +338,7 @@ class DistributedHPL:
         # Local piece of the global matrix, generated independently.
         a_loc = hpl_submatrix(self.n, rows, cols, seed=self.seed)
         cache = PackCache() if self.pack_cache else None
+        pool = as_buffer_pool(self.buffer_pool)  # per-rank arena
         stage_pivots: List[np.ndarray] = []
         bcast_wall_s, bcast_calls = 0.0, 0  # per-algorithm broadcast time
 
@@ -322,7 +355,9 @@ class DistributedHPL:
             # 1. Gather the panel to the diagonal rank and factor it.
             ipiv = None
             if my_col == owner_col:
-                _g_rows, _block, ipiv = self._factor_panel(comm, a_loc, rows, cols, k)
+                _g_rows, _block, ipiv = self._factor_panel(
+                    comm, a_loc, rows, cols, k, pool=pool
+                )
 
             # Pivots broadcast world-wide.
             ipiv = comm.bcast(ipiv, root=panel_root)
@@ -358,7 +393,7 @@ class DistributedHPL:
                 u_rows_local = np.flatnonzero((rows >= k0) & (rows < k0 + kw))
                 if trail_cols_mask.any():
                     u_block = a_loc[np.ix_(u_rows_local, np.flatnonzero(trail_cols_mask))]
-                    trsm_lower_unit_left(l11, u_block)
+                    trsm_lower_unit_left(l11, u_block, pool=pool)
                     a_loc[np.ix_(u_rows_local, np.flatnonzero(trail_cols_mask))] = u_block
                 else:
                     u_block = np.empty((kw, 0))
@@ -387,11 +422,13 @@ class DistributedHPL:
                 self._local_update(
                     a_loc, trail_rows, trail_cols[early_sel], l21,
                     u_block[:, early_sel], cache, k, ("dist.u", k, "early"),
+                    pool=pool,
                 )
             if trail_rows.size and rest_sel.size:
                 self._local_update(
                     a_loc, trail_rows, trail_cols[rest_sel], l21,
                     u_block[:, rest_sel], cache, k, ("dist.u", k, "rest"),
+                    pool=pool,
                 )
             if cache is not None:
                 cache.invalidate(("dist.l21", k))
@@ -399,7 +436,8 @@ class DistributedHPL:
                 cache.invalidate(("dist.u", k, "rest"))
 
         return self._epilogue(
-            comm, a_loc, rows, cols, stage_pivots, cache, bcast_wall_s, bcast_calls, []
+            comm, a_loc, rows, cols, stage_pivots, cache, bcast_wall_s,
+            bcast_calls, [], pool=pool,
         )
 
     # -- the look-ahead SPMD body --------------------------------------------------
@@ -410,6 +448,7 @@ class DistributedHPL:
         cols = bc.local_cols(my_col)
         a_loc = hpl_submatrix(self.n, rows, cols, seed=self.seed)
         cache = PackCache() if self.pack_cache else None
+        pool = as_buffer_pool(self.buffer_pool)  # per-rank arena
         stage_pivots: List[np.ndarray] = []
         nstages = bc.n_blocks
         algo = self.bcast_algo
@@ -423,7 +462,7 @@ class DistributedHPL:
         # Stage 0 has nothing to hide behind: factor the first panel and
         # launch its broadcast up front.
         if my_col == 0 % grid.q:
-            panel_state = self._factor_panel(comm, a_loc, rows, cols, 0)
+            panel_state = self._factor_panel(comm, a_loc, rows, cols, 0, pool=pool)
             send_reqs += ibcast_panel_start(
                 comm, grid, panel_state, 0 % grid.q, _PANEL_TAG, algo=algo, chunk_bytes=chunk
             )
@@ -468,7 +507,7 @@ class DistributedHPL:
                 u_rows_local = np.flatnonzero((rows >= k0) & (rows < k0 + kw))
                 if trail_cols_mask.any():
                     u_block = a_loc[np.ix_(u_rows_local, np.flatnonzero(trail_cols_mask))]
-                    trsm_lower_unit_left(l11, u_block)
+                    trsm_lower_unit_left(l11, u_block, pool=pool)
                     a_loc[np.ix_(u_rows_local, np.flatnonzero(trail_cols_mask))] = u_block
                 else:
                     u_block = np.empty((kw, 0))
@@ -500,8 +539,11 @@ class DistributedHPL:
                         cache,
                         k,
                         ("dist.u", k, "early"),
+                        pool=pool,
                     )
-                panel_state = self._factor_panel(comm, a_loc, rows, cols, k + 1)
+                panel_state = self._factor_panel(
+                    comm, a_loc, rows, cols, k + 1, pool=pool
+                )
                 send_reqs += ibcast_panel_start(
                     comm, grid, panel_state, next_owner_col, _PANEL_TAG + k + 1,
                     algo=algo, chunk_bytes=chunk,
@@ -521,6 +563,7 @@ class DistributedHPL:
                     cache,
                     k,
                     ("dist.u", k, "rest"),
+                    pool=pool,
                 )
             if cache is not None:
                 cache.invalidate(("dist.l21", k))
@@ -539,7 +582,10 @@ class DistributedHPL:
                 )
 
         comm.waitall(send_reqs)
-        return self._epilogue(comm, a_loc, rows, cols, stage_pivots, cache, 0.0, 0, stage_overlap)
+        return self._epilogue(
+            comm, a_loc, rows, cols, stage_pivots, cache, 0.0, 0, stage_overlap,
+            pool=pool,
+        )
 
     # -- epilogue: gather, solve, report ------------------------------------------
     def _epilogue(
@@ -553,6 +599,7 @@ class DistributedHPL:
         bcast_wall_s: float,
         bcast_calls: int,
         stage_overlap: List[Tuple[float, float]],
+        pool: Optional[BufferPool] = None,
     ):
         # Gather the factored matrix at rank 0 and solve there.
         # Snapshot traffic before the result gather adds its own bytes.
@@ -571,12 +618,19 @@ class DistributedHPL:
             [piv + i * self.nb for i, piv in enumerate(stage_pivots)]
         )
         a0, b = hpl_system(self.n, self.seed)
-        x = lu_solve(lu, ipiv_global, b)
+        x = lu_solve(lu, ipiv_global, b, pool=pool)
         metrics = MetricsRegistry()
         metrics.counter("comm.messages").inc(comm.stats.messages_sent)
         metrics.counter("comm.total_bytes").inc(total)
         for op in sorted(comm.stats.by_op):
             metrics.counter(f"comm.rank0.bytes.{op}").inc(comm.stats.by_op[op])
+        # Send-side staging split: pooled (reused) vs freshly copied.
+        metrics.counter("comm.rank0.staged_bytes").inc(comm.stats.staged_bytes)
+        metrics.counter("comm.rank0.copied_bytes").inc(comm.stats.copied_bytes)
+        if comm.pool is not None:
+            comm.pool.publish(metrics)
+        if pool is not None:
+            pool.publish(metrics)
         for r, nbytes in enumerate(bytes_by_rank):
             metrics.gauge(f"comm.bytes_by_rank.{r}").set(nbytes)
         if bcast_calls:
@@ -636,21 +690,26 @@ class DistributedHPL:
         return comm.bcast(payload, root=root, ranks=group)
 
     def run(self) -> DistributedResult:
-        world = World(self.grid.size)
+        world = World(self.grid.size, buffer_pool=self.buffer_pool)
         executor = TileExecutor(self.workers) if self.workers is not None else None
         self._executor = executor
         body = self._rank_main_lookahead if self.lookahead else self._rank_main
+        profiler = AllocProfiler(enabled=self.alloc_profile)
         t0 = time.perf_counter()
         try:
-            results = world.run(body)
+            with profiler.span("dist.run"):
+                results = world.run(body)
         finally:
             self._executor = None
+            profiler.close()
         wall_s = time.perf_counter() - t0
         out: DistributedResult = results[0]
         out.time_s = wall_s
         out.gflops = LUTiming.hpl_flops(self.n) / wall_s / 1e9
+        out.alloc = profiler.to_dict()
         if out.metrics is not None:
             out.metrics.gauge("hpl.wall_time_s").set(wall_s)
+            profiler.publish(out.metrics)
             if executor is not None:
                 executor.publish(out.metrics)
         if executor is not None:

@@ -18,6 +18,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.blas.buffers import as_buffer_pool
 from repro.hpl.matgen import hpl_system
 from repro.hpl.residual import hpl_residual, residual_passes
 from repro.lu.dynamic import DynamicScheduler, ScheduleResult
@@ -27,7 +28,7 @@ from repro.lu.tasks import LUWorkspace
 from repro.lu.timing import LUTiming
 from repro.machine.calibration import default_calibration
 from repro.machine.config import SNB
-from repro.obs import MetricsRegistry, RunResult
+from repro.obs import AllocProfiler, MetricsRegistry, RunResult
 from repro.parallel import TileExecutor
 from repro.sim import TraceRecorder
 
@@ -74,6 +75,7 @@ class HPLResult(RunResult):
     residual: Optional[float] = None
     passed: Optional[bool] = None
     metrics: Optional[MetricsRegistry] = None
+    alloc: Optional[dict] = None
 
     kind = "native"
 
@@ -91,6 +93,8 @@ class NativeHPL:
         timing: Optional[LUTiming] = None,
         workers: Optional[int] = None,
         pack_cache: bool = True,
+        buffer_pool: bool = True,
+        alloc_profile: bool = False,
     ):
         if scheduler not in self.SCHEDULERS:
             raise ValueError(
@@ -101,6 +105,8 @@ class NativeHPL:
         self.scheduler_name = scheduler
         self.workers = workers
         self.pack_cache = pack_cache
+        self.buffer_pool = buffer_pool
+        self.alloc_profile = alloc_profile
         self.timing = timing or LUTiming()
         cal = self.timing.cal or default_calibration()
         mem_needed = 8 * n * n
@@ -128,22 +134,32 @@ class NativeHPL:
         Numeric runs execute every trailing update on the pack-once +
         tile-executor substrate (``workers`` wide, all cores by default;
         ``pack_cache=False`` reverts to plain NumPy updates); the cache
-        and pool counters land in the result's metrics registry.
+        and pool counters land in the result's metrics registry. With
+        ``buffer_pool`` (default on) the kernels rent their scratch from
+        a :class:`~repro.blas.buffers.BufferPool` — bitwise identical to
+        ``buffer_pool=False``, the allocating A/B ablation — and
+        ``alloc_profile`` wraps the factor/solve phases in tracemalloc
+        spans recorded as the result's ``alloc`` field.
         """
         workspace = None
         executor = None
+        pool = None
         a0 = b = None
+        profiler = AllocProfiler(enabled=numeric and self.alloc_profile)
         if numeric:
             a0, b = hpl_system(self.n, seed)
             executor = TileExecutor(self.workers)
+            pool = as_buffer_pool(self.buffer_pool)
             workspace = LUWorkspace(
                 a0.copy(),
                 self.nb,
                 pack_cache=self.pack_cache,
                 executor=executor,
+                buffer_pool=pool,
             )
         sched = self._make_scheduler()
-        result: ScheduleResult = sched.run(workspace)
+        with profiler.span("hpl.factor"):
+            result: ScheduleResult = sched.run(workspace)
         time_s = result.makespan_s + self.solve_time_s()
         flops = LUTiming.hpl_flops(self.n)
         gflops = flops / time_s / 1e9
@@ -165,12 +181,18 @@ class NativeHPL:
             metrics=metrics,
         )
         if numeric:
-            ipiv = workspace.finalize()
-            x = lu_solve(workspace.a, ipiv, np.asarray(b))
+            with profiler.span("hpl.solve"):
+                ipiv = workspace.finalize()
+                x = lu_solve(workspace.a, ipiv, np.asarray(b), pool=pool)
             out.residual = hpl_residual(a0, x, b)
             out.passed = residual_passes(a0, x, b)
             if workspace.pack_cache is not None:
                 workspace.pack_cache.publish(metrics)
+            if pool is not None:
+                pool.publish(metrics)
+            profiler.publish(metrics)
+            out.alloc = profiler.to_dict()
             executor.publish(metrics)
             executor.close()
+        profiler.close()
         return out

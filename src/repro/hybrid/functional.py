@@ -26,13 +26,14 @@ from typing import Optional
 
 import numpy as np
 
+from repro.blas.buffers import as_buffer_pool
 from repro.blas.getrf import getrf
 from repro.blas.laswp import laswp
 from repro.blas.trsm import trsm_lower_unit_left
 from repro.blas.workspace import PackCache
 from repro.hybrid.offload import OffloadDGEMM
 from repro.lu.tasks import LUWorkspace
-from repro.obs import MetricsRegistry, RunResult
+from repro.obs import AllocProfiler, MetricsRegistry, RunResult
 from repro.parallel import TileExecutor, as_executor
 
 
@@ -44,6 +45,7 @@ def hybrid_blocked_lu(
     host_assist: bool = True,
     workers=None,
     pack_cache=None,
+    buffer_pool=None,
 ) -> tuple:
     """Factor ``a`` in place with offloaded trailing updates.
 
@@ -55,12 +57,17 @@ def hybrid_blocked_lu(
     ``pack_cache`` (True or a :class:`~repro.blas.workspace.PackCache`)
     lets each stage's offload engine pack its resident A/B strips once
     and reuse them across tiles; ``workers`` fans the card-side stripe
-    GEMMs over a :class:`~repro.parallel.TileExecutor`.
+    GEMMs over a :class:`~repro.parallel.TileExecutor`; ``buffer_pool``
+    (True or a :class:`~repro.blas.buffers.BufferPool`) rents the host
+    kernels' scratch and the offload staging buffers (the ``-L21`` / U
+    / C contiguous copies) from the arena instead of allocating per
+    stage.
     """
     if pack_cache is True:
         pack_cache = PackCache()
     elif pack_cache is False:
         pack_cache = None
+    pool = as_buffer_pool(buffer_pool)
     own_executor = workers is not None and not isinstance(workers, TileExecutor)
     executor = as_executor(workers)
     ws = LUWorkspace(a, nb)  # reuse the geometry/pivot bookkeeping
@@ -70,35 +77,54 @@ def hybrid_blocked_lu(
             cols = ws.panel_cols(i)
             w = ws.panel_width(i)
             # Host: panel factorization.
-            ipiv = getrf(a[r0:, cols])
+            ipiv = getrf(a[r0:, cols], pool=pool)
             ws.stage_ipiv[i] = ipiv
             trailing = a[r0:, cols.stop :]
             if trailing.shape[1] == 0:
                 continue
             # Host: pivot swaps and the U-panel triangular solve.
-            laswp(trailing, ipiv, forward=True)
+            laswp(trailing, ipiv, forward=True, pool=pool)
             l11 = a[r0 : r0 + w, cols]
             u_panel = trailing[:w, :]
-            trsm_lower_unit_left(l11, u_panel)
+            trsm_lower_unit_left(l11, u_panel, pool=pool)
             # Card(s): the offloaded trailing update C -= L21 @ U.
             m_t = trailing.shape[0] - w
             n_t = trailing.shape[1]
             if m_t > 0:
-                l21 = np.ascontiguousarray(a[r0 + w :, cols])
-                u = np.ascontiguousarray(u_panel)
-                c = np.ascontiguousarray(trailing[w:, :])
-                tile_choice = tile or (max(1, m_t // 2), max(1, n_t // 2))
-                OffloadDGEMM(
-                    m_t,
-                    n_t,
-                    kt=w,
-                    cards=min(cards, n_t),
-                    tile=tile_choice,
-                    host_assist=host_assist,
-                    pack_cache=pack_cache,
-                    executor=executor,
-                ).run(-l21, u, c)
-                trailing[w:, :] = c
+                # Stage the contiguous offload operands: -L21 (the sign
+                # folds the subtraction into the accumulate), U and C.
+                # With a pool the staging buffers are rented, not
+                # allocated per stage; the values are identical.
+                if pool is not None:
+                    neg_l21 = pool.checkout((m_t, w), a.dtype, key="hybrid.l21")
+                    np.negative(a[r0 + w :, cols], out=neg_l21)
+                    u = pool.checkout((w, n_t), a.dtype, key="hybrid.u")
+                    np.copyto(u, u_panel)
+                    c = pool.checkout((m_t, n_t), a.dtype, key="hybrid.c")
+                    np.copyto(c, trailing[w:, :])
+                else:
+                    neg_l21 = -np.ascontiguousarray(a[r0 + w :, cols])
+                    u = np.ascontiguousarray(u_panel)
+                    c = np.ascontiguousarray(trailing[w:, :])
+                try:
+                    tile_choice = tile or (max(1, m_t // 2), max(1, n_t // 2))
+                    OffloadDGEMM(
+                        m_t,
+                        n_t,
+                        kt=w,
+                        cards=min(cards, n_t),
+                        tile=tile_choice,
+                        host_assist=host_assist,
+                        pack_cache=pack_cache,
+                        executor=executor,
+                        buffer_pool=pool,
+                    ).run(neg_l21, u, c)
+                    trailing[w:, :] = c
+                finally:
+                    if pool is not None:
+                        pool.release(neg_l21)
+                        pool.release(u)
+                        pool.release(c)
                 if pack_cache is not None:
                     # This stage's strips are dead; only counters persist.
                     pack_cache.invalidate()
@@ -121,6 +147,7 @@ class HybridNumericResult(RunResult):
     residual: float
     passed: bool
     metrics: Optional[MetricsRegistry] = None
+    alloc: Optional[dict] = None
 
     kind = "hybrid-numeric"
 
@@ -133,11 +160,16 @@ def run_hybrid_numeric(
     pack_cache: bool = True,
     host_assist: bool = True,
     seed: int = 42,
+    buffer_pool: bool = True,
+    alloc_profile: bool = False,
 ) -> HybridNumericResult:
     """Factor and solve a seeded HPL system through the hybrid path.
 
     Wall-clock timed (this is a real computation); the pack-cache and
     pool counters land in ``metrics``. ``workers=None`` uses all cores.
+    ``buffer_pool=False`` selects the allocating reference paths (the
+    ``--no-buffer-pool`` A/B ablation); ``alloc_profile`` wraps the
+    factor and solve phases in tracemalloc spans recorded as ``alloc``.
     """
     from repro.hpl.matgen import hpl_system
     from repro.hpl.residual import hpl_residual, residual_passes
@@ -146,24 +178,33 @@ def run_hybrid_numeric(
 
     a0, b = hpl_system(n, seed)
     cache = PackCache() if pack_cache else None
+    pool = as_buffer_pool(buffer_pool)
+    profiler = AllocProfiler(enabled=alloc_profile)
     executor = TileExecutor(workers)
     t0 = time.perf_counter()
     try:
-        lu, ipiv = hybrid_blocked_lu(
-            a0.copy(),
-            nb=nb,
-            cards=cards,
-            workers=executor,
-            pack_cache=cache,
-            host_assist=host_assist,
-        )
-        x = lu_solve(lu, ipiv, b)
+        with profiler.span("hybrid.factor"):
+            lu, ipiv = hybrid_blocked_lu(
+                a0.copy(),
+                nb=nb,
+                cards=cards,
+                workers=executor,
+                pack_cache=cache,
+                host_assist=host_assist,
+                buffer_pool=pool,
+            )
+        with profiler.span("hybrid.solve"):
+            x = lu_solve(lu, ipiv, b, pool=pool)
     finally:
         executor.close()
+        profiler.close()
     wall_s = time.perf_counter() - t0
     metrics = MetricsRegistry()
     if cache is not None:
         cache.publish(metrics)
+    if pool is not None:
+        pool.publish(metrics)
+    profiler.publish(metrics)
     executor.publish(metrics)
     metrics.gauge("hpl.wall_time_s").set(wall_s)
     return HybridNumericResult(
@@ -176,4 +217,5 @@ def run_hybrid_numeric(
         residual=hpl_residual(a0, x, b),
         passed=residual_passes(a0, x, b),
         metrics=metrics,
+        alloc=profiler.to_dict(),
     )

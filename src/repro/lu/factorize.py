@@ -121,15 +121,21 @@ def _drain_runnable(dag: PanelDAG) -> List[Task]:
         out.append(t)
 
 
-def lu_solve(lu: np.ndarray, ipiv: np.ndarray, b: np.ndarray) -> np.ndarray:
-    """Solve A x = b given the in-place factorization and global pivots."""
+def lu_solve(
+    lu: np.ndarray, ipiv: np.ndarray, b: np.ndarray, pool=None
+) -> np.ndarray:
+    """Solve A x = b given the in-place factorization and global pivots.
+
+    ``pool`` threads a :class:`~repro.blas.buffers.BufferPool` into the
+    pivot gather and both triangular solves.
+    """
     lu = np.asarray(lu)
     b = np.asarray(b, dtype=lu.dtype)
     if b.ndim != 1 or b.shape[0] != lu.shape[0]:
         raise ValueError("right-hand side has the wrong shape")
     x = b.copy()
-    apply_pivots_to_vector(x, ipiv, forward=True)
+    apply_pivots_to_vector(x, ipiv, forward=True, pool=pool)
     col = x.reshape(-1, 1)
-    trsm_lower_unit_left(lu, col)
-    trsm_upper_left(lu, col)
+    trsm_lower_unit_left(lu, col, pool=pool)
+    trsm_upper_left(lu, col, pool=pool)
     return x

@@ -26,6 +26,12 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.blas.buffers import (
+    BufferPool,
+    as_buffer_pool,
+    matmul_into,
+    subtract_into,
+)
 from repro.blas.gemm import gemm
 from repro.blas.getrf import getrf
 from repro.blas.laswp import laswp
@@ -45,7 +51,12 @@ class LUWorkspace:
     then invalidated the moment the stage's last update retires. An
     ``executor`` (worker count or :class:`~repro.parallel.TileExecutor`)
     is forwarded to those GEMMs so a serial task order can still fan the
-    stripe grid across threads.
+    stripe grid across threads. A ``buffer_pool`` (``True`` or a
+    :class:`~repro.blas.buffers.BufferPool`) is threaded into every
+    kernel — getrf scratch, laswp gathers, trsm workspaces, GEMM
+    stripes and the plain-path trailing product — so steady-state
+    stages rent their temporaries from the arena instead of allocating;
+    pooled and unpooled runs are bitwise identical.
     """
 
     def __init__(
@@ -55,6 +66,7 @@ class LUWorkspace:
         use_packed_gemm: bool = False,
         pack_cache=None,
         executor=None,
+        buffer_pool=None,
     ):
         a = np.asarray(a)
         if a.ndim != 2 or a.shape[0] != a.shape[1]:
@@ -74,6 +86,7 @@ class LUWorkspace:
         elif pack_cache is False:
             pack_cache = None
         self.pack_cache: Optional[PackCache] = pack_cache
+        self.buffer_pool: Optional[BufferPool] = as_buffer_pool(buffer_pool)
         self.executor = as_executor(executor)
         # Per-stage count of outstanding trailing updates, so the stage's
         # packed L21 can be dropped as soon as its last consumer retires.
@@ -107,7 +120,7 @@ class LUWorkspace:
             raise RuntimeError(f"panel {i} factored twice")
         r0 = self.stage_row0(i)
         panel = self.a[r0:, self.panel_cols(i)]
-        self.stage_ipiv[i] = getrf(panel)
+        self.stage_ipiv[i] = getrf(panel, pool=self.buffer_pool)
 
     def _run_update(self, i: int, p: int) -> None:
         ipiv = self.stage_ipiv[i]
@@ -117,11 +130,11 @@ class LUWorkspace:
         w = self.panel_width(i)
         block = self.a[r0:, self.panel_cols(p)]
         # DLASWP: stage i's swaps, local to rows r0...
-        laswp(block, ipiv, forward=True)
+        laswp(block, ipiv, forward=True, pool=self.buffer_pool)
         # DTRSM: U block = L11^{-1} @ top rows.
         l11 = self.a[r0 : r0 + w, self.panel_cols(i)]
         u_block = block[:w, :]
-        trsm_lower_unit_left(l11, u_block)
+        trsm_lower_unit_left(l11, u_block, pool=self.buffer_pool)
         # DGEMM: trailing rows -= L21 @ U block.
         if block.shape[0] > w:
             l21 = self.a[r0 + w :, self.panel_cols(i)]
@@ -136,12 +149,22 @@ class LUWorkspace:
                     a_key=("lu.l21", i),
                     b_key=("lu.u", i, p),
                     executor=self.executor,
+                    pool=self.buffer_pool,
                 )
             elif self.use_packed_gemm:
                 gemm(
                     l21, u_block, block[w:, :], alpha=-1.0, beta=1.0,
-                    executor=self.executor,
+                    executor=self.executor, pool=self.buffer_pool,
                 )
+            elif self.buffer_pool is not None:
+                trailing = block[w:, :]
+                with self.buffer_pool.rent(
+                    trailing.shape, trailing.dtype, key="lu.trailing"
+                ) as prod:
+                    matmul_into(
+                        self.buffer_pool, l21, u_block, prod, key="lu.trailing"
+                    )
+                    subtract_into(trailing, prod)
             else:
                 block[w:, :] -= l21 @ u_block
         if self.pack_cache is not None:
@@ -165,7 +188,13 @@ class LUWorkspace:
         for i in range(1, self.n_panels):
             r0 = self.stage_row0(i)
             left = self.a[:, : r0]
-            laswp(left, self.stage_ipiv[i], offset=r0, forward=True)
+            laswp(
+                left,
+                self.stage_ipiv[i],
+                offset=r0,
+                forward=True,
+                pool=self.buffer_pool,
+            )
         self.finalized = True
         return self.global_ipiv()
 

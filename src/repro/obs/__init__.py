@@ -9,17 +9,23 @@ hoc dataclass fields. This package provides it:
   communicator publish into;
 * :mod:`repro.obs.result` — :class:`RunResult`, the base every driver's
   result extends, with ``to_dict()`` / ``to_json()`` / ``summary()`` and
-  the attached metrics/trace.
+  the attached metrics/trace;
+* :mod:`repro.obs.allocprof` — :class:`AllocProfiler`, tracemalloc-based
+  per-phase allocation spans behind the drivers' ``--alloc-profile``
+  flag (and the measurement side of the buffer-arena work).
 
 Trace export (Chrome ``trace_event`` JSON and JSONL) lives on
 :class:`~repro.sim.trace.TraceRecorder` itself; the CLI exposes all of
 it uniformly as ``--json`` / ``--trace-out PATH`` / ``--metrics``.
 """
 
+from repro.obs.allocprof import AllocProfiler, measure_temp_bytes
 from repro.obs.metrics import Counter, Gauge, MetricsRegistry, Timer
 from repro.obs.result import RunResult
 
 __all__ = [
+    "AllocProfiler",
+    "measure_temp_bytes",
     "Counter",
     "Gauge",
     "Timer",

@@ -1,0 +1,207 @@
+"""Bitwise identity of the pooled (allocation-free) kernel paths.
+
+The arena contract is absolute: threading a
+:class:`~repro.blas.buffers.BufferPool` through getrf/laswp/trsm/gemm —
+and through the full blocked LU at any worker count — must change *no
+bit* of any result relative to the allocating reference paths.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.blas.trsm as trsm_mod
+from repro.blas.buffers import BufferPool
+from repro.blas.gemm import gemm
+from repro.blas.getrf import getf2, getrf
+from repro.blas.laswp import apply_pivots_to_vector, laswp
+from repro.blas.trsm import (
+    trsm_lower_unit_left,
+    trsm_lower_unit_right,
+    trsm_upper_left,
+)
+from repro.lu.factorize import blocked_lu, lu_solve, lu_via_dag
+
+
+def _matrix(draw, m, n, seed):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((m, n))
+
+
+@st.composite
+def panels(draw):
+    m = draw(st.integers(1, 40))
+    n = draw(st.integers(1, 24))
+    seed = draw(st.integers(0, 2**31 - 1))
+    return _matrix(draw, m, n, seed)
+
+
+@settings(max_examples=60, deadline=None)
+@given(panels())
+def test_getf2_pooled_identity(a):
+    pool = BufferPool()
+    ref, got = a.copy(), a.copy()
+    ipiv_ref = getf2(ref)
+    ipiv_got = getf2(got, pool=pool)
+    assert np.array_equal(ipiv_ref, ipiv_got)
+    assert np.array_equal(ref, got)
+    assert pool.active == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(panels())
+def test_getrf_pooled_identity(a):
+    pool = BufferPool()
+    ref, got = a.copy(), a.copy()
+    ipiv_ref = getrf(ref, min_block=4)
+    ipiv_got = getrf(got, min_block=4, pool=pool)
+    assert np.array_equal(ipiv_ref, ipiv_got)
+    assert np.array_equal(ref, got)
+    assert pool.active == 0
+
+
+@st.composite
+def swap_cases(draw):
+    n = draw(st.integers(1, 24))
+    cols = draw(st.integers(1, 12))
+    m = draw(st.integers(0, n))
+    ipiv = np.asarray(
+        [draw(st.integers(j, n - 1)) for j in range(m)], dtype=np.int64
+    )
+    seed = draw(st.integers(0, 2**31 - 1))
+    forward = draw(st.booleans())
+    return _matrix(draw, n, cols, seed), ipiv, forward
+
+
+@settings(max_examples=60, deadline=None)
+@given(swap_cases())
+def test_laswp_pooled_identity(case):
+    a, ipiv, forward = case
+    pool = BufferPool()
+    ref, got = a.copy(), a.copy()
+    laswp(ref, ipiv, forward=forward)
+    laswp(got, ipiv, forward=forward, pool=pool)
+    assert np.array_equal(ref, got)
+    # strided (column-slice) target, as the blocked LU hands it over
+    wide = np.hstack([a, a])
+    ref_s, got_s = wide.copy()[:, : a.shape[1]], wide.copy()[:, : a.shape[1]]
+    laswp(ref_s, ipiv, forward=forward)
+    laswp(got_s, ipiv, forward=forward, pool=pool)
+    assert np.array_equal(ref_s, got_s)
+    x_ref, x_got = a[:, 0].copy(), a[:, 0].copy()
+    apply_pivots_to_vector(x_ref, ipiv, forward=forward)
+    apply_pivots_to_vector(x_got, ipiv, forward=forward, pool=pool)
+    assert np.array_equal(x_ref, x_got)
+    assert pool.active == 0
+
+
+@st.composite
+def trsm_cases(draw):
+    n = draw(st.integers(1, 32))
+    ncols = draw(st.integers(1, 12))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    t = rng.standard_normal((n, n)) + np.eye(n) * n  # well-conditioned
+    b = rng.standard_normal((n, ncols))
+    block = draw(st.sampled_from([4, 8, 64]))
+    force_loops = draw(st.booleans())
+    return t, b, block, force_loops
+
+
+@settings(max_examples=60, deadline=None)
+@given(trsm_cases())
+def test_trsm_pooled_identity(case):
+    t, b, block, force_loops = case
+    pool = BufferPool()
+    old = trsm_mod._FORCE_LOOPS
+    trsm_mod._FORCE_LOOPS = force_loops
+    try:
+        for solver, tri in (
+            (trsm_lower_unit_left, np.tril(t)),
+            (trsm_upper_left, np.triu(t)),
+            (trsm_lower_unit_right, np.tril(t)),
+        ):
+            rhs = b if solver is not trsm_lower_unit_right else b.T.copy()
+            ref, got = rhs.copy(), rhs.copy()
+            solver(tri, ref, block=block)
+            solver(tri, got, block=block, pool=pool)
+            assert np.array_equal(ref, got), solver.__name__
+    finally:
+        trsm_mod._FORCE_LOOPS = old
+    assert pool.active == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(1, 24),
+    st.integers(1, 24),
+    st.integers(1, 24),
+    st.integers(0, 2**31 - 1),
+)
+def test_gemm_pooled_identity(m, n, k, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((m, k))
+    b = rng.standard_normal((k, n))
+    c = rng.standard_normal((m, n))
+    pool = BufferPool()
+    ref, got = c.copy(), c.copy()
+    gemm(a, b, ref, alpha=-1.0, beta=1.0)
+    gemm(a, b, got, alpha=-1.0, beta=1.0, pool=pool)
+    assert np.array_equal(ref, got)
+    assert pool.active == 0
+
+
+@pytest.mark.parametrize("workers", [None, 2, 8])
+def test_full_lu_and_solve_pooled_identity(workers):
+    """The acceptance property: pooled runs are bitwise identical to
+    ``--no-buffer-pool`` runs at 1, 2 and 8 workers."""
+    rng = np.random.default_rng(11)
+    n, nb = 96, 24
+    a = rng.standard_normal((n, n))
+    b = rng.standard_normal(n)
+
+    lu_ref, ipiv_ref = blocked_lu(a.copy(), nb=nb, workers=workers)
+    x_ref = lu_solve(lu_ref, ipiv_ref, b)
+
+    pool = BufferPool()
+    lu_p, ipiv_p = blocked_lu(
+        a.copy(), nb=nb, workers=workers, buffer_pool=pool
+    )
+    x_p = lu_solve(lu_p, ipiv_p, b, pool=pool)
+
+    assert np.array_equal(lu_ref, lu_p)
+    assert np.array_equal(ipiv_ref, ipiv_p)
+    assert np.array_equal(x_ref, x_p)
+    assert pool.active == 0
+
+
+def test_lu_via_dag_pooled_identity():
+    rng = np.random.default_rng(13)
+    a = rng.standard_normal((64, 64))
+    lu_ref, ipiv_ref = lu_via_dag(a.copy(), nb=16)
+    lu_p, ipiv_p = lu_via_dag(a.copy(), nb=16, buffer_pool=True)
+    assert np.array_equal(lu_ref, lu_p)
+    assert np.array_equal(ipiv_ref, ipiv_p)
+
+
+def test_getf2_pivot_search_uses_scratch_not_fresh_abs():
+    """Micro-test for the pivot-search scratch: the |column| reduction
+    lands in a reusable vector and still finds LAPACK's pivot."""
+    a = np.array(
+        [
+            [1.0, 2.0],
+            [-9.0, 1.0],
+            [3.0, 4.0],
+        ]
+    )
+    pool = BufferPool()
+    got = a.copy()
+    ipiv = getf2(got, pool=pool)
+    assert ipiv[0] == 1  # |-9| wins the first column
+    ref = a.copy()
+    assert np.array_equal(getf2(ref), ipiv)
+    assert np.array_equal(ref, got)
+    # the abs scratch was rented exactly once per call
+    assert pool.by_key.get("getf2.abs") == 1
+    assert pool.active == 0

@@ -1,0 +1,102 @@
+"""AllocProfiler: tracemalloc spans, per-phase counters, no-op mode."""
+
+import numpy as np
+import pytest
+
+from repro.obs.allocprof import AllocProfiler, measure_temp_bytes
+from repro.obs.metrics import MetricsRegistry
+
+
+def churn(n=20_000):
+    """Allocate-and-drop a visible temporary."""
+    x = np.ones(n)
+    return float((x * 2.0).sum())
+
+
+def test_span_records_temporaries():
+    with AllocProfiler() as prof:
+        with prof.span("work"):
+            churn()
+    rec = prof.phases["work"]
+    assert rec["calls"] == 1
+    assert rec["temp_bytes"] >= 20_000 * 8
+    assert rec["peak_temp_bytes"] == rec["temp_bytes"]
+
+
+def test_spans_accumulate_per_phase():
+    with AllocProfiler() as prof:
+        for _ in range(3):
+            with prof.span("work"):
+                churn()
+        with prof.span("other"):
+            pass
+    assert prof.phases["work"]["calls"] == 3
+    assert prof.phases["other"]["calls"] == 1
+    assert prof.temp_bytes("work") >= 3 * 20_000 * 8
+    assert prof.temp_bytes("unseen") == 0
+
+
+def test_retained_bytes_tracks_kept_allocations():
+    keep = []
+    with AllocProfiler() as prof:
+        with prof.span("retain"):
+            keep.append(np.ones(50_000))
+    assert prof.phases["retain"]["retained_bytes"] >= 50_000 * 8
+    del keep
+
+
+def test_nested_spans_raise():
+    with AllocProfiler() as prof:
+        with pytest.raises(RuntimeError, match="nest"):
+            with prof.span("outer"):
+                with prof.span("inner"):
+                    pass  # pragma: no cover
+
+
+def test_disabled_profiler_is_noop():
+    prof = AllocProfiler(enabled=False)
+    with prof.span("work"):
+        churn()
+    assert prof.phases == {}
+    assert prof.to_dict() is None
+    prof.publish(MetricsRegistry())  # no-op, no error
+    prof.close()
+
+
+def test_to_dict_and_publish():
+    with AllocProfiler() as prof:
+        with prof.span("work"):
+            churn()
+    d = prof.to_dict()
+    assert set(d) == {"work"}
+    assert set(d["work"]) == {
+        "calls",
+        "temp_bytes",
+        "peak_temp_bytes",
+        "retained_bytes",
+    }
+    reg = MetricsRegistry()
+    prof.publish(reg)
+    snap = reg.to_dict()
+    assert snap["counters"]["alloc.work.calls"] == 1
+    assert snap["counters"]["alloc.work.temp_bytes"] == d["work"]["temp_bytes"]
+
+
+def test_empty_profiler_to_dict_is_none():
+    assert AllocProfiler().to_dict() is None
+
+
+def test_measure_temp_bytes_returns_result_and_bytes():
+    result, temp = measure_temp_bytes(churn, 10_000)
+    assert result == float(np.ones(10_000).sum() * 2.0)
+    assert temp >= 10_000 * 8
+
+
+def test_measure_temp_bytes_allocation_free_callable_is_small():
+    buf = np.empty(1000)
+
+    def fill():
+        buf[:] = 1.0
+
+    _, temp = measure_temp_bytes(fill)
+    assert temp < 2_000

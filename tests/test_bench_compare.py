@@ -88,6 +88,66 @@ def test_improvements_and_times_are_not_regressions(dirs):
     assert "improved" in proc.stdout
 
 
+ALLOC_ROWS = [
+    {"bench": "lu.factor", "mode": "pooled", "alloc_temp_bytes": 20000,
+     "alloc_bytes_per_stage": 5000, "pool_reduction_efficiency": 0.88},
+    {"bench": "lu.solve", "mode": "pooled", "alloc_temp_bytes": 23000},
+]
+
+
+@pytest.fixture
+def alloc_dirs(tmp_path):
+    base = tmp_path / "baseline"
+    cur = tmp_path / "current"
+    base.mkdir()
+    cur.mkdir()
+    (base / "alloc.json").write_text(json.dumps(ALLOC_ROWS))
+    return base, cur
+
+
+def test_alloc_bytes_increase_is_a_regression(alloc_dirs):
+    base, cur = alloc_dirs
+    grown = json.loads(json.dumps(ALLOC_ROWS))
+    grown[0]["alloc_temp_bytes"] = int(grown[0]["alloc_temp_bytes"] * 1.5)
+    (cur / "alloc.json").write_text(json.dumps(grown))
+    proc = run_gate(base, cur)
+    assert proc.returncode == 1
+    assert "alloc_temp_bytes" in proc.stderr
+    assert "lower is better" in proc.stderr
+
+
+def test_alloc_bytes_drop_is_an_improvement(alloc_dirs):
+    base, cur = alloc_dirs
+    shrunk = json.loads(json.dumps(ALLOC_ROWS))
+    for row in shrunk:
+        row["alloc_temp_bytes"] = int(row["alloc_temp_bytes"] * 0.5)
+    (cur / "alloc.json").write_text(json.dumps(shrunk))
+    proc = run_gate(base, cur)
+    assert proc.returncode == 0, proc.stderr
+    assert "improved" in proc.stdout
+
+
+def test_alloc_increase_within_threshold_passes(alloc_dirs):
+    base, cur = alloc_dirs
+    wobbled = json.loads(json.dumps(ALLOC_ROWS))
+    wobbled[1]["alloc_temp_bytes"] = int(
+        wobbled[1]["alloc_temp_bytes"] * 1.15
+    )  # +15%, under the 20% gate
+    (cur / "alloc.json").write_text(json.dumps(wobbled))
+    assert run_gate(base, cur).returncode == 0
+
+
+def test_reduction_efficiency_drop_is_a_regression(alloc_dirs):
+    """The efficiency figure stays higher-is-better even in alloc rows."""
+    base, cur = alloc_dirs
+    worse = json.loads(json.dumps(ALLOC_ROWS))
+    worse[0]["pool_reduction_efficiency"] = 0.4
+    (cur / "alloc.json").write_text(json.dumps(worse))
+    proc = run_gate(base, cur)
+    assert proc.returncode == 1
+    assert "pool_reduction_efficiency" in proc.stderr
+
+
 def test_missing_current_file_is_a_note_not_a_failure(dirs):
     base, cur = dirs
     proc = run_gate(base, cur)

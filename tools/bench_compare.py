@@ -20,7 +20,10 @@ Comparable figures are numeric leaves whose key names a rate or an
 efficiency (``gflops``, ``tflops``, ``efficiency`` — including
 prefixed forms like ``snb_gflops``); wall-clock times, counters and
 paper reference values (``paper_*``) are never gated. Higher is better
-for every gated key.
+for every rate key. Allocation figures — keys naming both ``alloc``
+and ``bytes``, as emitted by ``benchmarks/bench_alloc.py`` — are gated
+the other way round: steady-state temporary bytes growing more than
+``--threshold`` above baseline is the regression.
 
 Standard library only, so CI can run it before (or without) installing
 the package.
@@ -35,22 +38,36 @@ import pathlib
 import sys
 from typing import Dict, Iterator, List, Tuple
 
-#: A leaf is gated when its key contains one of these (case-insensitive).
+#: A leaf is gated higher-is-better when its key contains one of these
+#: (case-insensitive).
 RATE_KEY_PARTS = ("gflops", "tflops", "efficiency")
+
+#: A leaf is gated lower-is-better when its key contains ALL of these:
+#: steady-state allocation figures, where growth is the regression.
+ALLOC_KEY_PARTS = ("alloc", "bytes")
 
 #: ...unless it also matches one of these (reference data, not measurements).
 SKIP_KEY_PARTS = ("paper",)
 
 
-def is_rate_key(key: str) -> bool:
+def classify_key(key: str) -> str:
+    """'higher' / 'lower' for gated keys, '' for everything else."""
     k = key.lower()
     if any(part in k for part in SKIP_KEY_PARTS):
-        return False
-    return any(part in k for part in RATE_KEY_PARTS)
+        return ""
+    if all(part in k for part in ALLOC_KEY_PARTS):
+        return "lower"
+    if any(part in k for part in RATE_KEY_PARTS):
+        return "higher"
+    return ""
 
 
-def iter_rate_leaves(node, path: str = "") -> Iterator[Tuple[str, float]]:
-    """Yield (dotted.path, value) for every gated numeric leaf."""
+def is_rate_key(key: str) -> bool:
+    return classify_key(key) == "higher"
+
+
+def iter_rate_leaves(node, path: str = "") -> Iterator[Tuple[str, float, str]]:
+    """Yield (dotted.path, value, sense) for every gated numeric leaf."""
     if isinstance(node, dict):
         for key in sorted(node):
             sub = f"{path}.{key}" if path else str(key)
@@ -58,15 +75,19 @@ def iter_rate_leaves(node, path: str = "") -> Iterator[Tuple[str, float]]:
             if isinstance(value, (dict, list)):
                 yield from iter_rate_leaves(value, sub)
             elif isinstance(value, (int, float)) and not isinstance(value, bool):
-                if is_rate_key(str(key)) and math.isfinite(value):
-                    yield sub, float(value)
+                sense = classify_key(str(key))
+                if sense and math.isfinite(value):
+                    yield sub, float(value), sense
     elif isinstance(node, list):
         for i, value in enumerate(node):
             yield from iter_rate_leaves(value, f"{path}[{i}]")
 
 
-def load_rates(path: pathlib.Path) -> Dict[str, float]:
-    return dict(iter_rate_leaves(json.loads(path.read_text())))
+def load_rates(path: pathlib.Path) -> Dict[str, Tuple[float, str]]:
+    return {
+        key: (value, sense)
+        for key, value, sense in iter_rate_leaves(json.loads(path.read_text()))
+    }
 
 
 def collect(root: pathlib.Path) -> Dict[str, pathlib.Path]:
@@ -98,21 +119,25 @@ def compare(
         if not base_rates:
             notes.append(f"note: {name}: no gated figures in baseline")
             continue
-        for key, base_val in base_rates.items():
-            cur_val = cur_rates.get(key)
-            if cur_val is None:
+        for key, (base_val, sense) in base_rates.items():
+            cur = cur_rates.get(key)
+            if cur is None:
                 notes.append(f"note: {name}: {key} missing from current (skipped)")
                 continue
+            cur_val = cur[0]
             if base_val <= 0:
                 continue
             rel = (cur_val - base_val) / base_val
+            # For lower-is-better figures (allocation bytes) growth is
+            # the regression; flip the sign so one rule gates both.
+            worse = -rel if sense == "lower" else rel
             line = (
                 f"{name}: {key}: {base_val:.6g} -> {cur_val:.6g} "
-                f"({rel:+.1%})"
+                f"({rel:+.1%}{', lower is better' if sense == 'lower' else ''})"
             )
-            if rel < -threshold:
+            if worse < -threshold:
                 regressions.append("REGRESSION " + line)
-            elif rel > threshold:
+            elif worse > threshold:
                 notes.append("improved   " + line)
     return regressions, notes
 
@@ -134,8 +159,8 @@ def main(argv=None) -> int:
 
     if args.verbose:
         for name, path in collect(args.baseline).items():
-            for key, val in load_rates(path).items():
-                print(f"baseline {name}: {key} = {val:.6g}")
+            for key, (val, sense) in load_rates(path).items():
+                print(f"baseline {name}: {key} = {val:.6g} ({sense} is better)")
 
     regressions, notes = compare(args.baseline, args.current, args.threshold)
     for line in notes:
