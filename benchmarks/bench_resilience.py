@@ -1,0 +1,170 @@
+"""Resilience overhead — what checkpoint/restart and the hardened
+channel cost, and what a crash recovery buys back.
+
+Two sections in the emitted artifact:
+
+``model``
+    Deterministic figures at a fixed reference geometry (n=4096,
+    nb=128 on a 2x2 grid, NOT scaled in smoke mode — the gate compares
+    these): for each checkpoint interval, the fraction of end-to-end
+    time left for compute once panel-boundary checkpoint writes are
+    paid (``model_checkpoint_efficiency``, bytes over a modeled
+    storage link), and the fraction of completed work a rollback
+    preserves when one rank crashes at a uniformly random stage
+    (``model_recovery_efficiency``). These are the gated keys for
+    ``tools/bench_compare.py`` — analytic only, never wall clock.
+
+``measured``
+    Real `DistributedHPL` runs on the simulated MPI world at smoke
+    size: a fault-free baseline, a checkpoint-every-2 run (asserting
+    the observed checkpoint time stays under 15% of end-to-end time),
+    and a crash+restore run under an injected rank crash (asserting
+    exactly one recovery and bitwise-identical lu/ipiv/x and residual
+    versus the fault-free run). Wall-clock keys are informational; the
+    correctness asserts are the machine-independent signal.
+
+Set ``BENCH_SMOKE=1`` for the reduced CI sizes (n=96); the full run
+uses n=384 on the same 2x2 grid.
+"""
+
+import os
+
+import numpy as np
+
+from repro.cluster.hpl_mpi import DistributedHPL
+from repro.report import Table
+from repro.resilience import RetryPolicy
+
+from conftest import once
+
+SMOKE = bool(int(os.environ.get("BENCH_SMOKE", "0") or "0"))
+
+N = 96 if SMOKE else 384
+NB = 16 if SMOKE else 32
+P = Q = 2
+REPEATS = 3
+CRASH_PLAN = "seed=5;crash:rank=3,stage=3"
+RETRY = RetryPolicy(comm_timeout_s=0.5, max_retries=2)
+
+# Fixed reference geometry + storage/compute constants for the analytic
+# section (NOT scaled in smoke mode — the gate compares these).
+MODEL_N, MODEL_NB, MODEL_P, MODEL_Q = 4096, 128, 2, 2
+MODEL_CKPT_BW_GBS = 2.0  # NVMe-class checkpoint target
+MODEL_RANK_GFLOPS = 100.0
+INTERVALS = (1, 2, 4, 8)
+
+
+def _model_rows():
+    """Checkpoint-overhead and rollback-payoff fractions per interval.
+
+    Each rank checkpoints its (n/p) x (n/q) local tiles every ``every``
+    panel stages; writes cost bytes over the modeled storage link while
+    the factorization costs 2/3 n^3 flops across the grid. A crash at a
+    uniformly random stage rolls back (every - 1) / 2 stages on
+    average, so larger intervals trade write overhead for redone work.
+    """
+    rows = []
+    nstages = (MODEL_N + MODEL_NB - 1) // MODEL_NB
+    ranks = MODEL_P * MODEL_Q
+    local_bytes = (MODEL_N // MODEL_P) * (MODEL_N // MODEL_Q) * 8
+    t_compute = (2.0 / 3.0) * MODEL_N**3 / ranks / (MODEL_RANK_GFLOPS * 1e9)
+    t_write = local_bytes / (MODEL_CKPT_BW_GBS * 1e9)
+    for every in INTERVALS:
+        n_ckpt = nstages // every
+        t_ckpt = n_ckpt * t_write
+        rows.append(
+            {
+                "every": every,
+                "n": MODEL_N,
+                "nb": MODEL_NB,
+                "grid": f"{MODEL_P}x{MODEL_Q}",
+                "checkpoints": n_ckpt,
+                "model_ckpt_s": t_ckpt,
+                "model_checkpoint_efficiency": t_compute / (t_compute + t_ckpt),
+                "model_recovery_efficiency": 1.0 - (every - 1) / (2.0 * nstages),
+            }
+        )
+    return rows
+
+
+def _best_run(**kwargs):
+    """Min-of-REPEATS wall time; every repeat must pass the residual."""
+    best = None
+    for _ in range(REPEATS):
+        r = DistributedHPL(N, NB, P, Q, **kwargs).run()
+        assert r.passed
+        if best is None or r.time_s < best.time_s:
+            best = r
+    return best
+
+
+def _measured_rows():
+    plain = _best_run()
+    ckpt = _best_run(checkpoint_every=2)
+    ckpt_s = ckpt.resilience["checkpoint_time_s"]
+    # Satellite 6: panel-boundary checkpoints stay cheap at smoke size.
+    assert ckpt_s < 0.15 * ckpt.time_s, (ckpt_s, ckpt.time_s)
+
+    crash = _best_run(fault_plan=CRASH_PLAN, checkpoint_every=2, retry=RETRY)
+    # One injected crash, one rollback recovery, bitwise-identical output.
+    assert crash.resilience["recoveries"] == 1
+    assert np.array_equal(crash.lu, plain.lu)
+    assert np.array_equal(crash.ipiv, plain.ipiv)
+    assert np.array_equal(crash.x, plain.x)
+    assert crash.residual == plain.residual
+
+    rows = []
+    for mode, r in (("plain", plain), ("checkpoint", ckpt), ("crash+restore", crash)):
+        res = r.resilience or {}
+        rows.append(
+            {
+                "mode": mode,
+                "n": N,
+                "nb": NB,
+                "p": P,
+                "q": Q,
+                "time_s": r.time_s,
+                "overhead_vs_plain_pct": 100.0 * (r.time_s / plain.time_s - 1.0),
+                "checkpoints": res.get("checkpoints", 0),
+                "checkpoint_kb": res.get("checkpoint_bytes", 0) / 1e3,
+                "checkpoint_s": res.get("checkpoint_time_s", 0.0),
+                "recoveries": res.get("recoveries", 0),
+                "restores": res.get("restores", 0),
+            }
+        )
+    return rows
+
+
+def build_resilience():
+    model = _model_rows()
+    measured = _measured_rows()
+    table = Table(
+        "Resilience: checkpoint overhead and crash recovery"
+        + (" (smoke sizes)" if SMOKE else ""),
+        ["config", "time s", "ckpts", "ckpt s", "recoveries", "vs plain"],
+    )
+    for row in measured:
+        table.add(
+            f"{row['mode']} n={row['n']}",
+            round(row["time_s"], 3),
+            row["checkpoints"],
+            round(row["checkpoint_s"], 4),
+            row["recoveries"],
+            f"{row['overhead_vs_plain_pct']:+.1f}%",
+        )
+    for row in model:
+        table.add(
+            f"model every={row['every']} n={row['n']}",
+            round(row["model_ckpt_s"], 3),
+            row["checkpoints"],
+            "-",
+            "-",
+            f"{100 * row['model_checkpoint_efficiency']:.0f}% compute",
+        )
+    return table, {"model": model, "measured": measured}
+
+
+def test_resilience(benchmark, emit, emit_json):
+    table, data = once(benchmark, build_resilience)
+    emit("resilience", table.render())
+    emit_json("resilience", data)

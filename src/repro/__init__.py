@@ -38,6 +38,13 @@ from repro.cluster import (
 from repro.lu import DynamicScheduler, StaticLookaheadScheduler, blocked_lu, lu_solve
 from repro.machine import KNC, SNB
 from repro.obs import MetricsRegistry, RunResult
+from repro.resilience import (
+    CheckpointStore,
+    FaultInjector,
+    FaultPlan,
+    RankCrashError,
+    RetryPolicy,
+)
 from repro.sim import TraceRecorder
 
 __version__ = "1.0.0"
@@ -67,6 +74,11 @@ __all__ = [
     "SNB",
     "RunResult",
     "MetricsRegistry",
+    "CheckpointStore",
+    "FaultInjector",
+    "FaultPlan",
+    "RankCrashError",
+    "RetryPolicy",
     "TraceRecorder",
     "__version__",
 ]

@@ -25,6 +25,9 @@ from repro.cluster.comm import (
     Comm,
     CommStats,
     CommError,
+    CommTimeout,
+    CommCorruption,
+    RankDeadError,
     Request,
     SendRequest,
     RecvRequest,
@@ -58,6 +61,9 @@ __all__ = [
     "Comm",
     "CommStats",
     "CommError",
+    "CommTimeout",
+    "CommCorruption",
+    "RankDeadError",
     "Request",
     "SendRequest",
     "RecvRequest",

@@ -41,6 +41,19 @@ staging from true allocation.
 Determinism and safety: queue operations use a global timeout so a
 deadlocked exchange fails the test with :class:`CommError` instead of
 hanging, and ``World.run`` re-raises the first rank exception.
+
+Hardened (resilient) mode: constructing the world with a
+:class:`~repro.resilience.faults.FaultInjector` and/or a
+:class:`~repro.resilience.retry.RetryPolicy` turns the wire into a
+reliable channel. Every message travels inside a sequenced,
+checksummed ``_Envelope``; receivers discard duplicates, reorder past
+gaps, detect bit-flip corruption and request targeted resends from the
+sender's retained send window. Blocking receives run the retry state
+machine — timeout slices with exponential backoff, bounded resend
+rounds — and fail with the typed :class:`CommTimeout` /
+:class:`CommCorruption` / :class:`RankDeadError` taxonomy instead of
+hanging. Fault-free construction (no injector, no policy) keeps the
+original zero-overhead wire format byte for byte.
 """
 
 from __future__ import annotations
@@ -48,6 +61,7 @@ from __future__ import annotations
 import queue
 import threading
 import time
+import zlib
 from collections import defaultdict, deque
 from dataclasses import dataclass, field
 from typing import (
@@ -65,9 +79,11 @@ from typing import (
 import numpy as np
 
 from repro.blas.buffers import BufferPool, as_buffer_pool
+from repro.resilience.retry import CommResilienceStats, RetryPolicy
 
 if TYPE_CHECKING:  # pragma: no cover — hints only
     from repro.obs.metrics import MetricsRegistry
+    from repro.resilience.faults import FaultInjector
 
 #: Seconds a blocking receive waits before declaring a deadlock.
 DEFAULT_TIMEOUT_S = 60.0
@@ -75,9 +91,28 @@ DEFAULT_TIMEOUT_S = 60.0
 #: Default segment size for chunked transfers (the CLI's ``--chunk-kb``).
 DEFAULT_CHUNK_BYTES = 256 * 1024
 
+#: Pump granularity of the reliable receive loop: how often a blocked
+#: rank re-checks the dead-rank registry and its retry deadline.
+_POLL_SLICE_S = 0.05
+
+#: Envelopes a sender retains per (dest, tag) channel for resends.
+_SEND_WINDOW = 512
+
 
 class CommError(RuntimeError):
     """A communication failure (timeout / mismatched exchange)."""
+
+
+class CommTimeout(CommError):
+    """A reliable receive exhausted its retry budget without data."""
+
+
+class CommCorruption(CommError):
+    """A payload checksum mismatch that retries could not heal."""
+
+
+class RankDeadError(CommError):
+    """The peer rank died (its thread exited with an exception)."""
 
 
 @dataclass
@@ -174,6 +209,64 @@ def _copy(obj: Any) -> Any:
     if isinstance(obj, dict):
         return {k: _copy(v) for k, v in obj.items()}
     return obj
+
+
+# -- reliable-channel wire format -----------------------------------------------
+
+
+class _Envelope:
+    """Resilient-mode wire frame: per-(src, dest, tag) sequence number
+    plus a CRC32 over the payload's array bytes."""
+
+    __slots__ = ("seq", "checksum", "payload")
+
+    def __init__(self, seq: int, checksum: int, payload: Any):
+        self.seq = seq
+        self.checksum = checksum
+        self.payload = payload
+
+
+def _arrays_in(obj: Any):
+    """Yield every ndarray in a wire payload in deterministic order."""
+    if isinstance(obj, np.ndarray):
+        yield obj
+    elif isinstance(obj, _ChunkSeg):
+        yield obj.part
+    elif isinstance(obj, _ChunkHeader):
+        yield from _arrays_in(obj.skeleton)
+    elif isinstance(obj, (list, tuple)):
+        for x in obj:
+            yield from _arrays_in(x)
+    elif isinstance(obj, dict):
+        for key in obj:
+            yield from _arrays_in(obj[key])
+
+
+def _checksum(obj: Any) -> int:
+    """CRC32 over the array content of one wire payload."""
+    acc = 0
+    for arr in _arrays_in(obj):
+        acc = zlib.crc32(np.ascontiguousarray(arr).tobytes(), acc)
+    return acc
+
+
+def _wire_copy(msg: Any) -> Any:
+    """Deep-copy a wire payload for duplicate/corrupt/resend delivery.
+
+    The copy never references a buffer pool, so discarding it (dedup,
+    abort drain) can never double-release staged arena memory.
+    """
+    if isinstance(msg, _ChunkSeg):
+        return _ChunkSeg(msg.arr_idx, msg.seg_idx, msg.part.copy(), None)
+    if isinstance(msg, _ChunkHeader):
+        return _ChunkHeader(_copy(msg.skeleton), list(msg.plans))
+    return _copy(msg)
+
+
+def _release_wire(payload: Any) -> None:
+    """Hand a drained, undelivered message's pooled staging back."""
+    if isinstance(payload, _ChunkSeg) and payload.pool is not None:
+        payload.pool.release(payload.part)
 
 
 # -- chunked (segmented) transfer protocol --------------------------------------
@@ -315,6 +408,15 @@ class _PartialMessage:
 
         return unwalk(self.header.skeleton)
 
+    def cancel(self) -> None:
+        """Abort the reassembly: return staged segments to their
+        sender's arena and drop the partial state."""
+        for pool, part in self._pooled:
+            pool.release(part)
+        self._pooled.clear()
+        self.parts = []
+        self.remaining = 0
+
 
 # -- requests -------------------------------------------------------------------
 
@@ -406,6 +508,12 @@ class RecvRequest(Request):
         if self.test():  # already arrived: fully hidden receive
             return self._value
         comm = self._comm
+        if comm.world.retry is not None and timeout is None:
+            # Hardened channel: run the retry/timeout state machine
+            # instead of the single long block.
+            self._value = comm._recv_reliable(self.source, self.tag)
+            self._done = True
+            return self._value
         key = (self.source, self.tag)
         limit = comm.world.timeout_s if timeout is None else timeout
         t0 = time.perf_counter()
@@ -434,6 +542,11 @@ class World:
     ``buffer_pool=True`` gives every rank's communicator its own
     :class:`~repro.blas.buffers.BufferPool` for send-side segment
     staging (pass a shared instance to pool across ranks).
+
+    ``injector`` / ``retry`` switch the wire into resilient mode (see
+    the module docstring): an injector without an explicit policy gets
+    the default :class:`~repro.resilience.retry.RetryPolicy`, so every
+    injected fault is met by the full heal machinery.
     """
 
     def __init__(
@@ -441,11 +554,23 @@ class World:
         size: int,
         timeout_s: float = DEFAULT_TIMEOUT_S,
         buffer_pool=None,
+        injector: Optional["FaultInjector"] = None,
+        retry: Optional[RetryPolicy] = None,
     ):
         if size < 1:
             raise ValueError("world size must be positive")
         self.size = size
         self.timeout_s = timeout_s
+        self.injector = injector
+        if injector is not None and retry is None:
+            retry = RetryPolicy()
+        self.retry = retry
+        #: Resilient mode: messages travel in sequenced, checksummed
+        #: envelopes and receives run the retry state machine.
+        self.resilient = retry is not None
+        self._dead: set = set()
+        self._dead_lock = threading.Lock()
+        self._closed = False
         self._boxes: Dict[Tuple[int, int], queue.Queue] = {
             (s, d): queue.Queue() for s in range(size) for d in range(size)
         }
@@ -454,9 +579,25 @@ class World:
             Comm(self, rank, buffer_pool=buffer_pool) for rank in range(size)
         ]
 
+    def declare_dead(self, rank: int) -> None:
+        """Mark a rank as failed so peers stop waiting on it."""
+        with self._dead_lock:
+            self._dead.add(rank)
+
+    def is_dead(self, rank: int) -> bool:
+        """Whether ``rank`` has been declared failed."""
+        with self._dead_lock:
+            return rank in self._dead
+
     def run(self, fn: Callable, *args, **kwargs) -> List[Any]:
         """SPMD-launch ``fn(comm, *args, **kwargs)`` on every rank and
-        return the per-rank results (first exception re-raised)."""
+        return the per-rank results.
+
+        On failure the root cause wins: a non-:class:`CommError` rank
+        exception (e.g. an injected crash) is re-raised in preference to
+        the secondary timeouts/dead-peer errors it cascades into on the
+        surviving ranks.
+        """
         results: List[Any] = [None] * self.size
         errors: List[Optional[BaseException]] = [None] * self.size
 
@@ -465,6 +606,7 @@ class World:
                 results[rank] = fn(self.comms[rank], *args, **kwargs)
             except BaseException as exc:  # noqa: BLE001 — surfaced below
                 errors[rank] = exc
+                self.declare_dead(rank)
                 self._barrier.abort()
 
         threads = [
@@ -481,10 +623,43 @@ class World:
         finally:
             for comm in self.comms:
                 comm._shutdown_tx()
+        first_comm_error: Optional[BaseException] = None
         for exc in errors:
-            if exc is not None:
+            if exc is None:
+                continue
+            if isinstance(exc, CommError):
+                if first_comm_error is None:
+                    first_comm_error = exc
+            else:
                 raise exc
+        if first_comm_error is not None:
+            raise first_comm_error
         return results
+
+    def close(self) -> None:
+        """Idempotent teardown for aborted (or finished) runs: close
+        every rank's communicator — stopping sender threads, cancelling
+        partial transfers, clearing stashes — then drain the mailboxes,
+        returning any staged segments still in flight to their arenas.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for comm in self.comms:
+            comm.close()
+        for box in self._boxes.values():
+            while True:
+                try:
+                    _tag, payload = box.get_nowait()
+                except queue.Empty:
+                    break
+                _release_wire(payload)
+
+    def __enter__(self) -> "World":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 class Comm:
@@ -510,10 +685,50 @@ class Comm:
         self._tx_queue: Optional[queue.Queue] = None
         self._tx_thread: Optional[threading.Thread] = None
         self._tx_lock = threading.Lock()
+        self._closed = False
+        #: Reliable-channel accounting (always present; populated only
+        #: in resilient mode).
+        self.rstats = CommResilienceStats()
+        # Reliable-channel state: send-side sequence counters and the
+        # retained resend window per (dest, tag); receive-side expected
+        # sequence, out-of-order buffer and pending-resend markers per
+        # (source, tag).
+        self._wire_lock = threading.Lock()
+        self._out_seq: Dict[Tuple[int, int], int] = {}
+        self._sent: Dict[Tuple[int, int], Deque[_Envelope]] = {}
+        self._in_seq: Dict[Tuple[int, int], int] = {}
+        self._reorder: Dict[Tuple[int, int], Dict[int, _Envelope]] = {}
+        self._resend_pending: Dict[Tuple[int, int], int] = {}
 
     @property
     def size(self) -> int:
         return self.world.size
+
+    def close(self) -> None:
+        """Idempotent endpoint teardown: stop the background sender,
+        cancel partial transfers (returning staged segments to their
+        arenas) and clear the stash and reliable-channel windows. Safe
+        to call from the driver's error path mid-transfer."""
+        if self._closed:
+            return
+        self._closed = True
+        self._shutdown_tx()
+        for partial in self._partial.values():
+            partial.cancel()
+        self._partial.clear()
+        self._stash.clear()
+        with self._wire_lock:
+            self._out_seq.clear()
+            self._sent.clear()
+            self._in_seq.clear()
+            self._reorder.clear()
+            self._resend_pending.clear()
+
+    def __enter__(self) -> "Comm":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- background sender ------------------------------------------------------
     def _ensure_tx(self) -> None:
@@ -554,28 +769,69 @@ class Comm:
     ) -> None:
         """Copy (or stage), optionally segment, account and enqueue one
         message."""
-        box = self.world._boxes[(self.rank, dest)]
+        injector = self.world.injector
+        if injector is not None:
+            delay = injector.send_delay(self.rank)
+            if delay > 0.0:
+                time.sleep(delay)
         if chunk_bytes:
-            encoded = _encode_chunks(obj, chunk_bytes, pool=self.pool)
+            # In resilient mode segments are fresh copies, never pooled
+            # staging: dedup-discard, abort drains and resends can then
+            # never double-release arena memory.
+            stage_pool = None if self.world.resilient else self.pool
+            encoded = _encode_chunks(obj, chunk_bytes, pool=stage_pool)
             if encoded is not None:
                 header, segments = encoded
                 skeleton_bytes = _payload_bytes(header.skeleton)
                 self.stats.record(op, skeleton_bytes)
                 self.stats.record_staging(copied=skeleton_bytes)
-                box.put((tag, header))
+                self._put_wire(dest, tag, header, op)
                 for seg in segments:
                     self.stats.record(op, seg.part.nbytes)
                     if seg.pool is not None:
                         self.stats.record_staging(staged=seg.part.nbytes)
                     else:
                         self.stats.record_staging(copied=seg.part.nbytes)
-                    box.put((tag, seg))
+                    self._put_wire(dest, tag, seg, op)
                 return
         payload = _copy(obj)
         nbytes = _payload_bytes(payload)
         self.stats.record(op, nbytes)
         self.stats.record_staging(copied=nbytes)
-        box.put((tag, payload))
+        self._put_wire(dest, tag, payload, op)
+
+    def _put_wire(self, dest: int, tag: int, msg: Any, op: str) -> None:
+        """Enqueue one wire message; in resilient mode, wrap it in a
+        sequenced, checksummed envelope, retain it for resends and give
+        the fault injector its shot at the delivery."""
+        box = self.world._boxes[(self.rank, dest)]
+        if not self.world.resilient:
+            box.put((tag, msg))
+            return
+        injector = self.world.injector
+        with self._wire_lock:
+            key = (dest, tag)
+            seq = self._out_seq.get(key, 0)
+            self._out_seq[key] = seq + 1
+            env = _Envelope(seq, _checksum(msg), msg)
+            self._sent.setdefault(key, deque(maxlen=_SEND_WINDOW)).append(env)
+        action = (
+            injector.wire_action(self.rank, dest, tag, op)
+            if injector is not None
+            else None
+        )
+        if action == "drop":
+            return  # retained in the send window; healed by resend
+        if action == "corrupt":
+            # Deliver a bit-flipped copy under the pristine checksum, so
+            # the receiver detects the damage and requests the original.
+            payload = _wire_copy(msg)
+            injector.corrupt_arrays(list(_arrays_in(payload)))
+            box.put((tag, _Envelope(seq, env.checksum, payload)))
+            return
+        box.put((tag, env))
+        if action == "duplicate":
+            box.put((tag, _Envelope(seq, env.checksum, _wire_copy(msg))))
 
     # -- receive machinery ------------------------------------------------------
     def _route(self, source: int, tag: int, payload: Any) -> None:
@@ -609,8 +865,122 @@ class Comm:
                 got_tag, payload = box.get(timeout=timeout)
         except queue.Empty:
             return False
-        self._route(source, got_tag, payload)
+        if isinstance(payload, _Envelope):
+            self._route_envelope(source, got_tag, payload)
+        else:
+            self._route(source, got_tag, payload)
         return True
+
+    # -- reliable channel (resilient mode) ---------------------------------------
+    def _route_envelope(self, source: int, tag: int, env: _Envelope) -> None:
+        """Sequence-check one envelope: discard duplicates, buffer
+        out-of-order arrivals (requesting a resend across the gap),
+        verify the checksum and deliver in order."""
+        key = (source, tag)
+        expected = self._in_seq.get(key, 0)
+        if env.seq < expected:
+            self.rstats.record_duplicate()
+            return
+        if env.seq > expected:
+            self._reorder.setdefault(key, {})[env.seq] = env
+            self._request_resend(source, tag, expected)
+            return
+        if not self._accept(source, tag, env):
+            return
+        buffered = self._reorder.get(key)
+        while buffered:
+            nxt = buffered.pop(self._in_seq.get(key, 0), None)
+            if nxt is None:
+                break
+            if not self._accept(source, tag, nxt):
+                break
+        if buffered is not None and not buffered:
+            self._reorder.pop(key, None)
+
+    def _accept(self, source: int, tag: int, env: _Envelope) -> bool:
+        """Checksum-verify and deliver the next-in-sequence envelope.
+        Returns False (after requesting a resend) on corruption."""
+        key = (source, tag)
+        if _checksum(env.payload) != env.checksum:
+            self.rstats.record_corruption()
+            policy = self.world.retry
+            if policy is None or policy.max_retries == 0:
+                raise CommCorruption(
+                    f"rank {self.rank}: checksum mismatch on tag {tag} "
+                    f"from {source} (seq {env.seq})"
+                )
+            self._request_resend(source, tag, env.seq, force=True)
+            return False
+        self._in_seq[key] = env.seq + 1
+        self._resend_pending.pop(key, None)
+        self._route(source, tag, env.payload)
+        return True
+
+    def _request_resend(
+        self, source: int, tag: int, from_seq: int, force: bool = False
+    ) -> None:
+        """Ask ``source`` to retransmit its (tag) window from
+        ``from_seq``; deduplicated unless ``force`` (corruption and
+        timeout escalations always re-request)."""
+        key = (source, tag)
+        if not force and self._resend_pending.get(key) == from_seq:
+            return
+        self._resend_pending[key] = from_seq
+        self.rstats.record_resend_request()
+        self.world.comms[source]._do_resend(self.rank, tag, from_seq)
+
+    def _do_resend(self, dest: int, tag: int, from_seq: int) -> None:
+        """Retransmit retained envelopes with ``seq >= from_seq`` (as
+        fresh copies; duplicates are discarded by sequence number).
+        Runs on the requester's thread — all state is lock-protected."""
+        with self._wire_lock:
+            envs = [
+                (e.seq, e.checksum, e.payload)
+                for e in self._sent.get((dest, tag), ())
+                if e.seq >= from_seq
+            ]
+        box = self.world._boxes[(self.rank, dest)]
+        for seq, checksum, payload in envs:
+            box.put((tag, _Envelope(seq, checksum, _wire_copy(payload))))
+        if envs:
+            self.rstats.record_resends(len(envs))
+
+    def _recv_reliable(self, source: int, tag: int) -> Any:
+        """Blocking receive under the retry state machine: wait in
+        backoff-growing slices, requesting a resend whenever a slice
+        expires, until the message lands or the budget is exhausted."""
+        policy = self.world.retry
+        key = (source, tag)
+        t0 = time.perf_counter()
+        attempt = 0
+        deadline = t0 + policy.slice_s(0)
+        while True:
+            q = self._stash.get(key)
+            if q:
+                self.stats.add_wait(time.perf_counter() - t0)
+                return q.popleft()
+            if self.world.is_dead(source):
+                raise RankDeadError(
+                    f"rank {self.rank}: peer {source} died while waiting "
+                    f"for tag {tag}"
+                )
+            now = time.perf_counter()
+            if now >= deadline:
+                attempt += 1
+                self.rstats.record_retry(attempt)
+                if attempt > policy.max_retries:
+                    raise CommTimeout(
+                        f"rank {self.rank}: no message with tag {tag} from "
+                        f"{source} after {policy.max_retries} retries "
+                        f"({now - t0:.2f}s)"
+                    )
+                self._request_resend(
+                    source, tag, self._in_seq.get(key, 0), force=True
+                )
+                deadline = now + policy.slice_s(attempt)
+            self._pump(
+                source, timeout=max(1e-4, min(_POLL_SLICE_S, deadline - now))
+            )
 
     def _check_rank(self, rank: int, role: str) -> None:
         if not 0 <= rank < self.size:
@@ -640,6 +1010,8 @@ class Comm:
 
     def recv(self, source: int, tag: int = 0) -> Any:
         self._check_rank(source, "source")
+        if self.world.retry is not None:
+            return self._recv_reliable(source, tag)
         key = (source, tag)
         while True:
             q = self._stash.get(key)
@@ -715,34 +1087,69 @@ class Comm:
         self.send(obj, root, tag=-3, op=op)
         return None
 
-    def allreduce(self, value, op: Callable = None):
-        """Reduce-to-all (default: sum) with a recursive-doubling
-        exchange for power-of-two worlds — log2(P) rounds instead of the
-        O(P) gather + star broadcast, which remains the fallback for
-        non-power-of-two sizes.
+    def allreduce(self, value, op: Callable = None, algo: str = "auto"):
+        """Reduce-to-all (default: sum).
 
-        The reduction ``op`` must be associative and commutative; values
-        are combined in a fixed rank-ordered binary tree, so every rank
-        computes bit-identical results.
+        ``algo="rd"`` runs recursive doubling for *any* world size:
+        power-of-two worlds exchange in log2(P) rounds exactly as
+        before; non-power-of-two worlds add the classic pre/post phase
+        (the first ``2r`` ranks pair up, the odd partner joining the
+        power-of-two core and handing the result back at the end).
+        ``algo="gather"`` is the O(P) gather + star-broadcast fallback.
+        ``algo="auto"`` keeps the historical selection (recursive
+        doubling for power-of-two sizes, gather otherwise).
+
+        The reduction ``op`` must be associative and commutative.
+        Values are always combined in the same rank-ordered balanced
+        binary tree over the core values — the gather fallback's root
+        replays exactly the tree recursive doubling computes — so every
+        rank, under either algorithm, produces bit-identical results.
         """
         size = self.size
         if size == 1:
             return _copy(value)
         combine = (lambda a, b: a + b) if op is None else op
-        if size & (size - 1):  # non-power-of-two: gather + broadcast
+        pow2 = size & (size - 1) == 0
+        if algo == "auto":
+            algo = "rd" if pow2 else "gather"
+        if algo not in ("rd", "gather"):
+            raise ValueError(f"unknown allreduce algo {algo!r}")
+        m = 1  # largest power of two <= size; r pairs fold in/out
+        while m * 2 <= size:
+            m *= 2
+        r = size - m
+        if algo == "gather":
             gathered = self.gather(value, root=0, op="allreduce")
             if self.rank == 0:
-                total = gathered[0]
-                for v in gathered[1:]:
-                    total = combine(total, v)
-                return self.bcast(total, root=0, op="allreduce")
+                core = [
+                    combine(gathered[2 * j], gathered[2 * j + 1])
+                    for j in range(r)
+                ] + gathered[2 * r :]
+                while len(core) > 1:  # the rank-ordered balanced tree
+                    core = [
+                        combine(core[i], core[i + 1])
+                        for i in range(0, len(core), 2)
+                    ]
+                return self.bcast(core[0], root=0, op="allreduce")
             return self.bcast(None, root=0, op="allreduce")
         acc = _copy(value)
+        if self.rank < 2 * r:
+            if self.rank % 2 == 0:
+                # Pre-phase even rank: contribute and wait for the result.
+                self.send(acc, self.rank + 1, tag=-5, op="allreduce")
+                return self.recv(self.rank + 1, tag=-6)
+            acc = combine(self.recv(self.rank - 1, tag=-5), acc)
+            idx = self.rank // 2
+        else:
+            idx = self.rank - r
         mask = 1
-        while mask < size:
-            peer = self.rank ^ mask
+        while mask < m:
+            peer_idx = idx ^ mask
+            peer = 2 * peer_idx + 1 if peer_idx < r else peer_idx + r
             theirs = self.sendrecv(acc, peer, tag=-5, op="allreduce")
-            lo, hi = (acc, theirs) if self.rank < peer else (theirs, acc)
+            lo, hi = (acc, theirs) if idx < peer_idx else (theirs, acc)
             acc = combine(lo, hi)
             mask <<= 1
+        if self.rank < 2 * r:  # post-phase: hand the even partner its copy
+            self.send(acc, self.rank - 1, tag=-6, op="allreduce")
         return acc

@@ -73,6 +73,13 @@ from repro.lu.factorize import lu_solve
 from repro.lu.timing import LUTiming
 from repro.obs import AllocProfiler, MetricsRegistry, RunResult
 from repro.parallel import TileExecutor
+from repro.resilience import (
+    CheckpointStore,
+    FaultInjector,
+    FaultPlan,
+    RankCrashError,
+    RetryPolicy,
+)
 
 #: Tag bases for the look-ahead panel / U broadcast streams (one tag per
 #: stage keeps concurrent stages from cross-matching).
@@ -94,6 +101,11 @@ class DistributedResult(RunResult):
     receives/waits (communication on the critical path) summed over
     ranks; ``hidden_comm_s`` is the background-drain time that never
     blocked compute — the look-ahead's win.
+
+    ``resilience`` is the recovery report of a hardened run (attempts,
+    recoveries, retry/resend counters, checkpoint traffic); it stays
+    ``None`` on plain runs, whose results are bit-identical to a build
+    without the resilience subsystem.
     """
 
     n: int
@@ -116,6 +128,7 @@ class DistributedResult(RunResult):
     hidden_comm_s: float = 0.0
     metrics: Optional[MetricsRegistry] = None
     alloc: Optional[dict] = None
+    resilience: Optional[dict] = None
 
     kind = "distributed"
 
@@ -153,9 +166,18 @@ class DistributedHPL:
         chunk_kb: Optional[float] = None,
         buffer_pool: bool = True,
         alloc_profile: bool = False,
+        fault_plan: "FaultPlan | str | None" = None,
+        checkpoint_every: Optional[int] = None,
+        checkpoint_store: Optional[CheckpointStore] = None,
+        retry: Optional[RetryPolicy] = None,
+        max_recoveries: int = 3,
     ):
         if n < 1 or nb < 1:
             raise ValueError("n and nb must be positive")
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be positive")
+        if max_recoveries < 0:
+            raise ValueError("max_recoveries must be >= 0")
         if bcast_algo not in self.BCAST_ALGOS:
             raise ValueError(f"bcast_algo must be one of {self.BCAST_ALGOS}")
         if swap_algo not in self.SWAP_ALGOS:
@@ -184,6 +206,29 @@ class DistributedHPL:
         self._executor = None
         self.grid = ProcessGrid(p, q)
         self.bc = BlockCyclic(n, nb, self.grid)
+        # Resilience wiring: a fault plan (object, DSL/JSON string, or
+        # path), panel-boundary checkpointing, and the reliable-channel
+        # retry policy. A run is "resilient" when any of them is set —
+        # plain runs keep the original wire format and result fields.
+        self.fault_plan = (
+            None if fault_plan is None else FaultPlan.load(fault_plan)
+        )
+        self._injector = (
+            FaultInjector(self.fault_plan) if self.fault_plan is not None else None
+        )
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_store = checkpoint_store
+        if checkpoint_every is not None and self.checkpoint_store is None:
+            self.checkpoint_store = CheckpointStore()
+        self.retry = retry
+        self.max_recoveries = max_recoveries
+        self.resilient = (
+            self._injector is not None
+            or retry is not None
+            or checkpoint_every is not None
+        )
+        self._resume_cursor: Optional[int] = None
+        self._epoch = 0
 
     # -- shared stage pieces ------------------------------------------------------
     def _factor_panel(
@@ -329,6 +374,62 @@ class DistributedHPL:
             rest = np.arange(trail_cols.size)
         return early, rest
 
+    # -- checkpoint / restore hooks -------------------------------------------------
+    def _panel_boundary(
+        self,
+        comm: Comm,
+        k: int,
+        k_start: int,
+        a_loc: np.ndarray,
+        stage_pivots: List[np.ndarray],
+        panel_state=None,
+    ) -> None:
+        """The resilience hook at the top of stage ``k``: save a
+        checkpoint when the cadence says so (skipping stage 0 and the
+        stage just restored), then give the fault injector its chance
+        to kill this rank.
+
+        A checkpoint at cursor ``k`` holds everything stage ``k`` needs:
+        the local tiles with every stage ``< k`` applied, the
+        accumulated pivots, the progress cursor/epoch, and (look-ahead
+        owner columns) the already-factored stage-``k`` panel whose
+        broadcast was in flight.
+        """
+        every = self.checkpoint_every
+        if every and k > 0 and k % every == 0 and k != k_start:
+            state = {
+                "epoch": self._epoch,
+                "cursor": k,
+                "a_loc": a_loc,
+                "pivots": [np.asarray(p) for p in stage_pivots],
+            }
+            if panel_state is not None:
+                g_rows, block, ipiv = panel_state
+                state["panel_g_rows"] = np.asarray(g_rows)
+                state["panel_block"] = np.asarray(block)
+                state["panel_ipiv"] = np.asarray(ipiv)
+            self.checkpoint_store.save(comm.rank, k, state)
+        if self._injector is not None:
+            self._injector.crash_point(comm.rank, k)
+
+    def _restore(self, comm: Comm, a_loc: np.ndarray):
+        """Roll this rank back to the resume cursor (no-op on a fresh
+        start). Returns ``(k_start, stage_pivots, panel_state)``."""
+        cursor = self._resume_cursor
+        if cursor is None:
+            return 0, [], None
+        state = self.checkpoint_store.load(comm.rank, cursor)
+        np.copyto(a_loc, state["a_loc"])
+        pivots = [np.asarray(p) for p in state["pivots"]]
+        panel_state = None
+        if "panel_block" in state:
+            panel_state = (
+                np.asarray(state["panel_g_rows"]),
+                np.asarray(state["panel_block"]),
+                np.asarray(state["panel_ipiv"]),
+            )
+        return cursor, pivots, panel_state
+
     # -- the synchronous SPMD body ------------------------------------------------
     def _rank_main(self, comm: Comm):
         bc, grid = self.bc, self.grid
@@ -339,10 +440,11 @@ class DistributedHPL:
         a_loc = hpl_submatrix(self.n, rows, cols, seed=self.seed)
         cache = PackCache() if self.pack_cache else None
         pool = as_buffer_pool(self.buffer_pool)  # per-rank arena
-        stage_pivots: List[np.ndarray] = []
+        k_start, stage_pivots, _saved_panel = self._restore(comm, a_loc)
         bcast_wall_s, bcast_calls = 0.0, 0  # per-algorithm broadcast time
 
-        for k in range(bc.n_blocks):
+        for k in range(k_start, bc.n_blocks):
+            self._panel_boundary(comm, k, k_start, a_loc, stage_pivots)
             k0 = k * self.nb
             kw = min(self.nb, self.n - k0)
             owner_row = k % grid.p
@@ -449,7 +551,7 @@ class DistributedHPL:
         a_loc = hpl_submatrix(self.n, rows, cols, seed=self.seed)
         cache = PackCache() if self.pack_cache else None
         pool = as_buffer_pool(self.buffer_pool)  # per-rank arena
-        stage_pivots: List[np.ndarray] = []
+        k_start, stage_pivots, saved_panel = self._restore(comm, a_loc)
         nstages = bc.n_blocks
         algo = self.bcast_algo
         chunk = self.chunk_bytes
@@ -459,21 +561,40 @@ class DistributedHPL:
         track = comm.rank == 0  # rank 0 records per-stage overlap deltas
         stage_overlap: List[Tuple[float, float]] = []
 
-        # Stage 0 has nothing to hide behind: factor the first panel and
-        # launch its broadcast up front.
-        if my_col == 0 % grid.q:
-            panel_state = self._factor_panel(comm, a_loc, rows, cols, 0, pool=pool)
+        # The first stage has nothing to hide behind: factor its panel
+        # (on a restore: reuse the checkpointed, already-factored panel
+        # whose broadcast was in flight at the cut) and launch the
+        # broadcast up front.
+        first_owner_col = k_start % grid.q
+        if my_col == first_owner_col:
+            if k_start and saved_panel is None:
+                raise RuntimeError(
+                    f"rank {comm.rank}: checkpoint at cursor {k_start} is "
+                    "missing the in-flight panel state"
+                )
+            panel_state = (
+                saved_panel
+                if saved_panel is not None
+                else self._factor_panel(comm, a_loc, rows, cols, k_start, pool=pool)
+            )
             send_reqs += ibcast_panel_start(
-                comm, grid, panel_state, 0 % grid.q, _PANEL_TAG, algo=algo, chunk_bytes=chunk
+                comm, grid, panel_state, first_owner_col, _PANEL_TAG + k_start,
+                algo=algo, chunk_bytes=chunk,
             )
         else:
-            pending = ibcast_panel_post(comm, grid, 0 % grid.q, _PANEL_TAG, algo=algo)
+            pending = ibcast_panel_post(
+                comm, grid, first_owner_col, _PANEL_TAG + k_start, algo=algo
+            )
 
-        for k in range(nstages):
+        for k in range(k_start, nstages):
             k0 = k * self.nb
             kw = min(self.nb, self.n - k0)
             owner_row = k % grid.p
             owner_col = k % grid.q
+            self._panel_boundary(
+                comm, k, k_start, a_loc, stage_pivots,
+                panel_state=panel_state if my_col == owner_col else None,
+            )
             snap0 = comm.stats.overlap_snapshot() if track else None
 
             # 1. Collect the stage panel (+ pivots, riding along) that
@@ -689,16 +810,109 @@ class DistributedHPL:
             )
         return comm.bcast(payload, root=root, ranks=group)
 
+    def _harvest_resilience(self, world: World, totals: dict) -> None:
+        """Accumulate every rank's reliable-channel counters from one
+        (possibly failed) attempt into the run totals."""
+        for comm in world.comms:
+            snap = comm.rstats.snapshot()
+            for key in (
+                "retries",
+                "resend_requests",
+                "resends",
+                "corruption_detected",
+                "duplicates_dropped",
+            ):
+                totals[key] = totals.get(key, 0) + snap[key]
+            hist = totals.setdefault("retry_histogram", {})
+            for attempt, count in snap["retry_histogram"].items():
+                hist[attempt] = hist.get(attempt, 0) + count
+
+    def _resilience_report(
+        self, attempts: int, recoveries: int, totals: dict
+    ) -> dict:
+        """The run's ``resilience`` block: recovery and retry counters
+        plus fault-injection and checkpoint accounting."""
+        report = {"attempts": attempts, "recoveries": recoveries}
+        report.update(totals)
+        report.setdefault("retry_histogram", {})
+        if self._injector is not None:
+            report["faults_injected"] = self._injector.fired_summary()
+        if self.checkpoint_store is not None:
+            report.update(self.checkpoint_store.stats.snapshot())
+        return report
+
+    def _publish_resilience(self, metrics: MetricsRegistry, report: dict) -> None:
+        """Mirror the resilience report into the metrics registry."""
+        for key in (
+            "attempts",
+            "recoveries",
+            "retries",
+            "resend_requests",
+            "resends",
+            "corruption_detected",
+            "duplicates_dropped",
+            "checkpoints",
+            "checkpoint_bytes",
+            "restores",
+            "restored_bytes",
+        ):
+            if key in report:
+                metrics.counter(f"resilience.{key}").inc(report[key])
+        for attempt in sorted(report["retry_histogram"]):
+            metrics.counter(f"resilience.retry_histogram.{attempt}").inc(
+                report["retry_histogram"][attempt]
+            )
+        if report.get("checkpoints"):
+            metrics.timer("resilience.checkpoint_time_s").add(
+                report["checkpoint_time_s"], count=report["checkpoints"]
+            )
+
     def run(self) -> DistributedResult:
-        world = World(self.grid.size, buffer_pool=self.buffer_pool)
         executor = TileExecutor(self.workers) if self.workers is not None else None
         self._executor = executor
         body = self._rank_main_lookahead if self.lookahead else self._rank_main
         profiler = AllocProfiler(enabled=self.alloc_profile)
+        totals: dict = {}
+        attempts = 0
+        recoveries = 0
+        self._resume_cursor = None
         t0 = time.perf_counter()
         try:
             with profiler.span("dist.run"):
-                results = world.run(body)
+                # Rollback-recovery loop: a rank crash rolls every rank
+                # back to the newest complete checkpoint and re-runs on
+                # a fresh world; the surviving faults (already consumed
+                # by the one-shot injector) cannot re-fire.
+                while True:
+                    attempts += 1
+                    self._epoch = attempts
+                    world = World(
+                        self.grid.size,
+                        buffer_pool=self.buffer_pool,
+                        injector=self._injector,
+                        retry=self.retry,
+                    )
+                    try:
+                        results = world.run(body)
+                        self._harvest_resilience(world, totals)
+                        break
+                    except RankCrashError:
+                        self._harvest_resilience(world, totals)
+                        recoveries += 1
+                        store = self.checkpoint_store
+                        if store is None or recoveries > self.max_recoveries:
+                            raise
+                        # Newest cursor every rank checkpointed. A crash
+                        # can land before the surviving ranks reach that
+                        # boundary (no complete cut yet) — then the
+                        # rollback target is the initial state (None).
+                        self._resume_cursor = store.latest_complete(
+                            self.grid.size
+                        )
+                    finally:
+                        # The driver's error path: stop sender threads,
+                        # cancel partial transfers, drain the mailboxes.
+                        world.close()
         finally:
             self._executor = None
             profiler.close()
@@ -707,11 +921,15 @@ class DistributedHPL:
         out.time_s = wall_s
         out.gflops = LUTiming.hpl_flops(self.n) / wall_s / 1e9
         out.alloc = profiler.to_dict()
+        if self.resilient:
+            out.resilience = self._resilience_report(attempts, recoveries, totals)
         if out.metrics is not None:
             out.metrics.gauge("hpl.wall_time_s").set(wall_s)
             profiler.publish(out.metrics)
             if executor is not None:
                 executor.publish(out.metrics)
+            if out.resilience is not None:
+                self._publish_resilience(out.metrics, out.resilience)
         if executor is not None:
             executor.close()
         return out

@@ -1,0 +1,48 @@
+"""Resilience: fault injection, comm hardening and checkpoint/restart.
+
+The paper's multi-node runs are long-lived jobs where one slow or dead
+rank wastes the whole allocation; this package gives the reproduction
+the corresponding machinery:
+
+* :mod:`repro.resilience.faults` — seeded, deterministic fault plans
+  (rank crash at stage k, message drop / duplicate / bit-flip
+  corruption by op+tag, slow-rank latency with jitter) executed by a
+  :class:`FaultInjector` hooked into the simulated communicator and the
+  distributed HPL stage loop;
+* :mod:`repro.resilience.retry` — the :class:`RetryPolicy`
+  (timeout, exponential backoff, bounded retries) that drives the
+  reliable channel in :mod:`repro.cluster.comm`, plus its per-rank
+  counters;
+* :mod:`repro.resilience.checkpoint` — the panel-boundary
+  :class:`CheckpointStore` (in-memory or on-disk ``.npz`` blobs) that
+  rollback-recovery restores from, bitwise-exactly.
+"""
+
+from repro.resilience.faults import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    RankCrashError,
+)
+from repro.resilience.retry import CommResilienceStats, RetryPolicy
+from repro.resilience.checkpoint import (
+    CheckpointStats,
+    CheckpointStore,
+    pack_state,
+    unpack_state,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "RankCrashError",
+    "CommResilienceStats",
+    "RetryPolicy",
+    "CheckpointStats",
+    "CheckpointStore",
+    "pack_state",
+    "unpack_state",
+]

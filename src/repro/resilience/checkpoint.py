@@ -1,0 +1,178 @@
+"""Panel-boundary checkpoint store for the distributed factorization.
+
+Every rank serialises its restart state — local tiles, accumulated
+pivots, progress cursor, comm epoch — at panel boundaries into a
+:class:`CheckpointStore`. The store keeps each checkpoint as an
+``.npz``-encoded byte blob, either in memory (default: rollback across
+in-process restart attempts) or on disk (``dir=...``: survives the
+process). Saves and loads deep-copy through the serialised bytes, so a
+restored state can never alias live rank buffers.
+
+State dicts may hold NumPy arrays, ``int``/``float`` scalars and flat
+lists of arrays; :func:`pack_state` / :func:`unpack_state` do the
+key-prefixed flattening (``a:`` array, ``s:`` scalar, ``l:`` list
+element) so arbitrary combinations round-trip exactly — including
+dtypes, which is what makes rollback-recovery bitwise reproducible.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import threading
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+def pack_state(state: Dict[str, object]) -> Dict[str, np.ndarray]:
+    """Flatten a state dict into named arrays for ``np.savez``."""
+    flat: Dict[str, np.ndarray] = {}
+    for key, value in state.items():
+        if ":" in key:
+            raise ValueError(f"state key {key!r} must not contain ':'")
+        if value is None:
+            continue
+        if isinstance(value, np.ndarray):
+            flat[f"a:{key}"] = value
+        elif isinstance(value, (int, float, np.integer, np.floating)):
+            flat[f"s:{key}"] = np.asarray(value)
+        elif isinstance(value, (list, tuple)):
+            for i, item in enumerate(value):
+                flat[f"l:{key}:{i}"] = np.asarray(item)
+            flat[f"s:{key}#len"] = np.asarray(len(value))
+        else:
+            raise TypeError(f"unsupported checkpoint value for {key!r}")
+    return flat
+
+
+def unpack_state(flat: Dict[str, np.ndarray]) -> Dict[str, object]:
+    """Invert :func:`pack_state` (lists come back as Python lists)."""
+    state: Dict[str, object] = {}
+    lists: Dict[str, Dict[int, np.ndarray]] = {}
+    for name in flat:
+        prefix, _, rest = name.partition(":")
+        if prefix == "a":
+            state[rest] = np.asarray(flat[name])
+        elif prefix == "s":
+            value = np.asarray(flat[name])
+            if rest.endswith("#len"):
+                state.setdefault(rest[: -len("#len")], [])
+            else:
+                state[rest] = value.item()
+        elif prefix == "l":
+            key, _, idx = rest.rpartition(":")
+            lists.setdefault(key, {})[int(idx)] = np.asarray(flat[name])
+    for key, items in lists.items():
+        state[key] = [items[i] for i in sorted(items)]
+    return state
+
+
+class CheckpointStats:
+    """Thread-safe save/restore accounting for one store."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.saves = 0
+        self.bytes_saved = 0
+        self.save_time_s = 0.0
+        self.restores = 0
+        self.bytes_restored = 0
+
+    def record_save(self, nbytes: int, seconds: float) -> None:
+        """Count one checkpoint write of ``nbytes``."""
+        with self._lock:
+            self.saves += 1
+            self.bytes_saved += nbytes
+            self.save_time_s += seconds
+
+    def record_restore(self, nbytes: int) -> None:
+        """Count one checkpoint read of ``nbytes``."""
+        with self._lock:
+            self.restores += 1
+            self.bytes_restored += nbytes
+
+    def snapshot(self) -> Dict[str, object]:
+        """The counters as a plain dict."""
+        with self._lock:
+            return {
+                "checkpoints": self.saves,
+                "checkpoint_bytes": self.bytes_saved,
+                "checkpoint_time_s": self.save_time_s,
+                "restores": self.restores,
+                "restored_bytes": self.bytes_restored,
+            }
+
+
+class CheckpointStore:
+    """Keyed (rank, cursor) checkpoint blobs, in memory or on disk.
+
+    ``cursor`` is the factorization's progress marker (the next stage
+    index): a checkpoint at cursor ``k`` captures a rank's state with
+    every stage ``< k`` fully applied. :meth:`latest_complete` finds the
+    newest cursor at which *every* rank saved — the consistent cut a
+    restart rolls back to.
+    """
+
+    def __init__(self, dir: Optional[str] = None):
+        self.dir = dir
+        if dir is not None:
+            os.makedirs(dir, exist_ok=True)
+        self._blobs: Dict[tuple, bytes] = {}
+        self._lock = threading.Lock()
+        self.stats = CheckpointStats()
+
+    def _path(self, rank: int, cursor: int) -> str:
+        return os.path.join(self.dir, f"ckpt_r{rank}_c{cursor}.npz")
+
+    def save(self, rank: int, cursor: int, state: Dict[str, object]) -> int:
+        """Serialise ``state`` for ``(rank, cursor)``; returns bytes."""
+        t0 = time.perf_counter()
+        buf = io.BytesIO()
+        np.savez(buf, **pack_state(state))
+        blob = buf.getvalue()
+        if self.dir is not None:
+            with open(self._path(rank, cursor), "wb") as fh:
+                fh.write(blob)
+        with self._lock:
+            self._blobs[(rank, cursor)] = blob
+        self.stats.record_save(len(blob), time.perf_counter() - t0)
+        return len(blob)
+
+    def load(self, rank: int, cursor: int) -> Dict[str, object]:
+        """Deserialise the ``(rank, cursor)`` state (fresh copies)."""
+        with self._lock:
+            blob = self._blobs.get((rank, cursor))
+        if blob is None and self.dir is not None:
+            path = self._path(rank, cursor)
+            if os.path.isfile(path):
+                with open(path, "rb") as fh:
+                    blob = fh.read()
+        if blob is None:
+            raise KeyError(f"no checkpoint for rank {rank} at cursor {cursor}")
+        with np.load(io.BytesIO(blob)) as npz:
+            flat = {name: npz[name] for name in npz.files}
+        self.stats.record_restore(len(blob))
+        return unpack_state(flat)
+
+    def cursors(self, rank: int) -> List[int]:
+        """Sorted cursors this rank has checkpoints for."""
+        with self._lock:
+            found = {c for (r, c) in self._blobs if r == rank}
+        if self.dir is not None and os.path.isdir(self.dir):
+            prefix, suffix = f"ckpt_r{rank}_c", ".npz"
+            for name in os.listdir(self.dir):
+                if name.startswith(prefix) and name.endswith(suffix):
+                    found.add(int(name[len(prefix): -len(suffix)]))
+        return sorted(found)
+
+    def latest_complete(self, world_size: int) -> Optional[int]:
+        """Newest cursor checkpointed by all ``world_size`` ranks."""
+        common: Optional[set] = None
+        for rank in range(world_size):
+            mine = set(self.cursors(rank))
+            common = mine if common is None else (common & mine)
+            if not common:
+                return None
+        return max(common) if common else None

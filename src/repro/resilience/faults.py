@@ -1,0 +1,281 @@
+"""Deterministic fault injection for the simulated MPI world.
+
+A :class:`FaultPlan` is a seeded, declarative list of failures —
+rank crashes at a given stage, message drops / duplicates / bit-flip
+corruptions matched by operation and tag, and slow-rank latency with
+optional jitter. A :class:`FaultInjector` executes the plan: the
+communicator consults it on every wire message and the distributed HPL
+stage loop consults it at every panel boundary, so a single seed
+reproduces the exact same failure sequence run after run.
+
+Plans can be written three ways (all accepted by :meth:`FaultPlan.load`):
+
+* the compact DSL, e.g.
+  ``"seed=7;crash:rank=1,stage=3;corrupt:op=bcast,count=2;slow:rank=2,delay=0.001"``;
+* a JSON document (``FaultPlan.to_json`` round-trips);
+* a path to a file holding either of the above.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+#: The failure kinds a :class:`FaultSpec` can name.
+FAULT_KINDS = ("crash", "drop", "duplicate", "corrupt", "slow")
+
+#: Wire-level actions (everything except ``crash`` / ``slow``).
+_WIRE_KINDS = ("drop", "duplicate", "corrupt")
+
+
+class RankCrashError(RuntimeError):
+    """An injected rank failure (the simulated node died)."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One declarative failure.
+
+    ``kind`` selects the failure mode; the remaining fields are
+    matchers (``None`` matches anything):
+
+    * ``crash`` — ``rank`` dies with :class:`RankCrashError` when its
+      stage loop reaches ``stage``;
+    * ``drop`` / ``duplicate`` / ``corrupt`` — wire faults applied to
+      messages matching ``op`` / ``tag`` / ``src`` / ``dest``, skipping
+      the first ``skip`` matches and firing on the next ``count``;
+    * ``slow`` — every send from ``rank`` sleeps ``delay_s`` seconds
+      plus a jitter uniform in ``[0, jitter_s)``.
+    """
+
+    kind: str
+    rank: Optional[int] = None
+    stage: Optional[int] = None
+    op: Optional[str] = None
+    tag: Optional[int] = None
+    src: Optional[int] = None
+    dest: Optional[int] = None
+    count: int = 1
+    skip: int = 0
+    delay_s: float = 0.0
+    jitter_s: float = 0.0
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.kind == "crash" and (self.rank is None or self.stage is None):
+            raise ValueError("crash faults need rank= and stage=")
+        if self.kind == "slow" and self.rank is None:
+            raise ValueError("slow faults need rank=")
+        if self.count < 1 or self.skip < 0:
+            raise ValueError("count must be >= 1 and skip >= 0")
+        if self.delay_s < 0 or self.jitter_s < 0:
+            raise ValueError("delay_s and jitter_s must be non-negative")
+
+    def matches_wire(self, src: int, dest: int, tag: int, op: str) -> bool:
+        """Whether this wire fault's matchers accept the message."""
+        if self.kind not in _WIRE_KINDS:
+            return False
+        if self.src is not None and self.src != src:
+            return False
+        if self.dest is not None and self.dest != dest:
+            return False
+        if self.tag is not None and self.tag != tag:
+            return False
+        if self.op is not None and self.op != op:
+            return False
+        return True
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The spec as a plain dict (defaults omitted) for JSON plans."""
+        out: Dict[str, Any] = {"kind": self.kind}
+        for name, default in (
+            ("rank", None), ("stage", None), ("op", None), ("tag", None),
+            ("src", None), ("dest", None), ("count", 1), ("skip", 0),
+            ("delay_s", 0.0), ("jitter_s", 0.0),
+        ):
+            value = getattr(self, name)
+            if value != default:
+                out[name] = value
+        return out
+
+
+_INT_FIELDS = ("rank", "stage", "tag", "src", "dest", "count", "skip")
+_FLOAT_FIELDS = ("delay_s", "jitter_s")
+#: DSL shorthand -> FaultSpec field.
+_DSL_ALIASES = {"delay": "delay_s", "jitter": "jitter_s"}
+
+
+def _parse_clause(clause: str) -> FaultSpec:
+    """One DSL clause, e.g. ``corrupt:op=bcast,count=2``."""
+    head, _, body = clause.partition(":")
+    kind = head.strip()
+    kwargs: Dict[str, Any] = {}
+    if body.strip():
+        for item in body.split(","):
+            key, eq, value = item.partition("=")
+            key = _DSL_ALIASES.get(key.strip(), key.strip())
+            if not eq:
+                raise ValueError(f"malformed fault field {item!r}")
+            if key in _INT_FIELDS:
+                kwargs[key] = int(value)
+            elif key in _FLOAT_FIELDS:
+                kwargs[key] = float(value)
+            elif key == "op":
+                kwargs[key] = value.strip()
+            else:
+                raise ValueError(f"unknown fault field {key!r}")
+    return FaultSpec(kind=kind, **kwargs)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, immutable collection of :class:`FaultSpec` entries.
+
+    The seed drives every random choice the injector makes (which bit
+    flips, how much jitter), so the whole failure scenario replays
+    exactly from ``FaultPlan(seed=..., faults=...)``.
+    """
+
+    seed: int = 0
+    faults: Tuple[FaultSpec, ...] = ()
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Parse the semicolon DSL (see the module docstring)."""
+        seed = 0
+        faults: List[FaultSpec] = []
+        for clause in text.split(";"):
+            clause = clause.strip()
+            if not clause:
+                continue
+            if clause.startswith("seed="):
+                seed = int(clause[len("seed="):])
+                continue
+            faults.append(_parse_clause(clause))
+        return cls(seed=seed, faults=tuple(faults))
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        """Parse a JSON plan: ``{"seed": N, "faults": [{...}, ...]}``."""
+        doc = json.loads(text)
+        faults = tuple(FaultSpec(**spec) for spec in doc.get("faults", ()))
+        return cls(seed=int(doc.get("seed", 0)), faults=faults)
+
+    def to_json(self) -> str:
+        """Serialize so that ``from_json`` round-trips the plan."""
+        return json.dumps(
+            {"seed": self.seed, "faults": [f.to_dict() for f in self.faults]},
+            sort_keys=True,
+        )
+
+    @classmethod
+    def load(cls, source: "FaultPlan | str") -> "FaultPlan":
+        """Accept a plan object, a DSL string, a JSON string or a path."""
+        if isinstance(source, FaultPlan):
+            return source
+        text = source.strip()
+        if os.path.isfile(source):
+            with open(source) as fh:
+                text = fh.read().strip()
+        if text.startswith("{"):
+            return cls.from_json(text)
+        return cls.parse(text)
+
+
+class FaultInjector:
+    """Executes a :class:`FaultPlan` deterministically.
+
+    The communicator calls :meth:`wire_action` once per outgoing wire
+    message and :meth:`send_delay` once per send; the HPL stage loop
+    calls :meth:`crash_point` at every panel boundary. All methods are
+    thread-safe (ranks run as threads) and all randomness comes from
+    generators derived from the plan seed.
+    """
+
+    def __init__(self, plan: "FaultPlan | str"):
+        self.plan = FaultPlan.load(plan)
+        self._lock = threading.Lock()
+        self._rng = np.random.default_rng(self.plan.seed)
+        #: Matches seen / fired so far, per fault index.
+        self._seen = [0] * len(self.plan.faults)
+        self._fired = [0] * len(self.plan.faults)
+        #: Per-rank jitter streams, split off the plan seed so the
+        #: jitter a rank sees never depends on other ranks' traffic.
+        self._slow_rngs: Dict[int, np.random.Generator] = {}
+
+    # -- stage-loop hook ---------------------------------------------------------
+    def crash_point(self, rank: int, stage: int) -> None:
+        """Raise :class:`RankCrashError` if the plan kills this rank at
+        this stage (one-shot: a crash fault fires at most once)."""
+        with self._lock:
+            for i, f in enumerate(self.plan.faults):
+                if (
+                    f.kind == "crash"
+                    and f.rank == rank
+                    and f.stage == stage
+                    and self._fired[i] < f.count
+                ):
+                    self._fired[i] += 1
+                    raise RankCrashError(
+                        f"injected crash: rank {rank} at stage {stage}"
+                    )
+
+    # -- wire hooks --------------------------------------------------------------
+    def wire_action(self, src: int, dest: int, tag: int, op: str) -> Optional[str]:
+        """The action for one outgoing message: ``None`` (deliver
+        normally), ``"drop"``, ``"duplicate"`` or ``"corrupt"``."""
+        with self._lock:
+            for i, f in enumerate(self.plan.faults):
+                if not f.matches_wire(src, dest, tag, op):
+                    continue
+                self._seen[i] += 1
+                if self._seen[i] <= f.skip or self._fired[i] >= f.count:
+                    continue
+                self._fired[i] += 1
+                return f.kind
+        return None
+
+    def corrupt_arrays(self, arrays: List[np.ndarray]) -> None:
+        """Flip one seeded-random bit in one of ``arrays`` (in place)."""
+        targets = [a for a in arrays if a.size]
+        if not targets:
+            return
+        with self._lock:
+            arr = targets[int(self._rng.integers(len(targets)))]
+            flat = np.ascontiguousarray(arr).view(np.uint8).reshape(-1)
+            pos = int(self._rng.integers(flat.size))
+            bit = int(self._rng.integers(8))
+        flat[pos] ^= np.uint8(1 << bit)
+        if flat.base is not arr and not np.shares_memory(flat, arr):
+            # ascontiguousarray copied: write the flipped bytes back.
+            arr[...] = flat.view(arr.dtype).reshape(arr.shape)
+
+    def send_delay(self, rank: int) -> float:
+        """Seconds this rank's send should stall (0.0 when not slow)."""
+        total = 0.0
+        with self._lock:
+            for f in self.plan.faults:
+                if f.kind == "slow" and f.rank == rank:
+                    total += f.delay_s
+                    if f.jitter_s > 0.0:
+                        rng = self._slow_rngs.get(rank)
+                        if rng is None:
+                            rng = np.random.default_rng([self.plan.seed, rank])
+                            self._slow_rngs[rank] = rng
+                        total += float(rng.uniform(0.0, f.jitter_s))
+        return total
+
+    def fired_summary(self) -> Dict[str, int]:
+        """Count of fired faults by kind (for the resilience report)."""
+        with self._lock:
+            out: Dict[str, int] = {}
+            for f, n in zip(self.plan.faults, self._fired):
+                if n:
+                    out[f.kind] = out.get(f.kind, 0) + n
+            return out

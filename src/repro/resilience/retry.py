@@ -1,0 +1,103 @@
+"""Retry policy and resilience accounting for the hardened channel.
+
+:class:`RetryPolicy` parameterises the reliable-delivery state machine
+in :mod:`repro.cluster.comm`: how long a blocking receive waits before
+suspecting loss (``comm_timeout_s``), how many resend rounds it runs
+(``max_retries``) and how the wait grows between rounds
+(``backoff_factor``). :class:`CommResilienceStats` is the matching
+per-rank counter block — retries, resend traffic, detected corruption,
+discarded duplicates — harvested into the run's ``resilience`` report.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Timeout / backoff / bounded-retry parameters for reliable recv.
+
+    Attempt ``i`` (0-based) of a blocking receive waits
+    ``comm_timeout_s * backoff_factor**i`` seconds before requesting a
+    resend; after ``max_retries`` resend rounds the receive fails with
+    :class:`~repro.cluster.comm.CommTimeout`. ``max_retries=0`` turns
+    detection-only mode on: corruption raises
+    :class:`~repro.cluster.comm.CommCorruption` instead of healing.
+    """
+
+    comm_timeout_s: float = 2.0
+    max_retries: int = 3
+    backoff_factor: float = 2.0
+
+    def __post_init__(self):
+        if self.comm_timeout_s <= 0:
+            raise ValueError("comm_timeout_s must be positive")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1.0")
+
+    def slice_s(self, attempt: int) -> float:
+        """The wait budget for 0-based receive attempt ``attempt``."""
+        return self.comm_timeout_s * self.backoff_factor**attempt
+
+
+class CommResilienceStats:
+    """Thread-safe per-rank counters for the reliable channel."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        #: Receive attempts that timed out and escalated (all ranks sum
+        #: into the run's ``resilience.retries``).
+        self.retries = 0
+        #: Resend requests this rank issued to senders.
+        self.resend_requests = 0
+        #: Envelopes this rank re-transmitted on request.
+        self.resends = 0
+        #: Checksum mismatches detected on receive.
+        self.corruption_detected = 0
+        #: Duplicate envelopes discarded by sequence number.
+        self.duplicates_dropped = 0
+        #: attempt-number -> how many receives needed that many retries.
+        self.retry_histogram: Dict[int, int] = {}
+
+    def record_retry(self, attempt: int) -> None:
+        """Count one timed-out receive attempt (1-based ``attempt``)."""
+        with self._lock:
+            self.retries += 1
+            self.retry_histogram[attempt] = self.retry_histogram.get(attempt, 0) + 1
+
+    def record_resend_request(self) -> None:
+        """Count one resend request issued by this receiver."""
+        with self._lock:
+            self.resend_requests += 1
+
+    def record_resends(self, n: int) -> None:
+        """Count ``n`` envelopes re-transmitted by this sender."""
+        with self._lock:
+            self.resends += n
+
+    def record_corruption(self) -> None:
+        """Count one checksum mismatch caught on receive."""
+        with self._lock:
+            self.corruption_detected += 1
+
+    def record_duplicate(self) -> None:
+        """Count one duplicate envelope discarded on receive."""
+        with self._lock:
+            self.duplicates_dropped += 1
+
+    def snapshot(self) -> Dict[str, object]:
+        """The counters as a plain dict (histogram copied)."""
+        with self._lock:
+            return {
+                "retries": self.retries,
+                "resend_requests": self.resend_requests,
+                "resends": self.resends,
+                "corruption_detected": self.corruption_detected,
+                "duplicates_dropped": self.duplicates_dropped,
+                "retry_histogram": dict(self.retry_histogram),
+            }

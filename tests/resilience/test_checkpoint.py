@@ -1,0 +1,93 @@
+"""CheckpointStore round-trips: memory, disk, consistent cuts, stats."""
+
+import numpy as np
+import pytest
+
+from repro.resilience import CheckpointStore
+from repro.resilience.checkpoint import pack_state, unpack_state
+
+
+def _sample_state():
+    return {
+        "tiles": np.arange(24, dtype=np.float64).reshape(4, 6) * 1.5,
+        "ipiv": np.array([3, 1, 2, 0], dtype=np.int64),
+        "cursor": 7,
+        "epoch": 2,
+        "scale": 0.125,
+        "blocks": [np.eye(3), np.full((2, 2), -1.0)],
+        "none_field": None,
+    }
+
+
+class TestPackUnpack:
+    def test_round_trip_preserves_values_and_dtypes(self):
+        state = _sample_state()
+        out = unpack_state(pack_state(state))
+        assert np.array_equal(out["tiles"], state["tiles"])
+        assert out["tiles"].dtype == np.float64
+        assert np.array_equal(out["ipiv"], state["ipiv"])
+        assert out["ipiv"].dtype == np.int64
+        assert out["cursor"] == 7 and isinstance(out["cursor"], int)
+        assert out["scale"] == 0.125 and isinstance(out["scale"], float)
+        assert len(out["blocks"]) == 2
+        for got, want in zip(out["blocks"], state["blocks"]):
+            assert np.array_equal(got, want)
+        assert "none_field" not in out  # None values are dropped
+
+    def test_empty_list_round_trips(self):
+        assert unpack_state(pack_state({"xs": []})) == {"xs": []}
+
+    def test_rejects_colon_keys_and_odd_types(self):
+        with pytest.raises(ValueError):
+            pack_state({"a:b": 1})
+        with pytest.raises(TypeError):
+            pack_state({"bad": object()})
+
+
+class TestCheckpointStore:
+    def test_memory_save_load_bitwise_and_isolated(self):
+        store = CheckpointStore()
+        state = _sample_state()
+        nbytes = store.save(0, 4, state)
+        assert nbytes > 0
+        state["tiles"][:] = 0.0  # mutate after save: blob must not alias
+        out = store.load(0, 4)
+        assert np.array_equal(out["tiles"],
+                              np.arange(24, dtype=np.float64).reshape(4, 6) * 1.5)
+        out["ipiv"][:] = -1  # loads are fresh copies too
+        assert np.array_equal(store.load(0, 4)["ipiv"], [3, 1, 2, 0])
+
+    def test_disk_store_survives_new_instance(self, tmp_path):
+        d = str(tmp_path / "ckpt")
+        store = CheckpointStore(dir=d)
+        store.save(1, 2, {"x": np.linspace(0.0, 1.0, 17)})
+        fresh = CheckpointStore(dir=d)
+        assert fresh.cursors(1) == [2]
+        assert np.array_equal(fresh.load(1, 2)["x"], np.linspace(0.0, 1.0, 17))
+
+    def test_missing_checkpoint_raises(self):
+        with pytest.raises(KeyError):
+            CheckpointStore().load(0, 0)
+
+    def test_latest_complete_is_consistent_cut(self):
+        store = CheckpointStore()
+        state = {"v": np.zeros(1)}
+        for cursor in (2, 4, 6):
+            store.save(0, cursor, state)
+        for cursor in (2, 4):
+            store.save(1, cursor, state)
+        assert store.latest_complete(2) == 4
+        assert store.latest_complete(3) is None  # rank 2 never saved
+        assert CheckpointStore().latest_complete(2) is None
+
+    def test_stats_snapshot_counts(self):
+        store = CheckpointStore()
+        n = store.save(0, 1, {"v": np.zeros(8)})
+        store.save(1, 1, {"v": np.zeros(8)})
+        store.load(0, 1)
+        snap = store.stats.snapshot()
+        assert snap["checkpoints"] == 2
+        assert snap["checkpoint_bytes"] == 2 * n
+        assert snap["restores"] == 1
+        assert snap["restored_bytes"] == n
+        assert snap["checkpoint_time_s"] >= 0.0

@@ -1,0 +1,97 @@
+"""FaultPlan parsing/round-trips and FaultInjector determinism."""
+
+import numpy as np
+import pytest
+
+from repro.resilience import FaultInjector, FaultPlan, FaultSpec, RankCrashError
+
+
+class TestFaultPlanParsing:
+    def test_dsl_parses_kinds_and_fields(self):
+        plan = FaultPlan.parse(
+            "seed=7;crash:rank=1,stage=3;drop:op=send,count=2,skip=1;"
+            "corrupt:op=bcast,tag=-2;duplicate:src=0,dest=1;"
+            "slow:rank=2,delay=0.001,jitter=0.0005"
+        )
+        assert plan.seed == 7
+        kinds = [f.kind for f in plan.faults]
+        assert kinds == ["crash", "drop", "corrupt", "duplicate", "slow"]
+        crash, drop, corrupt, dup, slow = plan.faults
+        assert (crash.rank, crash.stage) == (1, 3)
+        assert (drop.op, drop.count, drop.skip) == ("send", 2, 1)
+        assert (corrupt.op, corrupt.tag) == ("bcast", -2)
+        assert (dup.src, dup.dest) == (0, 1)
+        assert slow.delay_s == pytest.approx(0.001)
+        assert slow.jitter_s == pytest.approx(0.0005)
+
+    def test_json_round_trip(self):
+        plan = FaultPlan.parse("seed=11;crash:rank=0,stage=2;corrupt:op=send")
+        again = FaultPlan.from_json(plan.to_json())
+        assert again == plan
+
+    def test_load_accepts_plan_dsl_json_and_path(self, tmp_path):
+        plan = FaultPlan.parse("seed=5;drop:op=send")
+        assert FaultPlan.load(plan) is plan
+        assert FaultPlan.load("seed=5;drop:op=send") == plan
+        assert FaultPlan.load(plan.to_json()) == plan
+        path = tmp_path / "plan.json"
+        path.write_text(plan.to_json())
+        assert FaultPlan.load(str(path)) == plan
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec(kind="meteor")
+        with pytest.raises(ValueError):
+            FaultSpec(kind="crash", rank=1)  # no stage
+        with pytest.raises(ValueError):
+            FaultSpec(kind="slow")  # no rank
+        with pytest.raises(ValueError):
+            FaultSpec(kind="drop", count=0)
+        with pytest.raises(ValueError):
+            FaultPlan.parse("drop:bogus=1")
+
+
+class TestFaultInjector:
+    def test_crash_is_one_shot(self):
+        inj = FaultInjector(FaultPlan.parse("crash:rank=1,stage=2"))
+        inj.crash_point(0, 2)  # wrong rank: nothing
+        inj.crash_point(1, 1)  # wrong stage: nothing
+        with pytest.raises(RankCrashError):
+            inj.crash_point(1, 2)
+        inj.crash_point(1, 2)  # consumed: the retry run survives
+
+    def test_wire_action_skip_and_count(self):
+        inj = FaultInjector(FaultPlan.parse("drop:op=send,skip=1,count=2"))
+        actions = [inj.wire_action(0, 1, 0, "send") for _ in range(5)]
+        assert actions == [None, "drop", "drop", None, None]
+        # non-matching op never fires
+        assert inj.wire_action(0, 1, 0, "bcast") is None
+
+    def test_corrupt_flips_exactly_one_bit_deterministically(self):
+        def run():
+            inj = FaultInjector(FaultPlan(seed=13))
+            arr = np.arange(32, dtype=np.float64)
+            inj.corrupt_arrays([arr])
+            return arr
+
+        a, b = run(), run()
+        clean = np.arange(32, dtype=np.float64)
+        diff = a.view(np.uint8) ^ clean.view(np.uint8)
+        assert int(np.unpackbits(diff).sum()) == 1  # exactly one bit
+        assert np.array_equal(a, b)  # same seed, same flip
+
+    def test_send_delay_seeded_and_per_rank(self):
+        plan = FaultPlan.parse("seed=3;slow:rank=1,delay=0.002,jitter=0.001")
+        a = FaultInjector(plan)
+        b = FaultInjector(plan)
+        assert a.send_delay(0) == 0.0
+        seq_a = [a.send_delay(1) for _ in range(4)]
+        seq_b = [b.send_delay(1) for _ in range(4)]
+        assert seq_a == seq_b
+        assert all(0.002 <= d < 0.003 for d in seq_a)
+
+    def test_fired_summary_counts_by_kind(self):
+        inj = FaultInjector(FaultPlan.parse("drop:op=send,count=2;corrupt:op=send"))
+        for _ in range(4):
+            inj.wire_action(0, 1, 0, "send")
+        assert inj.fired_summary() == {"drop": 2, "corrupt": 1}

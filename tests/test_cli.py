@@ -125,3 +125,58 @@ class TestCLI:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestCLIResilience:
+    DIST = ["distributed", "--n", "48", "--nb", "8"]
+
+    def test_distributed_resilience_flags(self, capsys):
+        assert main(self.DIST + [
+            "--fault-plan", "seed=5;crash:rank=3,stage=2",
+            "--checkpoint-every", "2",
+            "--retry-max", "2", "--comm-timeout", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "PASSED" in out
+        assert "resilience: attempts=2 recoveries=1" in out
+
+    def test_distributed_retry_only_prints_summary(self, capsys):
+        assert main(self.DIST + ["--retry-max", "1"]) == 0
+        assert "resilience: attempts=1 recoveries=0" in capsys.readouterr().out
+
+    def test_distributed_plain_run_prints_no_summary(self, capsys):
+        assert main(self.DIST) == 0
+        assert "resilience:" not in capsys.readouterr().out
+
+    def test_distributed_json_carries_resilience(self, capsys):
+        assert main(self.DIST + [
+            "--fault-plan", "seed=5;crash:rank=3,stage=2",
+            "--checkpoint-every", "2", "--retry-max", "2",
+            "--comm-timeout", "0.5", "--json"]) == 0
+        d = json.loads(capsys.readouterr().out)
+        assert d["passed"] is True
+        assert d["resilience"]["recoveries"] == 1
+
+    def test_distributed_failed_residual_exits_nonzero(self, capsys,
+                                                       monkeypatch):
+        monkeypatch.setattr("repro.cluster.hpl_mpi.residual_passes",
+                            lambda *a, **k: False)
+        assert main(self.DIST) == 1
+        captured = capsys.readouterr()
+        assert "FAILED" in captured.out
+        assert "residual check FAILED" in captured.err
+
+    def test_failed_residual_under_json_keeps_stdout_valid(self, capsys,
+                                                           monkeypatch):
+        monkeypatch.setattr("repro.cluster.hpl_mpi.residual_passes",
+                            lambda *a, **k: False)
+        assert main(self.DIST + ["--json"]) == 1
+        captured = capsys.readouterr()
+        assert json.loads(captured.out)["passed"] is False
+        assert "residual check FAILED" in captured.err
+
+    def test_native_numeric_failed_residual_exits_nonzero(self, capsys,
+                                                          monkeypatch):
+        monkeypatch.setattr("repro.hpl.driver.residual_passes",
+                            lambda *a, **k: False)
+        assert main(["native", "--n", "200", "--nb", "50", "--numeric"]) == 1
+        assert "residual check FAILED" in capsys.readouterr().err
