@@ -1,0 +1,146 @@
+"""Campaign-layer benchmark — orchestration throughput and cache hits.
+
+The campaign tentpole claims three things worth gating:
+
+``model`` (gated keys)
+    A fixed nb x look-ahead sweep of the *deterministic* hybrid timing
+    model at a fixed geometry (n=24000, 1x1, 1 card). The best
+    configuration per cell (``model_best_gflops``) and the per-config
+    scores depend only on the analytic models, never on wall clock, so
+    the committed baseline is stable across machines and smoke/full
+    modes. ``dedup_hit_efficiency`` (fraction of the expanded matrix
+    the canonical-hash dedup eliminated) and ``cache_hit_efficiency``
+    (fraction of unique runs a resumed re-invocation served from
+    artifacts — must be 1.0) gate the orchestration behaviour itself:
+    if dedup or resume break, these drop and the gate trips.
+
+``measured`` (informational)
+    Wall-clock orchestration throughput — expansion rate and end-to-end
+    ``runs_per_s`` through ``run_campaign`` — which varies with the
+    machine and stays out of the gate.
+
+Set ``BENCH_SMOKE=1`` for the reduced measured-section fan-out; the
+gated model section is never scaled.
+"""
+
+import os
+import shutil
+import tempfile
+import time
+
+from repro.campaign import CampaignSpec, expand_matrix, run_campaign
+from repro.report import Table
+
+from conftest import once
+
+SMOKE = bool(int(os.environ.get("BENCH_SMOKE", "0") or "0"))
+
+# Fixed gated geometry (NOT scaled in smoke mode — the gate compares these).
+MODEL_N = 24_000
+MODEL_NB_AXIS = (600, 1200, 2400)
+MODEL_LA_AXIS = ("basic", "pipelined")
+
+# Measured-section fan-out (smoke keeps CI fast).
+MEASURED_NB_AXIS = (600, 1200) if SMOKE else (300, 600, 1200, 2400)
+
+
+def _model_campaign() -> CampaignSpec:
+    """The gated sweep: 6 unique model runs plus 2 deliberate duplicates."""
+    return CampaignSpec(
+        name="bench-model",
+        base={"kind": "hybrid", "n": MODEL_N},
+        axes={"nb": list(MODEL_NB_AXIS), "lookahead": list(MODEL_LA_AXIS)},
+        runs=(
+            {"nb": 1200, "lookahead": "pipelined"},  # repeats an axis combo
+            {"nb": 600, "lookahead": "basic"},       # repeats another
+        ),
+        workers=0,
+        report_by=("n",),
+    )
+
+
+def build_campaign():
+    out_dir = tempfile.mkdtemp(prefix="bench_campaign_")
+    try:
+        campaign = _model_campaign()
+        specs, duplicates = expand_matrix(campaign)
+        expanded = len(specs) + duplicates
+
+        t0 = time.perf_counter()
+        first = run_campaign(campaign, out_dir)
+        first_elapsed = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        second = run_campaign(campaign, out_dir)
+        second_elapsed = time.perf_counter() - t0
+        assert second.totals["executed"] == 0, "resume must serve the cache"
+        assert second.cells == first.cells, "cached report must not drift"
+
+        best = first.cells[0]
+        data = {
+            "model": {
+                "n": MODEL_N,
+                "unique_runs": len(specs),
+                "duplicates_dropped": duplicates,
+                "model_best_gflops": best["gflops"],
+                "best_nb": best["best_spec"]["nb"],
+                "best_lookahead": best["best_spec"]["lookahead"],
+                "per_config": [
+                    {
+                        "nb": row["spec"]["nb"],
+                        "lookahead": row["spec"]["lookahead"],
+                        "model_gflops": row["gflops"],
+                    }
+                    for row in first.rows
+                ],
+                "dedup_hit_efficiency": duplicates / expanded,
+                "cache_hit_efficiency":
+                    second.totals["cached"] / second.totals["runs"],
+            },
+            "measured": _measured_section(),
+            "first_run_s": first_elapsed,
+            "resumed_run_s": second_elapsed,
+            "runs_per_s": len(specs) / first_elapsed,
+        }
+    finally:
+        shutil.rmtree(out_dir, ignore_errors=True)
+
+    table = Table(
+        "Campaign sweep (hybrid model, best per cell)",
+        ["nb", "lookahead", "GFLOPS"],
+    )
+    for row in data["model"]["per_config"]:
+        table.add(row["nb"], row["lookahead"], round(row["model_gflops"], 1))
+    return table, data
+
+
+def _measured_section():
+    """Wall-clock orchestration throughput (never gated)."""
+    campaign = CampaignSpec(
+        name="bench-measured",
+        base={"kind": "hybrid", "n": 12_000},
+        axes={"nb": list(MEASURED_NB_AXIS)},
+        workers=0,
+    )
+    out_dir = tempfile.mkdtemp(prefix="bench_campaign_measured_")
+    try:
+        t0 = time.perf_counter()
+        report = run_campaign(campaign, out_dir)
+        elapsed = time.perf_counter() - t0
+    finally:
+        shutil.rmtree(out_dir, ignore_errors=True)
+    return {
+        "fanout": len(MEASURED_NB_AXIS),
+        "ok": report.totals["ok"],
+        "wall_s": elapsed,
+        "runs_per_s": report.totals["runs"] / elapsed,
+    }
+
+
+def test_campaign(benchmark, emit, emit_json):
+    table, data = once(benchmark, build_campaign)
+    assert data["model"]["cache_hit_efficiency"] == 1.0
+    assert data["model"]["dedup_hit_efficiency"] > 0
+    assert data["measured"]["ok"] == data["measured"]["fanout"]
+    emit("campaign", str(table))
+    emit_json("campaign", data)

@@ -24,9 +24,21 @@ Quick start::
 
     small = NativeHPL(256, nb=64).run(numeric=True)  # really solves Ax=b
     assert small.passed
+
+Or declaratively, through the canonical :class:`~repro.spec.RunSpec`
+(the path the CLI, campaigns and auto-tuners share)::
+
+    from repro import RunSpec, api
+
+    result = api.run(RunSpec(kind="hybrid", n=84_000))
+    print(result.tflops, result.to_dict()["spec_hash"])
 """
 
+from repro import api
 from repro.blas import dgemm, sgemm, gemm
+from repro.campaign import CampaignSpec, run_campaign, successive_halving
+from repro.machine.profiles import MACHINE_PROFILES, MachineProfile, machine_profile
+from repro.spec import RunSpec
 from repro.hpl import NativeHPL, HPLResult, hpl_matrix, hpl_residual
 from repro.hybrid import HybridHPL, HybridResult, OffloadDGEMM, NodeConfig, Lookahead
 from repro.cluster import (
@@ -50,6 +62,14 @@ from repro.sim import TraceRecorder
 __version__ = "1.0.0"
 
 __all__ = [
+    "api",
+    "RunSpec",
+    "CampaignSpec",
+    "run_campaign",
+    "successive_halving",
+    "MachineProfile",
+    "MACHINE_PROFILES",
+    "machine_profile",
     "dgemm",
     "sgemm",
     "gemm",

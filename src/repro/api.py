@@ -1,0 +1,122 @@
+"""The single programmatic entry point: ``repro.api.run(spec)``.
+
+Every way of launching a run converges here — the CLI subcommands,
+``HPL.dat`` cross-products, the auto-tuners and campaign workers all
+build a :class:`~repro.spec.RunSpec` and call :func:`run`. In return,
+every :class:`~repro.obs.result.RunResult` that leaves this function
+carries the spec it was produced from (and therefore its canonical
+hash) in its ``to_dict`` / ``to_json`` exports, which is what lets
+campaigns deduplicate, cache and resume by configuration identity.
+
+Dispatch is by ``spec.kind``:
+
+``native``
+    :class:`~repro.hpl.driver.NativeHPL` — the timing model, or the
+    real factorization + solve + residual check with ``numeric``;
+``hybrid``
+    :class:`~repro.hybrid.driver.HybridHPL` (timing model) or
+    :func:`~repro.hybrid.functional.run_hybrid_numeric` (``numeric``);
+``distributed``
+    :class:`~repro.cluster.hpl_mpi.DistributedHPL` — always a real
+    solve on the simulated MPI world, including the resilience knobs.
+"""
+
+from __future__ import annotations
+
+from repro.obs.result import RunResult
+from repro.spec import RunSpec
+
+
+def _run_native(s: RunSpec) -> RunResult:
+    from repro.hpl.driver import NativeHPL
+
+    return NativeHPL(
+        s.n,
+        nb=s.nb,
+        scheduler=s.scheduler,
+        workers=s.workers,
+        pack_cache=s.pack_cache,
+        buffer_pool=s.buffer_pool,
+        alloc_profile=s.alloc_profile,
+    ).run(numeric=s.numeric, seed=s.seed)
+
+
+def _run_hybrid(s: RunSpec) -> RunResult:
+    if s.numeric:
+        from repro.hybrid.functional import run_hybrid_numeric
+
+        return run_hybrid_numeric(
+            s.n,
+            nb=s.nb,
+            cards=s.cards,
+            workers=s.workers,
+            pack_cache=s.pack_cache,
+            buffer_pool=s.buffer_pool,
+            alloc_profile=s.alloc_profile,
+            seed=s.seed,
+        )
+    from repro.hybrid.driver import HybridHPL, NodeConfig
+
+    return HybridHPL(
+        s.n,
+        nb=s.nb,
+        node=NodeConfig(cards=s.cards, host_mem_bytes=int(s.mem_gb * 1024**3)),
+        p=s.p,
+        q=s.q,
+        lookahead=s.lookahead,
+    ).run()
+
+
+def _run_distributed(s: RunSpec) -> RunResult:
+    from repro.cluster.hpl_mpi import DistributedHPL
+
+    retry = None
+    if s.retry_max is not None or s.comm_timeout is not None:
+        from repro.resilience import RetryPolicy
+
+        retry_kwargs = {}
+        if s.comm_timeout is not None:
+            retry_kwargs["comm_timeout_s"] = s.comm_timeout
+        if s.retry_max is not None:
+            retry_kwargs["max_retries"] = s.retry_max
+        retry = RetryPolicy(**retry_kwargs)
+    return DistributedHPL(
+        s.n,
+        s.nb,
+        s.p,
+        s.q,
+        seed=s.seed,
+        bcast_algo=s.bcast_algo,
+        lookahead=s.lookahead == "on",
+        chunk_kb=s.chunk_kb,
+        workers=s.workers,
+        pack_cache=s.pack_cache,
+        buffer_pool=s.buffer_pool,
+        alloc_profile=s.alloc_profile,
+        fault_plan=s.fault_plan,
+        checkpoint_every=s.checkpoint_every,
+        retry=retry,
+    ).run()
+
+
+_DISPATCH = {
+    "native": _run_native,
+    "hybrid": _run_hybrid,
+    "distributed": _run_distributed,
+}
+
+
+def run(spec: RunSpec) -> RunResult:
+    """Execute ``spec`` and return its result, spec attached.
+
+    The spec is normalized first (kind defaults and machine profiles
+    resolved), so the attached ``result.spec`` — and the ``spec`` /
+    ``spec_hash`` blocks of the JSON export — always describe the run
+    explicitly and hash canonically.
+    """
+    if not isinstance(spec, RunSpec):
+        raise TypeError(f"run() takes a RunSpec, got {type(spec).__name__}")
+    s = spec.normalized()
+    result = _DISPATCH[s.kind](s)
+    result.spec = s
+    return result

@@ -1,0 +1,39 @@
+"""Campaign orchestration: declarative sweeps over the RunSpec space.
+
+The paper's results are points in a large configuration space — N, NB,
+P x Q, broadcast algorithm, look-ahead — that real HPL deployments
+explore with ``HPL.dat`` sweeps and per-machine tuning tables. This
+package turns that workflow into a declarative layer on top of
+:func:`repro.api.run`:
+
+* :mod:`repro.campaign.spec` — :class:`CampaignSpec`: a YAML/JSON
+  document with a base :class:`~repro.spec.RunSpec`, axis sweeps and
+  explicit extra runs, expanded into a deduplicated run matrix;
+* :mod:`repro.campaign.runner` — :func:`run_campaign`: fans the matrix
+  out over a process pool with per-run timeouts and crash capture,
+  writes one JSON artifact per run (named by canonical spec hash),
+  resumes interrupted campaigns from those artifacts, and merges
+  everything into a best-per-cell report;
+* :mod:`repro.campaign.tuner` — successive-halving search over
+  NB/grid/broadcast axes, and the "best config per machine model"
+  table built from the registered machine profiles.
+"""
+
+from repro.campaign.spec import CampaignSpec, expand_matrix, load_campaign
+from repro.campaign.runner import CampaignReport, run_campaign
+from repro.campaign.tuner import (
+    HalvingResult,
+    successive_halving,
+    tune_machine_models,
+)
+
+__all__ = [
+    "CampaignSpec",
+    "expand_matrix",
+    "load_campaign",
+    "CampaignReport",
+    "run_campaign",
+    "HalvingResult",
+    "successive_halving",
+    "tune_machine_models",
+]

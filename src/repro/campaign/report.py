@@ -1,0 +1,122 @@
+"""Campaign result merging: per-run rows and best-per-cell tables.
+
+The runner hands every artifact (one JSON document per executed spec)
+to :func:`merged_report`, which flattens them into report rows and
+reduces the rows into *cells*: for every distinct value of the
+campaign's ``report_by`` keys (default ``n``/``p``/``q``), the swept
+configuration that maximised the campaign ``objective`` (default
+``gflops``). That is the deliverable of an HPL sweep — "on this
+problem/grid, use NB=…, broadcast=…" — in the shape hpcbench-style
+campaign exports use.
+
+:func:`render_report` turns the same data into the fixed-width tables
+of :mod:`repro.report` for ``report.txt`` and the CLI.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.campaign.spec import CampaignSpec
+from repro.spec import RunSpec
+
+
+def _objective_value(artifact: dict, objective: str):
+    result = artifact.get("result") or {}
+    value = result.get(objective)
+    return value if isinstance(value, (int, float)) else None
+
+
+def merged_report(
+    campaign: CampaignSpec,
+    specs: Sequence[RunSpec],
+    artifacts: Dict[str, dict],
+) -> Tuple[List[dict], List[dict]]:
+    """Merge artifacts into ``(rows, cells)``.
+
+    ``rows`` has one entry per matrix spec in expansion order; ``cells``
+    one entry per distinct ``report_by`` tuple, carrying the best row's
+    winning knobs. Ties go to the earlier row (expansion order), so the
+    report is deterministic for deterministic objectives.
+    """
+    rows: List[dict] = []
+    for spec in specs:
+        digest = spec.canonical_hash()
+        artifact = artifacts.get(digest, {})
+        result = artifact.get("result") or {}
+        rows.append(
+            {
+                "spec_hash": digest,
+                "status": artifact.get("status", "missing"),
+                "spec": spec.to_dict(),
+                "elapsed_s": artifact.get("elapsed_s"),
+                campaign.objective: _objective_value(artifact, campaign.objective),
+                "time_s": result.get("time_s"),
+                "error": artifact.get("error"),
+            }
+        )
+
+    cells: Dict[tuple, dict] = {}
+    for row in rows:
+        if row["status"] != "ok" or row[campaign.objective] is None:
+            continue
+        key = tuple(row["spec"].get(k) for k in campaign.report_by)
+        best = cells.get(key)
+        if best is None or row[campaign.objective] > best[campaign.objective]:
+            cells[key] = row
+    cell_rows = [
+        {
+            "cell": dict(zip(campaign.report_by, key)),
+            "best_spec": best["spec"],
+            "spec_hash": best["spec_hash"],
+            campaign.objective: best[campaign.objective],
+            "time_s": best["time_s"],
+        }
+        for key, best in sorted(cells.items(), key=lambda item: _sort_key(item[0]))
+    ]
+    return rows, cell_rows
+
+
+def _sort_key(key: tuple) -> tuple:
+    """Cells ordered deterministically even with mixed value types."""
+    return tuple((str(type(v).__name__), v if isinstance(v, (int, float)) else str(v))
+                 for v in key)
+
+
+def render_report(campaign: CampaignSpec, report) -> str:
+    """The human report: totals line + best-per-cell table + failures."""
+    from repro.report import Table
+
+    totals = report.totals
+    lines = [
+        f"campaign {campaign.name}: {totals['runs']} unique runs "
+        f"({totals['deduplicated']} duplicates dropped), "
+        f"{totals['cached']} cached, {totals['executed']} executed, "
+        f"{totals['ok']} ok / {totals['errors']} errors / "
+        f"{totals['crashes']} crashes / {totals['timeouts']} timeouts",
+        "",
+    ]
+    table = Table(
+        f"Best per cell by {campaign.objective}",
+        [*campaign.report_by, "nb", "lookahead", "bcast", campaign.objective, "spec"],
+    )
+    for cell in report.cells:
+        spec = cell["best_spec"]
+        table.add(
+            *(cell["cell"][k] for k in campaign.report_by),
+            spec.get("nb"),
+            spec.get("lookahead") or "-",
+            spec.get("bcast_algo") or "-",
+            round(cell[campaign.objective], 3),
+            cell["spec_hash"][:8],
+        )
+    lines.append(str(table))
+    failures = [r for r in report.rows if r["status"] != "ok"]
+    if failures:
+        lines.append("")
+        for row in failures:
+            lines.append(
+                f"  {row['status']:>8}  {row['spec_hash']}  "
+                f"{RunSpec.from_dict(row['spec']).summary()}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,243 @@
+"""Campaign execution: fan a run matrix out, persist, resume, merge.
+
+:func:`run_campaign` takes a :class:`~repro.campaign.spec.CampaignSpec`
+and an output directory and drives the whole sweep:
+
+* the matrix expands and deduplicates by canonical spec hash;
+* completed artifacts from a previous invocation are *served from
+  cache* (``resume``), so an interrupted campaign restarts without
+  re-running a single completed cell;
+* the remaining specs fan out over a ``concurrent.futures`` process
+  pool (``workers <= 1`` runs inline) with a coarse per-run timeout
+  and crash capture — a worker that raises reports its traceback, a
+  worker the OS kills is recorded as ``crash`` and the pool is rebuilt
+  for the survivors;
+* every run writes ``runs/<spec-hash>.json`` (status, spec, elapsed
+  time and the full ``RunResult`` export), and the campaign ends with
+  a merged ``report.json`` + human ``report.txt`` of best-per-cell
+  rows (see :mod:`repro.campaign.report`).
+
+Artifacts are the source of truth: the report is always rebuilt from
+whatever artifacts exist, so partially-failed campaigns still produce
+an honest summary.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+import traceback
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.campaign.report import merged_report, render_report
+from repro.campaign.spec import CampaignSpec, expand_matrix
+from repro.spec import RunSpec
+
+#: Artifact schema tag, bumped on incompatible layout changes; resume
+#: ignores artifacts with a different schema instead of mis-reading them.
+SCHEMA = "campaign-run-v1"
+
+
+@dataclass
+class CampaignReport:
+    """What a campaign invocation produced, in memory."""
+
+    name: str
+    out_dir: pathlib.Path
+    rows: List[dict]
+    cells: List[dict]
+    totals: Dict[str, int]
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": SCHEMA,
+            "name": self.name,
+            "totals": dict(self.totals),
+            "cells": self.cells,
+            "rows": self.rows,
+        }
+
+
+def _worker(spec_dict: dict) -> dict:
+    """Execute one RunSpec in a pool worker; never raises.
+
+    Importable at module top level so the process pool can pickle it;
+    exceptions become ``status: "error"`` artifacts with the traceback.
+    """
+    t0 = time.perf_counter()
+    try:
+        from repro import api
+
+        spec = RunSpec.from_dict(spec_dict)
+        result = api.run(spec)
+        return {
+            "schema": SCHEMA,
+            "status": "ok",
+            "spec": spec.to_dict(),
+            "spec_hash": spec.canonical_hash(),
+            "elapsed_s": time.perf_counter() - t0,
+            "result": result.to_dict(),
+        }
+    except Exception:
+        return {
+            "schema": SCHEMA,
+            "status": "error",
+            "spec": dict(spec_dict),
+            "spec_hash": RunSpec.from_dict(spec_dict).canonical_hash(),
+            "elapsed_s": time.perf_counter() - t0,
+            "error": traceback.format_exc(),
+        }
+
+
+def _failure_artifact(spec: RunSpec, status: str, detail: str) -> dict:
+    return {
+        "schema": SCHEMA,
+        "status": status,
+        "spec": spec.to_dict(),
+        "spec_hash": spec.canonical_hash(),
+        "elapsed_s": None,
+        "error": detail,
+    }
+
+
+def _load_artifact(path: pathlib.Path) -> Optional[dict]:
+    """A prior run's artifact, or None when unreadable/foreign."""
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    return doc if isinstance(doc, dict) and doc.get("schema") == SCHEMA else None
+
+
+def _run_inline(specs: Sequence[RunSpec]) -> Dict[str, dict]:
+    return {s.canonical_hash(): _worker(s.to_dict()) for s in specs}
+
+
+def _run_pool(
+    specs: Sequence[RunSpec], workers: int, timeout_s: Optional[float]
+) -> Dict[str, dict]:
+    """Fan specs over a process pool; capture timeouts and crashes.
+
+    The timeout is a coarse guard: futures are collected in submission
+    order, each waiting at most ``timeout_s`` from the moment it is
+    inspected. On timeout the stuck workers are killed and the pool is
+    rebuilt; on a hard worker death (``BrokenExecutor``) the spec being
+    waited on is recorded as ``crash`` and the survivors are resubmitted
+    to a fresh pool.
+    """
+    results: Dict[str, dict] = {}
+    pending = list(specs)
+    while pending:
+        pool = ProcessPoolExecutor(max_workers=workers)
+        futures = [(pool.submit(_worker, s.to_dict()), s) for s in pending]
+        pending = []
+        abandon = False
+        kill = False
+        try:
+            for future, spec in futures:
+                digest = spec.canonical_hash()
+                if abandon:
+                    if future.done() and not future.cancelled():
+                        try:
+                            results[digest] = future.result()
+                            continue
+                        except Exception:
+                            pass
+                    future.cancel()
+                    if digest not in results:
+                        pending.append(spec)
+                    continue
+                try:
+                    results[digest] = future.result(timeout=timeout_s)
+                except FuturesTimeout:
+                    results[digest] = _failure_artifact(
+                        spec, "timeout", f"no result within {timeout_s}s"
+                    )
+                    abandon = kill = True
+                except BrokenExecutor:
+                    results[digest] = _failure_artifact(
+                        spec, "crash", "worker process died (BrokenExecutor)"
+                    )
+                    abandon = True
+                except Exception:
+                    # _worker catches run errors itself; this is pool plumbing.
+                    results[digest] = _failure_artifact(
+                        spec, "error", traceback.format_exc()
+                    )
+        finally:
+            if kill:
+                for proc in getattr(pool, "_processes", {}).values():
+                    proc.kill()
+            pool.shutdown(wait=not kill, cancel_futures=True)
+    return results
+
+
+def run_campaign(
+    campaign: CampaignSpec,
+    out_dir: "str | pathlib.Path",
+    resume: bool = True,
+    workers: Optional[int] = None,
+    timeout_s: Optional[float] = None,
+) -> CampaignReport:
+    """Run (or resume) a campaign and write its artifacts and report.
+
+    ``workers`` / ``timeout_s`` override the campaign document;
+    ``workers <= 1`` executes inline (deterministic and debuggable),
+    anything larger fans out over a process pool. With ``resume`` (the
+    default) completed cells found under ``out_dir/runs`` are served
+    from cache and never re-executed.
+    """
+    out = pathlib.Path(out_dir)
+    runs_dir = out / "runs"
+    runs_dir.mkdir(parents=True, exist_ok=True)
+    pool_width = campaign.workers if workers is None else workers
+    deadline = campaign.timeout_s if timeout_s is None else timeout_s
+
+    specs, duplicates = expand_matrix(campaign)
+    artifacts: Dict[str, dict] = {}
+    to_run: List[RunSpec] = []
+    cached = 0
+    for spec in specs:
+        digest = spec.canonical_hash()
+        prior = _load_artifact(runs_dir / f"{digest}.json") if resume else None
+        if prior is not None and prior.get("status") == "ok":
+            artifacts[digest] = prior
+            cached += 1
+        else:
+            to_run.append(spec)
+
+    if to_run:
+        if pool_width <= 1:
+            fresh = _run_inline(to_run)
+        else:
+            fresh = _run_pool(to_run, pool_width, deadline)
+        for digest, artifact in fresh.items():
+            (runs_dir / f"{digest}.json").write_text(
+                json.dumps(artifact, indent=2, sort_keys=True) + "\n"
+            )
+        artifacts.update(fresh)
+
+    rows, cells = merged_report(campaign, specs, artifacts)
+    statuses = [artifacts[s.canonical_hash()].get("status") for s in specs]
+    totals = {
+        "runs": len(specs),
+        "deduplicated": duplicates,
+        "cached": cached,
+        "executed": len(to_run),
+        "ok": sum(1 for s in statuses if s == "ok"),
+        "errors": sum(1 for s in statuses if s == "error"),
+        "crashes": sum(1 for s in statuses if s == "crash"),
+        "timeouts": sum(1 for s in statuses if s == "timeout"),
+    }
+    report = CampaignReport(
+        name=campaign.name, out_dir=out, rows=rows, cells=cells, totals=totals
+    )
+    (out / "report.json").write_text(
+        json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n"
+    )
+    (out / "report.txt").write_text(render_report(campaign, report) + "\n")
+    return report

@@ -1,0 +1,267 @@
+"""Campaign documents: a base RunSpec, axis sweeps, explicit runs.
+
+A campaign file is YAML or JSON with this shape::
+
+    name: nb-grid-sweep
+    base:                     # RunSpec fields shared by every run
+      kind: distributed
+      n: 64
+    axes:                     # swept axes: the cross-product expands
+      nb: [8, 16]
+      grid: [1x2, 2x2]        # pseudo-field: sets p and q together
+      bcast_algo: [star, ring]
+    runs:                     # optional explicit extra configurations
+      - nb: 32
+        grid: 1x1
+    workers: 2                # process-pool width (0/1 = inline)
+    timeout_s: 300            # per-run timeout in the pool
+    report_by: [n, p, q]      # best-per-cell grouping keys
+    objective: gflops         # "best" = max of this result key
+
+Expansion (:func:`expand_matrix`) walks the axis cross-product in
+document order — axes vary slowest-first in listing order, exactly like
+``HPL.dat``'s nested lists — applies each combination over ``base``,
+appends the explicit ``runs``, and deduplicates by canonical spec hash
+(first occurrence wins), so repeat configurations are never run twice.
+
+YAML parsing uses PyYAML when it is importable and otherwise falls
+back to :func:`parse_mini_yaml`, a dependency-free parser for exactly
+the subset shown above (two-space-indented mappings, inline ``[...]``
+and ``- `` lists, plain scalars). JSON documents always work.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.spec import RunSpec
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """One declarative campaign, validated on construction."""
+
+    name: str
+    base: Mapping[str, Any]
+    axes: Mapping[str, Sequence[Any]] = field(default_factory=dict)
+    runs: Sequence[Mapping[str, Any]] = field(default_factory=tuple)
+    workers: int = 1
+    timeout_s: Optional[float] = None
+    report_by: Tuple[str, ...] = ("n", "p", "q")
+    objective: str = "gflops"
+
+    def __post_init__(self):
+        if not self.name or "/" in self.name:
+            raise ValueError("campaign name must be a non-empty, slash-free string")
+        if "kind" not in self.base:
+            raise ValueError("campaign base must set the run 'kind'")
+        for axis, values in self.axes.items():
+            if not isinstance(values, (list, tuple)) or not values:
+                raise ValueError(f"axis {axis!r} must list at least one value")
+        if self.workers < 0:
+            raise ValueError("workers must be >= 0")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError("timeout_s must be positive")
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "CampaignSpec":
+        """Build from a parsed campaign document (strict keys)."""
+        known = {"name", "base", "axes", "runs", "workers", "timeout_s",
+                 "report_by", "objective"}
+        unknown = sorted(set(d) - known)
+        if unknown:
+            raise ValueError(f"unknown campaign keys: {unknown}")
+        if "name" not in d or "base" not in d:
+            raise ValueError("a campaign needs at least 'name' and 'base'")
+        kwargs = dict(d)
+        kwargs["runs"] = tuple(kwargs.get("runs") or ())
+        kwargs["report_by"] = tuple(kwargs.get("report_by") or ("n", "p", "q"))
+        kwargs.setdefault("axes", {})
+        kwargs.setdefault("workers", 1)
+        return cls(**kwargs)
+
+    def expand(self) -> List[RunSpec]:
+        """The deduplicated run matrix (see :func:`expand_matrix`)."""
+        return expand_matrix(self)[0]
+
+
+def expand_matrix(campaign: CampaignSpec) -> Tuple[List[RunSpec], int]:
+    """Expand a campaign into ``(unique_specs, duplicates_dropped)``.
+
+    Deterministic: the cross-product follows the axes' document order
+    (first axis varies slowest), explicit ``runs`` come last, and
+    deduplication by canonical hash keeps the first occurrence.
+    """
+    overrides: List[Dict[str, Any]] = []
+    axis_names = list(campaign.axes)
+    for combo in itertools.product(*(campaign.axes[a] for a in axis_names)):
+        overrides.append(dict(zip(axis_names, combo)))
+    overrides.extend(dict(extra) for extra in campaign.runs)
+    if not overrides:
+        overrides.append({})
+
+    base_fields = dict(campaign.base)
+    kind = base_fields.pop("kind")
+    placeholder_n = "n" not in base_fields
+    if placeholder_n:
+        base_fields["n"] = 1  # every override must then sweep n
+    grid = base_fields.pop("grid", None)
+    if grid is not None:
+        base_fields["p"], base_fields["q"] = _grid_pair(grid)
+    base = RunSpec.from_dict({"kind": kind, **base_fields})
+
+    specs: List[RunSpec] = []
+    seen: Dict[str, RunSpec] = {}
+    duplicates = 0
+    for override in overrides:
+        spec = base.with_overrides(override)
+        if placeholder_n and "n" not in override:
+            raise ValueError(
+                "every run needs an 'n': set it in base or sweep it as an axis"
+            )
+        digest = spec.canonical_hash()
+        if digest in seen:
+            duplicates += 1
+            continue
+        seen[digest] = spec
+        specs.append(spec)
+    return specs, duplicates
+
+
+def _grid_pair(value: Any) -> Tuple[int, int]:
+    from repro.spec import parse_grid
+
+    return parse_grid(value)
+
+
+# -- document loading -------------------------------------------------------
+
+def load_campaign(path: "str | pathlib.Path") -> CampaignSpec:
+    """Load a campaign document from a YAML or JSON file."""
+    text = pathlib.Path(path).read_text()
+    return parse_campaign(text)
+
+
+def parse_campaign(text: str) -> CampaignSpec:
+    """Parse campaign YAML/JSON text into a :class:`CampaignSpec`."""
+    stripped = text.lstrip()
+    if stripped.startswith("{"):
+        return CampaignSpec.from_dict(json.loads(text))
+    try:
+        import yaml  # an optional convenience, never a hard dependency
+    except ImportError:
+        return CampaignSpec.from_dict(parse_mini_yaml(text))
+    return CampaignSpec.from_dict(yaml.safe_load(text))
+
+
+def parse_mini_yaml(text: str) -> dict:
+    """Parse the campaign-file YAML subset without PyYAML.
+
+    Supports nested mappings by two-space indentation, inline
+    ``[a, b]`` lists, ``- `` item lists (scalar items or one-line
+    inline mappings like ``{nb: 32, grid: 1x1}``), comments, and
+    plain int/float/bool/null/string scalars. This is deliberately
+    exactly the subset the documented campaign format uses.
+    """
+    root: Dict[str, Any] = {}
+    # Stack of (indent, container) from the root down to the open node.
+    stack: List[Tuple[int, Any]] = [(-1, root)]
+    pending_key: Optional[Tuple[int, Dict[str, Any], str]] = None
+
+    for raw_line in text.splitlines():
+        line = raw_line.split("#", 1)[0].rstrip()
+        if not line.strip():
+            continue
+        indent = len(line) - len(line.lstrip())
+        content = line.strip()
+
+        if pending_key is not None and indent > pending_key[0]:
+            # The previous "key:" line opens a nested container; its
+            # type depends on the first child line.
+            container: Any = [] if content.startswith("- ") else {}
+            pending_key[1][pending_key[2]] = container
+            stack.append((indent, container))
+            pending_key = None
+        elif pending_key is not None:
+            # "key:" with nothing nested means an empty mapping.
+            pending_key[1][pending_key[2]] = {}
+            pending_key = None
+
+        # Each stack entry records the indent of the container's
+        # *children*, so same-indent lines are siblings — only a
+        # shallower line closes the container.
+        while stack and indent < stack[-1][0]:
+            stack.pop()
+        if not stack:
+            raise ValueError(f"bad indentation near {raw_line!r}")
+        node = stack[-1][1]
+
+        if content.startswith("- "):
+            if not isinstance(node, list):
+                raise ValueError(f"list item outside a list: {raw_line!r}")
+            node.append(_mini_scalar(content[2:].strip()))
+            continue
+        if not isinstance(node, dict):
+            raise ValueError(f"mapping entry inside a list: {raw_line!r}")
+        if ":" not in content:
+            raise ValueError(f"expected 'key: value' near {raw_line!r}")
+        key, _, value = content.partition(":")
+        key, value = key.strip(), value.strip()
+        if value:
+            node[key] = _mini_scalar(value)
+        else:
+            pending_key = (indent, node, key)
+    if pending_key is not None:
+        pending_key[1][pending_key[2]] = {}
+    return root
+
+
+def _mini_scalar(token: str) -> Any:
+    """One scalar / inline-list / inline-mapping value."""
+    if token.startswith("[") and token.endswith("]"):
+        inner = token[1:-1].strip()
+        return [_mini_scalar(t.strip()) for t in _split_inline(inner)] if inner else []
+    if token.startswith("{") and token.endswith("}"):
+        out = {}
+        inner = token[1:-1].strip()
+        for part in _split_inline(inner) if inner else []:
+            key, _, value = part.partition(":")
+            out[key.strip()] = _mini_scalar(value.strip())
+        return out
+    if token.startswith(("'", '"')) and token.endswith(token[0]) and len(token) >= 2:
+        return token[1:-1]
+    lowered = token.lower()
+    if lowered in ("true", "yes", "on"):
+        return True
+    if lowered in ("false", "no", "off"):
+        return False
+    if lowered in ("null", "~"):
+        return None  # NB: "none" stays a string (the hybrid look-ahead mode)
+    try:
+        return int(token)
+    except ValueError:
+        pass
+    try:
+        return float(token)
+    except ValueError:
+        pass
+    return token
+
+
+def _split_inline(inner: str) -> List[str]:
+    """Split an inline collection body on top-level commas."""
+    parts, depth, start = [], 0, 0
+    for i, ch in enumerate(inner):
+        if ch in "[{":
+            depth += 1
+        elif ch in "]}":
+            depth -= 1
+        elif ch == "," and depth == 0:
+            parts.append(inner[start:i])
+            start = i + 1
+    parts.append(inner[start:])
+    return [p for p in (part.strip() for part in parts) if p]

@@ -1,0 +1,206 @@
+"""Successive-halving auto-tuner over the RunSpec configuration space.
+
+Real ``HPL.dat`` tuning sweeps the NB / P x Q / broadcast knobs at full
+problem size, which is quadratically wasteful: most candidates are
+obviously bad long before N fills memory. Successive halving spends
+the budget where it matters — every candidate configuration runs at a
+small problem size first, only the better half graduates to the next,
+larger, size (the "rung"), and the final rung times the survivors at
+the target size. All trial runs go through :func:`repro.api.run`, so
+each trial carries the full :class:`~repro.obs.result.RunResult`
+metrics and the canonical spec hash, and the deterministic timing
+models give identical tuning tables on every invocation.
+
+:func:`tune_machine_models` applies the search once per registered
+machine profile and emits the "best config per machine model" table —
+the per-machine tuning deliverable of the benchmarking literature.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro import api
+from repro.campaign.spec import CampaignSpec, expand_matrix
+from repro.machine.profiles import MACHINE_PROFILES, machine_profile
+from repro.spec import RunSpec
+
+#: Default rung ladder for the hybrid timing model: trial sizes grow
+#: ~3x per rung toward the paper's single-node N=84K regime.
+DEFAULT_RUNGS = (12_000, 36_000, 84_000)
+
+#: Default NB candidates: the paper's PCIe-bound 1200 plus neighbours
+#: (the knobs ``hpl.tuner.tune`` historically searched).
+DEFAULT_NB_AXIS = (600, 1200, 2400)
+
+
+@dataclass(frozen=True)
+class Trial:
+    """One evaluated configuration at one rung."""
+
+    spec: RunSpec
+    spec_hash: str
+    rung_n: int
+    score: float
+    time_s: float
+
+
+@dataclass(frozen=True)
+class HalvingResult:
+    """The winner plus the full rung-by-rung history."""
+
+    best: Trial
+    rungs: Tuple[Tuple[Trial, ...], ...] = field(default_factory=tuple)
+    objective: str = "gflops"
+
+    @property
+    def survivors_per_rung(self) -> Tuple[int, ...]:
+        return tuple(len(r) for r in self.rungs)
+
+    def describe(self) -> str:
+        s = self.best.spec
+        ladder = " -> ".join(str(c) for c in self.survivors_per_rung)
+        return (
+            f"{s.summary()}: {self.best.score:.1f} {self.objective} "
+            f"at n={self.best.rung_n} (candidates {ladder})"
+        )
+
+
+def _evaluate(spec: RunSpec, rung_n: int, objective: str) -> Trial:
+    trial_spec = spec.with_overrides({"n": rung_n}).normalized()
+    result = api.run(trial_spec)
+    value = getattr(result, objective, None)
+    if not isinstance(value, (int, float)):
+        raise ValueError(f"objective {objective!r} is not numeric on {result.kind}")
+    return Trial(
+        spec=trial_spec,
+        spec_hash=trial_spec.canonical_hash(),
+        rung_n=rung_n,
+        score=float(value),
+        time_s=float(getattr(result, "time_s", 0.0)),
+    )
+
+
+def successive_halving(
+    base: RunSpec,
+    axes: Mapping[str, Sequence],
+    rungs: Sequence[int] = DEFAULT_RUNGS,
+    keep_fraction: float = 0.5,
+    objective: str = "gflops",
+) -> HalvingResult:
+    """Search ``axes`` over ``base`` with successive halving.
+
+    ``rungs`` are the problem sizes of each round, ascending; at every
+    rung all surviving candidates are evaluated through
+    :func:`repro.api.run` and the top ``keep_fraction`` (at least one)
+    graduate. Ranking is deterministic: higher ``objective`` first,
+    ties broken by expansion order (stable sort), so identical inputs
+    always produce identical tuning tables.
+    """
+    if not rungs:
+        raise ValueError("need at least one rung size")
+    if sorted(rungs) != list(rungs):
+        raise ValueError("rung sizes must ascend (small trials first)")
+    if not 0 < keep_fraction < 1:
+        raise ValueError("keep_fraction must be in (0, 1)")
+    campaign = CampaignSpec(
+        name="halving", base={**base.to_dict()}, axes=dict(axes),
+        objective=objective,
+    )
+    candidates, _ = expand_matrix(campaign)
+    if not candidates:
+        raise ValueError("axes expanded to zero candidates")
+
+    history: List[Tuple[Trial, ...]] = []
+    for i, rung_n in enumerate(rungs):
+        trials = [_evaluate(c, rung_n, objective) for c in candidates]
+        ranked = sorted(trials, key=lambda t: -t.score)  # stable: ties keep order
+        history.append(tuple(ranked))
+        if i + 1 < len(rungs):
+            survivors = max(1, math.ceil(len(ranked) * keep_fraction))
+            candidates = [t.spec for t in ranked[:survivors]]
+    return HalvingResult(
+        best=history[-1][0], rungs=tuple(history), objective=objective
+    )
+
+
+def tune_machine_models(
+    machines: Optional[Sequence[str]] = None,
+    nodes: int = 1,
+    nb_axis: Sequence[int] = DEFAULT_NB_AXIS,
+    lookahead_axis: Sequence[str] = ("basic", "pipelined"),
+    rungs: Optional[Sequence[int]] = None,
+    objective: str = "gflops",
+) -> List[Dict]:
+    """Best (NB, grid, look-ahead) per machine model.
+
+    For every named profile (default: the whole registry) the NB/grid/
+    look-ahead space is searched with successive halving on the hybrid
+    timing model at ``nodes`` nodes; the rung ladder caps trial sizes
+    at what the profile's host memory can hold. Returns one row per
+    machine, in registry order, each carrying the winning spec and its
+    hash — ready for ``repro.report.Table`` or JSON export.
+    """
+    from repro.hpl.tuner import grid_shapes, problem_size
+
+    names = list(machines) if machines is not None else list(MACHINE_PROFILES)
+    rows: List[Dict] = []
+    for name in names:
+        profile = machine_profile(name)
+        n_max = problem_size(
+            nodes, int(profile.mem_gb * 1024**3), nb=max(nb_axis)
+        )
+        ladder = tuple(rungs) if rungs is not None else tuple(
+            sorted({min(r, n_max) for r in DEFAULT_RUNGS})
+        )
+        base = RunSpec(kind="hybrid", n=ladder[-1], machine=name)
+        axes = {
+            "nb": list(nb_axis),
+            "grid": [list(s) for s in grid_shapes(nodes)],
+            "lookahead": list(lookahead_axis),
+        }
+        tuned = successive_halving(
+            base, axes, rungs=ladder, objective=objective
+        )
+        best = tuned.best
+        rows.append(
+            {
+                "machine": name,
+                "description": profile.description,
+                "nodes": nodes,
+                "n": best.spec.n,
+                "nb": best.spec.nb,
+                "p": best.spec.p,
+                "q": best.spec.q,
+                "lookahead": best.spec.lookahead,
+                objective: best.score,
+                "time_s": best.time_s,
+                "spec_hash": best.spec_hash,
+                "spec": best.spec.to_dict(),
+                "candidates_per_rung": list(tuned.survivors_per_rung),
+            }
+        )
+    return rows
+
+
+def render_machine_table(rows: Sequence[Mapping], objective: str = "gflops"):
+    """The per-machine tuning rows as a fixed-width table."""
+    from repro.report import Table
+
+    table = Table(
+        f"Best configuration per machine model (by {objective})",
+        ["machine", "N", "NB", "grid", "lookahead", objective, "spec"],
+    )
+    for row in rows:
+        table.add(
+            row["machine"],
+            row["n"],
+            row["nb"],
+            f"{row['p']}x{row['q']}",
+            row["lookahead"],
+            round(row[objective], 1),
+            row["spec_hash"][:8],
+        )
+    return table

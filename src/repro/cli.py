@@ -22,6 +22,22 @@ configurations without going through pytest:
     (panel-boundary checkpoints + rollback recovery), ``--retry-max``
     and ``--comm-timeout`` (the hardened channel's bounded-retry
     policy).
+``campaign run spec.yaml`` / ``campaign expand`` / ``campaign tune``
+    Declarative sweep campaigns (see :mod:`repro.campaign`): a YAML or
+    JSON document names a base configuration and axes to sweep; ``run``
+    executes the expanded matrix (process-pool fan-out, per-run JSON
+    artifacts, resume-from-artifacts — re-running a finished campaign
+    executes nothing) and writes the merged best-per-cell report;
+    ``expand`` previews the matrix without running it; ``tune`` runs
+    the successive-halving auto-tuner and prints the best configuration
+    per machine model.
+
+The run subcommands (``native``, ``hybrid``, ``distributed``) are all
+generated from one flag table (:data:`repro.spec.RUN_FLAGS`): every
+flag maps onto a field of the canonical :class:`repro.spec.RunSpec`,
+and each command parses its arguments into a spec and executes it via
+:func:`repro.api.run` — exactly the path campaign workers and the
+auto-tuners use.
 
 Every numeric command exits non-zero when the HPL residual check
 fails, and prints the failing residual on stderr (also under
@@ -48,7 +64,8 @@ share three observability flags:
 
 ``--json``
     print the run's :class:`~repro.obs.result.RunResult` as JSON
-    (deterministic: identical seeded runs emit identical bytes);
+    (deterministic: identical seeded runs emit identical bytes), now
+    including the canonical ``spec`` block and ``spec_hash``;
 ``--trace-out PATH``
     write the DES trace as a Chrome ``trace_event`` file, loadable in
     ``about:tracing`` or https://ui.perfetto.dev;
@@ -59,37 +76,13 @@ share three observability flags:
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from typing import List, Optional
 
 from repro.machine import KNC, SNB
-
-
-def _add_substrate_flags(p: argparse.ArgumentParser) -> None:
-    """Pack-once / tile-executor knobs shared by the numeric drivers."""
-    p.add_argument(
-        "--workers",
-        type=int,
-        default=None,
-        metavar="N",
-        help="tile-executor pool width for numeric runs (default: all cores)",
-    )
-    p.add_argument(
-        "--no-pack-cache",
-        action="store_true",
-        help="disable the pack-once tile cache (re-pack every GEMM panel)",
-    )
-    p.add_argument(
-        "--no-buffer-pool",
-        action="store_true",
-        help="disable the scratch-buffer arena (allocate per call instead)",
-    )
-    p.add_argument(
-        "--alloc-profile",
-        action="store_true",
-        help="record tracemalloc allocation spans in the result's alloc field",
-    )
+from repro.spec import RunSpec, run_flags_parser, spec_from_args
 
 
 def _add_obs_flags(p: argparse.ArgumentParser) -> None:
@@ -270,44 +263,28 @@ def _cmd_energy(_args) -> int:
 
 
 def _cmd_native(args) -> int:
-    from repro.hpl import NativeHPL
+    from repro import api
 
-    r = NativeHPL(
-        args.n,
-        nb=args.nb,
-        scheduler=args.scheduler,
-        workers=args.workers,
-        pack_cache=not args.no_pack_cache,
-        buffer_pool=not args.no_buffer_pool,
-        alloc_profile=args.alloc_profile,
-    ).run(numeric=args.numeric)
+    spec = spec_from_args("native", args)
+    r = api.run(spec)
     if not _emit_observability(r, args):
         print(
             f"N={r.n} nb={r.nb} scheduler={r.scheduler}: {r.gflops:.1f} GFLOPS "
             f"({100 * r.efficiency:.1f}%), {r.time_s:.3f}s"
         )
-        if args.numeric:
+        if spec.numeric:
             print(f"residual={r.residual:.4f} -> {'PASSED' if r.passed else 'FAILED'}")
-    if args.numeric:
+    if spec.numeric:
         return _numeric_exit(r)
     return 0
 
 
 def _cmd_hybrid(args) -> int:
-    from repro.hybrid import HybridHPL, NodeConfig
+    from repro import api
 
-    if args.numeric:
-        from repro.hybrid.functional import run_hybrid_numeric
-
-        r = run_hybrid_numeric(
-            args.n,
-            nb=args.nb,
-            cards=args.cards,
-            workers=args.workers,
-            pack_cache=not args.no_pack_cache,
-            buffer_pool=not args.no_buffer_pool,
-            alloc_profile=args.alloc_profile,
-        )
+    spec = spec_from_args("hybrid", args)
+    r = api.run(spec)
+    if spec.numeric:
         if not _emit_observability(r, args):
             print(
                 f"N={r.n} nb={r.nb} cards={r.cards} workers={r.workers}: "
@@ -315,14 +292,6 @@ def _cmd_hybrid(args) -> int:
                 f"-> {'PASSED' if r.passed else 'FAILED'}"
             )
         return _numeric_exit(r)
-
-    r = HybridHPL(
-        args.n,
-        node=NodeConfig(cards=args.cards, host_mem_bytes=args.mem_gb * 1024**3),
-        p=args.p,
-        q=args.q,
-        lookahead=args.lookahead,
-    ).run()
     if not _emit_observability(r, args):
         print(
             f"N={r.n} {r.p}x{r.q} cards={r.cards} {r.lookahead}: {r.tflops:.3f} TFLOPS "
@@ -332,34 +301,10 @@ def _cmd_hybrid(args) -> int:
 
 
 def _cmd_distributed(args) -> int:
-    from repro.cluster import DistributedHPL
+    from repro import api
 
-    retry = None
-    if args.retry_max is not None or args.comm_timeout is not None:
-        from repro.resilience import RetryPolicy
-
-        retry_kwargs = {}
-        if args.comm_timeout is not None:
-            retry_kwargs["comm_timeout_s"] = args.comm_timeout
-        if args.retry_max is not None:
-            retry_kwargs["max_retries"] = args.retry_max
-        retry = RetryPolicy(**retry_kwargs)
-    r = DistributedHPL(
-        args.n,
-        args.nb,
-        args.p,
-        args.q,
-        bcast_algo=args.bcast_algo,
-        lookahead=args.lookahead,
-        chunk_kb=args.chunk_kb,
-        workers=args.workers,
-        pack_cache=not args.no_pack_cache,
-        buffer_pool=not args.no_buffer_pool,
-        alloc_profile=args.alloc_profile,
-        fault_plan=args.fault_plan,
-        checkpoint_every=args.checkpoint_every,
-        retry=retry,
-    ).run()
+    spec = spec_from_args("distributed", args)
+    r = api.run(spec)
     if not _emit_observability(r, args):
         mode = f"lookahead/{r.bcast_algo}" if r.lookahead else f"sync/{r.bcast_algo}"
         print(
@@ -409,13 +354,77 @@ def _cmd_tune(args) -> int:
 
 
 def _cmd_gantt(args) -> int:
-    from repro.hpl import NativeHPL
+    from repro import api
     from repro.report import render_gantt
 
-    r = NativeHPL(args.n, scheduler=args.scheduler).run()
+    r = api.run(RunSpec(kind="native", n=args.n, scheduler=args.scheduler))
     if not _emit_observability(r, args):
         print(f"{args.scheduler} schedule, N={args.n}: {r.gflops:.0f} GFLOPS")
         print(render_gantt(r.trace, width=args.width))
+    return 0
+
+
+def _cmd_campaign_run(args) -> int:
+    from repro.campaign import load_campaign, run_campaign
+    from repro.campaign.report import render_report
+
+    campaign = load_campaign(args.spec)
+    out = args.out or os.path.join("campaigns", campaign.name)
+    report = run_campaign(
+        campaign,
+        out,
+        resume=not args.no_resume,
+        workers=args.workers,
+        timeout_s=args.timeout_s,
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(render_report(campaign, report))
+        print(f"artifacts: {report.out_dir}")
+    totals = report.totals
+    failed = totals["errors"] + totals["crashes"] + totals["timeouts"]
+    return 1 if failed else 0
+
+
+def _cmd_campaign_expand(args) -> int:
+    from repro.campaign import expand_matrix, load_campaign
+
+    campaign = load_campaign(args.spec)
+    specs, duplicates = expand_matrix(campaign)
+    if args.json:
+        print(json.dumps(
+            {
+                "name": campaign.name,
+                "deduplicated": duplicates,
+                "runs": [
+                    {"spec_hash": s.canonical_hash(), "spec": s.to_dict()}
+                    for s in specs
+                ],
+            },
+            indent=2, sort_keys=True,
+        ))
+        return 0
+    print(
+        f"campaign {campaign.name}: {len(specs)} unique runs "
+        f"({duplicates} duplicates dropped)"
+    )
+    for s in specs:
+        print(f"  {s.canonical_hash()}  {s.summary()}")
+    return 0
+
+
+def _cmd_campaign_tune(args) -> int:
+    from repro.campaign.tuner import render_machine_table, tune_machine_models
+
+    machines = args.machines.split(",") if args.machines else None
+    rows = tune_machine_models(
+        machines=machines, nodes=args.nodes, objective=args.objective
+    )
+    if args.json:
+        print(json.dumps(rows, indent=2, sort_keys=True))
+    else:
+        print(render_machine_table(rows, objective=args.objective))
     return 0
 
 
@@ -424,7 +433,13 @@ def _sizes(text: str) -> List[int]:
 
 
 def build_parser() -> argparse.ArgumentParser:
-    """Construct the argument parser with every subcommand registered."""
+    """Construct the argument parser with every subcommand registered.
+
+    The run subcommands (``native``/``hybrid``/``distributed``) take
+    their flags from the shared :data:`repro.spec.RUN_FLAGS` table via
+    a per-kind parent parser, so a new RunSpec knob becomes a CLI flag
+    in exactly one place.
+    """
     parser = argparse.ArgumentParser(
         prog="repro", description="Xeon Phi Linpack reproduction toolkit"
     )
@@ -451,91 +466,15 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("table3", help="hybrid HPL grid").set_defaults(fn=_cmd_table3)
     sub.add_parser("energy", help="GFLOPS/W study").set_defaults(fn=_cmd_energy)
 
-    p = sub.add_parser("native", help="one native Linpack run")
-    p.add_argument("--n", type=int, required=True)
-    p.add_argument("--nb", type=int, default=300)
-    p.add_argument("--scheduler", choices=["dynamic", "static"], default="dynamic")
-    p.add_argument("--numeric", action="store_true", help="really solve and check")
-    _add_substrate_flags(p)
-    _add_obs_flags(p)
-    p.set_defaults(fn=_cmd_native)
-
-    p = sub.add_parser("hybrid", help="one hybrid HPL run")
-    p.add_argument("--n", type=int, required=True)
-    p.add_argument("--nb", type=int, default=64, help="block size for --numeric runs")
-    p.add_argument("--cards", type=int, default=1)
-    p.add_argument("--p", type=int, default=1)
-    p.add_argument("--q", type=int, default=1)
-    p.add_argument("--mem-gb", type=int, default=64)
-    p.add_argument(
-        "--lookahead", choices=["none", "basic", "pipelined"], default="pipelined"
+    run_commands = (
+        ("native", "one native Linpack run", _cmd_native),
+        ("hybrid", "one hybrid HPL run", _cmd_hybrid),
+        ("distributed", "real distributed solve", _cmd_distributed),
     )
-    p.add_argument(
-        "--numeric",
-        action="store_true",
-        help="really factor and solve through the offload engine (keep N modest)",
-    )
-    _add_substrate_flags(p)
-    _add_obs_flags(p)
-    p.set_defaults(fn=_cmd_hybrid)
-
-    p = sub.add_parser("distributed", help="real distributed solve")
-    p.add_argument("--n", type=int, default=144)
-    p.add_argument("--nb", type=int, default=16)
-    p.add_argument("--p", type=int, default=2)
-    p.add_argument("--q", type=int, default=2)
-    p.add_argument(
-        "--bcast-algo",
-        choices=("star", "ring", "binomial", "ring-mod"),
-        default="star",
-        help="panel-broadcast algorithm (ring-mod = pipelined segmented ring)",
-    )
-    p.add_argument(
-        "--lookahead",
-        action="store_true",
-        help="overlap panel broadcast with the trailing update (Section IV)",
-    )
-    p.add_argument(
-        "--chunk-kb",
-        type=float,
-        default=None,
-        metavar="KB",
-        help="segment size for chunked non-blocking transfers (default 256)",
-    )
-    p.add_argument(
-        "--fault-plan",
-        default=None,
-        metavar="PLAN",
-        help=(
-            "seeded fault plan: DSL ('seed=7;crash:rank=1,stage=2;"
-            "corrupt:op=bcast,count=2;slow:rank=0,delay=0.001'), "
-            "a JSON document, or a path to either"
-        ),
-    )
-    p.add_argument(
-        "--checkpoint-every",
-        type=int,
-        default=None,
-        metavar="K",
-        help="checkpoint every K panel stages (enables rollback recovery)",
-    )
-    p.add_argument(
-        "--retry-max",
-        type=int,
-        default=None,
-        metavar="N",
-        help="bounded resend retries for the hardened channel",
-    )
-    p.add_argument(
-        "--comm-timeout",
-        type=float,
-        default=None,
-        metavar="S",
-        help="reliable-receive timeout before the first resend (seconds)",
-    )
-    _add_substrate_flags(p)
-    _add_obs_flags(p)
-    p.set_defaults(fn=_cmd_distributed)
+    for kind, help_text, fn in run_commands:
+        p = sub.add_parser(kind, help=help_text, parents=[run_flags_parser(kind)])
+        _add_obs_flags(p)
+        p.set_defaults(fn=fn)
 
     p = sub.add_parser("hpldat", help="run an HPL.dat configuration file")
     p.add_argument("--file", required=True)
@@ -554,6 +493,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--width", type=int, default=100)
     _add_obs_flags(p)
     p.set_defaults(fn=_cmd_gantt)
+
+    p = sub.add_parser("campaign", help="declarative sweep campaigns")
+    csub = p.add_subparsers(dest="subcommand", required=True)
+
+    pc = csub.add_parser("run", help="run (or resume) a campaign document")
+    pc.add_argument("spec", metavar="FILE", help="campaign YAML or JSON file")
+    pc.add_argument("--out", default=None, metavar="DIR",
+                    help="artifact directory (default: campaigns/<name>)")
+    pc.add_argument("--workers", type=int, default=None, metavar="N",
+                    help="process-pool width (overrides the document)")
+    pc.add_argument("--timeout-s", type=float, default=None, metavar="S",
+                    help="per-run timeout in the pool (overrides the document)")
+    pc.add_argument("--no-resume", action="store_true",
+                    help="re-run completed cells instead of serving the cache")
+    pc.add_argument("--json", action="store_true",
+                    help="emit the merged report as JSON")
+    pc.set_defaults(fn=_cmd_campaign_run)
+
+    pc = csub.add_parser("expand", help="preview a campaign's run matrix")
+    pc.add_argument("spec", metavar="FILE", help="campaign YAML or JSON file")
+    pc.add_argument("--json", action="store_true",
+                    help="emit the matrix as JSON")
+    pc.set_defaults(fn=_cmd_campaign_expand)
+
+    pc = csub.add_parser(
+        "tune", help="successive-halving: best config per machine model"
+    )
+    pc.add_argument("--machines", default=None, metavar="A,B",
+                    help="comma-separated profile names (default: all)")
+    pc.add_argument("--nodes", type=int, default=1)
+    pc.add_argument("--objective", default="gflops",
+                    help="RunResult key to maximise (default: gflops)")
+    pc.add_argument("--json", action="store_true",
+                    help="emit the tuning rows as JSON")
+    pc.set_defaults(fn=_cmd_campaign_tune)
     return parser
 
 

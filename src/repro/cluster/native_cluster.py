@@ -58,11 +58,7 @@ class NativeClusterResult(RunResult):
     metrics: Optional[MetricsRegistry] = None
 
     kind = "native-cluster"
-
-    @property
-    def tflops(self) -> float:
-        """Back-compat alias: cluster rates are quoted in TFLOPS."""
-        return self.gflops / 1e3
+    # tflops comes from the shared RunResult property (gflops / 1e3).
 
 
 class NativeClusterHPL:

@@ -22,9 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-from repro.hybrid.driver import HybridHPL, NodeConfig
+from repro.hybrid.driver import GB, NodeConfig
 from repro.hybrid.lookahead import Lookahead
-from repro.lu.timing import LUTiming
 
 
 @dataclass
@@ -111,17 +110,38 @@ class HPLDatRow:
     q: int
     time_s: float
     gflops: float
+    #: Canonical RunSpec hash of the configuration (None when built by hand).
+    spec_hash: Optional[str] = None
 
 
 def run_hpl_dat(
     cfg: HPLDatConfig, node: Optional[NodeConfig] = None
 ) -> List[HPLDatRow]:
-    """Run every configuration in the file through the hybrid driver."""
+    """Run every configuration in the file through :func:`repro.api.run`.
+
+    Each HPL.dat cross-product entry becomes a canonical hybrid
+    :class:`~repro.spec.RunSpec`, so the rows carry spec hashes and the
+    results are identical to the same configuration launched from the
+    CLI or a campaign.
+    """
+    from repro import api
+    from repro.spec import RunSpec
+
     node = node or NodeConfig()
     rows = []
     for n, nb, p, q, depth in cfg.runs():
         la = depth_to_lookahead(depth)
-        r = HybridHPL(n, nb=nb, node=node, p=p, q=q, lookahead=la).run()
+        spec = RunSpec(
+            kind="hybrid",
+            n=n,
+            nb=nb,
+            p=p,
+            q=q,
+            cards=node.cards,
+            mem_gb=node.host_mem_bytes / GB,
+            lookahead=la.value,
+        )
+        r = api.run(spec)
         variant = f"WR{depth:02d}L2L{4 if la is Lookahead.PIPELINED else 1}"
         rows.append(
             HPLDatRow(
@@ -132,6 +152,7 @@ def run_hpl_dat(
                 q=q,
                 time_s=r.time_s,
                 gflops=r.tflops * 1e3,
+                spec_hash=spec.canonical_hash(),
             )
         )
     return rows

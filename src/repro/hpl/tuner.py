@@ -8,6 +8,14 @@ hybrid flavour — the look-ahead scheme. The paper's own choices (NB =
 are exactly what this tuner recovers; it exists so a downstream user can
 point the library at *their* imagined cluster and get a sensible
 configuration plus its predicted score.
+
+This is the exhaustive small-space search; the budgeted
+successive-halving search over larger spaces lives in
+:mod:`repro.campaign.tuner`. Both route every trial through
+:func:`repro.api.run`, so each candidate is a canonical
+:class:`~repro.spec.RunSpec` and the winning entry carries the full
+:class:`~repro.obs.result.RunResult` (metrics included) and its spec
+hash.
 """
 
 from __future__ import annotations
@@ -16,15 +24,20 @@ import math
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-from repro.hybrid.driver import HybridHPL, NodeConfig
-from repro.hybrid.tile_select import HYBRID_KT
+from repro import api
+from repro.spec import RunSpec
 
 GB = 1024**3
 
 
 @dataclass(frozen=True)
 class TuneResult:
-    """The chosen configuration and its predicted performance."""
+    """The chosen configuration and its predicted performance.
+
+    ``result`` is the winning trial's full RunResult (metrics, trace)
+    and ``spec_hash`` its canonical configuration hash — both filled by
+    :func:`tune`, left ``None`` only when constructed by hand.
+    """
 
     n: int
     nb: int
@@ -33,6 +46,8 @@ class TuneResult:
     lookahead: str
     tflops: float
     efficiency: float
+    spec_hash: Optional[str] = None
+    result: Optional[object] = None
 
     def describe(self) -> str:
         return (
@@ -43,7 +58,14 @@ class TuneResult:
 
 
 def grid_shapes(nodes: int) -> List[Tuple[int, int]]:
-    """All P x Q factorisations with P <= Q (the HPL recommendation)."""
+    """All P x Q factorisations with P <= Q (the HPL recommendation).
+
+    Deterministic, documented ordering: ascending P (therefore
+    descending Q), ending at the most-square shape — ``grid_shapes(100)
+    == [(1, 100), (2, 50), (4, 25), (5, 20), (10, 10)]``. Callers that
+    tie-break "first wins" therefore prefer squarer grids last, and the
+    campaign tuner's candidate order is reproducible.
+    """
     if nodes < 1:
         raise ValueError("need at least one node")
     shapes = []
@@ -54,7 +76,7 @@ def grid_shapes(nodes: int) -> List[Tuple[int, int]]:
 
 
 def problem_size(
-    nodes: int, host_mem_bytes: int, fill_fraction: float = 0.8, nb: int = HYBRID_KT
+    nodes: int, host_mem_bytes: int, fill_fraction: float = 0.8, nb: int = 1200
 ) -> int:
     """Largest NB-multiple N whose per-node share fits in
     ``fill_fraction`` of host memory (HPL's usual ~80% rule)."""
@@ -74,22 +96,36 @@ def tune(
 ) -> TuneResult:
     """Pick (N, NB, P, Q, look-ahead) for a cluster and predict its run.
 
-    Every candidate grid shape and block size is scored through the
-    hybrid timing model with pipelined look-ahead (which dominates
-    everywhere at these scales); the best predicted TFLOPS wins.
+    Every candidate block size and grid shape is scored through
+    :func:`repro.api.run` on the hybrid timing model with pipelined
+    look-ahead (which dominates everywhere at these scales); the best
+    predicted TFLOPS wins.
+
+    Deterministic, documented ordering: NB candidates are deduplicated
+    and tried in ascending order, grid shapes in :func:`grid_shapes`
+    order (ascending P), and ties keep the *earlier* candidate — so
+    identical inputs always return the identical configuration.
     """
     if cards < 1:
         raise ValueError("cards must be >= 1")
-    node = NodeConfig(cards=cards, host_mem_bytes=int(host_mem_gb * GB))
+    host_mem_bytes = int(host_mem_gb * GB)
     best: Optional[TuneResult] = None
-    for nb in nb_candidates:
+    for nb in sorted(set(nb_candidates)):
         n_run = n if n is not None else problem_size(
-            nodes, node.host_mem_bytes, fill_fraction, nb
+            nodes, host_mem_bytes, fill_fraction, nb
         )
         for p, q in grid_shapes(nodes):
-            r = HybridHPL(
-                n_run, nb=nb, node=node, p=p, q=q, lookahead="pipelined"
-            ).run()
+            spec = RunSpec(
+                kind="hybrid",
+                n=n_run,
+                nb=nb,
+                p=p,
+                q=q,
+                cards=cards,
+                mem_gb=float(host_mem_gb),
+                lookahead="pipelined",
+            )
+            r = api.run(spec)
             cand = TuneResult(
                 n=n_run,
                 nb=nb,
@@ -98,6 +134,8 @@ def tune(
                 lookahead="pipelined",
                 tflops=r.tflops,
                 efficiency=r.efficiency,
+                spec_hash=spec.canonical_hash(),
+                result=r,
             )
             if best is None or cand.tflops > best.tflops:
                 best = cand

@@ -96,11 +96,7 @@ class HybridResult(RunResult):
     metrics: Optional[MetricsRegistry] = None
 
     kind = "hybrid"
-
-    @property
-    def tflops(self) -> float:
-        """Back-compat alias: the Table III rows are quoted in TFLOPS."""
-        return self.gflops / 1e3
+    # tflops comes from the shared RunResult property (gflops / 1e3).
 
 
 class HybridHPL:

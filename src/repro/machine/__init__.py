@@ -43,6 +43,12 @@ from repro.machine.energy import (
     energy_kj,
     gflops_per_watt,
 )
+from repro.machine.profiles import (
+    MACHINE_PROFILES,
+    MachineProfile,
+    machine_profile,
+    profile_names,
+)
 from repro.machine.gemm_model import (
     dgemm_efficiency_vs_k,
     sgemm_efficiency_vs_k,
@@ -83,6 +89,10 @@ __all__ = [
     "cpu_only_node_power",
     "energy_kj",
     "gflops_per_watt",
+    "MachineProfile",
+    "MACHINE_PROFILES",
+    "machine_profile",
+    "profile_names",
     "dgemm_efficiency_vs_k",
     "sgemm_efficiency_vs_k",
     "gemm_efficiency",

@@ -1,0 +1,77 @@
+"""Named machine-model profiles for the declarative RunSpec layer.
+
+The paper's Table III evaluates the same benchmark across a handful of
+*node models* — one or two Knights Corner cards, 64 or 128 GB hosts —
+and real HPL deployments keep a per-machine tuning table rather than a
+single configuration. This registry gives those node models stable
+names so a :class:`~repro.spec.RunSpec` (and a campaign YAML file) can
+say ``machine: knc-2card-64gb`` instead of repeating ``cards=2,
+mem_gb=64`` everywhere, and so the campaign tuner can emit a
+"best config per machine model" table keyed by profile name.
+
+Profiles deliberately stay thin: they only pin the knobs the drivers
+already accept (``cards``, host memory). Hypothetical architectures
+are added by registering a new profile, not by editing call sites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class MachineProfile:
+    """One named node model a RunSpec can target."""
+
+    name: str
+    description: str
+    cards: int
+    mem_gb: float
+
+    def spec_overrides(self) -> dict:
+        """The RunSpec field values this profile pins."""
+        return {"cards": self.cards, "mem_gb": self.mem_gb}
+
+
+#: The registry, keyed by profile name. Insertion order is the
+#: presentation order of per-machine reports (Table III's order).
+MACHINE_PROFILES: Dict[str, MachineProfile] = {
+    p.name: p
+    for p in (
+        MachineProfile(
+            "knc-1card-64gb",
+            "dual-socket SNB host, one KNC card, 64 GB (Table III baseline)",
+            cards=1,
+            mem_gb=64.0,
+        ),
+        MachineProfile(
+            "knc-2card-64gb",
+            "dual-socket SNB host, two KNC cards, 64 GB",
+            cards=2,
+            mem_gb=64.0,
+        ),
+        MachineProfile(
+            "knc-1card-128gb",
+            "dual-socket SNB host, one KNC card, 128 GB (Table III last row)",
+            cards=1,
+            mem_gb=128.0,
+        ),
+    )
+}
+
+
+def machine_profile(name: str) -> MachineProfile:
+    """Look up a profile by name with a helpful error."""
+    try:
+        return MACHINE_PROFILES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown machine profile {name!r}; "
+            f"pick from {sorted(MACHINE_PROFILES)}"
+        ) from None
+
+
+def profile_names() -> Tuple[str, ...]:
+    """Registry keys in presentation order."""
+    return tuple(MACHINE_PROFILES)

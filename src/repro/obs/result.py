@@ -63,13 +63,30 @@ class RunResult:
     #: attribute stays out of the subclasses' dataclass field machinery.
     kind = "run"
 
+    #: The :class:`~repro.spec.RunSpec` this result was produced from,
+    #: attached by :func:`repro.api.run`. A plain class attribute for
+    #: the same reason as ``kind``: results built by calling a driver
+    #: directly simply leave it ``None`` and export unchanged.
+    spec = None
+
+    @property
+    def tflops(self) -> float:
+        """The headline rate in TFLOPS (cluster results quote TFLOPS).
+
+        The shared back-compat helper: every result derives it from
+        ``gflops`` here instead of keeping per-class duplicates.
+        """
+        return getattr(self, "gflops", 0.0) / 1e3
+
     def to_dict(self) -> dict:
         """Plain-data view of the result.
 
         Every dataclass field appears under its own name except traces
         and NumPy arrays (dropped — they have dedicated exporters) and
         the metrics registry (exported via
-        :meth:`~repro.obs.metrics.MetricsRegistry.to_dict`).
+        :meth:`~repro.obs.metrics.MetricsRegistry.to_dict`). When the
+        result came through :func:`repro.api.run`, the normalized spec
+        and its canonical hash ride along as ``spec`` / ``spec_hash``.
         """
         if not dataclasses.is_dataclass(self):
             raise TypeError("RunResult subclasses must be dataclasses")
@@ -82,6 +99,9 @@ class RunResult:
                 out[f.name] = value.to_dict()
                 continue
             out[f.name] = _jsonable(value)
+        if self.spec is not None:
+            out["spec"] = self.spec.to_dict()
+            out["spec_hash"] = self.spec.canonical_hash()
         return out
 
     def to_json(self, indent: Optional[int] = 2) -> str:

@@ -1,0 +1,262 @@
+"""Campaign documents: expansion, dedup, execution, resume, reports."""
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    expand_matrix,
+    load_campaign,
+    run_campaign,
+)
+from repro.campaign.runner import SCHEMA, _worker
+from repro.campaign.spec import parse_campaign, parse_mini_yaml
+from repro.cli import main
+
+DIST_YAML = """
+name: smoke
+base:
+  kind: distributed
+  n: 64
+axes:
+  nb: [8, 16]
+  bcast_algo: [star, ring]
+workers: 0
+report_by: [n]
+"""
+
+
+def _dist_campaign(**overrides):
+    fields = dict(
+        name="t",
+        base={"kind": "distributed", "n": 64},
+        axes={"nb": [8, 16], "bcast_algo": ["star", "ring"]},
+        workers=0,
+    )
+    fields.update(overrides)
+    return CampaignSpec(**fields)
+
+
+class TestCampaignSpec:
+    def test_requires_kind_in_base(self):
+        with pytest.raises(ValueError, match="kind"):
+            CampaignSpec(name="x", base={"n": 100})
+
+    def test_rejects_empty_axis(self):
+        with pytest.raises(ValueError, match="axis"):
+            CampaignSpec(name="x", base={"kind": "native"}, axes={"nb": []})
+
+    def test_rejects_unknown_document_keys(self):
+        with pytest.raises(ValueError, match="unknown campaign keys"):
+            CampaignSpec.from_dict(
+                {"name": "x", "base": {"kind": "native", "n": 1}, "axis": {}}
+            )
+
+    def test_rejects_slash_in_name(self):
+        with pytest.raises(ValueError, match="name"):
+            CampaignSpec(name="a/b", base={"kind": "native", "n": 1})
+
+
+class TestExpansion:
+    def test_cross_product_in_document_order(self):
+        specs, dups = expand_matrix(_dist_campaign())
+        assert len(specs) == 4 and dups == 0
+        # First axis (nb) varies slowest, like HPL.dat's nested lists.
+        assert [(s.nb, s.bcast_algo) for s in specs] == [
+            (8, "star"), (8, "ring"), (16, "star"), (16, "ring")]
+
+    def test_grid_axis_sets_p_and_q(self):
+        c = _dist_campaign(axes={"grid": ["1x2", "2x2"]})
+        specs, _ = expand_matrix(c)
+        assert [(s.p, s.q) for s in specs] == [(1, 2), (2, 2)]
+
+    def test_duplicates_dropped_first_wins(self):
+        c = _dist_campaign(
+            axes={"nb": [8]},
+            runs=({"nb": 8}, {"nb": 32}),
+        )
+        specs, dups = expand_matrix(c)
+        assert [s.nb for s in specs] == [8, 32]
+        assert dups == 1
+
+    def test_n_must_come_from_base_or_axis(self):
+        c = CampaignSpec(name="x", base={"kind": "native"},
+                         axes={"nb": [100, 200]})
+        with pytest.raises(ValueError, match="'n'"):
+            expand_matrix(c)
+        ok = CampaignSpec(name="x", base={"kind": "native"},
+                          axes={"n": [1000, 2000]})
+        assert len(expand_matrix(ok)[0]) == 2
+
+    def test_no_axes_is_a_single_run(self):
+        c = CampaignSpec(name="x", base={"kind": "native", "n": 1000})
+        assert len(c.expand()) == 1
+
+
+class TestDocuments:
+    def test_mini_yaml_parses_the_documented_subset(self):
+        doc = parse_mini_yaml(DIST_YAML)
+        assert doc["base"] == {"kind": "distributed", "n": 64}
+        assert doc["axes"]["nb"] == [8, 16]
+        assert doc["report_by"] == ["n"]
+
+    def test_mini_yaml_matches_pyyaml(self):
+        yaml = pytest.importorskip("yaml")
+        text = DIST_YAML + """runs:
+  - {nb: 32, grid: 1x1}
+timeout_s: 9.5
+"""
+        assert parse_mini_yaml(text) == yaml.safe_load(text)
+
+    def test_yaml_on_off_booleans_become_lookahead_strings(self):
+        c = parse_campaign("""
+name: la
+base:
+  kind: distributed
+  n: 64
+axes:
+  lookahead: [on, off]
+workers: 0
+""")
+        assert [s.lookahead for s in c.expand()] == ["on", "off"]
+
+    def test_json_documents_work(self):
+        c = parse_campaign(json.dumps({
+            "name": "j", "base": {"kind": "native", "n": 1000}}))
+        assert c.name == "j"
+
+    def test_load_campaign_reads_files(self, tmp_path):
+        path = tmp_path / "c.yaml"
+        path.write_text(DIST_YAML)
+        assert load_campaign(path).name == "smoke"
+
+
+class TestRunner:
+    def test_inline_run_writes_artifacts_and_report(self, tmp_path):
+        report = run_campaign(_dist_campaign(), tmp_path / "out")
+        assert report.totals == {
+            "runs": 4, "deduplicated": 0, "cached": 0, "executed": 4,
+            "ok": 4, "errors": 0, "crashes": 0, "timeouts": 0}
+        runs = sorted((tmp_path / "out" / "runs").glob("*.json"))
+        assert len(runs) == 4
+        doc = json.loads(runs[0].read_text())
+        assert doc["schema"] == SCHEMA and doc["status"] == "ok"
+        assert doc["result"]["spec_hash"] == doc["spec_hash"]
+        assert (tmp_path / "out" / "report.json").exists()
+        assert "Best per cell" in (tmp_path / "out" / "report.txt").read_text()
+
+    def test_resume_serves_cache_and_reruns_nothing(self, tmp_path):
+        c = _dist_campaign()
+        first = run_campaign(c, tmp_path / "out")
+        second = run_campaign(c, tmp_path / "out")
+        assert second.totals["executed"] == 0
+        assert second.totals["cached"] == first.totals["runs"]
+        assert second.cells == first.cells
+
+    def test_resume_reruns_failed_cells(self, tmp_path):
+        c = _dist_campaign()
+        run_campaign(c, tmp_path / "out")
+        # Sabotage one artifact into a failure; resume must re-execute it.
+        victim = next((tmp_path / "out" / "runs").glob("*.json"))
+        doc = json.loads(victim.read_text())
+        doc["status"] = "error"
+        victim.write_text(json.dumps(doc))
+        again = run_campaign(c, tmp_path / "out")
+        assert again.totals["executed"] == 1
+        assert again.totals["cached"] == 3
+        assert json.loads(victim.read_text())["status"] == "ok"
+
+    def test_no_resume_reruns_everything(self, tmp_path):
+        c = _dist_campaign()
+        run_campaign(c, tmp_path / "out")
+        fresh = run_campaign(c, tmp_path / "out", resume=False)
+        assert fresh.totals["executed"] == 4
+
+    def test_foreign_schema_artifacts_ignored(self, tmp_path):
+        c = _dist_campaign()
+        run_campaign(c, tmp_path / "out")
+        victim = next((tmp_path / "out" / "runs").glob("*.json"))
+        doc = json.loads(victim.read_text())
+        doc["schema"] = "campaign-run-v999"
+        victim.write_text(json.dumps(doc))
+        again = run_campaign(c, tmp_path / "out")
+        assert again.totals["executed"] == 1
+
+    def test_worker_failure_becomes_error_artifact(self, tmp_path):
+        # An unparseable fault plan raises inside the driver: the run
+        # becomes an "error" artifact and the campaign carries on.
+        c = CampaignSpec(
+            name="f",
+            base={"kind": "distributed", "n": 48, "p": 2, "q": 2,
+                  "fault_plan": "garbage:::"},
+            axes={"nb": [8]}, workers=0)
+        report = run_campaign(c, tmp_path / "out")
+        assert report.totals["errors"] == 1 and report.totals["ok"] == 0
+        row = report.rows[0]
+        assert row["status"] == "error" and row["error"]
+
+    def test_pool_execution_matches_inline(self, tmp_path):
+        # Wall-clock scores differ between invocations, but the pool
+        # must complete the exact same spec set the inline path does.
+        c = _dist_campaign()
+        inline = run_campaign(c, tmp_path / "a")
+        pooled = run_campaign(c, tmp_path / "b", workers=2)
+        assert pooled.totals["ok"] == 4
+        assert ([r["spec_hash"] for r in pooled.rows]
+                == [r["spec_hash"] for r in inline.rows])
+
+    def test_worker_function_never_raises(self):
+        bad = {"kind": "distributed", "n": 48, "p": 2, "q": 2, "nb": 8,
+               "fault_plan": "garbage:::"}
+        doc = _worker(bad)
+        assert doc["status"] == "error" and "Traceback" in doc["error"]
+
+
+class TestMergedReport:
+    def test_best_per_cell_picks_the_max(self, tmp_path):
+        c = _dist_campaign(report_by=("n",))
+        report = run_campaign(c, tmp_path / "out")
+        assert len(report.cells) == 1
+        best = report.cells[0]
+        scores = [r["gflops"] for r in report.rows]
+        assert best["gflops"] == max(scores)
+        assert best["cell"] == {"n": 64}
+
+    def test_rows_follow_expansion_order(self, tmp_path):
+        c = _dist_campaign()
+        report = run_campaign(c, tmp_path / "out")
+        hashes = [s.canonical_hash() for s in c.expand()]
+        assert [r["spec_hash"] for r in report.rows] == hashes
+
+
+class TestCampaignCLI:
+    def test_campaign_run_and_cached_reinvoke(self, tmp_path, capsys):
+        spec = tmp_path / "c.yaml"
+        spec.write_text(DIST_YAML)
+        out = tmp_path / "artifacts"
+        assert main(["campaign", "run", str(spec), "--out", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "4 unique runs" in text and "Best per cell" in text
+        assert main(["campaign", "run", str(spec), "--out", str(out),
+                     "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["totals"]["executed"] == 0
+        assert doc["totals"]["cached"] == 4
+
+    def test_campaign_expand_previews_matrix(self, tmp_path, capsys):
+        spec = tmp_path / "c.yaml"
+        spec.write_text(DIST_YAML)
+        assert main(["campaign", "expand", str(spec)]) == 0
+        out = capsys.readouterr().out
+        assert "4 unique runs" in out
+
+    def test_campaign_run_failure_exits_nonzero(self, tmp_path, capsys):
+        spec = tmp_path / "c.json"
+        spec.write_text(json.dumps({
+            "name": "bad",
+            "base": {"kind": "distributed", "n": 48, "p": 2, "q": 2,
+                     "fault_plan": "garbage:::"},
+            "workers": 0}))
+        assert main(["campaign", "run", str(spec),
+                     "--out", str(tmp_path / "o")]) == 1

@@ -1,0 +1,91 @@
+"""Successive-halving tuner: convergence on the deterministic model."""
+
+import pytest
+
+from repro import api
+from repro.campaign.tuner import (
+    HalvingResult,
+    render_machine_table,
+    successive_halving,
+    tune_machine_models,
+)
+from repro.spec import RunSpec
+
+
+class TestSuccessiveHalving:
+    BASE = RunSpec(kind="hybrid", n=36000)
+
+    def test_converges_to_exhaustive_best(self):
+        axes = {"nb": [600, 1200, 2400], "lookahead": ["basic", "pipelined"]}
+        result = successive_halving(self.BASE, axes, rungs=(12000, 36000))
+        # The survivor must match brute force at the final rung size.
+        scores = {}
+        for nb in axes["nb"]:
+            for la in axes["lookahead"]:
+                spec = self.BASE.with_overrides({"nb": nb, "lookahead": la})
+                scores[(nb, la)] = api.run(spec).gflops
+        best_exhaustive = max(scores.values())
+        assert result.best.score == pytest.approx(best_exhaustive)
+
+    def test_halves_the_field_each_rung(self):
+        axes = {"nb": [300, 600, 1200, 2400]}
+        result = successive_halving(self.BASE, axes, rungs=(6000, 12000, 36000))
+        assert result.survivors_per_rung == (4, 2, 1)
+
+    def test_deterministic(self):
+        axes = {"nb": [600, 1200], "lookahead": ["basic", "pipelined"]}
+        a = successive_halving(self.BASE, axes, rungs=(12000, 36000))
+        b = successive_halving(self.BASE, axes, rungs=(12000, 36000))
+        assert a.best.spec == b.best.spec
+        assert a.best.spec_hash == b.best.spec_hash
+
+    def test_single_rung_is_exhaustive_search(self):
+        axes = {"nb": [600, 1200, 2400]}
+        result = successive_halving(self.BASE, axes, rungs=(36000,))
+        assert result.survivors_per_rung == (3,)
+
+    def test_result_describe(self):
+        result = successive_halving(self.BASE, {"nb": [1200]}, rungs=(12000,))
+        assert isinstance(result, HalvingResult)
+        assert "gflops" in result.describe()
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="ascend"):
+            successive_halving(self.BASE, {"nb": [600]}, rungs=(36000, 12000))
+        with pytest.raises(ValueError, match="keep_fraction"):
+            successive_halving(self.BASE, {"nb": [600]}, rungs=(12000,),
+                               keep_fraction=1.5)
+        with pytest.raises(ValueError, match="rung"):
+            successive_halving(self.BASE, {"nb": [600]}, rungs=())
+
+
+class TestMachineTable:
+    def test_one_row_per_profile_in_registry_order(self):
+        rows = tune_machine_models(
+            machines=["knc-1card-64gb", "knc-1card-128gb"],
+            rungs=(6000, 12000), nb_axis=(600, 1200))
+        assert [r["machine"] for r in rows] == [
+            "knc-1card-64gb", "knc-1card-128gb"]
+        for row in rows:
+            assert row["gflops"] > 0
+            assert row["spec_hash"] == RunSpec.from_dict(
+                row["spec"]).canonical_hash()
+
+    def test_rung_ladder_respects_profile_memory(self):
+        # The default 84K top rung exceeds nothing at 64 GB, but the
+        # ladder must never ask for more than the host can hold.
+        rows = tune_machine_models(machines=["knc-1card-64gb"],
+                                   nb_axis=(1200,),
+                                   lookahead_axis=("pipelined",))
+        assert rows[0]["n"] * rows[0]["n"] * 8 <= 64 * 1024**3
+
+    def test_render_machine_table(self):
+        rows = tune_machine_models(machines=["knc-1card-64gb"],
+                                   rungs=(6000,), nb_axis=(1200,),
+                                   lookahead_axis=("pipelined",))
+        text = str(render_machine_table(rows))
+        assert "knc-1card-64gb" in text and "1x1" in text
+
+    def test_unknown_machine_rejected(self):
+        with pytest.raises(ValueError, match="machine profile"):
+            tune_machine_models(machines=["cray-1"], rungs=(6000,))
