@@ -35,6 +35,7 @@ def _run_native(s: RunSpec) -> RunResult:
         nb=s.nb,
         scheduler=s.scheduler,
         workers=s.workers,
+        executor=s.executor,
         pack_cache=s.pack_cache,
         buffer_pool=s.buffer_pool,
         alloc_profile=s.alloc_profile,
@@ -50,6 +51,7 @@ def _run_hybrid(s: RunSpec) -> RunResult:
             nb=s.nb,
             cards=s.cards,
             workers=s.workers,
+            executor=s.executor,
             pack_cache=s.pack_cache,
             buffer_pool=s.buffer_pool,
             alloc_profile=s.alloc_profile,
@@ -90,6 +92,7 @@ def _run_distributed(s: RunSpec) -> RunResult:
         lookahead=s.lookahead == "on",
         chunk_kb=s.chunk_kb,
         workers=s.workers,
+        executor=s.executor,
         pack_cache=s.pack_cache,
         buffer_pool=s.buffer_pool,
         alloc_profile=s.alloc_profile,

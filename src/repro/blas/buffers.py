@@ -51,10 +51,21 @@ class BufferPoolError(RuntimeError):
 
 
 class BufferPool:
-    """An arena of reusable, shape/dtype-tagged scratch arrays."""
+    """An arena of reusable, shape/dtype-tagged scratch arrays.
 
-    def __init__(self, name: str = "blas.buffer_pool"):
+    With ``arena`` set to a :class:`~repro.parallel.shm.SharedArena`,
+    the pool's backing blocks are carved out of shared memory instead
+    of private ``np.empty`` allocations — every buffer the pool issues
+    is then addressable by child processes through an
+    :class:`~repro.parallel.shm.ArrayRef`, which is how the process
+    executor's GEMM stripes consume pool-staged operands without a
+    copy. The checkout/release protocol, the best-fit reuse and the
+    lease accounting are identical either way.
+    """
+
+    def __init__(self, name: str = "blas.buffer_pool", arena=None):
         self.name = name
+        self.arena = arena
         self._lock = threading.Lock()
         #: Free arena blocks (1-D uint8), kept sorted by size for best fit.
         self._free: List[np.ndarray] = []
@@ -127,7 +138,10 @@ class BufferPool:
             if block.nbytes >= nbytes:
                 self.reuses += 1
                 return self._free.pop(i)
-        block = np.empty(nbytes, dtype=np.uint8)
+        if self.arena is not None:
+            block = self.arena.checkout((nbytes,), np.uint8, key=f"{self.name}.block")
+        else:
+            block = np.empty(nbytes, dtype=np.uint8)
         self.allocations += 1
         self.arena_bytes += nbytes
         if self.arena_bytes > self.peak_bytes:
@@ -158,9 +172,13 @@ class BufferPool:
             return sorted(key for (_v, _b, key) in self._leases.values())
 
     def clear(self) -> int:
-        """Drop every free block (leases stay out); returns bytes freed."""
+        """Drop every free block (leases stay out); returns bytes freed.
+        Arena-backed blocks are returned to the shared arena."""
         with self._lock:
             freed = sum(b.nbytes for b in self._free)
+            if self.arena is not None:
+                for block in self._free:
+                    self.arena.release(block)
             self._free.clear()
             self.arena_bytes -= freed
             return freed

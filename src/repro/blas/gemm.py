@@ -41,8 +41,9 @@ from repro.blas.kernels import (
     basic_kernel_2,
     tile_multiply_fast,
 )
+from repro.machine.vector_batch import schedule_for
 from repro.blas.packing import TILE_B_COLS, pack_a, pack_b
-from repro.parallel import as_executor, scratch_buffer
+from repro.parallel import as_executor, is_process_executor, scratch_buffer, shm_task
 
 _EMULATED_KERNELS = {KERNEL1_ROWS: basic_kernel_1, KERNEL2_ROWS: basic_kernel_2}
 
@@ -87,8 +88,13 @@ def gemm(
     tile_rows:
         30 selects Basic Kernel 2 tiling (default), 31 Basic Kernel 1.
     kernel:
-        "fast" (NumPy tile multiply) or "emulated" (vector-ISA emulation;
-        only sensible for small matrices).
+        "fast" (NumPy tile multiply), "emulated" (vector-ISA semantics
+        via the batched instruction schedule — one NumPy sweep per k
+        iteration), or "emulated-step" (the per-instruction
+        :class:`~repro.machine.vector.VectorMachine` reference; only
+        sensible for small matrices). The two emulated modes are
+        bitwise identical; "emulated" is merely orders of magnitude
+        less Python dispatch.
     strategy:
         "stripe" (vectorized row-stripe path, default) or "tiles" (the
         per-tile reference loop). ``kernel="emulated"`` always runs
@@ -119,11 +125,11 @@ def gemm(
         raise ValueError("operands must share a dtype")
     if k_block < 1:
         raise ValueError("k_block must be positive")
-    if kernel not in ("fast", "emulated"):
+    if kernel not in ("fast", "emulated", "emulated-step"):
         raise ValueError(f"unknown kernel {kernel!r}")
     if strategy not in _STRATEGIES:
         raise ValueError(f"strategy must be one of {_STRATEGIES}, got {strategy!r}")
-    if kernel == "emulated" and tile_rows not in _EMULATED_KERNELS:
+    if kernel != "fast" and tile_rows not in _EMULATED_KERNELS:
         raise ValueError(
             f"emulated kernels exist for tile_rows in "
             f"{tuple(sorted(_EMULATED_KERNELS))}, got tile_rows={tile_rows}"
@@ -160,11 +166,108 @@ def gemm(
         else:
             pa = pack_a(a[:, k0:k1], tile_rows=tile_rows)
             pb = pack_b(b[k0:k1, :], tile_cols=TILE_B_COLS)
-        if kernel == "emulated" or strategy == "tiles":
+        if kernel != "fast" or strategy == "tiles":
             _outer_product_tiles(c, pa, pb, alpha, kernel)
         else:
             _outer_product_stripes(c, pa, pb, alpha, executor, pool)
     return c
+
+
+@shm_task("gemm.stripe")
+def _stripe_task(
+    ctx,
+    *,
+    a_ref,
+    b_ref,
+    c_ref,
+    t0,
+    stripe_tiles,
+    n_tiles,
+    tile_rows,
+    m,
+    k,
+    ncols,
+    alpha,
+):
+    """Worker-side stripe: byte-for-byte the same operand layout and
+    BLAS call as :func:`_outer_product_stripes`'s ``run_stripe`` — a
+    C-contiguous (nrows, k) fused stripe times the packed-B panel into
+    a C-contiguous accumulator, folded into the stripe's disjoint row
+    band of shared c. Identical inputs to the identical kernel give
+    bitwise-identical output at any worker count and on any backend."""
+    data = ctx.resolve(a_ref)  # (n_tiles, k, tile_rows)
+    b_panel = ctx.resolve(b_ref)  # (k, panel width)
+    c = ctx.resolve(c_ref)
+    dtype = c.dtype
+    t1 = min(t0 + stripe_tiles, n_tiles)
+    rlo = t0 * tile_rows
+    rhi = min(t1 * tile_rows, m)
+    nrows = (t1 - t0) * tile_rows
+    rows_per_task = stripe_tiles * tile_rows
+    sbuf = scratch_buffer((rows_per_task, k), dtype)
+    stripe = sbuf[:nrows]
+    stripe.reshape(t1 - t0, tile_rows, k)[...] = data[t0:t1].transpose(0, 2, 1)
+    obuf = scratch_buffer((rows_per_task, b_panel.shape[1]), dtype)
+    out = obuf[:nrows]
+    np.matmul(stripe, b_panel, out=out)
+    a = dtype.type(alpha)
+    if a != 1.0:
+        np.multiply(out, a, out=out)
+    c[rlo:rhi, :ncols] += out[: rhi - rlo, :ncols]
+    return None
+
+
+def _outer_product_stripes_process(c, pa, pb, alpha, executor) -> None:
+    """The stripe fan-out over worker processes: ship ArrayRef
+    descriptors, never operands.
+
+    Operands already resident in the executor's shared arena (packed
+    panels from an arena-backed pack cache, c a view of an adopted
+    matrix) are referenced in place; anything process-private is staged
+    into the arena with one memcpy — a parent-side copy, so the
+    zero-payload pipe invariant holds either way — and c is copied back
+    when it had to be staged.
+    """
+    arena = executor.arena
+    b_panel = pb.row_major()
+    staged = []
+    a_ref = arena.ref_of(pa.data)
+    if a_ref is None:
+        sa = arena.adopt(pa.data, key="gemm.stage.a")
+        staged.append(sa)
+        a_ref = arena.ref_of(sa)
+    b_ref = arena.ref_of(b_panel)
+    if b_ref is None:
+        sb = arena.adopt(b_panel, key="gemm.stage.b")
+        staged.append(sb)
+        b_ref = arena.ref_of(sb)
+    c_ref = arena.ref_of(c)
+    staged_c = None
+    if c_ref is None:
+        staged_c = arena.adopt(c, key="gemm.stage.c")
+        c_ref = arena.ref_of(staged_c)
+    try:
+        common = {
+            "a_ref": a_ref,
+            "b_ref": b_ref,
+            "c_ref": c_ref,
+            "stripe_tiles": STRIPE_TILES,
+            "n_tiles": pa.n_tiles,
+            "tile_rows": pa.tile_rows,
+            "m": pa.m,
+            "k": pa.k,
+            "ncols": pb.n,
+            "alpha": float(alpha),
+        }
+        items = [{"t0": int(t0)} for t0 in range(0, pa.n_tiles, STRIPE_TILES)]
+        executor.run_tasks("gemm.stripe", items, common=common)
+        if staged_c is not None:
+            np.copyto(c, staged_c)
+    finally:
+        if staged_c is not None:
+            arena.release(staged_c)
+        for buf in staged:
+            arena.release(buf)
 
 
 def _outer_product_stripes(c, pa, pb, alpha, executor, pool=None) -> None:
@@ -177,7 +280,13 @@ def _outer_product_stripes(c, pa, pb, alpha, executor, pool=None) -> None:
     of c. Because stripes never share output rows and the k-slice loop
     above stays serial, the executor's scheduling cannot alter any
     floating-point sum — serial and parallel runs are bitwise identical.
+    A process-backed executor takes the descriptor path instead
+    (:func:`_outer_product_stripes_process`); the worker-side kernel is
+    the same computation, so the backends are bitwise identical too.
     """
+    if executor is not None and is_process_executor(executor):
+        _outer_product_stripes_process(c, pa, pb, alpha, executor)
+        return
     b_panel = pb.row_major()  # (k, n_tiles * tile_cols), padding included
     ncols = pb.n
     dtype = c.dtype
@@ -224,11 +333,16 @@ def _outer_product_stripes(c, pa, pb, alpha, executor, pool=None) -> None:
 def _outer_product_tiles(c, pa, pb, alpha, kernel) -> None:
     """Accumulate alpha * unpack(pa) @ unpack(pb) into c, tile by tile —
     the reference loop over the full (a tile, b tile) grid."""
-    emulated = _EMULATED_KERNELS.get(pa.tile_rows) if kernel == "emulated" else None
     # PackedB tiles are strided views of the row-major panel; the
     # tile-by-tile loop touches each one many times, so take one
     # contiguous copy of the grid up front (the legacy layout).
     b_tiles = np.ascontiguousarray(pb.data)
+    if kernel == "emulated":
+        _emulated_batched_tiles(c, pa, pb, b_tiles, alpha)
+        return
+    emulated = (
+        _EMULATED_KERNELS.get(pa.tile_rows) if kernel == "emulated-step" else None
+    )
     for ta in range(pa.n_tiles):
         rlo, rhi = pa.tile_row_range(ta)
         a_tile = pa.tile(ta)
@@ -239,6 +353,29 @@ def _outer_product_tiles(c, pa, pb, alpha, kernel) -> None:
             else:
                 block = tile_multiply_fast(a_tile, b_tiles[tb])
             c[rlo:rhi, clo:chi] += alpha * block[: rhi - rlo, : chi - clo]
+
+
+def _emulated_batched_tiles(c, pa, pb, b_tiles, alpha) -> None:
+    """The emulated-kernel grid as batched schedule replays: each a
+    tile's row of the grid — all its b-tile multiplies — runs as one
+    :meth:`~repro.machine.vector_batch.KernelSchedule.execute` call.
+
+    The a tile is broadcast (no copy) across the b-tile batch, the
+    resulting (n_b_tiles, rows, lanes) blocks are laid side by side into
+    the tile's row band, and the band folds into c with the same one
+    multiply + one add per element as the per-tile loop — so "emulated"
+    and "emulated-step" are bitwise identical.
+    """
+    schedule = schedule_for(pa.tile_rows, lanes=b_tiles.shape[2])
+    ncols = pb.n
+    for ta in range(pa.n_tiles):
+        rlo, rhi = pa.tile_row_range(ta)
+        a_rep = np.broadcast_to(
+            pa.tile(ta), (pb.n_tiles,) + pa.tile(ta).shape
+        )
+        blocks = schedule.execute(a_rep, b_tiles)
+        band = blocks.transpose(1, 0, 2).reshape(pa.tile_rows, -1)
+        c[rlo:rhi, :ncols] += alpha * band[: rhi - rlo, :ncols]
 
 
 def dgemm(a, b, c=None, alpha=1.0, beta=0.0, k_block=300, **kw) -> np.ndarray:

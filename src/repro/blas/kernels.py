@@ -27,6 +27,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.machine.vector import VLEN, VectorMachine
+from repro.machine.vector_batch import schedule_for
 
 #: c rows held in registers by each kernel.
 KERNEL1_ROWS = 31
@@ -157,6 +158,49 @@ def basic_kernel_2_sp(
     for r in range(KERNEL2_ROWS):
         vm.vstore(r, out[r])
     return out
+
+
+def _batched(rows: int, lanes: int, a_tiles, b_tiles, vm: VectorMachine | None):
+    schedule = schedule_for(rows, lanes)
+    if vm is not None:
+        if vm.lanes != schedule.lanes or vm.dtype != schedule.dtype:
+            raise ValueError(
+                f"{schedule.name} needs {schedule.lanes} lanes of "
+                f"{schedule.dtype}, machine has {vm.lanes} of {vm.dtype}"
+            )
+        return schedule.execute(a_tiles, b_tiles, counts=vm.counts)
+    return schedule.execute(a_tiles, b_tiles)
+
+
+def batched_kernel_1(
+    a_tiles: np.ndarray, b_tiles: np.ndarray, vm: VectorMachine | None = None
+) -> np.ndarray:
+    """Basic Kernel 1 over a batch of tile pairs: (T, k, 31) x (T, k, 8)
+    -> (T, 31, 8), bitwise identical to T :func:`basic_kernel_1` calls.
+
+    The schedule replays as one NumPy sweep per k iteration instead of
+    per-instruction dispatch; with ``vm``, its counters advance by the
+    exact census the per-instruction path would record.
+    """
+    return _batched(KERNEL1_ROWS, VLEN, a_tiles, b_tiles, vm)
+
+
+def batched_kernel_2(
+    a_tiles: np.ndarray, b_tiles: np.ndarray, vm: VectorMachine | None = None
+) -> np.ndarray:
+    """Basic Kernel 2 over a batch: (T, k, 30) x (T, k, 8) -> (T, 30, 8),
+    bitwise identical to T :func:`basic_kernel_2` calls, census included
+    (the swizzled rows replicate the same operand values, so the batched
+    sweep covers them too)."""
+    return _batched(KERNEL2_ROWS, VLEN, a_tiles, b_tiles, vm)
+
+
+def batched_kernel_2_sp(
+    a_tiles: np.ndarray, b_tiles: np.ndarray, vm: VectorMachine | None = None
+) -> np.ndarray:
+    """The SGEMM flavour of the batched Kernel 2: (T, k, 30) x
+    (T, k, 16) float32 -> (T, 30, 16)."""
+    return _batched(KERNEL2_ROWS, SP_LANES, a_tiles, b_tiles, vm)
 
 
 def tile_multiply_fast(a_tile: np.ndarray, b_tile: np.ndarray) -> np.ndarray:

@@ -118,8 +118,14 @@ class PackedB:
         return np.ascontiguousarray(self.row_major()[:, : self.n])
 
 
-def pack_a(a: np.ndarray, tile_rows: int = TILE_A_ROWS) -> PackedA:
-    """Pack an (m, k) block of A into column-major tiles (Figure 3a)."""
+def pack_a(a: np.ndarray, tile_rows: int = TILE_A_ROWS, alloc=None) -> PackedA:
+    """Pack an (m, k) block of A into column-major tiles (Figure 3a).
+
+    ``alloc(shape, dtype)`` overrides the backing allocation (the pack
+    cache passes a shared-arena allocator so packed panels are visible
+    to worker processes); the pack fully overwrites the buffer, padding
+    included, so uninitialised allocators are fine.
+    """
     a = np.asarray(a)
     if a.ndim != 2:
         raise ValueError("pack_a expects a 2-D block")
@@ -127,7 +133,12 @@ def pack_a(a: np.ndarray, tile_rows: int = TILE_A_ROWS) -> PackedA:
         raise ValueError("tile_rows must be positive")
     m, k = a.shape
     n_tiles = -(-m // tile_rows)  # ceil division
-    data = np.zeros((n_tiles, k, tile_rows), dtype=a.dtype)
+    if alloc is None:
+        data = np.zeros((n_tiles, k, tile_rows), dtype=a.dtype)
+    else:
+        data = alloc((n_tiles, k, tile_rows), a.dtype)
+        if n_tiles * tile_rows != m:  # zero only the ragged tile's padding
+            data[m // tile_rows, :, m - (m // tile_rows) * tile_rows :] = 0
     # Full tiles in one transposed copy; only the ragged tail (if any)
     # needs its own slab — the pack stays a bandwidth-bound pass with no
     # per-tile Python loop.
@@ -143,8 +154,12 @@ def pack_a(a: np.ndarray, tile_rows: int = TILE_A_ROWS) -> PackedA:
     return PackedA(data=data, m=m, tile_rows=tile_rows)
 
 
-def pack_b(b: np.ndarray, tile_cols: int = TILE_B_COLS) -> PackedB:
-    """Pack a (k, n) block of B into row-major tiles (Figure 3b)."""
+def pack_b(b: np.ndarray, tile_cols: int = TILE_B_COLS, alloc=None) -> PackedB:
+    """Pack a (k, n) block of B into row-major tiles (Figure 3b).
+
+    ``alloc`` as in :func:`pack_a` — the panel is fully overwritten
+    (logical columns copied, padding columns zeroed).
+    """
     b = np.asarray(b)
     if b.ndim != 2:
         raise ValueError("pack_b expects a 2-D block")
@@ -154,7 +169,12 @@ def pack_b(b: np.ndarray, tile_cols: int = TILE_B_COLS) -> PackedB:
     n_tiles = -(-n // tile_cols)
     # One contiguous padded copy of Bi; the tile grid is a strided view
     # of it (tile t, row j, col c) -> panel[j, t * tile_cols + c].
-    panel = np.zeros((k, n_tiles * tile_cols), dtype=b.dtype)
+    if alloc is None:
+        panel = np.zeros((k, n_tiles * tile_cols), dtype=b.dtype)
+    else:
+        panel = alloc((k, n_tiles * tile_cols), b.dtype)
+        if n_tiles * tile_cols != n:
+            panel[:, n:] = 0
     panel[:, :n] = b
     s = panel.strides
     data = np.lib.stride_tricks.as_strided(

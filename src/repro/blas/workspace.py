@@ -79,12 +79,23 @@ class _Entry:
 
 
 class PackCache:
-    """Keyed cache of packed A/B panels with explicit invalidation."""
+    """Keyed cache of packed A/B panels with explicit invalidation.
 
-    def __init__(self, validate: str = "sample"):
+    ``alloc(shape, dtype)`` / ``free(array)`` override where *cached*
+    panels live: the process executor passes a shared-arena allocator
+    so worker processes can address the packed tiles by
+    :class:`~repro.parallel.shm.ArrayRef`, and the matching ``free`` is
+    called with each panel's backing array as its entry is invalidated
+    or evicted (uncached one-shot packs stay ordinary NumPy memory —
+    nothing would ever free them).
+    """
+
+    def __init__(self, validate: str = "sample", alloc=None, free=None):
         if validate not in _VALIDATE_MODES:
             raise ValueError(f"validate must be one of {_VALIDATE_MODES}")
         self.validate = validate
+        self._alloc_fn = alloc
+        self._free_fn = free
         self._entries: Dict[tuple, _Entry] = {}
         self._lock = threading.RLock()
         # -- counters ----------------------------------------------------
@@ -130,7 +141,8 @@ class PackCache:
                     return entry.packed
                 self.stale_evictions += 1
                 del self._entries[full_key]
-            packed = packer(src, tile_dim)
+                self._free_entry(entry)
+            packed = packer(src, tile_dim, alloc=self._alloc_fn)
             self._entries[full_key] = _Entry(packed, src)
             self.misses += 1
             self.bytes_packed += packed.data.nbytes
@@ -150,6 +162,16 @@ class PackCache:
             isinstance(cached, tuple) and len(cached) == 2 and cached[0] == key
         )
 
+    def _free_entry(self, entry: "_Entry") -> None:
+        """Release a dropped entry's backing array (lock held)."""
+        if self._free_fn is None:
+            return
+        packed = entry.packed
+        backing = getattr(packed, "panel", None)
+        if backing is None:
+            backing = packed.data
+        self._free_fn(backing)
+
     def invalidate(self, key=None) -> int:
         """Drop every entry cached under ``key`` — including the
         per-k-slice ``(key, k0)`` entries the GEMM driver creates — on
@@ -157,12 +179,15 @@ class PackCache:
         cache. Returns the number of entries dropped."""
         with self._lock:
             if key is None:
-                dropped = len(self._entries)
+                dropped = list(self._entries.values())
                 self._entries.clear()
-                return dropped
+                for entry in dropped:
+                    self._free_entry(entry)
+                return len(dropped)
             doomed = [fk for fk in self._entries if self._key_matches(fk[1], key)]
             for fk in doomed:
-                del self._entries[fk]
+                entry = self._entries.pop(fk)
+                self._free_entry(entry)
             return len(doomed)
 
     # -- observability ---------------------------------------------------------

@@ -72,7 +72,7 @@ from repro.hpl.residual import hpl_residual, residual_passes
 from repro.lu.factorize import lu_solve
 from repro.lu.timing import LUTiming
 from repro.obs import AllocProfiler, MetricsRegistry, RunResult
-from repro.parallel import TileExecutor
+from repro.parallel import EXECUTOR_BACKENDS, make_executor
 from repro.resilience import (
     CheckpointStore,
     FaultInjector,
@@ -161,6 +161,7 @@ class DistributedHPL:
         bcast_algo: str = "star",
         swap_algo: str = "pairwise",
         workers: Optional[int] = None,
+        executor: str = "thread",
         pack_cache: bool = False,
         lookahead: bool = False,
         chunk_kb: Optional[float] = None,
@@ -184,6 +185,10 @@ class DistributedHPL:
             raise ValueError(f"swap_algo must be one of {self.SWAP_ALGOS}")
         if chunk_kb is not None and chunk_kb <= 0:
             raise ValueError("chunk_kb must be positive")
+        if executor not in EXECUTOR_BACKENDS:
+            raise ValueError(
+                f"executor must be one of {EXECUTOR_BACKENDS}, got {executor!r}"
+            )
         self.n, self.nb, self.seed = n, nb, seed
         self.use_offload = use_offload
         self.bcast_algo = bcast_algo
@@ -197,6 +202,7 @@ class DistributedHPL:
         # (its map degrades to inline inside worker threads); each rank
         # keeps its own PackCache, and rank 0's counters are published.
         self.workers = workers
+        self.executor = executor
         self.pack_cache = pack_cache
         # Buffer arena: every rank rents its kernel scratch and comm
         # staging from its own pool (bitwise identical to the allocating
@@ -868,7 +874,13 @@ class DistributedHPL:
             )
 
     def run(self) -> DistributedResult:
-        executor = TileExecutor(self.workers) if self.workers is not None else None
+        # A pool is built when a width was asked for, or whenever the
+        # process backend was picked (its whole point is the pool).
+        executor = (
+            make_executor(self.executor, self.workers)
+            if self.workers is not None or self.executor != "thread"
+            else None
+        )
         self._executor = executor
         body = self._rank_main_lookahead if self.lookahead else self._rank_main
         profiler = AllocProfiler(enabled=self.alloc_profile)

@@ -29,7 +29,7 @@ from repro.lu.timing import LUTiming
 from repro.machine.calibration import default_calibration
 from repro.machine.config import SNB
 from repro.obs import AllocProfiler, MetricsRegistry, RunResult
-from repro.parallel import TileExecutor
+from repro.parallel import EXECUTOR_BACKENDS, make_executor
 from repro.sim import TraceRecorder
 
 #: Anchors for the SNB MKL Linpack curve: (N, efficiency).
@@ -92,6 +92,7 @@ class NativeHPL:
         scheduler: str = "dynamic",
         timing: Optional[LUTiming] = None,
         workers: Optional[int] = None,
+        executor: str = "thread",
         pack_cache: bool = True,
         buffer_pool: bool = True,
         alloc_profile: bool = False,
@@ -100,10 +101,15 @@ class NativeHPL:
             raise ValueError(
                 f"unknown scheduler {scheduler!r}; pick from {sorted(self.SCHEDULERS)}"
             )
+        if executor not in EXECUTOR_BACKENDS:
+            raise ValueError(
+                f"executor must be one of {EXECUTOR_BACKENDS}, got {executor!r}"
+            )
         self.n = n
         self.nb = nb
         self.scheduler_name = scheduler
         self.workers = workers
+        self.executor = executor
         self.pack_cache = pack_cache
         self.buffer_pool = buffer_pool
         self.alloc_profile = alloc_profile
@@ -148,7 +154,7 @@ class NativeHPL:
         profiler = AllocProfiler(enabled=numeric and self.alloc_profile)
         if numeric:
             a0, b = hpl_system(self.n, seed)
-            executor = TileExecutor(self.workers)
+            executor = make_executor(self.executor, self.workers)
             pool = as_buffer_pool(self.buffer_pool)
             workspace = LUWorkspace(
                 a0.copy(),

@@ -34,7 +34,13 @@ from repro.blas.workspace import PackCache
 from repro.hybrid.offload import OffloadDGEMM
 from repro.lu.tasks import LUWorkspace
 from repro.obs import AllocProfiler, MetricsRegistry, RunResult
-from repro.parallel import TileExecutor, as_executor
+from repro.parallel import (
+    EXECUTOR_BACKENDS,
+    TileExecutor,
+    as_executor,
+    is_process_executor,
+    make_executor,
+)
 
 
 def hybrid_blocked_lu(
@@ -68,7 +74,11 @@ def hybrid_blocked_lu(
     elif pack_cache is False:
         pack_cache = None
     pool = as_buffer_pool(buffer_pool)
-    own_executor = workers is not None and not isinstance(workers, TileExecutor)
+    own_executor = (
+        workers is not None
+        and not isinstance(workers, TileExecutor)
+        and not is_process_executor(workers)
+    )
     executor = as_executor(workers)
     ws = LUWorkspace(a, nb)  # reuse the geometry/pivot bookkeeping
     try:
@@ -157,6 +167,7 @@ def run_hybrid_numeric(
     nb: int = 64,
     cards: int = 1,
     workers: Optional[int] = None,
+    executor: str = "thread",
     pack_cache: bool = True,
     host_assist: bool = True,
     seed: int = 42,
@@ -166,7 +177,9 @@ def run_hybrid_numeric(
     """Factor and solve a seeded HPL system through the hybrid path.
 
     Wall-clock timed (this is a real computation); the pack-cache and
-    pool counters land in ``metrics``. ``workers=None`` uses all cores.
+    pool counters land in ``metrics``. ``workers=None`` uses all cores;
+    ``executor`` picks the stripe fan-out backend ("thread" or
+    "process" — shared-memory worker processes, bitwise identical).
     ``buffer_pool=False`` selects the allocating reference paths (the
     ``--no-buffer-pool`` A/B ablation); ``alloc_profile`` wraps the
     factor and solve phases in tracemalloc spans recorded as ``alloc``.
@@ -176,11 +189,15 @@ def run_hybrid_numeric(
     from repro.lu.factorize import lu_solve
     from repro.lu.timing import LUTiming
 
+    if executor not in EXECUTOR_BACKENDS:
+        raise ValueError(
+            f"executor must be one of {EXECUTOR_BACKENDS}, got {executor!r}"
+        )
     a0, b = hpl_system(n, seed)
     cache = PackCache() if pack_cache else None
     pool = as_buffer_pool(buffer_pool)
     profiler = AllocProfiler(enabled=alloc_profile)
-    executor = TileExecutor(workers)
+    executor = make_executor(executor, workers)
     t0 = time.perf_counter()
     try:
         with profiler.span("hybrid.factor"):

@@ -17,14 +17,27 @@ from repro.blas.laswp import apply_pivots_to_vector
 from repro.blas.trsm import trsm_lower_unit_left, trsm_upper_left
 from repro.lu.dag import PanelDAG, Task
 from repro.lu.tasks import LUWorkspace
-from repro.parallel import TileExecutor, as_executor
+from repro.parallel import TileExecutor, as_executor, is_process_executor
 
 
 def _claim_executor(workers) -> tuple:
     """Coerce ``workers`` into (executor, owned): ``owned`` marks a pool
     we created here and must close before returning."""
-    owned = workers is not None and not isinstance(workers, TileExecutor)
+    owned = (
+        workers is not None
+        and not isinstance(workers, TileExecutor)
+        and not is_process_executor(workers)
+    )
     return as_executor(workers), owned
+
+
+def _process_kwargs(ws_kwargs: dict) -> dict:
+    """Map LUWorkspace kwargs onto the process-LU driver's signature
+    (the workspace's stripe ``executor`` becomes ``inner_executor``)."""
+    kwargs = dict(ws_kwargs)
+    if "executor" in kwargs:
+        kwargs["inner_executor"] = kwargs.pop("executor")
+    return kwargs
 
 
 def blocked_lu(
@@ -32,13 +45,23 @@ def blocked_lu(
 ) -> tuple:
     """Factor ``a`` in place (stage loop order); returns (a, ipiv).
 
-    ``workers`` (a count or a :class:`~repro.parallel.TileExecutor`)
-    fans each stage's trailing updates — which write disjoint column
-    panels — across threads; the panel factorizations and the stage
-    order stay serial, so results are bitwise identical at any width.
+    ``workers`` (a count, a :class:`~repro.parallel.TileExecutor`, or a
+    :class:`~repro.parallel.ProcessTileExecutor`) fans each stage's
+    trailing updates — which write disjoint column panels — across
+    threads or processes; the panel factorizations and the stage order
+    stay serial, so results are bitwise identical at any width and on
+    either backend.
     """
-    ws = LUWorkspace(a, nb, **ws_kwargs)
     ex, owned = _claim_executor(workers)
+    if ex is not None and is_process_executor(ex):
+        from repro.lu.proc import process_blocked_lu
+
+        try:
+            return process_blocked_lu(a, nb, ex, **_process_kwargs(ws_kwargs))
+        finally:
+            if owned:
+                ex.close()
+    ws = LUWorkspace(a, nb, **ws_kwargs)
     try:
         for i in range(ws.n_panels):
             ws.execute(Task.panel_task(i))
@@ -78,9 +101,17 @@ def lu_via_dag(
     """
     if pick is not None and workers is not None:
         raise ValueError("pick and workers are mutually exclusive")
+    ex, owned = _claim_executor(workers)
+    if ex is not None and is_process_executor(ex):
+        from repro.lu.proc import process_lu_dag
+
+        try:
+            return process_lu_dag(a, nb, ex, **_process_kwargs(ws_kwargs))
+        finally:
+            if owned:
+                ex.close()
     ws = LUWorkspace(a, nb, **ws_kwargs)
     dag = PanelDAG(ws.n_panels)
-    ex, owned = _claim_executor(workers)
     try:
         while not dag.done:
             if ex is not None:

@@ -38,7 +38,7 @@ from repro.blas.laswp import laswp
 from repro.blas.trsm import trsm_lower_unit_left
 from repro.blas.workspace import PackCache
 from repro.lu.dag import Task, TaskType
-from repro.parallel import as_executor
+from repro.parallel import as_executor, is_process_executor
 
 
 class LUWorkspace:
@@ -81,13 +81,24 @@ class LUWorkspace:
         self.n_panels = -(-self.n // nb)
         self.stage_ipiv: List[Optional[np.ndarray]] = [None] * self.n_panels
         self.use_packed_gemm = use_packed_gemm
+        self.executor = as_executor(executor)
+        # A process-backed stripe executor needs the matrix (and the
+        # cached pack panels) addressable from the worker processes:
+        # move the factorization into the executor's shared arena and
+        # restore the caller's array — the in-place contract — at
+        # finalize(). Task execution itself is unchanged.
+        self._restore_to: Optional[np.ndarray] = None
+        if self.executor is not None and is_process_executor(self.executor):
+            self._restore_to = self.a
+            self.a = self.executor.arena.adopt(self.a, key="lu.a")
+            if pack_cache is True:
+                pack_cache = self.executor.arena.pack_cache()
         if pack_cache is True:
             pack_cache = PackCache()
         elif pack_cache is False:
             pack_cache = None
         self.pack_cache: Optional[PackCache] = pack_cache
         self.buffer_pool: Optional[BufferPool] = as_buffer_pool(buffer_pool)
-        self.executor = as_executor(executor)
         # Per-stage count of outstanding trailing updates, so the stage's
         # packed L21 can be dropped as soon as its last consumer retires.
         self._updates_left = [self.n_panels - i - 1 for i in range(self.n_panels)]
@@ -195,6 +206,11 @@ class LUWorkspace:
                 forward=True,
                 pool=self.buffer_pool,
             )
+        if self._restore_to is not None:
+            np.copyto(self._restore_to, self.a)
+            self.executor.arena.release(self.a)
+            self.a = self._restore_to
+            self._restore_to = None
         self.finalized = True
         return self.global_ipiv()
 

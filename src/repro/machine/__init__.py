@@ -18,6 +18,11 @@ from repro.machine.config import (
     SNB,
 )
 from repro.machine.vector import VectorMachine, VLEN
+from repro.machine.vector_batch import (
+    IterationMix,
+    KernelSchedule,
+    schedule_for,
+)
 from repro.machine.cache import L1PortModel, CacheSim
 from repro.machine.kernel_model import (
     KernelSpec,
@@ -67,6 +72,9 @@ __all__ = [
     "SNB",
     "VectorMachine",
     "VLEN",
+    "IterationMix",
+    "KernelSchedule",
+    "schedule_for",
     "L1PortModel",
     "CacheSim",
     "KernelSpec",

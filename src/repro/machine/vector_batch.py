@@ -1,0 +1,174 @@
+"""Batched replay of the basic kernels' fixed instruction schedules.
+
+The per-instruction emulator in :mod:`repro.machine.vector` dispatches
+every vmadd as a Python method call — 32 dispatches per k iteration per
+tile. But the kernels' inner loops are *static*: Figure 2b/2c issue the
+same 32-instruction sequence every iteration, with only the operand
+addresses advancing. This module exploits that by compiling each kernel
+family once into a :class:`KernelSchedule` and replaying it over a whole
+batch of tiles as one vectorized NumPy sweep per k iteration.
+
+Two invariants tie the batched path to the per-instruction reference:
+
+* **bitwise-identical values.** Iteration i of every kernel computes
+  ``c[r] += a[i, r] * b_row[i]`` for each held row r — one rounded
+  multiply, then one rounded add, per element, in k-ascending order.
+  The batched sweep ``c += a[:, i, :, None] * b[:, i, None, :]``
+  performs exactly those two rounded operations in exactly that order
+  (rows and lanes are independent elements, so fusing them into one
+  array op cannot reorder any sum). The broadcast/swizzle flavours only
+  *replicate* operand values — they never round — so Kernel 2's first
+  four swizzled rows compute the same products as its memory-broadcast
+  rows.
+* **exact instruction census.** The per-iteration instruction mix is a
+  constant of the schedule, so the census over k iterations and T tiles
+  is ``k * T * mix`` plus the ``rows * T`` final stores — reproduced
+  analytically by :meth:`KernelSchedule.census` and checked against the
+  step-by-step emulator's counters in the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.machine.vector import VLEN, InstructionCounts
+
+#: Lanes of a 512-bit register in single precision.
+_SP_LANES = 16
+
+
+@dataclass(frozen=True)
+class IterationMix:
+    """Vector-instruction mix of one k-loop iteration, by flavour."""
+
+    vmadd: int
+    vmadd_mem: int
+    load: int
+    broadcast: int
+    swizzle_use: int
+    prefetch: int
+
+
+@dataclass(frozen=True)
+class KernelSchedule:
+    """A kernel's inner loop, compiled once: geometry + instruction mix.
+
+    ``rows`` c rows held in registers, ``lanes``-wide registers of
+    ``dtype``; ``mix`` is the per-iteration instruction census the
+    analytic counters replay.
+    """
+
+    name: str
+    rows: int
+    lanes: int
+    dtype: np.dtype
+    mix: IterationMix
+
+    def census(self, k: int, n_tiles: int = 1) -> InstructionCounts:
+        """The exact instruction census of ``n_tiles`` tile multiplies
+        of depth ``k`` — what the per-instruction emulator would count."""
+        if k < 1 or n_tiles < 1:
+            raise ValueError("census needs k >= 1 and n_tiles >= 1")
+        m, t = self.mix, n_tiles
+        return InstructionCounts(
+            vmadd=m.vmadd * k * t,
+            vmadd_mem=m.vmadd_mem * k * t,
+            load=m.load * k * t,
+            store=self.rows * t,  # the final c writeback, once per tile
+            broadcast=m.broadcast * k * t,
+            swizzle_use=m.swizzle_use * k * t,
+            prefetch=m.prefetch * k * t,
+        )
+
+    def add_census(self, counts: InstructionCounts, k: int, n_tiles: int = 1) -> None:
+        """Accumulate :meth:`census` into an existing counter (the
+        batched analogue of running the kernels on one VectorMachine)."""
+        add = self.census(k, n_tiles)
+        counts.vmadd += add.vmadd
+        counts.vmadd_mem += add.vmadd_mem
+        counts.load += add.load
+        counts.store += add.store
+        counts.broadcast += add.broadcast
+        counts.swizzle_use += add.swizzle_use
+        counts.prefetch += add.prefetch
+
+    def execute(
+        self,
+        a_tiles: np.ndarray,
+        b_tiles: np.ndarray,
+        counts: InstructionCounts | None = None,
+    ) -> np.ndarray:
+        """Multiply a batch of packed tile pairs: (T, k, rows) x
+        (T, k, lanes) -> (T, rows, lanes).
+
+        One NumPy sweep per k iteration replaces T * 32 emulator
+        dispatches; values and (with ``counts``) the instruction census
+        are exactly those of the per-instruction path.
+        """
+        a_tiles = np.asarray(a_tiles, dtype=self.dtype)
+        b_tiles = np.asarray(b_tiles, dtype=self.dtype)
+        if a_tiles.ndim != 3 or b_tiles.ndim != 3:
+            raise ValueError("batched tiles must be 3-D (tile, k, row/lane)")
+        if a_tiles.shape[:2] != b_tiles.shape[:2]:
+            raise ValueError(
+                f"batch/k mismatch: a {a_tiles.shape[:2]} vs b {b_tiles.shape[:2]}"
+            )
+        if a_tiles.shape[2] != self.rows:
+            raise ValueError(f"{self.name} holds {self.rows} rows, "
+                             f"got a tiles of {a_tiles.shape[2]}")
+        if b_tiles.shape[2] != self.lanes:
+            raise ValueError(f"{self.name} registers are {self.lanes} wide, "
+                             f"got b tiles of {b_tiles.shape[2]}")
+        t, k = a_tiles.shape[:2]
+        if k < 1:
+            raise ValueError("tiles must have k >= 1")
+        c = np.zeros((t, self.rows, self.lanes), dtype=self.dtype)
+        for i in range(k):
+            # Iteration i of every tile at once: one rounded multiply
+            # then one rounded add per c element, in the emulator's
+            # k-ascending order.
+            c += a_tiles[:, i, :, None] * b_tiles[:, i, None, :]
+        if counts is not None:
+            self.add_census(counts, k, t)
+        return c
+
+
+@lru_cache(maxsize=None)
+def schedule_for(rows: int, lanes: int = VLEN) -> KernelSchedule:
+    """The compiled schedule for a kernel geometry.
+
+    (31, 8) is Basic Kernel 1, (30, 8) Basic Kernel 2, (30, 16) the
+    SGEMM flavour of Kernel 2. The mixes restate Figure 2b/2c: Kernel 1
+    spends 31 of its 32 vector slots on memory-broadcast vmadds; Kernel
+    2 spends 30, four of them swizzle-fed from the 4toN broadcast
+    register so 28 of 32 slots touch the L1 ports.
+    """
+    if rows == 31 and lanes == VLEN:
+        return KernelSchedule(
+            name="basic_kernel_1",
+            rows=31,
+            lanes=VLEN,
+            dtype=np.dtype(np.float64),
+            mix=IterationMix(
+                vmadd=31, vmadd_mem=31, load=1, broadcast=0,
+                swizzle_use=0, prefetch=2,
+            ),
+        )
+    if rows == 30 and lanes in (VLEN, _SP_LANES):
+        return KernelSchedule(
+            name="basic_kernel_2" if lanes == VLEN else "basic_kernel_2_sp",
+            rows=30,
+            lanes=lanes,
+            dtype=np.dtype(np.float64 if lanes == VLEN else np.float32),
+            mix=IterationMix(
+                vmadd=30, vmadd_mem=26, load=1, broadcast=1,
+                swizzle_use=4, prefetch=2,
+            ),
+        )
+    raise ValueError(
+        f"no basic kernel holds {rows} rows of {lanes} lanes "
+        f"(know (31, 8), (30, 8) and (30, 16))"
+    )

@@ -8,20 +8,47 @@ fans independent tile/stripe/panel work items across host cores while
 guaranteeing results bitwise identical to the serial order: every unit
 of work writes a disjoint output region, so scheduling cannot change
 any floating-point reduction.
+
+For the pure-Python-bound parts of the pipeline (emulator dispatch,
+scheduler bookkeeping) threads still serialize on the GIL;
+:class:`~repro.parallel.shm.ProcessTileExecutor` provides the same
+interface over worker *processes* that map the operands through a
+:class:`~repro.parallel.shm.SharedArena` of POSIX shared memory —
+task descriptors cross the pipe, array payloads never do, and the
+disjoint-write contract keeps results bitwise identical across
+backends and worker counts.
 """
 
 from repro.parallel.executor import (
+    EXECUTOR_BACKENDS,
     TileExecutor,
     as_executor,
     default_workers,
     in_worker,
+    make_executor,
     scratch_buffer,
+)
+from repro.parallel.shm import (
+    ArrayRef,
+    ProcessTileExecutor,
+    SharedArena,
+    SharedArenaError,
+    is_process_executor,
+    shm_task,
 )
 
 __all__ = [
+    "ArrayRef",
+    "EXECUTOR_BACKENDS",
+    "ProcessTileExecutor",
+    "SharedArena",
+    "SharedArenaError",
     "TileExecutor",
     "as_executor",
     "default_workers",
     "in_worker",
+    "is_process_executor",
+    "make_executor",
     "scratch_buffer",
+    "shm_task",
 ]

@@ -92,6 +92,10 @@ class TileExecutor:
         (``REPRO_WORKERS`` or all cores); ``1`` runs everything inline.
     """
 
+    #: Execution backend tag, mirrored by ProcessTileExecutor ("process")
+    #: and published as the parallel.pool.backend.<name> gauge.
+    backend = "thread"
+
     def __init__(self, workers: Optional[int] = None):
         if workers is not None and workers < 1:
             raise ValueError("workers must be >= 1")
@@ -175,9 +179,15 @@ class TileExecutor:
     # -- observability ---------------------------------------------------------
     @property
     def utilization(self) -> float:
-        """Busy-seconds over worker-seconds across all maps (0..1)."""
-        denom = self.wall_s * self.workers
-        return min(1.0, self.busy_s / denom) if denom > 0 else 0.0
+        """Busy-seconds over worker-seconds across all maps (0..1).
+
+        Guarded against ``wall_s == 0``: a trivially fast map (empty
+        work list, sub-resolution clock tick) must publish utilization
+        0.0, never divide by zero.
+        """
+        if self.wall_s <= 0.0 or self.workers <= 0:
+            return 0.0
+        return min(1.0, self.busy_s / (self.wall_s * self.workers))
 
     def publish(self, metrics) -> None:
         """Copy the executor's counters into a MetricsRegistry."""
@@ -189,6 +199,7 @@ class TileExecutor:
         metrics.gauge("parallel.pool.workers").set(self.workers)
         metrics.gauge("parallel.pool.utilization").set(round(self.utilization, 4))
         metrics.timer("parallel.pool.busy").add(self.busy_s, count=max(1, self.maps))
+        metrics.gauge(f"parallel.pool.backend.{self.backend}").set(1)
 
     def __repr__(self) -> str:
         return f"TileExecutor(workers={self.workers}, tasks={self.tasks})"
@@ -204,6 +215,32 @@ def as_executor(executor) -> Optional[TileExecutor]:
         return None
     if isinstance(executor, TileExecutor):
         return executor
+    if getattr(executor, "backend", None) == "process" and hasattr(executor, "map"):
+        return executor  # a ProcessTileExecutor passes straight through
     if isinstance(executor, (int, np.integer)):
         return TileExecutor(int(executor))
     raise TypeError(f"executor must be None, an int or a TileExecutor, got {executor!r}")
+
+
+#: Executor backends selectable via RunSpec.executor / --executor.
+EXECUTOR_BACKENDS = ("thread", "process")
+
+
+def make_executor(backend: str = "thread", workers: Optional[int] = None):
+    """Build an executor of the requested backend.
+
+    ``"thread"`` is the GIL-sharing :class:`TileExecutor`; ``"process"``
+    is the shared-memory :class:`~repro.parallel.shm.ProcessTileExecutor`
+    (imported lazily so plain thread runs never touch multiprocessing).
+    Both honor the same ``workers`` convention (None resolves via
+    :func:`default_workers`).
+    """
+    if backend in (None, "thread"):
+        return TileExecutor(workers)
+    if backend == "process":
+        from repro.parallel.shm import ProcessTileExecutor
+
+        return ProcessTileExecutor(workers)
+    raise ValueError(
+        f"executor backend must be one of {EXECUTOR_BACKENDS}, got {backend!r}"
+    )

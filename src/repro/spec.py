@@ -48,6 +48,11 @@ DIST_LOOKAHEADS = ("on", "off")
 #: Panel-broadcast menu (mirrors ``DistributedHPL.BCAST_ALGOS``).
 BCAST_ALGOS = ("star", "ring", "binomial", "ring-mod")
 
+#: Tile-executor backends (mirrors :data:`repro.parallel.EXECUTOR_BACKENDS`):
+#: "thread" shares the GIL, "process" fans work across worker processes
+#: over shared memory.
+EXECUTORS = ("thread", "process")
+
 #: Kind-specific ``nb`` defaults (the historical CLI/driver defaults):
 #: native 300 (best kernel depth), distributed 16 (test-scale grids),
 #: hybrid 1200 for the timing model (``HYBRID_KT``, the PCIe-bound
@@ -90,6 +95,7 @@ class RunSpec:
     chunk_kb: Optional[float] = None
     numeric: bool = False
     workers: Optional[int] = None
+    executor: str = "thread"
     pack_cache: bool = True
     buffer_pool: bool = True
     alloc_profile: bool = False
@@ -110,6 +116,8 @@ class RunSpec:
         _require(self.seed >= 0, "seed must be non-negative")
         _require(self.workers is None or self.workers >= 1,
                  "workers must be >= 1 (or None for all cores)")
+        _require(self.executor in EXECUTORS,
+                 f"executor must be one of {EXECUTORS}, got {self.executor!r}")
         _require(self.chunk_kb is None or self.chunk_kb > 0, "chunk_kb must be positive")
         _require(self.checkpoint_every is None or self.checkpoint_every >= 1,
                  "checkpoint_every must be positive")
@@ -388,6 +396,11 @@ RUN_FLAGS: Tuple[FlagDef, ...] = (
     FlagDef("workers", "--workers",
             "tile-executor pool width for numeric runs (default: all cores)",
             metavar="N", kinds={k: {} for k in _ALL}),
+    FlagDef("executor", "--executor",
+            "tile-executor backend: 'thread' (in-process pool) or 'process' "
+            "(GIL-free shared-memory worker processes)",
+            choices=EXECUTORS, type=str,
+            kinds={k: {"default": "thread"} for k in _ALL}),
     FlagDef("pack_cache", "--no-pack-cache",
             "disable the pack-once tile cache (re-pack every GEMM panel)",
             action="store_true", invert=True, kinds={k: {} for k in _ALL}),

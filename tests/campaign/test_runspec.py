@@ -162,6 +162,34 @@ class TestParseGrid:
             parse_grid(7)
 
 
+class TestExecutorField:
+    def test_default_is_thread(self):
+        assert RunSpec(kind="native", n=8).executor == "thread"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="executor"):
+            RunSpec(kind="native", n=8, executor="mpi")
+
+    def test_backend_changes_the_hash(self):
+        thread = RunSpec(kind="native", n=8).canonical_hash()
+        process = RunSpec(kind="native", n=8, executor="process").canonical_hash()
+        assert thread != process
+
+    def test_executor_flag_parses_for_every_kind(self):
+        from repro.spec import run_flags_parser, spec_from_args
+
+        for kind, extra in (
+            ("native", ["--n", "8"]),
+            ("hybrid", ["--n", "8"]),
+            ("distributed", []),
+        ):
+            parser = run_flags_parser(kind)
+            args = parser.parse_args(extra + ["--executor", "process"])
+            assert spec_from_args(kind, args).executor == "process"
+            args = parser.parse_args(extra)
+            assert spec_from_args(kind, args).executor == "thread"
+
+
 # Strategy: generate valid per-kind field combinations.
 _native = st.builds(
     RunSpec,

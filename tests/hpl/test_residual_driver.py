@@ -74,6 +74,21 @@ class TestNativeDriver:
         r = NativeHPL(150, nb=50, scheduler="static").run(numeric=True)
         assert r.passed
 
+    def test_process_executor_numeric_matches_thread_bitwise(self):
+        thread = NativeHPL(160, nb=40, workers=2).run(numeric=True)
+        proc = NativeHPL(160, nb=40, workers=2, executor="process").run(
+            numeric=True
+        )
+        assert proc.passed
+        assert proc.residual == thread.residual  # same bits, same residual
+        flat = dict(proc.metrics.flatten())
+        assert flat["parallel.pool.backend.process"] == 1
+        assert flat["parallel.pipe.max_message_bytes"] < 4096
+
+    def test_unknown_executor_backend_rejected(self):
+        with pytest.raises(ValueError, match="executor"):
+            NativeHPL(100, executor="mpi")
+
     def test_timing_only_run_has_no_residual(self):
         r = NativeHPL(2000).run()
         assert r.residual is None and r.passed is None

@@ -1,0 +1,133 @@
+"""Batched kernel schedules: bitwise identity with the per-instruction
+emulator and an exactly matching analytic instruction census."""
+
+import numpy as np
+import pytest
+
+from repro.blas.kernels import (
+    KERNEL2_ROWS,
+    SP_LANES,
+    basic_kernel_1,
+    basic_kernel_2,
+    basic_kernel_2_sp,
+    batched_kernel_1,
+    batched_kernel_2,
+    batched_kernel_2_sp,
+)
+from repro.machine.vector import VectorMachine
+from repro.machine.vector_batch import schedule_for
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+def _tiles(rng, t, k, rows, lanes, dtype=np.float64):
+    a = rng.standard_normal((t, k, rows)).astype(dtype)
+    b = rng.standard_normal((t, k, lanes)).astype(dtype)
+    return a, b
+
+
+class TestBitwiseIdentity:
+    @pytest.mark.parametrize(
+        "batched, stepped, rows, lanes, dtype",
+        [
+            (batched_kernel_1, basic_kernel_1, 31, 8, np.float64),
+            (batched_kernel_2, basic_kernel_2, 30, 8, np.float64),
+            (batched_kernel_2_sp, basic_kernel_2_sp, 30, 16, np.float32),
+        ],
+    )
+    def test_matches_per_instruction_path(self, rng, batched, stepped, rows, lanes, dtype):
+        a, b = _tiles(rng, 5, 19, rows, lanes, dtype)
+        out = batched(a, b)
+        ref = np.stack([stepped(a[t], b[t]) for t in range(5)])
+        assert out.dtype == ref.dtype
+        assert np.array_equal(out, ref)
+
+    def test_single_tile_batch(self, rng):
+        a, b = _tiles(rng, 1, 8, 31, 8)
+        assert np.array_equal(batched_kernel_1(a, b)[0], basic_kernel_1(a[0], b[0]))
+
+
+class TestCensus:
+    @pytest.mark.parametrize(
+        "batched, stepped, rows, lanes, dtype",
+        [
+            (batched_kernel_1, basic_kernel_1, 31, 8, np.float64),
+            (batched_kernel_2, basic_kernel_2, 30, 8, np.float64),
+            (batched_kernel_2_sp, basic_kernel_2_sp, 30, 16, np.float32),
+        ],
+    )
+    def test_analytic_census_matches_emulator_exactly(
+        self, rng, batched, stepped, rows, lanes, dtype
+    ):
+        a, b = _tiles(rng, 4, 11, rows, lanes, dtype)
+        vm_batch = VectorMachine(dtype=dtype, lanes=lanes)
+        vm_step = VectorMachine(dtype=dtype, lanes=lanes)
+        batched(a, b, vm_batch)
+        for t in range(4):
+            stepped(a[t], b[t], vm_step)
+        assert vm_batch.counts == vm_step.counts
+
+    def test_census_scales_with_batch(self):
+        sched = schedule_for(KERNEL2_ROWS)
+        one = sched.census(k=9)
+        many = sched.census(k=9, n_tiles=6)
+        assert many.vmadd == 6 * one.vmadd
+        assert many.store == 6 * one.store
+
+    def test_paper_instruction_mix(self):
+        # 31 (or 30) vmadds of the 32 vector-slot instructions per
+        # iteration; the final c stores sit outside the k loop.
+        c1 = schedule_for(31).census(k=10)
+        assert c1.vmadd == 31 * 10
+        assert c1.vector_total - c1.store == 32 * 10
+        c2 = schedule_for(30).census(k=10)
+        assert c2.vmadd == 30 * 10
+        assert c2.vector_total - c2.store == 32 * 10
+        assert c2.swizzle_use == 4 * 10 and c2.vmadd_mem == 26 * 10
+
+
+class TestValidation:
+    def test_unknown_geometry_rejected(self):
+        with pytest.raises(ValueError, match="no basic kernel"):
+            schedule_for(29)
+        with pytest.raises(ValueError, match="no basic kernel"):
+            schedule_for(31, lanes=16)
+
+    def test_shape_mismatches_rejected(self, rng):
+        a, b = _tiles(rng, 2, 4, 30, 8)
+        with pytest.raises(ValueError, match="rows"):
+            batched_kernel_1(a, b)  # 30-row tiles into the 31-row kernel
+        with pytest.raises(ValueError, match="wide"):
+            batched_kernel_2(a, rng.standard_normal((2, 4, 9)))
+        with pytest.raises(ValueError, match="3-D"):
+            batched_kernel_2(a[0], b[0])
+
+    def test_machine_mismatch_rejected(self, rng):
+        a, b = _tiles(rng, 1, 3, 30, 16, np.float32)
+        with pytest.raises(ValueError, match="lanes"):
+            batched_kernel_2_sp(a, b, VectorMachine())  # f64/8-lane machine
+
+
+class TestGemmIntegration:
+    def test_emulated_equals_emulated_step_bitwise(self, rng):
+        from repro.blas.gemm import gemm
+
+        a = rng.standard_normal((95, 37))
+        b = rng.standard_normal((37, 21))
+        c0 = rng.standard_normal((95, 21))
+        for tile_rows in (30, 31):
+            fast = gemm(a, b, c0.copy(), alpha=-0.5, beta=1.0,
+                        kernel="emulated", tile_rows=tile_rows, k_block=16)
+            step = gemm(a, b, c0.copy(), alpha=-0.5, beta=1.0,
+                        kernel="emulated-step", tile_rows=tile_rows, k_block=16)
+            assert np.array_equal(fast, step)
+
+    def test_unknown_kernel_mode_rejected(self, rng):
+        from repro.blas.gemm import gemm
+
+        with pytest.raises(ValueError, match="unknown kernel"):
+            gemm(rng.standard_normal((4, 4)), rng.standard_normal((4, 4)),
+                 kernel="emulated-batch")

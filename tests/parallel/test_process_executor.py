@@ -1,0 +1,155 @@
+"""ProcessTileExecutor: descriptor dispatch, the zero-payload pipe
+contract, error propagation, and the TileExecutor-compatible surface."""
+
+import numpy as np
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.parallel import (
+    ProcessTileExecutor,
+    TileExecutor,
+    is_process_executor,
+    make_executor,
+    shm_task,
+)
+
+
+@shm_task("test.square")
+def _task_square(ctx, *, x):
+    return x * x
+
+
+@shm_task("test.write_slice")
+def _task_write_slice(ctx, *, ref, lo, hi, value):
+    ctx.resolve(ref)[lo:hi] = value
+    return None
+
+
+@shm_task("test.fail")
+def _task_fail(ctx, *, message):
+    raise ValueError(message)
+
+
+@shm_task("test.remember")
+def _task_remember(ctx, *, value):
+    ctx.state["remembered"] = value
+    return None
+
+
+@shm_task("test.recall")
+def _task_recall(ctx):
+    return ctx.state.get("remembered")
+
+
+@pytest.fixture
+def ex():
+    executor = ProcessTileExecutor(workers=2)
+    yield executor
+    executor.close()
+
+
+class TestDispatch:
+    def test_results_in_item_order(self, ex):
+        items = [{"x": i} for i in range(23)]
+        assert ex.run_tasks("test.square", items) == [i * i for i in range(23)]
+
+    def test_workers_write_disjoint_slices_of_shared_memory(self, ex):
+        buf = ex.arena.checkout((64,), np.float64)
+        buf[:] = 0.0
+        ref = ex.arena.ref_of(buf)
+        items = [
+            {"lo": i * 8, "hi": (i + 1) * 8, "value": float(i + 1)}
+            for i in range(8)
+        ]
+        ex.run_tasks("test.write_slice", items, common={"ref": ref})
+        expect = np.repeat(np.arange(1.0, 9.0), 8)
+        assert np.array_equal(buf, expect)
+        ex.arena.release(buf)
+
+    def test_setup_broadcasts_to_every_worker(self, ex):
+        ex.setup("test.remember", value=17)
+        # Every shard (any worker) must see the state.
+        assert ex.run_tasks("test.recall", [{} for _ in range(8)]) == [17] * 8
+
+    def test_worker_traceback_propagates(self, ex):
+        with pytest.raises(RuntimeError, match="kaboom"):
+            ex.run_tasks("test.fail", [{"message": "kaboom"}])
+
+    def test_map_runs_inline(self, ex):
+        assert ex.map(lambda x: x + 1, [1, 2, 3]) == [2, 3, 4]
+        assert ex.inline_maps == 1
+
+
+class TestPipeContract:
+    def test_array_payload_rejected(self, ex):
+        with pytest.raises(TypeError, match="must not cross"):
+            ex.run_tasks("test.square", [{"x": np.zeros(4)}])
+        with pytest.raises(TypeError, match="must not cross"):
+            ex.run_tasks("test.square", [{"x": 1}], common={"c": np.zeros(4)})
+        with pytest.raises(TypeError, match="must not cross"):
+            ex.setup("test.remember", value=np.zeros(4))
+
+    def test_nested_array_payload_rejected(self, ex):
+        with pytest.raises(TypeError, match="must not cross"):
+            ex.run_tasks("test.square", [{"x": {"deep": [np.zeros(2)]}}])
+
+    def test_pickle_size_probe_counts_messages(self, ex):
+        ex.run_tasks("test.square", [{"x": i} for i in range(10)])
+        assert ex.pipe_messages == 2  # one batch per engaged worker
+        assert ex.pipe_task_bytes > 0
+        assert 0 < ex.pipe_max_message_bytes < 4096  # descriptors, not data
+
+
+class TestLifecycle:
+    def test_close_is_idempotent_and_final(self):
+        ex = ProcessTileExecutor(workers=1)
+        ex.close()
+        ex.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            ex.run_tasks("test.square", [{"x": 1}])
+
+    def test_is_process_executor_predicate(self, ex):
+        assert is_process_executor(ex)
+        assert not is_process_executor(TileExecutor(1))
+        assert not is_process_executor(None)
+
+    def test_make_executor_backends(self):
+        t = make_executor("thread", workers=2)
+        assert isinstance(t, TileExecutor)
+        t.close()
+        p = make_executor("process", workers=1)
+        assert isinstance(p, ProcessTileExecutor)
+        p.close()
+        with pytest.raises(ValueError):
+            make_executor("carrier-pigeon")
+
+
+class TestObservability:
+    def test_publish_backend_gauge_and_pipe_counters(self, ex):
+        ex.run_tasks("test.square", [{"x": 1}, {"x": 2}])
+        m = MetricsRegistry()
+        ex.publish(m)
+        flat = dict(m.flatten())
+        assert flat["parallel.pool.backend.process"] == 1
+        assert flat["parallel.pipe.messages"] == ex.pipe_messages
+        assert flat["parallel.pipe.max_message_bytes"] == ex.pipe_max_message_bytes
+        assert "parallel.shm_arena.checkouts" in flat
+
+    def test_thread_publish_backend_gauge(self):
+        with TileExecutor(2) as t:
+            t.map(lambda x: x, [1, 2])
+            m = MetricsRegistry()
+            t.publish(m)
+        assert dict(m.flatten())["parallel.pool.backend.thread"] == 1
+
+    def test_utilization_zero_wall_regression(self):
+        # publish() on a pool that never ran must not divide by zero.
+        with TileExecutor(2) as t:
+            assert t.utilization == 0.0
+            t.publish(MetricsRegistry())
+        p = ProcessTileExecutor(workers=1)
+        try:
+            assert p.utilization == 0.0
+            p.publish(MetricsRegistry())
+        finally:
+            p.close()

@@ -1,0 +1,131 @@
+"""SharedArena: the BufferPool lease protocol over OS shared memory,
+plus the ArrayRef descriptor round-trip the process executor rides on."""
+
+import numpy as np
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.parallel import ArrayRef, SharedArena, SharedArenaError
+
+
+@pytest.fixture
+def arena():
+    a = SharedArena(segment_bytes=1 << 16)
+    yield a
+    a.destroy()
+
+
+class TestLeaseProtocol:
+    def test_checkout_geometry_and_alignment(self, arena):
+        buf = arena.checkout((7, 5), np.float64, key="t")
+        assert buf.shape == (7, 5) and buf.dtype == np.float64
+        assert buf.flags["C_CONTIGUOUS"]
+        assert buf.ctypes.data % 64 == 0  # cache-line aligned
+        arena.release(buf)
+
+    def test_release_returns_block_for_reuse(self, arena):
+        a = arena.checkout((100,), np.float64)
+        arena.release(a)
+        b = arena.checkout((80,), np.float64)
+        assert arena.reuses == 1
+        arena.release(b)
+
+    def test_double_release_raises(self, arena):
+        buf = arena.checkout((4,), np.float64)
+        arena.release(buf)
+        with pytest.raises(SharedArenaError, match="not leased"):
+            arena.release(buf)
+
+    def test_foreign_buffer_raises(self, arena):
+        with pytest.raises(SharedArenaError, match="not leased"):
+            arena.release(np.zeros(4))
+
+    def test_active_exposes_leaks(self, arena):
+        a = arena.checkout((4,), np.float64, key="leak.me")
+        b = arena.checkout((4,), np.float64, key="leak.me2")
+        assert arena.active == 2
+        assert arena.active_keys() == ["leak.me", "leak.me2"]
+        arena.release(a)
+        arena.release(b)
+        assert arena.active == 0
+
+    def test_rent_releases_on_exception(self, arena):
+        with pytest.raises(RuntimeError):
+            with arena.rent((4,), np.float64):
+                raise RuntimeError("boom")
+        assert arena.active == 0
+
+    def test_large_request_gets_own_segment(self, arena):
+        small = arena.checkout((8,), np.float64)
+        big = arena.checkout((1 << 15,), np.float64)  # > segment_bytes
+        assert arena.segments_created == 2
+        arena.release(small)
+        arena.release(big)
+
+    def test_checkout_after_destroy_raises(self):
+        arena = SharedArena(segment_bytes=1 << 16)
+        arena.checkout((4,), np.float64)
+        arena.destroy()
+        arena.destroy()  # idempotent
+        with pytest.raises(SharedArenaError, match="after destroy"):
+            arena.checkout((4,), np.float64)
+
+
+class TestDescriptors:
+    def test_ref_of_resolve_round_trip(self, arena):
+        buf = arena.checkout((6, 4), np.float64)
+        buf[:] = np.arange(24.0).reshape(6, 4)
+        ref = arena.ref_of(buf)
+        assert isinstance(ref, ArrayRef)
+        view = arena.resolve(ref)
+        assert np.array_equal(view, buf)
+        view[0, 0] = -1.0  # same bytes, not a copy
+        assert buf[0, 0] == -1.0
+        arena.release(buf)
+
+    def test_ref_of_strided_subview(self, arena):
+        buf = arena.checkout((8, 8), np.float64)
+        buf[:] = np.arange(64.0).reshape(8, 8)
+        sub = buf[2:7, 1::2]
+        ref = arena.ref_of(sub)
+        assert ref is not None
+        assert np.array_equal(arena.resolve(ref), sub)
+        arena.release(buf)
+
+    def test_ref_of_foreign_array_is_none(self, arena):
+        assert arena.ref_of(np.zeros((3, 3))) is None
+
+    def test_adopt_copies_in(self, arena):
+        src = np.arange(12.0).reshape(3, 4)
+        view = arena.adopt(src, key="adopted")
+        assert np.array_equal(view, src)
+        assert arena.ref_of(view) is not None
+        arena.release(view)
+
+
+class TestSubstrateFactories:
+    def test_buffer_pool_blocks_are_ref_addressable(self, arena):
+        pool = arena.buffer_pool()
+        buf = pool.checkout((16, 16), np.float64, key="x")
+        assert arena.ref_of(buf) is not None
+        pool.release(buf)
+        pool.clear()
+        assert arena.active == 0
+
+    def test_pack_cache_panels_live_in_arena(self, arena):
+        cache = arena.pack_cache()
+        rng = np.random.default_rng(0)
+        pa = cache.pack_a(rng.standard_normal((60, 40)), key="a")
+        assert arena.ref_of(pa.data) is not None
+        cache.invalidate()
+        assert arena.active == 0
+
+    def test_publish_counters(self, arena):
+        buf = arena.checkout((4,), np.float64)
+        arena.release(buf)
+        m = MetricsRegistry()
+        arena.publish(m)
+        flat = dict(m.flatten())
+        assert flat["parallel.shm_arena.checkouts"] == 1
+        assert flat["parallel.shm_arena.releases"] == 1
+        assert flat["parallel.shm_arena.active"] == 0
