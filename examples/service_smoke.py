@@ -1,0 +1,74 @@
+"""Service smoke: the serving layer end to end in one process.
+
+Starts a :class:`repro.service.Service` on an ephemeral TCP port, then
+drives it with :class:`repro.service.ServiceClient` the way an external
+tool would — submit a spec, watch the progress events, observe that a
+duplicate burst coalesces into one execution and that a re-submission
+answers from the cache in microseconds.
+
+Run:  PYTHONPATH=src python examples/service_smoke.py
+"""
+
+import asyncio
+import time
+
+from repro.service import Service, ServiceClient, serve
+from repro.spec import RunSpec
+
+SPEC = RunSpec(kind="hybrid", n=84_000)
+
+
+async def main() -> None:
+    service = Service(use_processes=False, workers=2)
+    ready = asyncio.Event()
+    server = asyncio.ensure_future(serve(service, port=0, ready=ready))
+    await ready.wait()
+
+    async with ServiceClient("127.0.0.1", service.bound_port) as client:
+        # --- 1. A cold submission, streaming progress --------------------
+        events = []
+        t0 = time.perf_counter()
+        artifact = await client.submit(
+            SPEC, on_event=lambda e: events.append(e["event"])
+        )
+        cold_s = time.perf_counter() - t0
+        result = artifact["result"]
+        print(
+            f"cold run: {result['gflops'] / 1e3:.2f} TFLOPS "
+            f"in {cold_s * 1e3:.1f} ms"
+        )
+        print("events:", " -> ".join(events))
+        assert artifact["status"] == "ok" and artifact["cached"] is False
+
+        # --- 2. A duplicate burst executes exactly once -------------------
+        burst = await client.submit_many([RunSpec(kind="hybrid", n=48_000)] * 8)
+        stats = await client.stats()
+        executions = stats["cache"]["stores"] - 1  # minus the cold run above
+        print(
+            f"8-way duplicate burst: {executions} execution(s), "
+            f"{len(burst) - executions} answered without running "
+            "(coalesced or cache-served)"
+        )
+        assert all(a["status"] == "ok" for a in burst)
+        assert executions == 1, "the duplicate burst must execute once"
+
+        # --- 3. A warm re-submission answers from the cache ---------------
+        t0 = time.perf_counter()
+        warm = await client.submit(SPEC)
+        warm_s = time.perf_counter() - t0
+        print(
+            f"warm re-submission: cached={warm['cached']} in "
+            f"{warm_s * 1e6:.0f} us ({cold_s / warm_s:.0f}x faster)"
+        )
+        assert warm["cached"] is True
+        assert warm["spec_hash"] == artifact["spec_hash"]
+
+        await client.shutdown()
+
+    await asyncio.gather(server, return_exceptions=True)
+    await service.close()
+    print("service smoke: OK")
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

@@ -123,3 +123,67 @@ def run(spec: RunSpec) -> RunResult:
     result = _DISPATCH[s.kind](s)
     result.spec = s
     return result
+
+
+def run_to_artifact(spec) -> dict:
+    """Execute a spec (or spec dict) into a schema-tagged artifact.
+
+    The artifact form (:data:`repro.service.cache.SCHEMA`) is the
+    currency of everything that persists or serves runs — campaign
+    ``runs/<hash>.json`` files, the service's result cache, the NDJSON
+    protocol. This function never raises: a failing run (including an
+    invalid spec dict) becomes a ``status: "error"`` artifact carrying
+    the traceback, so pool workers always hand back a document.
+    """
+    import time
+    import traceback
+
+    from repro.service.cache import SCHEMA, failure_artifact, ok_artifact
+
+    t0 = time.perf_counter()
+    try:
+        s = spec if isinstance(spec, RunSpec) else RunSpec.from_dict(spec)
+    except Exception:
+        # The dict never became a RunSpec, so there is no canonical
+        # identity to key the artifact by — callers must not store it.
+        return {
+            "schema": SCHEMA,
+            "status": "error",
+            "spec": dict(spec) if isinstance(spec, dict) else repr(spec),
+            "spec_hash": None,
+            "elapsed_s": time.perf_counter() - t0,
+            "error": traceback.format_exc(),
+        }
+    try:
+        result = run(s)
+        return ok_artifact(s, result.to_dict(), time.perf_counter() - t0)
+    except Exception:
+        return failure_artifact(s, "error", traceback.format_exc(),
+                                elapsed_s=time.perf_counter() - t0)
+
+
+def run_cached(spec: RunSpec, cache) -> dict:
+    """Serve ``spec`` from a result cache, executing only on a miss.
+
+    The synchronous cache hook under the benchmark service's hot path
+    (the asyncio layer adds single-flight deduplication on top): look
+    the canonical hash up in ``cache``
+    (:class:`repro.service.cache.ResultCache`), execute via
+    :func:`run_to_artifact` on a miss and store the artifact. The
+    returned document carries ``cached: True`` when it was served
+    without executing — provenance for clients; the flag is never
+    persisted, so cached and fresh artifacts stay byte-identical on
+    disk.
+    """
+    if not isinstance(spec, RunSpec):
+        spec = RunSpec.from_dict(spec)
+    digest = spec.canonical_hash()
+    hit = cache.get(digest)
+    if hit is not None:
+        hit["cached"] = True
+        return hit
+    artifact = run_to_artifact(spec)
+    cache.put(artifact)
+    artifact = dict(artifact)
+    artifact["cached"] = False
+    return artifact

@@ -4,9 +4,12 @@
 and an output directory and drives the whole sweep:
 
 * the matrix expands and deduplicates by canonical spec hash;
-* completed artifacts from a previous invocation are *served from
-  cache* (``resume``), so an interrupted campaign restarts without
-  re-running a single completed cell;
+* completed artifacts are *served* from a
+  :class:`~repro.service.cache.ResultCache` (``resume``) — by default
+  over this campaign's own ``runs/`` directory, optionally the shared
+  cache of a running benchmark service — so an interrupted campaign
+  restarts, and a campaign whose cells a service already executed
+  finishes, without re-running a single completed cell;
 * the remaining specs fan out over a ``concurrent.futures`` process
   pool (``workers <= 1`` runs inline) with a coarse per-run timeout
   and crash capture — a worker that raises reports its traceback, a
@@ -26,7 +29,6 @@ from __future__ import annotations
 
 import json
 import pathlib
-import time
 import traceback
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeout
@@ -35,11 +37,12 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.campaign.report import merged_report, render_report
 from repro.campaign.spec import CampaignSpec, expand_matrix
+from repro.service.cache import SCHEMA, ResultCache
+from repro.service.cache import failure_artifact as _make_failure
+from repro.service.cache import load_artifact as _load_artifact
 from repro.spec import RunSpec
 
-#: Artifact schema tag, bumped on incompatible layout changes; resume
-#: ignores artifacts with a different schema instead of mis-reading them.
-SCHEMA = "campaign-run-v1"
+__all__ = ["SCHEMA", "CampaignReport", "run_campaign"]
 
 
 @dataclass
@@ -65,52 +68,19 @@ class CampaignReport:
 def _worker(spec_dict: dict) -> dict:
     """Execute one RunSpec in a pool worker; never raises.
 
-    Importable at module top level so the process pool can pickle it;
-    exceptions become ``status: "error"`` artifacts with the traceback.
+    Importable at module top level so the process pool can pickle it.
+    The actual work — run, time, wrap, catch — is
+    :func:`repro.api.run_to_artifact`, the same path the benchmark
+    service's workers execute, so campaign and service artifacts cannot
+    drift apart.
     """
-    t0 = time.perf_counter()
-    try:
-        from repro import api
+    from repro import api
 
-        spec = RunSpec.from_dict(spec_dict)
-        result = api.run(spec)
-        return {
-            "schema": SCHEMA,
-            "status": "ok",
-            "spec": spec.to_dict(),
-            "spec_hash": spec.canonical_hash(),
-            "elapsed_s": time.perf_counter() - t0,
-            "result": result.to_dict(),
-        }
-    except Exception:
-        return {
-            "schema": SCHEMA,
-            "status": "error",
-            "spec": dict(spec_dict),
-            "spec_hash": RunSpec.from_dict(spec_dict).canonical_hash(),
-            "elapsed_s": time.perf_counter() - t0,
-            "error": traceback.format_exc(),
-        }
+    return api.run_to_artifact(spec_dict)
 
 
 def _failure_artifact(spec: RunSpec, status: str, detail: str) -> dict:
-    return {
-        "schema": SCHEMA,
-        "status": status,
-        "spec": spec.to_dict(),
-        "spec_hash": spec.canonical_hash(),
-        "elapsed_s": None,
-        "error": detail,
-    }
-
-
-def _load_artifact(path: pathlib.Path) -> Optional[dict]:
-    """A prior run's artifact, or None when unreadable/foreign."""
-    try:
-        doc = json.loads(path.read_text())
-    except (OSError, ValueError):
-        return None
-    return doc if isinstance(doc, dict) and doc.get("schema") == SCHEMA else None
+    return _make_failure(spec, status, detail)
 
 
 def _run_inline(specs: Sequence[RunSpec]) -> Dict[str, dict]:
@@ -182,18 +152,32 @@ def run_campaign(
     resume: bool = True,
     workers: Optional[int] = None,
     timeout_s: Optional[float] = None,
+    cache: Optional[ResultCache] = None,
 ) -> CampaignReport:
     """Run (or resume) a campaign and write its artifacts and report.
 
     ``workers`` / ``timeout_s`` override the campaign document;
     ``workers <= 1`` executes inline (deterministic and debuggable),
     anything larger fans out over a process pool. With ``resume`` (the
-    default) completed cells found under ``out_dir/runs`` are served
-    from cache and never re-executed.
+    default) completed cells are served from the result cache and never
+    re-executed.
+
+    ``cache`` is the serving layer: by default a
+    :class:`~repro.service.cache.ResultCache` over ``out_dir/runs``
+    (pure resume, exactly the pre-service behaviour). Passing the cache
+    of a running :class:`~repro.service.core.Service` instead makes the
+    two share results both ways — a campaign re-run over a warm service
+    cache executes zero runs, and campaign artifacts become service
+    cache hits. When the shared cache persists somewhere other than
+    ``out_dir/runs``, artifacts are mirrored there too so the campaign
+    directory stays self-contained and resumable.
     """
     out = pathlib.Path(out_dir)
     runs_dir = out / "runs"
     runs_dir.mkdir(parents=True, exist_ok=True)
+    if cache is None:
+        cache = ResultCache(disk_dir=runs_dir)
+    mirror = cache.disk_dir is None or cache.disk_dir.resolve() != runs_dir.resolve()
     pool_width = campaign.workers if workers is None else workers
     deadline = campaign.timeout_s if timeout_s is None else timeout_s
 
@@ -203,8 +187,15 @@ def run_campaign(
     cached = 0
     for spec in specs:
         digest = spec.canonical_hash()
-        prior = _load_artifact(runs_dir / f"{digest}.json") if resume else None
-        if prior is not None and prior.get("status") == "ok":
+        prior = cache.get(digest) if resume else None
+        if prior is None and resume and mirror:
+            # A cache pointed elsewhere may not know this campaign's own
+            # prior artifacts; the runs/ directory is still authoritative.
+            doc = _load_artifact(runs_dir / f"{digest}.json")
+            if doc is not None and doc.get("status") == "ok":
+                prior = doc
+        if prior is not None:
+            prior.pop("cached", None)
             artifacts[digest] = prior
             cached += 1
         else:
@@ -216,9 +207,12 @@ def run_campaign(
         else:
             fresh = _run_pool(to_run, pool_width, deadline)
         for digest, artifact in fresh.items():
-            (runs_dir / f"{digest}.json").write_text(
-                json.dumps(artifact, indent=2, sort_keys=True) + "\n"
-            )
+            if artifact.get("spec_hash"):
+                cache.put(artifact)
+            if mirror:
+                (runs_dir / f"{digest}.json").write_text(
+                    json.dumps(artifact, indent=2, sort_keys=True) + "\n"
+                )
         artifacts.update(fresh)
 
     rows, cells = merged_report(campaign, specs, artifacts)

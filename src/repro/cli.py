@@ -370,12 +370,18 @@ def _cmd_campaign_run(args) -> int:
 
     campaign = load_campaign(args.spec)
     out = args.out or os.path.join("campaigns", campaign.name)
+    cache = None
+    if args.cache_dir:
+        from repro.service import ResultCache
+
+        cache = ResultCache(disk_dir=args.cache_dir)
     report = run_campaign(
         campaign,
         out,
         resume=not args.no_resume,
         workers=args.workers,
         timeout_s=args.timeout_s,
+        cache=cache,
     )
     if args.json:
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
@@ -426,6 +432,58 @@ def _cmd_campaign_tune(args) -> int:
     else:
         print(render_machine_table(rows, objective=args.objective))
     return 0
+
+
+def _cmd_service_serve(args) -> int:
+    import asyncio
+
+    from repro.service import Service, serve, serve_stdio
+
+    svc = Service(
+        cache_dir=args.cache_dir,
+        workers=args.workers,
+        use_processes=not args.threads,
+        max_queue=args.max_queue,
+        batch_max=args.batch_max,
+    )
+
+    async def _go() -> None:
+        try:
+            if args.stdio:
+                await serve_stdio(svc)
+            else:
+                await serve(svc, host=args.host, port=args.port)
+        finally:
+            await svc.close()
+
+    try:
+        asyncio.run(_go())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_service_submit(args) -> int:
+    from repro.service.client import ServiceError, submit_once
+
+    try:
+        spec = json.loads(args.spec)
+    except ValueError:
+        print(f"--spec must be a JSON RunSpec document, got {args.spec!r}",
+              file=sys.stderr)
+        return 2
+    on_event = None
+    if args.events:
+        on_event = lambda ev: print(json.dumps(ev, sort_keys=True), file=sys.stderr)
+    try:
+        artifact = submit_once(
+            args.host, args.port, spec, tenant=args.tenant, on_event=on_event
+        )
+    except (ServiceError, ConnectionError, OSError) as exc:
+        print(f"service request failed: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(artifact, indent=2, sort_keys=True))
+    return 0 if artifact.get("status") == "ok" else 1
 
 
 def _sizes(text: str) -> List[int]:
@@ -507,6 +565,9 @@ def build_parser() -> argparse.ArgumentParser:
                     help="per-run timeout in the pool (overrides the document)")
     pc.add_argument("--no-resume", action="store_true",
                     help="re-run completed cells instead of serving the cache")
+    pc.add_argument("--cache-dir", default=None, metavar="DIR",
+                    help="shared result-cache directory (e.g. a service's) "
+                         "to serve completed cells from")
     pc.add_argument("--json", action="store_true",
                     help="emit the merged report as JSON")
     pc.set_defaults(fn=_cmd_campaign_run)
@@ -528,6 +589,42 @@ def build_parser() -> argparse.ArgumentParser:
     pc.add_argument("--json", action="store_true",
                     help="emit the tuning rows as JSON")
     pc.set_defaults(fn=_cmd_campaign_tune)
+
+    p = sub.add_parser("service", help="benchmark-as-a-service over NDJSON")
+    ssub = p.add_subparsers(dest="subcommand", required=True)
+
+    ps = ssub.add_parser("serve", help="run the service (TCP or stdio)")
+    ps.add_argument("--host", default="127.0.0.1")
+    ps.add_argument("--port", type=int, default=0,
+                    help="TCP port (0 picks one; printed on startup)")
+    ps.add_argument("--stdio", action="store_true",
+                    help="speak NDJSON on stdin/stdout instead of TCP")
+    ps.add_argument("--cache-dir", default=None, metavar="DIR",
+                    help="disk tier for the result cache (share with "
+                         "campaigns via their runs/ directory)")
+    ps.add_argument("--workers", type=int, default=None, metavar="N",
+                    help="worker-pool width (default: REPRO_WORKERS or "
+                         "half the cores)")
+    ps.add_argument("--threads", action="store_true",
+                    help="thread workers instead of processes (no crash "
+                         "isolation; instant startup)")
+    ps.add_argument("--max-queue", type=int, default=64, metavar="N",
+                    help="admission bound before load shedding (default 64)")
+    ps.add_argument("--batch-max", type=int, default=8, metavar="N",
+                    help="max compatible jobs coalesced per dispatch")
+    ps.set_defaults(fn=_cmd_service_serve)
+
+    ps = ssub.add_parser("submit", help="submit one spec to a running service")
+    ps.add_argument("--host", default="127.0.0.1")
+    ps.add_argument("--port", type=int, required=True)
+    ps.add_argument("--spec", required=True, metavar="JSON",
+                    help="RunSpec document, e.g. "
+                         "'{\"kind\": \"hybrid\", \"n\": 84000}'")
+    ps.add_argument("--tenant", default="default",
+                    help="fairness bucket for admission control")
+    ps.add_argument("--events", action="store_true",
+                    help="stream progress events to stderr")
+    ps.set_defaults(fn=_cmd_service_submit)
     return parser
 
 

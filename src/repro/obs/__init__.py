@@ -5,8 +5,9 @@ fall comes out of the simulator" — needs a measurement surface, not ad
 hoc dataclass fields. This package provides it:
 
 * :mod:`repro.obs.metrics` — :class:`MetricsRegistry` with counters,
-  gauges and timers that the DES engine, schedulers, offload engine and
-  communicator publish into;
+  gauges, timers and latency distributions that the DES engine,
+  schedulers, offload engine, communicator and benchmark service
+  publish into;
 * :mod:`repro.obs.result` — :class:`RunResult`, the base every driver's
   result extends, with ``to_dict()`` / ``to_json()`` / ``summary()`` and
   the attached metrics/trace;
@@ -20,13 +21,14 @@ it uniformly as ``--json`` / ``--trace-out PATH`` / ``--metrics``.
 """
 
 from repro.obs.allocprof import AllocProfiler, measure_temp_bytes
-from repro.obs.metrics import Counter, Gauge, MetricsRegistry, Timer
+from repro.obs.metrics import Counter, Distribution, Gauge, MetricsRegistry, Timer
 from repro.obs.result import RunResult
 
 __all__ = [
     "AllocProfiler",
     "measure_temp_bytes",
     "Counter",
+    "Distribution",
     "Gauge",
     "Timer",
     "MetricsRegistry",

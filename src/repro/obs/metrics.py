@@ -6,9 +6,11 @@ schedulers (tasks, barriers, idle time), the offload engine (tiles,
 PCIe bytes, queue occupancy) and the communicator (messages, bytes) —
 publishes into one :class:`MetricsRegistry` that travels on the run's
 :class:`~repro.obs.result.RunResult`. The registry is deliberately
-minimal: three metric kinds, hierarchical dot-separated names, and a
-deterministic, sorted :meth:`MetricsRegistry.to_dict` so two identical
-seeded runs serialise byte-identically and can be diffed across PRs.
+minimal: four metric kinds (the service layer added
+:class:`Distribution` for latency percentiles), hierarchical
+dot-separated names, and a deterministic, sorted
+:meth:`MetricsRegistry.to_dict` so two identical seeded runs serialise
+byte-identically and can be diffed across PRs.
 """
 
 from __future__ import annotations
@@ -101,8 +103,76 @@ class Timer:
         return f"Timer({self.name}: {self.total_s:.6g}s / {self.count})"
 
 
+class Distribution:
+    """Observed values with percentile export (latency distributions).
+
+    The benchmark service treats latency *percentiles* as first-class,
+    gated outputs — p50/p99 of submit latency and queue wait — so the
+    registry needs a metric kind that keeps individual observations, not
+    just sums. A bounded sliding window (the most recent ``window``
+    values) holds memory constant for long-lived services while the
+    lifetime ``count``/``total``/``max`` stay exact.
+
+    Percentiles use the nearest-rank method over a sorted copy of the
+    window: deterministic for deterministic inputs, and never
+    interpolating values that were not observed.
+    """
+
+    __slots__ = ("name", "window", "values", "count", "total", "max_value")
+
+    def __init__(self, name: str, window: int = 8192):
+        if window < 1:
+            raise ValueError("distribution window must be >= 1")
+        self.name = name
+        self.window = window
+        self.values: List[float] = []
+        self.count = 0
+        self.total = 0.0
+        self.max_value = 0.0
+
+    def observe(self, value: Number) -> None:
+        """Record one observation (must be non-negative)."""
+        if value < 0:
+            raise ValueError(f"distribution {self.name!r} takes non-negative values")
+        self.values.append(float(value))
+        if len(self.values) > self.window:
+            del self.values[: len(self.values) - self.window]
+        self.count += 1
+        self.total += value
+        if value > self.max_value:
+            self.max_value = float(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0..100, nearest rank) of the window."""
+        if not 0 <= q <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        if not self.values:
+            return 0.0
+        ordered = sorted(self.values)
+        rank = -(-q * len(ordered) // 100)  # ceil(q/100 * N)
+        rank = max(1, min(len(ordered), int(rank)))
+        return ordered[rank - 1]
+
+    def to_dict(self) -> dict:
+        """Deterministic export: count, mean, p50/p99, max."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p99": self.percentile(99),
+            "max": self.max_value,
+        }
+
+    def __repr__(self) -> str:
+        return f"Distribution({self.name}: n={self.count}, p99={self.percentile(99):.6g})"
+
+
 class MetricsRegistry:
-    """A named collection of counters, gauges and timers.
+    """A named collection of counters, gauges, timers and distributions.
 
     Metrics are created on first access (``registry.counter("sim.events")``)
     so publishers need no registration step, and exported deterministically:
@@ -114,6 +184,7 @@ class MetricsRegistry:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._timers: Dict[str, Timer] = {}
+        self._distributions: Dict[str, Distribution] = {}
 
     # -- access (get-or-create) ----------------------------------------------
     def counter(self, name: str) -> Counter:
@@ -140,15 +211,26 @@ class MetricsRegistry:
             t = self._timers[name] = Timer(name)
             return t
 
+    def distribution(self, name: str, window: int = 8192) -> Distribution:
+        """The distribution called ``name``, created on first use."""
+        try:
+            return self._distributions[name]
+        except KeyError:
+            d = self._distributions[name] = Distribution(name, window=window)
+            return d
+
     def __len__(self) -> int:
-        return len(self._counters) + len(self._gauges) + len(self._timers)
+        return (len(self._counters) + len(self._gauges) + len(self._timers)
+                + len(self._distributions))
 
     def __contains__(self, name: str) -> bool:
-        return name in self._counters or name in self._gauges or name in self._timers
+        return (name in self._counters or name in self._gauges
+                or name in self._timers or name in self._distributions)
 
     # -- export ----------------------------------------------------------------
     def to_dict(self) -> dict:
-        """Deterministic nested dict: ``{"counters", "gauges", "timers"}``."""
+        """Deterministic nested dict:
+        ``{"counters", "gauges", "timers", "distributions"}``."""
         return {
             "counters": {n: self._counters[n].value for n in sorted(self._counters)},
             "gauges": {n: self._gauges[n].value for n in sorted(self._gauges)},
@@ -160,6 +242,10 @@ class MetricsRegistry:
                     "max_s": self._timers[n].max_s,
                 }
                 for n in sorted(self._timers)
+            },
+            "distributions": {
+                n: self._distributions[n].to_dict()
+                for n in sorted(self._distributions)
             },
         }
 
@@ -175,11 +261,17 @@ class MetricsRegistry:
             t = self._timers[n]
             rows.append((f"{n}.total_s", t.total_s))
             rows.append((f"{n}.count", t.count))
+        for n in self._distributions:
+            d = self._distributions[n]
+            rows.append((f"{n}.count", d.count))
+            rows.append((f"{n}.p50", d.percentile(50)))
+            rows.append((f"{n}.p99", d.percentile(99)))
         rows.sort()
         return rows
 
     def __repr__(self) -> str:
         return (
             f"MetricsRegistry({len(self._counters)} counters, "
-            f"{len(self._gauges)} gauges, {len(self._timers)} timers)"
+            f"{len(self._gauges)} gauges, {len(self._timers)} timers, "
+            f"{len(self._distributions)} distributions)"
         )

@@ -234,10 +234,29 @@ def make_executor(backend: str = "thread", workers: Optional[int] = None):
     (imported lazily so plain thread runs never touch multiprocessing).
     Both honor the same ``workers`` convention (None resolves via
     :func:`default_workers`).
+
+    Inside a child process — a campaign or benchmark-service pool
+    worker — ``"process"`` downgrades to the thread executor with a
+    warning instead of forking grandchild pools: nested process trees
+    oversubscribe cores, multiply fixed spawn cost, and leak when the
+    middle layer is killed. The no-nested-pools rule the thread executor
+    enforces per thread (see :func:`in_worker`) applies per process here.
     """
     if backend in (None, "thread"):
         return TileExecutor(workers)
     if backend == "process":
+        import multiprocessing
+
+        if multiprocessing.parent_process() is not None:
+            import warnings
+
+            warnings.warn(
+                "executor='process' requested inside a child process; "
+                "using the thread executor instead of nesting pools",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return TileExecutor(workers)
         from repro.parallel.shm import ProcessTileExecutor
 
         return ProcessTileExecutor(workers)

@@ -1,0 +1,62 @@
+"""Benchmark-as-a-service: cache, coalesce, admit, batch, execute.
+
+The experiment layers below this package (drivers, campaigns, the
+auto-tuner) all funnel through one call — ``repro.api.run(spec)`` — and
+one identity — ``spec.canonical_hash()``. This package turns that pair
+into a serving layer, so repeated and concurrent benchmark requests stop
+paying for redundant execution:
+
+* :mod:`~repro.service.cache` — :class:`ResultCache`, a two-tier
+  (memory LRU + disk) store of run artifacts keyed by canonical hash,
+  byte-compatible with campaign ``runs/<hash>.json`` files; also the
+  home of the ``campaign-run-v1`` artifact schema and its constructors;
+* :mod:`~repro.service.admission` — :class:`AdmissionController`,
+  bounded per-tenant queues with deficit-round-robin fairness and
+  explicit load shedding;
+* :mod:`~repro.service.batching` — :class:`Batcher`, coalescing
+  compatible small jobs into single worker dispatches;
+* :mod:`~repro.service.core` — :class:`Service`, the asyncio engine
+  wiring cache → single-flight → admission → batch → worker pool;
+* :mod:`~repro.service.worker` — :func:`execute_batch`, the picklable
+  pool entry point;
+* :mod:`~repro.service.server` / :mod:`~repro.service.client` — the
+  NDJSON front end (TCP or stdio) and its multiplexing client, exposed
+  on the CLI as ``repro service serve`` / ``repro service submit``.
+
+The cheapest benchmark is the one you do not run twice: a cache hit
+answers in microseconds with ``cached: True``, N concurrent duplicates
+execute once, and a campaign re-run over a warm service cache executes
+zero runs.
+"""
+
+from repro.service.admission import AdmissionController
+from repro.service.batching import Batcher
+from repro.service.cache import (
+    SCHEMA,
+    ResultCache,
+    failure_artifact,
+    load_artifact,
+    ok_artifact,
+)
+from repro.service.client import ServiceClient, ServiceError, submit_once
+from repro.service.core import Service, default_service_workers
+from repro.service.server import serve, serve_stdio
+from repro.service.worker import execute_batch
+
+__all__ = [
+    "SCHEMA",
+    "AdmissionController",
+    "Batcher",
+    "ResultCache",
+    "Service",
+    "ServiceClient",
+    "ServiceError",
+    "default_service_workers",
+    "execute_batch",
+    "failure_artifact",
+    "load_artifact",
+    "ok_artifact",
+    "serve",
+    "serve_stdio",
+    "submit_once",
+]

@@ -1,0 +1,169 @@
+"""Admission control: bounded queues, per-tenant fairness, load shedding.
+
+At saturation a benchmark service has three honest choices per request:
+queue it, serve it from cache, or refuse it *explicitly*. This module
+implements the queueing and refusal half:
+
+* one FIFO queue per tenant behind a **global bound** (``max_queue``):
+  when the bound is hit, :meth:`AdmissionController.offer` returns
+  False and the service answers with an explicit ``rejected`` artifact
+  instead of letting latency grow without limit (load shedding);
+* **deficit round-robin** (DRR) scheduling across tenants: each
+  scheduling turn visits the next tenant with queued work, grants it
+  ``quantum`` units of deficit, and dequeues jobs while the accumulated
+  deficit covers each job's :meth:`~repro.spec.RunSpec.cost_units`.
+  Cheap jobs from a polite tenant cannot starve behind one tenant's
+  flood of expensive ones — the flood spends its deficit and waits.
+
+The controller is synchronous and loop-agnostic: the asyncio service
+calls ``offer`` from ``submit`` and ``take`` from its scheduler task.
+Items are opaque; cost is supplied at ``offer`` time so this layer never
+imports the spec machinery.
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import Any, Dict, List, Optional, Tuple
+
+
+class AdmissionController:
+    """Bounded per-tenant queues drained by deficit round-robin.
+
+    Parameters
+    ----------
+    max_queue:
+        Global bound on queued items across all tenants; ``offer``
+        sheds (returns False) beyond it.
+    quantum:
+        Deficit granted to a tenant per scheduling turn, in the same
+        units as the per-item costs. With unit costs and the default
+        quantum this degenerates to plain round-robin.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` publishing
+        ``service.admission.*`` counters and queue-depth gauges.
+    """
+
+    def __init__(self, max_queue: int = 64, quantum: float = 1.0, metrics=None):
+        if max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        if quantum <= 0:
+            raise ValueError("quantum must be positive")
+        self.max_queue = max_queue
+        self.quantum = quantum
+        self.metrics = metrics
+        self._queues: "collections.OrderedDict[str, collections.deque]" = (
+            collections.OrderedDict()
+        )
+        self._deficit: Dict[str, float] = {}
+        self._rotation: List[str] = []
+        self._turn = 0
+        self.accepted = 0
+        self.rejected = 0
+        self.served = 0
+
+    def __len__(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    @property
+    def depth(self) -> int:
+        """Queued items across every tenant."""
+        return len(self)
+
+    # -- enqueue ---------------------------------------------------------------
+    def offer(self, tenant: str, item: Any, cost: float = 1.0) -> bool:
+        """Queue ``item`` for ``tenant``; False means *shed it now*.
+
+        Shedding is decided on the global bound only — a tenant cannot
+        be starved out of admission, merely scheduled fairly afterwards.
+        """
+        if cost <= 0:
+            raise ValueError("cost must be positive")
+        if len(self) >= self.max_queue:
+            self.rejected += 1
+            self._count("rejected")
+            return False
+        queue = self._queues.get(tenant)
+        if queue is None:
+            queue = self._queues[tenant] = collections.deque()
+            self._deficit.setdefault(tenant, 0.0)
+            self._rotation.append(tenant)
+        queue.append((item, cost))
+        self.accepted += 1
+        self._count("accepted")
+        self._gauges()
+        return True
+
+    # -- dequeue (one DRR turn) ------------------------------------------------
+    def take(self, limit: Optional[int] = None) -> List[Any]:
+        """Dequeue one tenant's scheduling turn; [] when nothing is due.
+
+        The next tenant in rotation with queued work earns ``quantum``
+        deficit and yields queued jobs head-first while the deficit
+        covers their cost. A head job costlier than one quantum makes
+        its tenant accumulate deficit over successive turns; when every
+        queued head is still too expensive after a full rotation, the
+        rotation repeats (deficits grow each pass) until one job becomes
+        eligible, so a non-empty controller always grants. An emptied
+        tenant's residual deficit is cleared, as classic DRR requires,
+        so idleness earns no credit.
+        """
+        if limit is not None and limit < 1:
+            raise ValueError("limit must be >= 1")
+        while len(self):
+            for _ in range(len(self._rotation)):
+                tenant = self._rotation[self._turn % len(self._rotation)]
+                self._turn += 1
+                queue = self._queues.get(tenant)
+                if not queue:
+                    self._deficit[tenant] = 0.0
+                    continue
+                self._deficit[tenant] += self.quantum
+                granted: List[Any] = []
+                while queue and (limit is None or len(granted) < limit):
+                    item, cost = queue[0]
+                    if cost > self._deficit[tenant]:
+                        break
+                    queue.popleft()
+                    self._deficit[tenant] -= cost
+                    granted.append(item)
+                if not queue:
+                    self._deficit[tenant] = 0.0
+                if granted:
+                    self.served += len(granted)
+                    self._count("served", len(granted))
+                    self._gauges()
+                    return granted
+        return []
+
+    def pending(self) -> List[Tuple[str, int]]:
+        """(tenant, queued-count) rows, rotation-ordered, for stats."""
+        return [(t, len(self._queues[t])) for t in self._rotation
+                if self._queues.get(t)]
+
+    # -- observability ---------------------------------------------------------
+    def _count(self, name: str, amount: int = 1) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(f"service.admission.{name}").inc(amount)
+
+    def _gauges(self) -> None:
+        if self.metrics is not None:
+            self.metrics.gauge("service.admission.queue_depth").set(len(self))
+            self.metrics.gauge("service.admission.tenants").set(len(self._rotation))
+            self.metrics.gauge("service.admission.queue_peak").update_max(len(self))
+
+    def stats(self) -> Dict[str, Any]:
+        """Snapshot for ``Service.stats`` and tests."""
+        return {
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "served": self.served,
+            "depth": len(self),
+            "tenants": {t: n for t, n in self.pending()},
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"AdmissionController(depth={len(self)}/{self.max_queue}, "
+            f"tenants={len(self._rotation)})"
+        )

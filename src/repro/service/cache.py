@@ -1,0 +1,229 @@
+"""The hash-keyed result cache shared by campaigns and the service.
+
+A run's identity is :meth:`repro.spec.RunSpec.canonical_hash`, so a
+finished run can be *served* instead of re-executed — by a resumed
+campaign, by the benchmark service, or by both against the same artifact
+directory. This module owns the pieces that make that sharing work:
+
+* the artifact **schema** (:data:`SCHEMA`, ``campaign-run-v1``): one JSON
+  document per run — status, normalized spec, spec hash, elapsed wall
+  time and the full :meth:`~repro.obs.result.RunResult.to_dict` payload —
+  written as ``runs/<spec-hash>.json``. The campaign runner has emitted
+  exactly this layout since PR 6; the service reads and writes the same
+  files, which is what lets a campaign re-run over a warm service cache
+  execute zero runs (and vice versa);
+* :class:`ResultCache` — a two-tier cache over those artifacts: a
+  bounded in-memory LRU tier in front of the disk tier. Only ``ok``
+  artifacts are *served* (failures are persisted for reporting but must
+  re-execute), and every lookup publishes ``service.cache.*`` metrics.
+
+Single-flight deduplication (N concurrent requests for one spec execute
+once) is an event-loop concern and lives with the asyncio machinery in
+:class:`repro.service.core.Service`; this cache is synchronous and safe
+to call from campaign workers and service coroutines alike.
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+import pathlib
+import threading
+from typing import Any, Dict, Mapping, Optional
+
+from repro.spec import RunSpec
+
+#: Artifact schema tag, bumped on incompatible layout changes; readers
+#: ignore artifacts with a different schema instead of mis-reading them.
+SCHEMA = "campaign-run-v1"
+
+
+def ok_artifact(spec: RunSpec, result_dict: Mapping[str, Any],
+                elapsed_s: float) -> dict:
+    """A completed run as a schema-tagged artifact document."""
+    return {
+        "schema": SCHEMA,
+        "status": "ok",
+        "spec": spec.to_dict(),
+        "spec_hash": spec.canonical_hash(),
+        "elapsed_s": elapsed_s,
+        "result": dict(result_dict),
+    }
+
+
+def failure_artifact(spec: RunSpec, status: str, detail: str,
+                     elapsed_s: Optional[float] = None) -> dict:
+    """A failed run (``error`` / ``crash`` / ``timeout`` / ``rejected``)."""
+    return {
+        "schema": SCHEMA,
+        "status": status,
+        "spec": spec.to_dict(),
+        "spec_hash": spec.canonical_hash(),
+        "elapsed_s": elapsed_s,
+        "error": detail,
+    }
+
+
+def load_artifact(path: pathlib.Path) -> Optional[dict]:
+    """The artifact at ``path``, or None when unreadable or foreign."""
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    return doc if isinstance(doc, dict) and doc.get("schema") == SCHEMA else None
+
+
+class ResultCache:
+    """Two-tier result cache keyed by canonical spec hash.
+
+    Parameters
+    ----------
+    disk_dir:
+        Directory of ``<spec-hash>.json`` artifacts (typically a
+        campaign's ``runs/`` directory). ``None`` keeps the cache purely
+        in memory.
+    memory_entries:
+        LRU capacity of the memory tier. ``0`` disables it (every hit
+        re-reads disk — useful to prove tier equivalence in tests).
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`; lookups
+        and stores publish ``service.cache.*`` counters and gauges.
+
+    Only artifacts with ``status == "ok"`` are returned by :meth:`get`;
+    :meth:`put` persists *every* status to disk (failure artifacts are
+    evidence for reports) but admits only ``ok`` ones to the serving
+    tiers — exactly the campaign-resume rule, now shared.
+    """
+
+    def __init__(
+        self,
+        disk_dir: "str | pathlib.Path | None" = None,
+        memory_entries: int = 256,
+        metrics=None,
+    ):
+        if memory_entries < 0:
+            raise ValueError("memory_entries must be >= 0")
+        self.disk_dir = pathlib.Path(disk_dir) if disk_dir is not None else None
+        self.memory_entries = memory_entries
+        self.metrics = metrics
+        self._memory: "collections.OrderedDict[str, dict]" = collections.OrderedDict()
+        self._lock = threading.Lock()
+        self.hits_memory = 0
+        self.hits_disk = 0
+        self.misses = 0
+        self.stores = 0
+        self.evictions = 0
+
+    # -- lookup ----------------------------------------------------------------
+    def get(self, spec_hash: str) -> Optional[dict]:
+        """The served (``ok``) artifact for ``spec_hash``, or None.
+
+        Memory tier first (LRU-refreshed), then disk; a disk hit is
+        promoted into the memory tier. Returns a shallow copy at the
+        artifact level so callers can annotate (``cached`` flags) without
+        mutating the cached document.
+        """
+        with self._lock:
+            doc = self._memory.get(spec_hash)
+            if doc is not None:
+                self._memory.move_to_end(spec_hash)
+                self.hits_memory += 1
+                self._count("hits_memory")
+                return dict(doc)
+        if self.disk_dir is not None:
+            doc = load_artifact(self.disk_dir / f"{spec_hash}.json")
+            if doc is not None and doc.get("status") == "ok":
+                with self._lock:
+                    self.hits_disk += 1
+                    self._count("hits_disk")
+                    self._admit(spec_hash, doc)
+                return dict(doc)
+        with self._lock:
+            self.misses += 1
+            self._count("misses")
+        return None
+
+    def __contains__(self, spec_hash: str) -> bool:
+        with self._lock:
+            if spec_hash in self._memory:
+                return True
+        if self.disk_dir is None:
+            return False
+        doc = load_artifact(self.disk_dir / f"{spec_hash}.json")
+        return doc is not None and doc.get("status") == "ok"
+
+    # -- store -----------------------------------------------------------------
+    def put(self, artifact: Mapping[str, Any]) -> None:
+        """Persist ``artifact`` and admit it to the serving tiers if ok.
+
+        The document must carry ``spec_hash`` and ``status``. Disk gets
+        every status (campaign reports need the failures); the memory
+        tier and future :meth:`get` hits only ever see ``ok``.
+        """
+        spec_hash = artifact.get("spec_hash")
+        if not spec_hash:
+            raise ValueError("artifact must carry a spec_hash")
+        doc = dict(artifact)
+        doc.pop("cached", None)  # provenance is per-serve, never persisted
+        if self.disk_dir is not None:
+            self.disk_dir.mkdir(parents=True, exist_ok=True)
+            (self.disk_dir / f"{spec_hash}.json").write_text(
+                json.dumps(doc, indent=2, sort_keys=True) + "\n"
+            )
+        with self._lock:
+            self.stores += 1
+            self._count("stores")
+            if doc.get("status") == "ok":
+                self._admit(spec_hash, doc)
+
+    def _admit(self, spec_hash: str, doc: dict) -> None:
+        """Insert into the LRU memory tier, evicting the coldest entry.
+
+        Callers hold ``_lock``.
+        """
+        if self.memory_entries == 0:
+            return
+        self._memory[spec_hash] = doc
+        self._memory.move_to_end(spec_hash)
+        while len(self._memory) > self.memory_entries:
+            self._memory.popitem(last=False)
+            self.evictions += 1
+            self._count("evictions")
+
+    # -- observability ---------------------------------------------------------
+    def _count(self, name: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(f"service.cache.{name}").inc()
+            self.metrics.gauge("service.cache.memory_entries").set(len(self._memory))
+
+    @property
+    def requests(self) -> int:
+        """Total lookups (hits plus misses)."""
+        return self.hits_memory + self.hits_disk + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Served fraction of all lookups, 0.0 when idle."""
+        if not self.requests:
+            return 0.0
+        return (self.hits_memory + self.hits_disk) / self.requests
+
+    def stats(self) -> Dict[str, Any]:
+        """Counter snapshot for ``Service.stats`` and test assertions."""
+        with self._lock:
+            return {
+                "hits_memory": self.hits_memory,
+                "hits_disk": self.hits_disk,
+                "misses": self.misses,
+                "stores": self.stores,
+                "evictions": self.evictions,
+                "memory_entries": len(self._memory),
+                "hit_rate": self.hit_rate,
+            }
+
+    def __repr__(self) -> str:
+        tier = str(self.disk_dir) if self.disk_dir else "memory-only"
+        return (
+            f"ResultCache({tier}, {len(self._memory)}/{self.memory_entries} "
+            f"in memory, {self.requests} lookups)"
+        )

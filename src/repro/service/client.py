@@ -1,0 +1,180 @@
+"""Client for the NDJSON benchmark service.
+
+:class:`ServiceClient` speaks the protocol of
+:mod:`repro.service.server` over one TCP connection, multiplexing any
+number of concurrent submissions: a background reader task routes each
+response line to the request whose ``id`` it carries, and progress
+events stream to the submitter's optional callback exactly as the local
+:meth:`~repro.service.core.Service.submit` would deliver them.
+
+Async usage::
+
+    async with ServiceClient("127.0.0.1", port) as client:
+        artifact = await client.submit({"kind": "hybrid", "n": 84000})
+
+:func:`submit_once` wraps connect → submit → close into one synchronous
+call for the ``repro service submit`` CLI and quick scripts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.spec import RunSpec
+
+
+class ServiceError(RuntimeError):
+    """A request the server answered with an ``error`` line."""
+
+
+class ServiceClient:
+    """One multiplexed NDJSON connection to a running service."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0):
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._reader_task: Optional[asyncio.Task] = None
+        self._ids = itertools.count(1)
+        self._done: Dict[str, "asyncio.Future[dict]"] = {}
+        self._listeners: Dict[str, Callable[[dict], None]] = {}
+
+    # -- lifecycle -------------------------------------------------------------
+    async def connect(self) -> "ServiceClient":
+        """Open the connection and start the response-routing task."""
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        self._reader_task = asyncio.ensure_future(self._route_responses())
+        return self
+
+    async def close(self) -> None:
+        """Close the connection; pending requests fail with ServiceError."""
+        if self._writer is not None:
+            try:
+                self._writer.close()
+                await self._writer.wait_closed()
+            except ConnectionError:
+                pass
+            self._writer = None
+        if self._reader_task is not None:
+            await asyncio.wait({self._reader_task})
+            self._reader_task = None
+
+    async def __aenter__(self) -> "ServiceClient":
+        return await self.connect()
+
+    async def __aexit__(self, *_exc) -> None:
+        await self.close()
+
+    # -- response routing ------------------------------------------------------
+    async def _route_responses(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                try:
+                    msg = json.loads(line)
+                except ValueError:
+                    continue
+                req_id = msg.get("id")
+                fut = self._done.get(req_id)
+                event = msg.get("event")
+                if event in ("result", "stats", "pong", "stopping", "error"):
+                    if fut is not None and not fut.done():
+                        fut.set_result(msg)
+                    continue
+                listener = self._listeners.get(req_id)
+                if listener is not None:
+                    try:
+                        listener(msg)
+                    except Exception:
+                        pass
+        finally:
+            for fut in self._done.values():
+                if not fut.done():
+                    fut.set_exception(ServiceError("connection closed"))
+
+    async def _request(self, payload: dict,
+                       on_event: Optional[Callable[[dict], None]] = None) -> dict:
+        if self._writer is None:
+            raise ServiceError("client is not connected")
+        req_id = str(next(self._ids))
+        payload = {**payload, "id": req_id}
+        fut = asyncio.get_running_loop().create_future()
+        self._done[req_id] = fut
+        if on_event is not None:
+            self._listeners[req_id] = on_event
+        try:
+            self._writer.write(
+                json.dumps(payload, sort_keys=True).encode() + b"\n"
+            )
+            await self._writer.drain()
+            msg = await fut
+        finally:
+            self._done.pop(req_id, None)
+            self._listeners.pop(req_id, None)
+        if msg.get("event") == "error":
+            raise ServiceError(msg.get("error", "request failed"))
+        return msg
+
+    # -- operations ------------------------------------------------------------
+    async def submit(
+        self,
+        spec: Union[RunSpec, dict],
+        tenant: str = "default",
+        on_event: Optional[Callable[[dict], None]] = None,
+    ) -> dict:
+        """Submit one spec; returns the full artifact document.
+
+        Progress events (``queued``/``running``/``cached``/...) stream
+        to ``on_event`` before the terminal artifact arrives.
+        """
+        doc = spec.to_dict() if isinstance(spec, RunSpec) else dict(spec)
+        msg = await self._request(
+            {"op": "submit", "spec": doc, "tenant": tenant}, on_event=on_event
+        )
+        return msg["artifact"]
+
+    async def submit_many(
+        self,
+        specs: List[Union[RunSpec, dict]],
+        tenant: str = "default",
+    ) -> List[dict]:
+        """Submit specs concurrently over the one connection."""
+        return list(await asyncio.gather(
+            *(self.submit(s, tenant=tenant) for s in specs)
+        ))
+
+    async def stats(self) -> dict:
+        """The server's :meth:`~repro.service.core.Service.stats` snapshot."""
+        return (await self._request({"op": "stats"}))["stats"]
+
+    async def ping(self) -> bool:
+        """True when the server answers the liveness probe."""
+        return (await self._request({"op": "ping"})).get("event") == "pong"
+
+    async def shutdown(self) -> None:
+        """Ask the server to stop accepting work and exit its serve loop."""
+        await self._request({"op": "shutdown"})
+
+
+def submit_once(
+    host: str,
+    port: int,
+    spec: Union[RunSpec, dict],
+    tenant: str = "default",
+    on_event: Optional[Callable[[dict], None]] = None,
+) -> dict:
+    """Connect, submit one spec, disconnect — the CLI's synchronous path."""
+
+    async def _go() -> dict:
+        async with ServiceClient(host, port) as client:
+            return await client.submit(spec, tenant=tenant, on_event=on_event)
+
+    return asyncio.run(_go())

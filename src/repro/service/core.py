@@ -1,0 +1,419 @@
+"""The asyncio benchmark service: submit specs, get artifacts back.
+
+:class:`Service` turns :class:`~repro.spec.RunSpec` submissions into
+schema-tagged result artifacts, fast-pathing everything that does not
+need to execute:
+
+1. **cache** — the canonical hash is looked up in the shared
+   :class:`~repro.service.cache.ResultCache`; a hit answers in
+   microseconds with ``cached: True``, never touching a worker;
+2. **single-flight** — concurrent submissions of one uncached spec
+   share a single execution: the first registers an in-flight future,
+   the rest await it (``coalesced: True``) — N duplicate requests, one
+   run;
+3. **admission** — what must execute enters the bounded per-tenant
+   queues of :class:`~repro.service.admission.AdmissionController`;
+   beyond the bound the service answers immediately with an explicit
+   ``rejected`` artifact instead of queueing without limit;
+4. **batching + dispatch** — a scheduler task drains the queues in
+   deficit-round-robin order, coalesces compatible small jobs
+   (:class:`~repro.service.batching.Batcher`) and dispatches batches to
+   a ``concurrent.futures`` pool running
+   :func:`repro.service.worker.execute_batch`. A worker death fails
+   only its batch (``crash`` artifacts) and rebuilds the pool — the
+   service stays up.
+
+Progress streams as ``queued`` → ``running`` → ``done`` events through
+the optional ``on_event`` callback (the NDJSON server forwards them to
+clients), and every stage publishes ``service.*`` metrics — cache
+hits/misses, queue depth, rejections, and the submit-latency and
+queue-wait :class:`~repro.obs.metrics.Distribution` percentiles that
+the service benchmark gates.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import time
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.service.admission import AdmissionController
+from repro.service.batching import Batcher
+from repro.service.cache import ResultCache, failure_artifact
+from repro.service.worker import execute_batch
+from repro.spec import RunSpec
+
+EventCallback = Callable[[dict], None]
+
+
+def default_service_workers() -> int:
+    """Pool width when none is given: ``REPRO_WORKERS`` or half the cores.
+
+    Service workers fan tile work out internally (thread executors), so
+    claiming every core per worker oversubscribes; half the cores is the
+    conventional front-end/back-end split.
+    """
+    env = os.environ.get("REPRO_WORKERS")
+    if env:
+        return max(1, int(env))
+    return max(1, (os.cpu_count() or 2) // 2)
+
+
+@dataclass
+class _Job:
+    """One admitted submission on its way to a worker."""
+
+    spec: RunSpec
+    spec_hash: str
+    tenant: str
+    future: "asyncio.Future[dict]"
+    enqueued_at: float
+    listeners: List[EventCallback] = field(default_factory=list)
+
+    def emit(self, event: str, **extra) -> None:
+        """Deliver a progress event to every listener, swallowing
+        listener errors (a bad callback must not fail the job)."""
+        payload = {"event": event, "spec_hash": self.spec_hash,
+                   "tenant": self.tenant, **extra}
+        for listener in self.listeners:
+            try:
+                listener(payload)
+            except Exception:
+                pass
+
+
+class Service:
+    """Benchmark-as-a-service over an async job queue.
+
+    Parameters
+    ----------
+    cache:
+        A :class:`~repro.service.cache.ResultCache` to serve from, or
+        None to build one over ``cache_dir``. Pointing it at a campaign
+        ``runs/`` directory shares artifacts both ways: warm service
+        caches make a re-run campaign execute zero runs.
+    cache_dir:
+        Disk tier for the built-in cache (used when ``cache`` is None);
+        None keeps results in memory only.
+    workers:
+        Worker-pool width (default :func:`default_service_workers`).
+    use_processes:
+        True (default) executes on a ``ProcessPoolExecutor`` — real
+        isolation, crash capture, and the PR 7 guard keeps specs asking
+        for ``executor="process"`` from forking grandchildren. False
+        uses threads: no isolation, but instant startup for tests.
+    max_queue / quantum:
+        Admission bound and DRR quantum
+        (:class:`~repro.service.admission.AdmissionController`).
+    batch_max / batch_max_cost:
+        Batch size bound and the per-job cost ceiling above which a job
+        dispatches alone (:class:`~repro.service.batching.Batcher`).
+    metrics:
+        Optional shared :class:`~repro.obs.metrics.MetricsRegistry`.
+    """
+
+    def __init__(
+        self,
+        cache: Optional[ResultCache] = None,
+        cache_dir=None,
+        workers: Optional[int] = None,
+        use_processes: bool = True,
+        max_queue: int = 64,
+        quantum: float = 1.0,
+        batch_max: int = 8,
+        batch_max_cost: float = 8.0,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.cache = cache if cache is not None else ResultCache(
+            disk_dir=cache_dir, metrics=self.metrics
+        )
+        self.workers = workers if workers is not None else default_service_workers()
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.use_processes = use_processes
+        self.admission = AdmissionController(
+            max_queue=max_queue, quantum=quantum, metrics=self.metrics
+        )
+        self.batcher = Batcher(max_jobs=batch_max, max_cost_units=batch_max_cost)
+        self._pool = None
+        self._pool_generation = 0
+        self.pool_rebuilds = 0
+        self._inflight: Dict[str, "asyncio.Future[dict]"] = {}
+        self._dispatching = 0
+        self._wake: Optional[asyncio.Event] = None
+        self._scheduler_task: Optional[asyncio.Task] = None
+        self._dispatch_tasks: "set[asyncio.Task]" = set()
+        self._closed = False
+        self.requests = 0
+        self.coalesced = 0
+        # Set by the TCP front end (repro.service.server.serve) once bound.
+        self.bound_port: Optional[int] = None
+
+    # -- lifecycle -------------------------------------------------------------
+    async def start(self) -> "Service":
+        """Create the worker pool and scheduler task (idempotent)."""
+        if self._closed:
+            raise RuntimeError("service is closed")
+        if self._scheduler_task is None:
+            self._wake = asyncio.Event()
+            self._new_pool()
+            self._scheduler_task = asyncio.get_running_loop().create_task(
+                self._scheduler()
+            )
+        return self
+
+    async def close(self) -> None:
+        """Stop scheduling, fail pending jobs, shut the pool down."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._scheduler_task is not None:
+            self._scheduler_task.cancel()
+            try:
+                await self._scheduler_task
+            except asyncio.CancelledError:
+                pass
+        for task in list(self._dispatch_tasks):
+            task.cancel()
+        while True:
+            # Jobs still queued (never dispatched) must not hang their
+            # submitters: answer each with an explicit error artifact.
+            stranded = self.admission.take(limit=None)
+            if not stranded:
+                break
+            for job in stranded:
+                if not job.future.done():
+                    job.future.set_result(failure_artifact(
+                        job.spec, "error", "service closed before execution"
+                    ))
+                self._inflight.pop(job.spec_hash, None)
+        for digest, fut in list(self._inflight.items()):
+            if not fut.done():
+                fut.set_result({
+                    "schema": "campaign-run-v1", "status": "error",
+                    "spec_hash": digest,
+                    "error": "service closed before execution",
+                })
+        self._inflight.clear()
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    async def __aenter__(self) -> "Service":
+        return await self.start()
+
+    async def __aexit__(self, *_exc) -> None:
+        await self.close()
+
+    def _new_pool(self):
+        if self.use_processes:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        else:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-service"
+            )
+        self._pool_generation += 1
+        self.metrics.gauge("service.pool.workers").set(self.workers)
+
+    # -- the front door --------------------------------------------------------
+    async def submit(
+        self,
+        spec: RunSpec,
+        tenant: str = "default",
+        on_event: Optional[EventCallback] = None,
+    ) -> dict:
+        """Resolve ``spec`` to an artifact: cache, coalesce, or execute.
+
+        Returns the artifact document (``status`` ok/error/crash/
+        rejected) annotated with ``cached`` — and ``coalesced: True``
+        when this submission drafted behind an identical in-flight one.
+        Progress events (``queued``/``running``/``done``, plus
+        ``cached``/``coalesced``/``rejected`` notices) go to
+        ``on_event`` as they happen.
+        """
+        if isinstance(spec, dict):
+            spec = RunSpec.from_dict(spec)
+        elif not isinstance(spec, RunSpec):
+            raise TypeError(f"submit() takes a RunSpec, got {type(spec).__name__}")
+        await self.start()
+        s = spec.normalized()
+        digest = s.canonical_hash()
+        t0 = time.perf_counter()
+        self.requests += 1
+        self.metrics.counter("service.requests").inc()
+
+        hit = self.cache.get(digest)
+        if hit is not None:
+            hit["cached"] = True
+            self._notify(on_event, "cached", digest, tenant)
+            self._observe_latency(t0)
+            return hit
+
+        existing = self._inflight.get(digest)
+        if existing is not None:
+            self.coalesced += 1
+            self.metrics.counter("service.cache.single_flight_coalesced").inc()
+            self._notify(on_event, "coalesced", digest, tenant)
+            artifact = dict(await asyncio.shield(existing))
+            artifact["cached"] = False
+            artifact["coalesced"] = True
+            self._observe_latency(t0)
+            return artifact
+
+        job = _Job(
+            spec=s,
+            spec_hash=digest,
+            tenant=tenant,
+            future=asyncio.get_running_loop().create_future(),
+            enqueued_at=t0,
+        )
+        if on_event is not None:
+            job.listeners.append(on_event)
+        if not self.admission.offer(tenant, job, cost=s.cost_units()):
+            artifact = failure_artifact(
+                s, "rejected",
+                f"admission queue full ({self.admission.max_queue}); retry later",
+            )
+            artifact["cached"] = False
+            job.emit("rejected")
+            self._observe_latency(t0)
+            return artifact
+        self._inflight[digest] = job.future
+        job.emit("queued", queue_depth=self.admission.depth)
+        self._wake.set()
+        artifact = dict(await asyncio.shield(job.future))
+        artifact["cached"] = False
+        self._observe_latency(t0)
+        return artifact
+
+    def _notify(self, on_event, event, digest, tenant) -> None:
+        if on_event is None:
+            return
+        try:
+            on_event({"event": event, "spec_hash": digest, "tenant": tenant})
+        except Exception:
+            pass
+
+    def _observe_latency(self, t0: float) -> None:
+        self.metrics.distribution("service.submit.latency_s").observe(
+            time.perf_counter() - t0
+        )
+
+    # -- scheduling ------------------------------------------------------------
+    async def _scheduler(self) -> None:
+        """Drain admission in DRR turns; dispatch batches as slots free."""
+        while True:
+            await self._wake.wait()
+            self._wake.clear()
+            while self.admission.depth and self._dispatching < self.workers:
+                # One scheduling round accumulates several DRR turns (a
+                # single turn grants as little as one unit-cost job, and
+                # a one-job grant can never coalesce) up to the batch
+                # bound, then lets the batcher split the round into
+                # compatible dispatches.
+                grant: List[_Job] = []
+                while len(grant) < self.batcher.max_jobs and self.admission.depth:
+                    turn = self.admission.take(
+                        limit=self.batcher.max_jobs - len(grant)
+                    )
+                    if not turn:
+                        break
+                    grant.extend(turn)
+                if not grant:
+                    break
+                for batch in self.batcher.plan(grant):
+                    self._dispatching += 1
+                    task = asyncio.get_running_loop().create_task(
+                        self._dispatch(batch)
+                    )
+                    self._dispatch_tasks.add(task)
+                    task.add_done_callback(self._dispatch_tasks.discard)
+            self.metrics.gauge("service.pool.busy").set(self._dispatching)
+
+    async def _dispatch(self, batch: List[_Job]) -> None:
+        """Run one batch on the pool; crash-capture and resolve futures."""
+        now = time.perf_counter()
+        for job in batch:
+            job.emit("running", batch_size=len(batch))
+        self.metrics.counter("service.dispatches").inc()
+        self.metrics.counter("service.dispatched_jobs").inc(len(batch))
+        generation = self._pool_generation
+        loop = asyncio.get_running_loop()
+        try:
+            artifacts = await loop.run_in_executor(
+                self._pool, execute_batch, [j.spec.to_dict() for j in batch]
+            )
+        except BrokenExecutor as exc:
+            # A worker the OS killed takes its batch, not the service:
+            # record crash artifacts and rebuild the pool once.
+            self.metrics.counter("service.pool.crashes").inc()
+            if generation == self._pool_generation and not self._closed:
+                self._pool.shutdown(wait=False, cancel_futures=True)
+                self._new_pool()
+                self.pool_rebuilds += 1
+            artifacts = [
+                failure_artifact(j.spec, "crash", f"worker process died: {exc!r}")
+                for j in batch
+            ]
+        except asyncio.CancelledError:
+            for job in batch:
+                if not job.future.done():
+                    job.future.set_result(
+                        failure_artifact(job.spec, "error", "service closed")
+                    )
+                self._inflight.pop(job.spec_hash, None)
+            raise
+        except Exception as exc:  # pool plumbing, not run errors
+            artifacts = [
+                failure_artifact(j.spec, "error", f"dispatch failed: {exc!r}")
+                for j in batch
+            ]
+        finally:
+            self._dispatching -= 1
+            if self._wake is not None:
+                self._wake.set()
+        for job, artifact in zip(batch, artifacts):
+            if artifact.get("spec_hash"):
+                self.cache.put(artifact)
+            self.metrics.distribution("service.submit.queue_wait_s").observe(
+                max(0.0, now - job.enqueued_at)
+            )
+            self.metrics.timer("service.run.elapsed").add(
+                max(0.0, artifact.get("elapsed_s") or 0.0)
+            )
+            job.emit("done", status=artifact.get("status"))
+            if not job.future.done():
+                job.future.set_result(artifact)
+            self._inflight.pop(job.spec_hash, None)
+
+    # -- observability ---------------------------------------------------------
+    def stats(self) -> dict:
+        """One JSON-ready snapshot of every service-layer counter."""
+        latency = self.metrics.distribution("service.submit.latency_s")
+        queue_wait = self.metrics.distribution("service.submit.queue_wait_s")
+        return {
+            "requests": self.requests,
+            "coalesced": self.coalesced,
+            "cache": self.cache.stats(),
+            "admission": self.admission.stats(),
+            "batching": self.batcher.stats(),
+            "pool": {
+                "backend": "process" if self.use_processes else "thread",
+                "workers": self.workers,
+                "rebuilds": self.pool_rebuilds,
+                "dispatching": self._dispatching,
+            },
+            "latency": latency.to_dict(),
+            "queue_wait": queue_wait.to_dict(),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Service(workers={self.workers}, requests={self.requests}, "
+            f"queue={self.admission.depth})"
+        )

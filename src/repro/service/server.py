@@ -1,0 +1,206 @@
+"""The service front end: newline-delimited JSON over TCP or stdio.
+
+One protocol, two transports. Each request is a single JSON line; each
+response line carries the request's ``id`` so one connection can
+multiplex many in-flight submissions:
+
+request lines
+    ``{"op": "submit", "id": "1", "spec": {...}, "tenant": "t"}``
+        run (or serve) a :class:`~repro.spec.RunSpec` dict;
+    ``{"op": "stats", "id": "2"}``
+        snapshot of :meth:`~repro.service.core.Service.stats`;
+    ``{"op": "ping", "id": "3"}`` / ``{"op": "shutdown"}``
+        liveness probe / orderly server stop.
+
+response lines (all tagged with the request ``id``)
+    progress events ``{"id", "event": "queued" | "running" | "done"}``
+    streamed as the job advances, then exactly one terminal line:
+    ``{"id", "event": "result", "artifact": {...}}`` — the full
+    artifact, ``result`` payload and ``cached`` provenance included —
+    or ``{"id", "event": "error", "error": "..."}`` for requests that
+    never became a job (malformed JSON, invalid spec).
+
+Writes from concurrent jobs are serialized through one writer queue per
+connection, so event lines never interleave mid-line. The TCP transport
+(:func:`serve`) prints ``service listening on HOST:PORT`` once bound —
+with ``port=0`` the kernel picks the port, which is how tests and the
+smoke example avoid collisions. The stdio transport (:func:`serve_stdio`)
+reads requests from stdin until EOF: no sockets at all, which makes it
+trivially scriptable (``repro service serve --stdio < requests.jsonl``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+from typing import Optional, TextIO
+
+from repro.service.core import Service
+from repro.spec import RunSpec
+
+
+class _LineWriter:
+    """Serialize response lines from concurrent tasks onto one sink."""
+
+    def __init__(self):
+        self.queue: "asyncio.Queue[Optional[str]]" = asyncio.Queue()
+
+    def send(self, payload: dict) -> None:
+        """Queue one JSON line (compact, sorted keys: deterministic)."""
+        self.queue.put_nowait(json.dumps(payload, sort_keys=True,
+                                         separators=(",", ":")))
+
+    async def drain_to_stream(self, writer: asyncio.StreamWriter) -> None:
+        """Writer task for the TCP transport; ends on the None sentinel."""
+        while True:
+            line = await self.queue.get()
+            if line is None:
+                break
+            writer.write(line.encode() + b"\n")
+            try:
+                await writer.drain()
+            except ConnectionError:
+                break
+
+    async def drain_to_file(self, out: TextIO) -> None:
+        """Writer task for the stdio transport."""
+        while True:
+            line = await self.queue.get()
+            if line is None:
+                break
+            out.write(line + "\n")
+            out.flush()
+
+
+async def _handle_line(service: Service, line: str, out: _LineWriter,
+                       stop: asyncio.Event) -> None:
+    """Decode and execute one request line; never raises."""
+    try:
+        msg = json.loads(line)
+        if not isinstance(msg, dict):
+            raise ValueError("request must be a JSON object")
+    except ValueError as exc:
+        out.send({"id": None, "event": "error", "error": f"bad request: {exc}"})
+        return
+    req_id = msg.get("id")
+    op = msg.get("op", "submit")
+    if op == "ping":
+        out.send({"id": req_id, "event": "pong"})
+        return
+    if op == "stats":
+        out.send({"id": req_id, "event": "stats", "stats": service.stats()})
+        return
+    if op == "shutdown":
+        out.send({"id": req_id, "event": "stopping"})
+        stop.set()
+        return
+    if op != "submit":
+        out.send({"id": req_id, "event": "error", "error": f"unknown op {op!r}"})
+        return
+    try:
+        spec = RunSpec.from_dict(msg.get("spec") or {})
+    except Exception as exc:
+        out.send({"id": req_id, "event": "error", "error": f"invalid spec: {exc}"})
+        return
+    tenant = str(msg.get("tenant", "default"))
+    artifact = await service.submit(
+        spec, tenant=tenant,
+        on_event=lambda ev: out.send({"id": req_id, **ev}),
+    )
+    out.send({"id": req_id, "event": "result", "artifact": artifact})
+
+
+async def _read_requests(service: Service, reader: asyncio.StreamReader,
+                         out: _LineWriter, stop: asyncio.Event) -> None:
+    """Fan request lines out as concurrent tasks until EOF/shutdown."""
+    pending = set()
+    while not stop.is_set():
+        read = asyncio.ensure_future(reader.readline())
+        halt = asyncio.ensure_future(stop.wait())
+        done, _ = await asyncio.wait({read, halt},
+                                     return_when=asyncio.FIRST_COMPLETED)
+        halt.cancel()
+        if read not in done:
+            read.cancel()
+            break
+        line = read.result()
+        if not line:
+            break
+        text = line.decode(errors="replace").strip()
+        if not text:
+            continue
+        task = asyncio.ensure_future(_handle_line(service, text, out, stop))
+        pending.add(task)
+        task.add_done_callback(pending.discard)
+    if pending:
+        await asyncio.gather(*pending, return_exceptions=True)
+
+
+async def serve(
+    service: Service,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    ready: Optional[asyncio.Event] = None,
+    announce: TextIO = None,
+) -> None:
+    """Run the TCP front end until a client sends ``shutdown``.
+
+    Announces ``service listening on HOST:PORT`` (stdout by default) so
+    callers that asked for an ephemeral port (``port=0``) learn where to
+    connect; ``ready`` is set once the socket is bound. The bound port
+    is also recorded on ``service.bound_port``.
+    """
+    stop = asyncio.Event()
+
+    async def handle(reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        out = _LineWriter()
+        pump = asyncio.ensure_future(out.drain_to_stream(writer))
+        try:
+            await _read_requests(service, reader, out, stop)
+        finally:
+            out.queue.put_nowait(None)
+            try:
+                await pump
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                # Loop teardown after `shutdown` cancels lingering
+                # handlers mid-cleanup; the connection is going away
+                # either way, so finish quietly.
+                pump.cancel()
+
+    await service.start()
+    server = await asyncio.start_server(handle, host=host, port=port)
+    bound = server.sockets[0].getsockname()[1]
+    service.bound_port = bound
+    print(f"service listening on {host}:{bound}",
+          file=announce or sys.stdout, flush=True)
+    if ready is not None:
+        ready.set()
+    async with server:
+        await stop.wait()
+
+
+async def serve_stdio(service: Service, stdin: TextIO = None,
+                      stdout: TextIO = None) -> None:
+    """Run the protocol over stdin/stdout until EOF or ``shutdown``.
+
+    No sockets: requests stream in on stdin, responses out on stdout,
+    one JSON document per line — the transport CI smoke tests and shell
+    pipelines use.
+    """
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+    out = _LineWriter()
+    pump = asyncio.ensure_future(out.drain_to_file(stdout or sys.stdout))
+    reader = asyncio.StreamReader()
+    await loop.connect_read_pipe(
+        lambda: asyncio.StreamReaderProtocol(reader), stdin or sys.stdin
+    )
+    await service.start()
+    try:
+        await _read_requests(service, reader, out, stop)
+    finally:
+        out.queue.put_nowait(None)
+        await pump

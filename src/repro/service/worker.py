@@ -1,0 +1,31 @@
+"""The service's pool-worker entry point.
+
+One module-level function, picklable by ``concurrent.futures``, that a
+worker process runs per *dispatch* — a batch of one or more spec dicts
+coalesced by the :class:`~repro.service.batching.Batcher`. Executing a
+whole batch inside one call is the round-trip amortization: one pickle,
+one wake-up, N runs.
+
+Every spec executes through :func:`repro.api.run_to_artifact`, which
+never raises — a failing run becomes an ``error`` artifact and the rest
+of the batch still executes. A worker the OS kills outright surfaces as
+``BrokenProcessPool`` in the service's dispatch task, which fails just
+that batch (``crash`` artifacts) and rebuilds the pool; the service
+itself never goes down with a worker.
+
+Note the nested-pool guard: these workers are already child processes,
+so a spec asking for ``executor="process"`` is downgraded to the thread
+executor by :func:`repro.parallel.make_executor` instead of forking
+grandchildren.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def execute_batch(spec_dicts: Sequence[Dict]) -> List[dict]:
+    """Run every spec dict in order; one artifact each, never raises."""
+    from repro import api
+
+    return [api.run_to_artifact(d) for d in spec_dicts]

@@ -210,12 +210,52 @@ class RunSpec:
     def canonical_hash(self) -> str:
         """Hex digest identifying this run's configuration.
 
-        Taken over the normalized dict with sorted keys, so key order,
-        omitted defaults and machine-profile shorthands never produce
-        distinct hashes for the same run.
+        Taken over the normalized dict with sorted keys, so key order
+        and omitted defaults never produce distinct hashes for the same
+        run: ``nb=None`` hashes like the explicit kind default, hybrid
+        ``lookahead=None`` like ``"pipelined"``, and a ``grid`` override
+        like its expanded ``p``/``q``. Every *normalized field* is
+        identity-relevant — including the ``machine`` profile name, so a
+        shorthand spec and one spelling out the same ``cards``/``mem_gb``
+        deliberately hash apart (the profile pins future defaults too).
+
+        This digest is the cache key of the whole system: campaign
+        artifacts live at ``runs/<hash>.json`` and the benchmark
+        service (:mod:`repro.service`) serves repeat configurations by
+        it instead of re-executing them.
         """
         blob = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(blob.encode()).hexdigest()[:_HASH_LEN]
+
+    # -- service scheduling hints -----------------------------------------
+    def batch_key(self) -> Tuple[str, str, bool, str]:
+        """Dispatch-compatibility key for service request batching.
+
+        Jobs sharing this key — same kind, machine profile, numeric
+        mode and executor backend — may ride in one worker dispatch
+        (:class:`repro.service.batching.Batcher`): the worker executes
+        lookalike runs back to back, amortizing the process round-trip.
+        """
+        s = self.normalized()
+        return (s.kind, s.machine or "", bool(s.numeric), s.executor)
+
+    def cost_units(self) -> float:
+        """Coarse relative-work estimate for fair scheduling.
+
+        Units are "one cheap model run ≈ 1". Numeric and distributed
+        runs really factor an ``n × n`` matrix, so they charge by flop
+        count (``2n³/3``, one unit per 10⁸ flops); analytic model runs
+        charge by panel-stage count, which is what their simulation
+        loop iterates. Deficit round-robin admission
+        (:class:`repro.service.admission.AdmissionController`) charges
+        tenants these units, and the batcher refuses to coalesce jobs
+        above its ``max_cost_units`` threshold.
+        """
+        s = self.normalized()
+        stages = max(1, -(-s.n // s.nb))
+        if s.kind == "distributed" or s.numeric:
+            return max(1.0, (2 * s.n**3 / 3) / 1e8)
+        return max(1.0, stages / 32)
 
     def with_overrides(self, overrides: Mapping[str, Any]) -> "RunSpec":
         """A copy with campaign-axis overrides applied.

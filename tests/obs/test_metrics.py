@@ -65,7 +65,7 @@ class TestRegistry:
         reg.gauge("g").set(0.5)
         reg.timer("t").add(1.0)
         d = reg.to_dict()
-        assert set(d) == {"counters", "gauges", "timers"}
+        assert set(d) == {"counters", "gauges", "timers", "distributions"}
         assert list(d["counters"]) == ["a", "b"]
         assert d["timers"]["t"] == {
             "total_s": 1.0,

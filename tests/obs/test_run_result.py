@@ -36,7 +36,7 @@ def _schema_check(r, kind):
         assert name in d, f"{kind} result missing canonical field {name}"
         assert isinstance(d[name], (int, float))
     assert isinstance(d["metrics"], dict)
-    assert set(d["metrics"]) == {"counters", "gauges", "timers"}
+    assert set(d["metrics"]) == {"counters", "gauges", "timers", "distributions"}
     return d
 
 

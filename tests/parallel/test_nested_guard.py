@@ -1,0 +1,86 @@
+"""The nested-process-pool guard in make_executor.
+
+Campaign and service pool workers are already child processes; a spec
+reaching them with ``executor="process"`` must not fork grandchild
+pools (core oversubscription, multiplied spawn cost, orphaned process
+trees when the middle layer dies). ``make_executor`` downgrades to the
+thread executor with a warning instead.
+"""
+
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.parallel.executor import TileExecutor, make_executor
+
+
+def _probe_in_child(_):
+    """Runs inside a real pool worker: what does make_executor build?"""
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        ex = make_executor("process", workers=2)
+        try:
+            return (
+                type(ex).__name__,
+                ex.backend,
+                [str(w.message) for w in caught],
+            )
+        finally:
+            ex.close()
+
+
+class TestNestedPoolGuard:
+    def test_parent_process_still_gets_a_process_executor(self):
+        ex = make_executor("process", workers=2)
+        try:
+            assert ex.backend == "process"
+            assert type(ex).__name__ == "ProcessTileExecutor"
+        finally:
+            ex.close()
+
+    def test_child_process_downgrades_to_threads_with_warning(self):
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            name, backend, messages = pool.submit(_probe_in_child, 0).result(
+                timeout=120
+            )
+        assert name == "TileExecutor"
+        assert backend == "thread"
+        assert any("nesting pools" in m for m in messages)
+
+    def test_guard_trips_on_parent_process_probe(self, monkeypatch):
+        import multiprocessing
+
+        monkeypatch.setattr(
+            multiprocessing, "parent_process", lambda: object()
+        )
+        with pytest.warns(RuntimeWarning, match="child process"):
+            ex = make_executor("process", workers=2)
+        assert isinstance(ex, TileExecutor)
+        ex.close()
+
+    def test_thread_backend_is_never_warned_about(self, monkeypatch):
+        import multiprocessing
+
+        monkeypatch.setattr(
+            multiprocessing, "parent_process", lambda: object()
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            ex = make_executor("thread", workers=2)
+        assert isinstance(ex, TileExecutor)
+        ex.close()
+
+    def test_service_worker_spec_downgrades_inside_pool(self):
+        """End to end: a numeric spec asking for process tiles executes
+        fine from inside a pool worker (the path service workers take)."""
+        from repro.api import run_to_artifact
+
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            artifact = pool.submit(
+                run_to_artifact,
+                {"kind": "native", "n": 256, "nb": 64, "numeric": True,
+                 "executor": "process", "workers": 2},
+            ).result(timeout=120)
+        assert artifact["status"] == "ok"
+        assert artifact["result"]["passed"] is True

@@ -1,0 +1,127 @@
+"""Batcher: coalescing rules, cost ceiling, order preservation."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.service.batching import Batcher
+from repro.spec import RunSpec
+
+
+def job(key="k", cost=1.0):
+    return SimpleNamespace(key=key, cost=cost)
+
+
+def batcher(**kw):
+    kw.setdefault("key", lambda j: j.key)
+    kw.setdefault("cost", lambda j: j.cost)
+    return Batcher(**kw)
+
+
+class TestPlan:
+    def test_compatible_jobs_coalesce_up_to_max(self):
+        b = batcher(max_jobs=3)
+        jobs = [job() for _ in range(7)]
+        plan = b.plan(jobs)
+        assert [len(batch) for batch in plan] == [3, 3, 1]
+        assert [j for batch in plan for j in batch] == jobs
+
+    def test_key_change_starts_a_new_batch(self):
+        b = batcher()
+        jobs = [job("a"), job("a"), job("b"), job("a")]
+        plan = b.plan(jobs)
+        # Only *consecutive* compatibility merges: scheduling order is
+        # the fairness layer's decision and is never reordered.
+        assert [len(batch) for batch in plan] == [2, 1, 1]
+
+    def test_costly_job_always_dispatches_alone(self):
+        b = batcher(max_cost_units=2.0)
+        jobs = [job(), job(cost=5.0), job()]
+        plan = b.plan(jobs)
+        assert [len(batch) for batch in plan] == [1, 1, 1]
+        assert plan[1] == [jobs[1]]
+
+    def test_two_costly_jobs_with_same_key_do_not_merge(self):
+        b = batcher(max_cost_units=2.0)
+        plan = b.plan([job(cost=9.0), job(cost=9.0)])
+        assert [len(batch) for batch in plan] == [1, 1]
+
+    def test_max_jobs_one_disables_coalescing(self):
+        b = batcher(max_jobs=1)
+        assert [len(x) for x in b.plan([job(), job()])] == [1, 1]
+
+    def test_empty_plan(self):
+        assert batcher().plan([]) == []
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            Batcher(max_jobs=0)
+        with pytest.raises(ValueError):
+            Batcher(max_cost_units=0)
+
+
+class TestSpecDefaults:
+    def test_default_key_and_cost_come_from_the_spec(self):
+        b = Batcher(max_jobs=4)
+        jobs = [SimpleNamespace(spec=RunSpec(kind="hybrid", n=n))
+                for n in (6000, 12000, 24000)]
+        # Same kind/machine/numeric/executor: one batch despite distinct n.
+        assert [len(x) for x in b.plan(jobs)] == [3]
+
+    def test_different_kind_never_merges(self):
+        b = Batcher(max_jobs=4)
+        jobs = [SimpleNamespace(spec=RunSpec(kind="hybrid", n=12000)),
+                SimpleNamespace(spec=RunSpec(kind="native", n=2000))]
+        assert [len(x) for x in b.plan(jobs)] == [1, 1]
+
+    def test_numeric_run_is_too_costly_to_batch(self):
+        # A real factorization's cost estimate dwarfs the default
+        # ceiling; it must never delay a batch of model runs.
+        b = Batcher(max_jobs=4)
+        jobs = [SimpleNamespace(spec=RunSpec(kind="hybrid", n=12000)),
+                SimpleNamespace(
+                    spec=RunSpec(kind="native", n=2000, numeric=True)),
+                SimpleNamespace(spec=RunSpec(kind="hybrid", n=12000, nb=600))]
+        assert [len(x) for x in b.plan(jobs)] == [1, 1, 1]
+
+
+class TestSpecHelpers:
+    def test_batch_key_ignores_presentation_only_differences(self):
+        a = RunSpec(kind="hybrid", n=6000)
+        b = RunSpec(kind="hybrid", n=24000, nb=600, seed=7)
+        assert a.batch_key() == b.batch_key()
+
+    def test_batch_key_separates_execution_modes(self):
+        base = RunSpec(kind="hybrid", n=12000)
+        assert base.batch_key() != RunSpec(kind="native", n=2000).batch_key()
+        assert (base.batch_key()
+                != RunSpec(kind="hybrid", n=12000, numeric=True).batch_key())
+        assert (base.batch_key()
+                != RunSpec(kind="hybrid", n=12000,
+                           machine="knc-2card-64gb").batch_key())
+
+    def test_cost_units_orders_model_below_numeric(self):
+        model = RunSpec(kind="hybrid", n=12000).cost_units()
+        numeric = RunSpec(kind="native", n=2000, numeric=True).cost_units()
+        dist = RunSpec(kind="distributed", n=2000, nb=100,
+                       p=2, q=2).cost_units()
+        assert model >= 1.0
+        assert numeric > model and dist > model
+        # Bigger problems cost more within a mode.
+        assert (RunSpec(kind="hybrid", n=96000).cost_units()
+                >= RunSpec(kind="hybrid", n=12000).cost_units())
+
+
+class TestStats:
+    def test_counters_accumulate_and_publish(self):
+        b = batcher(max_jobs=4)
+        b.plan([job(), job(), job()])
+        b.plan([job("x"), job("y")])
+        s = b.stats()
+        assert s == {"batches": 3, "jobs": 5, "coalesced": 2, "largest": 3}
+        reg = MetricsRegistry()
+        b.publish(reg)
+        assert reg.counter("service.batch.jobs").value == 5
+        assert reg.counter("service.batch.coalesced").value == 2
+        assert reg.gauge("service.batch.largest").value == 3

@@ -1,0 +1,161 @@
+"""ResultCache: tiers, LRU, status filtering, artifact helpers."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.service.cache import (
+    SCHEMA,
+    ResultCache,
+    failure_artifact,
+    load_artifact,
+    ok_artifact,
+)
+from repro.spec import RunSpec
+
+SPEC = RunSpec(kind="hybrid", n=12000)
+
+
+def _ok(n=12000):
+    s = RunSpec(kind="hybrid", n=n)
+    return ok_artifact(s, {"gflops": 1.0, "n": n}, elapsed_s=0.01)
+
+
+class TestArtifactHelpers:
+    def test_ok_artifact_shape(self):
+        doc = ok_artifact(SPEC, {"gflops": 2.0}, elapsed_s=0.5)
+        assert doc["schema"] == SCHEMA
+        assert doc["status"] == "ok"
+        assert doc["spec_hash"] == SPEC.canonical_hash()
+        assert doc["spec"] == SPEC.to_dict()
+        assert doc["elapsed_s"] == 0.5
+        assert doc["result"] == {"gflops": 2.0}
+
+    def test_failure_artifact_shape(self):
+        doc = failure_artifact(SPEC, "timeout", "too slow")
+        assert doc["schema"] == SCHEMA
+        assert doc["status"] == "timeout"
+        assert doc["error"] == "too slow"
+        assert doc["elapsed_s"] is None
+        assert doc["spec_hash"] == SPEC.canonical_hash()
+
+    def test_load_artifact_rejects_foreign_schema(self, tmp_path):
+        p = tmp_path / "x.json"
+        p.write_text(json.dumps({"schema": "campaign-run-v999", "status": "ok"}))
+        assert load_artifact(p) is None
+        p.write_text("not json at all")
+        assert load_artifact(p) is None
+        assert load_artifact(tmp_path / "missing.json") is None
+        p.write_text(json.dumps({"schema": SCHEMA, "status": "ok"}))
+        assert load_artifact(p) == {"schema": SCHEMA, "status": "ok"}
+
+
+class TestMemoryTier:
+    def test_put_then_get_serves_a_copy(self):
+        cache = ResultCache()
+        doc = _ok()
+        cache.put(doc)
+        hit = cache.get(doc["spec_hash"])
+        assert hit == doc
+        hit["status"] = "mutated"
+        assert cache.get(doc["spec_hash"])["status"] == "ok"
+
+    def test_miss_returns_none_and_counts(self):
+        cache = ResultCache()
+        assert cache.get("0" * 16) is None
+        assert cache.misses == 1 and cache.requests == 1
+        assert cache.hit_rate == 0.0
+
+    def test_failures_never_served(self):
+        cache = ResultCache()
+        doc = failure_artifact(SPEC, "error", "boom")
+        cache.put(doc)
+        assert cache.get(doc["spec_hash"]) is None
+        assert doc["spec_hash"] not in cache
+
+    def test_lru_evicts_coldest(self):
+        cache = ResultCache(memory_entries=2)
+        a, b, c = _ok(6000), _ok(12000), _ok(24000)
+        cache.put(a)
+        cache.put(b)
+        cache.get(a["spec_hash"])  # refresh a: b becomes coldest
+        cache.put(c)
+        assert cache.evictions == 1
+        assert cache.get(a["spec_hash"]) is not None
+        assert cache.get(c["spec_hash"]) is not None
+        assert cache.get(b["spec_hash"]) is None
+
+    def test_put_requires_spec_hash(self):
+        with pytest.raises(ValueError):
+            ResultCache().put({"schema": SCHEMA, "status": "ok"})
+
+
+class TestDiskTier:
+    def test_put_persists_and_new_instance_serves_from_disk(self, tmp_path):
+        doc = _ok()
+        ResultCache(disk_dir=tmp_path).put(doc)
+        on_disk = json.loads((tmp_path / f"{doc['spec_hash']}.json").read_text())
+        assert on_disk == doc
+
+        fresh = ResultCache(disk_dir=tmp_path)
+        hit = fresh.get(doc["spec_hash"])
+        assert hit == doc
+        assert fresh.hits_disk == 1
+        # Disk hits are promoted: the second lookup is a memory hit.
+        fresh.get(doc["spec_hash"])
+        assert fresh.hits_memory == 1
+
+    def test_failures_persist_to_disk_but_do_not_serve(self, tmp_path):
+        cache = ResultCache(disk_dir=tmp_path)
+        doc = failure_artifact(SPEC, "crash", "killed")
+        cache.put(doc)
+        assert (tmp_path / f"{doc['spec_hash']}.json").exists()
+        assert ResultCache(disk_dir=tmp_path).get(doc["spec_hash"]) is None
+
+    def test_cached_flag_is_never_persisted(self, tmp_path):
+        doc = dict(_ok())
+        doc["cached"] = True
+        cache = ResultCache(disk_dir=tmp_path)
+        cache.put(doc)
+        on_disk = json.loads((tmp_path / f"{doc['spec_hash']}.json").read_text())
+        assert "cached" not in on_disk
+        assert "cached" not in cache.get(doc["spec_hash"])
+
+    def test_memory_entries_zero_is_pure_disk(self, tmp_path):
+        cache = ResultCache(disk_dir=tmp_path, memory_entries=0)
+        doc = _ok()
+        cache.put(doc)
+        assert cache.get(doc["spec_hash"]) == doc
+        assert cache.get(doc["spec_hash"]) == doc
+        assert cache.hits_disk == 2 and cache.hits_memory == 0
+
+    def test_contains_checks_both_tiers(self, tmp_path):
+        doc = _ok()
+        ResultCache(disk_dir=tmp_path).put(doc)
+        fresh = ResultCache(disk_dir=tmp_path)
+        assert doc["spec_hash"] in fresh
+        assert "f" * 16 not in fresh
+
+
+class TestMetrics:
+    def test_lookups_publish_service_cache_counters(self):
+        reg = MetricsRegistry()
+        cache = ResultCache(metrics=reg)
+        doc = _ok()
+        cache.put(doc)
+        cache.get(doc["spec_hash"])
+        cache.get("0" * 16)
+        assert reg.counter("service.cache.stores").value == 1
+        assert reg.counter("service.cache.hits_memory").value == 1
+        assert reg.counter("service.cache.misses").value == 1
+        assert reg.gauge("service.cache.memory_entries").value == 1
+
+    def test_stats_snapshot(self):
+        cache = ResultCache()
+        doc = _ok()
+        cache.put(doc)
+        cache.get(doc["spec_hash"])
+        s = cache.stats()
+        assert s["stores"] == 1 and s["hits_memory"] == 1
+        assert s["hit_rate"] == 1.0

@@ -1,0 +1,138 @@
+"""Cache-key correctness: the canonical hash is the service's identity.
+
+Every layer of the serving stack — result cache, single-flight table,
+campaign resume — keys on ``RunSpec.canonical_hash()``. These tests pin
+the properties that make that safe: stability across processes,
+insensitivity to dict key order, sensitivity to semantic fields, and
+the *documented* collision semantics of presentation fields (a machine
+shorthand hashes differently from its expansion, defaults hash the
+same as their explicit values).
+"""
+
+import json
+import pathlib
+import subprocess
+import sys
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spec import RunSpec
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+
+
+def _spec_dicts():
+    """Valid hybrid-model spec dicts over a few semantic axes."""
+    return st.builds(
+        lambda n, nb, seed, cards: {
+            "kind": "hybrid", "n": 1200 * n, "nb": nb, "seed": seed,
+            "cards": cards,
+        },
+        n=st.integers(min_value=2, max_value=40),
+        nb=st.sampled_from([600, 1200]),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        cards=st.sampled_from([1, 2]),
+    )
+
+
+class TestStability:
+    def test_hash_is_16_hex_chars(self):
+        digest = RunSpec(kind="hybrid", n=12000).canonical_hash()
+        assert len(digest) == 16
+        int(digest, 16)  # raises if not hex
+
+    def test_hash_stable_across_processes(self):
+        """A disk cache written by one process must serve another."""
+        specs = [
+            {"kind": "hybrid", "n": 12000},
+            {"kind": "native", "n": 2000, "numeric": True},
+            {"kind": "distributed", "n": 48, "nb": 8, "p": 2, "q": 2},
+            {"kind": "hybrid", "n": 24000, "machine": "knc-2card-64gb"},
+        ]
+        code = (
+            "import json, sys\n"
+            "from repro.spec import RunSpec\n"
+            "for d in json.load(sys.stdin):\n"
+            "    print(RunSpec.from_dict(d).canonical_hash())\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", code], input=json.dumps(specs),
+            capture_output=True, text=True, timeout=60,
+            env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 0, proc.stderr
+        theirs = proc.stdout.split()
+        ours = [RunSpec.from_dict(d).canonical_hash() for d in specs]
+        assert theirs == ours
+
+    @settings(max_examples=50, deadline=None)
+    @given(_spec_dicts(), st.randoms(use_true_random=False))
+    def test_from_dict_key_order_is_irrelevant(self, doc, rng):
+        items = list(doc.items())
+        rng.shuffle(items)
+        shuffled = dict(items)
+        assert (RunSpec.from_dict(shuffled).canonical_hash()
+                == RunSpec.from_dict(doc).canonical_hash())
+
+    @settings(max_examples=50, deadline=None)
+    @given(_spec_dicts())
+    def test_to_dict_round_trip_preserves_the_hash(self, doc):
+        spec = RunSpec.from_dict(doc)
+        again = RunSpec.from_dict(spec.to_dict())
+        assert again.canonical_hash() == spec.canonical_hash()
+        assert (RunSpec.from_dict(spec.normalized().to_dict()).canonical_hash()
+                == spec.canonical_hash())
+
+
+class TestSensitivity:
+    @settings(max_examples=50, deadline=None)
+    @given(_spec_dicts(), _spec_dicts())
+    def test_distinct_normalized_specs_hash_differently(self, a, b):
+        sa, sb = RunSpec.from_dict(a), RunSpec.from_dict(b)
+        if sa.normalized().to_dict() != sb.normalized().to_dict():
+            assert sa.canonical_hash() != sb.canonical_hash()
+        else:
+            assert sa.canonical_hash() == sb.canonical_hash()
+
+    def test_each_semantic_field_changes_the_hash(self):
+        base = RunSpec(kind="hybrid", n=12000)
+        variants = [
+            RunSpec(kind="hybrid", n=24000),
+            RunSpec(kind="hybrid", n=12000, nb=600),
+            RunSpec(kind="hybrid", n=12000, seed=7),
+            RunSpec(kind="hybrid", n=12000, cards=2),
+            RunSpec(kind="hybrid", n=12000, numeric=True),
+        ]
+        hashes = {base.canonical_hash()}
+        for v in variants:
+            hashes.add(v.canonical_hash())
+        assert len(hashes) == len(variants) + 1
+
+
+class TestDocumentedCollisionSemantics:
+    def test_defaults_hash_like_their_explicit_values(self):
+        """``nb=None`` and the kind's explicit default are one identity:
+        they execute identically, so they must share a cache entry."""
+        implicit = RunSpec(kind="hybrid", n=12000)
+        explicit = RunSpec(kind="hybrid", n=12000,
+                           nb=implicit.normalized().nb)
+        assert implicit.canonical_hash() == explicit.canonical_hash()
+
+    def test_machine_shorthand_does_not_collide_with_its_expansion(self):
+        """Deliberate non-collision: the shorthand names a profile whose
+        parameters may be retuned; hashing it apart from the explicit
+        cards/mem_gb spelling keeps old artifacts from shadowing runs
+        under a retuned profile."""
+        short = RunSpec(kind="hybrid", n=12000, machine="knc-2card-64gb")
+        norm = short.normalized()
+        explicit = RunSpec(kind="hybrid", n=12000,
+                           cards=norm.cards, mem_gb=norm.mem_gb)
+        assert norm.cards == 2  # the shorthand did expand
+        assert short.canonical_hash() != explicit.canonical_hash()
+
+    def test_normalization_is_idempotent_for_hashing(self):
+        spec = RunSpec(kind="distributed", n=48, nb=8, p=2, q=2)
+        assert (spec.normalized().canonical_hash()
+                == spec.canonical_hash()
+                == spec.normalized().normalized().canonical_hash())

@@ -1,0 +1,406 @@
+"""Service end-to-end: cache hits, single-flight, shedding, crashes.
+
+All tests drive the asyncio engine through ``asyncio.run`` from plain
+sync tests (no async test plugin needed) and use thread workers —
+process isolation is covered separately by the CLI/server smoke and the
+campaign pool tests; here instant startup and monkeypatchable dispatch
+matter more.
+"""
+
+import asyncio
+import json
+import threading
+from concurrent.futures import BrokenExecutor
+
+import pytest
+
+from repro.service import ResultCache, Service
+from repro.service import core as service_core
+from repro.spec import RunSpec
+
+SPEC = RunSpec(kind="hybrid", n=12000)
+
+
+def svc(**kw):
+    kw.setdefault("use_processes", False)
+    kw.setdefault("workers", 2)
+    return Service(**kw)
+
+
+class BlockedPool:
+    """Monkeypatch plumbing: stall the first dispatch until released."""
+
+    def __init__(self, monkeypatch, fail=None):
+        self.sizes = []
+        self.entered = threading.Event()
+        self.release = threading.Event()
+        self.fail = fail
+        real = service_core.execute_batch
+
+        def patched(spec_dicts):
+            self.sizes.append(len(spec_dicts))
+            if len(self.sizes) == 1:
+                self.entered.set()
+                self.release.wait(30)
+                if self.fail is not None:
+                    raise self.fail
+            return real(spec_dicts)
+
+        monkeypatch.setattr(service_core, "execute_batch", patched)
+
+    async def wait_entered(self):
+        await asyncio.get_running_loop().run_in_executor(
+            None, self.entered.wait
+        )
+
+
+class TestCacheFastPath:
+    def test_second_submit_is_served_cached_and_byte_identical(self):
+        async def main():
+            async with svc() as s:
+                first = await s.submit(SPEC)
+                second = await s.submit(SPEC)
+                return first, second, s.cache.stats()
+
+        first, second, stats = asyncio.run(main())
+        assert first["status"] == "ok" and first["cached"] is False
+        assert second["cached"] is True
+        assert stats["stores"] == 1 and stats["hits_memory"] == 1
+        # The acceptance bar: spec_hash and the numeric result payload
+        # of a cached serve are byte-identical to the fresh run's.
+        assert second["spec_hash"] == first["spec_hash"]
+        assert (json.dumps(second["result"], sort_keys=True)
+                == json.dumps(first["result"], sort_keys=True))
+
+    def test_cache_hit_never_touches_a_worker(self):
+        async def main():
+            async with svc() as s:
+                await s.submit(SPEC)
+                dispatched = s.metrics.counter("service.dispatched_jobs").value
+                await s.submit(SPEC)
+                await s.submit(SPEC)
+                return dispatched, s.metrics.counter(
+                    "service.dispatched_jobs").value
+
+        before, after = asyncio.run(main())
+        assert before == 1 and after == 1
+
+    def test_dict_specs_are_coerced(self):
+        async def main():
+            async with svc() as s:
+                return await s.submit({"kind": "hybrid", "n": 12000})
+
+        assert asyncio.run(main())["status"] == "ok"
+
+    def test_non_spec_rejected_with_type_error(self):
+        async def main():
+            async with svc() as s:
+                await s.submit(42)
+
+        with pytest.raises(TypeError):
+            asyncio.run(main())
+
+    def test_prewarmed_disk_cache_serves_without_execution(self, tmp_path):
+        async def warm():
+            async with svc(cache_dir=tmp_path) as s:
+                await s.submit(SPEC)
+
+        async def serve():
+            async with svc(cache_dir=tmp_path) as s:
+                art = await s.submit(SPEC)
+                return art, s.cache.stats()
+
+        asyncio.run(warm())
+        art, stats = asyncio.run(serve())
+        assert art["cached"] is True
+        assert stats["hits_disk"] == 1 and stats["stores"] == 0
+
+
+class TestSingleFlight:
+    def test_16_way_duplicate_burst_executes_exactly_once(self):
+        async def main():
+            async with svc() as s:
+                results = await asyncio.gather(
+                    *(s.submit(SPEC) for _ in range(16))
+                )
+                return results, s
+
+        results, s = asyncio.run(main())
+        assert all(r["status"] == "ok" for r in results)
+        assert {r["spec_hash"] for r in results} == {SPEC.canonical_hash()}
+        # Exactly one execution: one store, one dispatched job.
+        assert s.cache.stats()["stores"] == 1
+        assert s.metrics.counter("service.dispatched_jobs").value == 1
+        followers = [r for r in results if r.get("coalesced")]
+        assert len(followers) == 15 and s.coalesced == 15
+
+    def test_distinct_specs_are_not_coalesced(self):
+        async def main():
+            async with svc() as s:
+                a, b = await asyncio.gather(
+                    s.submit(RunSpec(kind="hybrid", n=6000)),
+                    s.submit(RunSpec(kind="hybrid", n=12000)),
+                )
+                return a, b, s.coalesced
+
+        a, b, coalesced = asyncio.run(main())
+        assert a["spec_hash"] != b["spec_hash"]
+        assert coalesced == 0
+
+
+class TestAdmission:
+    def test_overload_is_shed_with_an_explicit_rejected_artifact(
+        self, monkeypatch
+    ):
+        blocked = BlockedPool(monkeypatch)
+
+        async def main():
+            async with svc(workers=1, max_queue=2, batch_max=1) as s:
+                first = asyncio.ensure_future(
+                    s.submit(RunSpec(kind="hybrid", n=6000))
+                )
+                await blocked.wait_entered()
+                queued = [
+                    asyncio.ensure_future(
+                        s.submit(RunSpec(kind="hybrid", n=12000 + 1200 * i))
+                    )
+                    for i in range(2)
+                ]
+                await asyncio.sleep(0.05)  # let the queue fill
+                shed = await s.submit(RunSpec(kind="hybrid", n=48000))
+                blocked.release.set()
+                served = await asyncio.gather(first, *queued)
+                return shed, served, s.admission.stats()
+
+        shed, served, stats = asyncio.run(main())
+        assert shed["status"] == "rejected"
+        assert "admission queue full" in shed["error"]
+        assert shed["cached"] is False
+        assert all(r["status"] == "ok" for r in served)
+        assert stats["rejected"] == 1
+
+    def test_close_fails_stranded_jobs_instead_of_hanging(self, monkeypatch):
+        blocked = BlockedPool(monkeypatch)
+
+        async def main():
+            s = svc(workers=1, batch_max=1)
+            await s.start()
+            running = asyncio.ensure_future(
+                s.submit(RunSpec(kind="hybrid", n=6000))
+            )
+            await blocked.wait_entered()
+            queued = asyncio.ensure_future(
+                s.submit(RunSpec(kind="hybrid", n=12000))
+            )
+            await asyncio.sleep(0.05)
+            await s.close()
+            blocked.release.set()
+            return await asyncio.gather(running, queued)
+
+        running, queued = asyncio.run(main())
+        assert running["status"] == "error"
+        assert queued["status"] == "error"
+        assert "service closed" in queued["error"]
+
+
+class TestBatching:
+    def test_queued_compatible_jobs_coalesce_into_one_dispatch(
+        self, monkeypatch
+    ):
+        blocked = BlockedPool(monkeypatch)
+
+        async def main():
+            async with svc(workers=1, batch_max=8) as s:
+                first = asyncio.ensure_future(
+                    s.submit(RunSpec(kind="native", n=2000))
+                )
+                await blocked.wait_entered()
+                followers = [
+                    asyncio.ensure_future(
+                        s.submit(RunSpec(kind="hybrid", n=6000 + 1200 * i))
+                    )
+                    for i in range(6)
+                ]
+                await asyncio.sleep(0.05)
+                blocked.release.set()
+                results = await asyncio.gather(first, *followers)
+                return results, blocked.sizes, s.batcher.stats()
+
+        results, sizes, stats = asyncio.run(main())
+        assert all(r["status"] == "ok" for r in results)
+        assert sizes == [1, 6]  # six compatible jobs, one round-trip
+        assert stats["coalesced"] == 5 and stats["largest"] == 6
+
+
+class TestCrashCapture:
+    def test_broken_pool_fails_only_its_batch_and_rebuilds(self, monkeypatch):
+        blocked = BlockedPool(
+            monkeypatch, fail=BrokenExecutor("worker died")
+        )
+
+        async def main():
+            async with svc(workers=1, batch_max=1) as s:
+                doomed = asyncio.ensure_future(
+                    s.submit(RunSpec(kind="hybrid", n=6000))
+                )
+                await blocked.wait_entered()
+                survivor = asyncio.ensure_future(
+                    s.submit(RunSpec(kind="hybrid", n=12000))
+                )
+                blocked.release.set()
+                return await asyncio.gather(doomed, survivor), s
+
+        (doomed, survivor), s = asyncio.run(main())
+        assert doomed["status"] == "crash"
+        assert "worker process died" in doomed["error"]
+        assert survivor["status"] == "ok"  # the service stayed up
+        assert s.pool_rebuilds == 1
+        assert s.metrics.counter("service.pool.crashes").value == 1
+
+    def test_crash_artifacts_are_not_served_from_cache(self, monkeypatch):
+        blocked = BlockedPool(
+            monkeypatch, fail=BrokenExecutor("worker died")
+        )
+        blocked.release.set()  # fail immediately, no staging needed
+
+        async def main():
+            async with svc(workers=1) as s:
+                first = await s.submit(SPEC)
+                second = await s.submit(SPEC)
+                return first, second
+
+        first, second = asyncio.run(main())
+        assert first["status"] == "crash"
+        # The retry executed (the patched pool only fails once).
+        assert second["status"] == "ok" and second["cached"] is False
+
+
+class TestEventsAndStats:
+    def test_progress_events_stream_in_order(self):
+        events = []
+
+        async def main():
+            async with svc() as s:
+                await s.submit(SPEC, on_event=lambda e: events.append(e))
+                await s.submit(SPEC, on_event=lambda e: events.append(e))
+
+        asyncio.run(main())
+        kinds = [e["event"] for e in events]
+        assert kinds == ["queued", "running", "done", "cached"]
+        assert all(e["spec_hash"] == SPEC.canonical_hash() for e in events)
+
+    def test_listener_errors_never_fail_the_job(self):
+        def bomb(_event):
+            raise RuntimeError("listener bug")
+
+        async def main():
+            async with svc() as s:
+                return await s.submit(SPEC, on_event=bomb)
+
+        assert asyncio.run(main())["status"] == "ok"
+
+    def test_stats_snapshot_shape(self):
+        async def main():
+            async with svc() as s:
+                await s.submit(SPEC)
+                await s.submit(SPEC)
+                return s.stats()
+
+        stats = asyncio.run(main())
+        assert stats["requests"] == 2
+        assert stats["cache"]["stores"] == 1
+        assert stats["pool"]["backend"] == "thread"
+        assert stats["latency"]["count"] == 2
+        assert stats["queue_wait"]["count"] == 1
+        assert stats["latency"]["p99"] >= stats["latency"]["p50"] >= 0.0
+
+    def test_tenants_flow_into_admission_stats(self):
+        async def main():
+            async with svc() as s:
+                await s.submit(RunSpec(kind="hybrid", n=6000), tenant="alice")
+                await s.submit(RunSpec(kind="hybrid", n=12000), tenant="bob")
+                return s.admission.stats()
+
+        stats = asyncio.run(main())
+        assert stats["accepted"] == 2 and stats["served"] == 2
+
+
+class TestCampaignIntegration:
+    """The acceptance criterion, both directions: service and campaign
+    execute through one cache, so neither re-runs the other's work."""
+
+    def _campaign(self):
+        from repro.campaign.spec import CampaignSpec
+
+        return CampaignSpec(
+            name="warm",
+            base={"kind": "hybrid", "n": 12000},
+            axes={"nb": [600, 1200]},
+            workers=0,
+        )
+
+    def test_campaign_over_warm_service_cache_executes_zero_runs(
+        self, tmp_path
+    ):
+        from repro.campaign.runner import run_campaign
+
+        campaign = self._campaign()
+        cache = ResultCache(disk_dir=tmp_path / "runs")
+
+        async def warm():
+            async with svc(cache=cache) as s:
+                for spec in campaign.expand():
+                    await s.submit(spec)
+
+        asyncio.run(warm())
+        report = run_campaign(campaign, tmp_path, cache=cache)
+        assert report.totals["executed"] == 0
+        assert report.totals["cached"] == report.totals["runs"] == 2
+        assert report.totals["ok"] == 2
+
+    def test_service_over_warm_campaign_artifacts_serves_cached(
+        self, tmp_path
+    ):
+        from repro.campaign.runner import run_campaign
+
+        campaign = self._campaign()
+        report = run_campaign(campaign, tmp_path)
+        assert report.totals["executed"] == 2
+
+        async def serve():
+            async with svc(cache_dir=tmp_path / "runs") as s:
+                arts = [await s.submit(spec) for spec in campaign.expand()]
+                return arts, s.cache.stats()
+
+        arts, stats = asyncio.run(serve())
+        assert all(a["cached"] for a in arts)
+        assert stats["stores"] == 0 and stats["hits_disk"] == 2
+
+    def test_shared_cache_artifacts_match_campaign_format(self, tmp_path):
+        from repro.campaign.runner import run_campaign
+
+        campaign = self._campaign()
+        cache = ResultCache(disk_dir=tmp_path / "runs")
+
+        async def warm():
+            async with svc(cache=cache) as s:
+                for spec in campaign.expand():
+                    await s.submit(spec)
+
+        asyncio.run(warm())
+        service_docs = {
+            p.name: p.read_text()
+            for p in sorted((tmp_path / "runs").glob("*.json"))
+        }
+        run_campaign(self._campaign(), tmp_path / "fresh")
+        campaign_docs = {
+            p.name: p.read_text()
+            for p in sorted((tmp_path / "fresh" / "runs").glob("*.json"))
+        }
+        assert set(service_docs) == set(campaign_docs)
+        for name in service_docs:
+            ours = json.loads(service_docs[name])
+            theirs = json.loads(campaign_docs[name])
+            # elapsed_s is wall clock; everything else is byte-identical.
+            ours.pop("elapsed_s"), theirs.pop("elapsed_s")
+            assert ours == theirs

@@ -148,6 +148,77 @@ def test_reduction_efficiency_drop_is_a_regression(alloc_dirs):
     assert "pool_reduction_efficiency" in proc.stderr
 
 
+LATENCY_ROWS = [
+    {"bench": "service", "mode": "serving",
+     "submit_p99_latency_s": 0.004, "queue_wait_p50_s": 0.001,
+     "cache_hit_speedup": 500.0, "requests_per_s": 2000.0,
+     "cold_run_s": 0.08},
+]
+
+
+@pytest.fixture
+def latency_dirs(tmp_path):
+    base = tmp_path / "baseline"
+    cur = tmp_path / "current"
+    base.mkdir()
+    cur.mkdir()
+    (base / "service.json").write_text(json.dumps(LATENCY_ROWS))
+    return base, cur
+
+
+def test_latency_increase_is_a_regression(latency_dirs):
+    base, cur = latency_dirs
+    slower = json.loads(json.dumps(LATENCY_ROWS))
+    slower[0]["submit_p99_latency_s"] *= 2.0
+    (cur / "service.json").write_text(json.dumps(slower))
+    proc = run_gate(base, cur)
+    assert proc.returncode == 1
+    assert "submit_p99_latency_s" in proc.stderr
+    assert "lower is better" in proc.stderr
+
+
+def test_queue_wait_increase_is_a_regression(latency_dirs):
+    base, cur = latency_dirs
+    slower = json.loads(json.dumps(LATENCY_ROWS))
+    slower[0]["queue_wait_p50_s"] *= 3.0
+    (cur / "service.json").write_text(json.dumps(slower))
+    proc = run_gate(base, cur)
+    assert proc.returncode == 1
+    assert "queue_wait_p50_s" in proc.stderr
+
+
+def test_latency_drop_is_an_improvement(latency_dirs):
+    base, cur = latency_dirs
+    faster = json.loads(json.dumps(LATENCY_ROWS))
+    faster[0]["submit_p99_latency_s"] *= 0.25
+    faster[0]["queue_wait_p50_s"] *= 0.25
+    (cur / "service.json").write_text(json.dumps(faster))
+    proc = run_gate(base, cur)
+    assert proc.returncode == 0, proc.stderr
+    assert "improved" in proc.stdout
+
+
+def test_speedup_and_throughput_drop_are_regressions(latency_dirs):
+    """cache_hit_speedup / requests_per_s gate higher-is-better."""
+    base, cur = latency_dirs
+    worse = json.loads(json.dumps(LATENCY_ROWS))
+    worse[0]["cache_hit_speedup"] = 100.0
+    worse[0]["requests_per_s"] = 400.0
+    (cur / "service.json").write_text(json.dumps(worse))
+    proc = run_gate(base, cur)
+    assert proc.returncode == 1
+    assert "cache_hit_speedup" in proc.stderr
+    assert "requests_per_s" in proc.stderr
+
+
+def test_wall_clock_times_in_latency_rows_not_gated(latency_dirs):
+    base, cur = latency_dirs
+    changed = json.loads(json.dumps(LATENCY_ROWS))
+    changed[0]["cold_run_s"] *= 50.0  # plain wall clock: never gated
+    (cur / "service.json").write_text(json.dumps(changed))
+    assert run_gate(base, cur).returncode == 0
+
+
 def test_missing_current_file_is_a_note_not_a_failure(dirs):
     base, cur = dirs
     proc = run_gate(base, cur)

@@ -68,7 +68,7 @@ class TestCLI:
         d = json.loads(capsys.readouterr().out)
         assert d["kind"] == "native"
         assert d["gflops"] > 0 and 0 < d["efficiency"] <= 1
-        assert set(d["metrics"]) == {"counters", "gauges", "timers"}
+        assert set(d["metrics"]) == {"counters", "gauges", "timers", "distributions"}
 
     def test_native_json_deterministic(self, capsys):
         main(["native", "--n", "2000", "--json"])

@@ -16,14 +16,17 @@ directories are matched by filename, and only files present in the
 *baseline* set are compared — extra artifacts in ``current`` are
 ignored, so the committed baseline directory decides what is gated.
 
-Comparable figures are numeric leaves whose key names a rate or an
-efficiency (``gflops``, ``tflops``, ``efficiency`` — including
-prefixed forms like ``snb_gflops``); wall-clock times, counters and
-paper reference values (``paper_*``) are never gated. Higher is better
-for every rate key. Allocation figures — keys naming both ``alloc``
-and ``bytes``, as emitted by ``benchmarks/bench_alloc.py`` — are gated
-the other way round: steady-state temporary bytes growing more than
-``--threshold`` above baseline is the regression.
+Comparable figures are numeric leaves whose key names a rate, an
+efficiency or a speedup (``gflops``, ``tflops``, ``efficiency``,
+``speedup``, ``requests_per`` — including prefixed forms like
+``snb_gflops``); wall-clock times, counters and paper reference values
+(``paper_*``) are never gated. Higher is better for every rate key.
+Two families are gated the other way round — growth beyond
+``--threshold`` is the regression: allocation figures (keys naming
+both ``alloc`` and ``bytes``, as emitted by
+``benchmarks/bench_alloc.py``) and latency figures (keys naming
+``latency``, ``p99``, ``p50`` or ``queue_wait``, as emitted by
+``benchmarks/bench_service.py``).
 
 Standard library only, so CI can run it before (or without) installing
 the package.
@@ -40,11 +43,16 @@ from typing import Dict, Iterator, List, Tuple
 
 #: A leaf is gated higher-is-better when its key contains one of these
 #: (case-insensitive).
-RATE_KEY_PARTS = ("gflops", "tflops", "efficiency")
+RATE_KEY_PARTS = ("gflops", "tflops", "efficiency", "speedup", "requests_per")
 
 #: A leaf is gated lower-is-better when its key contains ALL of these:
 #: steady-state allocation figures, where growth is the regression.
 ALLOC_KEY_PARTS = ("alloc", "bytes")
+
+#: A leaf is gated lower-is-better when its key contains ANY of these:
+#: latency figures (service submit latency, queue wait, percentile
+#: summaries), where growth is the regression.
+LATENCY_KEY_PARTS = ("latency", "p99", "p50", "queue_wait")
 
 #: ...unless it also matches one of these (reference data, not measurements).
 SKIP_KEY_PARTS = ("paper",)
@@ -56,6 +64,8 @@ def classify_key(key: str) -> str:
     if any(part in k for part in SKIP_KEY_PARTS):
         return ""
     if all(part in k for part in ALLOC_KEY_PARTS):
+        return "lower"
+    if any(part in k for part in LATENCY_KEY_PARTS):
         return "lower"
     if any(part in k for part in RATE_KEY_PARTS):
         return "higher"
