@@ -1,0 +1,131 @@
+"""Mixed-precision HPL-MxP: SP factorization + refinement to double.
+
+The MxP scheme factors in float32 — twice the SIMD lanes per 512-bit
+register, so twice the per-core peak on KNC — and recovers full double
+precision with a few sweeps of iterative refinement against the DP
+system (:mod:`repro.hpl.mxp`). Two claims are gated here:
+
+* **model speedup** — the native timing model at a card-resident size
+  must put the MxP end-to-end time (SP factorization + DP-refinement
+  stream time) at least ``1.6x`` faster than the all-DP run, and the
+  hybrid model's SP factorization near the 2x lane ratio;
+* **measured convergence** — a real numeric MxP run must pass the
+  standard DP residual check within the refinement-iteration budget,
+  and the iteration count (``refine_iters``, gated lower-is-better by
+  ``tools/bench_compare.py``) must not creep up.
+
+Model figures and the numeric iteration count are deterministic, so
+``mxp.json`` is part of the committed baseline set. ``BENCH_SMOKE=1``
+skips only the extra full-size numeric row, which is outside the
+baseline either way.
+"""
+
+import os
+import time
+
+from repro.hpl.driver import NativeHPL
+from repro.hybrid.driver import HybridHPL
+from repro.report import Table
+
+from conftest import once
+
+SMOKE = bool(int(os.environ.get("BENCH_SMOKE", "0") or "0"))
+
+#: Model-section problem size: card-resident (fits the 8 GiB KNC DRAM)
+#: and big enough that O(n^3) SP compute dominates the O(n^2)
+#: refinement stream time (the speedup grows with n; 1.6x gates the
+#: asymptote is being approached, not a small-n accident).
+N_MODEL = 20000
+
+#: Numeric-section size: small enough to factor for real in CI, fixed
+#: across smoke/full so the baseline's ``refine_iters`` always matches.
+N_NUM, NB_NUM = 192, 48
+
+#: Full-size-only numeric row (not in the committed baseline).
+N_NUM_FULL, NB_NUM_FULL = 384, 64
+
+MXP_SPEEDUP_GATE = 1.6
+
+
+def model_rows():
+    dp = NativeHPL(N_MODEL).run()
+    mxp = NativeHPL(N_MODEL, dtype="float32", mxp=True).run()
+    rows = [
+        {
+            "bench": "mxp.model.native",
+            "n": N_MODEL,
+            "dp_time_s": dp.time_s,
+            "mxp_time_s": mxp.time_s,
+            "mxp_speedup": dp.time_s / mxp.time_s,
+            "dp_gflops": dp.gflops,
+            "mxp_gflops": mxp.gflops,
+        }
+    ]
+    hyb_dp = HybridHPL(N_MODEL).run()
+    hyb_sp = HybridHPL(N_MODEL, dtype="float32").run()
+    rows.append(
+        {
+            "bench": "mxp.model.hybrid",
+            "n": N_MODEL,
+            "dp_time_s": hyb_dp.time_s,
+            "sp_time_s": hyb_sp.time_s,
+            "sp_speedup": hyb_dp.time_s / hyb_sp.time_s,
+        }
+    )
+    return rows
+
+
+def numeric_row(n, nb, bench):
+    t0 = time.perf_counter()
+    res = NativeHPL(
+        n, nb=nb, workers=2, dtype="float32", mxp=True
+    ).run(numeric=True)
+    wall = time.perf_counter() - t0
+    assert res.passed, (res.residual, "MxP must pass the DP residual check")
+    assert res.refine is not None and res.refine["converged"], res.refine
+    return {
+        "bench": bench,
+        "n": n,
+        "nb": nb,
+        "workers": 2,
+        "refine_iters": res.refine["iterations"],
+        "refine_converged": res.refine["converged"],
+        "residual": res.residual,
+        "passed": res.passed,
+        "wall_s": wall,
+    }
+
+
+def build_mxp():
+    rows = model_rows()
+    rows.append(numeric_row(N_NUM, NB_NUM, "mxp.numeric.native"))
+    if not SMOKE:
+        rows.append(numeric_row(N_NUM_FULL, NB_NUM_FULL, "mxp.numeric.full"))
+
+    t = Table(
+        "Mixed-precision HPL-MxP: model speedup + measured refinement",
+        ["bench", "n", "figure", "value"],
+    )
+    t.add(rows[0]["bench"], rows[0]["n"], "mxp_speedup",
+          round(rows[0]["mxp_speedup"], 3))
+    t.add(rows[1]["bench"], rows[1]["n"], "sp_speedup",
+          round(rows[1]["sp_speedup"], 3))
+    for row in rows[2:]:
+        t.add(row["bench"], row["n"], "refine_iters", row["refine_iters"])
+        t.add(row["bench"], row["n"], "residual", f"{row['residual']:.3e}")
+    return t, rows
+
+
+def test_mxp(benchmark, emit, emit_json):
+    table, rows = once(benchmark, build_mxp)
+    emit("mxp", table.render())
+    emit_json("mxp", rows)
+    # The headline gate: SP factorization + refinement beats all-DP by
+    # the lane-ratio-driven margin at a card-resident size. The model
+    # is deterministic, so this holds in smoke mode too.
+    assert rows[0]["mxp_speedup"] >= MXP_SPEEDUP_GATE, rows[0]
+    # The hybrid SP model should sit near the 2x SIMD lane ratio.
+    assert rows[1]["sp_speedup"] >= MXP_SPEEDUP_GATE, rows[1]
+    # Refinement must stay within its budget (tol=1.0, k<=8 defaults).
+    for row in rows[2:]:
+        assert row["refine_iters"] <= 8, row

@@ -27,6 +27,16 @@ from repro.obs.result import RunResult
 from repro.spec import RunSpec
 
 
+def _precision_kwargs(s: RunSpec) -> dict:
+    """The dtype/MxP knobs every numeric driver accepts. ``refine_*``
+    are normalized to concrete values exactly when ``mxp`` is set."""
+    kw = {"dtype": s.dtype, "mxp": s.mxp}
+    if s.mxp:
+        kw["refine_tol"] = s.refine_tol
+        kw["refine_max_iters"] = s.refine_max_iters
+    return kw
+
+
 def _run_native(s: RunSpec) -> RunResult:
     from repro.hpl.driver import NativeHPL
 
@@ -39,6 +49,7 @@ def _run_native(s: RunSpec) -> RunResult:
         pack_cache=s.pack_cache,
         buffer_pool=s.buffer_pool,
         alloc_profile=s.alloc_profile,
+        **_precision_kwargs(s),
     ).run(numeric=s.numeric, seed=s.seed)
 
 
@@ -56,6 +67,7 @@ def _run_hybrid(s: RunSpec) -> RunResult:
             buffer_pool=s.buffer_pool,
             alloc_profile=s.alloc_profile,
             seed=s.seed,
+            **_precision_kwargs(s),
         )
     from repro.hybrid.driver import HybridHPL, NodeConfig
 
@@ -66,6 +78,7 @@ def _run_hybrid(s: RunSpec) -> RunResult:
         p=s.p,
         q=s.q,
         lookahead=s.lookahead,
+        dtype=s.dtype,
     ).run()
 
 
@@ -99,6 +112,7 @@ def _run_distributed(s: RunSpec) -> RunResult:
         fault_plan=s.fault_plan,
         checkpoint_every=s.checkpoint_every,
         retry=retry,
+        **_precision_kwargs(s),
     ).run()
 
 

@@ -69,8 +69,12 @@ class BufferPool:
         self._lock = threading.Lock()
         #: Free arena blocks (1-D uint8), kept sorted by size for best fit.
         self._free: List[np.ndarray] = []
-        #: Outstanding leases: id(view) -> (view, backing block, key).
-        self._leases: Dict[int, Tuple[np.ndarray, np.ndarray, str]] = {}
+        #: Outstanding leases: id(view) -> (view, backing block, key, dtype).
+        #: The dtype is part of the lease identity: a view is only ever
+        #: handed out at exactly the requested precision (blocks are raw
+        #: bytes, so reuse across dtypes is safe — but a *live* lease can
+        #: never alias another dtype's bytes).
+        self._leases: Dict[int, Tuple[np.ndarray, np.ndarray, str, str]] = {}
         # -- counters ----------------------------------------------------
         self.checkouts = 0
         self.releases = 0
@@ -80,6 +84,7 @@ class BufferPool:
         self.arena_bytes = 0  # total bytes owned (free + leased blocks)
         self.peak_bytes = 0  # high-water mark of arena_bytes
         self.by_key: Dict[str, int] = {}
+        self.by_dtype: Dict[str, int] = {}  # checkouts per dtype str
 
     # -- checkout / release ----------------------------------------------------
     def checkout(
@@ -97,10 +102,11 @@ class BufferPool:
         with self._lock:
             block = self._take_block(nbytes)
             view = block[:nbytes].view(dtype).reshape(shape)
-            self._leases[id(view)] = (view, block, key)
+            self._leases[id(view)] = (view, block, key, dtype.name)
             self.checkouts += 1
             self.bytes_served += nbytes
             self.by_key[key] = self.by_key.get(key, 0) + 1
+            self.by_dtype[dtype.name] = self.by_dtype.get(dtype.name, 0) + 1
         return view
 
     def release(self, buf: np.ndarray) -> None:
@@ -116,7 +122,7 @@ class BufferPool:
                     f"{self.name}: buffer is not leased "
                     "(double release, or not from this pool)"
                 )
-            _view, block, _key = lease
+            _view, block, _key, _dtype = lease
             self._insert_free(block)
             self.releases += 1
 
@@ -169,7 +175,20 @@ class BufferPool:
     def active_keys(self) -> List[str]:
         """Keys of the outstanding leases (for leak diagnostics)."""
         with self._lock:
-            return sorted(key for (_v, _b, key) in self._leases.values())
+            return sorted(key for (_v, _b, key, _d) in self._leases.values())
+
+    def active_leases(self) -> List[Tuple[str, str, int]]:
+        """``(key, dtype, nbytes)`` per outstanding lease.
+
+        The dtype column is what the cross-precision tests assert on:
+        a live SP lease and a live DP lease must never share bytes, and
+        a lease's recorded dtype always matches the view it backs.
+        """
+        with self._lock:
+            return sorted(
+                (key, dt, view.nbytes)
+                for (view, _b, key, dt) in self._leases.values()
+            )
 
     def clear(self) -> int:
         """Drop every free block (leases stay out); returns bytes freed.
@@ -196,6 +215,8 @@ class BufferPool:
         metrics.gauge(f"{self.name}.arena_bytes").set(self.arena_bytes)
         metrics.gauge(f"{self.name}.peak_bytes").update_max(self.peak_bytes)
         metrics.gauge(f"{self.name}.active").set(self.active)
+        for dt, count in sorted(self.by_dtype.items()):
+            metrics.counter(f"{self.name}.checkouts.{dt}").inc(count)
 
     def __repr__(self) -> str:
         return (
@@ -227,7 +248,17 @@ def matmul_into(
     consume leading-dimension strides without copying, so there is no
     allocation to avoid — and staging would *change* the kernel (and
     with it the floating-point summation order).
+
+    All three arrays must share one dtype: a mixed-precision product
+    would silently upcast through a hidden temporary, exactly the
+    allocation (and precision surprise) this helper exists to prevent,
+    so mismatches raise :class:`TypeError` instead.
     """
+    if not (x.dtype == y.dtype == out.dtype):
+        raise TypeError(
+            "matmul_into requires matching dtypes (no silent promotion): "
+            f"x={x.dtype}, y={y.dtype}, out={out.dtype}"
+        )
     if 1 in (x.shape[0], x.shape[1], y.shape[1]):
         np.matmul(x, y, out=out)
         return out
@@ -259,7 +290,16 @@ def subtract_into(target: np.ndarray, value: np.ndarray) -> np.ndarray:
     subtracts into. Going row by row keeps every operand of the inner
     call contiguous, so the unbuffered loop runs; the per-element
     arithmetic is unchanged, so the result is bitwise identical.
+
+    ``target`` and ``value`` must share one dtype — a mixed-precision
+    subtract would round ``value`` through a casting buffer per call,
+    so mismatches raise :class:`TypeError` instead of promoting.
     """
+    if target.dtype != value.dtype:
+        raise TypeError(
+            "subtract_into requires matching dtypes (no silent promotion): "
+            f"target={target.dtype}, value={value.dtype}"
+        )
     if target.ndim == 2 and not target.flags.c_contiguous:
         for i in range(target.shape[0]):
             np.subtract(target[i], value[i], out=target[i])

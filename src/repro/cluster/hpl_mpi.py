@@ -129,6 +129,13 @@ class DistributedResult(RunResult):
     metrics: Optional[MetricsRegistry] = None
     alloc: Optional[dict] = None
     resilience: Optional[dict] = None
+    dtype: str = "float64"
+    #: Wall seconds outside the MxP refinement (None on non-MxP runs).
+    factor_time_s: Optional[float] = None
+    #: Measured wall seconds of the MxP refinement (None unless mxp).
+    refine_time_s: Optional[float] = None
+    #: :meth:`repro.hpl.mxp.RefineReport.to_dict` of the refinement loop.
+    refine: Optional[dict] = None
 
     kind = "distributed"
 
@@ -172,9 +179,17 @@ class DistributedHPL:
         checkpoint_store: Optional[CheckpointStore] = None,
         retry: Optional[RetryPolicy] = None,
         max_recoveries: int = 3,
+        dtype: str = "float64",
+        mxp: bool = False,
+        refine_tol: float = 1.0,
+        refine_max_iters: int = 8,
     ):
         if n < 1 or nb < 1:
             raise ValueError("n and nb must be positive")
+        if dtype not in ("float64", "float32"):
+            raise ValueError(f"dtype must be 'float64' or 'float32', got {dtype!r}")
+        if mxp and dtype != "float32":
+            raise ValueError("mxp factors in single precision: set dtype='float32'")
         if checkpoint_every is not None and checkpoint_every < 1:
             raise ValueError("checkpoint_every must be positive")
         if max_recoveries < 0:
@@ -190,6 +205,11 @@ class DistributedHPL:
                 f"executor must be one of {EXECUTOR_BACKENDS}, got {executor!r}"
             )
         self.n, self.nb, self.seed = n, nb, seed
+        self.dtype = dtype
+        self.np_dtype = np.float32 if dtype == "float32" else np.float64
+        self.mxp = mxp
+        self.refine_tol = refine_tol
+        self.refine_max_iters = refine_max_iters
         self.use_offload = use_offload
         self.bcast_algo = bcast_algo
         self.swap_algo = swap_algo
@@ -267,7 +287,7 @@ class DistributedHPL:
         parts = comm.gather(part, root=panel_root, ranks=grid.col_ranks(owner_col))
         factored_mine = None
         if comm.rank == panel_root:
-            panel = np.empty((self.n - k0, kw))
+            panel = np.empty((self.n - k0, kw), dtype=a_loc.dtype)
             for g_rows, block in parts:
                 panel[g_rows - k0] = block
             ipiv = getrf(panel, pool=pool)
@@ -442,8 +462,10 @@ class DistributedHPL:
         my_row, my_col = grid.coords(comm.rank)
         rows = bc.local_rows(my_row)
         cols = bc.local_cols(my_col)
-        # Local piece of the global matrix, generated independently.
-        a_loc = hpl_submatrix(self.n, rows, cols, seed=self.seed)
+        # Local piece of the global matrix, generated independently (at
+        # the working precision — each rank rounds the same DP stream).
+        a_loc = hpl_submatrix(self.n, rows, cols, seed=self.seed,
+                              dtype=self.np_dtype)
         cache = PackCache() if self.pack_cache else None
         pool = as_buffer_pool(self.buffer_pool)  # per-rank arena
         k_start, stage_pivots, _saved_panel = self._restore(comm, a_loc)
@@ -504,7 +526,7 @@ class DistributedHPL:
                     trsm_lower_unit_left(l11, u_block, pool=pool)
                     a_loc[np.ix_(u_rows_local, np.flatnonzero(trail_cols_mask))] = u_block
                 else:
-                    u_block = np.empty((kw, 0))
+                    u_block = np.empty((kw, 0), dtype=a_loc.dtype)
                 u_payload = u_block
             else:
                 u_payload = None
@@ -554,7 +576,8 @@ class DistributedHPL:
         my_row, my_col = grid.coords(comm.rank)
         rows = bc.local_rows(my_row)
         cols = bc.local_cols(my_col)
-        a_loc = hpl_submatrix(self.n, rows, cols, seed=self.seed)
+        a_loc = hpl_submatrix(self.n, rows, cols, seed=self.seed,
+                              dtype=self.np_dtype)
         cache = PackCache() if self.pack_cache else None
         pool = as_buffer_pool(self.buffer_pool)  # per-rank arena
         k_start, stage_pivots, saved_panel = self._restore(comm, a_loc)
@@ -637,7 +660,7 @@ class DistributedHPL:
                     trsm_lower_unit_left(l11, u_block, pool=pool)
                     a_loc[np.ix_(u_rows_local, np.flatnonzero(trail_cols_mask))] = u_block
                 else:
-                    u_block = np.empty((kw, 0))
+                    u_block = np.empty((kw, 0), dtype=a_loc.dtype)
                 for peer in grid.col_ranks(my_col):
                     if peer != comm.rank:
                         send_reqs.append(
@@ -738,14 +761,31 @@ class DistributedHPL:
             return None
         bytes_by_rank = [b for b, _o in per_rank]
         total = sum(bytes_by_rank)
-        lu = np.empty((self.n, self.n))
+        lu = np.empty((self.n, self.n), dtype=self.np_dtype)
         for g_rows, g_cols, piece in pieces:
             lu[np.ix_(g_rows, g_cols)] = piece
         ipiv_global = np.concatenate(
             [piv + i * self.nb for i, piv in enumerate(stage_pivots)]
         )
-        a0, b = hpl_system(self.n, self.seed)
-        x = lu_solve(lu, ipiv_global, b, pool=pool)
+        refine_report = None
+        if self.mxp:
+            # Rank 0 refines the SP factors against the DP ground truth,
+            # so the distributed MxP run faces the standard DP check.
+            from repro.hpl.mxp import refine_to_double
+
+            a0, b = hpl_system(self.n, self.seed)
+            x, refine_report = refine_to_double(
+                a0, b, lu, ipiv_global,
+                tol=self.refine_tol,
+                max_iters=self.refine_max_iters,
+                pool=pool,
+                fallback_nb=self.nb,
+                fallback_workers=self._executor,
+            )
+        else:
+            a0, b = hpl_system(self.n, self.seed, dtype=self.np_dtype)
+            x = lu_solve(lu, ipiv_global, b, pool=pool)
+        eps_dtype = np.float64 if self.mxp else self.np_dtype
         metrics = MetricsRegistry()
         metrics.counter("comm.messages").inc(comm.stats.messages_sent)
         metrics.counter("comm.total_bytes").inc(total)
@@ -779,13 +819,16 @@ class DistributedHPL:
         metrics.counter("hpl.stages").inc(self.bc.n_blocks)
         if cache is not None:
             cache.publish(metrics)
+        if refine_report is not None:
+            metrics.gauge("hpl.refine_time_s").set(refine_report.refine_wall_s)
+            metrics.gauge("hpl.refine_iterations").set(refine_report.iterations)
         return DistributedResult(
             n=self.n,
             nb=self.nb,
             p=self.grid.p,
             q=self.grid.q,
-            residual=hpl_residual(a0, x, b),
-            passed=residual_passes(a0, x, b),
+            residual=hpl_residual(a0, x, b, eps_dtype=eps_dtype),
+            passed=residual_passes(a0, x, b, eps_dtype=eps_dtype),
             x=x,
             lu=lu,
             ipiv=ipiv_global,
@@ -796,6 +839,11 @@ class DistributedHPL:
             exposed_comm_s=wait_total,
             hidden_comm_s=hidden_total,
             metrics=metrics,
+            dtype=self.dtype,
+            refine_time_s=(refine_report.refine_wall_s
+                           if refine_report is not None else None),
+            refine=(refine_report.to_dict()
+                    if refine_report is not None else None),
         )
 
     def _row_bcast(self, comm: Comm, payload, my_row: int, owner_col: int):
@@ -931,6 +979,8 @@ class DistributedHPL:
         wall_s = time.perf_counter() - t0
         out: DistributedResult = results[0]
         out.time_s = wall_s
+        if out.refine_time_s is not None:
+            out.factor_time_s = max(0.0, wall_s - out.refine_time_s)
         out.gflops = LUTiming.hpl_flops(self.n) / wall_s / 1e9
         out.alloc = profiler.to_dict()
         if self.resilient:

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.blas.buffers import as_buffer_pool
 from repro.hpl.matgen import hpl_system
+from repro.hpl.mxp import expected_iterations, refine_model_time_s, refine_to_double
 from repro.hpl.residual import hpl_residual, residual_passes
 from repro.lu.dynamic import DynamicScheduler, ScheduleResult
 from repro.lu.factorize import lu_solve
@@ -76,6 +77,13 @@ class HPLResult(RunResult):
     passed: Optional[bool] = None
     metrics: Optional[MetricsRegistry] = None
     alloc: Optional[dict] = None
+    dtype: str = "float64"
+    #: Model seconds of the factorization phase (SP for MxP runs).
+    factor_time_s: Optional[float] = None
+    #: Model seconds of the MxP refinement phase (None unless mxp).
+    refine_time_s: Optional[float] = None
+    #: :meth:`repro.hpl.mxp.RefineReport.to_dict` of the refinement loop.
+    refine: Optional[dict] = None
 
     kind = "native"
 
@@ -96,6 +104,10 @@ class NativeHPL:
         pack_cache: bool = True,
         buffer_pool: bool = True,
         alloc_profile: bool = False,
+        dtype: str = "float64",
+        mxp: bool = False,
+        refine_tol: float = 1.0,
+        refine_max_iters: int = 8,
     ):
         if scheduler not in self.SCHEDULERS:
             raise ValueError(
@@ -105,6 +117,10 @@ class NativeHPL:
             raise ValueError(
                 f"executor must be one of {EXECUTOR_BACKENDS}, got {executor!r}"
             )
+        if dtype not in ("float64", "float32"):
+            raise ValueError(f"dtype must be 'float64' or 'float32', got {dtype!r}")
+        if mxp and dtype != "float32":
+            raise ValueError("mxp factors in single precision: set dtype='float32'")
         self.n = n
         self.nb = nb
         self.scheduler_name = scheduler
@@ -113,9 +129,14 @@ class NativeHPL:
         self.pack_cache = pack_cache
         self.buffer_pool = buffer_pool
         self.alloc_profile = alloc_profile
-        self.timing = timing or LUTiming()
+        self.dtype = dtype
+        self.mxp = mxp
+        self.refine_tol = refine_tol
+        self.refine_max_iters = refine_max_iters
+        self.itemsize = 4 if dtype == "float32" else 8
+        self.timing = timing or LUTiming(dtype_bytes=self.itemsize)
         cal = self.timing.cal or default_calibration()
-        mem_needed = 8 * n * n
+        mem_needed = self.itemsize * n * n
         if mem_needed > self.timing.machine.dram_bytes:
             raise ValueError(
                 f"N={n} needs {mem_needed / 2**30:.1f} GiB but the card has "
@@ -129,9 +150,15 @@ class NativeHPL:
 
     def solve_time_s(self) -> float:
         """Forward+back substitution: 2 n^2 FLOPs, bandwidth-bound (the
-        whole factored matrix streams through once)."""
-        bytes_touched = 8 * self.n * self.n
+        whole factored matrix streams through once, at its own width)."""
+        bytes_touched = self.itemsize * self.n * self.n
         return bytes_touched / (self.timing.machine.stream_bw_gbs * 1e9)
+
+    def refine_time_model_s(self, iterations: Optional[int] = None) -> float:
+        """Model seconds of MxP refinement; ``iterations`` defaults to the
+        condition-number rule of thumb when no measured count exists."""
+        iters = expected_iterations(self.n) if iterations is None else iterations
+        return refine_model_time_s(self.n, iters, self.timing.machine)
 
     def run(self, numeric: bool = False, seed: int = 42) -> HPLResult:
         """Run the benchmark; ``numeric=True`` also computes and checks x
@@ -151,13 +178,21 @@ class NativeHPL:
         executor = None
         pool = None
         a0 = b = None
+        np_dtype = np.float32 if self.dtype == "float32" else np.float64
         profiler = AllocProfiler(enabled=numeric and self.alloc_profile)
         if numeric:
-            a0, b = hpl_system(self.n, seed)
+            if self.mxp:
+                # DP ground truth for residuals; the factorization works on
+                # its one-time rounding to SP.
+                a0, b = hpl_system(self.n, seed)
+                a_work = a0.astype(np.float32)
+            else:
+                a0, b = hpl_system(self.n, seed, dtype=np_dtype)
+                a_work = a0.copy()
             executor = make_executor(self.executor, self.workers)
             pool = as_buffer_pool(self.buffer_pool)
             workspace = LUWorkspace(
-                a0.copy(),
+                a_work,
                 self.nb,
                 pack_cache=self.pack_cache,
                 executor=executor,
@@ -166,16 +201,50 @@ class NativeHPL:
         sched = self._make_scheduler()
         with profiler.span("hpl.factor"):
             result: ScheduleResult = sched.run(workspace)
-        time_s = result.makespan_s + self.solve_time_s()
-        flops = LUTiming.hpl_flops(self.n)
-        gflops = flops / time_s / 1e9
-        peak = self.timing.machine.peak_dp_gflops(
-            self.timing.machine.compute_cores
-        )
         # Carry the scheduler's registry forward and add the HPL-level view.
         metrics = result.metrics or MetricsRegistry()
+
+        residual = passed = None
+        refine_report = None
+        refine_iters = None
+        if numeric:
+            with profiler.span("hpl.solve"):
+                ipiv = workspace.finalize()
+                if self.mxp:
+                    with profiler.span("hpl.refine"):
+                        x, report = refine_to_double(
+                            a0, b, workspace.a, ipiv,
+                            tol=self.refine_tol,
+                            max_iters=self.refine_max_iters,
+                            pool=pool,
+                            fallback_nb=self.nb,
+                            fallback_workers=executor,
+                        )
+                    refine_report = report
+                    refine_iters = report.iterations
+                else:
+                    x = lu_solve(workspace.a, ipiv, np.asarray(b), pool=pool)
+            # MxP solutions face the standard DP acceptance test; a pure SP
+            # run is judged against its own machine epsilon.
+            eps_dtype = np.float64 if self.mxp else np_dtype
+            residual = hpl_residual(a0, x, b, eps_dtype=eps_dtype)
+            passed = residual_passes(a0, x, b, eps_dtype=eps_dtype)
+
+        refine_time = None
+        if self.mxp:
+            refine_time = self.refine_time_model_s(refine_iters)
+        time_s = result.makespan_s + self.solve_time_s() + (refine_time or 0.0)
+        flops = LUTiming.hpl_flops(self.n)
+        gflops = flops / time_s / 1e9
+        peak = self.timing.machine.peak_gflops(
+            self.itemsize, self.timing.machine.compute_cores
+        )
         metrics.gauge("hpl.factor_time_s").set(result.makespan_s)
         metrics.gauge("hpl.solve_time_s").set(self.solve_time_s())
+        if refine_time is not None:
+            metrics.gauge("hpl.refine_time_s").set(refine_time)
+        if refine_iters is not None:
+            metrics.gauge("hpl.refine_iterations").set(refine_iters)
         out = HPLResult(
             n=self.n,
             nb=self.nb,
@@ -185,13 +254,14 @@ class NativeHPL:
             efficiency=gflops / peak,
             trace=result.trace,
             metrics=metrics,
+            dtype=self.dtype,
+            factor_time_s=result.makespan_s,
+            refine_time_s=refine_time,
+            refine=refine_report.to_dict() if refine_report else None,
         )
         if numeric:
-            with profiler.span("hpl.solve"):
-                ipiv = workspace.finalize()
-                x = lu_solve(workspace.a, ipiv, np.asarray(b), pool=pool)
-            out.residual = hpl_residual(a0, x, b)
-            out.passed = residual_passes(a0, x, b)
+            out.residual = residual
+            out.passed = passed
             if workspace.pack_cache is not None:
                 workspace.pack_cache.publish(metrics)
             if pool is not None:

@@ -84,12 +84,20 @@ def lcg_stream(seed: int, count: int) -> np.ndarray:
     return _states_to_uniform(states)
 
 
-def hpl_matrix(n: int, seed: int = 42, m: int | None = None) -> np.ndarray:
+def hpl_matrix(
+    n: int, seed: int = 42, m: int | None = None, dtype=np.float64
+) -> np.ndarray:
     """The (m x n) HPL input matrix (square by default).
 
     Element (i, j) is the (j * m + i)-th value of the LCG stream
     (column-major numbering, as HPL fills column panels), so any
     sub-block is reproducible via :func:`hpl_submatrix`.
+
+    ``dtype`` narrows the *storage* precision only: the stream is always
+    generated in float64 and rounded once on store, so a float32 matrix
+    is the bitwise rounding of the float64 one — every precision sees
+    the same underlying matrix, which is what lets mixed-precision
+    refinement compute DP residuals against the SP factorization's input.
     """
     if n < 1:
         raise ValueError("n must be positive")
@@ -97,7 +105,7 @@ def hpl_matrix(n: int, seed: int = 42, m: int | None = None) -> np.ndarray:
     total = m * n
     # Fill column-major in one vectorised pass: precompute all states via
     # cumulative application is serial, so generate per column with jumps.
-    out = np.empty((m, n), dtype=np.float64)
+    out = np.empty((m, n), dtype=dtype)
     for j in range(n):
         s = lcg_jump(seed, j * m)
         out[:, j] = lcg_stream(s, m)
@@ -105,18 +113,23 @@ def hpl_matrix(n: int, seed: int = 42, m: int | None = None) -> np.ndarray:
 
 
 def hpl_submatrix(
-    n: int, rows: np.ndarray, cols: np.ndarray, seed: int = 42
+    n: int, rows: np.ndarray, cols: np.ndarray, seed: int = 42,
+    dtype=np.float64,
 ) -> np.ndarray:
     """The sub-matrix A[rows][:, cols] of the global n x n HPL matrix,
     generated without materialising the global matrix — what each rank
-    of the distributed HPL does for its block-cyclic local piece."""
+    of the distributed HPL does for its block-cyclic local piece.
+
+    As in :func:`hpl_matrix`, ``dtype`` rounds the float64 stream on
+    store, so an SP local piece agrees elementwise with the rounded
+    global SP matrix."""
     rows = np.asarray(rows)
     cols = np.asarray(cols)
     if rows.size and (rows.min() < 0 or rows.max() >= n):
         raise IndexError("row index out of range")
     if cols.size and (cols.min() < 0 or cols.max() >= n):
         raise IndexError("column index out of range")
-    out = np.empty((rows.size, cols.size), dtype=np.float64)
+    out = np.empty((rows.size, cols.size), dtype=dtype)
     for jj, j in enumerate(cols):
         # Generate the needed entries of column j.
         col_seed = lcg_jump(seed, int(j) * n)
@@ -125,10 +138,11 @@ def hpl_submatrix(
     return out
 
 
-def hpl_system(n: int, seed: int = 42) -> tuple:
+def hpl_system(n: int, seed: int = 42, dtype=np.float64) -> tuple:
     """(A, b) with b also drawn from the generator (HPL appends b as an
-    extra column of the random matrix)."""
-    a = hpl_matrix(n, seed)
+    extra column of the random matrix). ``dtype`` narrows storage as in
+    :func:`hpl_matrix`; b is narrowed the same way."""
+    a = hpl_matrix(n, seed, dtype=dtype)
     b_seed = lcg_jump(seed, n * n)
-    b = lcg_stream(b_seed, n)
+    b = lcg_stream(b_seed, n).astype(dtype, copy=False)
     return a, b

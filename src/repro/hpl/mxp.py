@@ -1,0 +1,196 @@
+"""Mixed-precision HPL-MxP: SP factorization + iterative refinement.
+
+The paper's Section III kernels exist in single-precision form (16 DP
+lanes vs 32 SP lanes on the 512-bit KNC vector unit — a 2x peak-FLOP
+gap the machine models in :mod:`repro.machine` already expose). This
+module adds the numerics that make exploiting them *safe*: factor the
+HPL matrix in float32, then recover double-precision accuracy with
+classic iterative refinement (Wilkinson; the scheme behind the HPL-MxP
+benchmark):
+
+1. solve ``A x0 = b`` with the SP factors (cheap SP triangular solves),
+2. compute the residual ``r = b - A x`` in **double** precision,
+3. solve ``A d = r`` with the same SP factors and update ``x += d``,
+4. repeat until the HPL scaled residual drops below ``tol`` or the
+   iteration budget is exhausted.
+
+Each iteration multiplies the error by roughly ``eps_sp * kappa(A)``,
+so a handful of iterations reach DP accuracy whenever the matrix is
+not catastrophically conditioned for SP. When it *is* — the residual
+stalls or the budget runs out — :func:`refine_to_double` transparently
+falls back to a full double-precision factorization, so MxP runs never
+trade away correctness: the caller always receives an ``x`` it can put
+through the standard DP HPL check.
+
+The refinement itself is bandwidth-bound (one DP mat-vec plus two SP
+triangular sweeps per iteration, all O(n^2)), which is why MxP wins:
+the O(n^3) factorization runs at SP speed and the DP work is a few
+streaming passes. :func:`refine_model_time_s` charges exactly that in
+the deterministic machine model.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.hpl.residual import hpl_residual
+from repro.lu.factorize import blocked_lu, lu_solve
+from repro.machine.config import KNC, MachineConfig
+
+#: A correction that fails to shrink the scaled residual below this
+#: fraction of the best seen so far is "stalled": SP precision has run
+#: out of digits to contribute and further iterations cannot converge.
+STALL_IMPROVEMENT = 0.9
+
+
+@dataclass
+class RefineReport:
+    """What the refinement loop did, attached to MxP run results."""
+
+    converged: bool            #: scaled residual reached ``tol`` in budget
+    iterations: int            #: correction solves performed
+    residuals: List[float]     #: scaled residual after x0, then each update
+    fallback: bool             #: stalled -> re-factored in full DP
+    tol: float
+    max_iters: int
+    sp_dtype: str = "float32"
+    refine_wall_s: float = 0.0    #: measured wall time of the loop
+    fallback_wall_s: float = 0.0  #: measured wall time of the DP fallback
+
+    def to_dict(self) -> dict:
+        return {
+            "converged": bool(self.converged),
+            "iterations": int(self.iterations),
+            "residuals": [float(r) for r in self.residuals],
+            "fallback": bool(self.fallback),
+            "tol": float(self.tol),
+            "max_iters": int(self.max_iters),
+            "sp_dtype": self.sp_dtype,
+            "refine_wall_s": float(self.refine_wall_s),
+            "fallback_wall_s": float(self.fallback_wall_s),
+        }
+
+
+def refine_to_double(
+    a_dp: np.ndarray,
+    b_dp: np.ndarray,
+    lu_sp: np.ndarray,
+    ipiv: np.ndarray,
+    tol: float = 1.0,
+    max_iters: int = 8,
+    pool=None,
+    fallback_nb: int = 64,
+    fallback_workers=None,
+) -> tuple:
+    """Recover a DP-accurate ``x`` from an SP factorization.
+
+    ``a_dp``/``b_dp`` are the *double* system (the refinement's ground
+    truth); ``lu_sp``/``ipiv`` the in-place SP factors of the rounded
+    matrix. Residuals are always accumulated in float64; the correction
+    solves run in the factors' precision (``lu_solve`` casts the DP
+    residual down once per solve). Returns ``(x, RefineReport)`` where
+    ``x`` is float64.
+
+    Convergence is judged by the HPL scaled residual — the same figure
+    the acceptance test thresholds at 16 — so ``tol=1.0`` converges
+    with an order of magnitude to spare. If the residual stalls
+    (SP has no digits left to contribute) or the budget runs out, the
+    matrix is re-factored in full DP (``blocked_lu``) and the direct DP
+    solution returned instead: correctness is never traded away.
+    """
+    if tol <= 0:
+        raise ValueError("tol must be positive")
+    if max_iters < 1:
+        raise ValueError("max_iters must be >= 1")
+    if lu_sp.dtype == np.float64:
+        raise ValueError("lu_sp is already double precision; nothing to refine")
+    a_dp = np.asarray(a_dp, dtype=np.float64)
+    b_dp = np.asarray(b_dp, dtype=np.float64)
+
+    t0 = time.perf_counter()
+    x = lu_solve(lu_sp, ipiv, b_dp, pool=pool).astype(np.float64)
+    res = hpl_residual(a_dp, x, b_dp)
+    residuals = [res]
+    iterations = 0
+    best = res
+    stalled = False
+    while res >= tol and iterations < max_iters:
+        r = b_dp - a_dp @ x  # DP residual: the step that buys accuracy
+        d = lu_solve(lu_sp, ipiv, r, pool=pool)  # SP correction solves
+        x = x + d.astype(np.float64)
+        iterations += 1
+        res = hpl_residual(a_dp, x, b_dp)
+        residuals.append(res)
+        if res >= best * STALL_IMPROVEMENT:
+            stalled = True
+            break
+        best = res
+    refine_wall = time.perf_counter() - t0
+
+    converged = res < tol
+    fallback = bool(not converged and (stalled or iterations >= max_iters))
+    fallback_wall = 0.0
+    if fallback:
+        t1 = time.perf_counter()
+        lu_dp, ipiv_dp = blocked_lu(
+            a_dp.copy(), nb=fallback_nb, workers=fallback_workers
+        )
+        x = lu_solve(lu_dp, ipiv_dp, b_dp, pool=pool)
+        residuals.append(hpl_residual(a_dp, x, b_dp))
+        fallback_wall = time.perf_counter() - t1
+
+    report = RefineReport(
+        converged=converged,
+        iterations=iterations,
+        residuals=residuals,
+        fallback=fallback,
+        tol=float(tol),
+        max_iters=int(max_iters),
+        sp_dtype=str(lu_sp.dtype),
+        refine_wall_s=refine_wall,
+        fallback_wall_s=fallback_wall,
+    )
+    return x, report
+
+
+def refine_model_time_s(
+    n: int,
+    iterations: int,
+    machine: Optional[MachineConfig] = None,
+    include_initial_solve: bool = True,
+) -> float:
+    """Deterministic model time for the refinement phase.
+
+    Refinement is streaming-bound: the initial solve sweeps the SP
+    factors once (4 n^2 bytes), and every iteration reads the DP matrix
+    for the residual mat-vec (8 n^2 bytes) plus the SP factors for the
+    correction solves (4 n^2 bytes). All O(n^2) against the machine's
+    STREAM bandwidth — negligible next to the O(n^3) factorization,
+    which is the whole point of MxP.
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    if iterations < 0:
+        raise ValueError("iterations must be non-negative")
+    m = machine or KNC
+    bw = m.stream_bw_gbs * 1e9
+    init_bytes = 4 * n * n if include_initial_solve else 0
+    per_iter_bytes = 8 * n * n + 4 * n * n
+    return (init_bytes + iterations * per_iter_bytes) / bw
+
+
+def expected_iterations(n: int, kappa: float = None) -> int:
+    """Rule-of-thumb iteration count for the model: each sweep gains
+    ``-log10(eps_sp * kappa)`` digits; HPL matrices are well-conditioned
+    (``kappa ~ O(n)``), so 2-3 iterations typically reach DP accuracy."""
+    kappa = float(n) if kappa is None else kappa
+    gain = -math.log10(np.finfo(np.float32).eps * kappa)
+    if gain <= 0:
+        return 0
+    digits_needed = -math.log10(np.finfo(np.float64).eps * max(kappa, 1.0))
+    return max(1, math.ceil(digits_needed / gain))

@@ -55,6 +55,11 @@ class NodeConfig:
         """1.4 TFLOPS with one card, 2.48 with two (Section V-C)."""
         return SNB.peak_dp_gflops() + self.cards * KNC.peak_dp_gflops()
 
+    def peak_gflops_at(self, dtype_bytes: int = 8) -> float:
+        """Node peak at the given precision (SP doubles every unit)."""
+        return (SNB.peak_gflops(dtype_bytes)
+                + self.cards * KNC.peak_gflops(dtype_bytes))
+
     @property
     def host_compute_cores(self) -> int:
         return max(1, SNB.cores - self.cards * self.pack_cores_per_card)
@@ -94,6 +99,7 @@ class HybridResult(RunResult):
     trace: TraceRecorder
     per_stage: list = field(default_factory=list)
     metrics: Optional[MetricsRegistry] = None
+    dtype: str = "float64"
 
     kind = "hybrid"
     # tflops comes from the shared RunResult property (gflops / 1e3).
@@ -115,6 +121,7 @@ class HybridHPL:
         cal: Optional[Calibration] = None,
         offload_trsm: bool = False,
         pcie_link=None,
+        dtype: str = "float64",
     ):
         if n < 1 or nb < 1:
             raise ValueError("n and nb must be positive")
@@ -122,14 +129,22 @@ class HybridHPL:
             raise ValueError("grid dimensions must be positive")
         if pipeline_chunks < 2:
             raise ValueError("pipelining needs at least two chunks")
+        if dtype not in ("float64", "float32"):
+            raise ValueError(f"dtype must be 'float64' or 'float32', got {dtype!r}")
         self.n, self.nb, self.p, self.q = n, nb, p, q
+        self.dtype = dtype
+        #: Element width driving every byte count and peak in the model.
+        #: SP halves the traffic and doubles the compute rates; the
+        #: offload tile-efficiency *fraction* is kept from the DP model
+        #: (a conservative approximation — SP also halves PCIe traffic).
+        self.itemsize = 4 if dtype == "float32" else 8
         self.node = node or NodeConfig()
         self.lookahead = Lookahead.parse(lookahead)
         self.pipeline_chunks = pipeline_chunks
         self.network = network or Network()
         self.cal = cal or default_calibration()
         self.n_panels = -(-n // nb)
-        local_bytes = 8 * n * n / (p * q)
+        local_bytes = self.itemsize * n * n / (p * q)
         if local_bytes > self.node.host_mem_bytes:
             raise ValueError(
                 f"N={n} needs {local_bytes / GB:.0f} GiB per node but hosts have "
@@ -143,7 +158,9 @@ class HybridHPL:
         #: Optional PCIe override for bandwidth-sensitivity studies (the
         #: conclusion's "limited PCIe bandwidth" drawback).
         self.pcie_link = pcie_link
-        self._host_timing = LUTiming(machine=SNB, cal=self.cal)
+        self._host_timing = LUTiming(
+            machine=SNB, cal=self.cal, dtype_bytes=self.itemsize
+        )
         self._host_mem = MemoryModel(SNB, available_fraction=0.6)
 
     # -- per-stage component times -------------------------------------------------
@@ -163,14 +180,16 @@ class HybridHPL:
         t = self._host_timing.panel_time(rows, width, self.node.host_compute_cores)
         # Pivot agreement along the column adds latency per sub-column.
         if self.p > 1:
-            t += self.network.transfer_s(8 * width * 4, hops=_tree_depth(self.p))
+            t += self.network.transfer_s(
+                self.itemsize * width * 4, hops=_tree_depth(self.p)
+            )
         return t
 
     def lbcast_time_s(self, i: int) -> float:
         """Broadcast the factored panel along the process row."""
         rows = self._loc(self._trailing(i) + self.nb, self.p)
         return self.network.transfer_s(
-            8 * rows * self.nb, hops=_tree_depth(self.q)
+            self.itemsize * rows * self.nb, hops=_tree_depth(self.q)
         )
 
     def swap_time_s(self, i: int) -> float:
@@ -180,8 +199,10 @@ class HybridHPL:
         if cols <= 0:
             return 0.0
         local_bw = SNB.stream_bw_gbs * self.cal.laswp_host_bw_fraction * 1e9
-        local = 4 * 8 * self.nb * cols / local_bw
-        net = self.network.transfer_s(8 * self.nb * cols, hops=_tree_depth(self.p))
+        local = 4 * self.itemsize * self.nb * cols / local_bw
+        net = self.network.transfer_s(
+            self.itemsize * self.nb * cols, hops=_tree_depth(self.p)
+        )
         return local + net
 
     def dtrsm_time_s(self, i: int) -> float:
@@ -192,13 +213,16 @@ class HybridHPL:
         if self.offload_trsm:
             from repro.machine.pcie import PCIeLink
 
-            rate = self.cal.trsm_efficiency_knc * KNC.peak_dp_gflops() * 1e9
+            rate = (self.cal.trsm_efficiency_knc
+                    * KNC.peak_gflops(self.itemsize) * 1e9)
             link = self.pcie_link or PCIeLink()
-            # U panel out and back (nb x cols doubles each way).
-            return flops / rate + 2 * link.transfer_time_s(8 * self.nb * cols)
+            # U panel out and back (nb x cols elements each way).
+            return flops / rate + 2 * link.transfer_time_s(
+                self.itemsize * self.nb * cols
+            )
         rate = (
             self.cal.trsm_efficiency_snb
-            * SNB.peak_dp_gflops(self.node.host_compute_cores)
+            * SNB.peak_gflops(self.itemsize, self.node.host_compute_cores)
             * 1e9
         )
         return flops / rate
@@ -206,7 +230,9 @@ class HybridHPL:
     def ubcast_time_s(self, i: int) -> float:
         """Broadcast the solved U row panel along the process column."""
         cols = self._loc(self._trailing(i), self.q)
-        return self.network.transfer_s(8 * self.nb * cols, hops=_tree_depth(self.p))
+        return self.network.transfer_s(
+            self.itemsize * self.nb * cols, hops=_tree_depth(self.p)
+        )
 
     def update_time_s(self, i: int) -> float:
         """The offloaded trailing update of the local block."""
@@ -216,7 +242,7 @@ class HybridHPL:
             return 0.0
         flops = 2.0 * m * n * self.nb
         mt, nt, eff = best_tile_size(m, n, self.nb, self.node.cards, self.pcie_link)
-        card_rate = eff * self.node.cards * KNC.peak_dp_gflops() * 1e9
+        card_rate = eff * self.node.cards * KNC.peak_gflops(self.itemsize) * 1e9
         host_rate = self._host_assist_gflops(min(m, n)) * 1e9
         return flops / (card_rate + host_rate)
 
@@ -230,7 +256,8 @@ class HybridHPL:
         from repro.machine.gemm_model import snb_dgemm_efficiency
 
         cores = self.node.host_compute_cores
-        rate = snb_dgemm_efficiency(max(size, 1), self.cal) * SNB.peak_dp_gflops(cores)
+        rate = (snb_dgemm_efficiency(max(size, 1), self.cal)
+                * SNB.peak_gflops(self.itemsize, cores))
         return rate * self.HOST_ASSIST_DUTY
 
     #: Fixed software overhead per pipeline chunk (queue sync, extra
@@ -322,11 +349,13 @@ class HybridHPL:
         sim.process(driver(), name="hpl")
         time_s = sim.run()
         # Final substitutions: bandwidth-bound pass over the local matrix.
-        time_s += self._host_mem.transfer_time_s(8 * (self.n / self.p) * (self.n / self.q))
+        time_s += self._host_mem.transfer_time_s(
+            self.itemsize * (self.n / self.p) * (self.n / self.q)
+        )
 
         flops = LUTiming.hpl_flops(self.n)
         tflops = flops / time_s / 1e12
-        peak = self.p * self.q * self.node.peak_gflops / 1e3
+        peak = self.p * self.q * self.node.peak_gflops_at(self.itemsize) / 1e3
         knc_busy = trace.busy_time("knc")
         metrics = MetricsRegistry()
         metrics.counter("hybrid.stages").inc(self.n_panels)
@@ -348,6 +377,7 @@ class HybridHPL:
             trace=trace,
             per_stage=per_stage,
             metrics=metrics,
+            dtype=self.dtype,
         )
 
 

@@ -158,6 +158,13 @@ class HybridNumericResult(RunResult):
     passed: bool
     metrics: Optional[MetricsRegistry] = None
     alloc: Optional[dict] = None
+    dtype: str = "float64"
+    #: Measured wall seconds of the factorization phase.
+    factor_time_s: Optional[float] = None
+    #: Measured wall seconds of the MxP refinement (None unless mxp).
+    refine_time_s: Optional[float] = None
+    #: :meth:`repro.hpl.mxp.RefineReport.to_dict` of the refinement loop.
+    refine: Optional[dict] = None
 
     kind = "hybrid-numeric"
 
@@ -173,6 +180,10 @@ def run_hybrid_numeric(
     seed: int = 42,
     buffer_pool: bool = True,
     alloc_profile: bool = False,
+    dtype: str = "float64",
+    mxp: bool = False,
+    refine_tol: float = 1.0,
+    refine_max_iters: int = 8,
 ) -> HybridNumericResult:
     """Factor and solve a seeded HPL system through the hybrid path.
 
@@ -183,8 +194,15 @@ def run_hybrid_numeric(
     ``buffer_pool=False`` selects the allocating reference paths (the
     ``--no-buffer-pool`` A/B ablation); ``alloc_profile`` wraps the
     factor and solve phases in tracemalloc spans recorded as ``alloc``.
+
+    ``dtype="float32"`` factors in single precision; with ``mxp`` the
+    SP factorization is followed by iterative refinement against the DP
+    system (:func:`repro.hpl.mxp.refine_to_double`), so the result faces
+    the standard DP residual check. A pure SP run (``mxp=False``) is
+    judged against SP's own epsilon instead.
     """
     from repro.hpl.matgen import hpl_system
+    from repro.hpl.mxp import refine_to_double
     from repro.hpl.residual import hpl_residual, residual_passes
     from repro.lu.factorize import lu_solve
     from repro.lu.timing import LUTiming
@@ -193,16 +211,27 @@ def run_hybrid_numeric(
         raise ValueError(
             f"executor must be one of {EXECUTOR_BACKENDS}, got {executor!r}"
         )
-    a0, b = hpl_system(n, seed)
+    if dtype not in ("float64", "float32"):
+        raise ValueError(f"dtype must be 'float64' or 'float32', got {dtype!r}")
+    if mxp and dtype != "float32":
+        raise ValueError("mxp factors in single precision: set dtype='float32'")
+    np_dtype = np.float32 if dtype == "float32" else np.float64
+    if mxp:
+        a0, b = hpl_system(n, seed)  # DP ground truth
+        a_work = a0.astype(np.float32)
+    else:
+        a0, b = hpl_system(n, seed, dtype=np_dtype)
+        a_work = a0.copy()
     cache = PackCache() if pack_cache else None
     pool = as_buffer_pool(buffer_pool)
     profiler = AllocProfiler(enabled=alloc_profile)
     executor = make_executor(executor, workers)
+    report = None
     t0 = time.perf_counter()
     try:
         with profiler.span("hybrid.factor"):
             lu, ipiv = hybrid_blocked_lu(
-                a0.copy(),
+                a_work,
                 nb=nb,
                 cards=cards,
                 workers=executor,
@@ -210,8 +239,19 @@ def run_hybrid_numeric(
                 host_assist=host_assist,
                 buffer_pool=pool,
             )
+        factor_s = time.perf_counter() - t0
         with profiler.span("hybrid.solve"):
-            x = lu_solve(lu, ipiv, b, pool=pool)
+            if mxp:
+                x, report = refine_to_double(
+                    a0, b, lu, ipiv,
+                    tol=refine_tol,
+                    max_iters=refine_max_iters,
+                    pool=pool,
+                    fallback_nb=nb,
+                    fallback_workers=executor,
+                )
+            else:
+                x = lu_solve(lu, ipiv, b, pool=pool)
     finally:
         executor.close()
         profiler.close()
@@ -224,6 +264,11 @@ def run_hybrid_numeric(
     profiler.publish(metrics)
     executor.publish(metrics)
     metrics.gauge("hpl.wall_time_s").set(wall_s)
+    metrics.gauge("hpl.factor_time_s").set(factor_s)
+    if report is not None:
+        metrics.gauge("hpl.refine_time_s").set(report.refine_wall_s)
+        metrics.gauge("hpl.refine_iterations").set(report.iterations)
+    eps_dtype = np.float64 if mxp else np_dtype
     return HybridNumericResult(
         n=n,
         nb=nb,
@@ -231,8 +276,12 @@ def run_hybrid_numeric(
         workers=executor.workers,
         time_s=wall_s,
         gflops=LUTiming.hpl_flops(n) / wall_s / 1e9,
-        residual=hpl_residual(a0, x, b),
-        passed=residual_passes(a0, x, b),
+        residual=hpl_residual(a0, x, b, eps_dtype=eps_dtype),
+        passed=residual_passes(a0, x, b, eps_dtype=eps_dtype),
         metrics=metrics,
         alloc=profiler.to_dict(),
+        dtype=dtype,
+        factor_time_s=factor_s,
+        refine_time_s=report.refine_wall_s if report is not None else None,
+        refine=report.to_dict() if report is not None else None,
     )

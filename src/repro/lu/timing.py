@@ -37,10 +37,17 @@ class LUTiming:
     #: Panel rate fraction of per-core peak (overrides the calibration's
     #: machine-specific default when set).
     panel_eff: Optional[float] = None
+    #: Element width of the factorization: 8 (DP, default) or 4 (SP).
+    #: SP doubles the vector lane count (and thus per-core peak), halves
+    #: every bandwidth-bound byte count, and routes the GEMM model to the
+    #: SGEMM calibration — the machine-level basis of the MxP speedup.
+    dtype_bytes: int = 8
 
     def __post_init__(self):
         self.machine = self.machine or KNC
         self.cal = self.cal or default_calibration()
+        if self.dtype_bytes not in (4, 8):
+            raise ValueError("dtype_bytes must be 4 (SP) or 8 (DP)")
         if self.panel_eff is None:
             self.panel_eff = (
                 self.cal.panel_efficiency_knc
@@ -50,7 +57,9 @@ class LUTiming:
 
     # -- building blocks -----------------------------------------------------
     def _per_core_peak_gflops(self) -> float:
-        return self.machine.clock_ghz * self.machine.flops_per_cycle_per_core_dp()
+        return self.machine.clock_ghz * self.machine.flops_per_cycle_per_core(
+            self.dtype_bytes
+        )
 
     def panel_time(self, rows: int, nb: int, g_cores: int) -> float:
         """Seconds to factor a rows x nb panel on a g-core group."""
@@ -70,7 +79,7 @@ class LUTiming:
         touches), at the swap fraction of STREAM bandwidth shared among
         ``bw_sharers`` concurrent groups."""
         bw = self.machine.stream_bw_gbs * self.cal.laswp_bw_fraction / max(bw_sharers, 1)
-        return 4 * 8 * n_pivots * width / (bw * 1e9)
+        return 4 * self.dtype_bytes * n_pivots * width / (bw * 1e9)
 
     def trsm_time(self, nb: int, width: int, g_cores: int) -> float:
         """DTRSM of the nb x width U block against the nb x nb L11."""
@@ -82,7 +91,10 @@ class LUTiming:
         """Trailing-update GEMM on a g-core group."""
         if m <= 0 or n <= 0:
             return 0.0
-        eff = gemm_efficiency(m, n, k, self.machine, cores=g_cores, cal=self.cal)
+        eff = gemm_efficiency(
+            m, n, k, self.machine,
+            dtype_bytes=self.dtype_bytes, cores=g_cores, cal=self.cal,
+        )
         rate = eff * self._per_core_peak_gflops() * g_cores
         return 2.0 * m * n * k / (rate * 1e9)
 

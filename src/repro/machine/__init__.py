@@ -17,7 +17,7 @@ from repro.machine.config import (
     KNC,
     SNB,
 )
-from repro.machine.vector import VectorMachine, VLEN
+from repro.machine.vector import VectorMachine, VLEN, SP_VLEN, vlen_for
 from repro.machine.vector_batch import (
     IterationMix,
     KernelSchedule,
@@ -72,6 +72,8 @@ __all__ = [
     "SNB",
     "VectorMachine",
     "VLEN",
+    "SP_VLEN",
+    "vlen_for",
     "IterationMix",
     "KernelSchedule",
     "schedule_for",

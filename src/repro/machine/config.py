@@ -101,6 +101,21 @@ class MachineConfig:
     def flops_per_cycle_per_core_dp(self) -> int:
         return self.simd_dp * self.fma_per_cycle
 
+    def simd_lanes(self, dtype_bytes: int = 8) -> int:
+        """Vector lanes at the given element width: the 512-bit KNC unit
+        holds 8 doubles or 16 singles — SP doubles the lane count."""
+        if dtype_bytes not in (4, 8):
+            raise ValueError("dtype_bytes must be 4 (SP) or 8 (DP)")
+        return self.simd_dp * (8 // dtype_bytes)
+
+    def flops_per_cycle_per_core(self, dtype_bytes: int = 8) -> int:
+        return self.simd_lanes(dtype_bytes) * self.fma_per_cycle
+
+    def peak_gflops(self, dtype_bytes: int = 8, cores: int | None = None) -> float:
+        """Peak GFLOPS at the given precision over ``cores`` (default all)."""
+        n = self.cores if cores is None else cores
+        return n * self.clock_ghz * self.flops_per_cycle_per_core(dtype_bytes)
+
     def cycles_to_seconds(self, cycles: float) -> float:
         return cycles / (self.clock_ghz * 1e9)
 

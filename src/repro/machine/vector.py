@@ -33,6 +33,19 @@ import numpy as np
 #: Double-precision lanes per vector register (512 bits / 64 bits).
 VLEN = 8
 
+#: Single-precision lanes per vector register (512 bits / 32 bits) —
+#: the same physical registers hold twice the lanes at float32, which
+#: is where the MxP scheme's 2x factorization peak comes from.
+SP_VLEN = 16
+
+
+def vlen_for(dtype) -> int:
+    """Lanes per 512-bit register at ``dtype`` (8 DP / 16 SP)."""
+    itemsize = np.dtype(dtype).itemsize
+    if itemsize not in (4, 8):
+        raise ValueError(f"no KNC vector lanes for itemsize {itemsize}")
+    return 64 // itemsize
+
 
 @dataclass
 class InstructionCounts:

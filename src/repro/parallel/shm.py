@@ -146,8 +146,11 @@ class SharedArena:
         self._used: Dict[str, int] = {}  # bump pointer per segment
         #: Free blocks as (nbytes, segment, offset), sorted by size.
         self._free: List[Tuple[int, str, int]] = []
-        #: id(view) -> (view, segment, offset, block nbytes, key).
-        self._leases: Dict[int, Tuple[np.ndarray, str, int, int, str]] = {}
+        #: id(view) -> (view, segment, offset, block nbytes, dtype, key).
+        #: Like BufferPool, the dtype travels with the lease: spans are
+        #: raw bytes and freely reused across precisions, but a live SP
+        #: lease can never alias a live DP lease's bytes.
+        self._leases: Dict[int, Tuple[np.ndarray, str, int, int, str, str]] = {}
         self._destroyed = False
         # -- counters ----------------------------------------------------
         self.checkouts = 0
@@ -158,6 +161,7 @@ class SharedArena:
         self.arena_bytes = 0
         self.peak_bytes = 0
         self.by_key: Dict[str, int] = {}
+        self.by_dtype: Dict[str, int] = {}  # checkouts per dtype str
 
     # -- segment management ----------------------------------------------------
     def _new_segment(self, min_bytes: int) -> str:
@@ -206,10 +210,11 @@ class SharedArena:
             view = np.ndarray(
                 shape, dtype=dtype, buffer=self._segments[seg].buf, offset=off
             )
-            self._leases[id(view)] = (view, seg, off, block, key)
+            self._leases[id(view)] = (view, seg, off, block, dtype.name, key)
             self.checkouts += 1
             self.bytes_served += nbytes
             self.by_key[key] = self.by_key.get(key, 0) + 1
+            self.by_dtype[dtype.name] = self.by_dtype.get(dtype.name, 0) + 1
         return view
 
     def release(self, buf: np.ndarray) -> None:
@@ -221,7 +226,7 @@ class SharedArena:
                     f"{self.name}: buffer is not leased "
                     "(double release, or not from this arena)"
                 )
-            _view, seg, off, block, _key = lease
+            _view, seg, off, block, _dtype, _key = lease
             self._insert_free((block, seg, off))
             self.releases += 1
 
@@ -312,6 +317,16 @@ class SharedArena:
         with self._lock:
             return sorted(key for (*_rest, key) in self._leases.values())
 
+    def active_leases(self) -> List[Tuple[str, str, int]]:
+        """``(key, dtype, nbytes)`` per outstanding lease — the dtype
+        column mirrors :meth:`BufferPool.active_leases` so the
+        cross-precision aliasing property tests cover both arenas."""
+        with self._lock:
+            return sorted(
+                (key, dt, view.nbytes)
+                for (view, _s, _o, _b, dt, key) in self._leases.values()
+            )
+
     @property
     def segment_names(self) -> List[str]:
         with self._lock:
@@ -356,6 +371,8 @@ class SharedArena:
         metrics.gauge(f"{self.name}.arena_bytes").set(self.arena_bytes)
         metrics.gauge(f"{self.name}.peak_bytes").update_max(self.peak_bytes)
         metrics.gauge(f"{self.name}.active").set(self.active)
+        for dt, count in sorted(self.by_dtype.items()):
+            metrics.counter(f"{self.name}.checkouts.{dt}").inc(count)
 
     def __repr__(self) -> str:
         return (

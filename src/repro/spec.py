@@ -53,6 +53,17 @@ BCAST_ALGOS = ("star", "ring", "binomial", "ring-mod")
 #: over shared memory.
 EXECUTORS = ("thread", "process")
 
+#: Working precisions of the factorization. float32 runs the SP kernel
+#: and GEMM models (16 lanes / 2x peak on KNC); pair it with ``mxp`` to
+#: recover double accuracy through iterative refinement.
+DTYPES = ("float64", "float32")
+
+#: MxP refinement defaults: converge the scaled residual below 1.0
+#: (comfortably inside the DP HPL pass threshold of 16) within 8
+#: correction iterations before declaring a stall.
+DEFAULT_REFINE_TOL = 1.0
+DEFAULT_REFINE_MAX_ITERS = 8
+
 #: Kind-specific ``nb`` defaults (the historical CLI/driver defaults):
 #: native 300 (best kernel depth), distributed 16 (test-scale grids),
 #: hybrid 1200 for the timing model (``HYBRID_KT``, the PCIe-bound
@@ -94,6 +105,10 @@ class RunSpec:
     bcast_algo: str = "star"
     chunk_kb: Optional[float] = None
     numeric: bool = False
+    dtype: str = "float64"
+    mxp: bool = False
+    refine_tol: Optional[float] = None
+    refine_max_iters: Optional[int] = None
     workers: Optional[int] = None
     executor: str = "thread"
     pack_cache: bool = True
@@ -161,6 +176,18 @@ class RunSpec:
         if self.numeric:
             _require(self.kind in ("native", "hybrid"),
                      "numeric applies to native/hybrid runs")
+        _require(self.dtype in DTYPES,
+                 f"dtype must be one of {DTYPES}, got {self.dtype!r}")
+        if self.mxp:
+            _require(self.dtype == "float32",
+                     "mxp factors in single precision: set dtype='float32'")
+        else:
+            _require(self.refine_tol is None and self.refine_max_iters is None,
+                     "refine_tol/refine_max_iters apply to mxp runs only")
+        _require(self.refine_tol is None or self.refine_tol > 0,
+                 "refine_tol must be positive")
+        _require(self.refine_max_iters is None or self.refine_max_iters >= 1,
+                 "refine_max_iters must be >= 1")
 
     # -- canonical forms ---------------------------------------------------
     def normalized(self) -> "RunSpec":
@@ -179,7 +206,8 @@ class RunSpec:
                     changes[field_name] = value
         if self.nb is None:
             if self.kind == "hybrid":
-                changes["nb"] = (DEFAULT_NB_HYBRID_NUMERIC if self.numeric
+                changes["nb"] = (DEFAULT_NB_HYBRID_NUMERIC
+                                 if self.numeric or self.mxp
                                  else DEFAULT_NB_HYBRID_MODEL)
             else:
                 changes["nb"] = DEFAULT_NB[self.kind]
@@ -187,7 +215,17 @@ class RunSpec:
             changes["lookahead"] = "pipelined"
         if self.lookahead is None and self.kind == "distributed":
             changes["lookahead"] = "off"
-        if self.kind == "hybrid" and self.numeric and (self.p, self.q) != (1, 1):
+        if self.mxp:
+            # MxP is inherently numeric on native/hybrid (refinement needs
+            # the real solution); the flags alone name the same run.
+            if self.kind in ("native", "hybrid") and not self.numeric:
+                changes["numeric"] = True
+            if self.refine_tol is None:
+                changes["refine_tol"] = DEFAULT_REFINE_TOL
+            if self.refine_max_iters is None:
+                changes["refine_max_iters"] = DEFAULT_REFINE_MAX_ITERS
+        numeric = changes.get("numeric", self.numeric)
+        if self.kind == "hybrid" and numeric and (self.p, self.q) != (1, 1):
             changes["p"] = 1
             changes["q"] = 1
         return dataclasses.replace(self, **changes) if changes else self
@@ -287,6 +325,10 @@ class RunSpec:
             parts.append(f"bcast={s.bcast_algo} lookahead={s.lookahead}")
         if s.numeric:
             parts.append("numeric")
+        if s.mxp:
+            parts.append(f"mxp(tol={s.refine_tol:g},k<={s.refine_max_iters})")
+        elif s.dtype != "float64":
+            parts.append(s.dtype)
         return " ".join(parts)
 
 
@@ -431,6 +473,23 @@ RUN_FLAGS: Tuple[FlagDef, ...] = (
     FlagDef("machine", "--machine",
             f"machine profile pinning cards/mem-gb: {', '.join(MACHINE_PROFILES)}",
             type=str, metavar="NAME", kinds={"hybrid": {}}),
+    FlagDef("dtype", "--dtype",
+            "working precision of the factorization (float32 runs the SP "
+            "kernel/GEMM models; pair with --mxp to recover DP accuracy)",
+            type=str, choices=DTYPES,
+            kinds={k: {"default": "float64"} for k in _ALL}),
+    FlagDef("mxp", "--mxp",
+            "mixed-precision HPL-MxP: factor in float32, then iteratively "
+            "refine the solution back to double precision",
+            action="store_true", kinds={k: {} for k in _ALL}),
+    FlagDef("refine_tol", "--refine-tol",
+            "scaled-residual convergence target for MxP refinement "
+            f"(default {DEFAULT_REFINE_TOL:g}; the DP HPL check passes at 16)",
+            type=float, metavar="TOL", kinds={k: {} for k in _ALL}),
+    FlagDef("refine_max_iters", "--refine-max-iters",
+            "refinement iteration budget before falling back to a full-DP "
+            f"factorization (default {DEFAULT_REFINE_MAX_ITERS})",
+            metavar="K", kinds={k: {} for k in _ALL}),
     FlagDef("seed", "--seed", "matrix-generator seed for numeric runs",
             kinds={k: {"default": 42} for k in _ALL}),
     FlagDef("workers", "--workers",

@@ -1,0 +1,175 @@
+"""Cross-precision lease safety: an SP request is never served DP bytes.
+
+The MxP path runs float32 factorizations and float64 refinement over
+the *same* pooled substrate, so the arenas must keep concurrent leases
+of different precisions strictly apart: every view handed out has
+exactly the requested dtype, live leases never overlap in memory, and
+the lease tables record the precision for diagnostics. The property
+tests drive :class:`~repro.blas.buffers.BufferPool` and
+:class:`~repro.parallel.shm.SharedArena` with random interleaved
+SP/DP checkout/release traces; :class:`~repro.blas.workspace.PackCache`
+is covered by its dtype-pinned key. The upcast guards on
+``matmul_into`` / ``subtract_into`` are tested alongside because they
+close the same hole from the kernel side (no silent promotion).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blas.buffers import BufferPool, matmul_into, subtract_into
+from repro.blas.workspace import PackCache
+from repro.parallel.shm import SharedArena
+
+try:  # NumPy >= 2.0 moved byte_bounds out of the top-level namespace.
+    from numpy.lib.array_utils import byte_bounds
+except ImportError:  # pragma: no cover - NumPy 1.x
+    byte_bounds = np.byte_bounds
+
+
+#: A trace step: (dtype, rows, cols, release-index-or-None). The release
+#: index frees one of the currently-live leases (modulo count).
+_steps = st.lists(
+    st.tuples(
+        st.sampled_from([np.float32, np.float64]),
+        st.integers(1, 24),
+        st.integers(1, 24),
+        st.one_of(st.none(), st.integers(0, 31)),
+    ),
+    min_size=1,
+    max_size=32,
+)
+
+
+def _drive(make_pool, steps, destroy=None):
+    """Replay a checkout/release trace, checking the lease invariants
+    after every step, and return the pool for counter assertions."""
+    pool = make_pool()
+    live = []  # (view, requested dtype)
+    try:
+        for dt, rows, cols, rel in steps:
+            if rel is not None and live:
+                view, _want = live.pop(rel % len(live))
+                pool.release(view)
+            view = pool.checkout((rows, cols), dt, key=np.dtype(dt).name)
+            live.append((view, np.dtype(dt)))
+            # 1. Served at exactly the requested precision.
+            for v, want in live:
+                assert v.dtype == want
+            # 2. Live leases are pairwise disjoint in memory — an SP
+            #    lease can never alias a DP lease's bytes (or any
+            #    other lease's).
+            bounds = sorted(byte_bounds(v) for v, _ in live)
+            for (lo_a, hi_a), (lo_b, _hi_b) in zip(bounds, bounds[1:]):
+                assert hi_a <= lo_b, "live leases overlap"
+            # 3. The lease table records the precision.
+            recorded = [d for (_k, d, _n) in pool.active_leases()]
+            assert sorted(recorded) == sorted(d.name for _, d in live)
+        # by_dtype accounts every checkout, by precision.
+        assert sum(pool.by_dtype.values()) == pool.checkouts
+        for v, _ in live:
+            pool.release(v)
+        assert pool.active == 0
+    finally:
+        if destroy is not None:
+            destroy(pool)
+    return pool
+
+
+class TestBufferPoolDtypeLeases:
+    @settings(max_examples=50, deadline=None)
+    @given(_steps)
+    def test_interleaved_precisions_never_alias(self, steps):
+        _drive(BufferPool, steps)
+
+    def test_by_dtype_counters(self):
+        pool = BufferPool()
+        with pool.rent((4, 4), np.float32):
+            with pool.rent((4, 4), np.float64):
+                assert [d for (_k, d, _n) in pool.active_leases()] == [
+                    "float32", "float64"]
+        assert pool.by_dtype == {"float32": 1, "float64": 1}
+
+
+class TestSharedArenaDtypeLeases:
+    @settings(max_examples=15, deadline=None)
+    @given(_steps)
+    def test_interleaved_precisions_never_alias(self, steps):
+        _drive(
+            lambda: SharedArena(segment_bytes=1 << 16),
+            steps,
+            destroy=lambda arena: arena.destroy(),
+        )
+
+    def test_refs_round_trip_at_both_precisions(self):
+        arena = SharedArena(segment_bytes=1 << 16)
+        try:
+            sp = arena.checkout((3, 5), np.float32, key="sp")
+            dp = arena.checkout((3, 5), np.float64, key="dp")
+            sp[:] = 1.5
+            dp[:] = 2.5
+            assert arena.resolve(arena.ref_of(sp)).dtype == np.float32
+            assert arena.resolve(arena.ref_of(dp)).dtype == np.float64
+            assert float(arena.resolve(arena.ref_of(sp))[0, 0]) == 1.5
+            arena.release(sp)
+            arena.release(dp)
+        finally:
+            arena.destroy()
+
+
+class TestPackCacheDtypeKey:
+    def test_same_key_different_dtype_never_false_hits(self):
+        """The full cache key pins ``src.dtype``, so one name used for
+        an SP and a DP slice of identical values produces two entries —
+        a hit at the wrong precision would hand an SP GEMM a packed DP
+        panel."""
+        cache = PackCache()
+        dp = np.arange(12.0, dtype=np.float64).reshape(3, 4)
+        sp = dp.astype(np.float32)
+        p_dp = cache.pack_a(dp, key="panel")
+        p_sp = cache.pack_a(sp, key="panel")
+        assert cache.misses == 2 and cache.hits == 0
+        assert p_dp.data.dtype == np.float64
+        assert p_sp.data.dtype == np.float32
+        # Repeats at each precision hit their own entries.
+        assert cache.pack_a(dp, key="panel") is p_dp
+        assert cache.pack_a(sp, key="panel") is p_sp
+        assert cache.hits == 2
+
+
+class TestUpcastGuards:
+    def test_matmul_into_rejects_mixed_dtypes(self):
+        pool = BufferPool()
+        sp = np.ones((4, 4), dtype=np.float32)
+        dp = np.ones((4, 4), dtype=np.float64)
+        out = np.empty((4, 4), dtype=np.float64)
+        with pytest.raises(TypeError, match="no silent promotion"):
+            matmul_into(pool, sp, dp, out)
+        with pytest.raises(TypeError, match="no silent promotion"):
+            matmul_into(pool, dp, dp, np.empty((4, 4), dtype=np.float32))
+        # Vector-like shapes go through the same guard.
+        with pytest.raises(TypeError, match="no silent promotion"):
+            matmul_into(pool, sp, np.ones((4, 1)), np.empty((4, 1)))
+        assert pool.active == 0
+
+    def test_matmul_into_accepts_uniform_float32(self):
+        pool = BufferPool()
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal((6, 5)).astype(np.float32)
+        y = rng.standard_normal((5, 4)).astype(np.float32)
+        out = np.empty((6, 4), dtype=np.float32)
+        matmul_into(pool, x[:, ::-1][:, ::-1], y, out)  # non-contig x
+        assert np.array_equal(out, x @ y)
+        assert pool.active == 0
+
+    def test_subtract_into_rejects_mixed_dtypes(self):
+        t = np.ones((3, 3), dtype=np.float64)
+        with pytest.raises(TypeError, match="no silent promotion"):
+            subtract_into(t, np.ones((3, 3), dtype=np.float32))
+
+    def test_subtract_into_float32(self):
+        t = np.arange(9, dtype=np.float32).reshape(3, 3)
+        want = t - 1
+        subtract_into(t, np.ones((3, 3), dtype=np.float32))
+        assert np.array_equal(t, want)

@@ -1,0 +1,218 @@
+"""Mixed-precision HPL-MxP: refinement correctness and driver plumbing.
+
+The scheme's load-bearing facts, each pinned here:
+
+* the seeded generator rounds one stream, so the SP matrix is exactly
+  the DP matrix rounded elementwise (and distributed SP local pieces
+  agree with the rounded global matrix);
+* :func:`~repro.hpl.mxp.refine_to_double` recovers a solution that
+  passes the *double-precision* HPL residual check from an SP
+  factorization, reports its iteration history, and falls back to a
+  full-DP factorization when refinement stalls;
+* all three drivers thread the knobs end to end and report per-phase
+  timings plus the refinement record.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hpl.matgen import hpl_matrix, hpl_submatrix, hpl_system
+from repro.hpl.mxp import (
+    expected_iterations,
+    refine_model_time_s,
+    refine_to_double,
+)
+from repro.hpl.residual import hpl_residual, residual_passes
+from repro.lu.factorize import blocked_lu
+
+
+class TestCrossPrecisionMatgen:
+    def test_sp_matrix_is_rounded_dp_matrix(self):
+        dp = hpl_matrix(96)
+        sp = hpl_matrix(96, dtype=np.float32)
+        assert sp.dtype == np.float32
+        assert np.array_equal(sp, dp.astype(np.float32))
+
+    def test_sp_submatrix_agrees_with_rounded_global(self):
+        rows = np.arange(1, 40, 3)
+        cols = np.arange(0, 48, 2)
+        full = hpl_matrix(48, dtype=np.float32)
+        piece = hpl_submatrix(48, rows, cols, dtype=np.float32)
+        assert np.array_equal(piece, full[np.ix_(rows, cols)])
+
+    def test_sp_rhs_is_rounded_dp_rhs(self):
+        _a, b_dp = hpl_system(64)
+        _a, b_sp = hpl_system(64, dtype=np.float32)
+        assert b_sp.dtype == np.float32
+        assert np.array_equal(b_sp, b_dp.astype(np.float32))
+
+
+class TestRefineToDouble:
+    @pytest.fixture(scope="class")
+    def system(self):
+        a, b = hpl_system(128)
+        lu_sp, ipiv = blocked_lu(a.astype(np.float32), nb=32)
+        return a, b, lu_sp, ipiv
+
+    def test_recovers_dp_accuracy_from_sp_factors(self, system):
+        a, b, lu_sp, ipiv = system
+        x, report = refine_to_double(a, b, lu_sp, ipiv)
+        assert x.dtype == np.float64
+        assert report.converged and not report.fallback
+        assert 1 <= report.iterations <= report.max_iters
+        assert residual_passes(a, x, b)  # the standard DP check
+        # The SP solve alone would not have passed it.
+        assert report.residuals[0] > report.residuals[-1]
+
+    def test_residual_history_is_monotone_to_convergence(self, system):
+        a, b, lu_sp, ipiv = system
+        _x, report = refine_to_double(a, b, lu_sp, ipiv)
+        assert report.residuals == sorted(report.residuals, reverse=True)
+        assert report.residuals[-1] < report.tol
+
+    def test_report_round_trips_to_dict(self, system):
+        a, b, lu_sp, ipiv = system
+        _x, report = refine_to_double(a, b, lu_sp, ipiv)
+        doc = report.to_dict()
+        assert doc["converged"] is True
+        assert doc["iterations"] == report.iterations
+        assert doc["sp_dtype"] == "float32"
+        assert len(doc["residuals"]) == report.iterations + 1
+
+    def test_rejects_dp_factors(self, system):
+        a, b, _lu, ipiv = system
+        lu_dp, ipiv_dp = blocked_lu(a.copy(), nb=32)
+        with pytest.raises(ValueError, match="double precision"):
+            refine_to_double(a, b, lu_dp, ipiv_dp)
+
+    def test_validates_knobs(self, system):
+        a, b, lu_sp, ipiv = system
+        with pytest.raises(ValueError):
+            refine_to_double(a, b, lu_sp, ipiv, tol=0.0)
+        with pytest.raises(ValueError):
+            refine_to_double(a, b, lu_sp, ipiv, max_iters=0)
+
+    def test_stall_falls_back_to_full_dp(self):
+        """Factors of the *wrong* matrix cannot reduce the residual, so
+        refinement stalls and the full-DP fallback must still produce a
+        passing solution."""
+        a, b = hpl_system(96)
+        other, _ = hpl_system(96, seed=7)
+        bad_lu, bad_ipiv = blocked_lu(other.astype(np.float32), nb=32)
+        x, report = refine_to_double(a, b, bad_lu, bad_ipiv, max_iters=3)
+        assert report.fallback and not report.converged
+        assert report.fallback_wall_s is not None
+        assert residual_passes(a, x, b)
+
+    def test_tighter_tol_takes_at_least_as_many_iterations(self):
+        a, b = hpl_system(96)
+        lu_sp, ipiv = blocked_lu(a.astype(np.float32), nb=32)
+        _x, loose = refine_to_double(a, b, lu_sp, ipiv, tol=1.0)
+        _x, tight = refine_to_double(a, b, lu_sp, ipiv, tol=1e-3)
+        assert tight.iterations >= loose.iterations
+
+
+class TestEpsParametricResidual:
+    def test_pure_sp_judged_against_its_own_eps(self):
+        a, b = hpl_system(96, dtype=np.float32)
+        lu, ipiv = blocked_lu(a.copy(), nb=32)
+        from repro.lu.factorize import lu_solve
+
+        x = lu_solve(lu, ipiv, b)
+        # Against DP eps the scaled residual is hopeless; against SP
+        # eps the same solution is a clean pass.
+        assert hpl_residual(a, x, b) > hpl_residual(
+            a, x, b, eps_dtype=np.float32
+        )
+        assert residual_passes(a, x, b, eps_dtype=np.float32)
+
+
+class TestRefineModel:
+    def test_model_time_scales_with_iterations_and_n(self):
+        base = refine_model_time_s(10000, 2)
+        assert refine_model_time_s(10000, 4) > base
+        assert refine_model_time_s(20000, 2) > base
+        assert base > 0
+
+    def test_expected_iterations_is_a_small_positive_count(self):
+        k = expected_iterations(20000)
+        assert 1 <= k <= 8
+
+
+class TestDriversEndToEnd:
+    def test_native_mxp_passes_dp_check_with_phase_timings(self):
+        from repro.hpl.driver import NativeHPL
+
+        res = NativeHPL(96, nb=32, workers=2, dtype="float32", mxp=True).run(
+            numeric=True
+        )
+        assert res.passed and res.dtype == "float32"
+        assert res.refine is not None and res.refine["converged"]
+        assert res.refine_time_s is not None and res.refine_time_s >= 0
+        assert res.factor_time_s is not None and res.factor_time_s > 0
+
+    def test_hybrid_mxp_passes_dp_check(self):
+        from repro.hybrid.functional import run_hybrid_numeric
+
+        res = run_hybrid_numeric(64, nb=16, dtype="float32", mxp=True)
+        assert res.passed and res.refine["converged"]
+        assert res.refine_time_s is not None
+
+    def test_distributed_mxp_passes_dp_check(self):
+        from repro.cluster.hpl_mpi import DistributedHPL
+
+        res = DistributedHPL(
+            48, 8, 2, 2, dtype="float32", mxp=True
+        ).run()
+        assert res.passed and res.dtype == "float32"
+        assert res.refine is not None and res.refine["converged"]
+        assert res.refine_time_s is not None
+        assert res.factor_time_s is not None and res.factor_time_s >= 0
+
+    def test_pure_sp_native_reports_sp_pass(self):
+        from repro.hpl.driver import NativeHPL
+
+        res = NativeHPL(96, nb=32, dtype="float32").run(numeric=True)
+        assert res.dtype == "float32"
+        assert res.passed  # judged against float32 eps
+        assert res.refine is None
+
+    def test_mxp_requires_float32(self):
+        from repro.hpl.driver import NativeHPL
+
+        with pytest.raises(ValueError, match="float32"):
+            NativeHPL(96, dtype="float64", mxp=True)
+
+
+class TestSpecValidation:
+    def test_refine_knobs_require_mxp(self):
+        from repro.spec import RunSpec
+
+        with pytest.raises(ValueError, match="mxp"):
+            RunSpec(kind="native", n=2000, refine_tol=0.5)
+        with pytest.raises(ValueError, match="mxp"):
+            RunSpec(kind="native", n=2000, refine_max_iters=4)
+
+    def test_mxp_requires_sp_dtype(self):
+        from repro.spec import RunSpec
+
+        with pytest.raises(ValueError, match="float32"):
+            RunSpec(kind="native", n=2000, mxp=True)
+
+    def test_mxp_normalizes_numeric_and_refine_defaults(self):
+        from repro.spec import DEFAULT_REFINE_MAX_ITERS, DEFAULT_REFINE_TOL, RunSpec
+
+        s = RunSpec(kind="native", n=2000, dtype="float32", mxp=True)
+        norm = s.normalized()
+        assert norm.numeric is True
+        assert norm.refine_tol == DEFAULT_REFINE_TOL
+        assert norm.refine_max_iters == DEFAULT_REFINE_MAX_ITERS
+
+    def test_mxp_hybrid_collapses_grid_like_numeric(self):
+        from repro.spec import RunSpec
+
+        norm = RunSpec(
+            kind="hybrid", n=2000, p=2, q=2, dtype="float32", mxp=True
+        ).normalized()
+        assert (norm.p, norm.q) == (1, 1)
+        assert norm.nb == 64  # the numeric default, not the model's

@@ -103,6 +103,12 @@ class TestSensitivity:
             RunSpec(kind="hybrid", n=12000, seed=7),
             RunSpec(kind="hybrid", n=12000, cards=2),
             RunSpec(kind="hybrid", n=12000, numeric=True),
+            RunSpec(kind="hybrid", n=12000, dtype="float32"),
+            RunSpec(kind="hybrid", n=12000, dtype="float32", mxp=True),
+            RunSpec(kind="hybrid", n=12000, dtype="float32", mxp=True,
+                    refine_tol=0.5),
+            RunSpec(kind="hybrid", n=12000, dtype="float32", mxp=True,
+                    refine_max_iters=4),
         ]
         hashes = {base.canonical_hash()}
         for v in variants:
@@ -136,3 +142,36 @@ class TestDocumentedCollisionSemantics:
         assert (spec.normalized().canonical_hash()
                 == spec.canonical_hash()
                 == spec.normalized().normalized().canonical_hash())
+
+
+class TestPrecisionCaching:
+    """A warm DP cache must never answer for an MxP (or SP) request —
+    the precision axes are part of the canonical identity."""
+
+    def test_mxp_spelling_with_and_without_numeric_is_one_identity(self):
+        """``--mxp`` alone folds ``numeric=True`` for native/hybrid, so
+        both spellings execute identically and must share a cache
+        entry."""
+        bare = RunSpec(kind="native", n=2000, dtype="float32", mxp=True)
+        explicit = RunSpec(kind="native", n=2000, dtype="float32",
+                           mxp=True, numeric=True)
+        assert bare.canonical_hash() == explicit.canonical_hash()
+
+    def test_warm_dp_cache_misses_for_mxp_request(self):
+        from repro.api import run_cached
+        from repro.service.cache import ResultCache
+
+        cache = ResultCache()
+        dp = RunSpec(kind="native", n=64, nb=16, numeric=True, workers=1)
+        mxp = RunSpec(kind="native", n=64, nb=16, workers=1,
+                      dtype="float32", mxp=True)
+        first = run_cached(dp, cache)
+        assert first["status"] == "ok" and first["cached"] is False
+        served = run_cached(mxp, cache)
+        assert served["cached"] is False  # DP entry must not answer
+        assert served["spec_hash"] != first["spec_hash"]
+        assert served["result"]["refine"]["iterations"] >= 1
+        assert first["result"].get("refine") is None
+        # Both are now warm under their own identities.
+        assert run_cached(dp, cache)["cached"] is True
+        assert run_cached(mxp, cache)["cached"] is True

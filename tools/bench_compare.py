@@ -26,7 +26,11 @@ Two families are gated the other way round — growth beyond
 both ``alloc`` and ``bytes``, as emitted by
 ``benchmarks/bench_alloc.py``) and latency figures (keys naming
 ``latency``, ``p99``, ``p50`` or ``queue_wait``, as emitted by
-``benchmarks/bench_service.py``).
+``benchmarks/bench_service.py``) and refinement-iteration counts
+(keys naming ``refine_iters``, as emitted by
+``benchmarks/bench_mxp.py`` — more sweeps to recover double precision
+is the regression; ``mxp_speedup`` is gated higher-is-better through
+the ordinary ``speedup`` rule).
 
 Standard library only, so CI can run it before (or without) installing
 the package.
@@ -54,6 +58,11 @@ ALLOC_KEY_PARTS = ("alloc", "bytes")
 #: summaries), where growth is the regression.
 LATENCY_KEY_PARTS = ("latency", "p99", "p50", "queue_wait")
 
+#: A leaf is gated lower-is-better when its key contains ANY of these:
+#: MxP refinement iteration counts — needing more refinement sweeps to
+#: recover double-precision accuracy is the regression.
+REFINE_KEY_PARTS = ("refine_iters",)
+
 #: ...unless it also matches one of these (reference data, not measurements).
 SKIP_KEY_PARTS = ("paper",)
 
@@ -66,6 +75,8 @@ def classify_key(key: str) -> str:
     if all(part in k for part in ALLOC_KEY_PARTS):
         return "lower"
     if any(part in k for part in LATENCY_KEY_PARTS):
+        return "lower"
+    if any(part in k for part in REFINE_KEY_PARTS):
         return "lower"
     if any(part in k for part in RATE_KEY_PARTS):
         return "higher"
