@@ -112,6 +112,8 @@ def _run_distributed(s: RunSpec) -> RunResult:
         fault_plan=s.fault_plan,
         checkpoint_every=s.checkpoint_every,
         retry=retry,
+        regrid=s.regrid or None,
+        on_rank_death=s.on_rank_death,
         **_precision_kwargs(s),
     ).run()
 

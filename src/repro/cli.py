@@ -21,7 +21,17 @@ configurations without going through pytest:
     scenario — DSL, JSON or a file), ``--checkpoint-every K``
     (panel-boundary checkpoints + rollback recovery), ``--retry-max``
     and ``--comm-timeout`` (the hardened channel's bounded-retry
-    policy).
+    policy), ``--regrid "panel=K:PxQ"`` (reshape the process grid
+    mid-run, repeatable — the run redistributes its checkpoint cut and
+    continues on the new grid, bitwise-identically) and
+    ``--on-rank-death {restart,shrink}`` (shrink redistributes onto
+    the surviving ranks instead of re-running the lost geometry).
+``elastic plan --n 144 --nb 16 --grid 2x2 --regrid panel=3:2x4``
+    Dry-run a relayout: the block transfer matrix between the two
+    block-cyclic layouts, per-rank send/recv bytes, and the predicted
+    redistribution time under the machine model's network — without
+    running anything. A malformed ``--regrid`` exits 2 with a one-line
+    parse error.
 ``campaign run spec.yaml`` / ``campaign expand`` / ``campaign tune``
     Declarative sweep campaigns (see :mod:`repro.campaign`): a YAML or
     JSON document names a base configuration and axes to sweep; ``run``
@@ -82,7 +92,13 @@ import sys
 from typing import List, Optional
 
 from repro.machine import KNC, SNB
-from repro.spec import RunSpec, run_flags_parser, spec_from_args
+from repro.spec import (
+    DTYPES,
+    RunSpec,
+    _regrid_entry,
+    run_flags_parser,
+    spec_from_args,
+)
 
 
 def _add_obs_flags(p: argparse.ArgumentParser) -> None:
@@ -445,6 +461,9 @@ def _cmd_service_serve(args) -> int:
         use_processes=not args.threads,
         max_queue=args.max_queue,
         batch_max=args.batch_max,
+        elastic=args.elastic,
+        min_workers=args.min_workers,
+        max_workers=args.max_workers,
     )
 
     async def _go() -> None:
@@ -484,6 +503,50 @@ def _cmd_service_submit(args) -> int:
         return 1
     print(json.dumps(artifact, indent=2, sort_keys=True))
     return 0 if artifact.get("status") == "ok" else 1
+
+
+def _grid_arg(text: str):
+    """argparse ``type`` for a ``PxQ`` grid: exit 2 on malformed input."""
+    from repro.spec import parse_grid
+
+    try:
+        return parse_grid(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def _cmd_elastic_plan(args) -> int:
+    from repro.cluster.grid import ProcessGrid
+    from repro.elastic import plan_relayout, predict_time_s, segments
+    from repro.report import Table
+
+    p, q = args.grid
+    n_blocks = -(-args.n // args.nb)
+    try:
+        spans = segments(n_blocks, ProcessGrid(p, q), args.regrid)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for (g0, _k0, cut), (g1, _k1, _k2) in zip(spans, spans[1:]):
+        plan = plan_relayout(args.n, args.nb, g0, g1, dtype=args.dtype)
+        print(f"panel {cut}: {plan.describe()}")
+        t = Table(
+            f"Transfer matrix {g0.p}x{g0.q} -> {g1.p}x{g1.q}",
+            ["src", "dst", "bytes"],
+        )
+        for (src, dst), nbytes in sorted(plan.transfer_matrix.items()):
+            t.add(src, dst, nbytes)
+        print(t)
+        t = Table("Per-rank volume", ["rank", "send bytes", "recv bytes"])
+        for rank in sorted(set(plan.send_bytes) | set(plan.recv_bytes)):
+            t.add(rank, plan.send_bytes.get(rank, 0),
+                  plan.recv_bytes.get(rank, 0))
+        print(t)
+        print(f"lower bound: {plan.lower_bound_bytes} bytes "
+              f"(efficiency {plan.efficiency:.3f})")
+        print(f"predicted redistribution time: "
+              f"{predict_time_s(plan) * 1e3:.3f} ms")
+    return 0
 
 
 def _sizes(text: str) -> List[int]:
@@ -590,6 +653,25 @@ def build_parser() -> argparse.ArgumentParser:
                     help="emit the tuning rows as JSON")
     pc.set_defaults(fn=_cmd_campaign_tune)
 
+    p = sub.add_parser("elastic", help="mid-run grid reconfiguration tools")
+    esub = p.add_subparsers(dest="subcommand", required=True)
+
+    pe = esub.add_parser(
+        "plan",
+        help="dry-run a relayout: transfer matrix, per-rank bytes, "
+             "predicted redistribution time",
+    )
+    pe.add_argument("--n", type=int, default=144, help="problem size N")
+    pe.add_argument("--nb", type=int, default=16, help="block size NB")
+    pe.add_argument("--grid", type=_grid_arg, default=(2, 2), metavar="PxQ",
+                    help="initial process grid (default 2x2)")
+    pe.add_argument("--regrid", type=_regrid_entry, action="append",
+                    required=True, metavar="panel=K:PxQ",
+                    help="schedule entry (repeatable; one plan per hop)")
+    pe.add_argument("--dtype", choices=DTYPES, default="float64",
+                    help="matrix element type the byte totals assume")
+    pe.set_defaults(fn=_cmd_elastic_plan)
+
     p = sub.add_parser("service", help="benchmark-as-a-service over NDJSON")
     ssub = p.add_subparsers(dest="subcommand", required=True)
 
@@ -612,6 +694,13 @@ def build_parser() -> argparse.ArgumentParser:
                     help="admission bound before load shedding (default 64)")
     ps.add_argument("--batch-max", type=int, default=8, metavar="N",
                     help="max compatible jobs coalesced per dispatch")
+    ps.add_argument("--elastic", action="store_true",
+                    help="resize the worker pool between dispatches: grow "
+                         "under queue-depth pressure, shrink when idle")
+    ps.add_argument("--min-workers", type=int, default=None, metavar="N",
+                    help="elastic floor the idle pool shrinks to (default 1)")
+    ps.add_argument("--max-workers", type=int, default=None, metavar="N",
+                    help="elastic ceiling under pressure (default: --workers)")
     ps.set_defaults(fn=_cmd_service_serve)
 
     ps = ssub.add_parser("submit", help="submit one spec to a running service")

@@ -570,6 +570,8 @@ class World:
         self.resilient = retry is not None
         self._dead: set = set()
         self._dead_lock = threading.Lock()
+        #: Per-rank exception of the last :meth:`run` (None = clean).
+        self._errors: List[Optional[BaseException]] = [None] * size
         self._closed = False
         self._boxes: Dict[Tuple[int, int], queue.Queue] = {
             (s, d): queue.Queue() for s in range(size) for d in range(size)
@@ -589,6 +591,17 @@ class World:
         with self._dead_lock:
             return rank in self._dead
 
+    def crashed_ranks(self) -> List[int]:
+        """Ranks whose body raised a *root-cause* (non-comm) exception
+        in the last :meth:`run` — the genuinely dead ranks, excluding
+        survivors that only cascaded into secondary timeouts. This is
+        what shrink-to-survivors recovery sizes its new grid by."""
+        return sorted(
+            r
+            for r, exc in enumerate(self._errors)
+            if exc is not None and not isinstance(exc, CommError)
+        )
+
     def run(self, fn: Callable, *args, **kwargs) -> List[Any]:
         """SPMD-launch ``fn(comm, *args, **kwargs)`` on every rank and
         return the per-rank results.
@@ -600,6 +613,7 @@ class World:
         """
         results: List[Any] = [None] * self.size
         errors: List[Optional[BaseException]] = [None] * self.size
+        self._errors = errors
 
         def runner(rank: int) -> None:
             try:

@@ -73,10 +73,14 @@ from repro.lu.factorize import lu_solve
 from repro.lu.timing import LUTiming
 from repro.obs import AllocProfiler, MetricsRegistry, RunResult
 from repro.parallel import EXECUTOR_BACKENDS, make_executor
+from repro.elastic.plan import plan_relayout
+from repro.elastic.redistribute import redistribute
+from repro.elastic.schedule import parse_schedule, segments, survivor_grid
 from repro.resilience import (
     CheckpointStore,
     FaultInjector,
     FaultPlan,
+    LayoutHeader,
     RankCrashError,
     RetryPolicy,
 )
@@ -136,6 +140,14 @@ class DistributedResult(RunResult):
     refine_time_s: Optional[float] = None
     #: :meth:`repro.hpl.mxp.RefineReport.to_dict` of the refinement loop.
     refine: Optional[dict] = None
+    #: Completed mid-run grid reconfigurations (regrid schedule cuts
+    #: plus shrink-to-survivors recoveries). ``p``/``q`` above always
+    #: name the *final* grid the run finished on.
+    regrids: int = 0
+    #: Measured wall seconds inside the block-cyclic redistribution.
+    regrid_wall_s: float = 0.0
+    #: Bytes the redistribution engine moved across all regrids.
+    regrid_moved_bytes: int = 0
 
     kind = "distributed"
 
@@ -179,6 +191,8 @@ class DistributedHPL:
         checkpoint_store: Optional[CheckpointStore] = None,
         retry: Optional[RetryPolicy] = None,
         max_recoveries: int = 3,
+        regrid=None,
+        on_rank_death: str = "restart",
         dtype: str = "float64",
         mxp: bool = False,
         refine_tol: float = 1.0,
@@ -244,7 +258,24 @@ class DistributedHPL:
         )
         self.checkpoint_every = checkpoint_every
         self.checkpoint_store = checkpoint_store
-        if checkpoint_every is not None and self.checkpoint_store is None:
+        # Elastic wiring: a regrid schedule cuts the run into segments
+        # (one simulated world per grid, a block-cyclic redistribution
+        # between them), and on_rank_death="shrink" lets recovery
+        # continue on the survivors instead of restarting the lost
+        # geometry. Both ride on the checkpoint store.
+        if on_rank_death not in ("restart", "shrink"):
+            raise ValueError(
+                f"on_rank_death must be 'restart' or 'shrink', "
+                f"got {on_rank_death!r}"
+            )
+        self.on_rank_death = on_rank_death
+        self.regrid = parse_schedule(regrid) if regrid else ()
+        if self.regrid:
+            # Validates panel ranges and grid transitions eagerly.
+            segments(self.bc.n_blocks, self.grid, self.regrid)
+        if self.checkpoint_store is None and (
+            checkpoint_every is not None or self.regrid
+        ):
             self.checkpoint_store = CheckpointStore()
         self.retry = retry
         self.max_recoveries = max_recoveries
@@ -252,9 +283,25 @@ class DistributedHPL:
             self._injector is not None
             or retry is not None
             or checkpoint_every is not None
+            or bool(self.regrid)
         )
+        self._grid0 = self.grid
+        self._k_stop = self.bc.n_blocks
         self._resume_cursor: Optional[int] = None
         self._epoch = 0
+
+    def _set_grid(self, grid: ProcessGrid) -> None:
+        """Point the driver at one segment's grid (rebuilds the
+        block-cyclic algebra; ``n``/``nb`` never change)."""
+        self.grid = grid
+        self.bc = BlockCyclic(self.n, self.nb, grid)
+
+    def _layout(self) -> LayoutHeader:
+        """The checkpoint layout header of the *current* grid."""
+        return LayoutHeader(
+            p=self.grid.p, q=self.grid.q, nb=self.nb, n=self.n,
+            dtype=self.dtype,
+        )
 
     # -- shared stage pieces ------------------------------------------------------
     def _factor_panel(
@@ -423,28 +470,50 @@ class DistributedHPL:
         """
         every = self.checkpoint_every
         if every and k > 0 and k % every == 0 and k != k_start:
-            state = {
-                "epoch": self._epoch,
-                "cursor": k,
-                "a_loc": a_loc,
-                "pivots": [np.asarray(p) for p in stage_pivots],
-            }
-            if panel_state is not None:
-                g_rows, block, ipiv = panel_state
-                state["panel_g_rows"] = np.asarray(g_rows)
-                state["panel_block"] = np.asarray(block)
-                state["panel_ipiv"] = np.asarray(ipiv)
-            self.checkpoint_store.save(comm.rank, k, state)
+            self._save_cut(comm, k, a_loc, stage_pivots, panel_state)
         if self._injector is not None:
             self._injector.crash_point(comm.rank, k)
 
+    def _save_cut(
+        self,
+        comm: Comm,
+        k: int,
+        a_loc: np.ndarray,
+        stage_pivots: List[np.ndarray],
+        panel_state=None,
+    ) -> None:
+        """Write this rank's blob at cursor ``k`` under the current
+        grid's layout header — the cadence checkpoints and the forced
+        regrid-cut checkpoints share this one serialisation."""
+        state = {
+            "epoch": self._epoch,
+            "cursor": k,
+            "a_loc": a_loc,
+            "pivots": [np.asarray(p) for p in stage_pivots],
+        }
+        if panel_state is not None:
+            g_rows, block, ipiv = panel_state
+            state["panel_g_rows"] = np.asarray(g_rows)
+            state["panel_block"] = np.asarray(block)
+            state["panel_ipiv"] = np.asarray(ipiv)
+        self.checkpoint_store.save(comm.rank, k, state, layout=self._layout())
+
     def _restore(self, comm: Comm, a_loc: np.ndarray):
         """Roll this rank back to the resume cursor (no-op on a fresh
-        start). Returns ``(k_start, stage_pivots, panel_state)``."""
+        start). Returns ``(k_start, stage_pivots, panel_state)``.
+
+        The blob's recorded layout must match this run's current grid —
+        a mismatch (resuming a ``2x4`` cut on a ``2x2`` run without
+        redistribution) raises
+        :class:`~repro.resilience.CheckpointLayoutError` instead of a
+        shape crash deep in the stage loop.
+        """
         cursor = self._resume_cursor
         if cursor is None:
             return 0, [], None
-        state = self.checkpoint_store.load(comm.rank, cursor)
+        state = self.checkpoint_store.load(
+            comm.rank, cursor, expect_layout=self._layout()
+        )
         np.copyto(a_loc, state["a_loc"])
         pivots = [np.asarray(p) for p in state["pivots"]]
         panel_state = None
@@ -471,7 +540,7 @@ class DistributedHPL:
         k_start, stage_pivots, _saved_panel = self._restore(comm, a_loc)
         bcast_wall_s, bcast_calls = 0.0, 0  # per-algorithm broadcast time
 
-        for k in range(k_start, bc.n_blocks):
+        for k in range(k_start, self._k_stop):
             self._panel_boundary(comm, k, k_start, a_loc, stage_pivots)
             k0 = k * self.nb
             kw = min(self.nb, self.n - k0)
@@ -565,6 +634,13 @@ class DistributedHPL:
                 cache.invalidate(("dist.u", k, "early"))
                 cache.invalidate(("dist.u", k, "rest"))
 
+        if self._k_stop < bc.n_blocks:
+            # Segment boundary: force a consistent cut at the regrid
+            # panel; the redistribution engine rewrites it for the next
+            # grid and run() resumes from there.
+            self._save_cut(comm, self._k_stop, a_loc, stage_pivots)
+            return None
+
         return self._epilogue(
             comm, a_loc, rows, cols, stage_pivots, cache, bcast_wall_s,
             bcast_calls, [], pool=pool,
@@ -615,7 +691,7 @@ class DistributedHPL:
                 comm, grid, first_owner_col, _PANEL_TAG + k_start, algo=algo
             )
 
-        for k in range(k_start, nstages):
+        for k in range(k_start, self._k_stop):
             k0 = k * self.nb
             kw = min(self.nb, self.n - k0)
             owner_row = k % grid.p
@@ -732,6 +808,22 @@ class DistributedHPL:
                 )
 
         comm.waitall(send_reqs)
+
+        if self._k_stop < nstages:
+            # Segment boundary. The look-ahead already factored panel
+            # ``k_stop`` (during stage ``k_stop - 1``) and wrote it back
+            # into ``a_loc``, so the cut carries the in-flight panel
+            # state exactly like a cadence checkpoint would.
+            self._save_cut(
+                comm, self._k_stop, a_loc, stage_pivots,
+                panel_state=(
+                    panel_state
+                    if my_col == self._k_stop % grid.q
+                    else None
+                ),
+            )
+            return None
+
         return self._epilogue(
             comm, a_loc, rows, cols, stage_pivots, cache, 0.0, 0, stage_overlap,
             pool=pool,
@@ -900,6 +992,7 @@ class DistributedHPL:
         for key in (
             "attempts",
             "recoveries",
+            "shrinks",
             "retries",
             "resend_requests",
             "resends",
@@ -935,17 +1028,28 @@ class DistributedHPL:
         totals: dict = {}
         attempts = 0
         recoveries = 0
+        regrids = 0
+        regrid_wall_s = 0.0
+        regrid_moved = 0
         self._resume_cursor = None
+        spans = list(segments(self.bc.n_blocks, self._grid0, self.regrid))
+        seg = 0
         t0 = time.perf_counter()
         try:
             with profiler.span("dist.run"):
-                # Rollback-recovery loop: a rank crash rolls every rank
-                # back to the newest complete checkpoint and re-runs on
-                # a fresh world; the surviving faults (already consumed
-                # by the one-shot injector) cannot re-fire.
+                # Outer loop over regrid segments (one world per grid)
+                # doubling as the rollback-recovery loop: a rank crash
+                # rolls every rank back to the newest complete
+                # checkpoint and re-runs on a fresh world — on the same
+                # grid, or (``on_rank_death="shrink"``) on a smaller one
+                # fitted to the survivors; the surviving faults (already
+                # consumed by the one-shot injector) cannot re-fire.
                 while True:
                     attempts += 1
                     self._epoch = attempts
+                    grid, _seg_start, k_stop = spans[seg]
+                    self._set_grid(grid)
+                    self._k_stop = k_stop
                     world = World(
                         self.grid.size,
                         buffer_pool=self.buffer_pool,
@@ -955,20 +1059,74 @@ class DistributedHPL:
                     try:
                         results = world.run(body)
                         self._harvest_resilience(world, totals)
-                        break
+                        if k_stop >= self.bc.n_blocks:
+                            break
+                        # Segment boundary: rewrite the forced cut for
+                        # the next grid and resume from it there.
+                        next_grid = spans[seg + 1][0]
+                        plan = plan_relayout(
+                            self.n, self.nb, self.grid, next_grid,
+                            dtype=self.dtype,
+                        )
+                        stats = redistribute(
+                            self.checkpoint_store, plan, k_stop,
+                            chunk_bytes=self.chunk_bytes,
+                            buffer_pool=self.buffer_pool,
+                        )
+                        regrids += 1
+                        regrid_wall_s += stats["wall_s"]
+                        regrid_moved += int(stats["moved_bytes"])
+                        self._resume_cursor = k_stop
+                        seg += 1
                     except RankCrashError:
                         self._harvest_resilience(world, totals)
                         recoveries += 1
-                        store = self.checkpoint_store
-                        if store is None or recoveries > self.max_recoveries:
+                        if recoveries > self.max_recoveries:
                             raise
-                        # Newest cursor every rank checkpointed. A crash
-                        # can land before the surviving ranks reach that
-                        # boundary (no complete cut yet) — then the
-                        # rollback target is the initial state (None).
-                        self._resume_cursor = store.latest_complete(
-                            self.grid.size
-                        )
+                        store = self.checkpoint_store
+                        survivors = self.grid.size - len(world.crashed_ranks())
+                        if (
+                            self.on_rank_death == "shrink"
+                            and store is not None
+                            and 1 <= survivors < self.grid.size
+                        ):
+                            # No spare ranks: refit the segment onto the
+                            # survivors. With a complete cut, carry the
+                            # work over; without one, restart the
+                            # segment from scratch on the smaller grid.
+                            new_grid = survivor_grid(survivors)
+                            cut = store.latest_complete(self.grid.size)
+                            if cut is not None:
+                                plan = plan_relayout(
+                                    self.n, self.nb, self.grid, new_grid,
+                                    dtype=self.dtype,
+                                )
+                                stats = redistribute(
+                                    store, plan, cut,
+                                    chunk_bytes=self.chunk_bytes,
+                                    buffer_pool=self.buffer_pool,
+                                )
+                                regrids += 1
+                                regrid_wall_s += stats["wall_s"]
+                                regrid_moved += int(stats["moved_bytes"])
+                            self._resume_cursor = cut
+                            totals["shrinks"] = totals.get("shrinks", 0) + 1
+                            spans[seg] = (
+                                new_grid,
+                                0 if cut is None else cut,
+                                k_stop,
+                            )
+                        else:
+                            if store is None:
+                                raise
+                            # Newest cursor every rank checkpointed. A
+                            # crash can land before the surviving ranks
+                            # reach that boundary (no complete cut yet)
+                            # — then the rollback target is the initial
+                            # state (None).
+                            self._resume_cursor = store.latest_complete(
+                                self.grid.size
+                            )
                     finally:
                         # The driver's error path: stop sender threads,
                         # cancel partial transfers, drain the mailboxes.
@@ -983,6 +1141,9 @@ class DistributedHPL:
             out.factor_time_s = max(0.0, wall_s - out.refine_time_s)
         out.gflops = LUTiming.hpl_flops(self.n) / wall_s / 1e9
         out.alloc = profiler.to_dict()
+        out.regrids = regrids
+        out.regrid_wall_s = regrid_wall_s
+        out.regrid_moved_bytes = regrid_moved
         if self.resilient:
             out.resilience = self._resilience_report(attempts, recoveries, totals)
         if out.metrics is not None:
@@ -992,6 +1153,12 @@ class DistributedHPL:
                 executor.publish(out.metrics)
             if out.resilience is not None:
                 self._publish_resilience(out.metrics, out.resilience)
+            if regrids:
+                out.metrics.counter("elastic.regrids").inc(regrids)
+                out.metrics.gauge("elastic.regrid_wall_s").set(regrid_wall_s)
+                out.metrics.counter("elastic.regrid_moved_bytes").inc(
+                    regrid_moved
+                )
         if executor is not None:
             executor.close()
         return out

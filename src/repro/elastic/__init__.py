@@ -1,0 +1,55 @@
+"""Elastic world: mid-run process-grid reconfiguration.
+
+The paper's multi-node HPL pins its ``P x Q`` grid for the lifetime of
+a run; this package removes that constraint. Built on the resilience
+subsystem's consistent-cut checkpoints, it lets a distributed
+factorization *grow or shrink its cluster between panels* — losing no
+work and no determinism — in three layers:
+
+* :mod:`repro.elastic.schedule` — the regrid schedule DSL
+  (``"panel=K:PxQ"``) and its segmentation of a run into
+  one-world-per-grid spans;
+* :mod:`repro.elastic.plan` — the relayout planner: the exact block
+  transfer matrix between two block-cyclic layouts, per-rank byte
+  totals, the lower-bound moved-bytes floor, and a predicted
+  redistribution time under the machine model's network;
+* :mod:`repro.elastic.redistribute` — the engine that executes a plan
+  over a fresh simulated MPI world, rewriting a checkpoint cut from
+  the old layout to the new one.
+
+:class:`~repro.cluster.hpl_mpi.DistributedHPL` drives them via its
+``regrid=...`` schedule (CLI ``--regrid``, spec field ``regrid``) and
+its ``on_rank_death="shrink"`` recovery mode, which redistributes the
+newest complete cut onto the surviving ranks instead of restarting on
+the lost geometry. The invariant everything here is tested against:
+a reshaped run produces **bitwise-identical** ``lu`` / ``ipiv`` / ``x``
+to an uninterrupted run on the final grid.
+"""
+
+from repro.elastic.plan import (
+    BlockTransfer,
+    RelayoutPlan,
+    plan_relayout,
+    predict_time_s,
+)
+from repro.elastic.redistribute import redistribute
+from repro.elastic.schedule import (
+    RegridPoint,
+    parse_regrid,
+    parse_schedule,
+    segments,
+    survivor_grid,
+)
+
+__all__ = [
+    "BlockTransfer",
+    "RelayoutPlan",
+    "plan_relayout",
+    "predict_time_s",
+    "redistribute",
+    "RegridPoint",
+    "parse_regrid",
+    "parse_schedule",
+    "segments",
+    "survivor_grid",
+]

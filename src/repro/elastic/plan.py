@@ -1,0 +1,174 @@
+"""The relayout planner: exact block transfers between two grids.
+
+Given a block-cyclic layout of an ``n x n`` matrix (``nb x nb`` blocks)
+on a ``P x Q`` grid and a target ``P' x Q'`` grid,
+:func:`plan_relayout` computes, from the same distribution algebra the
+factorization itself uses (:class:`~repro.cluster.grid.BlockCyclic`),
+where every block (I, J) lives before and after: block (I, J) sits on
+old rank ``rank_of(I mod P, J mod Q)`` and must end up on new rank
+``rank_of(I mod P', J mod Q')``. The resulting :class:`RelayoutPlan`
+is the complete transfer matrix — which blocks move between which
+ranks, per-rank send/recv byte totals, and the bytes that stay put as
+local copies — and is what both the dry-run CLI (``repro elastic
+plan``) and the redistribution engine
+(:func:`repro.elastic.redistribute.redistribute`) execute from.
+
+``lower_bound_bytes`` is the information-theoretic floor: a block
+whose owner rank differs between the layouts must cross the wire at
+least once, so no redistribution protocol can move fewer bytes. The
+engine's ``moved_bytes`` equals the floor (it ships exactly the
+owner-changed blocks, once), which the benchmark gates as
+``redistribution_efficiency = lower_bound / moved``.
+
+:func:`predict_time_s` prices a plan against the machine model's
+network parameters (:class:`repro.hybrid.driver.Network`): every rank
+serialises its own sends and its own receives, one message per peer
+pair, so the prediction is the bottleneck rank's wire time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.cluster.grid import BlockCyclic, ProcessGrid
+from repro.resilience.checkpoint import LayoutHeader
+
+
+@dataclass(frozen=True)
+class BlockTransfer:
+    """One ``nb x nb`` (edge-clipped) block's place in a relayout."""
+
+    bi: int
+    bj: int
+    src: int
+    dst: int
+    nbytes: int
+
+    @property
+    def moves(self) -> bool:
+        """True when the block crosses ranks (not a local copy)."""
+        return self.src != self.dst
+
+
+@dataclass(frozen=True)
+class RelayoutPlan:
+    """The exact transfer matrix of one ``P x Q -> P' x Q'`` relayout.
+
+    ``transfers`` lists *every* block of the matrix exactly once — the
+    permutation property the hypothesis suite checks — with
+    ``moves=False`` entries staying as rank-local copies. Byte
+    accounting (``send_bytes`` / ``recv_bytes`` keyed by rank,
+    ``transfer_matrix`` keyed by ``(src, dst)``) covers only the moving
+    blocks, which is what the wire actually carries.
+    """
+
+    old: LayoutHeader
+    new: LayoutHeader
+    transfers: Tuple[BlockTransfer, ...]
+    send_bytes: Dict[int, int] = field(compare=False)
+    recv_bytes: Dict[int, int] = field(compare=False)
+    transfer_matrix: Dict[Tuple[int, int], int] = field(compare=False)
+    total_bytes: int
+    moved_bytes: int
+    stay_bytes: int
+
+    @property
+    def lower_bound_bytes(self) -> int:
+        """The fewest bytes any protocol could move between these
+        layouts: every owner-changed block must cross at least once."""
+        return self.moved_bytes
+
+    @property
+    def efficiency(self) -> float:
+        """``lower_bound_bytes / moved_bytes`` (1.0 when nothing moves)."""
+        if self.moved_bytes == 0:
+            return 1.0
+        return self.lower_bound_bytes / self.moved_bytes
+
+    @property
+    def world_size(self) -> int:
+        """Ranks the executing world needs: both layouts must fit."""
+        return max(self.old.p * self.old.q, self.new.p * self.new.q)
+
+    def describe(self) -> str:
+        """One human line: geometry, moved volume, peer-pair count."""
+        return (
+            f"relayout {self.old.p}x{self.old.q} -> {self.new.p}x{self.new.q} "
+            f"(n={self.new.n} nb={self.new.nb} {self.new.dtype}): "
+            f"{self.moved_bytes / 1e6:.3f} MB over "
+            f"{len(self.transfer_matrix)} rank pairs, "
+            f"{self.stay_bytes / 1e6:.3f} MB stay local"
+        )
+
+
+def plan_relayout(
+    n: int,
+    nb: int,
+    old_grid: ProcessGrid,
+    new_grid: ProcessGrid,
+    dtype: str = "float64",
+) -> RelayoutPlan:
+    """Compute the block transfer matrix from ``old_grid`` to ``new_grid``.
+
+    Pure index algebra — no matrix data, no communicator — so a plan
+    for any geometry is cheap enough to print from the CLI before
+    committing to the redistribution.
+    """
+    old_bc = BlockCyclic(n, nb, old_grid)
+    itemsize = np.dtype(dtype).itemsize
+    n_blocks = old_bc.n_blocks
+    transfers = []
+    send_bytes: Dict[int, int] = {}
+    recv_bytes: Dict[int, int] = {}
+    matrix: Dict[Tuple[int, int], int] = {}
+    total = moved = 0
+    for bi in range(n_blocks):
+        block_rows = min(nb, n - bi * nb)
+        for bj in range(n_blocks):
+            block_cols = min(nb, n - bj * nb)
+            nbytes = block_rows * block_cols * itemsize
+            src = old_grid.rank_of(bi % old_grid.p, bj % old_grid.q)
+            dst = new_grid.rank_of(bi % new_grid.p, bj % new_grid.q)
+            transfers.append(BlockTransfer(bi, bj, src, dst, nbytes))
+            total += nbytes
+            if src != dst:
+                moved += nbytes
+                send_bytes[src] = send_bytes.get(src, 0) + nbytes
+                recv_bytes[dst] = recv_bytes.get(dst, 0) + nbytes
+                matrix[(src, dst)] = matrix.get((src, dst), 0) + nbytes
+    return RelayoutPlan(
+        old=LayoutHeader(p=old_grid.p, q=old_grid.q, nb=nb, n=n, dtype=dtype),
+        new=LayoutHeader(p=new_grid.p, q=new_grid.q, nb=nb, n=n, dtype=dtype),
+        transfers=tuple(transfers),
+        send_bytes=send_bytes,
+        recv_bytes=recv_bytes,
+        transfer_matrix=matrix,
+        total_bytes=total,
+        moved_bytes=moved,
+        stay_bytes=total - moved,
+    )
+
+
+def predict_time_s(plan: RelayoutPlan, network: Optional[object] = None) -> float:
+    """Predicted redistribution wall time under the network model.
+
+    Each rank serialises its sends (one packed message per destination)
+    and, independently, its receives; ranks proceed in parallel, so the
+    wall time is the slowest rank's wire time. ``network`` defaults to
+    the machine model's FDR InfiniBand
+    (:class:`repro.hybrid.driver.Network`).
+    """
+    if network is None:
+        from repro.hybrid.driver import Network
+
+        network = Network()
+    per_rank: Dict[int, float] = {}
+    for (src, _dst), nbytes in plan.transfer_matrix.items():
+        per_rank[src] = per_rank.get(src, 0.0) + network.transfer_s(nbytes)
+    for (_src, dst), nbytes in plan.transfer_matrix.items():
+        key = -1 - dst  # receive ledger, disjoint from the send keys
+        per_rank[key] = per_rank.get(key, 0.0) + network.transfer_s(nbytes)
+    return max(per_rank.values(), default=0.0)

@@ -1,0 +1,148 @@
+"""The regrid schedule: when (and to what grid) a run reshapes.
+
+A schedule is a sequence of :class:`RegridPoint` cuts — "at panel
+``k``, continue on ``P'xQ'``" — written on the CLI and in
+:class:`~repro.spec.RunSpec` documents as repeatable
+``"panel=K:PxQ"`` strings. :func:`parse_regrid` turns one string into
+a point (with a one-line error for anything malformed, which is what
+lets the CLI exit 2 cleanly), and :func:`parse_schedule` validates a
+whole sequence: panels strictly increasing, every grid distinct from
+its predecessor.
+
+:func:`segments` then turns a schedule into the list of
+``(grid, k_start, k_stop)`` spans the elastic
+:class:`~repro.cluster.hpl_mpi.DistributedHPL` driver executes — one
+simulated MPI world per span, a block-cyclic redistribution between
+consecutive spans.
+
+This module is deliberately dependency-light (no communicator, no
+drivers) so :mod:`repro.spec` can validate ``regrid`` fields without
+importing the cluster stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.cluster.grid import ProcessGrid
+
+
+@dataclass(frozen=True)
+class RegridPoint:
+    """One cut of a regrid schedule: at panel ``panel``, move to ``p x q``."""
+
+    panel: int
+    p: int
+    q: int
+
+    def __post_init__(self):
+        if self.panel < 1:
+            raise ValueError("regrid panel must be >= 1 (stage 0 has no cut)")
+        if self.p < 1 or self.q < 1:
+            raise ValueError("regrid grid dimensions must be positive")
+
+    @property
+    def grid(self) -> ProcessGrid:
+        """The target grid of this cut."""
+        return ProcessGrid(self.p, self.q)
+
+    def __str__(self) -> str:
+        return f"panel={self.panel}:{self.p}x{self.q}"
+
+
+def parse_regrid(text: str) -> RegridPoint:
+    """Parse one ``"panel=K:PxQ"`` schedule entry.
+
+    Raises ``ValueError`` with a single-line message on any malformed
+    input — the CLI maps that straight to an exit-2 argparse error.
+    """
+    if not isinstance(text, str):
+        raise ValueError(f"regrid entry must be a string, got {type(text).__name__}")
+    head, sep, grid_text = text.strip().partition(":")
+    key, eq, panel_text = head.partition("=")
+    if not sep or key.strip().lower() != "panel" or not eq:
+        raise ValueError(
+            f"regrid entry must look like 'panel=K:PxQ', got {text!r}"
+        )
+    try:
+        panel = int(panel_text)
+    except ValueError:
+        raise ValueError(f"regrid panel must be an integer, got {panel_text!r}") from None
+    try:
+        p_text, q_text = grid_text.strip().lower().split("x")
+        p, q = int(p_text), int(q_text)
+    except ValueError:
+        raise ValueError(
+            f"regrid grid must look like '2x4', got {grid_text!r}"
+        ) from None
+    try:
+        return RegridPoint(panel=panel, p=p, q=q)
+    except ValueError as exc:
+        raise ValueError(f"bad regrid entry {text!r}: {exc}") from None
+
+
+def parse_schedule(entries: Sequence) -> Tuple[RegridPoint, ...]:
+    """Parse and validate a whole regrid schedule.
+
+    Accepts ``"panel=K:PxQ"`` strings and ready-made
+    :class:`RegridPoint` objects. The schedule comes back sorted by
+    panel; duplicate panels and consecutive identical grids are
+    rejected (a cut that changes nothing is a typo, not a no-op).
+    """
+    points: List[RegridPoint] = []
+    for entry in entries:
+        points.append(entry if isinstance(entry, RegridPoint) else parse_regrid(entry))
+    points.sort(key=lambda pt: pt.panel)
+    for prev, here in zip(points, points[1:]):
+        if prev.panel == here.panel:
+            raise ValueError(f"duplicate regrid panel {here.panel}")
+        if (prev.p, prev.q) == (here.p, here.q):
+            raise ValueError(
+                f"regrid at panel {here.panel} repeats grid {here.p}x{here.q}"
+            )
+    return tuple(points)
+
+
+def survivor_grid(size: int) -> ProcessGrid:
+    """The most-square ``P x Q`` grid over ``size`` ranks (``P <= Q``).
+
+    Shrink-to-survivors recovery picks its replacement geometry with
+    this: deterministic, and as close to square as the survivor count
+    divides (a prime count degrades to ``1 x size``).
+    """
+    if size < 1:
+        raise ValueError("size must be positive")
+    p = max(d for d in range(1, int(size**0.5) + 1) if size % d == 0)
+    return ProcessGrid(p, size // p)
+
+
+def segments(
+    n_blocks: int, initial: ProcessGrid, schedule: Sequence[RegridPoint]
+) -> List[Tuple[ProcessGrid, int, int]]:
+    """The ``(grid, k_start, k_stop)`` spans a schedule cuts a run into.
+
+    ``k_stop`` is exclusive; the final span always ends at
+    ``n_blocks``. Cut panels must fall strictly inside ``(0,
+    n_blocks)`` — a cut at or past the last panel would reshape a
+    finished factorization.
+    """
+    points = parse_schedule(schedule)
+    for pt in points:
+        if pt.panel >= n_blocks:
+            raise ValueError(
+                f"regrid panel {pt.panel} is out of range for a run with "
+                f"{n_blocks} panel stages"
+            )
+    if points and (points[0].p, points[0].q) == (initial.p, initial.q):
+        raise ValueError(
+            f"regrid at panel {points[0].panel} repeats the initial grid "
+            f"{initial.p}x{initial.q}"
+        )
+    spans: List[Tuple[ProcessGrid, int, int]] = []
+    grid, start = initial, 0
+    for pt in points:
+        spans.append((grid, start, pt.panel))
+        grid, start = pt.grid, pt.panel
+    spans.append((grid, start, n_blocks))
+    return spans

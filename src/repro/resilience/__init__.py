@@ -14,8 +14,8 @@ the corresponding machinery:
   reliable channel in :mod:`repro.cluster.comm`, plus its per-rank
   counters;
 * :mod:`repro.resilience.checkpoint` — the panel-boundary
-  :class:`CheckpointStore` (in-memory or on-disk ``.npz`` blobs) that
-  rollback-recovery restores from, bitwise-exactly.
+  :class:`CheckpointStore` (in-memory or on-disk flat binary blobs)
+  that rollback-recovery restores from, bitwise-exactly.
 """
 
 from repro.resilience.faults import (
@@ -27,8 +27,10 @@ from repro.resilience.faults import (
 )
 from repro.resilience.retry import CommResilienceStats, RetryPolicy
 from repro.resilience.checkpoint import (
+    CheckpointLayoutError,
     CheckpointStats,
     CheckpointStore,
+    LayoutHeader,
     pack_state,
     unpack_state,
 )
@@ -41,8 +43,10 @@ __all__ = [
     "RankCrashError",
     "CommResilienceStats",
     "RetryPolicy",
+    "CheckpointLayoutError",
     "CheckpointStats",
     "CheckpointStore",
+    "LayoutHeader",
     "pack_state",
     "unpack_state",
 ]

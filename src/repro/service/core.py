@@ -21,7 +21,10 @@ need to execute:
    a ``concurrent.futures`` pool running
    :func:`repro.service.worker.execute_batch`. A worker death fails
    only its batch (``crash`` artifacts) and rebuilds the pool — the
-   service stays up.
+   service stays up. With ``elastic=True`` the scheduler also
+   *resizes* the pool between dispatches: queue-depth pressure grows
+   it toward ``max_workers``, an empty queue shrinks it back to
+   ``min_workers``.
 
 Progress streams as ``queued`` → ``running`` → ``done`` events through
 the optional ``on_event`` callback (the NDJSON server forwards them to
@@ -112,6 +115,13 @@ class Service:
     batch_max / batch_max_cost:
         Batch size bound and the per-job cost ceiling above which a job
         dispatches alone (:class:`~repro.service.batching.Batcher`).
+    elastic / min_workers / max_workers:
+        ``elastic=True`` lets the scheduler resize the worker pool
+        between dispatches: under queue-depth pressure it grows toward
+        ``max_workers`` (default: the configured ``workers``), and once
+        the queue drains it shrinks back to ``min_workers`` (default
+        1), releasing the idle processes. Resizes only happen while no
+        batch is in flight, so running jobs never lose their pool.
     metrics:
         Optional shared :class:`~repro.obs.metrics.MetricsRegistry`.
     """
@@ -126,6 +136,9 @@ class Service:
         quantum: float = 1.0,
         batch_max: int = 8,
         batch_max_cost: float = 8.0,
+        elastic: bool = False,
+        min_workers: Optional[int] = None,
+        max_workers: Optional[int] = None,
         metrics: Optional[MetricsRegistry] = None,
     ):
         self.metrics = metrics if metrics is not None else MetricsRegistry()
@@ -135,6 +148,27 @@ class Service:
         self.workers = workers if workers is not None else default_service_workers()
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
+        self.elastic = bool(elastic)
+        if self.elastic:
+            self.min_workers = 1 if min_workers is None else int(min_workers)
+            self.max_workers = (
+                self.workers if max_workers is None else int(max_workers)
+            )
+            if self.min_workers < 1:
+                raise ValueError("min_workers must be >= 1")
+            if self.max_workers < self.min_workers:
+                raise ValueError("max_workers must be >= min_workers")
+            self._pool_workers = min(
+                max(self.workers, self.min_workers), self.max_workers
+            )
+        else:
+            if min_workers is not None or max_workers is not None:
+                raise ValueError(
+                    "min_workers/max_workers require elastic=True"
+                )
+            self.min_workers = self.max_workers = self.workers
+            self._pool_workers = self.workers
+        self.pool_resizes = 0
         self.use_processes = use_processes
         self.admission = AdmissionController(
             max_queue=max_queue, quantum=quantum, metrics=self.metrics
@@ -212,13 +246,35 @@ class Service:
 
     def _new_pool(self):
         if self.use_processes:
-            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            self._pool = ProcessPoolExecutor(max_workers=self._pool_workers)
         else:
             self._pool = ThreadPoolExecutor(
-                max_workers=self.workers, thread_name_prefix="repro-service"
+                max_workers=self._pool_workers,
+                thread_name_prefix="repro-service",
             )
         self._pool_generation += 1
-        self.metrics.gauge("service.pool.workers").set(self.workers)
+        self.metrics.gauge("service.pool.workers").set(self._pool_workers)
+
+    def _resize_pool(self) -> None:
+        """Elastic resize, called by the scheduler between dispatches.
+
+        Grow when the queue is deeper than the current width (to the
+        depth, capped at ``max_workers``); shrink to ``min_workers``
+        once the queue is empty. The pool is idle here by construction
+        (``_dispatching == 0``), so a rebuild strands no batch.
+        """
+        depth = self.admission.depth
+        if depth > self._pool_workers and self._pool_workers < self.max_workers:
+            target = min(self.max_workers, max(depth, self.min_workers))
+        elif depth == 0 and self._pool_workers > self.min_workers:
+            target = self.min_workers
+        else:
+            return
+        self._pool.shutdown(wait=False, cancel_futures=True)
+        self._pool_workers = target
+        self._new_pool()
+        self.pool_resizes += 1
+        self.metrics.counter("service.pool.resizes").inc()
 
     # -- the front door --------------------------------------------------------
     async def submit(
@@ -310,7 +366,9 @@ class Service:
         while True:
             await self._wake.wait()
             self._wake.clear()
-            while self.admission.depth and self._dispatching < self.workers:
+            if self.elastic and self._dispatching == 0:
+                self._resize_pool()
+            while self.admission.depth and self._dispatching < self._pool_workers:
                 # One scheduling round accumulates several DRR turns (a
                 # single turn grants as little as one unit-cost job, and
                 # a one-job grant can never coalesce) up to the batch
@@ -404,8 +462,12 @@ class Service:
             "batching": self.batcher.stats(),
             "pool": {
                 "backend": "process" if self.use_processes else "thread",
-                "workers": self.workers,
+                "workers": self._pool_workers,
+                "elastic": self.elastic,
+                "min_workers": self.min_workers,
+                "max_workers": self.max_workers,
                 "rebuilds": self.pool_rebuilds,
+                "resizes": self.pool_resizes,
                 "dispatching": self._dispatching,
             },
             "latency": latency.to_dict(),

@@ -7,8 +7,8 @@ This module gives them one typed, validated home:
 
 * :class:`RunSpec` — a frozen dataclass covering every knob the
   drivers accept (problem geometry, scheduler, look-ahead, broadcast
-  algorithm, substrate switches, resilience plan, machine profile,
-  seed), with ``to_dict`` / ``from_dict`` / :meth:`RunSpec.canonical_hash`
+  algorithm, substrate switches, resilience plan, regrid schedule,
+  machine profile, seed), with ``to_dict`` / ``from_dict`` / :meth:`RunSpec.canonical_hash`
   round-trips. The hash is the run's *identity*: campaigns deduplicate
   repeat configurations and resume interrupted sweeps by it, and every
   :class:`~repro.obs.result.RunResult` export carries it.
@@ -52,6 +52,11 @@ BCAST_ALGOS = ("star", "ring", "binomial", "ring-mod")
 #: "thread" shares the GIL, "process" fans work across worker processes
 #: over shared memory.
 EXECUTORS = ("thread", "process")
+
+#: Rank-death recovery modes (mirrors ``DistributedHPL``): "restart"
+#: rolls back and re-runs on the same grid, "shrink" redistributes the
+#: newest complete cut onto a grid fitted to the surviving ranks.
+ON_RANK_DEATH = ("restart", "shrink")
 
 #: Working precisions of the factorization. float32 runs the SP kernel
 #: and GEMM models (16 lanes / 2x peak on KNC); pair it with ``mxp`` to
@@ -118,6 +123,8 @@ class RunSpec:
     checkpoint_every: Optional[int] = None
     retry_max: Optional[int] = None
     comm_timeout: Optional[float] = None
+    regrid: Tuple[str, ...] = ()
+    on_rank_death: str = "restart"
     seed: int = 42
 
     def __post_init__(self):
@@ -140,6 +147,19 @@ class RunSpec:
                  "retry_max must be >= 0")
         _require(self.comm_timeout is None or self.comm_timeout > 0,
                  "comm_timeout must be positive")
+        _require(self.on_rank_death in ON_RANK_DEATH,
+                 f"on_rank_death must be one of {ON_RANK_DEATH}, "
+                 f"got {self.on_rank_death!r}")
+        _require(isinstance(self.regrid, tuple)
+                 and all(isinstance(e, str) for e in self.regrid),
+                 "regrid must be a tuple of 'panel=K:PxQ' strings")
+        if self.regrid:
+            from repro.elastic.schedule import parse_schedule
+
+            try:
+                parse_schedule(self.regrid)
+            except ValueError as exc:
+                raise ValueError(f"invalid regrid schedule: {exc}") from None
         _require(self.scheduler in SCHEDULERS,
                  f"scheduler must be one of {SCHEDULERS}")
         if self.machine is not None:
@@ -169,7 +189,8 @@ class RunSpec:
                      f"bcast_algo must be one of {BCAST_ALGOS}")
         else:
             for name in ("bcast_algo", "chunk_kb", "fault_plan",
-                         "checkpoint_every", "retry_max", "comm_timeout"):
+                         "checkpoint_every", "retry_max", "comm_timeout",
+                         "regrid", "on_rank_death"):
                 default = RunSpec.__dataclass_fields__[name].default
                 _require(getattr(self, name) == default,
                          f"{name} applies to distributed runs only")
@@ -228,11 +249,23 @@ class RunSpec:
         if self.kind == "hybrid" and numeric and (self.p, self.q) != (1, 1):
             changes["p"] = 1
             changes["q"] = 1
+        if self.regrid:
+            # Canonical spelling and panel order: "panel=03:2X4" and
+            # out-of-order entries hash like their tidy equivalents.
+            from repro.elastic.schedule import parse_schedule
+
+            canon = tuple(str(pt) for pt in parse_schedule(self.regrid))
+            if canon != self.regrid:
+                changes["regrid"] = canon
         return dataclasses.replace(self, **changes) if changes else self
 
     def to_dict(self) -> dict:
         """The normalized spec as a plain, JSON-ready dict."""
-        return dataclasses.asdict(self.normalized())
+        d = dataclasses.asdict(self.normalized())
+        # JSON has no tuples; emit the schedule as a list so the dict is
+        # byte-identical across a JSON round-trip.
+        d["regrid"] = list(d["regrid"])
+        return d
 
     @classmethod
     def from_dict(cls, d: Mapping[str, Any]) -> "RunSpec":
@@ -323,6 +356,10 @@ class RunSpec:
             parts.append(f"cards={s.cards} lookahead={s.lookahead}")
         if s.kind == "distributed":
             parts.append(f"bcast={s.bcast_algo} lookahead={s.lookahead}")
+            if s.regrid:
+                parts.append("regrid=" + ",".join(s.regrid))
+            if s.on_rank_death != "restart":
+                parts.append(f"on-death={s.on_rank_death}")
         if s.numeric:
             parts.append("numeric")
         if s.mxp:
@@ -343,6 +380,9 @@ def _coerce_fields(values: Dict[str, Any]) -> Dict[str, Any]:
         values["lookahead"] = "on" if values["lookahead"] else "off"
     if isinstance(values.get("mem_gb"), int):
         values["mem_gb"] = float(values["mem_gb"])
+    if isinstance(values.get("regrid"), list):
+        # JSON and YAML documents carry the schedule as a list.
+        values["regrid"] = tuple(values["regrid"])
     return values
 
 
@@ -408,10 +448,28 @@ class FlagDef:
             for incompatible in ("type", "default", "choices", "metavar"):
                 merged.pop(incompatible, None)
         else:
-            merged.pop("action", None)
+            # "append" keeps its action (repeatable value flags like
+            # --regrid); anything else is a plain value option.
+            if merged.get("action") != "append":
+                merged.pop("action", None)
             merged.setdefault("type", int)
             merged.setdefault("default", None)
         return merged
+
+
+def _regrid_entry(text: str) -> str:
+    """argparse ``type`` for ``--regrid``: validate, keep the string.
+
+    A malformed entry raises ``ArgumentTypeError`` so argparse exits 2
+    with the parser's one-line message instead of a traceback.
+    """
+    from repro.elastic.schedule import parse_regrid
+
+    try:
+        parse_regrid(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+    return text
 
 
 _ALL = ("native", "hybrid", "distributed")
@@ -465,6 +523,18 @@ RUN_FLAGS: Tuple[FlagDef, ...] = (
     FlagDef("comm_timeout", "--comm-timeout",
             "reliable-receive timeout before the first resend (seconds)",
             type=float, metavar="S", kinds={"distributed": {}}),
+    FlagDef("regrid", "--regrid",
+            "reshape the grid mid-run: at panel K, redistribute onto "
+            "PxQ and continue there (repeatable for multi-step "
+            "schedules; bitwise-identical to running on the final grid)",
+            type=_regrid_entry, action="append", metavar="panel=K:PxQ",
+            kinds={"distributed": {}}),
+    FlagDef("on_rank_death", "--on-rank-death",
+            "recovery mode when a rank dies with no spare: 'restart' "
+            "re-runs the lost geometry, 'shrink' redistributes the "
+            "newest cut onto the survivors",
+            type=str, choices=ON_RANK_DEATH,
+            kinds={"distributed": {"default": "restart"}}),
     FlagDef("numeric", "--numeric", "really solve and check",
             action="store_true",
             kinds={"native": {},
@@ -536,7 +606,10 @@ def spec_from_args(kind: str, args: argparse.Namespace) -> RunSpec:
             value = "on" if value else "off"
         if fd.field == "mem_gb" and value is not None:
             value = float(value)
-        if value is None and fd.field in ("scheduler", "bcast_algo"):
+        if value is None and fd.field in ("scheduler", "bcast_algo",
+                                          "regrid", "on_rank_death"):
             continue  # keep the dataclass default
+        if fd.field == "regrid":
+            value = tuple(value)
         values[fd.field] = value
     return RunSpec(**values)

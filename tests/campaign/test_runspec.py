@@ -1,6 +1,6 @@
 """RunSpec: validation, normalization, canonical hashing, round-trips."""
 
-import dataclasses
+
 import json
 
 import pytest
@@ -248,4 +248,50 @@ class TestFuzzedRoundTrips:
     def test_normalization_is_idempotent(self, spec):
         once = spec.normalized()
         assert once.normalized() == once
-        assert dataclasses.asdict(once) == spec.to_dict()
+        # to_dict is JSON-ready (tuples become lists), so compare dicts
+        # through it on both sides rather than raw asdict.
+        assert once.to_dict() == spec.to_dict()
+
+
+class TestRegridField:
+    def test_regrid_is_distributed_only(self):
+        with pytest.raises(ValueError, match="distributed"):
+            RunSpec(kind="native", n=2000, regrid=("panel=3:2x4",))
+        with pytest.raises(ValueError, match="distributed"):
+            RunSpec(kind="hybrid", n=8000, on_rank_death="shrink")
+
+    def test_bad_regrid_entry_rejected(self):
+        with pytest.raises(ValueError, match="regrid"):
+            RunSpec(kind="distributed", n=4000, regrid=("panel=x:2x4",))
+
+    def test_bad_on_rank_death_rejected(self):
+        with pytest.raises(ValueError, match="on_rank_death"):
+            RunSpec(kind="distributed", n=4000, on_rank_death="panic")
+
+    def test_regrid_changes_the_hash(self):
+        plain = RunSpec(kind="distributed", n=4000)
+        elastic = RunSpec(kind="distributed", n=4000, regrid=("panel=3:2x4",))
+        shrink = RunSpec(kind="distributed", n=4000, on_rank_death="shrink")
+        assert plain.canonical_hash() != elastic.canonical_hash()
+        assert plain.canonical_hash() != shrink.canonical_hash()
+
+    def test_equivalent_spellings_hash_identically(self):
+        a = RunSpec(kind="distributed", n=4000, regrid=("panel=3:2x4",))
+        b = RunSpec(kind="distributed", n=4000, regrid=(" PANEL=3:2X4 ",))
+        assert a.canonical_hash() == b.canonical_hash()
+        assert a.normalized().regrid == ("panel=3:2x4",)
+
+    def test_regrid_round_trips_as_tuple(self):
+        spec = RunSpec(kind="distributed", n=4000,
+                       regrid=("panel=3:2x4", "panel=5:1x2"),
+                       on_rank_death="shrink")
+        rebuilt = RunSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert rebuilt.regrid == spec.normalized().regrid
+        assert isinstance(rebuilt.regrid, tuple)
+        assert rebuilt.on_rank_death == "shrink"
+
+    def test_summary_names_the_schedule(self):
+        spec = RunSpec(kind="distributed", n=4000,
+                       regrid=("panel=3:2x4",), on_rank_death="shrink")
+        s = spec.summary()
+        assert "panel=3:2x4" in s and "shrink" in s

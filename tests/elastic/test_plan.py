@@ -1,0 +1,143 @@
+"""Relayout planner and regrid schedule units."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.grid import ProcessGrid
+from repro.elastic import (
+    RegridPoint,
+    parse_regrid,
+    parse_schedule,
+    plan_relayout,
+    predict_time_s,
+    segments,
+    survivor_grid,
+)
+
+
+class TestParseRegrid:
+    def test_parses_canonical_entry(self):
+        pt = parse_regrid("panel=3:2x4")
+        assert pt == RegridPoint(panel=3, p=2, q=4)
+        assert str(pt) == "panel=3:2x4"
+        assert pt.grid == ProcessGrid(2, 4)
+
+    def test_tolerates_case_and_whitespace(self):
+        assert parse_regrid("  PANEL=5:2X4 ") == RegridPoint(5, 2, 4)
+
+    @pytest.mark.parametrize("bad", [
+        "panel=3", "3:2x4", "panel=x:2x4", "panel=3:2y4",
+        "panel=3:2x", "panel=0:2x4", "panel=3:0x4", "stage=3:2x4",
+    ])
+    def test_malformed_entries_raise_one_line(self, bad):
+        with pytest.raises(ValueError) as err:
+            parse_regrid(bad)
+        assert "\n" not in str(err.value)
+
+    def test_non_string_rejected(self):
+        with pytest.raises(ValueError):
+            parse_regrid(7)
+
+
+class TestParseSchedule:
+    def test_sorts_by_panel_and_accepts_points(self):
+        pts = parse_schedule(["panel=5:1x2", RegridPoint(3, 2, 4)])
+        assert [pt.panel for pt in pts] == [3, 5]
+
+    def test_duplicate_panel_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            parse_schedule(["panel=3:2x4", "panel=3:1x2"])
+
+    def test_consecutive_identical_grids_rejected(self):
+        with pytest.raises(ValueError, match="repeats"):
+            parse_schedule(["panel=3:2x4", "panel=5:2x4"])
+
+
+class TestSegments:
+    def test_no_schedule_is_one_span(self):
+        g = ProcessGrid(2, 2)
+        assert segments(6, g, ()) == [(g, 0, 6)]
+
+    def test_spans_tile_the_run(self):
+        spans = segments(8, ProcessGrid(2, 2),
+                         ["panel=3:2x4", "panel=5:1x2"])
+        assert spans == [
+            (ProcessGrid(2, 2), 0, 3),
+            (ProcessGrid(2, 4), 3, 5),
+            (ProcessGrid(1, 2), 5, 8),
+        ]
+
+    def test_cut_at_or_past_last_panel_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            segments(4, ProcessGrid(2, 2), ["panel=4:2x4"])
+
+    def test_first_cut_must_change_the_grid(self):
+        with pytest.raises(ValueError, match="initial grid"):
+            segments(6, ProcessGrid(2, 2), ["panel=3:2x2"])
+
+
+class TestSurvivorGrid:
+    @pytest.mark.parametrize("size,expect", [
+        (1, (1, 1)), (2, (1, 2)), (3, (1, 3)), (4, (2, 2)),
+        (6, (2, 3)), (7, (1, 7)), (12, (3, 4)),
+    ])
+    def test_most_square_factorization(self, size, expect):
+        g = survivor_grid(size)
+        assert (g.p, g.q) == expect
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ValueError):
+            survivor_grid(0)
+
+
+class TestPlanRelayout:
+    def test_grow_2x2_to_2x4_accounting(self):
+        plan = plan_relayout(96, 16, ProcessGrid(2, 2), ProcessGrid(2, 4))
+        # 6x6 blocks of 16x16 float64 = 2048 B each.
+        assert plan.total_bytes == 36 * 2048
+        assert plan.moved_bytes + plan.stay_bytes == plan.total_bytes
+        assert plan.moved_bytes == sum(plan.send_bytes.values())
+        assert plan.moved_bytes == sum(plan.recv_bytes.values())
+        assert plan.moved_bytes == sum(plan.transfer_matrix.values())
+        assert plan.efficiency == 1.0
+        assert plan.world_size == 8
+        assert "2x2 -> 2x4" in plan.describe()
+
+    def test_identity_relayout_moves_nothing(self):
+        plan = plan_relayout(96, 16, ProcessGrid(2, 2), ProcessGrid(2, 2))
+        assert plan.moved_bytes == 0
+        assert plan.efficiency == 1.0
+        assert plan.transfer_matrix == {}
+
+    def test_edge_blocks_are_clipped(self):
+        # n=40, nb=16: last block row/col is 8 wide, not 16.
+        plan = plan_relayout(40, 16, ProcessGrid(1, 2), ProcessGrid(2, 1))
+        assert plan.total_bytes == 40 * 40 * 8
+        sizes = {t.nbytes for t in plan.transfers}
+        assert sizes == {16 * 16 * 8, 16 * 8 * 8, 8 * 8 * 8}
+
+    def test_dtype_scales_bytes(self):
+        p64 = plan_relayout(64, 16, ProcessGrid(2, 2), ProcessGrid(1, 2))
+        p32 = plan_relayout(64, 16, ProcessGrid(2, 2), ProcessGrid(1, 2),
+                            dtype="float32")
+        assert p64.moved_bytes == 2 * p32.moved_bytes
+
+    def test_predict_time_positive_and_zero_when_static(self):
+        moving = plan_relayout(96, 16, ProcessGrid(2, 2), ProcessGrid(2, 4))
+        static = plan_relayout(96, 16, ProcessGrid(2, 2), ProcessGrid(2, 2))
+        assert predict_time_s(moving) > 0.0
+        assert predict_time_s(static) == 0.0
+
+    def test_predict_time_is_bottleneck_rank(self):
+        class Unit:
+            def transfer_s(self, nbytes):
+                return float(nbytes)
+
+        plan = plan_relayout(96, 16, ProcessGrid(2, 2), ProcessGrid(2, 4))
+        per_send = {}
+        per_recv = {}
+        for (src, dst), nbytes in plan.transfer_matrix.items():
+            per_send[src] = per_send.get(src, 0) + nbytes
+            per_recv[dst] = per_recv.get(dst, 0) + nbytes
+        expect = max(*per_send.values(), *per_recv.values())
+        assert predict_time_s(plan, network=Unit()) == float(expect)

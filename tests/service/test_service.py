@@ -404,3 +404,43 @@ class TestCampaignIntegration:
             # elapsed_s is wall clock; everything else is byte-identical.
             ours.pop("elapsed_s"), theirs.pop("elapsed_s")
             assert ours == theirs
+
+
+class TestElasticPool:
+    def test_pool_grows_under_depth_and_shrinks_when_idle(self):
+        async def main():
+            async with svc(workers=1, elastic=True, max_workers=4) as s:
+                # Distinct specs so nothing coalesces or serves cached:
+                # a burst deeper than the 1-worker pool forces a grow.
+                jobs = [s.submit(RunSpec(kind="hybrid", n=6000 + 100 * i))
+                        for i in range(6)]
+                results = await asyncio.gather(*jobs)
+                grown = s.stats()["pool"]
+                # Drain completely, then poke the scheduler once more so
+                # it sees depth 0 and shrinks back to min_workers.
+                await s.submit(RunSpec(kind="hybrid", n=6000))
+                return results, grown, s.stats()["pool"]
+
+        results, grown, final = asyncio.run(main())
+        assert all(r["status"] == "ok" for r in results)
+        assert grown["resizes"] >= 1
+        assert final["workers"] == final["min_workers"] == 1
+        assert final["max_workers"] == 4 and final["elastic"] is True
+
+    def test_static_pool_never_resizes(self):
+        async def main():
+            async with svc(workers=2) as s:
+                await s.submit(SPEC)
+                return s.stats()["pool"]
+
+        pool = asyncio.run(main())
+        assert pool["elastic"] is False and pool["resizes"] == 0
+
+    def test_bounds_require_elastic_mode(self):
+        with pytest.raises(ValueError):
+            Service(use_processes=False, workers=2, max_workers=4)
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Service(use_processes=False, workers=2, elastic=True,
+                    min_workers=3, max_workers=2)

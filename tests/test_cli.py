@@ -180,3 +180,46 @@ class TestCLIResilience:
                             lambda *a, **k: False)
         assert main(["native", "--n", "200", "--nb", "50", "--numeric"]) == 1
         assert "residual check FAILED" in capsys.readouterr().err
+
+
+class TestCLIElastic:
+    def test_elastic_plan_prints_transfer_matrix(self, capsys):
+        assert main(["elastic", "plan", "--n", "96", "--nb", "16",
+                     "--grid", "2x2", "--regrid", "panel=3:2x4"]) == 0
+        out = capsys.readouterr().out
+        assert "Transfer matrix 2x2 -> 2x4" in out
+        assert "Per-rank volume" in out
+        assert "predicted redistribution time" in out
+
+    def test_elastic_plan_multi_point_schedule(self, capsys):
+        assert main(["elastic", "plan", "--n", "96", "--nb", "16",
+                     "--grid", "2x2", "--regrid", "panel=2:2x4",
+                     "--regrid", "panel=4:1x2"]) == 0
+        out = capsys.readouterr().out
+        assert "2x2 -> 2x4" in out and "2x4 -> 1x2" in out
+
+    def test_elastic_plan_bad_regrid_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as err:
+            main(["elastic", "plan", "--regrid", "panel=bogus"])
+        assert err.value.code == 2
+        stderr = capsys.readouterr().err
+        assert "regrid" in stderr
+
+    def test_elastic_plan_out_of_range_panel_exits_2(self, capsys):
+        assert main(["elastic", "plan", "--n", "96", "--nb", "16",
+                     "--grid", "2x2", "--regrid", "panel=99:2x4"]) == 2
+        assert "out of range" in capsys.readouterr().err
+
+    def test_distributed_regrid_runs_on_final_grid(self, capsys):
+        assert main(["distributed", "--n", "48", "--nb", "8",
+                     "--regrid", "panel=3:2x4", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["passed"] is True
+        assert (doc["p"], doc["q"]) == (2, 4)
+        assert doc["regrids"] == 1
+
+    def test_distributed_bad_regrid_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as err:
+            main(["distributed", "--n", "48", "--nb", "8",
+                  "--regrid", "panel=3:2y4"])
+        assert err.value.code == 2

@@ -30,7 +30,11 @@ both ``alloc`` and ``bytes``, as emitted by
 (keys naming ``refine_iters``, as emitted by
 ``benchmarks/bench_mxp.py`` — more sweeps to recover double precision
 is the regression; ``mxp_speedup`` is gated higher-is-better through
-the ordinary ``speedup`` rule).
+the ordinary ``speedup`` rule) and redistribution times (keys naming
+``regrid`` and ending in ``_s``, as emitted by
+``benchmarks/bench_elastic.py`` — a slower mid-run grid reshape is the
+regression; ``redistribution_efficiency`` is gated higher-is-better
+through the ordinary ``efficiency`` rule).
 
 Standard library only, so CI can run it before (or without) installing
 the package.
@@ -63,6 +67,11 @@ LATENCY_KEY_PARTS = ("latency", "p99", "p50", "queue_wait")
 #: recover double-precision accuracy is the regression.
 REFINE_KEY_PARTS = ("refine_iters",)
 
+#: A leaf is gated lower-is-better when its key names ``regrid`` and
+#: ends in ``_s``: redistribution wall/predicted seconds, where a
+#: slower grid reshape is the regression.
+REGRID_KEY_PART = "regrid"
+
 #: ...unless it also matches one of these (reference data, not measurements).
 SKIP_KEY_PARTS = ("paper",)
 
@@ -77,6 +86,8 @@ def classify_key(key: str) -> str:
     if any(part in k for part in LATENCY_KEY_PARTS):
         return "lower"
     if any(part in k for part in REFINE_KEY_PARTS):
+        return "lower"
+    if REGRID_KEY_PART in k and k.endswith("_s"):
         return "lower"
     if any(part in k for part in RATE_KEY_PARTS):
         return "higher"
